@@ -1,0 +1,147 @@
+"""E5 — persistent annotations vs on-the-fly computation (Sec. 4).
+
+The paper motivates the Annotation / Data-Enrichment split: "when the
+quality process involves querying a database with stable data, the
+quality annotations are likely to be long-lived and can be made
+persistent", whereas evidence produced within the computing process
+(Imprint) is scoped to one execution.  This experiment measures both
+regimes over repeated view executions against a stable Uniprot-like
+database with a deliberately expensive annotation function:
+
+* **on-the-fly** — evidence recomputed into the per-execution cache on
+  every run (the only option for execution-scoped evidence);
+* **persistent** — evidence computed once into a persistent repository,
+  later runs perform Data-Enrichment reads only.
+
+Shape expected: persistent mode amortises the annotation cost, so a
+run against the warm repository is several times faster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Mapping, Optional, Set
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.annotation.functions import AnnotationFunction
+from repro.annotation.map import AnnotationMap
+from repro.core.framework import QuratorFramework
+from repro.proteomics.results import ImprintResultSet
+from repro.qa.annotators import EvidenceCodeAnnotator
+from repro.rdf import Q, URIRef
+
+#: Simulated per-item latency of consulting the external source
+#: (e.g. an ISI impact-factor table or a remote Uniprot query).
+LOOKUP_LATENCY_S = 0.0005
+
+
+class SlowEvidenceCodeAnnotator(AnnotationFunction):
+    """Evidence-code annotation with a simulated external-source cost."""
+
+    function_class = Q.EvidenceCodeAnnotation
+    provides = frozenset({Q.EvidenceCode})
+
+    def __init__(self, results, uniprot) -> None:
+        self._inner = EvidenceCodeAnnotator(results, uniprot)
+
+    def annotate(
+        self,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        for _ in items:
+            time.sleep(LOOKUP_LATENCY_S)
+        return self._inner.annotate(items, evidence_types, context)
+
+
+VIEW_TEMPLATE = """
+<QualityView name="evidence-code-view">
+  {annotator}
+  <QualityAssertion serviceName="CurationReliability"
+                    serviceType="q:HRScore"
+                    tagName="Reliability" tagSynType="q:score">
+    <variables repositoryRef="{repo}">
+      <var variableName="hitRatio" evidence="q:EvidenceCode"/>
+    </variables>
+  </QualityAssertion>
+  <action name="trusted">
+    <filter><condition>Reliability &gt;= 300</condition></filter>
+  </action>
+</QualityView>
+"""
+
+ANNOTATOR_BLOCK = """
+  <Annotator serviceName="SlowEvidenceCode"
+             serviceType="q:EvidenceCodeAnnotation">
+    <variables repositoryRef="{repo}" persistent="{persistent}">
+      <var evidence="q:EvidenceCode"/>
+    </variables>
+  </Annotator>
+"""
+
+
+def make_framework(scenario, results):
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    framework.deploy_annotation_service(
+        "SlowEvidenceCode",
+        SlowEvidenceCodeAnnotator(results, scenario.uniprot),
+    )
+    framework.create_repository("curated", persistent=True)
+    return framework
+
+
+def test_on_the_fly_annotation(benchmark, paper_scenario, paper_runs):
+    """Every execution re-annotates into the transient cache."""
+    results = ImprintResultSet(paper_runs)
+    framework = make_framework(paper_scenario, results)
+    xml = VIEW_TEMPLATE.format(
+        annotator=ANNOTATOR_BLOCK.format(repo="cache", persistent="false"),
+        repo="cache",
+    )
+    view = framework.quality_view(xml)
+    items = results.items()
+
+    outcome = benchmark.pedantic(
+        lambda: view.run(items), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert outcome.annotation_map.get_evidence(items[0], Q.EvidenceCode)
+
+
+def test_persistent_annotation_warm(benchmark, paper_scenario, paper_runs):
+    """Annotate once into a persistent repository; later runs only read."""
+    results = ImprintResultSet(paper_runs)
+    framework = make_framework(paper_scenario, results)
+    items = results.items()
+
+    # Cold run: a view WITH the annotator writes the persistent repo.
+    warmup_xml = VIEW_TEMPLATE.format(
+        annotator=ANNOTATOR_BLOCK.format(repo="curated", persistent="true"),
+        repo="curated",
+    )
+    cold_start = time.perf_counter()
+    framework.quality_view(warmup_xml).run(items)
+    cold_duration = time.perf_counter() - cold_start
+
+    # Warm runs: a view WITHOUT the annotator reads the repository.
+    warm_xml = VIEW_TEMPLATE.format(annotator="", repo="curated")
+    warm_view = framework.quality_view(warm_xml)
+    outcome = benchmark.pedantic(
+        lambda: warm_view.run(items), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert outcome.annotation_map.get_evidence(items[0], Q.EvidenceCode)
+
+    warm_duration = benchmark.stats.stats.mean
+    speedup = cold_duration / warm_duration
+    lines = [
+        f"items annotated: {len(items)}",
+        f"simulated external-lookup latency: {LOOKUP_LATENCY_S * 1e3:.2f} ms/item",
+        f"cold run (annotate + persist): {cold_duration * 1e3:.1f} ms",
+        f"warm run (enrichment read only): {warm_duration * 1e3:.1f} ms",
+        f"speedup from persistent annotations: {speedup:.1f}x",
+    ]
+    write_table("E5_caching", "Persistent vs on-the-fly annotation", lines)
+    assert speedup > 1.5, "persistent annotations must amortise the cost"

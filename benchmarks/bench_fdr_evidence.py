@@ -1,0 +1,141 @@
+"""E12 — comparing evidence sources: Stead metrics vs target-decoy FDR.
+
+The framework's purpose is letting users *compare* quality criteria
+(Sec. 2: "different QAs, using the same or different types of evidence,
+capture different and possibly contrasting user perceptions of
+quality").  This experiment runs three alternative gates over the same
+identifications:
+
+* the paper's HR/MC classifier (``ScoreClass in q:high``);
+* a target-decoy FDR gate (``DecoyFDR <= 5%``);
+* their conjunction.
+
+Shape expected: the gates genuinely differ (contrasting perceptions);
+the conjunction is at least as precise as either conjunct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core.framework import QuratorFramework
+from repro.proteomics.decoy import (
+    DecoyFDRAnnotator,
+    DecoySearcher,
+    declare_decoy_evidence,
+)
+from repro.proteomics.results import ImprintResultSet
+from repro.qa.annotators import ImprintOutputAnnotator
+from repro.rdf import Q
+
+VIEW_TEMPLATE = """
+<QualityView name="gate-comparison">
+  <Annotator serviceName="ImprintOutputAnnotator"
+             serviceType="q:Imprint-output-annotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:hitRatio"/>
+      <var evidence="q:coverage"/>
+    </variables>
+  </Annotator>
+  <Annotator serviceName="DecoyFDRAnnotator"
+             serviceType="q:DecoyFDRAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:DecoyFDR"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="PIScoreClassifier"
+                    serviceType="q:PIScoreClassifier"
+                    tagSemType="q:PIScoreClassification"
+                    tagName="ScoreClass" tagSynType="q:class">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+      <var variableName="coverage" evidence="q:coverage"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="FDRScore" serviceType="q:HRScore"
+                    tagName="FDR pct" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:DecoyFDR"/>
+    </variables>
+  </QualityAssertion>
+  <action name="gate">
+    <filter><condition>{condition}</condition></filter>
+  </action>
+</QualityView>
+"""
+
+GATES = [
+    ("HR/MC classifier", "ScoreClass in q:high"),
+    ("decoy FDR", "FDR pct <= 5"),
+    ("conjunction", "ScoreClass in q:high and FDR pct <= 5"),
+]
+
+
+def test_gate_comparison(benchmark, paper_scenario, paper_runs):
+    scenario = paper_scenario
+    searcher = DecoySearcher(scenario.reference, scenario.imprint.settings)
+    results = ImprintResultSet(paper_runs)
+    fdr_by_run = {
+        run.run_id: searcher.fdr_for_run(
+            run, scenario.pedro.get(run.run_id).peaks
+        )
+        for run in paper_runs
+    }
+
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    declare_decoy_evidence(framework.iq_model)
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator", ImprintOutputAnnotator(results)
+    )
+    framework.deploy_annotation_service(
+        "DecoyFDRAnnotator", DecoyFDRAnnotator(results, fdr_by_run)
+    )
+
+    truth = {
+        (s, a)
+        for s, accs in scenario.ground_truth.items()
+        for a in accs
+    }
+
+    def run_gate(condition: str):
+        escaped = (
+            condition.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        view = framework.quality_view(VIEW_TEMPLATE.format(condition=escaped))
+        outcome = view.run(results.items())
+        kept = outcome.surviving("gate")
+        pairs = {(results.run_id(i), results.accession(i)) for i in kept}
+        precision = len(pairs & truth) / max(1, len(pairs))
+        recall = len(pairs & truth) / len(truth)
+        return frozenset(kept), precision, recall
+
+    def experiment():
+        return {name: run_gate(cond) for name, cond in GATES}
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [f"{'gate':<18} {'kept':>5} {'precision':>9} {'recall':>7}"]
+    for name, _ in GATES:
+        kept, precision, recall = outcomes[name]
+        lines.append(
+            f"{name:<18} {len(kept):>5} {precision:>9.2f} {recall:>7.2f}"
+        )
+    write_table(
+        "E12_fdr_evidence",
+        "Alternative quality gates over the same identifications",
+        lines,
+    )
+
+    hrmc_kept, hrmc_p, _ = outcomes["HR/MC classifier"]
+    fdr_kept, fdr_p, _ = outcomes["decoy FDR"]
+    both_kept, both_p, _ = outcomes["conjunction"]
+    # the two single-evidence gates express different perceptions
+    assert hrmc_kept != fdr_kept
+    # conjunction keeps the intersection exactly
+    assert both_kept == (hrmc_kept & fdr_kept)
+    # and is at least as precise as either conjunct
+    assert both_p >= max(hrmc_p, fdr_p) - 1e-9

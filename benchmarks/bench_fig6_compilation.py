@@ -1,0 +1,139 @@
+"""E2/E8 — Figures 1 & 6: workflow structures, compilation and scavenging.
+
+Figure 1 and Figure 6 are structural artefacts: the original ISPIDER
+workflow and the compiled quality workflow embedded within it.  This
+benchmark regenerates both structures (asserting the paper's topology
+rules from Sec. 6.1), times QV compilation, shows how compile time
+scales with the number of QAs (E8), and times the WSDL scavenger over
+growing service registries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core.framework import QuratorFramework
+from repro.core.ispider import (
+    LiveImprintAnnotator,
+    ResultSetHolder,
+    build_deployment,
+    example_quality_view_xml,
+)
+from repro.qv import parse_quality_view
+from repro.qv.compiler import CONSOLIDATE, DATA_ENRICHMENT
+from repro.rdf import Q
+from repro.services import ServiceRegistry
+from repro.services.interface import QualityAssertionService
+from repro.qa.pi_score import HRScoreQA
+from repro.workflow.model import ControlLink
+from repro.workflow.scavenger import Scavenger
+
+
+def make_framework():
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator", LiveImprintAnnotator(ResultSetHolder())
+    )
+    return framework
+
+
+def test_fig6_topology_and_compile_time(benchmark, paper_scenario):
+    framework = make_framework()
+    spec = parse_quality_view(example_quality_view_xml())
+    workflow = benchmark(lambda: framework.compiler.compile(spec))
+
+    # Fig. 6 structure (Sec. 6.1 rules).
+    assert ControlLink("ImprintOutputAnnotator", DATA_ENRICHMENT) in (
+        workflow.control_links
+    )
+    qa_names = {"HR MC score", "HR score", "PIScoreClassifier"}
+    for qa in qa_names:
+        assert {
+            link.source.processor
+            for link in workflow.incoming_links(qa)
+            if link.sink.port == "annotationMap"
+        } == {DATA_ENRICHMENT}
+    assert {
+        link.source.processor for link in workflow.incoming_links(CONSOLIDATE)
+    } == qa_names
+
+    # Fig. 1 + Fig. 6: embedded workflow contains host + quality + adapters.
+    deployment = build_deployment(paper_scenario)
+    embedded = deployment.embedded
+    host_processors = {"GetPeakLists", "ProteinIdentification",
+                       "CollectAccessions", "GORetrieval"}
+    quality_processors = {DATA_ENRICHMENT, CONSOLIDATE, "filter top k score"}
+    adapters = {"ImprintToDataSet", "AcceptedToAccessions"}
+    names = set(embedded.processors)
+    assert host_processors <= names
+    assert quality_processors <= names
+    assert adapters <= names
+
+    lines = [
+        f"quality workflow processors: {len(workflow.processors)}",
+        f"quality workflow data links: {len(workflow.data_links)}",
+        f"quality workflow control links: {len(workflow.control_links)}",
+        f"embedded workflow processors: {len(embedded.processors)}",
+        f"embedded workflow data links: {len(embedded.data_links)}",
+        "topology: annotators -> (control) DE -> QAs -> consolidate -> actions: OK",
+    ]
+    write_table("E2_fig6", "Figures 1/6 — compiled + embedded structures", lines)
+
+
+def view_with_n_qas(n: int) -> str:
+    assertions = "\n".join(
+        f"""
+  <QualityAssertion serviceName="HR score {i}" serviceType="q:HRScore"
+                    tagName="HR{i}" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+    </variables>
+  </QualityAssertion>"""
+        for i in range(n)
+    )
+    return f"""
+<QualityView name="scale-{n}">
+  <Annotator serviceName="ImprintOutputAnnotator"
+             serviceType="q:Imprint-output-annotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:hitRatio"/>
+    </variables>
+  </Annotator>
+  {assertions}
+  <action name="keep">
+    <filter><condition>HR0 &gt; 10</condition></filter>
+  </action>
+</QualityView>
+"""
+
+
+@pytest.mark.parametrize("n_qas", [1, 4, 16])
+def test_compile_scaling_in_qas(benchmark, n_qas):
+    """E8: compile time vs view size (expected roughly linear)."""
+    framework = make_framework()
+    spec = parse_quality_view(view_with_n_qas(n_qas))
+    workflow = benchmark(lambda: framework.compiler.compile(spec))
+    # one DE regardless of QA count (the single-DE compiler rule)
+    assert (
+        sum(1 for n in workflow.processors if n == DATA_ENRICHMENT) == 1
+    )
+    assert len(workflow.processors) == n_qas + 4  # ann + DE + cons + action
+
+
+@pytest.mark.parametrize("n_services", [10, 100, 400])
+def test_scavenger_scaling(benchmark, n_services):
+    """E8: WSDL scavenging over a growing registry."""
+    registry = ServiceRegistry()
+    for i in range(n_services):
+        registry.deploy(
+            QualityAssertionService(f"svc{i}", Q[f"Concept{i}"], "", HRScoreQA)
+        )
+
+    def scan():
+        scavenger = Scavenger()
+        return scavenger.scan(registry)
+
+    found = benchmark(scan)
+    assert len(found) == n_services

@@ -1,0 +1,97 @@
+"""E6 — annotation-store scaling (Sec. 5).
+
+The paper defers RDF-store performance ("performance issues have not
+been addressed at this stage") but the architecture depends on
+SPARQL-backed (data, evidence-type) lookups staying cheap and the store
+staying swappable.  This experiment measures our store's load rate,
+keyed-lookup latency vs repository size, and full SPARQL query
+evaluation, so the swap-in bar is quantified.
+
+Shape expected: keyed lookups are index-backed and stay flat (sub-
+millisecond) as the store grows; bulk loading is linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.annotation.store import AnnotationStore
+from repro.rdf import Graph, Literal, Q, RDF, URIRef
+from repro.rdf.lsid import uniprot_lsid
+
+EVIDENCE_TYPES = [Q.HitRatio, Q.Coverage, Q.PeptidesCount]
+
+
+def populate(store: AnnotationStore, n_items: int) -> list:
+    items = [uniprot_lsid(f"B{i:06d}") for i in range(n_items)]
+    for index, item in enumerate(items):
+        for evidence_index, evidence_type in enumerate(EVIDENCE_TYPES):
+            store.annotate(
+                item, evidence_type, (index * 7 + evidence_index) % 100 / 100.0
+            )
+    return items
+
+
+@pytest.mark.parametrize("n_items", [100, 1000, 4000])
+def test_bulk_load(benchmark, n_items):
+    def load():
+        store = AnnotationStore(f"load{n_items}")
+        populate(store, n_items)
+        return store
+
+    store = benchmark.pedantic(load, rounds=3, iterations=1)
+    assert len(store.graph) == n_items * len(EVIDENCE_TYPES) * 3
+
+
+@pytest.mark.parametrize("n_items", [100, 1000, 4000])
+def test_keyed_lookup_latency(benchmark, n_items):
+    """(data, evidence-type) lookups through SPARQL at growing sizes."""
+    store = AnnotationStore(f"lookup{n_items}")
+    items = populate(store, n_items)
+    probe = items[n_items // 2]
+
+    value = benchmark(lambda: store.lookup(probe, Q.Coverage))
+    assert value is not None
+
+
+def test_sparql_join_over_annotations(benchmark):
+    store = AnnotationStore("join")
+    populate(store, 500)
+    query = """
+    PREFIX q: <http://qurator.org/iq#>
+    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+    SELECT ?d ?v WHERE {
+      ?d q:contains-evidence ?e .
+      ?e rdf:type q:HitRatio ; q:value ?v .
+      FILTER (?v > 0.9)
+    } ORDER BY DESC(?v) LIMIT 20
+    """
+    result = benchmark(lambda: store.graph.query(query))
+    assert 0 < len(result) <= 20
+
+
+def test_store_swap_report(benchmark):
+    """Summarise scaling into the E6 table."""
+    import time
+
+    lines = [f"{'items':>6} {'triples':>8} {'load (ms)':>10} {'lookup (us)':>12}"]
+    for n_items in (100, 1000, 4000):
+        store = AnnotationStore(f"report{n_items}")
+        start = time.perf_counter()
+        items = populate(store, n_items)
+        load_ms = (time.perf_counter() - start) * 1e3
+        probe = items[n_items // 2]
+        start = time.perf_counter()
+        for _ in range(50):
+            store.lookup(probe, Q.Coverage)
+        lookup_us = (time.perf_counter() - start) / 50 * 1e6
+        lines.append(
+            f"{n_items:>6} {len(store.graph):>8} {load_ms:>10.1f} "
+            f"{lookup_us:>12.1f}"
+        )
+    write_table("E6_rdf_store", "Annotation-store scaling", lines)
+    # keep a benchmark measurement attached to this test as well
+    store = AnnotationStore("probe")
+    items = populate(store, 1000)
+    benchmark(lambda: store.lookup(items[500], Q.HitRatio))

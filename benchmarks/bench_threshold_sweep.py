@@ -1,0 +1,108 @@
+"""E4 — editing action conditions between executions (Secs. 4, 5.1).
+
+"Action conditions can be modified on-the-fly, from one process
+execution to the next, allowing users to quickly observe the effect of
+various filtering options": the view offers three QAs (HR+MC score,
+HR-only score, the three-way classifier) precisely so users can compare
+their relative effects by editing the selection criteria.  This sweep
+regenerates that exploration: one compiled view, many filter conditions,
+each re-executed; for each condition we report retained volume and
+(thanks to the simulation's ground truth) the resulting precision.
+
+Shape expected: stricter conditions monotonically shrink the retained
+set and raise precision; the classifier's `high` class is the
+paper's default experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core.ispider import (
+    build_deployment,
+    example_quality_view_xml,
+    setup_framework,
+    FILTER_ACTION,
+)
+from repro.proteomics.results import ImprintResultSet
+
+CONDITIONS = [
+    # progressively stricter class-based conditions
+    "ScoreClass in q:low, q:mid, q:high",
+    "ScoreClass in q:mid, q:high",
+    "ScoreClass in q:high",
+    # score-threshold alternatives on the two scoring QAs
+    "HR MC > 20",
+    "HR MC > 40",
+    "HR > 30",
+    # the paper's combined filter (Sec. 5.1)
+    "ScoreClass in q:high, q:mid and HR MC > 20",
+]
+
+
+def test_condition_sweep(benchmark, paper_scenario, paper_runs):
+    framework, holder = setup_framework(paper_scenario)
+    results = ImprintResultSet(paper_runs)
+    holder.set(results)
+
+    truth_pairs = {
+        (sample_id, accession)
+        for sample_id, accessions in paper_scenario.ground_truth.items()
+        for accession in accessions
+    }
+
+    def run_condition(condition: str) -> Tuple[int, float]:
+        view = framework.quality_view(example_quality_view_xml(condition))
+        outcome = view.run(results.items())
+        kept = outcome.surviving(FILTER_ACTION)
+        pairs = {(results.run_id(i), results.accession(i)) for i in kept}
+        precision = len(pairs & truth_pairs) / max(1, len(pairs))
+        return len(kept), precision
+
+    def sweep() -> List[Tuple[str, int, float]]:
+        return [(c, *run_condition(c)) for c in CONDITIONS]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'kept':>5} {'precision':>9}  condition"]
+    for condition, kept, precision in rows:
+        lines.append(f"{kept:>5} {precision:>9.2f}  {condition}")
+    write_table("E4_threshold_sweep", "Filter-condition sweep", lines)
+
+    by_condition = {c: (kept, p) for c, kept, p in rows}
+    all_classes = by_condition["ScoreClass in q:low, q:mid, q:high"]
+    mid_up = by_condition["ScoreClass in q:mid, q:high"]
+    high_only = by_condition["ScoreClass in q:high"]
+    # monotone volume, monotone precision
+    assert all_classes[0] >= mid_up[0] >= high_only[0]
+    assert all_classes[1] <= mid_up[1] <= high_only[1]
+    # the paper's default ("high") is high-precision
+    assert high_only[1] >= 0.9
+    # keeping every class retains every classified identification
+    assert all_classes[0] == len(results)
+    # the stricter HR MC threshold keeps fewer than the looser one
+    assert by_condition["HR MC > 40"][0] <= by_condition["HR MC > 20"][0]
+    # conjunction is at most as permissive as each conjunct
+    combined = by_condition["ScoreClass in q:high, q:mid and HR MC > 20"]
+    assert combined[0] <= mid_up[0]
+    assert combined[0] <= by_condition["HR MC > 20"][0]
+
+
+def test_recompile_vs_reexecute_cost(benchmark, paper_scenario, paper_runs):
+    """Editing a condition requires recompiling the view; this measures
+    the explore-loop cost the paper's rapid-prototyping claim rests on."""
+    framework, holder = setup_framework(paper_scenario)
+    results = ImprintResultSet(paper_runs)
+    holder.set(results)
+
+    def edit_and_rerun():
+        view = framework.quality_view(example_quality_view_xml("HR MC > 30"))
+        return view.run(results.items())
+
+    result = benchmark.pedantic(
+        edit_and_rerun, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.surviving(FILTER_ACTION)

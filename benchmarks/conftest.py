@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and result-table reporting.
+
+Benchmarks regenerate the paper's evaluation artefacts.  Each
+experiment writes its table/series to ``benchmarks/results/<id>.txt``
+(and echoes it to stdout, visible with ``pytest -s``), so the numbers
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.proteomics import ProteomicsScenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_table(experiment_id: str, title: str, lines) -> None:
+    """Persist one experiment's output table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join([f"# {title}", *lines, ""])
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(body)
+    print(f"\n{body}")
+
+
+@pytest.fixture(scope="session")
+def paper_scenario():
+    """The paper-scale world: 10 protein spots (Sec. 6.3)."""
+    return ProteomicsScenario.generate(seed=42, n_proteins=400, n_spots=10)
+
+
+@pytest.fixture(scope="session")
+def paper_runs(paper_scenario):
+    return paper_scenario.identify_all()

@@ -1,0 +1,185 @@
+"""Extending the framework: new evidence, a decision-tree QA, a splitter.
+
+Shows the user-extension story of the paper:
+
+* declare a new quality-evidence class (``q:ELDP`` usage plus a custom
+  ``ex:LabReputation``) in the IQ model;
+* implement a custom annotation function providing it;
+* define a *decision-tree* quality assertion ("arbitrary decision
+  models", Sec. 4) combining three evidence types;
+* route data with a splitter action into accept / review / reject
+  groups (the paper's "some data can be directed to a special workflow
+  for dedicated processing").
+
+Run:  python examples/custom_quality_assertion.py
+"""
+
+from typing import Any, List, Mapping, Optional, Set
+
+from repro.annotation.functions import AnnotationFunction
+from repro.annotation.map import AnnotationMap
+from repro.core.framework import QuratorFramework
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.qa.annotators import ImprintOutputAnnotator
+from repro.qa.decision_tree import DecisionTreeQA
+from repro.rdf import Namespace, Q, URIRef
+
+EX = Namespace("http://example.org/lab#")
+
+#: Reputation scores per lab (the paper's "reputation and track record
+#: of the originating lab" heuristic, Sec. 1).
+LAB_REPUTATION = {
+    "aberdeen-mcb": 0.9,
+    "manchester-proteomics": 0.7,
+    "novice-lab": 0.3,
+}
+
+
+class CombinedAnnotator(AnnotationFunction):
+    """Imprint indicators plus the custom lab-reputation evidence."""
+
+    function_class = Q["Imprint-output-annotation"]
+    provides = ImprintOutputAnnotator.provides | {EX.LabReputation}
+
+    def __init__(self, scenario, results) -> None:
+        self.scenario = scenario
+        self.results = results
+        self._imprint = ImprintOutputAnnotator(results)
+
+    def annotate(
+        self,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        amap = self._imprint.annotate(
+            items, evidence_types & self._imprint.provides, context
+        )
+        if EX.LabReputation in evidence_types:
+            for item in items:
+                if item not in self.results:
+                    continue
+                sample = self.scenario.pedro.get(self.results.run_id(item))
+                amap.set_evidence(
+                    item, EX.LabReputation, LAB_REPUTATION.get(sample.lab, 0.5)
+                )
+        return amap
+
+
+VIEW_XML = """
+<QualityView name="lab-aware-triage">
+  <namespace prefix="ex" uri="http://example.org/lab#"/>
+  <Annotator serviceName="CombinedAnnotator"
+             serviceType="q:Imprint-output-annotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:hitRatio"/>
+      <var evidence="q:coverage"/>
+      <var evidence="ex:LabReputation"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="LabAwareTriage" serviceType="ex:LabAwareTriage"
+                    tagName="Verdict" tagSynType="q:class"
+                    tagSemType="ex:TriageClassification">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+      <var variableName="coverage" evidence="q:coverage"/>
+      <var variableName="reputation" evidence="ex:LabReputation"/>
+    </variables>
+  </QualityAssertion>
+  <action name="triage">
+    <splitter>
+      <group name="accept"><condition>Verdict = 'accept'</condition></group>
+      <group name="review"><condition>Verdict = 'review'</condition></group>
+    </splitter>
+  </action>
+</QualityView>
+"""
+
+#: The decision model: strong evidence accepts outright; moderate
+#: evidence is accepted only from reputable labs, otherwise reviewed.
+TRIAGE_TREE = {
+    "variable": "hitRatio", "op": ">", "threshold": 0.35,
+    "then": {
+        "variable": "coverage", "op": ">", "threshold": 0.4,
+        "then": {"value": "accept"},
+        "else": {
+            "variable": "reputation", "op": ">=", "threshold": 0.7,
+            "then": {"value": "accept"},
+            "else": {"value": "review"},
+        },
+    },
+    "else": {
+        "variable": "reputation", "op": ">=", "threshold": 0.9,
+        "then": {"value": "review"},
+        "else": {"value": "reject"},
+    },
+}
+
+
+def make_triage_qa(name="LabAwareTriage", tag_name="Verdict", variables=None):
+    return DecisionTreeQA(
+        name,
+        tag_name,
+        variables or {},
+        TRIAGE_TREE,
+        tag_syn_type=Q["class"],
+        tag_sem_type=EX.TriageClassification,
+        assertion_class=EX.LabAwareTriage,
+    )
+
+
+def main() -> None:
+    scenario = ProteomicsScenario.generate(seed=23, n_proteins=200, n_spots=6)
+    results = ImprintResultSet(scenario.identify_all())
+
+    framework = QuratorFramework()
+    iq = framework.iq_model
+
+    # 1. extend the IQ model: new evidence class + new QA class +
+    #    a new classification scheme with enumerated members.
+    iq.declare_evidence_type(EX.LabReputation, label="Lab reputation")
+    iq.declare_assertion_type(
+        EX.LabAwareTriage,
+        evidence={Q.HitRatio, Q.Coverage, EX.LabReputation},
+        dimension=iq.Reliability,
+        label="Lab-aware triage",
+    )
+    iq.ontology.add_class(
+        EX.TriageClassification, (iq.ClassificationModel,)
+    )
+    for member in ("accept", "review", "reject"):
+        iq.ontology.add_individual(EX[member], EX.TriageClassification)
+
+    # 2. deploy the custom components.
+    framework.deploy_annotation_service(
+        "CombinedAnnotator", CombinedAnnotator(scenario, results)
+    )
+    framework.deploy_qa_service("LabAwareTriage", EX.LabAwareTriage, make_triage_qa)
+
+    # 3. compile and run the view.
+    view = framework.quality_view(VIEW_XML)
+    report = view.validate()
+    assert report.ok(), report.errors
+    outcome = view.run(results.items())
+
+    print("lab-aware triage of identifications:")
+    for group in ("accept", "review", "default"):
+        items = outcome.group("triage", group)
+        label = group if group != "default" else "reject (default group)"
+        true = sum(
+            1 for i in items
+            if scenario.is_true_positive(results.run_id(i), results.accession(i))
+        )
+        print(f"  {label:<24} {len(items):>4} items ({true} true positives)")
+
+    accepted = outcome.group("triage", "accept")
+    precision = sum(
+        1 for i in accepted
+        if scenario.is_true_positive(results.run_id(i), results.accession(i))
+    ) / max(1, len(accepted))
+    print(f"\nprecision of the accept group: {precision:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Extending the evidence model with target-decoy FDR.
+
+The framework's promise is that *any* measurable quantity can become
+quality evidence (Sec. 2).  This example adds a technique the paper's
+successors adopted widely — target-decoy false-discovery-rate
+estimation — as a new evidence type:
+
+1. the reference database is reversed into a decoy database;
+2. every peak list is searched against both; per-hit q-values follow
+   from the decoy hit rate;
+3. ``q:DecoyFDR`` is declared in the IQ model, a new annotation
+   function provides it, and a quality view filters on
+   ``DecoyFDR <= 0.05`` — no framework changes required.
+
+Run:  python examples/fdr_quality_view.py
+"""
+
+from repro.core.framework import QuratorFramework
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.decoy import (
+    DecoyFDRAnnotator,
+    DecoySearcher,
+    declare_decoy_evidence,
+)
+from repro.proteomics.results import ImprintResultSet
+from repro.rdf import Q
+
+FDR_VIEW_XML = """
+<QualityView name="fdr-gate">
+  <Annotator serviceName="DecoyFDRAnnotator"
+             serviceType="q:DecoyFDRAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:DecoyFDR"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="FDRScore" serviceType="q:HRScore"
+                    tagName="FDR pct" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:DecoyFDR"/>
+    </variables>
+  </QualityAssertion>
+  <action name="confident">
+    <filter><condition>FDR pct &lt;= 5</condition></filter>
+  </action>
+</QualityView>
+"""
+
+
+def main() -> None:
+    scenario = ProteomicsScenario.generate(seed=13, n_proteins=250, n_spots=8)
+
+    # target + decoy searches for every spot
+    searcher = DecoySearcher(scenario.reference, scenario.imprint.settings)
+    runs = []
+    fdr_by_run = {}
+    for sample in scenario.pedro:
+        run = scenario.imprint.identify(sample.peaks, run_id=sample.sample_id)
+        runs.append(run)
+        fdr_by_run[run.run_id] = searcher.fdr_for_run(run, sample.peaks)
+    results = ImprintResultSet(runs)
+    print(f"searched {len(runs)} spots against target + decoy databases")
+
+    # extend the IQ model and deploy the new annotation function
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    declare_decoy_evidence(framework.iq_model)
+    framework.deploy_annotation_service(
+        "DecoyFDRAnnotator", DecoyFDRAnnotator(results, fdr_by_run)
+    )
+
+    # note: the HRScore QA multiplies by 100, so the FDR (0..1) becomes
+    # a percentage and the filter reads naturally as 'FDR pct <= 5'
+    view = framework.quality_view(FDR_VIEW_XML)
+    report = view.validate()
+    assert report.ok(), report.errors
+    outcome = view.run(results.items())
+    kept = outcome.surviving("confident")
+
+    truth = {
+        (s, a)
+        for s, accs in scenario.ground_truth.items()
+        for a in accs
+    }
+    pairs = {(results.run_id(i), results.accession(i)) for i in kept}
+    precision = len(pairs & truth) / max(1, len(pairs))
+    recall = len(pairs & truth) / len(truth)
+    print(f"FDR <= 5% gate kept {len(kept)} of {len(results)} identifications")
+    print(f"precision {precision:.2f}, recall {recall:.2f}")
+    print("\na brand-new evidence type drove a quality view without any")
+    print("change to the framework - the Sec. 2 extensibility claim")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Deriving a quality assertion from example data, then sharing it.
+
+Demonstrates the paper's Sec. 7 roadmap items implemented here:
+
+* (ii) *machine-learned decision models*: a scientist labels one
+  experiment's identifications (here: from simulated ground truth),
+  trains a decision tree over the evidence vectors, and deploys it as a
+  first-class QA service;
+* (iv) *sharing views within a community*: the resulting quality view
+  is published to a :class:`QualityViewLibrary`, exported to disk, and
+  re-imported by a "peer" who runs it on their own data unchanged.
+
+Run:  python examples/learned_quality_view.py
+"""
+
+import tempfile
+
+from repro.core.framework import QuratorFramework
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.qa import ImprintOutputAnnotator, LabeledExample, learn_quality_assertion
+from repro.qa.learning import learn_decision_tree, tree_accuracy, tree_depth
+from repro.qv import QualityViewLibrary
+from repro.rdf import Q
+
+LEARNED_VIEW_XML = """
+<QualityView name="learned-triage">
+  <Annotator serviceName="ImprintOutputAnnotator"
+             serviceType="q:Imprint-output-annotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:hitRatio"/>
+      <var evidence="q:coverage"/>
+      <var evidence="q:peptidesCount"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="LearnedClassifier"
+                    serviceType="q:PIScoreClassifier"
+                    tagSemType="q:PIScoreClassification"
+                    tagName="Verdict" tagSynType="q:class">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+      <var variableName="coverage" evidence="q:coverage"/>
+      <var variableName="peptidesCount" evidence="q:peptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <action name="accept">
+    <filter><condition>Verdict = 'high'</condition></filter>
+  </action>
+</QualityView>
+"""
+
+VARIABLES = {
+    "hitRatio": Q.HitRatio,
+    "coverage": Q.Coverage,
+    "peptidesCount": Q.PeptidesCount,
+}
+
+
+def labeled_examples(scenario, results):
+    examples = []
+    for item in results.items():
+        hit = results.hit(item)
+        is_true = scenario.is_true_positive(results.run_id(item), hit.accession)
+        examples.append(
+            LabeledExample(
+                {
+                    "hitRatio": hit.hit_ratio,
+                    "coverage": hit.mass_coverage,
+                    "peptidesCount": float(hit.peptides_count),
+                },
+                Q.high if is_true else Q.low,
+            )
+        )
+    return examples
+
+
+def make_framework(results):
+    framework = QuratorFramework()
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator", ImprintOutputAnnotator(results)
+    )
+    return framework
+
+
+def main() -> None:
+    # --- the scientist's lab: train a QA on their labelled data -------
+    train_world = ProteomicsScenario.generate(seed=31, n_proteins=200, n_spots=8)
+    train_results = ImprintResultSet(train_world.identify_all())
+    examples = labeled_examples(train_world, train_results)
+
+    tree = learn_decision_tree(
+        examples, list(VARIABLES), max_depth=4, min_samples_leaf=2
+    )
+    print(f"trained on {len(examples)} labelled identifications")
+    print(f"tree depth {tree_depth(tree)}, "
+          f"training accuracy {tree_accuracy(tree, examples):.2f}")
+
+    def learned_qa_factory(name="LearnedClassifier", tag_name="Verdict",
+                           variables=None):
+        return learn_quality_assertion(
+            name, tag_name, variables or VARIABLES, examples,
+            tag_syn_type=Q["class"], tag_sem_type=Q.PIScoreClassification,
+            max_depth=4, min_samples_leaf=2,
+        )
+
+    framework = make_framework(train_results)
+    framework.deploy_qa_service(
+        "LearnedClassifier", Q.PIScoreClassifier, learned_qa_factory
+    )
+
+    # --- publish the view to the community library --------------------
+    library = QualityViewLibrary(framework.iq_model)
+    entry = library.publish_xml(
+        LEARNED_VIEW_XML,
+        author="scientist-a",
+        description="triage learned from spot-labelled PMF data",
+    )
+    print(f"\npublished {entry.name!r} v{entry.version} to the library")
+
+    with tempfile.TemporaryDirectory() as exchange_dir:
+        library.export_to(exchange_dir)
+
+        # --- the peer: different data, same view, same learned QA -----
+        peer_world = ProteomicsScenario.generate(
+            seed=99, n_proteins=200, n_spots=8
+        )
+        peer_results = ImprintResultSet(peer_world.identify_all())
+        peer_framework = make_framework(peer_results)
+        peer_framework.deploy_qa_service(
+            "LearnedClassifier", Q.PIScoreClassifier, learned_qa_factory
+        )
+        peer_library = QualityViewLibrary(peer_framework.iq_model)
+        (imported,) = peer_library.import_from(exchange_dir, author="peer-b")
+        print(f"peer imported {imported.name!r} "
+              f"(originally by {entry.author!r})")
+
+        view = peer_framework.quality_view(imported.spec)
+        outcome = view.run(peer_results.items())
+        kept = outcome.surviving("accept")
+
+    truth = {
+        (s, a)
+        for s, accs in peer_world.ground_truth.items()
+        for a in accs
+    }
+    pairs = {(peer_results.run_id(i), peer_results.accession(i)) for i in kept}
+    precision = len(pairs & truth) / max(1, len(pairs))
+    recall = len(pairs & truth) / len(truth)
+    print(f"\npeer's data: kept {len(kept)} of {len(peer_results)} "
+          f"identifications (precision {precision:.2f}, recall {recall:.2f})")
+    print("the learned decision model transferred across data sets unchanged")
+
+
+if __name__ == "__main__":
+    main()

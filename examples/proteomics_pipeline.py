@@ -1,0 +1,59 @@
+"""The paper's running example end-to-end (Figures 1, 6 and 7).
+
+Builds the ISPIDER protein-function analysis workflow (peak lists from
+PEDRo -> Imprint identification -> GOA functional annotation), compiles
+the Sec. 5.1 quality view, embeds it between identification and GO
+retrieval exactly as in Figure 6, and reproduces the Figure 7 analysis:
+GO terms ranked by their significance ratio (occurrences with vs
+without quality filtering).
+
+Run:  python examples/proteomics_pipeline.py
+"""
+
+from repro.core.ispider import build_deployment
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.workflows import go_term_frequencies
+from repro.workflow.scufl import workflow_to_xml
+
+
+def main() -> None:
+    # The paper's scale: 10 protein spots.
+    scenario = ProteomicsScenario.generate(seed=42, n_proteins=400, n_spots=10)
+    deployment = build_deployment(scenario)
+
+    print("host workflow (Figure 1):")
+    for name in deployment.host.topological_order():
+        print(f"  - {name}")
+    print("\nembedded quality workflow (Figure 6):")
+    for name in deployment.embedded.topological_order():
+        marker = "*" if name not in deployment.host.processors else " "
+        print(f"  {marker} {name}")
+    print("  (* = added by the quality-view compiler / deployment)\n")
+
+    baseline = deployment.run_unfiltered()
+    filtered = deployment.run()
+    base = go_term_frequencies(baseline["goTerms"])
+    kept = go_term_frequencies(filtered["goTerms"])
+
+    print(f"GO-term occurrences without quality view: {sum(base.values())}")
+    print(f"GO-term occurrences with quality view:    {sum(kept.values())}\n")
+
+    rows = sorted(
+        ((kept.get(t, 0) / base[t], t, base[t], kept.get(t, 0)) for t in base),
+        key=lambda r: (-r[0], r[1]),
+    )
+    print("Figure 7 — GO terms ranked by significance ratio:")
+    print(f"{'rank':>4}  {'GO term':<12} {'name':<34} {'raw':>4} {'kept':>4} {'ratio':>6}")
+    for rank, (ratio, term, raw, kept_count) in enumerate(rows[:12], start=1):
+        name = scenario.ontology.get(term).name[:33]
+        print(f"{rank:>4}  {term:<12} {name:<34} {raw:>4} {kept_count:>4} {ratio:>6.2f}")
+    print("   ... (terms with ratio 0 were dominated by false positives)")
+
+    # For the curious: the compiled quality workflow as SCUFL-like XML.
+    scufl = workflow_to_xml(deployment.view.compile())
+    print(f"\ncompiled quality workflow: {scufl.count('<processor')} processors "
+          f"({len(scufl)} bytes of SCUFL XML)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Qurator quality views — a full reproduction of Missier et al.,
+"Quality Views: Capturing and Exploiting the User Perspective on Data
+Quality" (VLDB 2006).
+
+Quick start::
+
+    from repro import QuratorFramework
+    from repro.core.ispider import build_deployment
+    from repro.proteomics import ProteomicsScenario
+
+    scenario = ProteomicsScenario.generate(seed=42)
+    deployment = build_deployment(scenario)
+    outputs = deployment.run()          # quality-filtered GO terms
+    baseline = deployment.run_unfiltered()
+
+The public surface:
+
+* :class:`repro.core.QuratorFramework` — configure repositories,
+  deploy QA/annotation services, create quality views;
+* :class:`repro.core.QualityView` — validate / compile / embed / run;
+* ``repro.proteomics`` — the synthetic life-science substrate;
+* ``repro.qa`` — the example quality assertions and annotators;
+* ``repro.rdf`` / ``repro.ontology`` — the RDF + IQ-model substrate;
+* ``repro.workflow`` — the Taverna-like workflow environment.
+"""
+
+from repro.core import QualityView, QualityViewResult, QuratorError, QuratorFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QualityView",
+    "QualityViewResult",
+    "QuratorError",
+    "QuratorFramework",
+    "__version__",
+]

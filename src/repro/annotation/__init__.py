@@ -1,0 +1,27 @@
+"""Quality-annotation management (paper Sec. 2-4).
+
+Annotations are quality-evidence values attached to data items.  The
+in-memory exchange structure is the :class:`AnnotationMap` of Sec. 4.1
+(``d -> {(e, v)}`` plus classification/score tags); persistent storage
+is the RDF-backed :class:`AnnotationStore`, accessed by (data item,
+evidence type) keys through SPARQL exactly as the paper prescribes.
+"""
+
+from repro.annotation.map import AnnotationMap, TagValue
+from repro.annotation.store import AnnotationStore
+from repro.annotation.manager import RepositoryManager
+from repro.annotation.functions import (
+    AnnotationFunction,
+    AnnotationFunctionRegistry,
+    CallableAnnotationFunction,
+)
+
+__all__ = [
+    "AnnotationFunction",
+    "AnnotationFunctionRegistry",
+    "AnnotationMap",
+    "AnnotationStore",
+    "CallableAnnotationFunction",
+    "RepositoryManager",
+    "TagValue",
+]

@@ -1,0 +1,129 @@
+"""Annotation functions: the computers of quality evidence.
+
+Paper Sec. 4.1: the Annotation operator "computes a new association map
+of evidence values for an input set E of evidence types, and for each
+item in the input data set D", storing the map in a repository.  These
+functions are user-defined, domain-specific and usually data-specific.
+This module provides the abstract base, a callable adapter, and a
+registry keyed by the IQ-model class of the function.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.annotation.map import AnnotationMap
+from repro.annotation.store import AnnotationStore
+from repro.rdf import URIRef
+
+
+class AnnotationFunction(abc.ABC):
+    """Computes evidence values for data items.
+
+    Subclasses declare which evidence types they can provide and which
+    IQ-model ``q:AnnotationFunction`` subclass they implement; the
+    ``context`` argument carries operator-specific side inputs (the
+    paper's example: the species of a protein).
+    """
+
+    #: IQ-model class this function implements (a q:AnnotationFunction subclass)
+    function_class: URIRef
+
+    #: Evidence-type URIs this function can compute values for.
+    provides: Set[URIRef] = frozenset()
+
+    @abc.abstractmethod
+    def annotate(
+        self,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Compute evidence for ``items``, restricted to ``evidence_types``."""
+
+    def annotate_into(
+        self,
+        store: AnnotationStore,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+        data_class: Optional[URIRef] = None,
+    ) -> AnnotationMap:
+        """Compute evidence and persist it to a repository."""
+        unsupported = set(evidence_types) - set(self.provides)
+        if unsupported:
+            raise ValueError(
+                f"{type(self).__name__} does not provide evidence types "
+                f"{sorted(str(u) for u in unsupported)}"
+            )
+        amap = self.annotate(items, set(evidence_types), context)
+        store.annotate_map(amap, data_class=data_class)
+        return amap
+
+
+class CallableAnnotationFunction(AnnotationFunction):
+    """Adapter turning a plain callable into an annotation function.
+
+    The callable receives one data item and returns a mapping
+    ``{evidence_type: value}`` (missing evidence simply omitted).
+    """
+
+    def __init__(
+        self,
+        function_class: URIRef,
+        provides: Iterable[URIRef],
+        fn: Callable[[URIRef, Optional[Mapping[str, Any]]], Mapping[URIRef, Any]],
+    ) -> None:
+        self.function_class = function_class
+        self.provides = set(provides)
+        self._fn = fn
+
+    def annotate(
+        self,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Compute evidence for items, restricted to the requested types."""
+
+        amap = AnnotationMap()
+        for item in items:
+            amap.add_item(item)
+            values = self._fn(item, context)
+            for evidence_type, value in values.items():
+                if evidence_type in evidence_types and value is not None:
+                    amap.set_evidence(item, evidence_type, value)
+        return amap
+
+
+class AnnotationFunctionRegistry:
+    """Maps IQ-model annotation-function classes to implementations."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[URIRef, AnnotationFunction] = {}
+
+    def register(self, function: AnnotationFunction) -> None:
+        """Register an implementation under its IQ function class."""
+        self._functions[function.function_class] = function
+
+    def resolve(self, function_class: URIRef) -> AnnotationFunction:
+        """The implementation for an IQ function class."""
+        try:
+            return self._functions[function_class]
+        except KeyError:
+            raise KeyError(
+                f"no annotation function registered for {function_class}"
+            ) from None
+
+    def providers_of(self, evidence_type: URIRef) -> List[AnnotationFunction]:
+        """Every registered function providing an evidence type."""
+        return [
+            fn for fn in self._functions.values() if evidence_type in fn.provides
+        ]
+
+    def __contains__(self, function_class: URIRef) -> bool:
+        return function_class in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)

@@ -1,0 +1,122 @@
+"""Named repository management with persistent/transient scopes.
+
+Paper Sec. 4: annotations over stable databases are long-lived and can
+be made persistent; annotations produced within the same process that
+computes the data (the Imprint case) are scoped to a single process
+execution.  The manager owns both kinds — quality views reference them
+by name (``repositoryRef="cache"``) — and clears transient stores
+between executions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional
+
+from repro.annotation.store import AnnotationStore
+from repro.ontology.iq_model import IQModel
+
+
+class RepositoryManager:
+    """Registry of named annotation repositories."""
+
+    #: The conventional name of the per-execution scratch repository.
+    CACHE = "cache"
+
+    def __init__(self, iq_model: Optional[IQModel] = None) -> None:
+        self.iq_model = iq_model
+        self._stores: Dict[str, AnnotationStore] = {}
+        # Every manager offers the per-execution cache by default.
+        self.create(self.CACHE, persistent=False)
+
+    def create(self, name: str, persistent: bool = True) -> AnnotationStore:
+        """Create a new named repository; error if the name exists."""
+        if name in self._stores:
+            raise ValueError(f"repository {name!r} already exists")
+        store = AnnotationStore(name, iq_model=self.iq_model, persistent=persistent)
+        self._stores[name] = store
+        return store
+
+    def repository(self, name: str) -> AnnotationStore:
+        """The repository by name; KeyError lists known names."""
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown annotation repository {name!r}; "
+                f"known: {sorted(self._stores)}"
+            ) from None
+
+    def get_or_create(self, name: str, persistent: bool = True) -> AnnotationStore:
+        """The named repository, creating it if missing."""
+        if name in self._stores:
+            return self._stores[name]
+        return self.create(name, persistent=persistent)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stores
+
+    def __iter__(self) -> Iterator[AnnotationStore]:
+        return iter(self._stores.values())
+
+    def names(self) -> list:
+        """Sorted repository names."""
+        return sorted(self._stores)
+
+    def clear_transient(self) -> None:
+        """Reset per-execution repositories (end-of-execution hook)."""
+        for store in self._stores.values():
+            if not store.persistent:
+                store.clear()
+
+    def drop(self, name: str) -> None:
+        """Remove a repository (the cache cannot be dropped)."""
+        if name == self.CACHE:
+            raise ValueError("the cache repository cannot be dropped")
+        self._stores.pop(name, None)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_all(self, directory: str) -> List[str]:
+        """Persist every *persistent* repository to a directory.
+
+        Writes one N-Triples file per repository plus a manifest;
+        transient repositories (the cache) are skipped by design — their
+        annotations are scoped to one execution.  Returns written paths.
+        """
+        target = pathlib.Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        manifest = []
+        written: List[str] = []
+        for name, store in sorted(self._stores.items()):
+            if not store.persistent:
+                continue
+            path = target / f"{name}.nt"
+            path.write_text(store.save())
+            manifest.append({"name": name, "file": path.name})
+            written.append(str(path))
+        manifest_path = target / "repositories.json"
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+        written.append(str(manifest_path))
+        return written
+
+    def load_all(self, directory: str) -> List[str]:
+        """Restore repositories saved by :meth:`save_all`.
+
+        Missing repositories are created (persistent); existing ones are
+        loaded into.  Returns the repository names restored.
+        """
+        source = pathlib.Path(directory)
+        manifest_path = source / "repositories.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no repository manifest at {manifest_path}"
+            )
+        restored: List[str] = []
+        for entry in json.loads(manifest_path.read_text()):
+            name = entry["name"]
+            store = self.get_or_create(name, persistent=True)
+            store.load((source / entry["file"]).read_text())
+            restored.append(name)
+        return restored

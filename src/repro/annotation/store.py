@@ -1,0 +1,227 @@
+"""RDF-backed annotation repositories.
+
+Each store encodes annotations exactly as in the paper's Fig. 2: the
+data item (an LSID-wrapped URI, typed to a ``q:DataEntity`` subclass)
+is linked by ``q:contains-evidence`` to an evidence node which carries
+``rdf:type <evidence class>`` and a ``q:value`` literal, plus optional
+``q:computedBy`` provenance.  Reads are keyed by (data item, evidence
+type) and go through the SPARQL engine, so the storage backend stays
+swappable (paper Sec. 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.annotation.map import AnnotationMap
+from repro.ontology.iq_model import IQModel
+from repro.rdf import Graph, Literal, Q, RDF, URIRef
+from repro.rdf.term import Node
+
+_EVIDENCE_QUERY = """
+PREFIX q: <http://qurator.org/iq#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?value WHERE {{
+  <{data}> q:contains-evidence ?e .
+  ?e rdf:type <{evidence_type}> ;
+     q:value ?value .
+}}
+"""
+
+#: Distinguishes evidence nodes minted by different store instances of
+#: the same name (e.g. a fresh store loading a saved one), so node ids
+#: never collide.  Deterministic within a process.
+_instance_counter = itertools.count()
+
+_ALL_EVIDENCE_QUERY = """
+PREFIX q: <http://qurator.org/iq#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?type ?value WHERE {{
+  <{data}> q:contains-evidence ?e .
+  ?e rdf:type ?type ;
+     q:value ?value .
+}}
+"""
+
+
+class AnnotationStore:
+    """One quality-annotation repository (paper Fig. 5, data layer)."""
+
+    def __init__(
+        self,
+        name: str,
+        iq_model: Optional[IQModel] = None,
+        persistent: bool = True,
+    ) -> None:
+        self.name = name
+        self.iq_model = iq_model
+        self.persistent = persistent
+        self.graph = Graph(f"annotations:{name}")
+        self._instance = next(_instance_counter)
+        self._counter = itertools.count()
+
+    # -- writing -----------------------------------------------------------
+
+    def _new_evidence_node(self) -> URIRef:
+        return URIRef(
+            f"http://qurator.org/annotation/{self.name}/"
+            f"i{self._instance}e{next(self._counter)}"
+        )
+
+    def annotate(
+        self,
+        data_item: URIRef,
+        evidence_type: URIRef,
+        value: Any,
+        data_class: Optional[URIRef] = None,
+        function: Optional[URIRef] = None,
+    ) -> URIRef:
+        """Attach one evidence value to one data item; returns the node.
+
+        ``value`` may be a plain Python value or a prepared ``Literal``.
+        If the store was built with an IQ model, the evidence type must
+        be a declared ``q:QualityEvidence`` subclass.
+        """
+        if self.iq_model is not None and not self.iq_model.is_evidence_type(
+            evidence_type
+        ):
+            raise ValueError(
+                f"{evidence_type} is not a QualityEvidence class in the IQ model"
+            )
+        node = self._new_evidence_node()
+        literal = value if isinstance(value, Literal) else Literal(value)
+        self.graph.add(data_item, Q["contains-evidence"], node)
+        self.graph.add(node, RDF.type, evidence_type)
+        self.graph.add(node, Q.value, literal)
+        if data_class is not None:
+            self.graph.add(data_item, RDF.type, data_class)
+        if function is not None:
+            self.graph.add(node, Q.computedBy, function)
+        return node
+
+    def annotate_map(
+        self, amap: AnnotationMap, data_class: Optional[URIRef] = None
+    ) -> int:
+        """Persist every evidence entry of an annotation map; returns count."""
+        written = 0
+        for item in amap.items():
+            for evidence_type, value in amap.evidence_for(item).items():
+                if value is None:
+                    continue
+                self.annotate(item, evidence_type, value, data_class=data_class)
+                written += 1
+        return written
+
+    def remove_annotations(self, data_item: URIRef) -> int:
+        """Drop every annotation of one data item."""
+        removed = 0
+        for node in list(self.graph.objects(data_item, Q["contains-evidence"])):
+            removed += self.graph.remove(node, None, None)
+            removed += self.graph.remove(data_item, Q["contains-evidence"], node)
+        return removed
+
+    # -- reading -----------------------------------------------------------
+
+    def lookup(self, data_item: URIRef, evidence_type: URIRef) -> Optional[Any]:
+        """The (data, evidence type) key access of the paper, via SPARQL."""
+        result = self.graph.query(
+            _EVIDENCE_QUERY.format(data=data_item, evidence_type=evidence_type)
+        )
+        for (value,) in result:
+            if isinstance(value, Literal):
+                return value.value
+            return value
+        return None
+
+    def lookup_all(self, data_item: URIRef) -> Dict[URIRef, Any]:
+        """Every (evidence type, value) pair known for a data item."""
+        result = self.graph.query(_ALL_EVIDENCE_QUERY.format(data=data_item))
+        found: Dict[URIRef, Any] = {}
+        for evidence_type, value in result:
+            if isinstance(evidence_type, URIRef):
+                found[evidence_type] = (
+                    value.value if isinstance(value, Literal) else value
+                )
+        return found
+
+    def enrich(
+        self,
+        amap: AnnotationMap,
+        items: Iterable[URIRef],
+        evidence_types: Iterable[URIRef],
+    ) -> AnnotationMap:
+        """Fill an annotation map from the store (Data Enrichment reads)."""
+        wanted = list(evidence_types)
+        for item in items:
+            amap.add_item(item)
+            for evidence_type in wanted:
+                value = self.lookup(item, evidence_type)
+                if value is not None:
+                    amap.set_evidence(item, evidence_type, value)
+        return amap
+
+    def unannotated_items(
+        self, items: Iterable[URIRef], evidence_type: URIRef
+    ) -> List[URIRef]:
+        """The given items lacking any value for an evidence type.
+
+        The coverage check a Data-Enrichment caller runs to decide
+        whether an annotation function must fire (uses NOT EXISTS).
+        """
+        missing: List[URIRef] = []
+        for item in items:
+            result = self.graph.query(
+                f"""
+                PREFIX q: <http://qurator.org/iq#>
+                ASK {{
+                  <{item}> q:contains-evidence ?e .
+                  ?e a <{evidence_type}> .
+                }}
+                """
+            )
+            if not result.boolean:
+                missing.append(item)
+        return missing
+
+    def annotated_items(self) -> Set[URIRef]:
+        """Every data item with at least one annotation."""
+        return {
+            s
+            for s in self.graph.subjects(Q["contains-evidence"], None)
+            if isinstance(s, URIRef)
+        }
+
+    def evidence_types_present(self) -> Set[URIRef]:
+        """Every evidence class instantiated in the store."""
+        found: Set[URIRef] = set()
+        for node in self.graph.objects(None, Q["contains-evidence"]):
+            for cls in self.graph.objects(node, RDF.type):
+                if isinstance(cls, URIRef):
+                    found.add(cls)
+        return found
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all triples (used for per-execution cache resets)."""
+        self.graph.clear()
+
+    def save(self) -> str:
+        """Serialise the repository to N-Triples."""
+        return self.graph.serialize("ntriples")
+
+    def load(self, text: str) -> None:
+        """Merge a saved repository into this one.
+
+        Node-id collisions cannot occur: every store instance mints
+        evidence nodes under its own instance token.
+        """
+        self.graph.parse(text, "ntriples")
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __repr__(self) -> str:
+        kind = "persistent" if self.persistent else "transient"
+        return f"<AnnotationStore {self.name!r} ({kind}, {len(self.graph)} triples)>"

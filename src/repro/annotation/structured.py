@@ -1,0 +1,125 @@
+"""Structured (graph-valued) evidence and assertion provenance.
+
+Paper footnote 14: "we exploit the flexibility of the RDF model to
+allow for values of quality evidence that are themselves arbitrary RDF
+graphs".  ``annotate_structured`` stores an evidence value whose payload
+is a set of (property, value) statements instead of one literal — e.g.
+an identification context carrying instrument, lab and acquisition
+date — and ``lookup_structured`` reads it back.
+
+``record_assertions`` persists quality-assertion outcomes (the
+``q:assignedClass`` / ``q:assignedScore`` tags) into a repository, so
+past quality decisions are themselves queryable metadata — an audit
+trail over the annotation store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.annotation.map import AnnotationMap
+from repro.annotation.store import AnnotationStore
+from repro.rdf import Graph, Literal, Q, RDF, URIRef
+from repro.rdf.term import Node
+
+#: Vocabulary for persisted assertion results.
+ASSERTION_RESULT = Q.QualityAssertionResult
+HAS_ASSERTION = Q.hasAssertionResult
+TAG_NAME = Q.tagName
+
+
+def annotate_structured(
+    store: AnnotationStore,
+    data_item: URIRef,
+    evidence_type: URIRef,
+    description: Mapping[str, Any],
+    data_class: Optional[URIRef] = None,
+) -> URIRef:
+    """Attach graph-valued evidence: one statement per description entry.
+
+    Keys become ``q:``-namespace properties on the evidence node; values
+    may be plain Python values (stored as literals) or URIs.
+    """
+    if not description:
+        raise ValueError("structured evidence needs at least one statement")
+    if store.iq_model is not None and not store.iq_model.is_evidence_type(
+        evidence_type
+    ):
+        raise ValueError(
+            f"{evidence_type} is not a QualityEvidence class in the IQ model"
+        )
+    node = store._new_evidence_node()
+    store.graph.add(data_item, Q["contains-evidence"], node)
+    store.graph.add(node, RDF.type, evidence_type)
+    if data_class is not None:
+        store.graph.add(data_item, RDF.type, data_class)
+    for key, value in description.items():
+        prop = Q[key]
+        obj: Node = value if isinstance(value, URIRef) else Literal(value)
+        store.graph.add(node, prop, obj)
+    return node
+
+
+def lookup_structured(
+    store: AnnotationStore, data_item: URIRef, evidence_type: URIRef
+) -> Optional[Dict[str, Any]]:
+    """Read graph-valued evidence back as a {key: value} description."""
+    for node in store.graph.objects(data_item, Q["contains-evidence"]):
+        if (node, RDF.type, evidence_type) not in store.graph:
+            continue
+        description: Dict[str, Any] = {}
+        for _, prop, obj in store.graph.triples((node, None, None)):
+            if prop == RDF.type:
+                continue
+            key = prop.fragment()
+            description[key] = obj.value if isinstance(obj, Literal) else obj
+        if description:
+            return description
+    return None
+
+
+def record_assertions(store: AnnotationStore, amap: AnnotationMap) -> int:
+    """Persist every QA tag of an annotation map; returns tags written.
+
+    Each tag becomes an assertion-result node::
+
+        <item> q:hasAssertionResult _:r .
+        _:r rdf:type q:QualityAssertionResult ;
+            q:tagName "ScoreClass" ;
+            q:assignedClass q:high .      # or q:assignedScore 73.2
+    """
+    written = 0
+    for item in amap.items():
+        for tag_name, tag in amap.tags_for(item).items():
+            value = tag.plain()
+            if value is None:
+                continue
+            node = store._new_evidence_node()
+            store.graph.add(item, HAS_ASSERTION, node)
+            store.graph.add(node, RDF.type, ASSERTION_RESULT)
+            store.graph.add(node, TAG_NAME, Literal(tag_name))
+            if isinstance(value, URIRef):
+                store.graph.add(node, Q.assignedClass, value)
+            else:
+                store.graph.add(node, Q.assignedScore, Literal(value))
+            if tag.sem_type is not None:
+                store.graph.add(node, Q.classificationModel, tag.sem_type)
+            written += 1
+    return written
+
+
+def lookup_assertions(
+    store: AnnotationStore, data_item: URIRef
+) -> List[Tuple[str, Any]]:
+    """All persisted (tag name, value) assertion results for one item."""
+    results: List[Tuple[str, Any]] = []
+    for node in store.graph.objects(data_item, HAS_ASSERTION):
+        name = store.graph.value(node, TAG_NAME, None)
+        value: Any = store.graph.value(node, Q.assignedClass, None)
+        if value is None:
+            value = store.graph.value(node, Q.assignedScore, None)
+            if isinstance(value, Literal):
+                value = value.value
+        if name is not None:
+            results.append((str(name), value))
+    return sorted(results, key=lambda pair: pair[0])

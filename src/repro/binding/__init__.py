@@ -1,0 +1,28 @@
+"""The binding model (paper Secs. 3 and 6).
+
+A small ontology bridging the conceptual IQ model and the framework
+implementation: any IQ concept can be associated with a concrete
+``ServiceResource`` or ``DataResource`` through a ``Binding`` object;
+each resource has a locator whose nature depends on its type — a
+service endpoint, an XPath expression, an SQL query, or a URL.
+"""
+
+from repro.binding.model import (
+    Binding,
+    BindingError,
+    DataResource,
+    LocatorType,
+    Resource,
+    ServiceResource,
+)
+from repro.binding.registry import BindingRegistry
+
+__all__ = [
+    "Binding",
+    "BindingError",
+    "BindingRegistry",
+    "DataResource",
+    "LocatorType",
+    "Resource",
+    "ServiceResource",
+]

@@ -1,0 +1,76 @@
+"""Binding-model objects: Binding, ServiceResource, DataResource."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.rdf import URIRef
+
+
+class BindingError(KeyError):
+    """Raised when a concept cannot be resolved to a resource."""
+
+
+class LocatorType(enum.Enum):
+    """The nature of a resource locator (paper Sec. 3: "a resource has a
+    locator associated with it, whose nature depends on the type of the
+    resource, e.g. a service endpoint")."""
+
+    SERVICE_ENDPOINT = "service-endpoint"
+    XPATH = "xpath"
+    SQL = "sql"
+    URL = "url"
+    REPOSITORY = "repository"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A concrete resource with its typed locator."""
+
+    locator: str
+    locator_type: LocatorType
+
+    def is_service(self) -> bool:
+        """True when the locator is a service endpoint."""
+        return self.locator_type is LocatorType.SERVICE_ENDPOINT
+
+
+@dataclass(frozen=True)
+class ServiceResource(Resource):
+    """A deployed service, located by its endpoint URL."""
+
+    def __init__(self, endpoint: str) -> None:
+        object.__setattr__(self, "locator", endpoint)
+        object.__setattr__(self, "locator_type", LocatorType.SERVICE_ENDPOINT)
+
+    @property
+    def endpoint(self) -> str:
+        """The service endpoint URL (alias of ``locator``)."""
+        return self.locator
+
+
+@dataclass(frozen=True)
+class DataResource(Resource):
+    """A data source, located by XPath / SQL / URL / repository name."""
+
+    def __init__(self, locator: str, locator_type: LocatorType) -> None:
+        if locator_type is LocatorType.SERVICE_ENDPOINT:
+            raise ValueError("a DataResource cannot have a service-endpoint locator")
+        object.__setattr__(self, "locator", locator)
+        object.__setattr__(self, "locator_type", locator_type)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Associates an IQ-model concept with a concrete resource."""
+
+    concept: URIRef
+    resource: Union[ServiceResource, DataResource]
+
+    def __repr__(self) -> str:
+        return (
+            f"Binding({self.concept.fragment()} -> "
+            f"{self.resource.locator_type.value}:{self.resource.locator})"
+        )

@@ -1,0 +1,138 @@
+"""The semantic binding registry.
+
+Bindings are stored as RDF in the ``qb:`` namespace so that the registry
+itself is a graph (queryable, serialisable alongside the IQ model):
+
+    _:b  rdf:type        qb:Binding ;
+         qb:concept      q:UniversalPIScore2 ;
+         qb:resource     _:r .
+    _:r  rdf:type        qb:ServiceResource ;
+         qb:locator      "http://qurator.org/services/HR_MC_score" ;
+         qb:locatorType  "service-endpoint" .
+
+Resolution walks the IQ-class hierarchy upward: a concept with no
+direct binding inherits its nearest bound superclass's resource, which
+is what lets user-specialised operator classes run without rebinding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.binding.model import (
+    Binding,
+    BindingError,
+    DataResource,
+    LocatorType,
+    Resource,
+    ServiceResource,
+)
+from repro.ontology.ontology import Ontology
+from repro.rdf import BNode, Graph, Literal, QB, RDF, URIRef
+
+
+class BindingRegistry:
+    """Concept -> resource associations over an RDF store."""
+
+    def __init__(self, ontology: Optional[Ontology] = None) -> None:
+        self.graph = Graph("binding-registry")
+        self.ontology = ontology
+        # Fast-path cache mirroring the graph.
+        self._direct: Dict[URIRef, List[Binding]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def bind_service(self, concept: URIRef, endpoint: str) -> Binding:
+        """Bind a concept to a deployed service endpoint."""
+        return self._record(Binding(concept, ServiceResource(endpoint)))
+
+    def bind_data(
+        self, concept: URIRef, locator: str, locator_type: LocatorType
+    ) -> Binding:
+        """Bind a concept to a data resource with a typed locator."""
+        return self._record(Binding(concept, DataResource(locator, locator_type)))
+
+    def _record(self, binding: Binding) -> Binding:
+        binding_node = BNode()
+        resource_node = BNode()
+        resource_class = (
+            QB.ServiceResource if binding.resource.is_service() else QB.DataResource
+        )
+        self.graph.add(binding_node, RDF.type, QB.Binding)
+        self.graph.add(binding_node, QB.concept, binding.concept)
+        self.graph.add(binding_node, QB.resource, resource_node)
+        self.graph.add(resource_node, RDF.type, resource_class)
+        self.graph.add(resource_node, QB.locator, Literal(binding.resource.locator))
+        self.graph.add(
+            resource_node,
+            QB.locatorType,
+            Literal(binding.resource.locator_type.value),
+        )
+        self._direct.setdefault(binding.concept, []).append(binding)
+        return binding
+
+    # -- resolution --------------------------------------------------------------
+
+    def bindings_of(self, concept: URIRef) -> List[Binding]:
+        """Direct bindings of a concept (no hierarchy walk)."""
+        return list(self._direct.get(concept, []))
+
+    def resolve(self, concept: URIRef) -> Binding:
+        """The binding for a concept, inheriting from superclasses.
+
+        Raises :class:`BindingError` when nothing in the concept's
+        superclass chain is bound, or a level is ambiguously bound.
+        """
+        chain = [concept]
+        if self.ontology is not None:
+            # Nearest-first walk of the superclass closure.
+            remaining = set(self.ontology.superclasses(concept))
+            frontier = [concept]
+            while remaining:
+                next_frontier = []
+                for cls in frontier:
+                    for parent in self.ontology.direct_superclasses(cls):
+                        if parent in remaining:
+                            remaining.discard(parent)
+                            chain.append(parent)
+                            next_frontier.append(parent)
+                if not next_frontier:
+                    break
+                frontier = next_frontier
+        for candidate in chain:
+            found = self._direct.get(candidate, [])
+            if len(found) == 1:
+                return found[0]
+            if len(found) > 1:
+                raise BindingError(
+                    f"concept {candidate} has {len(found)} bindings; "
+                    f"resolution requires exactly one per level"
+                )
+        raise BindingError(f"no binding found for concept {concept}")
+
+    def resolve_endpoint(self, concept: URIRef) -> str:
+        """The bound service endpoint for a concept."""
+        binding = self.resolve(concept)
+        if not binding.resource.is_service():
+            raise BindingError(
+                f"concept {concept} is bound to a data resource, not a service"
+            )
+        return binding.resource.locator
+
+    def is_bound(self, concept: URIRef) -> bool:
+        """True when the concept (or a superclass) has a binding."""
+        try:
+            self.resolve(concept)
+        except BindingError:
+            return False
+        return True
+
+    def concepts(self) -> List[URIRef]:
+        """Every directly-bound concept, sorted."""
+        return sorted(self._direct, key=str)
+
+    def __len__(self) -> int:
+        return sum(len(bindings) for bindings in self._direct.values())
+
+    def __repr__(self) -> str:
+        return f"<BindingRegistry: {len(self)} bindings>"

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``validate <view.xml>`` — parse and validate a quality view against
+  the IQ model; exit status 1 on errors.
+* ``compile <view.xml>`` — compile a view (with the standard services
+  deployed) and print the resulting quality workflow as SCUFL-like XML.
+* ``demo [--spots N] [--seed S]`` — run the paper's Figure-7 experiment
+  and print the significance-ratio table.
+* ``info`` — one-paragraph description and component inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qurator quality views (Missier et al., VLDB 2006)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate a quality-view XML file"
+    )
+    validate.add_argument("file", help="path to the quality-view XML")
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile a view and print the quality workflow"
+    )
+    compile_cmd.add_argument("file", help="path to the quality-view XML")
+
+    demo = commands.add_parser(
+        "demo", help="run the Figure-7 experiment on synthetic data"
+    )
+    demo.add_argument("--spots", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--proteins", type=int, default=400)
+    demo.add_argument(
+        "--filter",
+        dest="filter_condition",
+        default="ScoreClass in q:high",
+        help="the action condition applied to identifications",
+    )
+
+    commands.add_parser("info", help="describe this reproduction")
+    return parser
+
+
+def _cmd_validate(path: str) -> int:
+    from repro.ontology import build_iq_model
+    from repro.qv import parse_quality_view, validate_quality_view
+
+    try:
+        spec = parse_quality_view(_read(path))
+    except ValueError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 1
+    report = validate_quality_view(spec, build_iq_model())
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    if not report.ok():
+        for error in report.errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {spec.name!r} ({len(spec.annotators)} annotators, "
+        f"{len(spec.assertions)} assertions, {len(spec.actions)} actions)"
+    )
+    return 0
+
+
+def _cmd_compile(path: str) -> int:
+    from repro.core.framework import QuratorFramework
+    from repro.core.ispider import LiveImprintAnnotator, ResultSetHolder
+    from repro.workflow.scufl import workflow_to_xml
+
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator", LiveImprintAnnotator(ResultSetHolder())
+    )
+    try:
+        view = framework.quality_view(_read(path))
+        workflow = view.compile()
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(workflow_to_xml(workflow))
+    return 0
+
+
+def _cmd_demo(
+    spots: int, seed: int, proteins: int, filter_condition: str
+) -> int:
+    from repro.core.ispider import build_deployment
+    from repro.proteomics import ProteomicsScenario
+    from repro.proteomics.workflows import go_term_frequencies
+
+    scenario = ProteomicsScenario.generate(
+        seed=seed, n_proteins=proteins, n_spots=spots
+    )
+    deployment = build_deployment(scenario, filter_condition=filter_condition)
+    baseline = deployment.run_unfiltered()
+    filtered = deployment.run()
+    base = go_term_frequencies(baseline["goTerms"])
+    kept = go_term_frequencies(filtered["goTerms"])
+    print(f"spots: {spots}  seed: {seed}  filter: {filter_condition}")
+    print(f"GO occurrences without / with quality view: "
+          f"{sum(base.values())} / {sum(kept.values())}\n")
+    rows = sorted(
+        ((kept.get(t, 0) / base[t], t, base[t], kept.get(t, 0)) for t in base),
+        key=lambda r: (-r[0], r[1]),
+    )
+    print(f"{'rank':>4}  {'GO term':<12} {'raw':>4} {'kept':>4} {'ratio':>6}")
+    for rank, (ratio, term, raw, kept_count) in enumerate(rows[:15], 1):
+        print(f"{rank:>4}  {term:<12} {raw:>4} {kept_count:>4} {ratio:>6.2f}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(repro.__doc__)
+    return 0
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch; returns the process exit status."""
+
+    args = _build_parser().parse_args(argv)
+    if args.command == "validate":
+        return _cmd_validate(args.file)
+    if args.command == "compile":
+        return _cmd_compile(args.file)
+    if args.command == "demo":
+        return _cmd_demo(
+            args.spots, args.seed, args.proteins, args.filter_condition
+        )
+    if args.command == "info":
+        return _cmd_info()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The Qurator framework facade: the library's primary public API.
+
+``QuratorFramework`` wires the pieces of the paper's Fig. 5 together —
+the IQ ontology, annotation repositories, the service registry and
+binding registry, the scavenger and the QV compiler — and hands out
+:class:`QualityView` objects implementing the full lifecycle:
+parse -> validate -> compile -> (optionally embed) -> run.
+"""
+
+from repro.core.framework import QuratorFramework
+from repro.core.quality_view import QualityView
+from repro.core.results import QualityViewResult
+from repro.core.errors import QuratorError
+
+__all__ = [
+    "QualityView",
+    "QualityViewResult",
+    "QuratorError",
+    "QuratorFramework",
+]

@@ -1,0 +1,16 @@
+"""Top-level error type.
+
+Subsystem errors (syntax, validation, compilation, deployment,
+enactment) all derive from standard exceptions; ``QuratorError`` wraps
+them at the facade boundary so callers can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class QuratorError(RuntimeError):
+    """Any failure surfaced through the framework facade."""
+
+    def __init__(self, message: str, cause: Exception = None) -> None:
+        super().__init__(message)
+        self.cause = cause

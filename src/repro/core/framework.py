@@ -1,0 +1,129 @@
+"""The Qurator framework object."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.annotation.functions import AnnotationFunction, AnnotationFunctionRegistry
+from repro.annotation.manager import RepositoryManager
+from repro.annotation.store import AnnotationStore
+from repro.binding.registry import BindingRegistry
+from repro.core.errors import QuratorError
+from repro.core.quality_view import QualityView
+from repro.ontology.iq_model import IQModel, build_iq_model
+from repro.qa.classifier import PIScoreClassifierQA
+from repro.qa.pi_score import HRScoreQA, UniversalPIScoreQA, UniversalPIScore2QA
+from repro.qv.compiler import QVCompiler
+from repro.qv.spec import QualityViewSpec
+from repro.qv.xml_io import parse_quality_view
+from repro.rdf import Q, URIRef
+from repro.services.interface import AnnotationService, QualityAssertionService
+from repro.services.registry import ServiceRegistry
+from repro.workflow.enactor import Enactor
+from repro.workflow.scavenger import Scavenger
+
+
+class QuratorFramework:
+    """One configured deployment of the quality framework (paper Fig. 5)."""
+
+    def __init__(self, iq_model: Optional[IQModel] = None) -> None:
+        self.iq_model = iq_model if iq_model is not None else build_iq_model()
+        self.repositories = RepositoryManager(self.iq_model)
+        self.services = ServiceRegistry()
+        self.bindings = BindingRegistry(self.iq_model.ontology)
+        self.annotation_functions = AnnotationFunctionRegistry()
+        self.scavenger = Scavenger()
+        self.enactor = Enactor()
+        self._compiler: Optional[QVCompiler] = None
+
+    # -- repositories -----------------------------------------------------
+
+    def create_repository(
+        self, name: str, persistent: bool = True
+    ) -> AnnotationStore:
+        """Create (or fetch) a named annotation repository."""
+        return self.repositories.get_or_create(name, persistent=persistent)
+
+    @property
+    def cache(self) -> AnnotationStore:
+        """The per-execution scratch repository."""
+        return self.repositories.repository(RepositoryManager.CACHE)
+
+    # -- service deployment --------------------------------------------------
+
+    def deploy_annotation_service(
+        self,
+        name: str,
+        function: AnnotationFunction,
+        bind: bool = True,
+    ) -> AnnotationService:
+        """Deploy an annotation function as a service; bind its concept."""
+        service = AnnotationService(name, function.function_class, "", function)
+        self.services.deploy(service)
+        self.annotation_functions.register(function)
+        if bind:
+            self.bindings.bind_service(function.function_class, service.endpoint)
+        self.scavenger.scan(self.services)
+        return service
+
+    def deploy_qa_service(
+        self,
+        name: str,
+        concept: URIRef,
+        operator_factory: Callable[..., Any],
+        bind: bool = True,
+    ) -> QualityAssertionService:
+        """Deploy a QA operator factory as a service; bind its concept."""
+        service = QualityAssertionService(name, concept, "", operator_factory)
+        self.services.deploy(service)
+        if bind:
+            self.bindings.bind_service(concept, service.endpoint)
+        self.scavenger.scan(self.services)
+        return service
+
+    def register_standard_services(self) -> None:
+        """Deploy the paper's three example QAs under their IQ classes."""
+        if "UniversalPIScore" not in self.services:
+            self.deploy_qa_service(
+                "UniversalPIScore", Q.UniversalPIScore, UniversalPIScoreQA
+            )
+        if "UniversalPIScore2" not in self.services:
+            self.deploy_qa_service(
+                "UniversalPIScore2", Q.UniversalPIScore2, UniversalPIScore2QA
+            )
+        if "HRScore" not in self.services:
+            self.deploy_qa_service("HRScore", Q.HRScore, HRScoreQA)
+        if "PIScoreClassifier" not in self.services:
+            self.deploy_qa_service(
+                "PIScoreClassifier", Q.PIScoreClassifier, PIScoreClassifierQA
+            )
+
+    # -- quality views -----------------------------------------------------------
+
+    @property
+    def compiler(self) -> QVCompiler:
+        """The (lazily built) quality-view compiler for this framework."""
+        if self._compiler is None:
+            self._compiler = QVCompiler(
+                self.iq_model, self.services, self.bindings, self.repositories
+            )
+        return self._compiler
+
+    def quality_view(self, view: Union[str, QualityViewSpec]) -> QualityView:
+        """Create a quality view from XML text or a parsed spec."""
+        try:
+            spec = parse_quality_view(view) if isinstance(view, str) else view
+        except ValueError as exc:
+            raise QuratorError(f"cannot parse quality view: {exc}", exc) from exc
+        return QualityView(spec, self)
+
+    def end_execution(self) -> None:
+        """Per-execution cleanup: clears transient (cache) repositories."""
+        self.repositories.clear_transient()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuratorFramework: {len(self.services)} services, "
+            f"{len(self.bindings)} bindings, "
+            f"repositories {self.repositories.names()}>"
+        )

@@ -1,0 +1,254 @@
+"""The paper's running example, wired end-to-end (Secs. 1.1, 5.1, 6).
+
+This module assembles the full Figure-6 construction: the ISPIDER
+analysis workflow (Fig. 1), the example quality view of Sec. 5.1 (three
+QAs over Imprint evidence plus an editable filter action), and the
+deployment descriptor that embeds the compiled quality workflow between
+protein identification and GO retrieval, through two adapters.
+
+The Imprint evidence is produced *within the same process execution*
+that computes the data (Sec. 4), so the annotation function reads the
+live result set through a holder the ``ImprintToDataSet`` adapter fills
+during enactment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.annotation.map import AnnotationMap
+from repro.core.framework import QuratorFramework
+from repro.core.quality_view import QualityView
+from repro.proteomics.imprint import ImprintRun
+from repro.proteomics.results import ImprintResultSet
+from repro.proteomics.scenario import ProteomicsScenario
+from repro.proteomics.workflows import (
+    COLLECT_ACCESSIONS,
+    GO_RETRIEVAL,
+    PROTEIN_IDENTIFICATION,
+    build_ispider_workflow,
+)
+from repro.annotation.functions import AnnotationFunction
+from repro.qa.annotators import ImprintOutputAnnotator
+from repro.qv.compiler import sanitize
+from repro.qv.deployment import DeploymentDescriptor, input_sinks
+from repro.rdf import Q, URIRef
+from repro.workflow.model import Workflow
+from repro.workflow.processors import PythonProcessor
+
+#: The default filter of the paper's experiment: keep only the
+#: top-quality protein IDs (score above average + standard deviation,
+#: i.e. class q:high of the PIScoreClassification).
+DEFAULT_FILTER_CONDITION = "ScoreClass in q:high"
+
+#: Processor/adapter names used in the Fig. 6 embedding.
+HITS_TO_DATASET = "ImprintToDataSet"
+ACCEPTED_TO_ACCESSIONS = "AcceptedToAccessions"
+FILTER_ACTION = "filter top k score"
+
+
+class ResultSetHolder:
+    """Mutable slot carrying the live Imprint result set of one run."""
+
+    def __init__(self) -> None:
+        self.results: Optional[ImprintResultSet] = None
+
+    def set(self, results: ImprintResultSet) -> None:
+        """Install the live result set for this execution."""
+        self.results = results
+
+    def require(self) -> ImprintResultSet:
+        """The current result set; error if identification has not run."""
+        if self.results is None:
+            raise RuntimeError(
+                "no Imprint result set available yet; the quality workflow "
+                "ran before the identification step"
+            )
+        return self.results
+
+
+class LiveImprintAnnotator(AnnotationFunction):
+    """``q:Imprint-output-annotation`` over the in-flight result set."""
+
+    function_class = Q["Imprint-output-annotation"]
+    provides = ImprintOutputAnnotator.provides
+
+    def __init__(self, holder: ResultSetHolder) -> None:
+        self.holder = holder
+
+    def annotate(
+        self,
+        items: List[URIRef],
+        evidence_types: Set[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Delegate to an ImprintOutputAnnotator over the live results."""
+        delegate = ImprintOutputAnnotator(self.holder.require())
+        return delegate.annotate(items, evidence_types, context)
+
+
+def example_quality_view_xml(
+    filter_condition: str = DEFAULT_FILTER_CONDITION,
+) -> str:
+    """The Sec. 5.1 example view: one annotator, three QAs, one filter."""
+    return f"""
+<QualityView name="protein-id-quality">
+  <Annotator serviceName="ImprintOutputAnnotator"
+             serviceType="q:Imprint-output-annotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:coverage"/>
+      <var evidence="q:masses"/>
+      <var evidence="q:hitRatio"/>
+      <var evidence="q:peptidesCount"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="HR MC score"
+                    serviceType="q:UniversalPIScore2"
+                    tagName="HR MC" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:coverage"/>
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+      <var variableName="peptidesCount" evidence="q:peptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="HR score"
+                    serviceType="q:HRScore"
+                    tagName="HR" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="PIScoreClassifier"
+                    serviceType="q:PIScoreClassifier"
+                    tagSemType="q:PIScoreClassification"
+                    tagName="ScoreClass" tagSynType="q:class">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:coverage"/>
+      <var variableName="hitRatio" evidence="q:hitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <action name="{FILTER_ACTION}">
+    <filter>
+      <condition>{_xml_escape(filter_condition)}</condition>
+    </filter>
+  </action>
+</QualityView>
+"""
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class ISpiderDeployment:
+    """Everything assembled for one embedded-quality-view experiment."""
+
+    scenario: ProteomicsScenario
+    framework: QuratorFramework
+    view: QualityView
+    holder: ResultSetHolder
+    host: Workflow
+    embedded: Workflow
+
+    def run(self, sample_ids: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Enact the embedded workflow; returns its outputs.
+
+        Outputs: ``goTerms`` (quality-filtered GO-term occurrences) and
+        ``identifications`` (the raw Imprint runs).
+        """
+        if sample_ids is None:
+            sample_ids = self.scenario.pedro.sample_ids()
+        self.framework.repositories.clear_transient()
+        return self.framework.enactor.run(
+            self.embedded, {"sampleIDs": list(sample_ids)}
+        )
+
+    def run_unfiltered(
+        self, sample_ids: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """Enact the original host workflow (no quality view)."""
+        if sample_ids is None:
+            sample_ids = self.scenario.pedro.sample_ids()
+        return self.framework.enactor.run(
+            self.host, {"sampleIDs": list(sample_ids)}
+        )
+
+
+def setup_framework(scenario: ProteomicsScenario) -> "tuple[QuratorFramework, ResultSetHolder]":
+    """A framework with the standard QAs plus the live Imprint annotator."""
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    holder = ResultSetHolder()
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator", LiveImprintAnnotator(holder)
+    )
+    return framework, holder
+
+
+def build_deployment(
+    scenario: ProteomicsScenario,
+    filter_condition: str = DEFAULT_FILTER_CONDITION,
+    framework: Optional[QuratorFramework] = None,
+    holder: Optional[ResultSetHolder] = None,
+) -> ISpiderDeployment:
+    """Assemble the complete Fig. 6 experiment for a scenario."""
+    if framework is None or holder is None:
+        framework, holder = setup_framework(scenario)
+    view = framework.quality_view(example_quality_view_xml(filter_condition))
+    quality = view.compile()
+    host = build_ispider_workflow(scenario)
+
+    def hits_to_dataset(runs: List[ImprintRun]):
+        results = ImprintResultSet(runs)
+        holder.set(results)
+        return results.items()
+
+    def accepted_to_accessions(items: List[URIRef]):
+        return holder.require().accessions(items)
+
+    descriptor = DeploymentDescriptor(name="embed-protein-id-quality")
+    descriptor.add_adapter(
+        PythonProcessor(
+            HITS_TO_DATASET,
+            hits_to_dataset,
+            input_ports={"runs": 1},
+            output_ports={"dataSet": 1},
+        )
+    )
+    descriptor.add_adapter(
+        PythonProcessor(
+            ACCEPTED_TO_ACCESSIONS,
+            accepted_to_accessions,
+            input_ports={"items": 1},
+            output_ports={"accessions": 1},
+        )
+    )
+    # The quality flow replaces the direct hits -> GO retrieval path.
+    descriptor.cut(COLLECT_ACCESSIONS, "accessions", GO_RETRIEVAL, "accessions")
+    # Identification feeds the quality view through the first adapter.
+    descriptor.connect(PROTEIN_IDENTIFICATION, "run", HITS_TO_DATASET, "runs")
+    for sink in input_sinks(quality, "dataSet"):
+        descriptor.connect(
+            HITS_TO_DATASET, "dataSet", sink.processor, sink.port
+        )
+    # The filter output feeds GO retrieval through the second adapter.
+    filter_port = sanitize("accepted")
+    descriptor.connect(
+        FILTER_ACTION, filter_port, ACCEPTED_TO_ACCESSIONS, "items"
+    )
+    descriptor.connect(
+        ACCEPTED_TO_ACCESSIONS, "accessions", GO_RETRIEVAL, "accessions"
+    )
+    embedded = view.embed(host, descriptor)
+    return ISpiderDeployment(
+        scenario=scenario,
+        framework=framework,
+        view=view,
+        holder=holder,
+        host=host,
+        embedded=embedded,
+    )

@@ -1,0 +1,109 @@
+"""Human-readable quality reports for view executions.
+
+The paper's users are scientists, not database experts (Sec. 1); after
+running a view they want a summary, not an annotation map.  This module
+renders a :class:`~repro.core.results.QualityViewResult` into a plain-
+text report: per-action routing, per-tag score statistics, and the
+classification distribution per scheme.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.results import QualityViewResult
+from repro.qa.classifier import mean_and_stddev
+from repro.rdf import URIRef
+
+
+def tag_statistics(result: QualityViewResult) -> Dict[str, dict]:
+    """Per-tag summary: numeric tags get stats, class tags get counts."""
+    summary: Dict[str, dict] = {}
+    amap = result.annotation_map
+    for tag_name in sorted(amap.tag_names()):
+        numeric: List[float] = []
+        labels: Counter = Counter()
+        missing = 0
+        for item in result.items:
+            tag = amap.get_tag(item, tag_name)
+            if tag is None:
+                missing += 1
+                continue
+            value = tag.plain()
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                numeric.append(float(value))
+            else:
+                key = value.fragment() if isinstance(value, URIRef) else str(value)
+                labels[key] += 1
+        entry: dict = {"missing": missing}
+        if numeric:
+            mean, std = mean_and_stddev(numeric)
+            entry.update(
+                kind="score",
+                count=len(numeric),
+                min=min(numeric),
+                max=max(numeric),
+                mean=mean,
+                stddev=std,
+            )
+        else:
+            entry.update(kind="class", counts=dict(labels))
+        summary[tag_name] = entry
+    return summary
+
+
+def routing_summary(result: QualityViewResult) -> Dict[str, Dict[str, int]]:
+    """Per-action group sizes of one execution."""
+
+    return {
+        action: {group: len(items) for group, items in by_group.items()}
+        for action, by_group in result.groups.items()
+    }
+
+
+def render_report(
+    result: QualityViewResult, title: Optional[str] = None
+) -> str:
+    """The full plain-text report."""
+    lines: List[str] = []
+    heading = title or f"Quality report — view {result.view_name!r}"
+    lines.append(heading)
+    lines.append("=" * len(heading))
+    lines.append(f"data items processed: {len(result.items)}")
+    lines.append("")
+
+    statistics = tag_statistics(result)
+    if statistics:
+        lines.append("quality assertions")
+        lines.append("------------------")
+        for tag_name, entry in statistics.items():
+            if entry["kind"] == "score":
+                lines.append(
+                    f"  {tag_name}: n={entry['count']} "
+                    f"min={entry['min']:.2f} mean={entry['mean']:.2f} "
+                    f"max={entry['max']:.2f} stddev={entry['stddev']:.2f}"
+                    + (f" (missing {entry['missing']})" if entry["missing"] else "")
+                )
+            else:
+                counts = ", ".join(
+                    f"{label}={count}"
+                    for label, count in sorted(entry["counts"].items())
+                )
+                lines.append(
+                    f"  {tag_name}: {counts}"
+                    + (f" (missing {entry['missing']})" if entry["missing"] else "")
+                )
+        lines.append("")
+
+    routing = routing_summary(result)
+    if routing:
+        lines.append("actions")
+        lines.append("-------")
+        for action, groups in routing.items():
+            lines.append(f"  {action}:")
+            for group, size in groups.items():
+                share = size / max(1, len(result.items))
+                lines.append(f"    {group:<12} {size:>5}  ({share:>5.1%})")
+        lines.append("")
+    return "\n".join(lines)

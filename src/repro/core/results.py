@@ -1,0 +1,79 @@
+"""Results of quality-view executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.annotation.map import AnnotationMap
+from repro.rdf import URIRef
+
+
+@dataclass
+class QualityViewResult:
+    """What one run of a compiled quality view produced.
+
+    ``groups`` is keyed by action name, then group name ('accepted' for
+    filters, declared names plus 'default' for splitters), holding the
+    routed item lists.
+    """
+
+    view_name: str
+    items: List[URIRef]
+    annotation_map: AnnotationMap
+    groups: Dict[str, Dict[str, List[URIRef]]] = field(default_factory=dict)
+
+    def actions(self) -> List[str]:
+        """The actions that produced routing groups."""
+
+        return list(self.groups)
+
+    def group(self, action: str, group: str) -> List[URIRef]:
+        """The items one action routed to one group."""
+
+        try:
+            by_group = self.groups[action]
+        except KeyError:
+            raise KeyError(
+                f"no action {action!r}; view has {sorted(self.groups)}"
+            ) from None
+        try:
+            return list(by_group[group])
+        except KeyError:
+            raise KeyError(
+                f"action {action!r} has no group {group!r}; "
+                f"has {sorted(by_group)}"
+            ) from None
+
+    def surviving(self, action: Optional[str] = None) -> List[URIRef]:
+        """Items of every non-default group of an action (default: last)."""
+        if not self.groups:
+            return list(self.items)
+        if action is None:
+            action = next(reversed(self.groups))
+        seen = set()
+        out: List[URIRef] = []
+        for group, members in self.groups[action].items():
+            if group == "default":
+                continue
+            for item in members:
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+        return out
+
+    def tag_of(self, item: URIRef, tag_name: str):
+        """The plain value of one item's tag, or None."""
+
+        tag = self.annotation_map.get_tag(item, tag_name)
+        return None if tag is None else tag.plain()
+
+    def __repr__(self) -> str:
+        sizes = {
+            action: {group: len(members) for group, members in by_group.items()}
+            for action, by_group in self.groups.items()
+        }
+        return (
+            f"<QualityViewResult {self.view_name!r}: {len(self.items)} items, "
+            f"{sizes}>"
+        )

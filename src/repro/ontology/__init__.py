@@ -1,0 +1,27 @@
+"""OWL-lite ontology engine and the Qurator IQ semantic model.
+
+The paper (Sec. 3) defines the *IQ model*, an OWL DL ontology whose root
+classes are ``QualityAssertion``, ``QualityEvidence``, ``DataEntity``,
+``AnnotationFunction`` and ``ClassificationModel``, plus generic quality
+dimensions (accuracy, completeness, currency).  ``Ontology`` is a typed
+API over an RDF graph that provides the reasoning the framework needs:
+subclass transitive closure, instance checking, domain/range validation,
+and enumerated classification members.
+"""
+
+from repro.ontology.ontology import (
+    Ontology,
+    OntologyError,
+    PropertyKind,
+)
+from repro.ontology.reasoner import Reasoner
+from repro.ontology.iq_model import IQModel, build_iq_model
+
+__all__ = [
+    "IQModel",
+    "Ontology",
+    "OntologyError",
+    "PropertyKind",
+    "Reasoner",
+    "build_iq_model",
+]

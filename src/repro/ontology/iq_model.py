@@ -1,0 +1,372 @@
+"""The Qurator IQ model: the information-quality ontology of Sec. 3.
+
+Root classes (paper Fig. 2):
+
+* ``q:DataEntity`` — anything annotatable: Imprint hit entries, database
+  tuples, XML documents, peak lists, Uniprot entries.
+* ``q:QualityEvidence`` — measurable quantities that enable quality
+  assertions: Hit Ratio, Mass Coverage, matched masses, peptide counts,
+  ELDP, Uniprot evidence codes, journal impact factors.
+* ``q:AnnotationFunction`` — functions computing evidence values.
+* ``q:QualityAssertion`` — user-defined decision models over evidence.
+* ``q:ClassificationModel`` — classification schemes whose members are
+  enumerated individuals (``q:low``/``q:mid``/``q:high``).
+* ``q:QualityDimension`` — the generic IQ dimensions (accuracy,
+  completeness, currency, ...) QAs may be associated with for reuse.
+
+Operators are modelled as *classes* rather than individuals so users can
+specialise them (paper Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.rdf import Graph, Literal, Q, RDF, RDFS, URIRef, XSD
+from repro.ontology.ontology import Ontology, PropertyKind
+
+
+@dataclass
+class IQModel:
+    """The built IQ ontology plus direct handles to its key terms."""
+
+    ontology: Ontology
+
+    # root classes
+    DataEntity: URIRef = Q.DataEntity
+    QualityEvidence: URIRef = Q.QualityEvidence
+    AnnotationFunction: URIRef = Q.AnnotationFunction
+    QualityAssertion: URIRef = Q.QualityAssertion
+    ClassificationModel: URIRef = Q.ClassificationModel
+    QualityDimension: URIRef = Q.QualityDimension
+
+    # data entities
+    ImprintHitEntry: URIRef = Q.ImprintHitEntry
+    DatabaseTuple: URIRef = Q.DatabaseTuple
+    XMLDocument: URIRef = Q.XMLDocument
+    PeakList: URIRef = Q.PeakList
+    UniprotEntry: URIRef = Q.UniprotEntry
+    GOTermOccurrence: URIRef = Q.GOTermOccurrence
+
+    # quality evidence types
+    HitRatio: URIRef = Q.HitRatio
+    MassCoverage: URIRef = Q.Coverage
+    Masses: URIRef = Q.Masses
+    PeptidesCount: URIRef = Q.PeptidesCount
+    ELDP: URIRef = Q.ELDP
+    EvidenceCode: URIRef = Q.EvidenceCode
+    JournalImpactFactor: URIRef = Q.JournalImpactFactor
+
+    # annotation functions
+    ImprintOutputAnnotation: URIRef = Q["Imprint-output-annotation"]
+    EvidenceCodeAnnotation: URIRef = Q.EvidenceCodeAnnotation
+    JournalImpactAnnotation: URIRef = Q.JournalImpactAnnotation
+
+    # quality assertions
+    UniversalPIScore: URIRef = Q.UniversalPIScore
+    UniversalPIScore2: URIRef = Q.UniversalPIScore2
+    HRScore: URIRef = Q.HRScore
+    PIScoreClassifier: URIRef = Q.PIScoreClassifier
+
+    # classification models + members
+    PIScoreClassification: URIRef = Q.PIScoreClassification
+    PIMatchClassification: URIRef = Q.PIMatchClassification
+    low: URIRef = Q.low
+    mid: URIRef = Q.mid
+    high: URIRef = Q.high
+
+    # quality dimensions
+    Accuracy: URIRef = Q.Accuracy
+    Completeness: URIRef = Q.Completeness
+    Currency: URIRef = Q.Currency
+    Consistency: URIRef = Q.Consistency
+    Reliability: URIRef = Q.Reliability
+
+    # properties
+    contains_evidence: URIRef = Q["contains-evidence"]
+    value: URIRef = Q.value
+    computed_by: URIRef = Q.computedBy
+    based_on_evidence: URIRef = Q.basedOnEvidence
+    classification_model: URIRef = Q.classificationModel
+    addresses_dimension: URIRef = Q.addressesDimension
+    assigned_class: URIRef = Q.assignedClass
+    assigned_score: URIRef = Q.assignedScore
+
+    # syntactic tag types for QA outputs (paper Sec. 5.1: tagSynType)
+    score_type: URIRef = Q.score
+    class_type: URIRef = Q["class"]
+
+    # -- convenience queries -------------------------------------------------
+
+    def evidence_classes(self) -> Set[URIRef]:
+        """Every declared q:QualityEvidence subclass."""
+
+        return self.ontology.subclasses(self.QualityEvidence)
+
+    def assertion_classes(self) -> Set[URIRef]:
+        """Every declared q:QualityAssertion subclass."""
+
+        return self.ontology.subclasses(self.QualityAssertion)
+
+    def annotation_function_classes(self) -> Set[URIRef]:
+        """Every declared q:AnnotationFunction subclass."""
+
+        return self.ontology.subclasses(self.AnnotationFunction)
+
+    def data_entity_classes(self) -> Set[URIRef]:
+        """Every declared q:DataEntity subclass."""
+
+        return self.ontology.subclasses(self.DataEntity)
+
+    def is_evidence_type(self, uri: URIRef) -> bool:
+        """True for q:QualityEvidence subclasses."""
+
+        return self.ontology.is_subclass(uri, self.QualityEvidence)
+
+    def is_assertion_type(self, uri: URIRef) -> bool:
+        """True for q:QualityAssertion subclasses."""
+
+        return self.ontology.is_subclass(uri, self.QualityAssertion)
+
+    def is_annotation_function(self, uri: URIRef) -> bool:
+        """True for q:AnnotationFunction subclasses."""
+
+        return self.ontology.is_subclass(uri, self.AnnotationFunction)
+
+    def is_classification_model(self, uri: URIRef) -> bool:
+        """True for q:ClassificationModel subclasses."""
+
+        return self.ontology.is_subclass(uri, self.ClassificationModel)
+
+    def classification_members(self, model: URIRef) -> Set[URIRef]:
+        """The enumerated individuals of a classification scheme."""
+        return {
+            member
+            for member in self.ontology.individuals_of(model)
+            if isinstance(member, URIRef)
+        }
+
+    def dimensions(self) -> Set[URIRef]:
+        """The declared IQ-dimension individuals."""
+
+        return {
+            d
+            for d in self.ontology.individuals_of(self.QualityDimension)
+            if isinstance(d, URIRef)
+        }
+
+    def declare_evidence_type(
+        self, uri: URIRef, parent: Optional[URIRef] = None, label: str = ""
+    ) -> URIRef:
+        """User extension point: add a new quality-evidence class."""
+        return self.ontology.add_class(
+            uri, parents=(parent or self.QualityEvidence,), label=label or None
+        )
+
+    def declare_assertion_type(
+        self,
+        uri: URIRef,
+        parent: Optional[URIRef] = None,
+        evidence: Set[URIRef] = frozenset(),
+        dimension: Optional[URIRef] = None,
+        label: str = "",
+    ) -> URIRef:
+        """User extension point: add a new quality-assertion class."""
+        self.ontology.add_class(
+            uri, parents=(parent or self.QualityAssertion,), label=label or None
+        )
+        for evidence_type in evidence:
+            self.ontology.graph.add(uri, self.based_on_evidence, evidence_type)
+        if dimension is not None:
+            self.ontology.graph.add(uri, self.addresses_dimension, dimension)
+        return uri
+
+    def required_evidence(self, assertion: URIRef) -> Set[URIRef]:
+        """The evidence types a QA class declares via q:basedOnEvidence."""
+        found: Set[URIRef] = set()
+        for cls in [assertion, *self.ontology.superclasses(assertion)]:
+            found.update(
+                o
+                for o in self.ontology.graph.objects(cls, self.based_on_evidence)
+                if isinstance(o, URIRef)
+            )
+        return found
+
+
+def build_iq_model() -> IQModel:
+    """Construct the complete IQ ontology of the paper."""
+    ontology = Ontology(Graph("iq-model"))
+    model = IQModel(ontology)
+    add_class = ontology.add_class
+    graph = ontology.graph
+
+    # root classes
+    add_class(model.DataEntity, label="Data Entity")
+    add_class(model.QualityEvidence, label="Quality Evidence")
+    add_class(model.AnnotationFunction, label="Annotation Function")
+    add_class(model.QualityAssertion, label="Quality Assertion")
+    add_class(model.ClassificationModel, label="Classification Model")
+    add_class(model.QualityDimension, label="Quality Dimension")
+
+    # data entities
+    add_class(model.ImprintHitEntry, (model.DataEntity,), "Imprint Hit Entry")
+    add_class(model.DatabaseTuple, (model.DataEntity,), "Database Tuple")
+    add_class(model.XMLDocument, (model.DataEntity,), "XML Document")
+    add_class(model.PeakList, (model.DataEntity,), "Peak List")
+    add_class(model.UniprotEntry, (model.DataEntity,), "Uniprot Entry")
+    add_class(model.GOTermOccurrence, (model.DataEntity,), "GO Term Occurrence")
+
+    # quality evidence
+    add_class(
+        model.HitRatio,
+        (model.QualityEvidence,),
+        "Hit Ratio",
+        "Signal-to-noise indication for a PMF mass spectrum (Stead et al.)",
+    )
+    add_class(
+        model.MassCoverage,
+        (model.QualityEvidence,),
+        "Mass Coverage",
+        "Fraction of the protein sequence matched by peptide masses",
+    )
+    add_class(model.Masses, (model.QualityEvidence,), "Matched Masses")
+    add_class(model.PeptidesCount, (model.QualityEvidence,), "Peptides Count")
+    add_class(
+        model.ELDP,
+        (model.QualityEvidence,),
+        "Excess of Limit-Digested Peptides",
+    )
+    add_class(
+        model.EvidenceCode,
+        (model.QualityEvidence,),
+        "Evidence Code",
+        "Uniprot/GO curation evidence code, an indicator of annotation "
+        "reliability (Lord et al.)",
+    )
+    add_class(
+        model.JournalImpactFactor,
+        (model.QualityEvidence,),
+        "Journal Impact Factor",
+    )
+
+    # annotation functions
+    add_class(
+        model.ImprintOutputAnnotation,
+        (model.AnnotationFunction,),
+        "Imprint Output Annotation",
+        "Captures HR/MC/masses/peptide-count indicators emitted by Imprint",
+    )
+    add_class(
+        model.EvidenceCodeAnnotation,
+        (model.AnnotationFunction,),
+        "Evidence Code Annotation",
+    )
+    add_class(
+        model.JournalImpactAnnotation,
+        (model.AnnotationFunction,),
+        "Journal Impact Annotation",
+    )
+
+    # classification models and members
+    add_class(model.PIScoreClassification, (model.ClassificationModel,))
+    add_class(model.PIMatchClassification, (model.ClassificationModel,))
+    ontology.add_individual(model.low, model.PIScoreClassification)
+    ontology.add_individual(model.mid, model.PIScoreClassification)
+    ontology.add_individual(model.high, model.PIScoreClassification)
+    ontology.add_individual(Q["average-to-low"], model.PIMatchClassification)
+    ontology.add_individual(Q["average-to-high"], model.PIMatchClassification)
+
+    # quality dimensions (Wang & Strong / Redman)
+    for dimension, label in (
+        (model.Accuracy, "Accuracy"),
+        (model.Completeness, "Completeness"),
+        (model.Currency, "Currency"),
+        (model.Consistency, "Consistency"),
+        (model.Reliability, "Reliability"),
+    ):
+        ontology.add_class(model.QualityDimension)  # idempotent
+        graph.add(dimension, RDF.type, model.QualityDimension)
+        graph.add(dimension, RDFS.label, Literal(label))
+
+    # properties
+    ontology.add_property(
+        model.contains_evidence,
+        PropertyKind.OBJECT,
+        domain=model.DataEntity,
+        range=model.QualityEvidence,
+        label="contains evidence",
+    )
+    ontology.add_property(
+        model.value, PropertyKind.DATATYPE, domain=model.QualityEvidence
+    )
+    ontology.add_property(
+        model.computed_by,
+        PropertyKind.OBJECT,
+        domain=model.QualityEvidence,
+        range=model.AnnotationFunction,
+    )
+    ontology.add_property(
+        model.based_on_evidence,
+        PropertyKind.OBJECT,
+        domain=model.QualityAssertion,
+        range=model.QualityEvidence,
+    )
+    ontology.add_property(
+        model.classification_model,
+        PropertyKind.OBJECT,
+        domain=model.QualityAssertion,
+        range=model.ClassificationModel,
+    )
+    ontology.add_property(
+        model.addresses_dimension,
+        PropertyKind.OBJECT,
+        domain=model.QualityAssertion,
+        range=model.QualityDimension,
+    )
+    ontology.add_property(
+        model.assigned_class, PropertyKind.OBJECT, domain=model.DataEntity
+    )
+    ontology.add_property(
+        model.assigned_score, PropertyKind.DATATYPE, domain=model.DataEntity
+    )
+
+    # the root categories are mutually exclusive: a resource cannot be
+    # both data and evidence, or an assertion and an annotation function
+    ontology.declare_disjoint(model.DataEntity, model.QualityEvidence)
+    ontology.declare_disjoint(model.QualityAssertion, model.AnnotationFunction)
+    ontology.declare_disjoint(model.QualityEvidence, model.QualityAssertion)
+
+    # quality assertions, with their declared evidence requirements
+    model.declare_assertion_type(
+        model.UniversalPIScore,
+        evidence={model.HitRatio, model.MassCoverage},
+        dimension=model.Accuracy,
+        label="Universal PI Score (HR + MC)",
+    )
+    model.declare_assertion_type(
+        model.UniversalPIScore2,
+        parent=model.UniversalPIScore,
+        evidence={model.PeptidesCount},
+        dimension=model.Accuracy,
+        label="Universal PI Score 2 (HR + MC + peptide count)",
+    )
+    model.declare_assertion_type(
+        model.HRScore,
+        evidence={model.HitRatio},
+        dimension=model.Accuracy,
+        label="Hit Ratio score",
+    )
+    model.declare_assertion_type(
+        model.PIScoreClassifier,
+        evidence={model.HitRatio, model.MassCoverage},
+        dimension=model.Accuracy,
+        label="PI score three-way classifier",
+    )
+    graph.add(
+        model.PIScoreClassifier,
+        model.classification_model,
+        model.PIScoreClassification,
+    )
+
+    return model

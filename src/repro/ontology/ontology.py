@@ -1,0 +1,310 @@
+"""A typed ontology API over an RDF graph.
+
+Classes, properties and individuals are RDF resources described with the
+RDFS/OWL vocabulary, so the whole model serialises like any other graph
+(and the binding registry can annotate the same resources).  The engine
+implements the OWL-lite subset the Qurator framework needs; anything
+requiring a DL reasoner is out of scope, exactly as the paper's use of
+the ontology is structural (taxonomy + schema for annotations).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.rdf import Graph, Literal, OWL, RDF, RDFS, URIRef
+from repro.rdf.term import Node
+
+
+class OntologyError(ValueError):
+    """Raised on structurally invalid ontology operations."""
+
+
+class PropertyKind(enum.Enum):
+    """The OWL property categories the engine distinguishes."""
+
+    OBJECT = OWL.ObjectProperty
+    DATATYPE = OWL.DatatypeProperty
+    ANNOTATION = OWL.AnnotationProperty
+
+
+class Ontology:
+    """Mutable ontology with memoised subsumption reasoning."""
+
+    def __init__(self, graph: Optional[Graph] = None) -> None:
+        self.graph = graph if graph is not None else Graph("ontology")
+        self._ancestor_cache: Dict[URIRef, Set[URIRef]] = {}
+
+    # -- cache management ---------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._ancestor_cache.clear()
+
+    # -- schema construction -------------------------------------------------
+
+    def add_class(
+        self,
+        uri: URIRef,
+        parents: Sequence[URIRef] = (),
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+    ) -> URIRef:
+        """Declare an ``owl:Class``, optionally under one or more parents."""
+        self.graph.add(uri, RDF.type, OWL.Class)
+        for parent in parents:
+            if parent == uri:
+                raise OntologyError(f"class {uri} cannot subclass itself")
+            self.graph.add(uri, RDFS.subClassOf, parent)
+        if label:
+            self.graph.add(uri, RDFS.label, Literal(label))
+        if comment:
+            self.graph.add(uri, RDFS.comment, Literal(comment))
+        self._invalidate()
+        return uri
+
+    def add_property(
+        self,
+        uri: URIRef,
+        kind: PropertyKind = PropertyKind.OBJECT,
+        domain: Optional[URIRef] = None,
+        range: Optional[URIRef] = None,
+        label: Optional[str] = None,
+    ) -> URIRef:
+        """Declare a property with optional domain/range/label."""
+
+        self.graph.add(uri, RDF.type, kind.value)
+        if domain is not None:
+            self.graph.add(uri, RDFS.domain, domain)
+        if range is not None:
+            self.graph.add(uri, RDFS.range, range)
+        if label:
+            self.graph.add(uri, RDFS.label, Literal(label))
+        self._invalidate()
+        return uri
+
+    def add_individual(self, uri: URIRef, cls: URIRef) -> URIRef:
+        """Type an individual into a declared class."""
+
+        if not self.is_class(cls):
+            raise OntologyError(f"{cls} is not a declared class")
+        self.graph.add(uri, RDF.type, cls)
+        return uri
+
+    def add_subclass_of(self, child: URIRef, parent: URIRef) -> None:
+        """Assert one rdfs:subClassOf edge."""
+
+        if child == parent:
+            raise OntologyError(f"class {child} cannot subclass itself")
+        self.graph.add(child, RDFS.subClassOf, parent)
+        self._invalidate()
+
+    # -- introspection ---------------------------------------------------------
+
+    def is_class(self, uri: URIRef) -> bool:
+        """True when the URI is a declared owl:Class."""
+        return (uri, RDF.type, OWL.Class) in self.graph
+
+    def is_property(self, uri: URIRef) -> bool:
+        """True when the URI is a declared property of any kind."""
+        return any(
+            (uri, RDF.type, kind.value) in self.graph for kind in PropertyKind
+        )
+
+    def classes(self) -> Iterator[URIRef]:
+        """Every declared class."""
+        for subject in self.graph.subjects(RDF.type, OWL.Class):
+            if isinstance(subject, URIRef):
+                yield subject
+
+    def label_of(self, uri: URIRef) -> Optional[str]:
+        """The rdfs:label of a resource, or None."""
+        value = self.graph.value(uri, RDFS.label, None)
+        return str(value) if value is not None else None
+
+    def comment_of(self, uri: URIRef) -> Optional[str]:
+        """The rdfs:comment of a resource, or None."""
+        value = self.graph.value(uri, RDFS.comment, None)
+        return str(value) if value is not None else None
+
+    # -- subsumption ------------------------------------------------------------
+
+    def direct_superclasses(self, cls: URIRef) -> List[URIRef]:
+        """The asserted (one-step) superclasses."""
+        return [
+            o
+            for o in self.graph.objects(cls, RDFS.subClassOf)
+            if isinstance(o, URIRef)
+        ]
+
+    def superclasses(self, cls: URIRef) -> Set[URIRef]:
+        """The transitive superclass closure (excluding ``cls`` itself)."""
+        cached = self._ancestor_cache.get(cls)
+        if cached is not None:
+            return cached
+        closure: Set[URIRef] = set()
+        stack = list(self.direct_superclasses(cls))
+        while stack:
+            current = stack.pop()
+            if current in closure or current == cls:
+                continue
+            closure.add(current)
+            stack.extend(self.direct_superclasses(current))
+        self._ancestor_cache[cls] = closure
+        return closure
+
+    def subclasses(self, cls: URIRef, direct: bool = False) -> Set[URIRef]:
+        """The subclass closure (or only direct children)."""
+
+        if direct:
+            return {
+                s
+                for s in self.graph.subjects(RDFS.subClassOf, cls)
+                if isinstance(s, URIRef)
+            }
+        result: Set[URIRef] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            for child in self.graph.subjects(RDFS.subClassOf, current):
+                if isinstance(child, URIRef) and child not in result:
+                    result.add(child)
+                    stack.append(child)
+        return result
+
+    def is_subclass(self, child: URIRef, parent: URIRef) -> bool:
+        """Reflexive-transitive subclass test."""
+        if child == parent:
+            return True
+        return parent in self.superclasses(child)
+
+    # -- instances ---------------------------------------------------------------
+
+    def types_of(self, individual: Node) -> Set[URIRef]:
+        """The asserted rdf:types of an individual."""
+        return {
+            o
+            for o in self.graph.objects(individual, RDF.type)
+            if isinstance(o, URIRef)
+        }
+
+    def is_instance(self, individual: Node, cls: URIRef) -> bool:
+        """True when the individual's type reaches ``cls``."""
+        return any(self.is_subclass(t, cls) for t in self.types_of(individual))
+
+    def individuals_of(self, cls: URIRef, direct: bool = False) -> Set[Node]:
+        """Instances of a class (and its subclasses by default)."""
+
+        classes = {cls} if direct else ({cls} | self.subclasses(cls))
+        result: Set[Node] = set()
+        for klass in classes:
+            result.update(self.graph.subjects(RDF.type, klass))
+        result.difference_update(c for c in classes if c in result)
+        return result
+
+    # -- domain / range validation --------------------------------------------
+
+    def property_domain(self, prop: URIRef) -> Optional[URIRef]:
+        """The declared rdfs:domain of a property, or None."""
+        value = self.graph.value(prop, RDFS.domain, None)
+        return value if isinstance(value, URIRef) else None
+
+    def property_range(self, prop: URIRef) -> Optional[URIRef]:
+        """The declared rdfs:range of a property, or None."""
+        value = self.graph.value(prop, RDFS.range, None)
+        return value if isinstance(value, URIRef) else None
+
+    def validate_statement(self, subject: Node, prop: URIRef, obj: Node) -> None:
+        """Raise ``OntologyError`` if a statement violates domain or range.
+
+        Unknown properties and untyped resources validate trivially —
+        the IQ model is user-extensible (paper Sec. 1) so strictness is
+        limited to what has been declared.
+        """
+        domain = self.property_domain(prop)
+        if domain is not None and self.types_of(subject):
+            if not self.is_instance(subject, domain):
+                raise OntologyError(
+                    f"subject {subject} is not an instance of the domain "
+                    f"{domain} of {prop}"
+                )
+        range_cls = self.property_range(prop)
+        if range_cls is None:
+            return
+        if isinstance(obj, Literal):
+            if self.is_class(range_cls):
+                raise OntologyError(
+                    f"property {prop} expects resources of class {range_cls}, "
+                    f"got literal {obj!r}"
+                )
+            return
+        if self.types_of(obj) and not self.is_instance(obj, range_cls):
+            raise OntologyError(
+                f"object {obj} is not an instance of the range "
+                f"{range_cls} of {prop}"
+            )
+
+    # -- disjointness ----------------------------------------------------------
+
+    def declare_disjoint(self, a: URIRef, b: URIRef) -> None:
+        """Assert ``owl:disjointWith`` between two classes."""
+        if a == b:
+            raise OntologyError(f"a class cannot be disjoint with itself: {a}")
+        self.graph.add(a, OWL.disjointWith, b)
+        self.graph.add(b, OWL.disjointWith, a)
+
+    def are_disjoint(self, a: URIRef, b: URIRef) -> bool:
+        """Disjointness including inherited declarations."""
+        ancestors_a = {a} | self.superclasses(a)
+        ancestors_b = {b} | self.superclasses(b)
+        for cls_a in ancestors_a:
+            for declared in self.graph.objects(cls_a, OWL.disjointWith):
+                if declared in ancestors_b:
+                    return True
+        return False
+
+    def find_disjointness_violations(self) -> List[str]:
+        """Individuals typed into two disjoint classes."""
+        problems: List[str] = []
+        disjoint_pairs = [
+            (s, o)
+            for s, _, o in self.graph.triples((None, OWL.disjointWith, None))
+            if isinstance(s, URIRef) and isinstance(o, URIRef) and str(s) < str(o)
+        ]
+        for a, b in disjoint_pairs:
+            members_a = self.individuals_of(a)
+            members_b = self.individuals_of(b)
+            for individual in sorted(members_a & members_b, key=str):
+                problems.append(
+                    f"{individual} is an instance of both {a} and {b}, "
+                    f"which are disjoint"
+                )
+        return problems
+
+    # -- consistency --------------------------------------------------------------
+
+    def find_subclass_cycles(self) -> List[List[URIRef]]:
+        """Detect cycles in the subclass graph (flagged, not fatal)."""
+        cycles: List[List[URIRef]] = []
+        visited: Set[URIRef] = set()
+
+        def visit(node: URIRef, path: List[URIRef]) -> None:
+            if node in path:
+                cycles.append(path[path.index(node):] + [node])
+                return
+            if node in visited:
+                return
+            visited.add(node)
+            for parent in self.direct_superclasses(node):
+                visit(parent, path + [node])
+
+        for cls in list(self.classes()):
+            visit(cls, [])
+        return cycles
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __repr__(self) -> str:
+        n_classes = sum(1 for _ in self.classes())
+        return f"<Ontology: {n_classes} classes, {len(self.graph)} triples>"

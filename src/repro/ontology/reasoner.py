@@ -1,0 +1,128 @@
+"""Materialising reasoner for RDFS-style entailments.
+
+The annotation repositories store instance data in separate graphs from
+the IQ schema; the reasoner combines both to answer questions such as
+"is this evidence node an instance of q:QualityEvidence?" and can
+materialise the inferred ``rdf:type`` closure into a graph so plain
+SPARQL queries see entailed types (the paper's stores are queried with
+SPARQL without a reasoner in the loop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.rdf import Graph, RDF, RDFS, URIRef
+from repro.rdf.term import Node
+from repro.rdf.triple import Triple
+from repro.ontology.ontology import Ontology
+
+
+class Reasoner:
+    """Answers entailment questions over schema + instance graphs."""
+
+    def __init__(self, ontology: Ontology, data: Optional[Graph] = None) -> None:
+        self.ontology = ontology
+        self.data = data if data is not None else Graph("data")
+
+    # -- instance-level reasoning -------------------------------------------
+
+    def asserted_types(self, node: Node) -> Set[URIRef]:
+        """Types asserted in either the data or schema graph."""
+        types = {
+            o
+            for o in self.data.objects(node, RDF.type)
+            if isinstance(o, URIRef)
+        }
+        types.update(self.ontology.types_of(node))
+        return types
+
+    def inferred_types(self, node: Node) -> Set[URIRef]:
+        """All types of ``node`` including superclass entailments."""
+        result: Set[URIRef] = set()
+        for asserted in self.asserted_types(node):
+            result.add(asserted)
+            result.update(self.ontology.superclasses(asserted))
+        return result
+
+    def is_instance(self, node: Node, cls: URIRef) -> bool:
+        """Instance check across schema + data with subsumption."""
+        return any(
+            self.ontology.is_subclass(t, cls) for t in self.asserted_types(node)
+        )
+
+    def instances_of(self, cls: URIRef) -> Set[Node]:
+        """Instances of ``cls`` or any subclass, across schema + data."""
+        classes = {cls} | self.ontology.subclasses(cls)
+        result: Set[Node] = set()
+        for klass in classes:
+            result.update(self.data.subjects(RDF.type, klass))
+            result.update(self.ontology.graph.subjects(RDF.type, klass))
+        result.difference_update(c for c in classes if c in result)
+        return result
+
+    # -- materialisation -------------------------------------------------------
+
+    def materialise_types(self, target: Optional[Graph] = None) -> Graph:
+        """Write the inferred ``rdf:type`` closure of the data graph.
+
+        Returns ``target`` (a new graph if none given) containing one
+        ``rdf:type`` triple per (instance, entailed class) pair.
+        """
+        out = target if target is not None else Graph("entailed-types")
+        for subject in set(self.data.subjects(RDF.type, None)):
+            for cls in self.inferred_types(subject):
+                out.add(subject, RDF.type, cls)
+        return out
+
+    def entailed_triples(self) -> Iterator[Triple]:
+        """Data triples plus the rdf:type / rdfs:subClassOf entailments."""
+        yield from self.data
+        seen = set(self.data)
+        for subject in set(self.data.subjects(RDF.type, None)):
+            for cls in self.inferred_types(subject):
+                triple = Triple(subject, RDF.type, cls)
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    # -- validation -------------------------------------------------------------
+
+    def validate_data(self) -> list:
+        """Domain/range-check every data triple; return violation messages.
+
+        Unlike :meth:`Ontology.validate_statement`, instance types are
+        looked up across both the schema and the data graph, so typing
+        asserted by the annotation functions is honoured.
+        """
+        from repro.rdf import Literal
+
+        problems = []
+        for s, p, o in self.data:
+            if p == RDF.type:
+                continue
+            domain = self.ontology.property_domain(p)
+            if (
+                domain is not None
+                and self.asserted_types(s)
+                and not self.is_instance(s, domain)
+            ):
+                problems.append(
+                    f"subject {s} is not an instance of the domain {domain} of {p}"
+                )
+            range_cls = self.ontology.property_range(p)
+            if range_cls is None:
+                continue
+            if isinstance(o, Literal):
+                if self.ontology.is_class(range_cls):
+                    problems.append(
+                        f"property {p} expects resources of class {range_cls}, "
+                        f"got literal {o!r}"
+                    )
+                continue
+            if self.asserted_types(o) and not self.is_instance(o, range_cls):
+                problems.append(
+                    f"object {o} is not an instance of the range "
+                    f"{range_cls} of {p}"
+                )
+        return problems

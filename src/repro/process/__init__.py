@@ -1,0 +1,43 @@
+"""Abstract quality-process model (paper Sec. 4).
+
+A quality process collects quality evidence (annotation + data
+enrichment), computes quality assertions, and applies condition/action
+pairs to partition or filter the data.  This package defines the four
+abstract operator types of Sec. 4.1, the action implementations, the
+condition expression language, and a directly executable process
+pattern (quality views compile to the same operators, targeted at a
+workflow environment instead).
+"""
+
+from repro.process.operators import (
+    ActionOperator,
+    AnnotationOperator,
+    DataEnrichmentOperator,
+    Operator,
+    QualityAssertionOperator,
+)
+from repro.process.actions import (
+    ActionOutcome,
+    ConditionActionPair,
+    FilterAction,
+    SplitterAction,
+)
+from repro.process.pattern import QualityProcess, ProcessResult
+from repro.process.conditions import Condition, ConditionError, parse_condition
+
+__all__ = [
+    "ActionOperator",
+    "ActionOutcome",
+    "AnnotationOperator",
+    "Condition",
+    "ConditionActionPair",
+    "ConditionError",
+    "DataEnrichmentOperator",
+    "FilterAction",
+    "Operator",
+    "ProcessResult",
+    "QualityAssertionOperator",
+    "QualityProcess",
+    "SplitterAction",
+    "parse_condition",
+]

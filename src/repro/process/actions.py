@@ -1,0 +1,168 @@
+"""Action operators: condition-driven routing of data items.
+
+Paper Sec. 4.1 defines two concrete action types (the set is
+extensible):
+
+* **Data splitting** — splits an input set D into groups D1..Dk, *not
+  necessarily disjoint*, one per condition, plus a (k+1)-th default
+  group collecting the items for which no condition held.  Each group
+  carries the subset of the annotation map for its items.
+* **Data filtering** — the single-condition special case: one output
+  map with the satisfying entries; the rest are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.annotation.map import AnnotationMap
+from repro.process.conditions import Condition
+from repro.process.operators import ActionOperator
+from repro.rdf import NamespaceManager, URIRef
+
+#: Name of the implicit group of items matching no splitter condition.
+DEFAULT_GROUP = "default"
+
+
+@dataclass(frozen=True)
+class ConditionActionPair:
+    """A named routing rule: items satisfying ``condition`` join ``group``."""
+
+    group: str
+    condition: Condition
+
+
+@dataclass
+class ActionOutcome:
+    """The result of one action: named groups of (items, sub-map) pairs."""
+
+    action_name: str
+    groups: Dict[str, Tuple[List[URIRef], AnnotationMap]] = field(
+        default_factory=dict
+    )
+
+    def items(self, group: str) -> List[URIRef]:
+        """The items routed to a group (empty for unknown groups)."""
+        entry = self.groups.get(group)
+        return list(entry[0]) if entry else []
+
+    def map_of(self, group: str) -> AnnotationMap:
+        """The annotation sub-map of a group."""
+        entry = self.groups.get(group)
+        return entry[1] if entry else AnnotationMap()
+
+    def group_names(self) -> List[str]:
+        """Every group the action produced."""
+        return list(self.groups)
+
+    def surviving(self) -> List[URIRef]:
+        """Items of every non-default group, original order, no duplicates."""
+        seen = set()
+        out: List[URIRef] = []
+        for name, (items, _) in self.groups.items():
+            if name == DEFAULT_GROUP:
+                continue
+            for item in items:
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+        return out
+
+    def __repr__(self) -> str:
+        sizes = {name: len(items) for name, (items, _) in self.groups.items()}
+        return f"<ActionOutcome {self.action_name!r} {sizes}>"
+
+
+def _as_condition(
+    condition: Union[str, Condition], namespaces: Optional[NamespaceManager]
+) -> Condition:
+    if isinstance(condition, Condition):
+        return condition
+    return Condition(condition, namespaces=namespaces)
+
+
+class SplitterAction(ActionOperator):
+    """Partition items into k condition groups plus a default group."""
+
+    def __init__(
+        self,
+        name: str,
+        conditions: Sequence[Tuple[str, Union[str, Condition]]],
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        super().__init__(name)
+        if not conditions:
+            raise ValueError("a splitter needs at least one condition")
+        self.pairs: List[ConditionActionPair] = []
+        seen_groups = set()
+        for group, condition in conditions:
+            if group == DEFAULT_GROUP:
+                raise ValueError(
+                    f"group name {DEFAULT_GROUP!r} is reserved for unmatched items"
+                )
+            if group in seen_groups:
+                raise ValueError(f"duplicate splitter group {group!r}")
+            seen_groups.add(group)
+            self.pairs.append(
+                ConditionActionPair(group, _as_condition(condition, namespaces))
+            )
+
+    def execute(
+        self,
+        items: List[URIRef],
+        amap: AnnotationMap,
+        variable_bindings: Optional[Mapping[str, URIRef]] = None,
+    ) -> ActionOutcome:
+        """Route the items; see ActionOutcome."""
+
+        buckets: Dict[str, List[URIRef]] = {
+            pair.group: [] for pair in self.pairs
+        }
+        buckets[DEFAULT_GROUP] = []
+        for item in items:
+            environment = amap.environment(item, dict(variable_bindings or {}))
+            matched = False
+            for pair in self.pairs:
+                if pair.condition.evaluate(environment):
+                    buckets[pair.group].append(item)
+                    matched = True
+            if not matched:
+                buckets[DEFAULT_GROUP].append(item)
+        outcome = ActionOutcome(self.name)
+        for group, members in buckets.items():
+            outcome.groups[group] = (members, amap.subset(members))
+        return outcome
+
+
+class FilterAction(ActionOperator):
+    """Keep items satisfying one condition; discard the rest."""
+
+    #: Name of a filter's single surviving group.
+    ACCEPTED = "accepted"
+
+    def __init__(
+        self,
+        name: str,
+        condition: Union[str, Condition],
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        super().__init__(name)
+        self.condition = _as_condition(condition, namespaces)
+
+    def execute(
+        self,
+        items: List[URIRef],
+        amap: AnnotationMap,
+        variable_bindings: Optional[Mapping[str, URIRef]] = None,
+    ) -> ActionOutcome:
+        """Route the items; see ActionOutcome."""
+
+        kept: List[URIRef] = []
+        for item in items:
+            environment = amap.environment(item, dict(variable_bindings or {}))
+            if self.condition.evaluate(environment):
+                kept.append(item)
+        outcome = ActionOutcome(self.name)
+        outcome.groups[self.ACCEPTED] = (kept, amap.subset(kept))
+        return outcome

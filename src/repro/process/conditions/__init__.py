@@ -1,0 +1,42 @@
+"""The condition expression language of quality-view actions.
+
+Paper Sec. 4.1/5.1: conditions are boolean expressions over quality-
+assertion tags and evidence values, with relational operators
+(``score < 3.2``), set membership (``PIScoreClassification IN
+{ 'high', 'mid' }``) and boolean connectives — e.g. the paper's
+
+    scoreClass in q:high, q:mid and HR MC > 20
+
+Tag names may contain spaces (``HR MC``); adjacent bare words combine
+into one identifier.
+"""
+
+from repro.process.conditions.ast import (
+    AndNode,
+    Comparison,
+    ConditionNode,
+    Identifier,
+    LiteralNode,
+    Membership,
+    NotNode,
+    NullCheck,
+    OrNode,
+)
+from repro.process.conditions.lexer import ConditionError
+from repro.process.conditions.parser import parse_condition
+from repro.process.conditions.evaluator import Condition
+
+__all__ = [
+    "AndNode",
+    "Comparison",
+    "Condition",
+    "ConditionError",
+    "ConditionNode",
+    "Identifier",
+    "LiteralNode",
+    "Membership",
+    "NotNode",
+    "NullCheck",
+    "OrNode",
+    "parse_condition",
+]

@@ -1,0 +1,108 @@
+"""AST for condition expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """A reference to a tag or evidence variable (may contain spaces)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LiteralNode:
+    """A constant: number, string, boolean, None, or a QName string.
+
+    QName constants (``q:high``) keep their prefixed form in ``qname``;
+    evaluation resolves them against the IQ namespace manager.
+    """
+
+    value: object
+    qname: str = ""
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A relational test between two operands."""
+
+    op: str  # one of < <= > >= = !=
+    left: "ConditionNode"
+    right: "ConditionNode"
+
+
+@dataclass(frozen=True)
+class Membership:
+    """A set-membership test (``x in a, b`` / ``not in``)."""
+
+    operand: "ConditionNode"
+    members: Tuple["ConditionNode", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NullCheck:
+    """An ``is [not] null`` test."""
+
+    operand: "ConditionNode"
+    negated: bool = False  # True for "is not null"
+
+
+@dataclass(frozen=True)
+class AndNode:
+    """Boolean conjunction."""
+
+    left: "ConditionNode"
+    right: "ConditionNode"
+
+
+@dataclass(frozen=True)
+class OrNode:
+    """Boolean disjunction."""
+
+    left: "ConditionNode"
+    right: "ConditionNode"
+
+
+@dataclass(frozen=True)
+class NotNode:
+    """Boolean negation."""
+
+    operand: "ConditionNode"
+
+
+ConditionNode = Union[
+    Identifier,
+    LiteralNode,
+    Comparison,
+    Membership,
+    NullCheck,
+    AndNode,
+    OrNode,
+    NotNode,
+]
+
+
+def referenced_names(node: ConditionNode) -> Set[str]:
+    """Every identifier a condition reads (for validation)."""
+    if isinstance(node, Identifier):
+        return {node.name}
+    if isinstance(node, LiteralNode):
+        return set()
+    if isinstance(node, Comparison):
+        return referenced_names(node.left) | referenced_names(node.right)
+    if isinstance(node, Membership):
+        names = referenced_names(node.operand)
+        for member in node.members:
+            names |= referenced_names(member)
+        return names
+    if isinstance(node, NullCheck):
+        return referenced_names(node.operand)
+    if isinstance(node, (AndNode, OrNode)):
+        return referenced_names(node.left) | referenced_names(node.right)
+    if isinstance(node, NotNode):
+        return referenced_names(node.operand)
+    raise TypeError(f"unknown condition node {node!r}")

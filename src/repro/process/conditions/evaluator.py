@@ -1,0 +1,166 @@
+"""Evaluation of condition expressions against annotation environments.
+
+Null semantics follow the quality-process model: a data item lacking an
+evidence value or tag simply fails every comparison involving it (so it
+lands in a splitter's default group) rather than raising — except
+``is null`` / ``is not null`` which test absence explicitly.
+
+Classification values are URIs (``q:high``); conditions may write them
+as QNames or as bare strings (``'high'``), so equality between a URI
+and a string also matches on the URI's fragment name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Set
+
+from repro.process.conditions import ast
+from repro.process.conditions.lexer import ConditionError
+from repro.process.conditions.parser import parse_condition
+from repro.rdf import Literal, NamespaceManager, URIRef
+
+
+def _normalise(value: Any) -> Any:
+    if isinstance(value, Literal):
+        return value.value
+    return value
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    left, right = _normalise(left), _normalise(right)
+    if left is None or right is None:
+        return False
+    if isinstance(left, URIRef) and isinstance(right, str) and not isinstance(
+        right, URIRef
+    ):
+        return str(left) == right or left.fragment() == right
+    if isinstance(right, URIRef) and isinstance(left, str) and not isinstance(
+        left, URIRef
+    ):
+        return str(right) == left or right.fragment() == left
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right
+
+
+def _values_ordered(op: str, left: Any, right: Any) -> bool:
+    left, right = _normalise(left), _normalise(right)
+    if left is None or right is None:
+        return False
+    numeric = (
+        isinstance(left, (int, float))
+        and isinstance(right, (int, float))
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    )
+    textual = isinstance(left, str) and isinstance(right, str)
+    if not numeric and not textual:
+        raise ConditionError(
+            f"cannot order values {left!r} and {right!r} with {op!r}"
+        )
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ConditionError(f"unknown relational operator {op!r}")
+
+
+class Condition:
+    """A parsed, reusable condition expression.
+
+    >>> c = Condition("scoreClass in q:high, q:mid and HR MC > 20")
+    >>> c.evaluate({"scoreClass": Q.high, "HR MC": 25.0})
+    True
+    """
+
+    def __init__(
+        self,
+        expression: str,
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        self.text = expression
+        self.node = parse_condition(expression)
+        self._nsm = namespaces if namespaces is not None else NamespaceManager()
+
+    def referenced_names(self) -> Set[str]:
+        """Every identifier the condition reads."""
+        return ast.referenced_names(self.node)
+
+    def evaluate(self, environment: Mapping[str, Any]) -> bool:
+        """True when the condition holds in the environment."""
+        return bool(self._eval(self.node, environment))
+
+    __call__ = evaluate
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve_literal(self, node: ast.LiteralNode) -> Any:
+        if node.qname:
+            try:
+                return self._nsm.expand(node.qname)
+            except ValueError:
+                # Unknown prefix: treat the QName text as an opaque value.
+                return node.qname
+        return node.value
+
+    def _operand_value(
+        self, node: ast.ConditionNode, environment: Mapping[str, Any]
+    ) -> Any:
+        if isinstance(node, ast.Identifier):
+            return _normalise(environment.get(node.name))
+        if isinstance(node, ast.LiteralNode):
+            return self._resolve_literal(node)
+        # A nested boolean expression used as a value.
+        return self._eval(node, environment)
+
+    def _eval(self, node: ast.ConditionNode, environment: Mapping[str, Any]) -> bool:
+        if isinstance(node, ast.AndNode):
+            return self._eval(node.left, environment) and self._eval(
+                node.right, environment
+            )
+        if isinstance(node, ast.OrNode):
+            return self._eval(node.left, environment) or self._eval(
+                node.right, environment
+            )
+        if isinstance(node, ast.NotNode):
+            return not self._eval(node.operand, environment)
+        if isinstance(node, ast.Comparison):
+            left = self._operand_value(node.left, environment)
+            right = self._operand_value(node.right, environment)
+            if node.op == "=":
+                return _values_equal(left, right)
+            if node.op == "!=":
+                if left is None or right is None:
+                    return False
+                return not _values_equal(left, right)
+            return _values_ordered(node.op, left, right)
+        if isinstance(node, ast.Membership):
+            value = self._operand_value(node.operand, environment)
+            if value is None:
+                return False
+            hit = any(
+                _values_equal(value, self._operand_value(member, environment))
+                for member in node.members
+            )
+            return (not hit) if node.negated else hit
+        if isinstance(node, ast.NullCheck):
+            value = self._operand_value(node.operand, environment)
+            is_null = value is None
+            return (not is_null) if node.negated else is_null
+        if isinstance(node, ast.Identifier):
+            value = _normalise(environment.get(node.name))
+            if isinstance(value, bool):
+                return value
+            return value is not None
+        if isinstance(node, ast.LiteralNode):
+            return bool(self._resolve_literal(node))
+        raise ConditionError(f"unknown condition node {node!r}")
+
+    def __repr__(self) -> str:
+        return f"Condition({self.text!r})"

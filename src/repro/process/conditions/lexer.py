@@ -1,0 +1,70 @@
+"""Tokeniser for the condition language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+
+class ConditionError(ValueError):
+    """Raised on syntax or evaluation errors in a condition expression."""
+
+
+KEYWORDS = {"and", "or", "not", "in", "is", "null", "true", "false"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<QNAME>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z0-9_\-]+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<OP><=|>=|!=|<>|==|[-<>=])
+  | (?P<PUNCT>[(){},])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a condition string into tokens; error on junk."""
+
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConditionError(
+                f"unexpected character {text[pos]!r} at position {pos} "
+                f"in condition {text!r}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "WS":
+            pos = match.end()
+            continue
+        if kind == "NAME":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("KEYWORD", lowered, pos))
+            else:
+                tokens.append(Token("NAME", value, pos))
+        elif kind == "STRING":
+            body = value[1:-1]
+            body = body.replace('\\"', '"').replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token("STRING", body, pos))
+        else:
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

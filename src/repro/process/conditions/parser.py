@@ -1,0 +1,178 @@
+"""Recursive-descent parser for the condition language.
+
+Grammar (lowercase keywords are case-insensitive):
+
+    condition  := or
+    or         := and ('or' and)*
+    and        := unary ('and' unary)*
+    unary      := 'not' unary | primary
+    primary    := operand ( relop operand
+                          | ['not'] 'in' member-list
+                          | 'is' ['not'] 'null' )?
+                | '(' condition ')'
+    relop      := '<' | '<=' | '>' | '>=' | '=' | '==' | '!=' | '<>'
+    member-list:= '{' members '}' | members
+    members    := operand (',' operand)*
+    operand    := NUMBER | STRING | QNAME | 'true' | 'false' | 'null'
+                | identifier
+    identifier := NAME+          (adjacent names join: "HR MC")
+
+Because adjacent bare words merge into one identifier, keywords are the
+only separators — exactly what the paper's examples need
+(``scoreClass in q:high, q:mid and HR MC > 20``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.process.conditions import ast
+from repro.process.conditions.lexer import ConditionError, Token, tokenize
+
+_RELOPS = {"<", "<=", ">", ">=", "=", "==", "!=", "<>"}
+_NORMALISED_OPS = {"==": "=", "<>": "!="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._text = text
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise ConditionError(
+                f"expected {value or kind} at position {actual.position} "
+                f"in condition {self._text!r}, got {actual.value!r}"
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> ast.ConditionNode:
+        """Parse the token stream into a condition AST."""
+
+        node = self._parse_or()
+        self._expect("EOF")
+        return node
+
+    def _parse_or(self) -> ast.ConditionNode:
+        left = self._parse_and()
+        while self._accept("KEYWORD", "or"):
+            left = ast.OrNode(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.ConditionNode:
+        left = self._parse_unary()
+        while self._accept("KEYWORD", "and"):
+            left = ast.AndNode(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.ConditionNode:
+        # 'not' directly before 'in' belongs to the membership operator,
+        # which _parse_primary handles; here it must prefix an expression.
+        if self._peek().kind == "KEYWORD" and self._peek().value == "not":
+            self._advance()
+            return ast.NotNode(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.ConditionNode:
+        if self._accept("PUNCT", "("):
+            inner = self._parse_or()
+            self._expect("PUNCT", ")")
+            return inner
+        operand = self._parse_operand()
+        token = self._peek()
+        if token.kind == "OP" and token.value in _RELOPS:
+            self._advance()
+            right = self._parse_operand()
+            op = _NORMALISED_OPS.get(token.value, token.value)
+            return ast.Comparison(op, operand, right)
+        if token.kind == "KEYWORD" and token.value == "in":
+            self._advance()
+            return self._parse_membership(operand, negated=False)
+        if token.kind == "KEYWORD" and token.value == "not":
+            # lookahead for 'not in'
+            following = self._tokens[self._index + 1]
+            if following.kind == "KEYWORD" and following.value == "in":
+                self._advance()
+                self._advance()
+                return self._parse_membership(operand, negated=True)
+        if token.kind == "KEYWORD" and token.value == "is":
+            self._advance()
+            negated = bool(self._accept("KEYWORD", "not"))
+            self._expect("KEYWORD", "null")
+            return ast.NullCheck(operand, negated=negated)
+        return operand
+
+    def _parse_membership(
+        self, operand: ast.ConditionNode, negated: bool
+    ) -> ast.Membership:
+        braced = bool(self._accept("PUNCT", "{"))
+        members = [self._parse_operand()]
+        while self._accept("PUNCT", ","):
+            members.append(self._parse_operand())
+        if braced:
+            self._expect("PUNCT", "}")
+        return ast.Membership(operand, tuple(members), negated=negated)
+
+    def _parse_operand(self) -> ast.ConditionNode:
+        token = self._advance()
+        if token.kind == "NUMBER":
+            if any(ch in token.value for ch in ".eE"):
+                return ast.LiteralNode(float(token.value))
+            return ast.LiteralNode(int(token.value))
+        if token.kind == "STRING":
+            return ast.LiteralNode(token.value)
+        if token.kind == "QNAME":
+            return ast.LiteralNode(token.value, qname=token.value)
+        if token.kind == "KEYWORD":
+            if token.value == "true":
+                return ast.LiteralNode(True)
+            if token.value == "false":
+                return ast.LiteralNode(False)
+            if token.value == "null":
+                return ast.LiteralNode(None)
+            raise ConditionError(
+                f"unexpected keyword {token.value!r} at position "
+                f"{token.position} in condition {self._text!r}"
+            )
+        if token.kind == "NAME":
+            parts = [token.value]
+            while self._peek().kind == "NAME":
+                parts.append(self._advance().value)
+            return ast.Identifier(" ".join(parts))
+        if token.kind == "OP" and token.value == "-":
+            inner = self._parse_operand()
+            if isinstance(inner, ast.LiteralNode) and isinstance(
+                inner.value, (int, float)
+            ):
+                return ast.LiteralNode(-inner.value)
+            raise ConditionError("unary '-' applies only to numeric literals")
+        raise ConditionError(
+            f"unexpected token {token.value!r} at position {token.position} "
+            f"in condition {self._text!r}"
+        )
+
+
+def parse_condition(text: str) -> ast.ConditionNode:
+    """Parse a condition expression into its AST."""
+    if not text or not text.strip():
+        raise ConditionError("empty condition expression")
+    return _Parser(tokenize(text), text).parse()

@@ -1,0 +1,86 @@
+"""Unparser: render a condition AST back to its surface syntax.
+
+``unparse(parse_condition(text))`` is semantically identical to
+``text`` (and re-parses to an equal AST) — the property test suite
+relies on this round-trip.  Used by tooling that rewrites conditions
+(e.g. the threshold-exploration helpers) and by error messages.
+"""
+
+from __future__ import annotations
+
+from repro.process.conditions import ast
+
+_PRECEDENCE = {
+    ast.OrNode: 1,
+    ast.AndNode: 2,
+    ast.NotNode: 3,
+}
+
+
+def _atom(node: ast.ConditionNode) -> str:
+    if isinstance(node, ast.Identifier):
+        return node.name
+    if isinstance(node, ast.LiteralNode):
+        if node.qname:
+            return node.qname
+        value = node.value
+        if value is None:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(value)
+    return unparse(node)
+
+
+def unparse(node: ast.ConditionNode, parent_precedence: int = 0) -> str:
+    """Render a condition AST as parseable text."""
+    if isinstance(node, (ast.Identifier, ast.LiteralNode)):
+        return _atom(node)
+    if isinstance(node, ast.Comparison):
+        return f"{_atom(node.left)} {node.op} {_atom(node.right)}"
+    if isinstance(node, ast.Membership):
+        members = ", ".join(_atom(member) for member in node.members)
+        keyword = "not in" if node.negated else "in"
+        return f"{_atom(node.operand)} {keyword} {{ {members} }}"
+    if isinstance(node, ast.NullCheck):
+        keyword = "is not null" if node.negated else "is null"
+        return f"{_atom(node.operand)} {keyword}"
+    if isinstance(node, ast.NotNode):
+        inner = unparse(node.operand, _PRECEDENCE[ast.NotNode])
+        if isinstance(node.operand, (ast.AndNode, ast.OrNode)):
+            inner = f"({inner})"
+        return f"not {inner}"
+    if isinstance(node, (ast.AndNode, ast.OrNode)):
+        keyword = "and" if isinstance(node, ast.AndNode) else "or"
+        my_precedence = _PRECEDENCE[type(node)]
+        left = unparse(node.left, my_precedence)
+        right = unparse(node.right, my_precedence)
+        if _needs_parens(node.left, my_precedence):
+            left = f"({left})"
+        # the grammar is left-associative; a same-precedence right child
+        # must be parenthesised to survive the round trip
+        if _needs_parens(node.right, my_precedence, right_child=True):
+            right = f"({right})"
+        text = f"{left} {keyword} {right}"
+        if parent_precedence > my_precedence:
+            return text  # parent adds parens via _needs_parens
+        return text
+    raise TypeError(f"cannot unparse condition node {node!r}")
+
+
+def _needs_parens(
+    child: ast.ConditionNode, parent_precedence: int, right_child: bool = False
+) -> bool:
+    child_precedence = _PRECEDENCE.get(type(child))
+    if child_precedence is None:
+        return False
+    if child_precedence < parent_precedence:
+        return True
+    if right_child and child_precedence == parent_precedence:
+        return True
+    return False

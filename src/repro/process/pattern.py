@@ -1,0 +1,110 @@
+"""The generic quality-process pattern (paper Fig. 3), directly runnable.
+
+A process executes in the three steps of Sec. 4: (i) collect quality
+evidence — running annotation operators and then a data-enrichment read;
+(ii) compute the QA functions over the collected evidence; (iii)
+evaluate conditions and execute actions.  Quality views compile to the
+same operators embedded in a workflow; this class is the stand-alone
+interpreter used for rapid prototyping and by the test-suite oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.annotation.map import AnnotationMap
+from repro.process.actions import ActionOutcome
+from repro.process.operators import (
+    ActionOperator,
+    AnnotationOperator,
+    DataEnrichmentOperator,
+    QualityAssertionOperator,
+)
+from repro.rdf import URIRef
+
+
+@dataclass
+class ProcessResult:
+    """Everything one quality-process execution produced."""
+
+    items: List[URIRef]
+    consolidated: AnnotationMap
+    outcomes: Dict[str, ActionOutcome] = field(default_factory=dict)
+
+    def surviving(self, action: Optional[str] = None) -> List[URIRef]:
+        """Items retained by an action (default: the last one)."""
+        if not self.outcomes:
+            return list(self.items)
+        if action is None:
+            action = next(reversed(self.outcomes))
+        return self.outcomes[action].surviving()
+
+
+class QualityProcess:
+    """An executable instance of the general quality-process pattern."""
+
+    def __init__(
+        self,
+        name: str,
+        annotators: Sequence[AnnotationOperator] = (),
+        enrichment: Optional[DataEnrichmentOperator] = None,
+        assertions: Sequence[QualityAssertionOperator] = (),
+        actions: Sequence[ActionOperator] = (),
+        extra_bindings: Optional[Mapping[str, URIRef]] = None,
+    ) -> None:
+        self.name = name
+        self.annotators = list(annotators)
+        self.enrichment = enrichment
+        self.assertions = list(assertions)
+        self.actions = list(actions)
+        #: Additional condition-visible names (annotator-declared
+        #: evidence variables); QA bindings win on clashes.
+        self.extra_bindings = dict(extra_bindings or {})
+
+    def variable_bindings(self) -> Dict[str, URIRef]:
+        """All variable-name -> evidence-type bindings conditions see."""
+        bindings: Dict[str, URIRef] = dict(self.extra_bindings)
+        for assertion in self.assertions:
+            bindings.update(assertion.variables)
+        return bindings
+
+    def consolidate(self, maps: Sequence[AnnotationMap]) -> AnnotationMap:
+        """Merge the per-QA output maps (the ConsolidateAssertions step)."""
+        merged = AnnotationMap()
+        for amap in maps:
+            merged.merge(amap)
+        return merged
+
+    def execute(
+        self,
+        items: Sequence[URIRef],
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> ProcessResult:
+        """Run annotate -> enrich -> assert -> act over the items."""
+
+        items = list(items)
+        # (i) collect evidence: annotate, then enrich from repositories.
+        for annotator in self.annotators:
+            annotator.execute(items, context)
+        if self.enrichment is not None:
+            evidence = self.enrichment.execute(items)
+        else:
+            evidence = AnnotationMap(items)
+        # (ii) compute the QA functions.
+        qa_outputs = [assertion.execute(evidence) for assertion in self.assertions]
+        consolidated = self.consolidate(qa_outputs) if qa_outputs else evidence
+        # (iii) evaluate conditions, execute actions.
+        result = ProcessResult(items=items, consolidated=consolidated)
+        bindings = self.variable_bindings()
+        for action in self.actions:
+            result.outcomes[action.name] = action.execute(
+                items, consolidated, bindings
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<QualityProcess {self.name!r}: {len(self.annotators)} annotators, "
+            f"{len(self.assertions)} assertions, {len(self.actions)} actions>"
+        )

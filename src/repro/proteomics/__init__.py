@@ -1,0 +1,68 @@
+"""Synthetic proteomics substrate (paper Secs. 1.1, 6.3).
+
+The paper's experiment runs on real mass-spectrometry data, the
+in-house *Imprint* PMF tool, and the public PEDRo / GOA / Uniprot / GO
+databases.  None of those are available offline, so this package builds
+behaviourally faithful equivalents from first principles:
+
+* amino-acid monoisotopic masses and tryptic digestion;
+* a seeded reference proteome generator;
+* a mass-spectrometer simulator emitting peak lists with measurement
+  error, dropped peptides, noise and contaminant peaks;
+* an Imprint-like PMF search engine computing ranked identifications
+  with the Stead et al. quality indicators (Hit Ratio, Mass Coverage,
+  ELDP, matched masses, peptide counts);
+* GO / GOA / Uniprot / PEDRo database substitutes;
+* the ISPIDER analysis workflow of the paper's Figure 1.
+
+Every generator is seed-deterministic, so experiments reproduce
+bit-for-bit.
+"""
+
+from repro.proteomics.masses import peptide_mass, WATER_MONO
+from repro.proteomics.proteins import (
+    Protein,
+    ReferenceDatabase,
+    generate_reference_database,
+)
+from repro.proteomics.digest import Peptide, tryptic_digest
+from repro.proteomics.spectrometer import (
+    MassSpectrometer,
+    PeakList,
+    SpectrometerSettings,
+)
+from repro.proteomics.imprint import Imprint, ImprintHit, ImprintRun, ImprintSettings
+from repro.proteomics.go import GeneOntology, GOTerm, generate_gene_ontology
+from repro.proteomics.goa import GOAnnotation, GOADatabase, generate_goa
+from repro.proteomics.uniprot import UniprotDatabase, UniprotEntry, generate_uniprot
+from repro.proteomics.pedro import PedroRepository, Sample
+from repro.proteomics.scenario import ProteomicsScenario
+
+__all__ = [
+    "GOADatabase",
+    "GOAnnotation",
+    "GOTerm",
+    "GeneOntology",
+    "Imprint",
+    "ImprintHit",
+    "ImprintRun",
+    "ImprintSettings",
+    "MassSpectrometer",
+    "PeakList",
+    "PedroRepository",
+    "Peptide",
+    "Protein",
+    "ProteomicsScenario",
+    "ReferenceDatabase",
+    "Sample",
+    "SpectrometerSettings",
+    "UniprotDatabase",
+    "UniprotEntry",
+    "WATER_MONO",
+    "generate_gene_ontology",
+    "generate_goa",
+    "generate_reference_database",
+    "generate_uniprot",
+    "peptide_mass",
+    "tryptic_digest",
+]

@@ -1,0 +1,169 @@
+"""Functional-annotation analysis: the scientist's downstream toolkit.
+
+Paper Sec. 1.1: after GO retrieval "the scientist proceeds to determine
+the most likely protein functions, perhaps making a pareto chart of the
+functional annotations by frequency of occurrence"; Sec. 6.3 then ranks
+terms by the with/without-filtering *significance ratio*.  This module
+implements both analyses plus a hypergeometric enrichment test, so the
+full Figure-7 pipeline is a library call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoRow:
+    """One bar of a pareto chart."""
+
+    term: str
+    count: int
+    share: float
+    cumulative_share: float
+
+
+def pareto(frequencies: Mapping[str, int]) -> List[ParetoRow]:
+    """Frequency-ranked rows with cumulative shares (ties by term id)."""
+    total = sum(frequencies.values())
+    if total == 0:
+        return []
+    rows: List[ParetoRow] = []
+    cumulative = 0
+    for term, count in sorted(
+        frequencies.items(), key=lambda pair: (-pair[1], pair[0])
+    ):
+        cumulative += count
+        rows.append(
+            ParetoRow(
+                term=term,
+                count=count,
+                share=count / total,
+                cumulative_share=cumulative / total,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SignificanceRow:
+    """One GO term's with/without-filtering comparison (Fig. 7)."""
+
+    term: str
+    raw_count: int
+    kept_count: int
+
+    @property
+    def ratio(self) -> float:
+        """kept/raw occurrence ratio (0 when raw is 0)."""
+
+        return self.kept_count / self.raw_count if self.raw_count else 0.0
+
+
+def significance_ratio(
+    raw: Mapping[str, int], kept: Mapping[str, int]
+) -> List[SignificanceRow]:
+    """Fig. 7's ranking: terms by kept/raw occurrence ratio, descending.
+
+    Terms only present in ``kept`` are ignored (they cannot appear: the
+    quality view filters a subset of the raw identifications).
+    """
+    rows = [
+        SignificanceRow(term, count, kept.get(term, 0))
+        for term, count in raw.items()
+    ]
+    return sorted(rows, key=lambda r: (-r.ratio, -r.kept_count, r.term))
+
+
+def rank_displacement(
+    raw: Mapping[str, int], kept: Mapping[str, int]
+) -> Dict[str, int]:
+    """How far each term moved between frequency rank and ratio rank.
+
+    Positive = promoted by quality filtering (the paper's GO term that
+    occurred 6 times and ranked first); negative = demoted.
+    """
+    frequency_order = [row.term for row in pareto(dict(raw))]
+    ratio_order = [row.term for row in significance_ratio(raw, kept)]
+    frequency_rank = {term: i for i, term in enumerate(frequency_order)}
+    return {
+        term: frequency_rank[term] - i
+        for i, term in enumerate(ratio_order)
+    }
+
+
+def _log_choose(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def hypergeometric_pvalue(
+    population: int, successes: int, draws: int, observed: int
+) -> float:
+    """P(X >= observed) for X ~ Hypergeometric(population, successes, draws).
+
+    The standard GO-term over-representation test: ``population`` = all
+    annotation occurrences, ``successes`` = occurrences of the term,
+    ``draws`` = occurrences in the filtered set, ``observed`` = the
+    term's occurrences in the filtered set.
+    """
+    if not 0 <= successes <= population:
+        raise ValueError("need 0 <= successes <= population")
+    if not 0 <= draws <= population:
+        raise ValueError("need 0 <= draws <= population")
+    if observed < 0:
+        raise ValueError("observed must be >= 0")
+    upper = min(successes, draws)
+    if observed > upper:
+        return 0.0
+    log_denominator = _log_choose(population, draws)
+    total = 0.0
+    for k in range(observed, upper + 1):
+        log_p = (
+            _log_choose(successes, k)
+            + _log_choose(population - successes, draws - k)
+            - log_denominator
+        )
+        total += math.exp(log_p)
+    return min(1.0, total)
+
+
+@dataclass(frozen=True)
+class EnrichmentRow:
+    """One over-represented term with its p-value."""
+
+    term: str
+    raw_count: int
+    kept_count: int
+    p_value: float
+
+
+def enrichment(
+    raw: Mapping[str, int],
+    kept: Mapping[str, int],
+    alpha: float = 0.05,
+) -> List[EnrichmentRow]:
+    """Terms over-represented in the quality-filtered output.
+
+    Returns rows with p < ``alpha`` (one-sided hypergeometric),
+    ordered by p-value — a statistically grounded version of the
+    paper's ratio ranking.
+    """
+    population = sum(raw.values())
+    draws = sum(kept.values())
+    rows: List[EnrichmentRow] = []
+    for term, raw_count in raw.items():
+        kept_count = kept.get(term, 0)
+        if kept_count == 0:
+            continue
+        p_value = hypergeometric_pvalue(
+            population, raw_count, draws, kept_count
+        )
+        if p_value < alpha:
+            rows.append(EnrichmentRow(term, raw_count, kept_count, p_value))
+    return sorted(rows, key=lambda r: (r.p_value, r.term))

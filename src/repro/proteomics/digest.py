@@ -1,0 +1,104 @@
+"""In-silico tryptic digestion.
+
+Trypsin cleaves C-terminal to lysine (K) or arginine (R), except when
+the next residue is proline.  ``tryptic_digest`` enumerates peptides
+with up to ``missed_cleavages`` internal cleavage sites retained — the
+distinction between *limit* peptides (0 missed cleavages) and partials
+underlies the ELDP quality indicator of Stead et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.proteomics.masses import peptide_mass, validate_sequence
+
+
+@dataclass(frozen=True)
+class Peptide:
+    """A digestion product with its position and cleavage state."""
+
+    sequence: str
+    start: int  # 0-based offset in the parent protein
+    end: int  # exclusive
+    missed_cleavages: int
+
+    @property
+    def mass(self) -> float:
+        """The peptide's neutral monoisotopic mass."""
+
+        return peptide_mass(self.sequence)
+
+    @property
+    def is_limit(self) -> bool:
+        """Limit-digested: no internal missed cleavage sites."""
+        return self.missed_cleavages == 0
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def cleavage_sites(sequence: str) -> List[int]:
+    """Positions *after* which trypsin cleaves (K/R not followed by P)."""
+    sites = []
+    for index in range(len(sequence) - 1):
+        if sequence[index] in "KR" and sequence[index + 1] != "P":
+            sites.append(index + 1)
+    return sites
+
+
+def tryptic_digest(
+    sequence: str,
+    missed_cleavages: int = 1,
+    min_length: int = 5,
+    max_length: int = 50,
+) -> List[Peptide]:
+    """All tryptic peptides of a protein within the length window.
+
+    Peptides are returned in order of their start position, limit
+    peptides before partials at the same position.
+    """
+    if missed_cleavages < 0:
+        raise ValueError("missed_cleavages must be >= 0")
+    sequence = validate_sequence(sequence)
+    if not sequence:
+        return []
+    boundaries = [0] + cleavage_sites(sequence) + [len(sequence)]
+    # Drop a duplicated final boundary when the protein ends in K/R.
+    deduped = []
+    for boundary in boundaries:
+        if not deduped or boundary != deduped[-1]:
+            deduped.append(boundary)
+    boundaries = deduped
+    peptides: List[Peptide] = []
+    n_fragments = len(boundaries) - 1
+    for first in range(n_fragments):
+        for missed in range(missed_cleavages + 1):
+            last = first + missed
+            if last >= n_fragments:
+                break
+            start, end = boundaries[first], boundaries[last + 1]
+            fragment = sequence[start:end]
+            if min_length <= len(fragment) <= max_length:
+                peptides.append(
+                    Peptide(
+                        sequence=fragment,
+                        start=start,
+                        end=end,
+                        missed_cleavages=missed,
+                    )
+                )
+    return peptides
+
+
+def limit_peptides(peptides: List[Peptide]) -> List[Peptide]:
+    """The fully-cleaved (0 missed cleavages) peptides."""
+
+    return [p for p in peptides if p.is_limit]
+
+
+def partial_peptides(peptides: List[Peptide]) -> List[Peptide]:
+    """The peptides containing missed cleavage sites."""
+
+    return [p for p in peptides if not p.is_limit]

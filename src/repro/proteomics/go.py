@@ -1,0 +1,169 @@
+"""A Gene Ontology substitute: GO terms in a seeded DAG.
+
+GO terms describe molecular function in a controlled vocabulary (paper
+Sec. 1.1).  The generator builds a rooted DAG with Zipf-skewed
+popularity weights, so downstream GOA annotations show the realistic
+pattern: a few very common functions, a long tail of specific ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class GOTerm:
+    """One GO vocabulary entry."""
+
+    term_id: str  # canonical "GO:NNNNNNN" form
+    name: str
+    namespace: str = "molecular_function"
+    parents: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.term_id.startswith("GO:"):
+            raise ValueError(f"GO ids start with 'GO:', got {self.term_id!r}")
+
+
+_FUNCTION_STEMS = (
+    "kinase activity",
+    "phosphatase activity",
+    "ATP binding",
+    "DNA binding",
+    "RNA binding",
+    "receptor activity",
+    "transporter activity",
+    "oxidoreductase activity",
+    "hydrolase activity",
+    "transferase activity",
+    "ligase activity",
+    "isomerase activity",
+    "structural molecule activity",
+    "signal transducer activity",
+    "metal ion binding",
+    "protein binding",
+    "catalytic activity",
+    "transcription factor activity",
+    "chaperone activity",
+    "peptidase activity",
+)
+
+
+class GeneOntology:
+    """The GO term DAG with ancestor/descendant queries."""
+
+    ROOT_ID = "GO:0003674"  # molecular_function
+
+    def __init__(self) -> None:
+        self._terms: Dict[str, GOTerm] = {}
+        self.add(GOTerm(self.ROOT_ID, "molecular_function"))
+
+    def add(self, term: GOTerm) -> None:
+        """Add a term; parents must already exist."""
+        if term.term_id in self._terms:
+            raise ValueError(f"duplicate GO term {term.term_id!r}")
+        for parent in term.parents:
+            if parent not in self._terms:
+                raise ValueError(
+                    f"term {term.term_id} references unknown parent {parent!r}"
+                )
+        self._terms[term.term_id] = term
+
+    def get(self, term_id: str) -> GOTerm:
+        """The term by id; KeyError for unknown ids."""
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise KeyError(f"unknown GO term {term_id!r}") from None
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[GOTerm]:
+        return iter(self._terms.values())
+
+    def term_ids(self) -> List[str]:
+        """Every term id, root first."""
+        return list(self._terms)
+
+    def ancestors(self, term_id: str) -> Set[str]:
+        """Transitive parents (excluding the term itself)."""
+        result: Set[str] = set()
+        stack = list(self.get(term_id).parents)
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self.get(current).parents)
+        return result
+
+    def descendants(self, term_id: str) -> Set[str]:
+        """Transitive children of a term."""
+
+        self.get(term_id)
+        children: Dict[str, Set[str]] = {}
+        for term in self._terms.values():
+            for parent in term.parents:
+                children.setdefault(parent, set()).add(term.term_id)
+        result: Set[str] = set()
+        stack = [term_id]
+        while stack:
+            current = stack.pop()
+            for child in children.get(current, ()):
+                if child not in result:
+                    result.add(child)
+                    stack.append(child)
+        return result
+
+    def depth(self, term_id: str) -> int:
+        """Shortest path length to the root."""
+        if term_id == self.ROOT_ID:
+            return 0
+        frontier = {term_id}
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: Set[str] = set()
+            for current in frontier:
+                for parent in self.get(current).parents:
+                    if parent == self.ROOT_ID:
+                        return depth
+                    next_frontier.add(parent)
+            frontier = next_frontier
+        raise ValueError(f"term {term_id} is disconnected from the root")
+
+
+def make_go_id(index: int) -> str:
+    """Format a synthetic GO id (GO:NNNNNNN)."""
+    return f"GO:{index:07d}"
+
+
+def generate_gene_ontology(
+    n_terms: int = 120, seed: int = 13, max_parents: int = 2
+) -> GeneOntology:
+    """A seeded molecular-function DAG of ``n_terms`` terms."""
+    if n_terms < 1:
+        raise ValueError("n_terms must be >= 1")
+    rng = random.Random(seed)
+    ontology = GeneOntology()
+    created: List[str] = [GeneOntology.ROOT_ID]
+    for index in range(1, n_terms + 1):
+        term_id = make_go_id(index)
+        n_parents = 1 if len(created) == 1 else rng.randint(1, max_parents)
+        parents = tuple(
+            sorted(rng.sample(created, min(n_parents, len(created))))
+        )
+        stem = _FUNCTION_STEMS[(index - 1) % len(_FUNCTION_STEMS)]
+        qualifier = (index - 1) // len(_FUNCTION_STEMS)
+        name = stem if qualifier == 0 else f"{stem} (variant {qualifier})"
+        ontology.add(
+            GOTerm(term_id, name, namespace="molecular_function", parents=parents)
+        )
+        created.append(term_id)
+    return ontology

@@ -1,0 +1,98 @@
+"""Amino-acid monoisotopic masses and peptide mass calculation."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Monoisotopic residue masses in Daltons (standard 20 amino acids).
+RESIDUE_MONO: Dict[str, float] = {
+    "G": 57.02146,
+    "A": 71.03711,
+    "S": 87.03203,
+    "P": 97.05276,
+    "V": 99.06841,
+    "T": 101.04768,
+    "C": 103.00919,
+    "L": 113.08406,
+    "I": 113.08406,
+    "N": 114.04293,
+    "D": 115.02694,
+    "Q": 128.05858,
+    "K": 128.09496,
+    "E": 129.04259,
+    "M": 131.04049,
+    "H": 137.05891,
+    "F": 147.06841,
+    "R": 156.10111,
+    "Y": 163.06333,
+    "W": 186.07931,
+}
+
+#: Mass of one water molecule, added to the residue sum of any peptide.
+WATER_MONO = 18.010565
+
+#: Mass of a proton; singly-protonated [M+H]+ ions are what PMF observes.
+PROTON = 1.007276
+
+#: Approximate natural frequencies of amino acids in vertebrate proteins,
+#: used by the synthetic proteome generator.
+RESIDUE_FREQUENCIES: Dict[str, float] = {
+    "A": 0.074,
+    "R": 0.042,
+    "N": 0.044,
+    "D": 0.059,
+    "C": 0.033,
+    "E": 0.058,
+    "Q": 0.037,
+    "G": 0.074,
+    "H": 0.029,
+    "I": 0.038,
+    "L": 0.076,
+    "K": 0.072,
+    "M": 0.018,
+    "F": 0.040,
+    "P": 0.050,
+    "S": 0.081,
+    "T": 0.062,
+    "W": 0.013,
+    "Y": 0.033,
+    "V": 0.068,
+}
+
+
+class InvalidSequenceError(ValueError):
+    """Raised for sequences containing non-standard residues."""
+
+
+def validate_sequence(sequence: str) -> str:
+    """Uppercase and validate a protein/peptide sequence."""
+    sequence = sequence.upper()
+    for residue in sequence:
+        if residue not in RESIDUE_MONO:
+            raise InvalidSequenceError(
+                f"unknown amino-acid residue {residue!r} in sequence"
+            )
+    return sequence
+
+
+def peptide_mass(sequence: str) -> float:
+    """Neutral monoisotopic mass of a peptide (residues + one water)."""
+    sequence = validate_sequence(sequence)
+    if not sequence:
+        raise InvalidSequenceError("cannot compute the mass of an empty peptide")
+    return sum(RESIDUE_MONO[residue] for residue in sequence) + WATER_MONO
+
+
+def mh_ion_mass(sequence: str) -> float:
+    """[M+H]+ ion mass, the quantity a PMF peak list reports."""
+    return peptide_mass(sequence) + PROTON
+
+
+def ppm_error(observed: float, theoretical: float) -> float:
+    """Relative mass error in parts-per-million."""
+    return (observed - theoretical) / theoretical * 1e6
+
+
+def within_tolerance(observed: float, theoretical: float, tolerance_ppm: float) -> bool:
+    """Does an observed mass match a theoretical one within a ppm window?"""
+    return abs(ppm_error(observed, theoretical)) <= tolerance_ppm

@@ -1,0 +1,114 @@
+"""A PEDRo-like repository of experimental proteomics data.
+
+PEDRo (Garwood et al. 2004) stores and disseminates experimental
+proteomics data; the paper's experiment retrieves "the peptide masses
+for 10 protein spots, extracted from a PEDRo data file".  This module
+stores samples (protein spots with their acquired peak lists and lab
+metadata) and can export/import the simple XML data-file format the
+workflow's first step consumes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.proteomics.spectrometer import PeakList
+
+
+@dataclass
+class Sample:
+    """One protein spot: identifier, acquisition, provenance metadata."""
+
+    sample_id: str
+    peaks: PeakList
+    lab: str = "unknown"
+    instrument: str = "MALDI-TOF"
+    #: Ground-truth accessions (simulation only; real PEDRo has no truth).
+    true_accessions: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.peaks)
+
+
+class PedroRepository:
+    """Sample-keyed experimental data store."""
+
+    def __init__(self, name: str = "pedro") -> None:
+        self.name = name
+        self._samples: Dict[str, Sample] = {}
+
+    def add(self, sample: Sample) -> None:
+        """Store a sample; duplicate ids are rejected."""
+        if sample.sample_id in self._samples:
+            raise ValueError(f"duplicate sample id {sample.sample_id!r}")
+        self._samples[sample.sample_id] = sample
+
+    def get(self, sample_id: str) -> Sample:
+        """The sample by id."""
+        try:
+            return self._samples[sample_id]
+        except KeyError:
+            raise KeyError(f"unknown sample {sample_id!r}") from None
+
+    def sample_ids(self) -> List[str]:
+        """Every sample id, in insertion order."""
+        return list(self._samples)
+
+    def samples(self, sample_ids: Optional[Sequence[str]] = None) -> List[Sample]:
+        """Retrieve samples (all, or the requested subset, in order)."""
+        if sample_ids is None:
+            return list(self._samples.values())
+        return [self.get(sample_id) for sample_id in sample_ids]
+
+    def __contains__(self, sample_id: str) -> bool:
+        return sample_id in self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples.values())
+
+    # -- the PEDRo data-file format -------------------------------------------
+
+    def to_xml(self) -> str:
+        """Serialise the repository as a PEDRo-style data file."""
+
+        root = ET.Element("pedroDataFile", {"repository": self.name})
+        for sample in self._samples.values():
+            element = ET.SubElement(
+                root,
+                "sample",
+                {
+                    "id": sample.sample_id,
+                    "lab": sample.lab,
+                    "instrument": sample.instrument,
+                },
+            )
+            peaks = ET.SubElement(element, "peakList")
+            peaks.text = " ".join(f"{mass:.5f}" for mass in sample.peaks)
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "PedroRepository":
+        """Load a repository from a PEDRo-style data file."""
+
+        root = ET.fromstring(text)
+        repository = cls(root.get("repository") or "pedro")
+        for element in root.findall("sample"):
+            peaks_el = element.find("peakList")
+            masses = []
+            if peaks_el is not None and peaks_el.text:
+                masses = [float(token) for token in peaks_el.text.split()]
+            repository.add(
+                Sample(
+                    sample_id=element.get("id") or "",
+                    peaks=PeakList(masses),
+                    lab=element.get("lab") or "unknown",
+                    instrument=element.get("instrument") or "MALDI-TOF",
+                )
+            )
+        return repository

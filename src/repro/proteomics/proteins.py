@@ -1,0 +1,124 @@
+"""Proteins and the synthetic reference sequence database.
+
+The reference database plays the role of the "reference protein
+sequence database" Imprint searches (paper Sec. 1.1).  The generator is
+seeded and samples sequences from natural amino-acid frequencies, so
+tryptic peptide mass distributions behave like real proteomes (many
+shared/near-isobaric peptides, which is what makes PMF identifications
+uncertain in the first place).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.proteomics.masses import RESIDUE_FREQUENCIES, validate_sequence
+
+_ORGANISMS = ("human", "mouse", "yeast", "rat", "zebrafish")
+
+
+@dataclass(frozen=True)
+class Protein:
+    """One reference-database entry."""
+
+    accession: str
+    name: str
+    sequence: str
+    organism: str = "human"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sequence", validate_sequence(self.sequence))
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+class ReferenceDatabase:
+    """An accession-keyed protein sequence database."""
+
+    def __init__(self, name: str = "reference") -> None:
+        self.name = name
+        self._proteins: Dict[str, Protein] = {}
+
+    def add(self, protein: Protein) -> None:
+        """Add a protein; duplicate accessions are rejected."""
+        if protein.accession in self._proteins:
+            raise ValueError(f"duplicate accession {protein.accession!r}")
+        self._proteins[protein.accession] = protein
+
+    def get(self, accession: str) -> Protein:
+        """The protein by accession; KeyError names the database."""
+        try:
+            return self._proteins[accession]
+        except KeyError:
+            raise KeyError(
+                f"accession {accession!r} not in database {self.name!r}"
+            ) from None
+
+    def __contains__(self, accession: str) -> bool:
+        return accession in self._proteins
+
+    def __len__(self) -> int:
+        return len(self._proteins)
+
+    def __iter__(self) -> Iterator[Protein]:
+        return iter(self._proteins.values())
+
+    def accessions(self) -> List[str]:
+        """All accessions, in insertion order."""
+        return list(self._proteins)
+
+    def by_organism(self, organism: str) -> List[Protein]:
+        """The proteins of one organism."""
+        return [p for p in self._proteins.values() if p.organism == organism]
+
+    def __repr__(self) -> str:
+        return f"<ReferenceDatabase {self.name!r}: {len(self)} proteins>"
+
+
+def _random_sequence(rng: random.Random, length: int) -> str:
+    residues = list(RESIDUE_FREQUENCIES)
+    weights = [RESIDUE_FREQUENCIES[r] for r in residues]
+    return "".join(rng.choices(residues, weights=weights, k=length))
+
+
+def make_accession(index: int) -> str:
+    """Uniprot-style accession numbers: P00001, P00002, ..."""
+    return f"P{index:05d}"
+
+
+def generate_reference_database(
+    n_proteins: int = 500,
+    seed: int = 7,
+    min_length: int = 120,
+    max_length: int = 900,
+    name: str = "reference",
+    organisms: Sequence[str] = _ORGANISMS,
+) -> ReferenceDatabase:
+    """A seeded synthetic proteome.
+
+    Lengths are drawn log-uniformly between the bounds (real protein
+    lengths are right-skewed); organisms cycle deterministically so
+    per-organism subsets are non-trivial.
+    """
+    if n_proteins <= 0:
+        raise ValueError("n_proteins must be positive")
+    if min_length < 30:
+        raise ValueError("proteins shorter than 30 residues digest degenerately")
+    rng = random.Random(seed)
+    database = ReferenceDatabase(name)
+    import math
+
+    log_min, log_max = math.log(min_length), math.log(max_length)
+    for index in range(1, n_proteins + 1):
+        length = int(math.exp(rng.uniform(log_min, log_max)))
+        protein = Protein(
+            accession=make_accession(index),
+            name=f"Synthetic protein {index}",
+            sequence=_random_sequence(rng, length),
+            organism=organisms[(index - 1) % len(organisms)],
+        )
+        database.add(protein)
+    return database

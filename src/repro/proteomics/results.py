@@ -1,0 +1,85 @@
+"""Imprint result sets as quality-annotatable data items.
+
+Quality views operate on data items identified by URIs (paper Sec. 3:
+native identifiers are wrapped as LSIDs).  ``ImprintResultSet`` wraps a
+batch of Imprint runs, minting one LSID per hit entry — an instance of
+``q:ImprintHitEntry`` — and resolving back to the hit's indicators,
+accession and originating run, which is exactly what the Imprint-output
+annotation function needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.proteomics.imprint import ImprintHit, ImprintRun
+from repro.rdf import URIRef
+from repro.rdf.lsid import imprint_hit_lsid
+
+
+@dataclass(frozen=True)
+class HitReference:
+    """Back-reference from a data item to its run and hit."""
+
+    run_id: str
+    hit: ImprintHit
+
+
+class ImprintResultSet:
+    """The identified-hit data set of one or more Imprint runs."""
+
+    def __init__(self, runs: Sequence[ImprintRun]) -> None:
+        self.runs = list(runs)
+        self._by_item: Dict[URIRef, HitReference] = {}
+        self._order: List[URIRef] = []
+        for run in self.runs:
+            for hit in run.hits:
+                item = imprint_hit_lsid(run.run_id, hit.rank)
+                self._by_item[item] = HitReference(run.run_id, hit)
+                self._order.append(item)
+
+    def items(self) -> List[URIRef]:
+        """All hit-entry LSIDs, run order then rank order."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._by_item
+
+    def __iter__(self) -> Iterator[URIRef]:
+        return iter(self._order)
+
+    def reference(self, item: URIRef) -> HitReference:
+        """The (run id, hit) pair behind a data item."""
+        try:
+            return self._by_item[item]
+        except KeyError:
+            raise KeyError(f"{item} is not a hit of this result set") from None
+
+    def hit(self, item: URIRef) -> ImprintHit:
+        """The ImprintHit behind a data item."""
+        return self.reference(item).hit
+
+    def run_id(self, item: URIRef) -> str:
+        """The run that produced a data item."""
+        return self.reference(item).run_id
+
+    def accession(self, item: URIRef) -> str:
+        """The protein accession a data item identifies."""
+        return self.reference(item).hit.accession
+
+    def accessions(self, items: Optional[Sequence[URIRef]] = None) -> List[str]:
+        """Accessions for the given items (default: all), in order."""
+        selected = self._order if items is None else list(items)
+        return [self.accession(item) for item in selected]
+
+    def indicators(self, item: URIRef) -> Dict[str, float]:
+        """The quality indicators of a data item's hit."""
+        return self.reference(item).hit.indicators()
+
+    def items_of_run(self, run_id: str) -> List[URIRef]:
+        """The data items of one run, in rank order."""
+        return [i for i in self._order if self._by_item[i].run_id == run_id]

@@ -1,0 +1,133 @@
+"""A complete synthetic proteomics world with ground truth.
+
+Bundles every substrate a quality-view experiment needs — reference
+proteome, GO, GOA, Uniprot, a PEDRo repository populated by simulated
+acquisitions, and an Imprint engine — generated from a single seed.
+Because the simulation knows which proteins were actually in each spot,
+experiments can measure what the paper could only argue for: how well
+quality filtering separates true from false identifications.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.proteomics.go import GeneOntology, generate_gene_ontology
+from repro.proteomics.goa import GOADatabase, generate_goa
+from repro.proteomics.imprint import Imprint, ImprintRun, ImprintSettings
+from repro.proteomics.pedro import PedroRepository, Sample
+from repro.proteomics.proteins import ReferenceDatabase, generate_reference_database
+from repro.proteomics.spectrometer import (
+    MassSpectrometer,
+    SpectrometerSettings,
+)
+from repro.proteomics.uniprot import UniprotDatabase, generate_uniprot
+
+_LABS = (
+    ("aberdeen-mcb", 0.75, 20.0, 8),
+    ("manchester-proteomics", 0.65, 30.0, 14),
+    ("novice-lab", 0.5, 45.0, 24),
+)
+
+
+@dataclass
+class ProteomicsScenario:
+    """Everything generated; treat as immutable after construction."""
+
+    seed: int
+    reference: ReferenceDatabase
+    ontology: GeneOntology
+    goa: GOADatabase
+    uniprot: UniprotDatabase
+    pedro: PedroRepository
+    imprint: Imprint
+    ground_truth: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 42,
+        n_proteins: int = 400,
+        n_go_terms: int = 120,
+        n_spots: int = 10,
+        max_proteins_per_spot: int = 2,
+        imprint_settings: Optional[ImprintSettings] = None,
+        spectrometer_settings: Optional[SpectrometerSettings] = None,
+    ) -> "ProteomicsScenario":
+        """Build the full world deterministically from one seed."""
+        if n_spots < 1:
+            raise ValueError("n_spots must be >= 1")
+        rng = random.Random(seed)
+        reference = generate_reference_database(
+            n_proteins=n_proteins, seed=seed * 31 + 1
+        )
+        ontology = generate_gene_ontology(n_terms=n_go_terms, seed=seed * 31 + 2)
+        goa = generate_goa(reference, ontology, seed=seed * 31 + 3)
+        uniprot = generate_uniprot(reference, seed=seed * 31 + 4)
+        pedro = PedroRepository()
+        ground_truth: Dict[str, Set[str]] = {}
+        accessions = reference.accessions()
+        for spot in range(1, n_spots + 1):
+            lab, detection, error_ppm, noise = _LABS[(spot - 1) % len(_LABS)]
+            if spectrometer_settings is not None:
+                settings = spectrometer_settings
+            else:
+                settings = SpectrometerSettings(
+                    detection_rate=detection,
+                    mass_error_ppm=error_ppm,
+                    noise_peaks=noise,
+                )
+            spectrometer = MassSpectrometer(
+                settings=settings, seed=seed * 131 + spot
+            )
+            n_true = rng.randint(1, max_proteins_per_spot)
+            chosen = rng.sample(accessions, n_true)
+            proteins = [reference.get(accession) for accession in chosen]
+            peaks = spectrometer.acquire(proteins)
+            sample_id = f"spot-{spot:03d}"
+            pedro.add(
+                Sample(
+                    sample_id=sample_id,
+                    peaks=peaks,
+                    lab=lab,
+                    true_accessions=list(chosen),
+                )
+            )
+            ground_truth[sample_id] = set(chosen)
+        imprint = Imprint(
+            reference,
+            settings=imprint_settings if imprint_settings is not None else ImprintSettings(),
+        )
+        return cls(
+            seed=seed,
+            reference=reference,
+            ontology=ontology,
+            goa=goa,
+            uniprot=uniprot,
+            pedro=pedro,
+            imprint=imprint,
+            ground_truth=ground_truth,
+        )
+
+    # -- experiment helpers ----------------------------------------------------
+
+    def identify_all(self) -> List[ImprintRun]:
+        """Run Imprint over every PEDRo sample, in repository order."""
+        return [
+            self.imprint.identify(sample.peaks, run_id=sample.sample_id)
+            for sample in self.pedro
+        ]
+
+    def is_true_positive(self, sample_id: str, accession: str) -> bool:
+        """Was this accession really in the sample?"""
+
+        return accession in self.ground_truth.get(sample_id, set())
+
+    def go_terms_for(self, accessions: Sequence[str]) -> List[str]:
+        """GO-term occurrences (with multiplicity) for a set of hits."""
+        terms: List[str] = []
+        for accession in accessions:
+            terms.extend(self.goa.terms_of(accession))
+        return terms

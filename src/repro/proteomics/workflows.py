@@ -1,0 +1,112 @@
+"""The ISPIDER proteomics analysis workflow (paper Fig. 1).
+
+Retrieve peak lists from PEDRo, identify proteins with Imprint (given
+configuration parameters and the reference sequence database), then
+query GOA for the functional annotations of every identified protein.
+The workflow is built from ordinary processors, so the quality-view
+deployment machinery can embed a compiled quality workflow between the
+identification and GO-retrieval steps exactly as in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.proteomics.imprint import ImprintRun
+from repro.proteomics.results import ImprintResultSet
+from repro.proteomics.scenario import ProteomicsScenario
+from repro.workflow.model import Workflow
+from repro.workflow.processors import PythonProcessor, StringConstantProcessor
+
+#: Stable processor names the deployment descriptors reference.
+PEAK_LIST_RETRIEVAL = "GetPeakLists"
+PROTEIN_IDENTIFICATION = "ProteinIdentification"
+COLLECT_ACCESSIONS = "CollectAccessions"
+GO_RETRIEVAL = "GORetrieval"
+
+
+def build_ispider_workflow(
+    scenario: ProteomicsScenario, name: str = "ispider-analysis"
+) -> Workflow:
+    """The original (quality-unaware) analysis workflow of Figure 1.
+
+    Inputs: ``sampleIDs`` (list of PEDRo sample identifiers).
+    Outputs: ``goTerms`` (GO-term occurrences, with multiplicity) and
+    ``identifications`` (the raw Imprint runs).
+    """
+    workflow = Workflow(name)
+    workflow.add_input("sampleIDs")
+    workflow.add_output("goTerms")
+    workflow.add_output("identifications")
+
+    def get_peak_lists(sampleIDs):
+        return scenario.pedro.samples(sampleIDs)
+
+    workflow.add_processor(
+        PythonProcessor(
+            PEAK_LIST_RETRIEVAL,
+            get_peak_lists,
+            input_ports={"sampleIDs": 1},
+            output_ports={"samples": 1},
+        )
+    )
+
+    def identify(sample, parameters):
+        del parameters  # carried for fidelity; Imprint holds its settings
+        return scenario.imprint.identify(sample.peaks, run_id=sample.sample_id)
+
+    workflow.add_processor(
+        PythonProcessor(
+            PROTEIN_IDENTIFICATION,
+            identify,
+            input_ports={"sample": 0, "parameters": 0},
+            output_ports={"run": 0},
+        )
+    )
+    workflow.add_processor(
+        StringConstantProcessor(
+            "ImprintParameters",
+            f"tolerance={scenario.imprint.settings.tolerance_ppm}ppm",
+        )
+    )
+
+    def collect_accessions(runs: List[ImprintRun]):
+        return ImprintResultSet(runs).accessions()
+
+    workflow.add_processor(
+        PythonProcessor(
+            COLLECT_ACCESSIONS,
+            collect_accessions,
+            input_ports={"runs": 1},
+            output_ports={"accessions": 1},
+        )
+    )
+
+    def retrieve_go_terms(accessions: List[str]):
+        return scenario.go_terms_for(accessions)
+
+    workflow.add_processor(
+        PythonProcessor(
+            GO_RETRIEVAL,
+            retrieve_go_terms,
+            input_ports={"accessions": 1},
+            output_ports={"goTerms": 1},
+        )
+    )
+
+    workflow.connect("", "sampleIDs", PEAK_LIST_RETRIEVAL, "sampleIDs")
+    workflow.connect(PEAK_LIST_RETRIEVAL, "samples", PROTEIN_IDENTIFICATION, "sample")
+    workflow.connect("ImprintParameters", "value", PROTEIN_IDENTIFICATION, "parameters")
+    workflow.connect(PROTEIN_IDENTIFICATION, "run", COLLECT_ACCESSIONS, "runs")
+    workflow.connect(COLLECT_ACCESSIONS, "accessions", GO_RETRIEVAL, "accessions")
+    workflow.connect(GO_RETRIEVAL, "goTerms", "", "goTerms")
+    workflow.connect(PROTEIN_IDENTIFICATION, "run", "", "identifications")
+    return workflow
+
+
+def go_term_frequencies(go_terms: List[str]) -> Dict[str, int]:
+    """Occurrence counts of GO terms (the pareto-chart input of Sec. 1.1)."""
+    counts: Dict[str, int] = {}
+    for term in go_terms:
+        counts[term] = counts.get(term, 0) + 1
+    return counts

@@ -1,0 +1,46 @@
+"""Domain-specific quality assertions and annotation functions.
+
+These are the "user space" components of the framework (paper Sec. 5.1):
+the three QAs of the running example — a Hit-Ratio + Mass-Coverage
+score, a Hit-Ratio-only score, and a ready-to-use three-way classifier
+at avg ± stddev — plus generic building blocks (threshold classifiers,
+decision-tree QAs) and the annotation functions that extract evidence
+from Imprint output, Uniprot evidence codes and journal impact factors.
+"""
+
+from repro.qa.pi_score import (
+    HRScoreQA,
+    UniversalPIScoreQA,
+    UniversalPIScore2QA,
+)
+from repro.qa.classifier import PIScoreClassifierQA, ThresholdClassifierQA
+from repro.qa.decision_tree import DecisionLeaf, DecisionNode, DecisionTreeQA
+from repro.qa.annotators import (
+    EvidenceCodeAnnotator,
+    ImprintOutputAnnotator,
+    JournalImpactAnnotator,
+)
+from repro.qa.learning import (
+    LabeledExample,
+    learn_decision_tree,
+    learn_quality_assertion,
+    tree_accuracy,
+)
+
+__all__ = [
+    "DecisionLeaf",
+    "DecisionNode",
+    "DecisionTreeQA",
+    "EvidenceCodeAnnotator",
+    "HRScoreQA",
+    "ImprintOutputAnnotator",
+    "JournalImpactAnnotator",
+    "LabeledExample",
+    "learn_decision_tree",
+    "learn_quality_assertion",
+    "tree_accuracy",
+    "PIScoreClassifierQA",
+    "ThresholdClassifierQA",
+    "UniversalPIScoreQA",
+    "UniversalPIScore2QA",
+]

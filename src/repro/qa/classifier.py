@@ -1,0 +1,140 @@
+"""Classification QAs.
+
+``PIScoreClassifierQA`` is the paper's third example QA: "a ready-to-use
+three-way classification (low, mid, high) based on the average and
+standard deviation of the Hit Ratio and Mass Coverage score.  The
+thresholds used for classification are (avg - stddev) and
+(avg + stddev)" (Sec. 5.1, footnote 19).  Because the thresholds come
+from the score distribution of the *collection*, this QA is inherently
+collection-level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.process.operators import QualityAssertionOperator
+from repro.qa.pi_score import UniversalPIScoreQA, _require_variables
+from repro.rdf import Q, URIRef
+
+
+def mean_and_stddev(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation (stddev 0 for n <= 1)."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot compute statistics of an empty collection")
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(variance)
+
+
+class PIScoreClassifierQA(QualityAssertionOperator):
+    """Three-way (low / mid / high) classification of the HR+MC score."""
+
+    def __init__(
+        self,
+        name: str = "PIScoreClassifier",
+        tag_name: str = "ScoreClass",
+        variables: Optional[Mapping[str, URIRef]] = None,
+        hr_weight: float = 0.5,
+        mc_weight: float = 0.5,
+    ) -> None:
+        if variables is None:
+            variables = {"hitRatio": Q.HitRatio, "coverage": Q.Coverage}
+        _require_variables(name, variables, ["hitRatio", "coverage"])
+        super().__init__(
+            name,
+            assertion_class=Q.PIScoreClassifier,
+            tag_name=tag_name,
+            tag_syn_type=Q["class"],
+            tag_sem_type=Q.PIScoreClassification,
+            variables=variables,
+        )
+        self._scorer = UniversalPIScoreQA(
+            name=f"{name}-score",
+            variables=variables,
+            hr_weight=hr_weight,
+            mc_weight=mc_weight,
+        )
+
+    def compute(
+        self, items: List[URIRef], vectors: List[Dict[str, Any]]
+    ) -> List[Any]:
+        """Class labels per item (None where evidence is missing)."""
+
+        scores = self._scorer.compute(items, vectors)
+        present = [s for s in scores if s is not None]
+        if not present:
+            return [None] * len(items)
+        average, stddev = mean_and_stddev(present)
+        low_threshold = average - stddev
+        high_threshold = average + stddev
+        labels: List[Any] = []
+        for score in scores:
+            if score is None:
+                labels.append(None)
+            elif score > high_threshold:
+                labels.append(Q.high)
+            elif score < low_threshold:
+                labels.append(Q.low)
+            else:
+                labels.append(Q.mid)
+        return labels
+
+
+class ThresholdClassifierQA(QualityAssertionOperator):
+    """A generic classifier: score function + ordered threshold bands.
+
+    ``bands`` is a list of (upper_bound, class_uri) pairs in ascending
+    bound order; scores above every bound get ``top_class``.  The score
+    function receives the item's evidence vector.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tag_name: str,
+        variables: Mapping[str, URIRef],
+        score_fn: Callable[[Dict[str, Any]], Optional[float]],
+        bands: Sequence[Tuple[float, URIRef]],
+        top_class: URIRef,
+        scheme: URIRef,
+        assertion_class: URIRef = Q.PIScoreClassifier,
+    ) -> None:
+        if not bands:
+            raise ValueError("at least one threshold band is required")
+        bounds = [bound for bound, _ in bands]
+        if bounds != sorted(bounds):
+            raise ValueError("threshold bands must be in ascending bound order")
+        super().__init__(
+            name,
+            assertion_class=assertion_class,
+            tag_name=tag_name,
+            tag_syn_type=Q["class"],
+            tag_sem_type=scheme,
+            variables=variables,
+        )
+        self.score_fn = score_fn
+        self.bands = list(bands)
+        self.top_class = top_class
+
+    def classify(self, score: float) -> URIRef:
+        """The class for a score, by ascending threshold bands."""
+        for bound, cls in self.bands:
+            if score <= bound:
+                return cls
+        return self.top_class
+
+    def compute(
+        self, items: List[URIRef], vectors: List[Dict[str, Any]]
+    ) -> List[Any]:
+        """Class labels per item (None where evidence is missing)."""
+
+        labels: List[Any] = []
+        for vector in vectors:
+            score = self.score_fn(vector)
+            labels.append(None if score is None else self.classify(score))
+        return labels

@@ -1,0 +1,131 @@
+"""Decision-tree quality assertions.
+
+The paper stresses that acceptability criteria are "arbitrary decision
+models, rather than ontology reasoning" and names complex decision
+trees as the canonical heavy-weight QA (Sec. 4).  ``DecisionTreeQA``
+evaluates a user-built tree over each item's evidence vector; trees can
+be constructed programmatically or from a nested-dict description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.process.operators import QualityAssertionOperator
+from repro.rdf import Q, URIRef
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class DecisionLeaf:
+    """A terminal node producing the tag value (score, class URI, ...)."""
+
+    value: Any
+
+    def decide(self, vector: Mapping[str, Any]) -> Any:
+        """Walk the tree for one evidence vector; returns the leaf value."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class DecisionNode:
+    """An internal test: ``variable op threshold`` -> then / else branch.
+
+    Items whose variable is missing take the ``missing`` branch
+    (defaults to the else branch).
+    """
+
+    variable: str
+    op: str
+    threshold: Any
+    then_branch: Union["DecisionNode", DecisionLeaf]
+    else_branch: Union["DecisionNode", DecisionLeaf]
+    missing: Optional[Union["DecisionNode", DecisionLeaf]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(
+                f"unknown decision operator {self.op!r}; valid: {sorted(_OPS)}"
+            )
+
+    def decide(self, vector: Mapping[str, Any]) -> Any:
+        """Walk the tree for one evidence vector; returns the leaf value."""
+        node: Union[DecisionNode, DecisionLeaf] = self
+        while isinstance(node, DecisionNode):
+            value = vector.get(node.variable)
+            if value is None:
+                node = node.missing if node.missing is not None else node.else_branch
+                continue
+            node = (
+                node.then_branch
+                if _OPS[node.op](value, node.threshold)
+                else node.else_branch
+            )
+        return node.value
+
+
+def tree_from_dict(description: Mapping[str, Any]) -> Union[DecisionNode, DecisionLeaf]:
+    """Build a tree from a nested description.
+
+    Leaves: ``{"value": ...}``.  Nodes: ``{"variable": ..., "op": ...,
+    "threshold": ..., "then": <node>, "else": <node>, "missing": <node>?}``.
+    """
+    if "value" in description:
+        return DecisionLeaf(description["value"])
+    try:
+        return DecisionNode(
+            variable=description["variable"],
+            op=description["op"],
+            threshold=description["threshold"],
+            then_branch=tree_from_dict(description["then"]),
+            else_branch=tree_from_dict(description["else"]),
+            missing=(
+                tree_from_dict(description["missing"])
+                if "missing" in description
+                else None
+            ),
+        )
+    except KeyError as exc:
+        raise ValueError(f"decision-tree description missing key {exc}") from exc
+
+
+class DecisionTreeQA(QualityAssertionOperator):
+    """A QA evaluating a decision tree per item."""
+
+    def __init__(
+        self,
+        name: str,
+        tag_name: str,
+        variables: Mapping[str, URIRef],
+        tree: Union[DecisionNode, DecisionLeaf, Mapping[str, Any]],
+        tag_syn_type: Optional[URIRef] = None,
+        tag_sem_type: Optional[URIRef] = None,
+        assertion_class: URIRef = Q.QualityAssertion,
+    ) -> None:
+        if isinstance(tree, Mapping):
+            tree = tree_from_dict(tree)
+        super().__init__(
+            name,
+            assertion_class=assertion_class,
+            tag_name=tag_name,
+            tag_syn_type=tag_syn_type,
+            tag_sem_type=tag_sem_type,
+            variables=variables,
+        )
+        self.tree = tree
+
+    def compute(
+        self, items: List[URIRef], vectors: List[Dict[str, Any]]
+    ) -> List[Any]:
+        """Tree verdicts per item."""
+
+        return [self.tree.decide(vector) for vector in vectors]

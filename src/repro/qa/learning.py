@@ -1,0 +1,221 @@
+"""Learning decision models from example data.
+
+Paper Sec. 7, current work (ii): "investigating the use of machine
+learning techniques to derive decision models and quality functions
+from example data sets."  This module implements that extension: a
+CART-style decision-tree learner over evidence vectors that produces
+exactly the :class:`~repro.qa.decision_tree.DecisionTreeQA` trees the
+framework already executes, so a learned model plugs into quality views
+like any hand-written QA.
+
+The learner is deliberately simple and dependency-free: binary
+threshold splits on numeric evidence, Gini impurity or entropy, depth
+and minimum-leaf-size stopping, majority-vote leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.qa.decision_tree import DecisionLeaf, DecisionNode, DecisionTreeQA
+from repro.rdf import Q, URIRef
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    """One training instance: an evidence vector and its quality label."""
+
+    vector: Mapping[str, Any]
+    label: Any
+
+
+def gini_impurity(labels: Sequence[Any]) -> float:
+    """Gini impurity of a label multiset (0 = pure)."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return 1.0 - sum((c / n) ** 2 for c in counts.values())
+
+
+def entropy(labels: Sequence[Any]) -> float:
+    """Shannon entropy of a label multiset in bits."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return -sum(
+        (c / n) * math.log2(c / n) for c in counts.values() if c > 0
+    )
+
+
+_IMPURITY = {"gini": gini_impurity, "entropy": entropy}
+
+
+def majority_label(examples: Sequence[LabeledExample]) -> Any:
+    """Most common label, ties broken by string order for determinism."""
+    counts = Counter(e.label for e in examples)
+    best_count = max(counts.values())
+    candidates = sorted(
+        (label for label, c in counts.items() if c == best_count), key=str
+    )
+    return candidates[0]
+
+
+def _candidate_thresholds(values: List[float]) -> List[float]:
+    """Midpoints between consecutive distinct sorted values."""
+    distinct = sorted(set(values))
+    return [
+        (a + b) / 2.0 for a, b in zip(distinct, distinct[1:])
+    ]
+
+
+@dataclass
+class _Split:
+    variable: str
+    threshold: float
+    gain: float
+    left: List[LabeledExample] = field(default_factory=list)
+    right: List[LabeledExample] = field(default_factory=list)
+
+
+def _best_split(
+    examples: Sequence[LabeledExample],
+    variables: Sequence[str],
+    impurity_fn,
+) -> Optional[_Split]:
+    parent_labels = [e.label for e in examples]
+    parent_impurity = impurity_fn(parent_labels)
+    if parent_impurity == 0.0:
+        return None
+    n = len(examples)
+    best: Optional[_Split] = None
+    for variable in variables:
+        with_value = [
+            e for e in examples
+            if isinstance(e.vector.get(variable), (int, float))
+            and not isinstance(e.vector.get(variable), bool)
+        ]
+        if len(with_value) < 2:
+            continue
+        missing = [e for e in examples if e not in with_value]
+        values = [float(e.vector[variable]) for e in with_value]
+        for threshold in _candidate_thresholds(values):
+            # '>' goes to the then-branch, mirroring DecisionNode; missing
+            # values follow the else branch (DecisionNode default).
+            right = [
+                e for e in with_value if float(e.vector[variable]) > threshold
+            ]
+            left = [
+                e for e in with_value if float(e.vector[variable]) <= threshold
+            ] + missing
+            if not left or not right:
+                continue
+            weighted = (
+                len(left) / n * impurity_fn([e.label for e in left])
+                + len(right) / n * impurity_fn([e.label for e in right])
+            )
+            gain = parent_impurity - weighted
+            if best is None or gain > best.gain + 1e-12:
+                best = _Split(variable, threshold, gain, left, right)
+    return best
+
+
+def learn_decision_tree(
+    examples: Sequence[LabeledExample],
+    variables: Sequence[str],
+    max_depth: int = 4,
+    min_samples_leaf: int = 3,
+    min_gain: float = 1e-4,
+    impurity: str = "gini",
+) -> Union[DecisionNode, DecisionLeaf]:
+    """Induce a decision tree over the given evidence variables.
+
+    Returns a tree in the framework's executable representation.
+    Raises ``ValueError`` on an empty training set or unknown impurity.
+    """
+    if not examples:
+        raise ValueError("cannot learn from an empty example set")
+    try:
+        impurity_fn = _IMPURITY[impurity]
+    except KeyError:
+        raise ValueError(
+            f"unknown impurity {impurity!r}; valid: {sorted(_IMPURITY)}"
+        ) from None
+    if max_depth < 0:
+        raise ValueError("max_depth must be >= 0")
+
+    def grow(subset: Sequence[LabeledExample], depth: int):
+        if (
+            depth >= max_depth
+            or len(subset) < 2 * min_samples_leaf
+        ):
+            return DecisionLeaf(majority_label(subset))
+        split = _best_split(subset, variables, impurity_fn)
+        if (
+            split is None
+            or split.gain < min_gain
+            or len(split.left) < min_samples_leaf
+            or len(split.right) < min_samples_leaf
+        ):
+            return DecisionLeaf(majority_label(subset))
+        return DecisionNode(
+            variable=split.variable,
+            op=">",
+            threshold=round(split.threshold, 6),
+            then_branch=grow(split.right, depth + 1),
+            else_branch=grow(split.left, depth + 1),
+        )
+
+    return grow(list(examples), 0)
+
+
+def tree_depth(tree: Union[DecisionNode, DecisionLeaf]) -> int:
+    """The longest root-to-leaf path length."""
+
+    if isinstance(tree, DecisionLeaf):
+        return 0
+    return 1 + max(tree_depth(tree.then_branch), tree_depth(tree.else_branch))
+
+
+def tree_accuracy(
+    tree: Union[DecisionNode, DecisionLeaf],
+    examples: Sequence[LabeledExample],
+) -> float:
+    """Fraction of examples the tree labels correctly."""
+    if not examples:
+        raise ValueError("cannot score on an empty example set")
+    hits = sum(1 for e in examples if tree.decide(e.vector) == e.label)
+    return hits / len(examples)
+
+
+def learn_quality_assertion(
+    name: str,
+    tag_name: str,
+    variables: Mapping[str, URIRef],
+    examples: Sequence[LabeledExample],
+    tag_syn_type: Optional[URIRef] = None,
+    tag_sem_type: Optional[URIRef] = None,
+    assertion_class: URIRef = Q.QualityAssertion,
+    **learner_options: Any,
+) -> DecisionTreeQA:
+    """Train a tree on examples and wrap it as a deployable QA operator.
+
+    ``variables`` maps the training vector's feature names to evidence
+    types, exactly like any hand-written QA's variable bindings.
+    """
+    tree = learn_decision_tree(
+        examples, list(variables), **learner_options
+    )
+    return DecisionTreeQA(
+        name,
+        tag_name,
+        variables,
+        tree,
+        tag_syn_type=tag_syn_type,
+        tag_sem_type=tag_sem_type,
+        assertion_class=assertion_class,
+    )

@@ -1,0 +1,61 @@
+"""Quality views: declarative specifications of quality processes.
+
+Paper Sec. 5.1: quality views are "concrete and machine-processable
+specifications for instances of our general quality process pattern,
+expressed in an XML syntax", defined purely over the abstract operator
+model and therefore independent of both the input data and the target
+environment.  This package provides the spec model, the XML reader and
+writer, semantic validation against the IQ ontology, the compiler that
+targets the workflow environment (Sec. 6.1), and the deployment
+descriptors that embed compiled views in host workflows (Sec. 6.2).
+"""
+
+from repro.qv.spec import (
+    ActionSpec,
+    AnnotatorSpec,
+    AssertionSpec,
+    QualityViewSpec,
+    SplitterGroupSpec,
+    VariableSpec,
+)
+from repro.qv.xml_io import QVSyntaxError, parse_quality_view, quality_view_to_xml
+from repro.qv.validator import QVValidationError, validate_quality_view
+from repro.qv.compiler import QVCompiler, CompilationError
+from repro.qv.deployment import (
+    AdapterSpec,
+    ConnectorSpec,
+    DeploymentDescriptor,
+    DeploymentError,
+    embed_quality_workflow,
+)
+from repro.qv.process_target import ProcessTargetCompiler
+from repro.qv.library import LibraryEntry, LibraryError, QualityViewLibrary
+from repro.qv.diff import ViewDiff, diff_views, render_diff
+
+__all__ = [
+    "ActionSpec",
+    "AdapterSpec",
+    "AnnotatorSpec",
+    "AssertionSpec",
+    "CompilationError",
+    "ConnectorSpec",
+    "DeploymentDescriptor",
+    "DeploymentError",
+    "LibraryEntry",
+    "LibraryError",
+    "ProcessTargetCompiler",
+    "QVCompiler",
+    "QualityViewLibrary",
+    "QVSyntaxError",
+    "QVValidationError",
+    "QualityViewSpec",
+    "SplitterGroupSpec",
+    "VariableSpec",
+    "ViewDiff",
+    "diff_views",
+    "render_diff",
+    "embed_quality_workflow",
+    "parse_quality_view",
+    "quality_view_to_xml",
+    "validate_quality_view",
+]

@@ -1,0 +1,363 @@
+"""Compilation of quality views into executable quality workflows.
+
+The compiler follows the rules of paper Sec. 6.1 exactly:
+
+1. *Annotators are added first*; their data-set input comes from the
+   workflow input, their output is empty — they only write to their
+   repository.
+2. By analysing annotator and QA declarations, the compiler determines
+   the association between each evidence type and the repository where
+   its value is found, adds *one single Data Enrichment operator*
+   configured with that association, and installs *a control link from
+   each annotator to the DE*.
+3. The DE's output annotation map *feeds all QA processors* through the
+   common service interface.
+4. A ``ConsolidateAssertions`` task merges the per-QA maps into a
+   consistent view of multiple assertions.
+5. *Action processors are added next*, fed from the consolidated map;
+   their group ports carry the surviving data back out.
+
+The compiled workflow has one input, ``dataSet`` (the item URIs), and
+outputs ``annotationMap`` plus one port per action group.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+from repro.annotation.manager import RepositoryManager
+from repro.annotation.map import AnnotationMap
+from repro.annotation.store import AnnotationStore
+from repro.binding.model import BindingError
+from repro.binding.registry import BindingRegistry
+from repro.ontology.iq_model import IQModel
+from repro.process.actions import DEFAULT_GROUP, FilterAction, SplitterAction
+from repro.qv.spec import ActionSpec, QualityViewSpec
+from repro.qv.validator import validate_quality_view
+from repro.rdf import URIRef
+from repro.services.interface import AnnotationService, QualityAssertionService
+from repro.services.messages import DataSetMessage
+from repro.services.registry import ServiceRegistry
+from repro.workflow.model import Workflow
+from repro.workflow.processors import Processor
+
+#: Compiler-assigned processor names (checked by the Fig. 6 benchmark).
+DATA_ENRICHMENT = "DataEnrichment"
+CONSOLIDATE = "ConsolidateAssertions"
+
+
+class CompilationError(ValueError):
+    """Raised when a view cannot be compiled for the target environment."""
+
+
+def sanitize(name: str) -> str:
+    """Turn an arbitrary name into a safe port identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]+", "_", name).strip("_")
+    return cleaned or "port"
+
+
+class AnnotatorProcessor(Processor):
+    """A compiled annotation operator: computes evidence, writes the
+    repository, produces no data output (control-linked to the DE)."""
+
+    def __init__(
+        self,
+        name: str,
+        service: AnnotationService,
+        store: AnnotationStore,
+        evidence_types: List[URIRef],
+        data_class: Optional[URIRef] = None,
+    ) -> None:
+        super().__init__(name, input_ports={"dataSet": 1}, output_ports={})
+        self.service = service
+        self.store = store
+        self.evidence_types = list(evidence_types)
+        self.data_class = data_class
+
+    def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute this compiled step; see the class docstring."""
+
+        items = list(inputs.get("dataSet") or [])
+        computed = self.service.invoke(DataSetMessage(items), AnnotationMap())
+        wanted = set(self.evidence_types)
+        restricted = AnnotationMap()
+        for item in computed.items():
+            restricted.add_item(item)
+            for evidence_type, value in computed.evidence_for(item).items():
+                if evidence_type in wanted:
+                    restricted.set_evidence(item, evidence_type, value)
+        self.store.annotate_map(restricted, data_class=self.data_class)
+        return {}
+
+
+class DataEnrichmentProcessor(Processor):
+    """The single compiled DE: reads (item, evidence) keys per repository."""
+
+    def __init__(self, name: str, sources: Mapping[URIRef, AnnotationStore]) -> None:
+        super().__init__(
+            name, input_ports={"dataSet": 1}, output_ports={"annotationMap": 1}
+        )
+        self.sources = dict(sources)
+
+    def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute this compiled step; see the class docstring."""
+
+        items = list(inputs.get("dataSet") or [])
+        amap = AnnotationMap(items)
+        by_store: Dict[AnnotationStore, List[URIRef]] = {}
+        for evidence_type, store in self.sources.items():
+            by_store.setdefault(store, []).append(evidence_type)
+        for store, evidence_types in by_store.items():
+            store.enrich(amap, items, evidence_types)
+        return {"annotationMap": amap}
+
+
+class AssertionProcessor(Processor):
+    """A compiled QA: invokes the bound service with the view's config."""
+
+    def __init__(self, name: str, service: QualityAssertionService, config) -> None:
+        super().__init__(
+            name,
+            input_ports={"dataSet": 1, "annotationMap": 1},
+            output_ports={"annotationMap": 1},
+        )
+        self.service = service
+        self.config = dict(config)
+
+    def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute this compiled step; see the class docstring."""
+
+        items = list(inputs.get("dataSet") or [])
+        amap = inputs.get("annotationMap") or AnnotationMap()
+        result = self.service.invoke(
+            DataSetMessage(items), amap, context=self.config
+        )
+        return {"annotationMap": result}
+
+
+class ConsolidateProcessor(Processor):
+    """Merges the per-QA annotation maps into one consistent view."""
+
+    def __init__(self, name: str, n_maps: int) -> None:
+        if n_maps < 1:
+            raise CompilationError("nothing to consolidate")
+        super().__init__(
+            name,
+            input_ports={f"map{i}": 1 for i in range(n_maps)},
+            output_ports={"annotationMap": 1},
+        )
+        self.n_maps = n_maps
+
+    def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute this compiled step; see the class docstring."""
+
+        merged = AnnotationMap()
+        for i in range(self.n_maps):
+            amap = inputs.get(f"map{i}")
+            if amap is not None:
+                merged.merge(amap)
+        return {"annotationMap": merged}
+
+
+class ActionProcessor(Processor):
+    """A compiled action: routes items to one port per group."""
+
+    def __init__(
+        self,
+        name: str,
+        action_spec: ActionSpec,
+        variable_bindings: Mapping[str, URIRef],
+        namespaces,
+    ) -> None:
+        if action_spec.kind == "filter":
+            self.action = FilterAction(
+                action_spec.name, action_spec.condition or "", namespaces=namespaces
+            )
+            groups = [FilterAction.ACCEPTED]
+        else:
+            self.action = SplitterAction(
+                action_spec.name,
+                [(g.group, g.condition) for g in action_spec.groups],
+                namespaces=namespaces,
+            )
+            groups = [g.group for g in action_spec.groups] + [DEFAULT_GROUP]
+        self.group_ports = {group: sanitize(group) for group in groups}
+        output_ports = {port: 1 for port in self.group_ports.values()}
+        output_ports["outcome"] = 1
+        super().__init__(
+            name,
+            input_ports={"dataSet": 1, "annotationMap": 1},
+            output_ports=output_ports,
+        )
+        self.variable_bindings = dict(variable_bindings)
+
+    def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute this compiled step; see the class docstring."""
+
+        items = list(inputs.get("dataSet") or [])
+        amap = inputs.get("annotationMap") or AnnotationMap()
+        outcome = self.action.execute(items, amap, self.variable_bindings)
+        outputs: Dict[str, Any] = {"outcome": outcome}
+        for group, port in self.group_ports.items():
+            outputs[port] = outcome.items(group)
+        return outputs
+
+
+class QVCompiler:
+    """Targets quality views at the workflow environment."""
+
+    def __init__(
+        self,
+        iq_model: IQModel,
+        services: ServiceRegistry,
+        bindings: BindingRegistry,
+        repositories: RepositoryManager,
+    ) -> None:
+        self.iq_model = iq_model
+        self.services = services
+        self.bindings = bindings
+        self.repositories = repositories
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve_service(self, service_type: URIRef, service_name: str):
+        """Binding registry first (the paper's binding step), then names."""
+        try:
+            endpoint = self.bindings.resolve_endpoint(service_type)
+            return self.services.by_endpoint(endpoint)
+        except (BindingError, KeyError):
+            pass
+        if service_name in self.services:
+            return self.services.by_name(service_name)
+        try:
+            return self.services.resolve_concept(service_type)
+        except KeyError:
+            raise CompilationError(
+                f"no binding or deployed service for operator type "
+                f"{service_type} (service name {service_name!r})"
+            ) from None
+
+    def _store(self, repository_ref: str) -> AnnotationStore:
+        try:
+            return self.repositories.repository(repository_ref)
+        except KeyError as exc:
+            raise CompilationError(str(exc)) from exc
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(self, spec: QualityViewSpec, validate: bool = True) -> Workflow:
+        """Compile a validated view into a quality workflow."""
+
+        canonical: Dict[URIRef, URIRef] = {}
+        if validate:
+            report = validate_quality_view(
+                spec,
+                self.iq_model,
+                known_repositories=set(self.repositories.names()),
+            )
+            report.raise_if_failed()
+            canonical = report.canonicalised
+
+        def canon(evidence: URIRef) -> URIRef:
+            return canonical.get(evidence, evidence)
+
+        workflow = Workflow(f"qv:{spec.name}")
+        workflow.add_input("dataSet")
+        workflow.add_output("annotationMap")
+
+        # Rule 1: annotators first.
+        annotator_names: List[str] = []
+        for annotator in spec.annotators:
+            service = self._resolve_service(
+                annotator.service_type, annotator.service_name
+            )
+            if not isinstance(service, AnnotationService):
+                raise CompilationError(
+                    f"operator {annotator.service_name!r} resolved to "
+                    f"{type(service).__name__}; expected an annotation service"
+                )
+            processor = AnnotatorProcessor(
+                annotator.service_name,
+                service,
+                self._store(annotator.repository_ref),
+                [canon(e) for e in annotator.evidence_types()],
+                data_class=self.iq_model.DataEntity,
+            )
+            workflow.add_processor(processor)
+            workflow.connect("", "dataSet", processor.name, "dataSet")
+            annotator_names.append(processor.name)
+
+        # Rule 2: one DE, configured with the evidence -> repository map.
+        sources: Dict[URIRef, AnnotationStore] = {}
+        for assertion in spec.assertions:
+            for variable in assertion.variables:
+                evidence = canon(variable.evidence)
+                sources[evidence] = self._store(variable.repository_ref)
+        for annotator in spec.annotators:
+            for variable in annotator.variables:
+                evidence = canon(variable.evidence)
+                sources.setdefault(evidence, self._store(variable.repository_ref))
+        enrichment = DataEnrichmentProcessor(DATA_ENRICHMENT, sources)
+        workflow.add_processor(enrichment)
+        workflow.connect("", "dataSet", DATA_ENRICHMENT, "dataSet")
+        for annotator_name in annotator_names:
+            workflow.control(annotator_name, DATA_ENRICHMENT)
+
+        # Rule 3: the DE output feeds all QA processors.
+        assertion_names: List[str] = []
+        for assertion in spec.assertions:
+            service = self._resolve_service(
+                assertion.service_type, assertion.service_name
+            )
+            if not isinstance(service, QualityAssertionService):
+                raise CompilationError(
+                    f"operator {assertion.service_name!r} resolved to "
+                    f"{type(service).__name__}; expected a QA service"
+                )
+            config = {
+                "name": assertion.service_name,
+                "tag_name": assertion.tag_name,
+                "variables": {
+                    v.name: canon(v.evidence) for v in assertion.variables
+                },
+            }
+            processor = AssertionProcessor(assertion.service_name, service, config)
+            workflow.add_processor(processor)
+            workflow.connect("", "dataSet", processor.name, "dataSet")
+            workflow.connect(
+                DATA_ENRICHMENT, "annotationMap", processor.name, "annotationMap"
+            )
+            assertion_names.append(processor.name)
+
+        # Rule 4: consolidate the assertions.
+        if assertion_names:
+            consolidate = ConsolidateProcessor(CONSOLIDATE, len(assertion_names))
+            workflow.add_processor(consolidate)
+            for index, name in enumerate(assertion_names):
+                workflow.connect(name, "annotationMap", CONSOLIDATE, f"map{index}")
+        else:
+            consolidate = ConsolidateProcessor(CONSOLIDATE, 1)
+            workflow.add_processor(consolidate)
+            workflow.connect(DATA_ENRICHMENT, "annotationMap", CONSOLIDATE, "map0")
+        workflow.connect(CONSOLIDATE, "annotationMap", "", "annotationMap")
+
+        # Rule 5: actions last, fed from the consolidated map.
+        bindings = {
+            name: canon(evidence)
+            for name, evidence in spec.variable_bindings().items()
+        }
+        for action_spec in spec.actions:
+            processor = ActionProcessor(
+                action_spec.name, action_spec, bindings, spec.namespaces
+            )
+            workflow.add_processor(processor)
+            workflow.connect("", "dataSet", processor.name, "dataSet")
+            workflow.connect(
+                CONSOLIDATE, "annotationMap", processor.name, "annotationMap"
+            )
+            for group, port in processor.group_ports.items():
+                output = f"{sanitize(action_spec.name)}_{port}"
+                workflow.add_output(output)
+                workflow.connect(processor.name, port, "", output)
+        return workflow

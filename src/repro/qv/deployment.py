@@ -1,0 +1,221 @@
+"""Deployment descriptors: embedding quality workflows in host workflows.
+
+Paper Sec. 6.2: embedding needs "(i) a set of adapters that surround the
+embedded quality flows, and (ii) the connections among host and embedded
+processors, which may occur through the adapters", declared in a
+succinct XML syntax.  ``embed_quality_workflow`` merges a compiled
+quality workflow into a copy of the host, adds the declared adapter
+processors, cuts the host links the quality flow replaces, and installs
+the connectors.
+"""
+
+from __future__ import annotations
+
+import copy
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workflow.model import DataLink, Port, Workflow, WorkflowError
+from repro.workflow.processors import AdapterProcessor, Processor
+
+
+class DeploymentError(ValueError):
+    """Raised on invalid deployment descriptors."""
+
+
+@dataclass(frozen=True)
+class AdapterSpec:
+    """A registered adapter processor to add to the embedded workflow."""
+
+    name: str
+    adapter: Processor
+
+
+@dataclass(frozen=True)
+class ConnectorSpec:
+    """A data link to install between host/quality/adapter processors.
+
+    Port references use ``processor.port``; an empty processor addresses
+    the workflow's own ports.
+    """
+
+    source: Port
+    sink: Port
+
+
+@dataclass
+class DeploymentDescriptor:
+    """Everything needed to embed one quality workflow in one host."""
+
+    name: str
+    adapters: List[AdapterSpec] = field(default_factory=list)
+    connectors: List[ConnectorSpec] = field(default_factory=list)
+    #: Host data links the embedding replaces (source, sink) ports.
+    cut_links: List[Tuple[Port, Port]] = field(default_factory=list)
+    #: Prefix applied to embedded quality processors to avoid collisions.
+    prefix: str = ""
+
+    def connect(
+        self, source: str, source_port: str, sink: str, sink_port: str
+    ) -> "DeploymentDescriptor":
+        """Declare a connector; returns self for chaining."""
+
+        self.connectors.append(
+            ConnectorSpec(Port(source, source_port), Port(sink, sink_port))
+        )
+        return self
+
+    def cut(
+        self, source: str, source_port: str, sink: str, sink_port: str
+    ) -> "DeploymentDescriptor":
+        """Declare a host link to remove; returns self for chaining."""
+
+        self.cut_links.append((Port(source, source_port), Port(sink, sink_port)))
+        return self
+
+    def add_adapter(self, adapter: Processor) -> "DeploymentDescriptor":
+        """Register an adapter processor; returns self."""
+
+        self.adapters.append(AdapterSpec(adapter.name, adapter))
+        return self
+
+    # -- the succinct XML syntax -------------------------------------------
+
+    def to_xml(self) -> str:
+        """The descriptor in its succinct XML syntax."""
+
+        root = ET.Element("deployment", {"name": self.name})
+        for adapter in self.adapters:
+            ET.SubElement(root, "adapter", {"name": adapter.name})
+        for source, sink in self.cut_links:
+            ET.SubElement(root, "cut", {"source": str(source), "sink": str(sink)})
+        for connector in self.connectors:
+            ET.SubElement(
+                root,
+                "connector",
+                {"source": str(connector.source), "sink": str(connector.sink)},
+            )
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(
+        cls, text: str, adapter_registry: Optional[Dict[str, Processor]] = None
+    ) -> "DeploymentDescriptor":
+        """Parse descriptor XML; adapters resolve from a name registry."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise DeploymentError(f"malformed deployment XML: {exc}") from exc
+        descriptor = cls(name=root.get("name") or "deployment")
+        registry = adapter_registry or {}
+        for element in root:
+            if element.tag == "adapter":
+                name = element.get("name") or ""
+                if name not in registry:
+                    raise DeploymentError(
+                        f"adapter {name!r} is not registered; "
+                        f"known: {sorted(registry)}"
+                    )
+                descriptor.adapters.append(AdapterSpec(name, registry[name]))
+            elif element.tag == "cut":
+                descriptor.cut_links.append(
+                    (
+                        _parse_port(element.get("source") or ""),
+                        _parse_port(element.get("sink") or ""),
+                    )
+                )
+            elif element.tag == "connector":
+                descriptor.connectors.append(
+                    ConnectorSpec(
+                        _parse_port(element.get("source") or ""),
+                        _parse_port(element.get("sink") or ""),
+                    )
+                )
+            else:
+                raise DeploymentError(f"unexpected element <{element.tag}>")
+        return descriptor
+
+
+def input_sinks(quality: Workflow, input_name: str) -> List[Port]:
+    """The processor ports a quality-workflow input feeds.
+
+    Embedding drops workflow-level links, so the descriptor must rewire
+    every one of these sinks to the host-side source (usually an
+    adapter output); this helper enumerates them.
+    """
+    return [
+        link.sink
+        for link in quality.data_links
+        if not link.source.processor and link.source.port == input_name
+    ]
+
+
+def output_source(quality: Workflow, output_name: str) -> Port:
+    """The internal processor port feeding a quality-workflow output."""
+    for link in quality.data_links:
+        if not link.sink.processor and link.sink.port == output_name:
+            return link.source
+    raise DeploymentError(
+        f"quality workflow has no output named {output_name!r}"
+    )
+
+
+def _parse_port(text: str) -> Port:
+    if "." in text:
+        processor, _, port = text.rpartition(".")
+        return Port(processor, port)
+    return Port("", text)
+
+
+def embed_quality_workflow(
+    host: Workflow,
+    quality: Workflow,
+    descriptor: DeploymentDescriptor,
+    name: Optional[str] = None,
+) -> Workflow:
+    """Build the embedded workflow (the paper's Fig. 6 construction).
+
+    The host is copied, the quality workflow's processors are merged in
+    (under the descriptor's prefix), the replaced host links are cut,
+    adapters are added, and the declared connectors are installed.
+    Connector references to quality processors use their *original*
+    (unprefixed) names; the prefix is applied automatically.
+    """
+    embedded = Workflow(name or f"{host.name}+{quality.name}")
+    embedded.inputs = list(host.inputs)
+    embedded.outputs = list(host.outputs)
+    for processor_name, processor in host.processors.items():
+        embedded.processors[processor_name] = processor
+    embedded.data_links = list(host.data_links)
+    embedded.control_links = list(host.control_links)
+
+    # cut the host links the quality flow replaces
+    for source, sink in descriptor.cut_links:
+        before = len(embedded.data_links)
+        embedded.data_links = [
+            link
+            for link in embedded.data_links
+            if not (link.source == source and link.sink == sink)
+        ]
+        if len(embedded.data_links) == before:
+            raise DeploymentError(
+                f"cut link {source} -> {sink} does not exist in the host"
+            )
+
+    renamed = embedded.merge(quality, prefix=descriptor.prefix)
+
+    for adapter in descriptor.adapters:
+        embedded.add_processor(adapter.adapter)
+
+    def resolve(port: Port) -> Port:
+        if port.processor in renamed:
+            return Port(renamed[port.processor], port.port)
+        return port
+
+    for connector in descriptor.connectors:
+        embedded.link(resolve(connector.source), resolve(connector.sink))
+
+    embedded.validate()
+    return embedded

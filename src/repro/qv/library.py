@@ -1,0 +1,218 @@
+"""A library of shareable quality views.
+
+Paper Sec. 7, current work (iv): "providing user-friendly interfaces
+for the reuse of quality components [and] views defined by peers within
+a scientific community."  The library stores versioned quality-view
+specifications, indexes them by the IQ concepts they use (evidence
+types, assertion classes, addressed dimensions) so peers can search by
+need, and round-trips through a plain directory of XML files for
+exchange.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ontology.iq_model import IQModel
+from repro.qv.spec import QualityViewSpec
+from repro.qv.validator import validate_quality_view
+from repro.qv.xml_io import parse_quality_view, quality_view_to_xml
+from repro.rdf import URIRef
+
+
+class LibraryError(KeyError):
+    """Raised on missing or conflicting library entries."""
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One published view version."""
+
+    name: str
+    version: int
+    spec: QualityViewSpec
+    author: str = ""
+    description: str = ""
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """(name, version) identity of this entry."""
+
+        return (self.name, self.version)
+
+
+class QualityViewLibrary:
+    """Versioned, searchable storage of quality views."""
+
+    def __init__(self, iq_model: Optional[IQModel] = None) -> None:
+        self.iq_model = iq_model
+        self._entries: Dict[str, List[LibraryEntry]] = {}
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(
+        self,
+        spec: QualityViewSpec,
+        author: str = "",
+        description: str = "",
+        validate: bool = True,
+    ) -> LibraryEntry:
+        """Add a view; each publish of the same name bumps the version."""
+        if validate and self.iq_model is not None:
+            report = validate_quality_view(spec, self.iq_model)
+            report.raise_if_failed()
+        versions = self._entries.setdefault(spec.name, [])
+        entry = LibraryEntry(
+            name=spec.name,
+            version=len(versions) + 1,
+            spec=spec,
+            author=author,
+            description=description,
+        )
+        versions.append(entry)
+        return entry
+
+    def publish_xml(self, xml: str, author: str = "", description: str = ""):
+        """Parse XML and publish it as a new version."""
+        return self.publish(
+            parse_quality_view(xml), author=author, description=description
+        )
+
+    # -- retrieval ------------------------------------------------------------
+
+    def get(self, name: str, version: Optional[int] = None) -> LibraryEntry:
+        """An entry by name (latest version unless one is given)."""
+
+        versions = self._entries.get(name)
+        if not versions:
+            raise LibraryError(f"no quality view named {name!r} in the library")
+        if version is None:
+            return versions[-1]
+        for entry in versions:
+            if entry.version == version:
+                return entry
+        raise LibraryError(
+            f"quality view {name!r} has no version {version}; "
+            f"latest is {versions[-1].version}"
+        )
+
+    def names(self) -> List[str]:
+        """Every published view name, sorted."""
+        return sorted(self._entries)
+
+    def versions_of(self, name: str) -> List[int]:
+        """The version numbers of one view."""
+        return [entry.version for entry in self._entries.get(name, [])]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- search --------------------------------------------------------------
+
+    def find_by_evidence(self, evidence_type: URIRef) -> List[LibraryEntry]:
+        """Latest versions of views consuming or producing the evidence."""
+        found = []
+        for name in self.names():
+            entry = self.get(name)
+            used = entry.spec.required_evidence() | entry.spec.provided_evidence()
+            if evidence_type in used or any(
+                e.fragment().lower() == evidence_type.fragment().lower()
+                for e in used
+            ):
+                found.append(entry)
+        return found
+
+    def find_by_assertion(self, assertion_class: URIRef) -> List[LibraryEntry]:
+        """Latest views using a QA class (or a subclass of it)."""
+
+        found = []
+        for name in self.names():
+            entry = self.get(name)
+            classes = {a.service_type for a in entry.spec.assertions}
+            if assertion_class in classes:
+                found.append(entry)
+            elif self.iq_model is not None and any(
+                self.iq_model.ontology.is_subclass(cls, assertion_class)
+                for cls in classes
+            ):
+                found.append(entry)
+        return found
+
+    def find_by_dimension(self, dimension: URIRef) -> List[LibraryEntry]:
+        """Views whose QA classes address an IQ dimension (via the model)."""
+        if self.iq_model is None:
+            return []
+        graph = self.iq_model.ontology.graph
+        found = []
+        for name in self.names():
+            entry = self.get(name)
+            for assertion in entry.spec.assertions:
+                dims = set(
+                    graph.objects(
+                        assertion.service_type,
+                        self.iq_model.addresses_dimension,
+                    )
+                )
+                for cls in self.iq_model.ontology.superclasses(
+                    assertion.service_type
+                ):
+                    dims.update(
+                        graph.objects(cls, self.iq_model.addresses_dimension)
+                    )
+                if dimension in dims:
+                    found.append(entry)
+                    break
+        return found
+
+    def diff(
+        self,
+        name: str,
+        old_version: Optional[int] = None,
+        new_version: Optional[int] = None,
+    ):
+        """Structural diff between two versions of a view.
+
+        Defaults to previous-vs-latest.  Returns a
+        :class:`~repro.qv.diff.ViewDiff`.
+        """
+        from repro.qv.diff import diff_views
+
+        latest = self.get(name).version
+        if new_version is None:
+            new_version = latest
+        if old_version is None:
+            old_version = max(1, new_version - 1)
+        return diff_views(
+            self.get(name, old_version).spec, self.get(name, new_version).spec
+        )
+
+    # -- exchange ---------------------------------------------------------------
+
+    def export_to(self, directory: str) -> List[str]:
+        """Write every latest version as ``<name>.qv.xml``; returns paths."""
+        target = pathlib.Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name in self.names():
+            entry = self.get(name)
+            safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+            path = target / f"{safe}.qv.xml"
+            path.write_text(quality_view_to_xml(entry.spec))
+            written.append(str(path))
+        return written
+
+    def import_from(self, directory: str, author: str = "") -> List[LibraryEntry]:
+        """Publish every ``*.qv.xml`` file found in a directory."""
+        source = pathlib.Path(directory)
+        imported = []
+        for path in sorted(source.glob("*.qv.xml")):
+            imported.append(
+                self.publish_xml(path.read_text(), author=author)
+            )
+        return imported

@@ -1,0 +1,181 @@
+"""An alternative compilation target: the direct process interpreter.
+
+Paper Sec. 5.1: views are "defined purely in terms of our abstract
+model, i.e., the specification is not tied to any implementation of the
+operator set.  This leaves us free to target the view to different data
+management environments" — and Sec. 7 lists "a more general mapping
+from quality views to formal workflow models" as current work.
+
+This module demonstrates that generality: the same
+:class:`~repro.qv.spec.QualityViewSpec` compiles to a
+:class:`~repro.process.pattern.QualityProcess` executed by the direct
+interpreter, with no workflow engine involved.  The test-suite uses it
+for differential testing — both targets must route identical items to
+identical groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.annotation.manager import RepositoryManager
+from repro.annotation.store import AnnotationStore
+from repro.binding.model import BindingError
+from repro.binding.registry import BindingRegistry
+from repro.ontology.iq_model import IQModel
+from repro.process.actions import FilterAction, SplitterAction
+from repro.process.operators import (
+    AnnotationOperator,
+    DataEnrichmentOperator,
+)
+from repro.process.pattern import QualityProcess
+from repro.qv.compiler import CompilationError
+from repro.qv.spec import QualityViewSpec
+from repro.qv.validator import validate_quality_view
+from repro.rdf import URIRef
+from repro.services.interface import AnnotationService, QualityAssertionService
+from repro.services.registry import ServiceRegistry
+
+
+class ProcessTargetCompiler:
+    """Compiles quality views for the stand-alone process interpreter."""
+
+    def __init__(
+        self,
+        iq_model: IQModel,
+        services: ServiceRegistry,
+        bindings: BindingRegistry,
+        repositories: RepositoryManager,
+    ) -> None:
+        self.iq_model = iq_model
+        self.services = services
+        self.bindings = bindings
+        self.repositories = repositories
+
+    def _resolve_service(self, service_type: URIRef, service_name: str):
+        try:
+            endpoint = self.bindings.resolve_endpoint(service_type)
+            return self.services.by_endpoint(endpoint)
+        except (BindingError, KeyError):
+            pass
+        if service_name in self.services:
+            return self.services.by_name(service_name)
+        try:
+            return self.services.resolve_concept(service_type)
+        except KeyError:
+            raise CompilationError(
+                f"no binding or deployed service for operator type "
+                f"{service_type} (service name {service_name!r})"
+            ) from None
+
+    def _store(self, repository_ref: str) -> AnnotationStore:
+        try:
+            return self.repositories.repository(repository_ref)
+        except KeyError as exc:
+            raise CompilationError(str(exc)) from exc
+
+    def compile(
+        self, spec: QualityViewSpec, validate: bool = True
+    ) -> QualityProcess:
+        """Compile a validated view into a QualityProcess."""
+
+        canonical: Dict[URIRef, URIRef] = {}
+        if validate:
+            report = validate_quality_view(
+                spec,
+                self.iq_model,
+                known_repositories=set(self.repositories.names()),
+            )
+            report.raise_if_failed()
+            canonical = report.canonicalised
+
+        def canon(evidence: URIRef) -> URIRef:
+            return canonical.get(evidence, evidence)
+
+        annotators: List[AnnotationOperator] = []
+        for annotator_spec in spec.annotators:
+            service = self._resolve_service(
+                annotator_spec.service_type, annotator_spec.service_name
+            )
+            if not isinstance(service, AnnotationService):
+                raise CompilationError(
+                    f"operator {annotator_spec.service_name!r} resolved to "
+                    f"{type(service).__name__}; expected an annotation service"
+                )
+            annotators.append(
+                AnnotationOperator(
+                    annotator_spec.service_name,
+                    service.function,
+                    self._store(annotator_spec.repository_ref),
+                    [canon(e) for e in annotator_spec.evidence_types()],
+                    persistent=annotator_spec.persistent,
+                    data_class=self.iq_model.DataEntity,
+                )
+            )
+
+        sources: Dict[URIRef, AnnotationStore] = {}
+        for assertion_spec in spec.assertions:
+            for variable in assertion_spec.variables:
+                sources[canon(variable.evidence)] = self._store(
+                    variable.repository_ref
+                )
+        for annotator_spec in spec.annotators:
+            for variable in annotator_spec.variables:
+                sources.setdefault(
+                    canon(variable.evidence),
+                    self._store(variable.repository_ref),
+                )
+        enrichment = DataEnrichmentOperator("DataEnrichment", sources)
+
+        assertions = []
+        for assertion_spec in spec.assertions:
+            service = self._resolve_service(
+                assertion_spec.service_type, assertion_spec.service_name
+            )
+            if not isinstance(service, QualityAssertionService):
+                raise CompilationError(
+                    f"operator {assertion_spec.service_name!r} resolved to "
+                    f"{type(service).__name__}; expected a QA service"
+                )
+            assertions.append(
+                service.build_operator(
+                    name=assertion_spec.service_name,
+                    tag_name=assertion_spec.tag_name,
+                    variables={
+                        v.name: canon(v.evidence)
+                        for v in assertion_spec.variables
+                    },
+                )
+            )
+
+        actions = []
+        for action_spec in spec.actions:
+            if action_spec.kind == "filter":
+                actions.append(
+                    FilterAction(
+                        action_spec.name,
+                        action_spec.condition or "",
+                        namespaces=spec.namespaces,
+                    )
+                )
+            else:
+                actions.append(
+                    SplitterAction(
+                        action_spec.name,
+                        [(g.group, g.condition) for g in action_spec.groups],
+                        namespaces=spec.namespaces,
+                    )
+                )
+
+        extra_bindings: Dict[str, URIRef] = {}
+        for annotator_spec in spec.annotators:
+            for variable in annotator_spec.variables:
+                extra_bindings[variable.name] = canon(variable.evidence)
+        return QualityProcess(
+            spec.name,
+            annotators=annotators,
+            enrichment=enrichment,
+            assertions=assertions,
+            actions=actions,
+            extra_bindings=extra_bindings,
+        )

@@ -1,0 +1,163 @@
+"""Quality-view specification objects.
+
+A spec mirrors the XML syntax one-to-one: annotator declarations,
+quality-assertion declarations (each with variable bindings fetched
+from named repositories), and action sections with filter/splitter
+conditions.  Specs never reference input data sets — "views are
+designed to be independent of the specific input data" (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf import NamespaceManager, Q, URIRef
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """One ``<var>`` declaration: evidence type, local name, source repo."""
+
+    evidence: URIRef
+    variable_name: Optional[str] = None
+    repository_ref: str = "cache"
+    persistent: bool = True
+
+    @property
+    def name(self) -> str:
+        """The name conditions and QAs use (defaults to the URI fragment)."""
+        return self.variable_name or self.evidence.fragment()
+
+
+@dataclass(frozen=True)
+class AnnotatorSpec:
+    """An ``<Annotator>`` section."""
+
+    service_name: str
+    service_type: URIRef
+    variables: Tuple[VariableSpec, ...]
+    repository_ref: str = "cache"
+    persistent: bool = False
+
+    def evidence_types(self) -> List[URIRef]:
+        """The evidence types this block declares."""
+        return [v.evidence for v in self.variables]
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """A ``<QualityAssertion>`` section."""
+
+    service_name: str
+    service_type: URIRef
+    tag_name: str
+    tag_syn_type: Optional[URIRef] = None
+    tag_sem_type: Optional[URIRef] = None
+    variables: Tuple[VariableSpec, ...] = ()
+
+    def variable_bindings(self) -> Dict[str, URIRef]:
+        """variable name -> evidence type for this assertion."""
+        return {v.name: v.evidence for v in self.variables}
+
+    def evidence_types(self) -> List[URIRef]:
+        """The evidence types this block declares."""
+        return [v.evidence for v in self.variables]
+
+
+@dataclass(frozen=True)
+class SplitterGroupSpec:
+    """One named condition group of a splitter action."""
+
+    group: str
+    condition: str
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """An ``<action>`` section: either a filter or a splitter."""
+
+    name: str
+    kind: str  # "filter" | "splitter"
+    condition: Optional[str] = None  # filter
+    groups: Tuple[SplitterGroupSpec, ...] = ()  # splitter
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("filter", "splitter"):
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if self.kind == "filter" and not self.condition:
+            raise ValueError(f"filter action {self.name!r} needs a condition")
+        if self.kind == "splitter" and not self.groups:
+            raise ValueError(f"splitter action {self.name!r} needs groups")
+
+    def conditions(self) -> List[str]:
+        """The action's condition strings (one for a filter)."""
+        if self.kind == "filter":
+            return [self.condition or ""]
+        return [g.condition for g in self.groups]
+
+
+@dataclass
+class QualityViewSpec:
+    """A complete quality view."""
+
+    name: str
+    annotators: List[AnnotatorSpec] = field(default_factory=list)
+    assertions: List[AssertionSpec] = field(default_factory=list)
+    actions: List[ActionSpec] = field(default_factory=list)
+    namespaces: NamespaceManager = field(default_factory=NamespaceManager)
+
+    def required_evidence(self) -> Set[URIRef]:
+        """Evidence types the view's QAs read."""
+        needed: Set[URIRef] = set()
+        for assertion in self.assertions:
+            needed.update(assertion.evidence_types())
+        return needed
+
+    def provided_evidence(self) -> Set[URIRef]:
+        """Evidence types the view's annotators write."""
+        provided: Set[URIRef] = set()
+        for annotator in self.annotators:
+            provided.update(annotator.evidence_types())
+        return provided
+
+    def repository_for(self, evidence: URIRef) -> Optional[str]:
+        """Which repository holds values of an evidence type.
+
+        Assertion-side declarations win (they say where to *read*);
+        otherwise the annotator that writes the type names the repo.
+        """
+        for assertion in self.assertions:
+            for variable in assertion.variables:
+                if variable.evidence == evidence:
+                    return variable.repository_ref
+        for annotator in self.annotators:
+            for variable in annotator.variables:
+                if variable.evidence == evidence:
+                    return variable.repository_ref
+        return None
+
+    def tag_names(self) -> List[str]:
+        """The tag names the view's assertions produce."""
+        return [assertion.tag_name for assertion in self.assertions]
+
+    def variable_bindings(self) -> Dict[str, URIRef]:
+        """Names conditions may reference, mapped to evidence types.
+
+        Includes annotator-declared evidence variables (conditions are
+        "predicates on the values of QAs and of the evidence", Sec. 4);
+        assertion-side names win on clashes.
+        """
+        bindings: Dict[str, URIRef] = {}
+        for annotator in self.annotators:
+            for variable in annotator.variables:
+                bindings[variable.name] = variable.evidence
+        for assertion in self.assertions:
+            bindings.update(assertion.variable_bindings())
+        return bindings
+
+    def __repr__(self) -> str:
+        return (
+            f"<QualityViewSpec {self.name!r}: {len(self.annotators)} annotators, "
+            f"{len(self.assertions)} assertions, {len(self.actions)} actions>"
+        )

@@ -1,0 +1,216 @@
+"""Semantic validation of quality views against the IQ model.
+
+Checks (paper Secs. 4.1 and 5.1):
+
+* annotator service types are ``q:AnnotationFunction`` subclasses, QA
+  service types are ``q:QualityAssertion`` subclasses;
+* every declared evidence type is a ``q:QualityEvidence`` subclass
+  (evidence QNames are matched case-insensitively against declared
+  classes, because the paper's own fragments mix ``q:coverage`` and
+  ``q:Coverage``);
+* QA tag semantic types are classification models, and tag syntactic
+  types are ``q:score`` or ``q:class``;
+* every evidence type a QA reads is provided by some annotator in the
+  view or is expected pre-computed in a named repository (a warning
+  either way the caller can inspect);
+* action conditions parse, and every name they reference is a tag or a
+  declared variable of the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ontology.iq_model import IQModel
+from repro.process.conditions import ConditionError, parse_condition
+from repro.process.conditions.ast import referenced_names
+from repro.qv.spec import (
+    AssertionSpec,
+    AnnotatorSpec,
+    QualityViewSpec,
+    VariableSpec,
+)
+from repro.rdf import Q, URIRef
+
+
+class QVValidationError(ValueError):
+    """A quality view violates the IQ model or its own declarations."""
+
+
+@dataclass
+class ValidationReport:
+    """Validation outcome: hard errors plus advisory warnings."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    #: Evidence-type canonicalisation applied (raw URI -> declared class).
+    canonicalised: Dict[URIRef, URIRef] = field(default_factory=dict)
+
+    def ok(self) -> bool:
+        """True when no hard errors were found."""
+
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise QVValidationError listing every error."""
+
+        if self.errors:
+            raise QVValidationError(
+                "quality view failed validation:\n- " + "\n- ".join(self.errors)
+            )
+
+
+def _canonical_evidence(
+    evidence: URIRef, iq_model: IQModel, report: ValidationReport
+) -> Optional[URIRef]:
+    """Resolve an evidence URI, tolerating case differences in fragments."""
+    if iq_model.is_evidence_type(evidence):
+        return evidence
+    wanted = evidence.fragment().lower()
+    base = str(evidence)[: len(str(evidence)) - len(evidence.fragment())]
+    for declared in iq_model.evidence_classes():
+        if (
+            declared.fragment().lower() == wanted
+            and str(declared).startswith(base)
+        ):
+            report.canonicalised[evidence] = declared
+            return declared
+    return None
+
+
+def validate_quality_view(
+    spec: QualityViewSpec,
+    iq_model: IQModel,
+    known_repositories: Optional[Set[str]] = None,
+) -> ValidationReport:
+    """Validate a view; returns a report (``raise_if_failed`` to enforce)."""
+    report = ValidationReport()
+    ontology = iq_model.ontology
+
+    def check_repository(repository: str, context: str) -> None:
+        if known_repositories is not None and repository not in known_repositories:
+            report.errors.append(
+                f"{context} references unknown repository {repository!r}"
+            )
+
+    def check_variables(
+        variables, context: str, provided: Optional[Set[URIRef]] = None
+    ) -> None:
+        for variable in variables:
+            canonical = _canonical_evidence(variable.evidence, iq_model, report)
+            if canonical is None:
+                report.errors.append(
+                    f"{context}: {variable.evidence} is not a declared "
+                    f"q:QualityEvidence subclass"
+                )
+            check_repository(variable.repository_ref, context)
+
+    # Names visible to action conditions: QA tags, QA variable names,
+    # and annotator-declared evidence variables — the paper's
+    # "predicates on the values of QAs and of the evidence".
+    visible_names: Set[str] = set()
+
+    # annotators
+    for annotator in spec.annotators:
+        context = f"annotator {annotator.service_name!r}"
+        if not iq_model.is_annotation_function(annotator.service_type):
+            report.errors.append(
+                f"{context}: service type {annotator.service_type} is not an "
+                f"AnnotationFunction subclass"
+            )
+        if not annotator.variables:
+            report.errors.append(f"{context}: declares no evidence variables")
+        check_variables(annotator.variables, context)
+        check_repository(annotator.repository_ref, context)
+        visible_names.update(v.name for v in annotator.variables)
+
+    # assertions
+    for assertion in spec.assertions:
+        context = f"quality assertion {assertion.service_name!r}"
+        if not iq_model.is_assertion_type(assertion.service_type):
+            report.errors.append(
+                f"{context}: service type {assertion.service_type} is not a "
+                f"QualityAssertion subclass"
+            )
+        if assertion.tag_syn_type is not None and assertion.tag_syn_type not in (
+            iq_model.score_type,
+            iq_model.class_type,
+        ):
+            report.errors.append(
+                f"{context}: tagSynType must be q:score or q:class, "
+                f"got {assertion.tag_syn_type}"
+            )
+        if assertion.tag_sem_type is not None and not iq_model.is_classification_model(
+            assertion.tag_sem_type
+        ):
+            report.errors.append(
+                f"{context}: tagSemType {assertion.tag_sem_type} is not a "
+                f"ClassificationModel subclass"
+            )
+        check_variables(assertion.variables, context)
+        visible_names.add(assertion.tag_name)
+        visible_names.update(v.name for v in assertion.variables)
+        # declared evidence requirements of the QA class (q:basedOnEvidence)
+        declared = iq_model.required_evidence(assertion.service_type)
+        bound = set()
+        for variable in assertion.variables:
+            canonical = report.canonicalised.get(
+                variable.evidence, variable.evidence
+            )
+            bound.add(canonical)
+        missing = declared - bound
+        if missing:
+            report.warnings.append(
+                f"{context}: IQ model declares evidence "
+                f"{sorted(u.fragment() for u in missing)} for "
+                f"{assertion.service_type.fragment()} but the view does not "
+                f"bind it"
+            )
+
+    if not spec.assertions:
+        report.warnings.append("the view declares no quality assertions")
+
+    # evidence availability: QA reads vs annotator writes
+    provided = {
+        report.canonicalised.get(e, e) for e in spec.provided_evidence()
+    }
+    for assertion in spec.assertions:
+        for variable in assertion.variables:
+            canonical = report.canonicalised.get(
+                variable.evidence, variable.evidence
+            )
+            if canonical not in provided:
+                report.warnings.append(
+                    f"evidence {canonical.fragment()} read by "
+                    f"{assertion.service_name!r} is not produced by any "
+                    f"annotator in this view; it must already exist in "
+                    f"repository {variable.repository_ref!r}"
+                )
+
+    # duplicate tag names across assertions would silently overwrite
+    tags = spec.tag_names()
+    duplicates = {t for t in tags if tags.count(t) > 1}
+    if duplicates:
+        report.errors.append(
+            f"duplicate tag names across assertions: {sorted(duplicates)}"
+        )
+
+    # actions
+    if not spec.actions:
+        report.warnings.append("the view declares no actions")
+    for action in spec.actions:
+        for condition_text in action.conditions():
+            context = f"action {action.name!r}"
+            try:
+                node = parse_condition(condition_text)
+            except ConditionError as exc:
+                report.errors.append(f"{context}: {exc}")
+                continue
+            unknown = referenced_names(node) - visible_names
+            if unknown:
+                report.errors.append(
+                    f"{context}: condition references unknown names "
+                    f"{sorted(unknown)} (visible: {sorted(visible_names)})"
+                )
+    return report

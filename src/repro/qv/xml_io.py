@@ -1,0 +1,289 @@
+"""Reader and writer for the quality-view XML syntax of Sec. 5.1.
+
+The reader is tolerant of the attribute spellings that appear in the
+paper itself (``serviceName`` vs ``servicename``, ``tagSynType`` vs
+``tagsyntype``): attribute lookup is case-insensitive.  QNames in
+attributes and conditions resolve against ``<namespace>`` declarations
+plus the built-in ``q:`` binding.
+
+Example (the paper's running example, abridged):
+
+    <QualityView name="protein-id-quality">
+      <Annotator serviceName="ImprintOutputAnnotator"
+                 serviceType="q:Imprint-output-annotation">
+        <variables repositoryRef="cache" persistent="false">
+          <var evidence="q:Coverage"/>
+          <var evidence="q:Masses"/>
+        </variables>
+      </Annotator>
+      <QualityAssertion serviceName="HR MC score"
+                        serviceType="q:UniversalPIScore2"
+                        tagName="HR MC" tagSynType="q:score">
+        <variables repositoryRef="cache">
+          <var variableName="coverage" evidence="q:Coverage"/>
+        </variables>
+      </QualityAssertion>
+      <action name="filter top k score">
+        <filter>
+          <condition>ScoreClass in q:high, q:mid and HR MC &gt; 20</condition>
+        </filter>
+      </action>
+    </QualityView>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from repro.qv.spec import (
+    ActionSpec,
+    AnnotatorSpec,
+    AssertionSpec,
+    QualityViewSpec,
+    SplitterGroupSpec,
+    VariableSpec,
+)
+from repro.rdf import NamespaceManager, URIRef
+
+
+class QVSyntaxError(ValueError):
+    """Raised on malformed quality-view XML."""
+
+
+def _attr(element: ET.Element, name: str) -> Optional[str]:
+    """Case-insensitive attribute lookup."""
+    lowered = name.lower()
+    for key, value in element.attrib.items():
+        if key.lower() == lowered:
+            return value
+    return None
+
+
+def _require_attr(element: ET.Element, name: str, context: str) -> str:
+    value = _attr(element, name)
+    if value is None:
+        raise QVSyntaxError(f"{context}: missing attribute {name!r}")
+    return value
+
+
+def _bool_attr(element: ET.Element, name: str, default: bool) -> bool:
+    value = _attr(element, name)
+    if value is None:
+        return default
+    if value.lower() in ("true", "1", "yes"):
+        return True
+    if value.lower() in ("false", "0", "no"):
+        return False
+    raise QVSyntaxError(f"invalid boolean attribute {name}={value!r}")
+
+
+def _resolve(nsm: NamespaceManager, text: str, context: str) -> URIRef:
+    text = text.strip()
+    if text.startswith("http://") or text.startswith("urn:"):
+        return URIRef(text)
+    try:
+        return nsm.expand(text)
+    except ValueError as exc:
+        raise QVSyntaxError(f"{context}: {exc}") from exc
+
+
+def _parse_variables(
+    parent: ET.Element, nsm: NamespaceManager, context: str
+) -> Tuple[List[VariableSpec], str, bool]:
+    """Parse a <variables> block; returns (vars, repositoryRef, persistent)."""
+    block = None
+    for child in parent:
+        if child.tag.lower() == "variables":
+            if block is not None:
+                raise QVSyntaxError(f"{context}: multiple <variables> blocks")
+            block = child
+    if block is None:
+        return [], "cache", True
+    repository = _attr(block, "repositoryRef") or "cache"
+    persistent = _bool_attr(block, "persistent", True)
+    variables: List[VariableSpec] = []
+    for var in block:
+        if var.tag.lower() != "var":
+            raise QVSyntaxError(
+                f"{context}: unexpected element <{var.tag}> inside <variables>"
+            )
+        evidence = _require_attr(var, "evidence", context)
+        variables.append(
+            VariableSpec(
+                evidence=_resolve(nsm, evidence, context),
+                variable_name=_attr(var, "variableName"),
+                repository_ref=_attr(var, "repositoryRef") or repository,
+                persistent=persistent,
+            )
+        )
+    return variables, repository, persistent
+
+
+def _parse_annotator(element: ET.Element, nsm: NamespaceManager) -> AnnotatorSpec:
+    name = _require_attr(element, "serviceName", "<Annotator>")
+    context = f"<Annotator {name!r}>"
+    service_type = _resolve(
+        nsm, _require_attr(element, "serviceType", context), context
+    )
+    variables, repository, persistent = _parse_variables(element, nsm, context)
+    if not variables:
+        raise QVSyntaxError(f"{context}: annotators must declare variables")
+    return AnnotatorSpec(
+        service_name=name,
+        service_type=service_type,
+        variables=tuple(variables),
+        repository_ref=repository,
+        persistent=persistent,
+    )
+
+
+def _parse_assertion(element: ET.Element, nsm: NamespaceManager) -> AssertionSpec:
+    name = _require_attr(element, "serviceName", "<QualityAssertion>")
+    context = f"<QualityAssertion {name!r}>"
+    service_type = _resolve(
+        nsm, _require_attr(element, "serviceType", context), context
+    )
+    tag_name = _require_attr(element, "tagName", context)
+    syn = _attr(element, "tagSynType")
+    sem = _attr(element, "tagSemType")
+    variables, _, __ = _parse_variables(element, nsm, context)
+    return AssertionSpec(
+        service_name=name,
+        service_type=service_type,
+        tag_name=tag_name,
+        tag_syn_type=_resolve(nsm, syn, context) if syn else None,
+        tag_sem_type=_resolve(nsm, sem, context) if sem else None,
+        variables=tuple(variables),
+    )
+
+
+def _condition_text(element: ET.Element, context: str) -> str:
+    condition = element.find("condition")
+    if condition is None or condition.text is None or not condition.text.strip():
+        raise QVSyntaxError(f"{context}: missing or empty <condition>")
+    return condition.text.strip()
+
+
+def _parse_action(element: ET.Element) -> ActionSpec:
+    name = _require_attr(element, "name", "<action>")
+    context = f"<action {name!r}>"
+    body = [child for child in element if child.tag.lower() in ("filter", "splitter")]
+    if len(body) != 1:
+        raise QVSyntaxError(
+            f"{context}: expected exactly one <filter> or <splitter>"
+        )
+    inner = body[0]
+    if inner.tag.lower() == "filter":
+        return ActionSpec(
+            name=name, kind="filter", condition=_condition_text(inner, context)
+        )
+    groups: List[SplitterGroupSpec] = []
+    for group in inner:
+        if group.tag.lower() != "group":
+            raise QVSyntaxError(
+                f"{context}: unexpected element <{group.tag}> inside <splitter>"
+            )
+        group_name = _require_attr(group, "name", context)
+        groups.append(
+            SplitterGroupSpec(
+                group=group_name,
+                condition=_condition_text(group, f"{context} group {group_name!r}"),
+            )
+        )
+    return ActionSpec(name=name, kind="splitter", groups=tuple(groups))
+
+
+def parse_quality_view(text: str) -> QualityViewSpec:
+    """Parse quality-view XML into a :class:`QualityViewSpec`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise QVSyntaxError(f"malformed quality-view XML: {exc}") from exc
+    if root.tag != "QualityView":
+        raise QVSyntaxError(f"expected <QualityView> root, got <{root.tag}>")
+    nsm = NamespaceManager()
+    for ns in root.findall("namespace"):
+        prefix = _require_attr(ns, "prefix", "<namespace>")
+        uri = _require_attr(ns, "uri", "<namespace>")
+        nsm.bind(prefix, uri)
+    spec = QualityViewSpec(
+        name=_attr(root, "name") or "quality-view", namespaces=nsm
+    )
+    for element in root:
+        tag = element.tag
+        if tag == "namespace":
+            continue
+        if tag == "Annotator":
+            spec.annotators.append(_parse_annotator(element, nsm))
+        elif tag == "QualityAssertion":
+            spec.assertions.append(_parse_assertion(element, nsm))
+        elif tag == "action":
+            spec.actions.append(_parse_action(element))
+        else:
+            raise QVSyntaxError(f"unexpected element <{tag}> in <QualityView>")
+    return spec
+
+
+def quality_view_to_xml(spec: QualityViewSpec) -> str:
+    """Serialise a spec back to the XML syntax (round-trippable)."""
+    root = ET.Element("QualityView", {"name": spec.name})
+    for annotator in spec.annotators:
+        element = ET.SubElement(
+            root,
+            "Annotator",
+            {
+                "serviceName": annotator.service_name,
+                "serviceType": str(annotator.service_type),
+            },
+        )
+        block = ET.SubElement(
+            element,
+            "variables",
+            {
+                "repositoryRef": annotator.repository_ref,
+                "persistent": "true" if annotator.persistent else "false",
+            },
+        )
+        for variable in annotator.variables:
+            attrs = {"evidence": str(variable.evidence)}
+            if variable.variable_name:
+                attrs["variableName"] = variable.variable_name
+            ET.SubElement(block, "var", attrs)
+    for assertion in spec.assertions:
+        attrs = {
+            "serviceName": assertion.service_name,
+            "serviceType": str(assertion.service_type),
+            "tagName": assertion.tag_name,
+        }
+        if assertion.tag_syn_type is not None:
+            attrs["tagSynType"] = str(assertion.tag_syn_type)
+        if assertion.tag_sem_type is not None:
+            attrs["tagSemType"] = str(assertion.tag_sem_type)
+        element = ET.SubElement(root, "QualityAssertion", attrs)
+        if assertion.variables:
+            repository = assertion.variables[0].repository_ref
+            block = ET.SubElement(
+                element, "variables", {"repositoryRef": repository}
+            )
+            for variable in assertion.variables:
+                var_attrs = {"evidence": str(variable.evidence)}
+                if variable.variable_name:
+                    var_attrs["variableName"] = variable.variable_name
+                if variable.repository_ref != repository:
+                    var_attrs["repositoryRef"] = variable.repository_ref
+                ET.SubElement(block, "var", var_attrs)
+    for action in spec.actions:
+        element = ET.SubElement(root, "action", {"name": action.name})
+        if action.kind == "filter":
+            inner = ET.SubElement(element, "filter")
+            condition = ET.SubElement(inner, "condition")
+            condition.text = action.condition
+        else:
+            inner = ET.SubElement(element, "splitter")
+            for group in action.groups:
+                group_el = ET.SubElement(inner, "group", {"name": group.group})
+                condition = ET.SubElement(group_el, "condition")
+                condition.text = group.condition
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,45 @@
+"""RDF substrate: terms, triples, indexed graphs, namespaces, SPARQL.
+
+The Qurator framework stores all quality annotations as RDF statements
+(paper Sec. 3, Fig. 2).  This package is a self-contained RDF stack: an
+indexed in-memory triple store, N-Triples/Turtle serialisation, LSID
+identifiers for life-science data, and a SPARQL query engine used by the
+annotation repositories.
+"""
+
+from repro.rdf.term import BNode, Literal, Node, URIRef, Variable
+from repro.rdf.triple import Triple
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import (
+    DC,
+    NamespaceManager,
+    Namespace,
+    OWL,
+    Q,
+    QB,
+    RDF,
+    RDFS,
+    XSD,
+)
+from repro.rdf.lsid import LSID, LSIDError
+
+__all__ = [
+    "BNode",
+    "DC",
+    "Graph",
+    "LSID",
+    "LSIDError",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "Node",
+    "OWL",
+    "Q",
+    "QB",
+    "RDF",
+    "RDFS",
+    "Triple",
+    "URIRef",
+    "Variable",
+    "XSD",
+]

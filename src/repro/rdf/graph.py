@@ -1,0 +1,295 @@
+"""An indexed in-memory triple store.
+
+The graph maintains three permutation indices (SPO, POS, OSP) so that
+any triple pattern with at least one bound position resolves without a
+full scan.  This is the storage layer under the annotation repositories
+(paper Sec. 5); the SPARQL engine in ``repro.rdf.sparql`` evaluates
+queries over it, keeping the store swappable as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.term import BNode, Literal, Node, URIRef
+from repro.rdf.triple import Object, Predicate, Subject, Triple, validate_triple
+
+_Index = Dict[Node, Dict[Node, Set[Node]]]
+
+TriplePattern = Tuple[Optional[Node], Optional[Node], Optional[Node]]
+
+
+def _index_add(index: _Index, a: Node, b: Node, c: Node) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Node, b: Node, c: Node) -> None:
+    level_b = index.get(a)
+    if level_b is None:
+        return
+    level_c = level_b.get(b)
+    if level_c is None:
+        return
+    level_c.discard(c)
+    if not level_c:
+        del level_b[b]
+        if not level_b:
+            del index[a]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access paths."""
+
+    def __init__(self, identifier: Optional[str] = None) -> None:
+        self.identifier = identifier
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self.namespace_manager = NamespaceManager()
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, *args: object) -> "Graph":
+        """Add a triple; accepts ``add(s, p, o)`` or ``add(Triple(...))``."""
+        if len(args) == 1 and isinstance(args[0], (Triple, tuple)):
+            s, p, o = args[0]  # type: ignore[misc]
+        elif len(args) == 3:
+            s, p, o = args
+        else:
+            raise TypeError("add() takes a Triple or three terms")
+        s, p, o = validate_triple(s, p, o)
+        if o not in self._spo.get(s, {}).get(p, ()):
+            _index_add(self._spo, s, p, o)
+            _index_add(self._pos, p, o, s)
+            _index_add(self._osp, o, s, p)
+            self._size += 1
+        return self
+
+    def add_all(self, triples: Iterable[Union[Triple, tuple]]) -> "Graph":
+        """Add every triple of an iterable; returns self."""
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(
+        self,
+        subject: Optional[Node] = None,
+        predicate: Optional[Node] = None,
+        obj: Optional[Node] = None,
+    ) -> int:
+        """Remove all triples matching the pattern; returns count removed."""
+        matched = list(self.triples((subject, predicate, obj)))
+        for s, p, o in matched:
+            _index_remove(self._spo, s, p, o)
+            _index_remove(self._pos, p, o, s)
+            _index_remove(self._osp, o, s, p)
+        self._size -= len(matched)
+        return len(matched)
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # -- query ------------------------------------------------------------
+
+    def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
+        """Yield triples matching a pattern of bound terms and ``None``."""
+        s, p, o = pattern
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return
+            if p is not None:
+                objects = by_p.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            for pred, objects in by_p.items():
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, pred, o)
+                else:
+                    for obj in objects:
+                        yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return
+            if o is not None:
+                for subj in by_o.get(o, ()):
+                    yield Triple(subj, p, o)
+                return
+            for obj, subjects in by_o.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_s = self._osp.get(o)
+            if by_s is None:
+                return
+            for subj, preds in by_s.items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, by_p in self._spo.items():
+            for pred, objects in by_p.items():
+                for obj in objects:
+                    yield Triple(subj, pred, obj)
+
+    def __contains__(self, pattern: Union[Triple, TriplePattern]) -> bool:
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            return o in self._spo.get(s, {}).get(p, ())
+        return next(self.triples((s, p, o)), None) is not None
+
+    def subjects(
+        self, predicate: Optional[Node] = None, obj: Optional[Node] = None
+    ) -> Iterator[Subject]:
+        """Distinct subjects matching (predicate, object)."""
+        seen: Set[Node] = set()
+        for s, _, __ in self.triples((None, predicate, obj)):
+            if s not in seen:
+                seen.add(s)
+                yield s  # type: ignore[misc]
+
+    def predicates(
+        self, subject: Optional[Node] = None, obj: Optional[Node] = None
+    ) -> Iterator[Predicate]:
+        """Distinct predicates matching (subject, object)."""
+        seen: Set[Node] = set()
+        for _, p, __ in self.triples((subject, None, obj)):
+            if p not in seen:
+                seen.add(p)
+                yield p  # type: ignore[misc]
+
+    def objects(
+        self, subject: Optional[Node] = None, predicate: Optional[Node] = None
+    ) -> Iterator[Object]:
+        """Distinct objects matching (subject, predicate)."""
+        seen: Set[Node] = set()
+        for _, __, o in self.triples((subject, predicate, None)):
+            if o not in seen:
+                seen.add(o)
+                yield o  # type: ignore[misc]
+
+    def value(
+        self,
+        subject: Optional[Node] = None,
+        predicate: Optional[Node] = None,
+        obj: Optional[Node] = None,
+        default: Optional[Node] = None,
+    ) -> Optional[Node]:
+        """Return the single term completing the pattern, or ``default``.
+
+        Exactly one of the three positions must be ``None``; raises
+        ``ValueError`` if more than one term matches.
+        """
+        free = [subject, predicate, obj].count(None)
+        if free != 1:
+            raise ValueError("value() requires exactly one unbound position")
+        matches = list(self.triples((subject, predicate, obj)))
+        if not matches:
+            return default
+        if len(matches) > 1:
+            raise ValueError(
+                f"pattern ({subject}, {predicate}, {obj}) matched "
+                f"{len(matches)} triples; expected one"
+            )
+        s, p, o = matches[0]
+        if subject is None:
+            return s
+        if predicate is None:
+            return p
+        return o
+
+    # -- collection protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(t in other for t in self)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- set operations ----------------------------------------------------
+
+    def __add__(self, other: "Graph") -> "Graph":
+        result = Graph()
+        result.add_all(self)
+        result.add_all(other)
+        return result
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        result = Graph()
+        result.add_all(t for t in self if t not in other)
+        return result
+
+    def __and__(self, other: "Graph") -> "Graph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        result = Graph()
+        result.add_all(t for t in small if t in large)
+        return result
+
+    def copy(self) -> "Graph":
+        """An independent copy of the graph."""
+        result = Graph(self.identifier)
+        result.add_all(self)
+        return result
+
+    # -- convenience -------------------------------------------------------
+
+    def bind(self, prefix: str, namespace: str) -> None:
+        """Bind a prefix for serialisation."""
+        self.namespace_manager.bind(prefix, namespace)
+
+    def query(self, sparql: str):
+        """Evaluate a SPARQL query string over this graph.
+
+        Imported lazily to keep the storage layer free of parser
+        dependencies; returns the engine's result object.
+        """
+        from repro.rdf.sparql import evaluate
+
+        return evaluate(self, sparql)
+
+    def serialize(self, format: str = "ntriples") -> str:
+        """Render the graph in a named format (ntriples/turtle)."""
+
+        from repro.rdf.serializer import serialize_graph
+
+        return serialize_graph(self, format)
+
+    def parse(self, text: str, format: str = "ntriples") -> "Graph":
+        """Parse serialised RDF into this graph; returns self."""
+
+        from repro.rdf.serializer import parse_into_graph
+
+        parse_into_graph(self, text, format)
+        return self
+
+    def __repr__(self) -> str:
+        name = self.identifier or "anonymous"
+        return f"<Graph {name} ({self._size} triples)>"

@@ -1,0 +1,115 @@
+"""Life Science Identifiers (LSID, OMG dtc/04-05-01).
+
+The paper (Sec. 3) wraps native data identifiers — e.g. Uniprot
+accession numbers such as ``P30089`` — as LSID URNs so that data items
+can be referenced as RDF resources:
+
+    urn:lsid:uniprot.org:uniprot:P30089
+
+This module implements the URN syntax, parsing, and the wrapping of
+accession numbers for the naming authorities used in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rdf.term import URIRef
+
+_SCHEME = "urn:lsid:"
+
+
+class LSIDError(ValueError):
+    """Raised for malformed LSID URNs."""
+
+
+@dataclass(frozen=True)
+class LSID:
+    """A parsed LSID: authority, namespace, object id, optional revision."""
+
+    authority: str
+    namespace: str
+    object_id: str
+    revision: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("authority", "namespace", "object_id"):
+            value = getattr(self, field_name)
+            if not value:
+                raise LSIDError(f"LSID {field_name} must be non-empty")
+            if ":" in value:
+                raise LSIDError(f"LSID {field_name} must not contain ':': {value!r}")
+
+    def __str__(self) -> str:
+        base = f"{_SCHEME}{self.authority}:{self.namespace}:{self.object_id}"
+        if self.revision is not None:
+            return f"{base}:{self.revision}"
+        return base
+
+    def to_uri(self) -> URIRef:
+        """The LSID as a URIRef."""
+
+        return URIRef(str(self))
+
+    @classmethod
+    def parse(cls, text: str) -> "LSID":
+        """Parse an LSID URN; LSIDError on malformed input."""
+
+        text = str(text)
+        if not text.lower().startswith(_SCHEME):
+            raise LSIDError(f"not an LSID URN: {text!r}")
+        body = text[len(_SCHEME):]
+        parts = body.split(":")
+        if len(parts) == 3:
+            return cls(parts[0], parts[1], parts[2])
+        if len(parts) == 4:
+            return cls(parts[0], parts[1], parts[2], parts[3])
+        raise LSIDError(f"LSID must have 3 or 4 colon-separated parts: {text!r}")
+
+    @classmethod
+    def is_lsid(cls, text: str) -> bool:
+        """True when the text parses as an LSID."""
+
+        try:
+            cls.parse(text)
+        except LSIDError:
+            return False
+        return True
+
+
+#: Naming authorities used throughout the reproduction.
+UNIPROT_AUTHORITY = "uniprot.org"
+PEDRO_AUTHORITY = "pedro.man.ac.uk"
+IMPRINT_AUTHORITY = "imprint.man.ac.uk"
+GO_AUTHORITY = "geneontology.org"
+
+
+def uniprot_lsid(accession: str) -> URIRef:
+    """Wrap a Uniprot accession number (e.g. ``P30089``) as an LSID URI."""
+    return LSID(UNIPROT_AUTHORITY, "uniprot", accession).to_uri()
+
+
+def pedro_lsid(sample_id: str) -> URIRef:
+    """Wrap a PEDRo sample identifier as an LSID URI."""
+    return LSID(PEDRO_AUTHORITY, "pedro", sample_id).to_uri()
+
+
+def imprint_hit_lsid(run_id: str, hit_index: int) -> URIRef:
+    """Identify one hit entry of one Imprint run as an LSID URI."""
+    return LSID(IMPRINT_AUTHORITY, "hit", f"{run_id}.{hit_index}").to_uri()
+
+
+def go_lsid(term_id: str) -> URIRef:
+    """Wrap a GO term identifier (e.g. ``GO:0004872``) as an LSID URI.
+
+    Colons are not legal inside LSID components, so the canonical
+    ``GO:NNNNNNN`` form is stored with the prefix stripped.
+    """
+    clean = term_id.replace("GO:", "")
+    return LSID(GO_AUTHORITY, "go", clean).to_uri()
+
+
+def accession_of(uri: URIRef) -> str:
+    """Recover the native identifier wrapped inside an LSID URI."""
+    return LSID.parse(str(uri)).object_id

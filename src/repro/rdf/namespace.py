@@ -1,0 +1,124 @@
+"""Namespaces and prefix management for URI construction and rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.rdf.term import URIRef
+
+
+class Namespace(str):
+    """A URI prefix from which member URIs are derived by attribute access.
+
+    >>> Q = Namespace("http://qurator.org/iq#")
+    >>> Q.HitRatio
+    URIRef('http://qurator.org/iq#HitRatio')
+    """
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return URIRef(str(self) + name)
+
+    def __getitem__(self, name: str) -> URIRef:
+        return URIRef(str(self) + name)
+
+    def term(self, name: str) -> URIRef:
+        """The member URI for a local name."""
+
+        return URIRef(str(self) + name)
+
+    def __contains__(self, uri: object) -> bool:
+        return isinstance(uri, str) and str(uri).startswith(str(self))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+
+#: The Qurator IQ-model namespace; ``q:`` in the paper's examples.
+Q = Namespace("http://qurator.org/iq#")
+
+#: The Qurator binding-model namespace.
+QB = Namespace("http://qurator.org/binding#")
+
+_DEFAULT_BINDINGS: Dict[str, str] = {
+    "rdf": str(RDF),
+    "rdfs": str(RDFS),
+    "owl": str(OWL),
+    "xsd": str(XSD),
+    "dc": str(DC),
+    "q": str(Q),
+    "qb": str(QB),
+}
+
+
+class NamespaceManager:
+    """A bidirectional prefix <-> namespace registry.
+
+    Used by serialisers to compact URIs and by parsers (SPARQL, the QV
+    language) to expand prefixed names such as ``q:HitRatio``.
+    """
+
+    def __init__(self, defaults: bool = True) -> None:
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        if defaults:
+            for prefix, namespace in _DEFAULT_BINDINGS.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        """Associate a prefix with a namespace."""
+
+        namespace = str(namespace)
+        if not replace and prefix in self._prefix_to_ns:
+            if self._prefix_to_ns[prefix] != namespace:
+                raise ValueError(f"prefix {prefix!r} is already bound")
+            return
+        old = self._prefix_to_ns.get(prefix)
+        if old is not None:
+            self._ns_to_prefix.pop(old, None)
+        self._prefix_to_ns[prefix] = namespace
+        self._ns_to_prefix[namespace] = prefix
+
+    def expand(self, qname: str) -> URIRef:
+        """Expand a prefixed name (``q:HitRatio``) to a full URI."""
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ValueError(f"not a prefixed name: {qname!r}")
+        try:
+            namespace = self._prefix_to_ns[prefix]
+        except KeyError:
+            raise ValueError(f"unknown namespace prefix {prefix!r}") from None
+        return URIRef(namespace + local)
+
+    def compact(self, uri: URIRef) -> Optional[str]:
+        """Compact a URI to a prefixed name if a binding matches."""
+        text = str(uri)
+        best: Optional[Tuple[str, str]] = None
+        for namespace, prefix in self._ns_to_prefix.items():
+            if text.startswith(namespace):
+                if best is None or len(namespace) > len(best[0]):
+                    best = (namespace, prefix)
+        if best is None:
+            return None
+        namespace, prefix = best
+        local = text[len(namespace):]
+        if not local or any(ch in local for ch in "/#:"):
+            return None
+        return f"{prefix}:{local}"
+
+    def namespaces(self) -> Iterator[Tuple[str, str]]:
+        """Every (prefix, namespace) pair, sorted."""
+
+        yield from sorted(self._prefix_to_ns.items())
+
+    def namespace_for(self, prefix: str) -> Optional[str]:
+        """The namespace bound to a prefix, or None."""
+
+        return self._prefix_to_ns.get(prefix)
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns

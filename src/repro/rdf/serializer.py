@@ -1,0 +1,213 @@
+"""Graph serialisation: N-Triples (read/write) and Turtle (write).
+
+N-Triples is the interchange format used by the annotation repositories
+for persistence; Turtle output is provided for human inspection of the
+IQ model and annotation graphs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.rdf.term import BNode, Literal, Node, URIRef
+from repro.rdf.triple import Triple
+
+
+class SerializationError(ValueError):
+    """Raised on malformed serialised RDF input."""
+
+
+# -- N-Triples writing -----------------------------------------------------
+
+
+def to_ntriples(graph) -> str:
+    """The graph as sorted N-Triples text."""
+
+    lines = sorted(triple.n3() for triple in graph)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- N-Triples parsing -----------------------------------------------------
+
+_IRI_RE = re.compile(r"<([^<>\"\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'
+    r"(?:\^\^<([^<>\s]*)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?"
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _ESCAPES:
+                out.append(_ESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            if pair == "\\U" and i + 10 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 10], 16)))
+                i += 10
+                continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def _parse_term(text: str, pos: int, line_no: int) -> Tuple[Node, int]:
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise SerializationError(f"line {line_no}: unexpected end of line")
+    ch = text[pos]
+    if ch == "<":
+        match = _IRI_RE.match(text, pos)
+        if not match:
+            raise SerializationError(f"line {line_no}: malformed IRI")
+        return URIRef(match.group(1)), match.end()
+    if ch == "_":
+        match = _BNODE_RE.match(text, pos)
+        if not match:
+            raise SerializationError(f"line {line_no}: malformed blank node")
+        return BNode(match.group(1)), match.end()
+    if ch == '"':
+        match = _LITERAL_RE.match(text, pos)
+        if not match:
+            raise SerializationError(f"line {line_no}: malformed literal")
+        lexical = _unescape(match.group(1))
+        datatype = match.group(2)
+        lang = match.group(3)
+        return Literal(lexical, datatype=datatype, lang=lang), match.end()
+    raise SerializationError(f"line {line_no}: unexpected character {ch!r}")
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Yield the triples of an N-Triples document."""
+
+    # Split on '\n' only: splitlines() would also break on \x0b/
+    # etc., which may legitimately appear escaped inside literals.
+    for line_no, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        subject, pos = _parse_term(line, 0, line_no)
+        predicate, pos = _parse_term(line, pos, line_no)
+        obj, pos = _parse_term(line, pos, line_no)
+        rest = line[pos:].strip()
+        if rest != ".":
+            raise SerializationError(
+                f"line {line_no}: expected terminating '.', got {rest!r}"
+            )
+        if not isinstance(predicate, URIRef):
+            raise SerializationError(f"line {line_no}: predicate must be an IRI")
+        if isinstance(subject, Literal):
+            raise SerializationError(f"line {line_no}: subject cannot be a literal")
+        yield Triple(subject, predicate, obj)  # type: ignore[arg-type]
+
+
+# -- Turtle writing ---------------------------------------------------------
+
+
+def _turtle_term(term: Node, nsm) -> str:
+    if isinstance(term, URIRef):
+        compact = nsm.compact(term)
+        return compact if compact else term.n3()
+    if isinstance(term, Literal):
+        if term.datatype is not None:
+            compact = nsm.compact(term.datatype)
+            if compact and not term.is_numeric():
+                base = term.n3().split("^^")[0]
+                return f"{base}^^{compact}"
+            if term.is_numeric():
+                return term.lexical
+        return term.n3()
+    return term.n3()
+
+
+def to_turtle(graph) -> str:
+    """The graph as Turtle with subject grouping and prefixes."""
+
+    nsm = graph.namespace_manager
+    lines: List[str] = []
+    used_prefixes = set()
+    by_subject = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, []).append(triple)
+    body: List[str] = []
+    for subject in sorted(by_subject, key=str):
+        triples = sorted(by_subject[subject], key=lambda t: (str(t[1]), str(t[2])))
+        subject_text = _turtle_term(subject, nsm)
+        parts = [
+            f"    {_turtle_term(p, nsm)} {_turtle_term(o, nsm)}"
+            for _, p, o in triples
+        ]
+        body.append(subject_text + "\n" + " ;\n".join(parts) + " .")
+        for term in {t for tr in triples for t in tr.terms()}:
+            if isinstance(term, URIRef):
+                compact = nsm.compact(term)
+                if compact:
+                    used_prefixes.add(compact.split(":", 1)[0])
+            elif isinstance(term, Literal) and term.datatype is not None:
+                compact = nsm.compact(term.datatype)
+                if compact:
+                    used_prefixes.add(compact.split(":", 1)[0])
+    for prefix, namespace in nsm.namespaces():
+        if prefix in used_prefixes:
+            lines.append(f"@prefix {prefix}: <{namespace}> .")
+    if lines:
+        lines.append("")
+    lines.extend(body)
+    return "\n".join(lines) + ("\n" if body else "")
+
+
+# -- dispatch ---------------------------------------------------------------
+
+def _parse_turtle(text: str):
+    from repro.rdf.turtle import parse_turtle
+
+    return parse_turtle(text)
+
+
+_WRITERS = {"ntriples": to_ntriples, "nt": to_ntriples, "turtle": to_turtle}
+_READERS = {
+    "ntriples": parse_ntriples,
+    "nt": parse_ntriples,
+    "turtle": _parse_turtle,
+    "ttl": _parse_turtle,
+}
+
+
+def serialize_graph(graph, format: str = "ntriples") -> str:
+    """Dispatch serialisation by format name."""
+
+    try:
+        writer = _WRITERS[format]
+    except KeyError:
+        raise SerializationError(f"unknown serialisation format {format!r}") from None
+    return writer(graph)
+
+
+def parse_into_graph(graph, text: str, format: str = "ntriples") -> None:
+    """Dispatch parsing by format name into a graph."""
+
+    try:
+        reader = _READERS[format]
+    except KeyError:
+        raise SerializationError(f"unknown parse format {format!r}") from None
+    for triple in reader(text):
+        graph.add(triple)

@@ -1,0 +1,19 @@
+"""A SPARQL query engine over :class:`repro.rdf.Graph`.
+
+Implements the subset of the (2006 working-draft era) SPARQL language
+the Qurator framework relies on for annotation lookup — SELECT / ASK /
+CONSTRUCT query forms with basic graph patterns, FILTER, OPTIONAL,
+UNION, DISTINCT, ORDER BY, LIMIT and OFFSET — plus the common builtin
+functions used in filters.
+"""
+
+from repro.rdf.sparql.parser import parse_query, SPARQLSyntaxError
+from repro.rdf.sparql.evaluator import evaluate, SPARQLResult, SPARQLEvaluationError
+
+__all__ = [
+    "SPARQLEvaluationError",
+    "SPARQLResult",
+    "SPARQLSyntaxError",
+    "evaluate",
+    "parse_query",
+]

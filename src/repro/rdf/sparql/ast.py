@@ -1,0 +1,227 @@
+"""Abstract syntax / algebra nodes for the SPARQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.term import Node, Variable
+
+Term = Node  # a pattern position: URIRef, BNode, Literal or Variable
+
+
+# -- graph patterns ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TriplePatternNode:
+    """One triple pattern; positions may be variables."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> List[Variable]:
+        """The variables appearing in this pattern."""
+
+        return [
+            t
+            for t in (self.subject, self.predicate, self.object)
+            if isinstance(t, Variable)
+        ]
+
+
+@dataclass(frozen=True)
+class BGP:
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: Tuple[TriplePatternNode, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """Conjunction of two patterns."""
+
+    left: "Pattern"
+    right: "Pattern"
+
+
+@dataclass(frozen=True)
+class LeftJoin:
+    """OPTIONAL: keep left solutions, extend with right where possible."""
+
+    left: "Pattern"
+    right: "Pattern"
+    expr: Optional["Expression"] = None
+
+
+@dataclass(frozen=True)
+class UnionPattern:
+    """Alternation of two patterns."""
+
+    left: "Pattern"
+    right: "Pattern"
+
+
+@dataclass(frozen=True)
+class FilterPattern:
+    """A pattern restricted by a boolean expression."""
+
+    expr: "Expression"
+    pattern: "Pattern"
+
+
+Pattern = Union[BGP, Join, LeftJoin, UnionPattern, FilterPattern]
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TermExpr:
+    """A constant or variable used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    """Logical-or with SPARQL error semantics."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    """Logical-and with SPARQL error semantics."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """Logical negation."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A relational test."""
+
+    op: str  # one of = != < > <= >=
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """A numeric operation."""
+
+    op: str  # one of + - * /
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Negate:
+    """Unary numeric minus."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A builtin function invocation."""
+
+    name: str  # uppercase builtin name
+    args: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class ExistsExpr:
+    """FILTER [NOT] EXISTS { pattern }: pattern matchability as a boolean."""
+
+    pattern: "Pattern"
+    negated: bool = False
+
+
+Expression = Union[
+    TermExpr,
+    OrExpr,
+    AndExpr,
+    NotExpr,
+    Comparison,
+    Arithmetic,
+    Negate,
+    FunctionCall,
+    ExistsExpr,
+]
+
+
+# -- query forms --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY key with direction."""
+
+    expr: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate projection: ``(COUNT(?x) AS ?n)``.
+
+    ``expr`` is ``None`` for ``COUNT(*)``.
+    """
+
+    function: str  # COUNT | SUM | AVG | MIN | MAX | SAMPLE
+    expr: Optional[Expression]
+    alias: Variable
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT query with modifiers and aggregates."""
+
+    variables: Tuple[Variable, ...]  # empty means SELECT *
+    pattern: Pattern
+    distinct: bool = False
+    order_by: Tuple[OrderCondition, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    offset: int = 0
+    aggregates: Tuple[Aggregate, ...] = field(default_factory=tuple)
+    group_by: Tuple[Variable, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """An ASK query."""
+
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class DescribeQuery:
+    """DESCRIBE <iri>... or DESCRIBE ?var WHERE {...}."""
+
+    terms: Tuple[Term, ...]
+    pattern: Optional[Pattern] = None
+
+
+@dataclass(frozen=True)
+class ConstructQuery:
+    """A CONSTRUCT query with its template."""
+
+    template: Tuple[TriplePatternNode, ...]
+    pattern: Pattern
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery, DescribeQuery]

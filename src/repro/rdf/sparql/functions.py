@@ -1,0 +1,237 @@
+"""Builtin functions available inside SPARQL FILTER expressions."""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, List, Optional
+
+from repro.rdf.term import (
+    BNode,
+    Literal,
+    Node,
+    URIRef,
+    Variable,
+    XSD_STRING,
+)
+
+
+class SPARQLTypeError(TypeError):
+    """A SPARQL expression type error; filters treat it as 'false'."""
+
+
+def effective_boolean_value(value: object) -> bool:
+    """The SPARQL effective boolean value (EBV) of an expression result."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        inner = value.value
+        if isinstance(inner, bool):
+            return inner
+        if isinstance(inner, (int, float)):
+            return inner != 0 and not math.isnan(inner)
+        if isinstance(inner, str):
+            return len(inner) > 0
+    raise SPARQLTypeError(f"no effective boolean value for {value!r}")
+
+
+def _string_of(value: object, function: str) -> str:
+    if isinstance(value, Literal) and isinstance(value.value, str):
+        return value.lexical
+    raise SPARQLTypeError(f"{function} requires a string literal, got {value!r}")
+
+
+def _numeric_of(value: object, function: str) -> float:
+    if isinstance(value, Literal) and value.is_numeric():
+        return value.value
+    raise SPARQLTypeError(f"{function} requires a numeric literal, got {value!r}")
+
+
+def fn_bound(args: List[object]) -> bool:
+    """BOUND: is the variable bound?"""
+
+    # The evaluator passes the raw (possibly unbound == None) value.
+    return args[0] is not None
+
+
+def fn_str(args: List[object]) -> Literal:
+    """STR: the lexical/string form of a literal or IRI."""
+
+    value = args[0]
+    if isinstance(value, Literal):
+        return Literal(value.lexical)
+    if isinstance(value, URIRef):
+        return Literal(str(value))
+    raise SPARQLTypeError(f"STR not defined for {value!r}")
+
+
+def fn_lang(args: List[object]) -> Literal:
+    """LANG: the language tag of a literal ('' if none)."""
+
+    value = args[0]
+    if isinstance(value, Literal):
+        return Literal(value.lang or "")
+    raise SPARQLTypeError(f"LANG requires a literal, got {value!r}")
+
+
+def fn_langmatches(args: List[object]) -> bool:
+    """LANGMATCHES: language-range matching."""
+
+    tag = _string_of(args[0], "LANGMATCHES").lower()
+    pattern = _string_of(args[1], "LANGMATCHES").lower()
+    if pattern == "*":
+        return bool(tag)
+    return tag == pattern or tag.startswith(pattern + "-")
+
+
+def fn_datatype(args: List[object]) -> URIRef:
+    """DATATYPE: the datatype IRI of a literal."""
+
+    value = args[0]
+    if isinstance(value, Literal):
+        if value.lang:
+            raise SPARQLTypeError("DATATYPE of a language-tagged literal")
+        return value.datatype or URIRef(XSD_STRING)
+    raise SPARQLTypeError(f"DATATYPE requires a literal, got {value!r}")
+
+
+def fn_regex(args: List[object]) -> bool:
+    """REGEX with optional i/s/m flags."""
+
+    text = _string_of(args[0], "REGEX")
+    pattern = _string_of(args[1], "REGEX")
+    flags = 0
+    if len(args) > 2:
+        flag_text = _string_of(args[2], "REGEX")
+        if "i" in flag_text:
+            flags |= re.IGNORECASE
+        if "s" in flag_text:
+            flags |= re.DOTALL
+        if "m" in flag_text:
+            flags |= re.MULTILINE
+    return re.search(pattern, text, flags) is not None
+
+
+def fn_is_iri(args: List[object]) -> bool:
+    """isIRI/isURI term test."""
+
+    return isinstance(args[0], URIRef)
+
+
+def fn_is_blank(args: List[object]) -> bool:
+    """isBlank term test."""
+
+    return isinstance(args[0], BNode)
+
+
+def fn_is_literal(args: List[object]) -> bool:
+    """isLiteral term test."""
+
+    return isinstance(args[0], Literal)
+
+
+def fn_is_numeric(args: List[object]) -> bool:
+    """isNumeric literal test."""
+
+    return isinstance(args[0], Literal) and args[0].is_numeric()
+
+
+def fn_abs(args: List[object]) -> Literal:
+    """ABS of a numeric literal."""
+
+    return Literal(abs(_numeric_of(args[0], "ABS")))
+
+
+def fn_ceil(args: List[object]) -> Literal:
+    """CEIL of a numeric literal."""
+
+    return Literal(math.ceil(_numeric_of(args[0], "CEIL")))
+
+
+def fn_floor(args: List[object]) -> Literal:
+    """FLOOR of a numeric literal."""
+
+    return Literal(math.floor(_numeric_of(args[0], "FLOOR")))
+
+
+def fn_round(args: List[object]) -> Literal:
+    """ROUND (half-up) of a numeric literal."""
+
+    value = _numeric_of(args[0], "ROUND")
+    return Literal(math.floor(value + 0.5))
+
+
+def fn_strlen(args: List[object]) -> Literal:
+    """STRLEN of a string literal."""
+
+    return Literal(len(_string_of(args[0], "STRLEN")))
+
+
+def fn_ucase(args: List[object]) -> Literal:
+    """UCASE of a string literal."""
+
+    return Literal(_string_of(args[0], "UCASE").upper())
+
+
+def fn_lcase(args: List[object]) -> Literal:
+    """LCASE of a string literal."""
+
+    return Literal(_string_of(args[0], "LCASE").lower())
+
+
+def fn_contains(args: List[object]) -> bool:
+    """CONTAINS substring test."""
+
+    return _string_of(args[1], "CONTAINS") in _string_of(args[0], "CONTAINS")
+
+
+def fn_strstarts(args: List[object]) -> bool:
+    """STRSTARTS prefix test."""
+
+    return _string_of(args[0], "STRSTARTS").startswith(
+        _string_of(args[1], "STRSTARTS")
+    )
+
+
+def fn_strends(args: List[object]) -> bool:
+    """STRENDS suffix test."""
+
+    return _string_of(args[0], "STRENDS").endswith(_string_of(args[1], "STRENDS"))
+
+
+def fn_sameterm(args: List[object]) -> bool:
+    """SAMETERM exact term identity."""
+
+    a, b = args[0], args[1]
+    if a is None or b is None:
+        raise SPARQLTypeError("SAMETERM on unbound argument")
+    return type(a) is type(b) and a == b
+
+
+BUILTINS: Dict[str, Callable[[List[object]], object]] = {
+    "BOUND": fn_bound,
+    "STR": fn_str,
+    "LANG": fn_lang,
+    "LANGMATCHES": fn_langmatches,
+    "DATATYPE": fn_datatype,
+    "REGEX": fn_regex,
+    "ISIRI": fn_is_iri,
+    "ISURI": fn_is_iri,
+    "ISBLANK": fn_is_blank,
+    "ISLITERAL": fn_is_literal,
+    "ISNUMERIC": fn_is_numeric,
+    "ABS": fn_abs,
+    "CEIL": fn_ceil,
+    "FLOOR": fn_floor,
+    "ROUND": fn_round,
+    "STRLEN": fn_strlen,
+    "UCASE": fn_ucase,
+    "LCASE": fn_lcase,
+    "CONTAINS": fn_contains,
+    "STRSTARTS": fn_strstarts,
+    "STRENDS": fn_strends,
+    "SAMETERM": fn_sameterm,
+}
+
+#: Builtins that receive unbound arguments as ``None`` instead of erroring.
+ACCEPTS_UNBOUND = frozenset({"BOUND", "SAMETERM"})

@@ -1,0 +1,159 @@
+"""Tokeniser for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class SPARQLSyntaxError(SyntaxError):
+    """Raised on lexical or grammatical errors in a SPARQL query."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+KEYWORDS = {
+    "PREFIX",
+    "BASE",
+    "SELECT",
+    "ASK",
+    "CONSTRUCT",
+    "DESCRIBE",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "ORDER",
+    "GROUP",
+    "BY",
+    "AS",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "DISTINCT",
+    "REDUCED",
+    "EXISTS",
+    "NOT",
+}
+
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE"}
+
+BUILTIN_FUNCTIONS = {
+    "BOUND",
+    "REGEX",
+    "STR",
+    "LANG",
+    "LANGMATCHES",
+    "DATATYPE",
+    "ISIRI",
+    "ISURI",
+    "ISBLANK",
+    "ISLITERAL",
+    "ISNUMERIC",
+    "ABS",
+    "CEIL",
+    "FLOOR",
+    "ROUND",
+    "STRLEN",
+    "UCASE",
+    "LCASE",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "SAMETERM",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<NUMBER>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_.\-]*:[A-Za-z0-9_.\-]*)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|!=|&&|\|\||[=<>!*/+\-])
+  | (?P<PUNCT>[{}().;,^])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\'": "'",
+    "\\\\": "\\",
+}
+
+
+def unescape_string(text: str) -> str:
+    """Decode a quoted SPARQL string literal."""
+
+    body = text[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        if body[i] == "\\" and i + 1 < len(body):
+            pair = body[i : i + 2]
+            if pair in _ESCAPES:
+                out.append(_ESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(body):
+                out.append(chr(int(body[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+        out.append(body[i])
+        i += 1
+    return "".join(out)
+
+
+def tokenize(query: str) -> List[Token]:
+    """Split a query string into tokens; error on junk."""
+
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise SPARQLSyntaxError(
+                f"unexpected character {query[pos]!r} at position {pos}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "WS":
+            pos = match.end()
+            continue
+        if kind == "NAME":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, pos))
+            elif upper in AGGREGATES:
+                tokens.append(Token("AGGREGATE", upper, pos))
+            elif upper in BUILTIN_FUNCTIONS:
+                tokens.append(Token("BUILTIN", upper, pos))
+            elif value == "a":
+                tokens.append(Token("A", value, pos))
+            elif upper in ("TRUE", "FALSE"):
+                tokens.append(Token("BOOLEAN", upper.lower(), pos))
+            else:
+                tokens.append(Token("NAME", value, pos))
+        else:
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(Token("EOF", "", len(query)))
+    return tokens

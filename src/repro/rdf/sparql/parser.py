@@ -1,0 +1,448 @@
+"""Recursive-descent parser producing the SPARQL algebra in ``ast.py``."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.sparql import ast
+from repro.rdf.sparql.lexer import (
+    SPARQLSyntaxError,
+    Token,
+    tokenize,
+    unescape_string,
+)
+from repro.rdf.term import (
+    BNode,
+    Literal,
+    URIRef,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._nsm = NamespaceManager()
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            wanted = value or kind
+            raise SPARQLSyntaxError(
+                f"expected {wanted} at position {actual.position}, "
+                f"got {actual.value!r}"
+            )
+        return token
+
+    # -- entry -------------------------------------------------------------
+
+    def parse(self) -> ast.Query:
+        """Parse the token stream into a query object."""
+
+        self._parse_prologue()
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value == "SELECT":
+            query = self._parse_select()
+        elif token.kind == "KEYWORD" and token.value == "ASK":
+            query = self._parse_ask()
+        elif token.kind == "KEYWORD" and token.value == "CONSTRUCT":
+            query = self._parse_construct()
+        elif token.kind == "KEYWORD" and token.value == "DESCRIBE":
+            query = self._parse_describe()
+        else:
+            raise SPARQLSyntaxError(
+                f"expected SELECT, ASK, CONSTRUCT or DESCRIBE, "
+                f"got {token.value!r}"
+            )
+        self._expect("EOF")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._accept("KEYWORD", "PREFIX"):
+            pname = self._expect("PNAME")
+            prefix = pname.value.rstrip(":").split(":")[0]
+            iri = self._expect("IRIREF")
+            self._nsm.bind(prefix, iri.value[1:-1])
+
+    # -- query forms ---------------------------------------------------------
+
+    def _parse_select(self) -> ast.SelectQuery:
+        self._expect("KEYWORD", "SELECT")
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        self._accept("KEYWORD", "REDUCED")
+        variables: List[Variable] = []
+        aggregates: List[ast.Aggregate] = []
+        if self._accept("OP", "*"):
+            pass
+        else:
+            while True:
+                var = self._accept("VAR")
+                if var is not None:
+                    variables.append(Variable(var.value))
+                    continue
+                token = self._peek()
+                if token.kind == "PUNCT" and token.value == "(":
+                    aggregates.append(self._parse_aggregate())
+                    continue
+                break
+            if not variables and not aggregates:
+                raise SPARQLSyntaxError("SELECT requires '*' or variables")
+        self._accept("KEYWORD", "WHERE")
+        pattern = self._parse_group_graph_pattern()
+        group_by: List[Variable] = []
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            while True:
+                var = self._accept("VAR")
+                if var is None:
+                    break
+                group_by.append(Variable(var.value))
+            if not group_by:
+                raise SPARQLSyntaxError("GROUP BY requires variables")
+        order_by, limit, offset = self._parse_solution_modifiers()
+        if aggregates:
+            misplaced = [v for v in variables if v not in group_by]
+            if misplaced and group_by:
+                raise SPARQLSyntaxError(
+                    f"projected variables {misplaced} must appear in GROUP BY"
+                )
+        return ast.SelectQuery(
+            variables=tuple(variables),
+            pattern=pattern,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            aggregates=tuple(aggregates),
+            group_by=tuple(group_by),
+        )
+
+    def _parse_aggregate(self) -> ast.Aggregate:
+        self._expect("PUNCT", "(")
+        name_token = self._expect("AGGREGATE")
+        self._expect("PUNCT", "(")
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        expr: Optional[ast.Expression] = None
+        if self._accept("OP", "*"):
+            if name_token.value != "COUNT":
+                raise SPARQLSyntaxError(
+                    f"'*' is only valid inside COUNT, not {name_token.value}"
+                )
+        else:
+            expr = self._parse_expression()
+        self._expect("PUNCT", ")")
+        self._expect("KEYWORD", "AS")
+        alias = self._expect("VAR")
+        self._expect("PUNCT", ")")
+        return ast.Aggregate(
+            function=name_token.value,
+            expr=expr,
+            alias=Variable(alias.value),
+            distinct=distinct,
+        )
+
+    def _parse_ask(self) -> ast.AskQuery:
+        self._expect("KEYWORD", "ASK")
+        self._accept("KEYWORD", "WHERE")
+        return ast.AskQuery(pattern=self._parse_group_graph_pattern())
+
+    def _parse_describe(self) -> ast.DescribeQuery:
+        self._expect("KEYWORD", "DESCRIBE")
+        terms: List = []
+        while True:
+            token = self._peek()
+            if token.kind == "VAR":
+                self._advance()
+                terms.append(Variable(token.value))
+            elif token.kind == "IRIREF":
+                self._advance()
+                terms.append(URIRef(token.value[1:-1]))
+            elif token.kind == "PNAME":
+                self._advance()
+                terms.append(self._nsm.expand(token.value))
+            else:
+                break
+        if not terms:
+            raise SPARQLSyntaxError("DESCRIBE requires at least one term")
+        pattern = None
+        if self._accept("KEYWORD", "WHERE") or (
+            self._peek().kind == "PUNCT" and self._peek().value == "{"
+        ):
+            pattern = self._parse_group_graph_pattern()
+        return ast.DescribeQuery(terms=tuple(terms), pattern=pattern)
+
+    def _parse_construct(self) -> ast.ConstructQuery:
+        self._expect("KEYWORD", "CONSTRUCT")
+        template = self._parse_triples_braced()
+        self._expect("KEYWORD", "WHERE")
+        pattern = self._parse_group_graph_pattern()
+        _, limit, offset = self._parse_solution_modifiers()
+        return ast.ConstructQuery(
+            template=tuple(template), pattern=pattern, limit=limit, offset=offset
+        )
+
+    def _parse_solution_modifiers(
+        self,
+    ) -> Tuple[Tuple[ast.OrderCondition, ...], Optional[int], int]:
+        order: List[ast.OrderCondition] = []
+        limit: Optional[int] = None
+        offset = 0
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            while True:
+                if self._accept("KEYWORD", "ASC"):
+                    self._expect("PUNCT", "(")
+                    expr = self._parse_expression()
+                    self._expect("PUNCT", ")")
+                    order.append(ast.OrderCondition(expr, descending=False))
+                elif self._accept("KEYWORD", "DESC"):
+                    self._expect("PUNCT", "(")
+                    expr = self._parse_expression()
+                    self._expect("PUNCT", ")")
+                    order.append(ast.OrderCondition(expr, descending=True))
+                elif self._peek().kind == "VAR":
+                    var = self._advance()
+                    order.append(
+                        ast.OrderCondition(ast.TermExpr(Variable(var.value)))
+                    )
+                else:
+                    break
+            if not order:
+                raise SPARQLSyntaxError("ORDER BY requires at least one condition")
+        while True:
+            if self._accept("KEYWORD", "LIMIT"):
+                limit = int(self._expect("NUMBER").value)
+            elif self._accept("KEYWORD", "OFFSET"):
+                offset = int(self._expect("NUMBER").value)
+            else:
+                break
+        return tuple(order), limit, offset
+
+    # -- graph patterns -------------------------------------------------------
+
+    def _parse_group_graph_pattern(self) -> ast.Pattern:
+        self._expect("PUNCT", "{")
+        pattern: Optional[ast.Pattern] = None
+        filters: List[ast.Expression] = []
+
+        def join(current: Optional[ast.Pattern], new: ast.Pattern) -> ast.Pattern:
+            if current is None:
+                return new
+            return ast.Join(current, new)
+
+        while not self._accept("PUNCT", "}"):
+            token = self._peek()
+            if token.kind == "KEYWORD" and token.value == "FILTER":
+                self._advance()
+                filters.append(self._parse_constraint())
+            elif token.kind == "KEYWORD" and token.value == "OPTIONAL":
+                self._advance()
+                right = self._parse_group_graph_pattern()
+                if pattern is None:
+                    pattern = ast.BGP(())
+                pattern = ast.LeftJoin(pattern, right)
+            elif token.kind == "PUNCT" and token.value == "{":
+                sub = self._parse_group_graph_pattern()
+                while self._accept("KEYWORD", "UNION"):
+                    rhs = self._parse_group_graph_pattern()
+                    sub = ast.UnionPattern(sub, rhs)
+                pattern = join(pattern, sub)
+            elif token.kind == "PUNCT" and token.value == ".":
+                self._advance()
+            else:
+                triples = self._parse_triples_block()
+                pattern = join(pattern, ast.BGP(tuple(triples)))
+        if pattern is None:
+            pattern = ast.BGP(())
+        for expr in filters:
+            pattern = ast.FilterPattern(expr, pattern)
+        return pattern
+
+    def _parse_constraint(self) -> ast.Expression:
+        if self._accept("KEYWORD", "EXISTS"):
+            return ast.ExistsExpr(self._parse_group_graph_pattern())
+        if self._peek().kind == "KEYWORD" and self._peek().value == "NOT":
+            self._advance()
+            self._expect("KEYWORD", "EXISTS")
+            return ast.ExistsExpr(
+                self._parse_group_graph_pattern(), negated=True
+            )
+        if self._peek().kind == "PUNCT" and self._peek().value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("PUNCT", ")")
+            return expr
+        if self._peek().kind == "BUILTIN":
+            return self._parse_builtin_call()
+        raise SPARQLSyntaxError(
+            f"expected '(' or builtin after FILTER at {self._peek().position}"
+        )
+
+    def _parse_triples_braced(self) -> List[ast.TriplePatternNode]:
+        self._expect("PUNCT", "{")
+        triples: List[ast.TriplePatternNode] = []
+        while not self._accept("PUNCT", "}"):
+            if self._accept("PUNCT", "."):
+                continue
+            triples.extend(self._parse_triples_block())
+        return triples
+
+    def _parse_triples_block(self) -> List[ast.TriplePatternNode]:
+        triples: List[ast.TriplePatternNode] = []
+        subject = self._parse_term(allow_literal=False)
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(allow_literal=True)
+                triples.append(ast.TriplePatternNode(subject, predicate, obj))
+                if not self._accept("PUNCT", ","):
+                    break
+            if not self._accept("PUNCT", ";"):
+                break
+            next_token = self._peek()
+            if next_token.kind in ("PUNCT", "KEYWORD", "EOF"):
+                break
+        return triples
+
+    def _parse_verb(self):
+        if self._accept("A"):
+            return RDF.type
+        return self._parse_term(allow_literal=False)
+
+    def _parse_term(self, allow_literal: bool):
+        token = self._advance()
+        if token.kind == "VAR":
+            return Variable(token.value)
+        if token.kind == "IRIREF":
+            return URIRef(token.value[1:-1])
+        if token.kind == "PNAME":
+            if token.value.startswith("_:"):
+                return BNode(token.value[2:])
+            return self._nsm.expand(token.value)
+        if token.kind == "NAME" and token.value.startswith("_"):
+            return BNode(token.value)
+        if allow_literal:
+            if token.kind == "STRING":
+                lexical = unescape_string(token.value)
+                if self._accept("PUNCT", "^"):
+                    self._expect("PUNCT", "^")
+                    dt_token = self._advance()
+                    if dt_token.kind == "IRIREF":
+                        datatype = dt_token.value[1:-1]
+                    elif dt_token.kind == "PNAME":
+                        datatype = str(self._nsm.expand(dt_token.value))
+                    else:
+                        raise SPARQLSyntaxError("expected datatype IRI after '^^'")
+                    return Literal(lexical, datatype=datatype)
+                return Literal(lexical)
+            if token.kind == "NUMBER":
+                if any(ch in token.value for ch in ".eE"):
+                    return Literal(float(token.value), datatype=XSD_DOUBLE)
+                return Literal(int(token.value), datatype=XSD_INTEGER)
+            if token.kind == "BOOLEAN":
+                return Literal(token.value == "true", datatype=XSD_BOOLEAN)
+        raise SPARQLSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept("OP", "||"):
+            left = ast.OrExpr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_relational()
+        while self._accept("OP", "&&"):
+            left = ast.AndExpr(left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> ast.Expression:
+        left = self._parse_additive()
+        for op in ("<=", ">=", "!=", "=", "<", ">"):
+            if self._accept("OP", op):
+                return ast.Comparison(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept("OP", "+"):
+                left = ast.Arithmetic("+", left, self._parse_multiplicative())
+            elif self._accept("OP", "-"):
+                left = ast.Arithmetic("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            if self._accept("OP", "*"):
+                left = ast.Arithmetic("*", left, self._parse_unary())
+            elif self._accept("OP", "/"):
+                left = ast.Arithmetic("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._accept("OP", "!"):
+            return ast.NotExpr(self._parse_unary())
+        if self._accept("OP", "-"):
+            return ast.Negate(self._parse_unary())
+        if self._accept("OP", "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind == "PUNCT" and token.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("PUNCT", ")")
+            return expr
+        if token.kind == "BUILTIN":
+            return self._parse_builtin_call()
+        return ast.TermExpr(self._parse_term(allow_literal=True))
+
+    def _parse_builtin_call(self) -> ast.FunctionCall:
+        name_token = self._expect("BUILTIN")
+        self._expect("PUNCT", "(")
+        args: List[ast.Expression] = []
+        if not (self._peek().kind == "PUNCT" and self._peek().value == ")"):
+            args.append(self._parse_expression())
+            while self._accept("PUNCT", ","):
+                args.append(self._parse_expression())
+        self._expect("PUNCT", ")")
+        return ast.FunctionCall(name_token.value, tuple(args))
+
+
+def parse_query(query: str) -> ast.Query:
+    """Parse a SPARQL query string into its algebra representation."""
+    return _Parser(tokenize(query)).parse()

@@ -1,0 +1,332 @@
+"""RDF term model: URI references, blank nodes, literals and variables.
+
+Terms follow the RDF abstract syntax.  ``URIRef``, ``BNode`` and
+``Variable`` are interned string subclasses (cheap, hashable, directly
+usable as dictionary keys); ``Literal`` carries a lexical form plus an
+optional datatype and language tag, and exposes the typed Python value
+for comparisons inside SPARQL ``FILTER`` and the condition language.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Optional
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_DECIMAL = _XSD + "decimal"
+XSD_DOUBLE = _XSD + "double"
+XSD_FLOAT = _XSD + "float"
+XSD_BOOLEAN = _XSD + "boolean"
+XSD_DATETIME = _XSD + "dateTime"
+
+_NUMERIC_DATATYPES = frozenset(
+    {XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE, XSD_FLOAT}
+)
+
+
+class Node:
+    """Abstract base for every RDF term."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Render the term in N3/N-Triples syntax."""
+        raise NotImplementedError
+
+
+class URIRef(Node, str):
+    """An absolute URI reference identifying a resource."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: str) -> "URIRef":
+        if not isinstance(value, str):
+            raise TypeError(f"URIRef requires a string, got {type(value)!r}")
+        return str.__new__(cls, value)
+
+    def n3(self) -> str:
+        """Render the term in N3/N-Triples syntax."""
+
+        return f"<{self}>"
+
+    def __repr__(self) -> str:
+        return f"URIRef({str.__repr__(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, URIRef):
+            return str.__eq__(self, other)
+        if isinstance(other, (BNode, Variable, Literal)):
+            return False
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return str.__hash__(self)
+
+    def defrag(self) -> "URIRef":
+        """Return the URI without its fragment component."""
+        head, _, __ = str(self).partition("#")
+        return URIRef(head)
+
+    def fragment(self) -> str:
+        """Return the fragment component, or the final path segment."""
+        text = str(self)
+        if "#" in text:
+            return text.rsplit("#", 1)[1]
+        return text.rstrip("/").rsplit("/", 1)[-1]
+
+
+_bnode_counter = itertools.count()
+_bnode_lock = threading.Lock()
+
+
+class BNode(Node, str):
+    """A blank node with a graph-local identifier."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: Optional[str] = None) -> "BNode":
+        if value is None:
+            with _bnode_lock:
+                value = f"b{next(_bnode_counter)}"
+        return str.__new__(cls, value)
+
+    def n3(self) -> str:
+        """Render the term in N3/N-Triples syntax."""
+
+        return f"_:{self}"
+
+    def __repr__(self) -> str:
+        return f"BNode({str.__repr__(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BNode):
+            return str.__eq__(self, other)
+        if isinstance(other, (URIRef, Variable, Literal)):
+            return False
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return str.__hash__(self)
+
+
+class Variable(Node, str):
+    """A query variable (``?name``), used in SPARQL patterns."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: str) -> "Variable":
+        if value.startswith("?") or value.startswith("$"):
+            value = value[1:]
+        if not value:
+            raise ValueError("variable name must be non-empty")
+        return str.__new__(cls, value)
+
+    def n3(self) -> str:
+        """Render the term in N3/N-Triples syntax."""
+
+        return f"?{self}"
+
+    def __repr__(self) -> str:
+        return f"Variable({str.__repr__(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return str.__eq__(self, other)
+        if isinstance(other, (URIRef, BNode, Literal)):
+            return False
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return str.__hash__(self)
+
+
+def _infer_datatype(value: Any) -> Optional[str]:
+    if isinstance(value, bool):
+        return XSD_BOOLEAN
+    if isinstance(value, int):
+        return XSD_INTEGER
+    if isinstance(value, float):
+        return XSD_DOUBLE
+    return None
+
+
+def _lexical_form(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+_SIMPLE_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\r": "\\r", "\t": "\\t"}
+
+# Characters Python's splitlines() treats as line breaks; raw occurrences
+# would corrupt line-oriented N-Triples output.
+_LINE_BREAKERS = "\x85  "
+
+
+def _escape_lexical(text: str) -> str:
+    out = []
+    for ch in text:
+        if ch in _SIMPLE_ESCAPES:
+            out.append(_SIMPLE_ESCAPES[ch])
+        elif ord(ch) < 0x20 or ch in _LINE_BREAKERS:
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _parse_typed(lexical: str, datatype: Optional[str]) -> Any:
+    if datatype == XSD_INTEGER:
+        return int(lexical)
+    if datatype in (XSD_DECIMAL, XSD_DOUBLE, XSD_FLOAT):
+        return float(lexical)
+    if datatype == XSD_BOOLEAN:
+        if lexical in ("true", "1"):
+            return True
+        if lexical in ("false", "0"):
+            return False
+        raise ValueError(f"invalid xsd:boolean lexical form: {lexical!r}")
+    return lexical
+
+
+class Literal(Node):
+    """An RDF literal: a lexical form with optional datatype or language.
+
+    ``Literal(3.2)`` infers ``xsd:double``; ``Literal("high")`` is a plain
+    string literal.  ``value`` holds the typed Python value used in
+    comparisons; ordering between numeric literals is numeric, between
+    plain strings lexicographic, and raises ``TypeError`` otherwise
+    (mirroring SPARQL type errors).
+    """
+
+    __slots__ = ("lexical", "datatype", "lang", "value")
+
+    def __init__(
+        self,
+        value: Any,
+        datatype: Optional[str] = None,
+        lang: Optional[str] = None,
+    ) -> None:
+        if lang is not None and datatype is not None:
+            raise ValueError("a literal cannot have both a language and a datatype")
+        if datatype is None:
+            datatype = _infer_datatype(value)
+        elif isinstance(datatype, str):
+            datatype = str(datatype)
+        if isinstance(value, str):
+            lexical = value
+            typed = _parse_typed(value, datatype) if datatype else value
+        else:
+            lexical = _lexical_form(value)
+            typed = value
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", URIRef(datatype) if datatype else None)
+        object.__setattr__(self, "lang", lang)
+        object.__setattr__(self, "value", typed)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Literal instances are immutable")
+
+    def is_numeric(self) -> bool:
+        """True for numeric literals (booleans excluded)."""
+        return isinstance(self.value, (int, float)) and not isinstance(
+            self.value, bool
+        )
+
+    def n3(self) -> str:
+        """Render the term in N3/N-Triples syntax."""
+
+        base = f'"{_escape_lexical(self.lexical)}"'
+        if self.lang:
+            return f"{base}@{self.lang}"
+        if self.datatype and str(self.datatype) != XSD_STRING:
+            return f"{base}^^<{self.datatype}>"
+        return base
+
+    def __repr__(self) -> str:
+        parts = [repr(self.lexical)]
+        if self.datatype:
+            parts.append(f"datatype={str(self.datatype)!r}")
+        if self.lang:
+            parts.append(f"lang={self.lang!r}")
+        return f"Literal({', '.join(parts)})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented if not isinstance(other, Node) else False
+        if self.is_numeric() and other.is_numeric():
+            return self.value == other.value
+        return (
+            self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.lang == other.lang
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self.is_numeric():
+            return hash(float(self.value))
+        return hash((self.lexical, self.datatype, self.lang))
+
+    def _comparable(self, other: "Literal") -> None:
+        if self.is_numeric() and other.is_numeric():
+            return
+        if isinstance(self.value, str) and isinstance(other.value, str):
+            return
+        raise TypeError(
+            f"cannot order literals {self!r} and {other!r} of differing types"
+        )
+
+    def __lt__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        self._comparable(other)
+        return self.value < other.value
+
+    def __le__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        self._comparable(other)
+        return self.value <= other.value
+
+    def __gt__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        self._comparable(other)
+        return self.value > other.value
+
+    def __ge__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        self._comparable(other)
+        return self.value >= other.value

@@ -1,0 +1,58 @@
+"""Triple: the RDF statement unit."""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional, Tuple, Union
+
+from repro.rdf.term import BNode, Literal, Node, URIRef, Variable
+
+Subject = Union[URIRef, BNode]
+Predicate = URIRef
+Object = Union[URIRef, BNode, Literal]
+TermOrNone = Optional[Node]
+
+
+class Triple(NamedTuple):
+    """An (subject, predicate, object) RDF statement.
+
+    Being a ``NamedTuple`` a triple unpacks naturally
+    (``s, p, o = triple``) and is hashable, so graphs can store triples
+    in set-based indices.
+    """
+
+    subject: Subject
+    predicate: Predicate
+    object: Object
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def terms(self) -> Iterator[Node]:
+        """Yield subject, predicate, object."""
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def has_variables(self) -> bool:
+        """True when any position is a query variable."""
+        return any(isinstance(term, Variable) for term in self.terms())
+
+
+def validate_triple(
+    subject: object, predicate: object, obj: object
+) -> Tuple[Subject, Predicate, Object]:
+    """Check RDF positional constraints and return the validated terms.
+
+    Subjects must be URIs or blank nodes, predicates URIs, and objects
+    any term except a variable.  Raises ``TypeError`` on violation.
+    """
+    if not isinstance(subject, (URIRef, BNode)):
+        raise TypeError(f"triple subject must be URIRef or BNode, got {subject!r}")
+    if not isinstance(predicate, URIRef):
+        raise TypeError(f"triple predicate must be URIRef, got {predicate!r}")
+    if not isinstance(obj, (URIRef, BNode, Literal)):
+        raise TypeError(
+            f"triple object must be URIRef, BNode or Literal, got {obj!r}"
+        )
+    return subject, predicate, obj

@@ -1,0 +1,188 @@
+"""A Turtle parser (the read half of the Turtle support).
+
+Covers the subset our own serialiser emits plus the common hand-written
+forms: ``@prefix`` directives, predicate lists with ``;``, object lists
+with ``,``, the ``a`` keyword, IRIs, prefixed names, blank nodes,
+plain/typed/language literals, and bare numeric/boolean literals.
+Collections and ``[]`` blank-node property lists are not supported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.term import BNode, Literal, Node, URIRef
+from repro.rdf.term import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triple import Triple
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|\#[^\n]*)
+  | (?P<PREFIX_DIRECTIVE>@prefix\b)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<BNODE>_:[A-Za-z0-9_]+)
+  | (?P<NUMBER>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<BOOLEAN>\btrue\b|\bfalse\b)
+  | (?P<A>\ba\b)
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_\-]*:(?:[A-Za-z0-9_.\-]*[A-Za-z0-9_\-])?)
+  | (?P<LANGTAG>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<DTSEP>\^\^)
+  | (?P<PUNCT>[.;,])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(body: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        if body[i] == "\\" and i + 1 < len(body):
+            pair = body[i : i + 2]
+            if pair in _ESCAPES:
+                out.append(_ESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(body):
+                out.append(chr(int(body[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+        out.append(body[i])
+        i += 1
+    return "".join(out)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self._tokens: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise TurtleParseError(
+                    f"unexpected character {text[pos]!r} at offset {pos}"
+                )
+            kind = match.lastgroup or ""
+            if kind != "WS":
+                self._tokens.append((kind, match.group(), pos))
+            pos = match.end()
+        self._tokens.append(("EOF", "", len(text)))
+        self._index = 0
+
+    def peek(self) -> Tuple[str, str, int]:
+        """The next token without consuming it."""
+
+        return self._tokens[self._index]
+
+    def next(self) -> Tuple[str, str, int]:
+        """Consume and return the next token."""
+
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None):
+        """Consume the next token if it matches, else None."""
+
+        token = self.peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None):
+        """Consume a matching token or raise TurtleParseError."""
+
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            raise TurtleParseError(
+                f"expected {value or kind} at offset {actual[2]}, "
+                f"got {actual[1]!r}"
+            )
+        return token
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Yield the triples of a Turtle document."""
+    tokens = _Tokens(text)
+    nsm = NamespaceManager(defaults=False)
+
+    def parse_term(as_predicate: bool = False) -> Node:
+        kind, value, offset = tokens.next()
+        if kind == "IRIREF":
+            return URIRef(value[1:-1])
+        if kind == "A" and as_predicate:
+            return RDF.type
+        if kind == "PNAME":
+            prefix, _, local = value.partition(":")
+            namespace = nsm.namespace_for(prefix)
+            if namespace is None:
+                raise TurtleParseError(
+                    f"undeclared prefix {prefix!r} at offset {offset}"
+                )
+            return URIRef(namespace + local)
+        if as_predicate:
+            raise TurtleParseError(
+                f"invalid predicate {value!r} at offset {offset}"
+            )
+        if kind == "BNODE":
+            return BNode(value[2:])
+        if kind == "STRING":
+            lexical = _unescape(value[1:-1])
+            langtag = tokens.accept("LANGTAG")
+            if langtag is not None:
+                return Literal(lexical, lang=langtag[1][1:])
+            if tokens.accept("DTSEP") is not None:
+                datatype = parse_term()
+                if not isinstance(datatype, URIRef):
+                    raise TurtleParseError("datatype must be an IRI")
+                return Literal(lexical, datatype=str(datatype))
+            return Literal(lexical)
+        if kind == "NUMBER":
+            if any(ch in value for ch in ".eE"):
+                return Literal(float(value), datatype=XSD_DOUBLE)
+            return Literal(int(value), datatype=XSD_INTEGER)
+        if kind == "BOOLEAN":
+            return Literal(value == "true", datatype=XSD_BOOLEAN)
+        raise TurtleParseError(f"unexpected token {value!r} at offset {offset}")
+
+    while tokens.peek()[0] != "EOF":
+        if tokens.accept("PREFIX_DIRECTIVE"):
+            prefix_token = tokens.expect("PNAME")
+            prefix = prefix_token[1].rstrip(":").split(":")[0]
+            iri = tokens.expect("IRIREF")
+            nsm.bind(prefix, iri[1][1:-1])
+            tokens.expect("PUNCT", ".")
+            continue
+        subject = parse_term()
+        if not isinstance(subject, (URIRef, BNode)):
+            raise TurtleParseError(f"invalid subject {subject!r}")
+        while True:
+            predicate = parse_term(as_predicate=True)
+            while True:
+                obj = parse_term()
+                yield Triple(subject, predicate, obj)  # type: ignore[arg-type]
+                if tokens.accept("PUNCT", ",") is None:
+                    break
+            if tokens.accept("PUNCT", ";") is None:
+                break
+            # tolerate a trailing ';' before '.'
+            if tokens.peek()[0] == "PUNCT" and tokens.peek()[1] == ".":
+                break
+        tokens.expect("PUNCT", ".")

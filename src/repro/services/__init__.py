@@ -1,0 +1,36 @@
+"""The Qurator service space (paper Sec. 5, Fig. 5).
+
+The paper deploys QA and annotation operators as Web services exporting
+one common WSDL interface with a shared XML message schema, discovered
+by Taverna's scavenger.  This package reproduces that architecture
+in-process: every service has an endpoint URL, a WSDL descriptor, and an
+``invoke(xml) -> xml`` entry point using the common message schema, plus
+a fast native-call path the workflow engine uses once a service has been
+resolved.
+"""
+
+from repro.services.messages import (
+    AnnotationMapMessage,
+    DataSetMessage,
+    MessageError,
+)
+from repro.services.interface import (
+    AnnotationService,
+    QualityAssertionService,
+    Service,
+    ServiceFault,
+)
+from repro.services.registry import ServiceRegistry
+from repro.services.wsdl import wsdl_for
+
+__all__ = [
+    "AnnotationMapMessage",
+    "AnnotationService",
+    "DataSetMessage",
+    "MessageError",
+    "QualityAssertionService",
+    "Service",
+    "ServiceFault",
+    "ServiceRegistry",
+    "wsdl_for",
+]

@@ -1,0 +1,130 @@
+"""Service wrappers exposing operators through the common interface.
+
+Every Qurator service takes a ``DataSetMessage`` plus an
+``AnnotationMapMessage`` and returns an ``AnnotationMapMessage`` — the
+"same WSDL interface" of Sec. 5.  ``invoke_xml`` exercises the full
+message path (serialise → process → serialise); ``invoke`` is the
+native fast path the workflow enactor uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Mapping, Optional
+
+from repro.annotation.map import AnnotationMap
+from repro.services.messages import AnnotationMapMessage, DataSetMessage
+from repro.rdf import URIRef
+
+
+class ServiceFault(RuntimeError):
+    """The service-layer error envelope (a SOAP fault analogue)."""
+
+    def __init__(self, service: str, message: str) -> None:
+        super().__init__(f"fault from service {service!r}: {message}")
+        self.service = service
+        self.fault_message = message
+
+
+class Service(abc.ABC):
+    """A deployed Qurator service: an endpoint plus the common interface."""
+
+    def __init__(self, name: str, concept: URIRef, endpoint: str) -> None:
+        self.name = name
+        #: The IQ-model class this service implements.
+        self.concept = concept
+        self.endpoint = endpoint
+
+    @abc.abstractmethod
+    def invoke(
+        self,
+        dataset: DataSetMessage,
+        amap: AnnotationMap,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Process a data set + annotation map into a new annotation map."""
+
+    def invoke_xml(self, dataset_xml: str, amap_xml: str) -> str:
+        """The wire-format entry point used by the message-path tests."""
+        try:
+            dataset = DataSetMessage.from_xml(dataset_xml)
+            amap = AnnotationMapMessage.from_xml(amap_xml).amap
+            result = self.invoke(dataset, amap)
+        except ServiceFault:
+            raise
+        except Exception as exc:
+            raise ServiceFault(self.name, str(exc)) from exc
+        return AnnotationMapMessage(result).to_xml()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} at {self.endpoint}>"
+
+
+class QualityAssertionService(Service):
+    """Exposes a :class:`QualityAssertionOperator` as a service."""
+
+    def __init__(
+        self,
+        name: str,
+        concept: URIRef,
+        endpoint: str,
+        operator_factory: Callable[..., Any],
+    ) -> None:
+        super().__init__(name, concept, endpoint)
+        #: Builds the QA operator given the view's configuration
+        #: (tag_name, tag_syn_type, tag_sem_type, variables).
+        self.operator_factory = operator_factory
+
+    def build_operator(self, **config: Any):
+        """Instantiate the QA operator from view configuration."""
+
+        return self.operator_factory(**config)
+
+    def invoke(
+        self,
+        dataset: DataSetMessage,
+        amap: AnnotationMap,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Process a data set + annotation map into a new map."""
+
+        config = dict(context or {})
+        operator = self.build_operator(**config)
+        restricted = amap.subset(dataset.items) if dataset.items else amap
+        for item in dataset.items:
+            restricted.add_item(item)
+        return operator.execute(restricted)
+
+
+class AnnotationService(Service):
+    """Exposes an :class:`AnnotationFunction` as a service.
+
+    The service computes evidence for the items in the data set and
+    merges it into the annotation map; the caller (an Annotation
+    operator or the compiled workflow) persists it to the repository.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        concept: URIRef,
+        endpoint: str,
+        function,
+    ) -> None:
+        super().__init__(name, concept, endpoint)
+        self.function = function
+
+    def invoke(
+        self,
+        dataset: DataSetMessage,
+        amap: AnnotationMap,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> AnnotationMap:
+        """Process a data set + annotation map into a new map."""
+
+        computed = self.function.annotate(
+            list(dataset.items), set(self.function.provides), context
+        )
+        result = amap.copy()
+        result.merge(computed)
+        return result

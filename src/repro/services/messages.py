@@ -1,0 +1,198 @@
+"""The common XML message schema shared by all Qurator services.
+
+Paper Sec. 5: "all QA services export the same WSDL interface, using a
+common XML schema for the input and output messages.  The schema is
+effectively a concrete model for the data sets, evidence types and
+annotation maps described earlier in abstract terms."
+
+Two messages exist: ``DataSetMessage`` (an ordered set of data-item
+URIs) and ``AnnotationMapMessage`` (the XML encoding of an
+``AnnotationMap``: evidence entries plus QA tags).
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.annotation.map import AnnotationMap, TagValue
+from repro.rdf import Literal, URIRef
+
+_QNS = "http://qurator.org/messages#"
+
+
+class MessageError(ValueError):
+    """Raised on malformed service messages."""
+
+
+#: Characters that cannot be carried in XML 1.0 text (plus '\r', which
+#: conforming parsers normalise to '\n', silently corrupting values).
+_XML_UNSAFE = re.compile("[\x00-\x08\x0b\x0c\x0e-\x1f\r\x7f]")
+
+
+def _element(tag: str, **attrib: str) -> ET.Element:
+    return ET.Element(tag, {k: v for k, v in attrib.items() if v is not None})
+
+
+def _encode_value(value: Any) -> Tuple[str, str]:
+    """Encode a Python/RDF value as (text, type marker)."""
+    if isinstance(value, Literal):
+        value = value.value
+    if isinstance(value, URIRef):
+        return str(value), "uri"
+    if isinstance(value, bool):
+        return ("true" if value else "false"), "boolean"
+    if isinstance(value, int):
+        return str(value), "integer"
+    if isinstance(value, float):
+        return repr(value), "double"
+    if value is None:
+        return "", "null"
+    text = str(value)
+    if _XML_UNSAFE.search(text):
+        # Control characters are illegal in XML 1.0 (and '\r' would be
+        # normalised away by any conforming parser): base64-encode.
+        encoded = base64.b64encode(text.encode("utf-8")).decode("ascii")
+        return encoded, "string-b64"
+    return text, "string"
+
+
+def _decode_value(text: str, kind: str) -> Any:
+    if kind == "uri":
+        return URIRef(text)
+    if kind == "boolean":
+        return text == "true"
+    if kind == "integer":
+        return int(text)
+    if kind == "double":
+        return float(text)
+    if kind == "null":
+        return None
+    if kind == "string":
+        return text
+    if kind == "string-b64":
+        try:
+            return base64.b64decode(text.encode("ascii")).decode("utf-8")
+        except Exception as exc:
+            raise MessageError(f"invalid base64 string payload: {exc}") from exc
+    raise MessageError(f"unknown value type marker {kind!r}")
+
+
+@dataclass
+class DataSetMessage:
+    """An ordered collection of data-item references."""
+
+    items: List[URIRef] = field(default_factory=list)
+
+    def to_xml(self) -> str:
+        """Serialise the message to its XML wire form."""
+
+        root = _element("DataSet", xmlns=_QNS)
+        for item in self.items:
+            child = ET.SubElement(root, "item")
+            child.set("ref", str(item))
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "DataSetMessage":
+        """Parse the XML wire form; MessageError on bad input."""
+
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise MessageError(f"malformed DataSet message: {exc}") from exc
+        if _local(root.tag) != "DataSet":
+            raise MessageError(f"expected DataSet root, got {root.tag!r}")
+        items = []
+        for child in root:
+            if _local(child.tag) != "item":
+                raise MessageError(f"unexpected element {child.tag!r} in DataSet")
+            ref = child.get("ref")
+            if not ref:
+                raise MessageError("DataSet item without a ref attribute")
+            items.append(URIRef(ref))
+        return cls(items)
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+@dataclass
+class AnnotationMapMessage:
+    """The XML encoding of an annotation map."""
+
+    amap: AnnotationMap = field(default_factory=AnnotationMap)
+
+    def to_xml(self) -> str:
+        """Serialise the message to its XML wire form."""
+
+        root = _element("AnnotationMap", xmlns=_QNS)
+        for item in self.amap.items():
+            entry = ET.SubElement(root, "entry")
+            entry.set("item", str(item))
+            for evidence_type, value in self.amap.evidence_for(item).items():
+                text, kind = _encode_value(value)
+                evidence = ET.SubElement(entry, "evidence")
+                evidence.set("type", str(evidence_type))
+                evidence.set("valueType", kind)
+                evidence.text = text
+            for tag_name, tag in self.amap.tags_for(item).items():
+                text, kind = _encode_value(tag.value)
+                tag_el = ET.SubElement(entry, "tag")
+                tag_el.set("name", tag_name)
+                tag_el.set("valueType", kind)
+                if tag.syn_type is not None:
+                    tag_el.set("synType", str(tag.syn_type))
+                if tag.sem_type is not None:
+                    tag_el.set("semType", str(tag.sem_type))
+                tag_el.text = text
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AnnotationMapMessage":
+        """Parse the XML wire form; MessageError on bad input."""
+
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise MessageError(f"malformed AnnotationMap message: {exc}") from exc
+        if _local(root.tag) != "AnnotationMap":
+            raise MessageError(f"expected AnnotationMap root, got {root.tag!r}")
+        amap = AnnotationMap()
+        for entry in root:
+            if _local(entry.tag) != "entry":
+                raise MessageError(f"unexpected element {entry.tag!r}")
+            item_ref = entry.get("item")
+            if not item_ref:
+                raise MessageError("entry without an item attribute")
+            item = URIRef(item_ref)
+            amap.add_item(item)
+            for child in entry:
+                local = _local(child.tag)
+                kind = child.get("valueType", "string")
+                value = _decode_value(child.text or "", kind)
+                if local == "evidence":
+                    type_ref = child.get("type")
+                    if not type_ref:
+                        raise MessageError("evidence element without a type")
+                    amap.set_evidence(item, URIRef(type_ref), value)
+                elif local == "tag":
+                    name = child.get("name")
+                    if not name:
+                        raise MessageError("tag element without a name")
+                    syn = child.get("synType")
+                    sem = child.get("semType")
+                    amap.set_tag(
+                        item,
+                        name,
+                        value,
+                        syn_type=URIRef(syn) if syn else None,
+                        sem_type=URIRef(sem) if sem else None,
+                    )
+                else:
+                    raise MessageError(f"unexpected element {child.tag!r}")
+        return cls(amap)

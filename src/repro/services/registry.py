@@ -1,0 +1,98 @@
+"""The service registry: where Qurator services are deployed and found.
+
+Registration assigns each service a unique endpoint under a host URL;
+lookups are by name, by endpoint, or by implemented IQ concept (the
+query the binding registry and the QV compiler issue).  ``wsdl_index``
+simulates the published-WSDL surface the workflow scavenger crawls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.rdf import URIRef
+from repro.services.interface import Service
+from repro.services.wsdl import wsdl_for
+
+
+class ServiceRegistry:
+    """Registry of deployed services, keyed every way the framework needs."""
+
+    def __init__(self, host: str = "http://qurator.org/services") -> None:
+        self.host = host.rstrip("/")
+        self._by_name: Dict[str, Service] = {}
+        self._by_endpoint: Dict[str, Service] = {}
+        self._by_concept: Dict[URIRef, List[Service]] = {}
+
+    def deploy(self, service: Service) -> str:
+        """Register a service; assigns its endpoint. Returns the endpoint."""
+        if service.name in self._by_name:
+            raise ValueError(f"a service named {service.name!r} is already deployed")
+        endpoint = f"{self.host}/{service.name}"
+        service.endpoint = endpoint
+        self._by_name[service.name] = service
+        self._by_endpoint[endpoint] = service
+        self._by_concept.setdefault(service.concept, []).append(service)
+        return endpoint
+
+    def undeploy(self, name: str) -> None:
+        """Remove a service from every index (idempotent)."""
+        service = self._by_name.pop(name, None)
+        if service is None:
+            return
+        self._by_endpoint.pop(service.endpoint, None)
+        siblings = self._by_concept.get(service.concept, [])
+        if service in siblings:
+            siblings.remove(service)
+
+    def by_name(self, name: str) -> Service:
+        """The service by name; KeyError lists the catalogue."""
+
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no service named {name!r}; deployed: {sorted(self._by_name)}"
+            ) from None
+
+    def by_endpoint(self, endpoint: str) -> Service:
+        """The service at an endpoint URL."""
+
+        try:
+            return self._by_endpoint[endpoint]
+        except KeyError:
+            raise KeyError(f"no service at endpoint {endpoint!r}") from None
+
+    def by_concept(self, concept: URIRef) -> List[Service]:
+        """Every service implementing an IQ concept."""
+        return list(self._by_concept.get(concept, []))
+
+    def resolve_concept(self, concept: URIRef) -> Service:
+        """The unique service implementing a concept; error if ambiguous."""
+        candidates = self.by_concept(concept)
+        if not candidates:
+            raise KeyError(f"no service implements concept {concept}")
+        if len(candidates) > 1:
+            names = sorted(s.name for s in candidates)
+            raise KeyError(
+                f"concept {concept} is implemented by several services: {names}; "
+                f"bind one explicitly in the binding registry"
+            )
+        return candidates[0]
+
+    def services(self) -> List[Service]:
+        """All deployed services."""
+        return list(self._by_name.values())
+
+    def wsdl_index(self) -> Dict[str, str]:
+        """endpoint -> WSDL document, the surface the scavenger crawls."""
+        return {s.endpoint: wsdl_for(s) for s in self._by_name.values()}
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

@@ -1,0 +1,70 @@
+"""WSDL descriptor generation for deployed services.
+
+The workflow scavenger discovers services by reading WSDL from a host
+(paper Sec. 6.1: "any deployed Web Service with a published WSDL
+interface can be found automatically").  Descriptors here are small but
+structurally genuine WSDL 1.1 documents sharing the single port type of
+the common interface.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+_WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+_TNS = "http://qurator.org/services#"
+
+_TEMPLATE = """<?xml version="1.0" encoding="UTF-8"?>
+<definitions name="{name}"
+    targetNamespace="{tns}"
+    xmlns="{wsdl}"
+    xmlns:tns="{tns}">
+  <message name="ProcessRequest">
+    <part name="dataSet" element="tns:DataSet"/>
+    <part name="annotationMap" element="tns:AnnotationMap"/>
+  </message>
+  <message name="ProcessResponse">
+    <part name="annotationMap" element="tns:AnnotationMap"/>
+  </message>
+  <portType name="QuratorServicePortType">
+    <operation name="process">
+      <input message="tns:ProcessRequest"/>
+      <output message="tns:ProcessResponse"/>
+    </operation>
+  </portType>
+  <service name="{name}">
+    <documentation>concept={concept}</documentation>
+    <port name="{name}Port" binding="tns:QuratorServiceBinding">
+      <address location="{endpoint}"/>
+    </port>
+  </service>
+</definitions>
+"""
+
+
+def wsdl_for(service) -> str:
+    """Render the WSDL document describing one deployed service."""
+    return _TEMPLATE.format(
+        name=service.name,
+        tns=_TNS,
+        wsdl=_WSDL_NS,
+        concept=service.concept,
+        endpoint=service.endpoint,
+    )
+
+
+def parse_wsdl(text: str) -> dict:
+    """Extract (name, endpoint, concept) from a WSDL document."""
+    root = ET.fromstring(text)
+    name = root.get("name") or ""
+    endpoint = ""
+    concept = ""
+    for service in root.iter(f"{{{_WSDL_NS}}}service"):
+        doc = service.find(f"{{{_WSDL_NS}}}documentation")
+        if doc is not None and doc.text and doc.text.startswith("concept="):
+            concept = doc.text[len("concept="):]
+        for port in service.iter(f"{{{_WSDL_NS}}}port"):
+            address = port.find(f"{{{_WSDL_NS}}}address")
+            if address is not None:
+                endpoint = address.get("location") or ""
+    return {"name": name, "endpoint": endpoint, "concept": concept}

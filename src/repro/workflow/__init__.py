@@ -1,0 +1,48 @@
+"""A Taverna-like scientific-workflow environment (paper Sec. 6).
+
+Reproduces the primitives the QV compiler targets: processors drawn
+from an extensible collection, composed with *data links* (value flow
+between ports) and *control links* ("a control link from processor A to
+B means that B is started as soon as A completes"), enacted by an
+engine that transfers data between ports, with implicit iteration over
+list-valued inputs, a WSDL scavenger that turns deployed services into
+processors, and a SCUFL-like XML serialisation.
+"""
+
+from repro.workflow.model import (
+    ControlLink,
+    DataLink,
+    Port,
+    Workflow,
+    WorkflowError,
+)
+from repro.workflow.processors import (
+    AdapterProcessor,
+    NestedWorkflowProcessor,
+    Processor,
+    PythonProcessor,
+    StringConstantProcessor,
+    WSDLProcessor,
+)
+from repro.workflow.enactor import Enactor, EnactmentError
+from repro.workflow.scavenger import Scavenger
+from repro.workflow.trace import EnactmentTrace, TraceEvent
+
+__all__ = [
+    "AdapterProcessor",
+    "ControlLink",
+    "DataLink",
+    "Enactor",
+    "EnactmentError",
+    "EnactmentTrace",
+    "NestedWorkflowProcessor",
+    "Port",
+    "Processor",
+    "PythonProcessor",
+    "Scavenger",
+    "StringConstantProcessor",
+    "TraceEvent",
+    "WSDLProcessor",
+    "Workflow",
+    "WorkflowError",
+]

@@ -1,0 +1,155 @@
+"""The workflow enactment engine.
+
+Fires processors in dependency order, transferring values along data
+links and honouring control links, as in Taverna's enactment service.
+Implicit iteration: when a depth-0 input port receives a list, the
+processor fires once per element (cross product over all iterated
+ports, Taverna's default strategy) and each output becomes a list.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.workflow.model import Workflow, WorkflowError
+from repro.workflow.trace import EnactmentTrace
+
+
+class EnactmentError(RuntimeError):
+    """A processor failed during enactment."""
+
+    def __init__(self, workflow: str, processor: str, cause: Exception) -> None:
+        super().__init__(
+            f"processor {processor!r} of workflow {workflow!r} failed: {cause}"
+        )
+        self.workflow = workflow
+        self.processor = processor
+        self.cause = cause
+
+
+class Enactor:
+    """Runs workflows; keeps the trace of its last enactment."""
+
+    def __init__(self) -> None:
+        self.last_trace: Optional[EnactmentTrace] = None
+
+    def run(
+        self, workflow: Workflow, inputs: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Enact a workflow over the given inputs; returns its outputs."""
+
+        inputs = dict(inputs or {})
+        missing = [name for name in workflow.inputs if name not in inputs]
+        if missing:
+            raise WorkflowError(
+                f"workflow {workflow.name!r} is missing inputs {missing}"
+            )
+        workflow.validate()
+        trace = EnactmentTrace(workflow.name)
+        self.last_trace = trace
+        # Values produced so far: (processor, port) -> value; workflow
+        # inputs use an empty processor name.
+        values: Dict[Tuple[str, str], Any] = {
+            ("", name): value for name, value in inputs.items()
+        }
+        for name in workflow.topological_order():
+            processor = workflow.processors[name]
+            port_values: Dict[str, Any] = {}
+            for link in workflow.incoming_links(name):
+                key = (link.source.processor, link.source.port)
+                if key not in values:
+                    raise WorkflowError(
+                        f"data link {link.source} -> {link.sink} reads a value "
+                        f"that was never produced"
+                    )
+                port_values[link.sink.port] = values[key]
+            event = trace.start(name)
+            try:
+                outputs, iterations = self._fire(processor, port_values)
+            except Exception as exc:
+                trace.fail(event, str(exc))
+                raise EnactmentError(workflow.name, name, exc) from exc
+            trace.complete(event, iterations)
+            for port, value in outputs.items():
+                values[(name, port)] = value
+        results: Dict[str, Any] = {}
+        for out_name in workflow.outputs:
+            for link in workflow.data_links:
+                if not link.sink.processor and link.sink.port == out_name:
+                    key = (link.source.processor, link.source.port)
+                    if key not in values:
+                        raise WorkflowError(
+                            f"workflow output {out_name!r} reads a value "
+                            f"that was never produced"
+                        )
+                    results[out_name] = values[key]
+        return results
+
+    def _fire(
+        self, processor, port_values: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], int]:
+        iterated = sorted(
+            port
+            for port, value in port_values.items()
+            if processor.input_ports.get(port, 1) == 0 and isinstance(value, list)
+        )
+        if not iterated:
+            return self._fire_once(processor, dict(port_values)), 1
+        # Implicit iteration over list-valued scalar ports, combined by
+        # the processor's iteration strategy: 'cross' (Taverna's
+        # default, the cartesian product) or 'dot' (element-wise zip of
+        # equal-length lists).
+        strategy = getattr(processor, "iteration_strategy", "cross")
+        axes = [port_values[port] for port in iterated]
+        if strategy == "dot":
+            lengths = {len(axis) for axis in axes}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"processor {processor.name!r} uses the dot iteration "
+                    f"strategy but its iterated inputs have differing "
+                    f"lengths {sorted(len(a) for a in axes)}"
+                )
+            combinations = list(zip(*axes))
+        elif strategy == "cross":
+            combinations = list(itertools.product(*axes))
+        else:
+            raise ValueError(
+                f"processor {processor.name!r} has unknown iteration "
+                f"strategy {strategy!r}; valid: 'cross', 'dot'"
+            )
+        collected: Dict[str, List[Any]] = {
+            port: [] for port in processor.output_ports
+        }
+        count = 0
+        for combination in combinations:
+            call_inputs = dict(port_values)
+            for port, value in zip(iterated, combination):
+                call_inputs[port] = value
+            outputs = self._fire_once(processor, call_inputs)
+            count += 1
+            for port in processor.output_ports:
+                collected[port].append(outputs.get(port))
+        return dict(collected), count
+
+    def _fire_once(self, processor, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """One processor invocation with Taverna-style fault tolerance.
+
+        A processor may declare ``retries`` (re-invocations after a
+        failure) and an ``alternate`` processor tried when every retry
+        is exhausted — mirroring Taverna's retry/alternate-processor
+        configuration.
+        """
+        retries = getattr(processor, "retries", 0)
+        attempts = retries + 1
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                return processor.fire(inputs)
+            except Exception as exc:  # noqa: BLE001 - fault boundary
+                last_error = exc
+        alternate = getattr(processor, "alternate", None)
+        if alternate is not None:
+            return self._fire_once(alternate, inputs)
+        assert last_error is not None
+        raise last_error

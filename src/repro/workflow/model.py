@@ -1,0 +1,273 @@
+"""Workflow structure: processors, ports, data links, control links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.workflow.processors import Processor
+
+
+class WorkflowError(ValueError):
+    """Raised on structurally invalid workflows."""
+
+
+@dataclass(frozen=True)
+class Port:
+    """A reference to a named port of a processor (or of the workflow).
+
+    ``processor`` is empty for workflow-level source/sink ports.
+    """
+
+    processor: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.processor}.{self.port}" if self.processor else self.port
+
+
+@dataclass(frozen=True)
+class DataLink:
+    """Value flow from a source port to a sink port."""
+
+    source: Port
+    sink: Port
+
+
+@dataclass(frozen=True)
+class ControlLink:
+    """Sink starts only after source completes (no data transferred)."""
+
+    source: str  # processor name
+    sink: str
+
+
+class Workflow:
+    """A composition of processors, in the style of Taverna's SCUFL."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.processors: Dict[str, Processor] = {}
+        self.data_links: List[DataLink] = []
+        self.control_links: List[ControlLink] = []
+        #: Workflow-level inputs: name -> Port() with empty processor.
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_processor(self, processor: Processor) -> Processor:
+        """Add a processor; duplicate names are rejected."""
+        if processor.name in self.processors:
+            raise WorkflowError(
+                f"workflow {self.name!r} already has a processor "
+                f"named {processor.name!r}"
+            )
+        self.processors[processor.name] = processor
+        return processor
+
+    def add_input(self, name: str) -> None:
+        """Declare a workflow-level input port."""
+        if name in self.inputs:
+            raise WorkflowError(f"duplicate workflow input {name!r}")
+        self.inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        """Declare a workflow-level output port."""
+        if name in self.outputs:
+            raise WorkflowError(f"duplicate workflow output {name!r}")
+        self.outputs.append(name)
+
+    def _check_port(self, port: Port, direction: str) -> None:
+        if not port.processor:
+            names = self.inputs if direction == "source" else self.outputs
+            if port.port not in names:
+                raise WorkflowError(
+                    f"workflow has no {direction} port {port.port!r}"
+                )
+            return
+        processor = self.processors.get(port.processor)
+        if processor is None:
+            raise WorkflowError(f"no processor named {port.processor!r}")
+        ports = (
+            processor.output_ports if direction == "source" else processor.input_ports
+        )
+        if port.port not in ports:
+            kind = "output" if direction == "source" else "input"
+            raise WorkflowError(
+                f"processor {port.processor!r} has no {kind} port {port.port!r} "
+                f"(has {sorted(ports)})"
+            )
+
+    def link(self, source: Port, sink: Port) -> DataLink:
+        """Install a data link after validating both ports."""
+        self._check_port(source, "source")
+        self._check_port(sink, "sink")
+        link = DataLink(source, sink)
+        self.data_links.append(link)
+        return link
+
+    def connect(
+        self, source: str, source_port: str, sink: str, sink_port: str
+    ) -> DataLink:
+        """Convenience: link processor ports by name.
+
+        An empty processor name addresses the workflow's own ports.
+        """
+        return self.link(Port(source, source_port), Port(sink, sink_port))
+
+    def control(self, source: str, sink: str) -> ControlLink:
+        """Install a control link (sink waits for source)."""
+        for name in (source, sink):
+            if name not in self.processors:
+                raise WorkflowError(f"no processor named {name!r}")
+        link = ControlLink(source, sink)
+        self.control_links.append(link)
+        return link
+
+    # -- analysis ---------------------------------------------------------------
+
+    def upstream_of(self, processor: str) -> Set[str]:
+        """Processors that must complete before ``processor`` can fire."""
+        names: Set[str] = set()
+        for link in self.data_links:
+            if link.sink.processor == processor and link.source.processor:
+                names.add(link.source.processor)
+        for link in self.control_links:
+            if link.sink == processor:
+                names.add(link.source)
+        return names
+
+    def incoming_links(self, processor: str) -> List[DataLink]:
+        """Data links feeding a processor."""
+        return [l for l in self.data_links if l.sink.processor == processor]
+
+    def outgoing_links(self, processor: str) -> List[DataLink]:
+        """Data links reading a processor's outputs."""
+        return [l for l in self.data_links if l.source.processor == processor]
+
+    def topological_order(self) -> List[str]:
+        """Processor firing order; raises on cyclic dependencies."""
+        pending = {
+            name: set(self.upstream_of(name)) for name in self.processors
+        }
+        order: List[str] = []
+        ready = sorted(name for name, deps in pending.items() if not deps)
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            del pending[current]
+            newly_ready = []
+            for name, deps in pending.items():
+                if current in deps:
+                    deps.discard(current)
+                    if not deps:
+                        newly_ready.append(name)
+            for name in sorted(newly_ready):
+                ready.append(name)
+        if pending:
+            raise WorkflowError(
+                f"workflow {self.name!r} has a dependency cycle among "
+                f"{sorted(pending)}"
+            )
+        return order
+
+    def depth_warnings(self) -> List[str]:
+        """Advisory lint: data links whose port depths disagree.
+
+        A depth-1 output feeding a depth-0 input triggers implicit
+        iteration (often intended); a depth-0 output feeding a depth-1
+        input delivers a scalar where a list is expected (rarely
+        intended).  Neither is an error — Taverna tolerates both — so
+        these are warnings for tooling to surface.
+        """
+        warnings: List[str] = []
+        for link in self.data_links:
+            if not link.source.processor or not link.sink.processor:
+                continue
+            source_depth = self.processors[link.source.processor].output_ports.get(
+                link.source.port
+            )
+            sink_depth = self.processors[link.sink.processor].input_ports.get(
+                link.sink.port
+            )
+            if source_depth is None or sink_depth is None:
+                continue
+            if source_depth > sink_depth:
+                warnings.append(
+                    f"{link.source} (depth {source_depth}) feeds {link.sink} "
+                    f"(depth {sink_depth}): implicit iteration will apply"
+                )
+            elif source_depth < sink_depth:
+                warnings.append(
+                    f"{link.source} (depth {source_depth}) feeds {link.sink} "
+                    f"(depth {sink_depth}): a scalar will arrive where a "
+                    f"list is expected"
+                )
+        return warnings
+
+    def validate(self) -> None:
+        """Structural checks: wiring consistent, acyclic, inputs feedable."""
+        self.topological_order()
+        # every workflow output must be fed by exactly one link
+        for name in self.outputs:
+            feeders = [
+                l for l in self.data_links
+                if not l.sink.processor and l.sink.port == name
+            ]
+            if len(feeders) != 1:
+                raise WorkflowError(
+                    f"workflow output {name!r} must be fed by exactly one "
+                    f"data link, found {len(feeders)}"
+                )
+        # no two links may feed the same processor input port
+        seen: Set[Tuple[str, str]] = set()
+        for link in self.data_links:
+            if link.sink.processor:
+                key = (link.sink.processor, link.sink.port)
+                if key in seen:
+                    raise WorkflowError(
+                        f"input port {link.sink} is fed by multiple data links"
+                    )
+                seen.add(key)
+
+    # -- embedding ---------------------------------------------------------------
+
+    def merge(self, other: "Workflow", prefix: str = "") -> Dict[str, str]:
+        """Copy another workflow's processors and links into this one.
+
+        Returns the processor name mapping (old -> new).  Workflow-level
+        ports of ``other`` are *not* copied; the caller wires the merged
+        fragment explicitly (that is the deployment descriptor's job).
+        """
+        renamed: Dict[str, str] = {}
+        for name, processor in other.processors.items():
+            new_name = f"{prefix}{name}"
+            if new_name in self.processors:
+                raise WorkflowError(
+                    f"embedding collision: processor {new_name!r} already exists"
+                )
+            renamed[name] = new_name
+            clone = processor.with_name(new_name)
+            self.processors[new_name] = clone
+        for link in other.data_links:
+            if not link.source.processor or not link.sink.processor:
+                continue  # workflow-port links are re-wired by the embedder
+            self.data_links.append(
+                DataLink(
+                    Port(renamed[link.source.processor], link.source.port),
+                    Port(renamed[link.sink.processor], link.sink.port),
+                )
+            )
+        for link in other.control_links:
+            self.control_links.append(
+                ControlLink(renamed[link.source], renamed[link.sink])
+            )
+        return renamed
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workflow {self.name!r}: {len(self.processors)} processors, "
+            f"{len(self.data_links)} data links, "
+            f"{len(self.control_links)} control links>"
+        )

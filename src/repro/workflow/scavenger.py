@@ -1,0 +1,58 @@
+"""The services scavenger.
+
+Paper Sec. 6.1: "any deployed Web Service with a published WSDL
+interface can be found automatically on a specified host by Taverna's
+services scavenger process."  The scavenger crawls a service registry's
+WSDL index and materialises one :class:`WSDLProcessor` factory per
+discovered service, extending the available processor collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.services.registry import ServiceRegistry
+from repro.services.wsdl import parse_wsdl
+from repro.workflow.processors import Processor, WSDLProcessor
+
+
+class Scavenger:
+    """Discovers deployed services and hands out processors for them."""
+
+    def __init__(self) -> None:
+        self._discovered: Dict[str, Any] = {}  # service name -> Service
+
+    def scan(self, registry: ServiceRegistry) -> List[str]:
+        """Crawl the registry's published WSDL; returns new service names."""
+        found: List[str] = []
+        for endpoint, wsdl_text in registry.wsdl_index().items():
+            descriptor = parse_wsdl(wsdl_text)
+            name = descriptor["name"]
+            if not name or name in self._discovered:
+                continue
+            self._discovered[name] = registry.by_endpoint(endpoint)
+            found.append(name)
+        return sorted(found)
+
+    def available(self) -> List[str]:
+        """Names of every scavenged service."""
+        return sorted(self._discovered)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._discovered
+
+    def processor(
+        self,
+        service_name: str,
+        processor_name: Optional[str] = None,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> Processor:
+        """Instantiate a processor for a discovered service."""
+        try:
+            service = self._discovered[service_name]
+        except KeyError:
+            raise KeyError(
+                f"service {service_name!r} has not been scavenged; "
+                f"available: {self.available()}"
+            ) from None
+        return WSDLProcessor(processor_name or service_name, service, config=config)

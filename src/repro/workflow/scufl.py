@@ -1,0 +1,124 @@
+"""SCUFL-like XML serialisation of workflows.
+
+Taverna persists workflows in the SCUFL XML dialect.  This module
+writes a structurally similar document — processors with their type and
+ports, data links, control links (called *coordination* constraints in
+SCUFL), and workflow source/sink ports — and can read the structure
+back (processor behaviour is resolved against a scavenger or a
+processor factory on load).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict, Optional
+
+from repro.workflow.model import ControlLink, DataLink, Port, Workflow
+from repro.workflow.processors import Processor
+
+
+def workflow_to_xml(workflow: Workflow) -> str:
+    """Serialise a workflow to SCUFL-like XML."""
+
+    root = ET.Element("scufl", {"name": workflow.name, "version": "0.2"})
+    for name in workflow.inputs:
+        ET.SubElement(root, "source", {"name": name})
+    for name in workflow.outputs:
+        ET.SubElement(root, "sink", {"name": name})
+    for name, processor in workflow.processors.items():
+        element = ET.SubElement(
+            root, "processor", {"name": name, "type": type(processor).__name__}
+        )
+        for port, depth in processor.input_ports.items():
+            ET.SubElement(
+                element, "inputPort", {"name": port, "depth": str(depth)}
+            )
+        for port, depth in processor.output_ports.items():
+            ET.SubElement(
+                element, "outputPort", {"name": port, "depth": str(depth)}
+            )
+    for link in workflow.data_links:
+        ET.SubElement(
+            root,
+            "link",
+            {
+                "source": str(link.source),
+                "sink": str(link.sink),
+            },
+        )
+    for control in workflow.control_links:
+        ET.SubElement(
+            root,
+            "coordination",
+            {"from": control.source, "to": control.sink},
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+class _StubProcessor(Processor):
+    """Placeholder for processors loaded without an implementation."""
+
+    def __init__(self, name: str, original_type: str, inputs, outputs) -> None:
+        super().__init__(name, input_ports=inputs, output_ports=outputs)
+        self.original_type = original_type
+
+    def fire(self, inputs):
+        """Stubs refuse to fire; supply a processor factory on load."""
+
+        raise NotImplementedError(
+            f"processor {self.name!r} (type {self.original_type}) was loaded "
+            f"from XML without an implementation"
+        )
+
+
+def _split_port(text: str) -> Port:
+    if "." in text:
+        processor, _, port = text.rpartition(".")
+        return Port(processor, port)
+    return Port("", text)
+
+
+def workflow_from_xml(
+    text: str,
+    processor_factory: Optional[Callable[[str, str, Dict, Dict], Processor]] = None,
+) -> Workflow:
+    """Rebuild workflow structure from XML.
+
+    ``processor_factory(name, type_name, input_ports, output_ports)``
+    may supply real processor implementations; otherwise stub
+    processors preserve the structure for analysis.
+    """
+    root = ET.fromstring(text)
+    workflow = Workflow(root.get("name") or "workflow")
+    for element in root:
+        if element.tag == "source":
+            workflow.add_input(element.get("name") or "")
+        elif element.tag == "sink":
+            workflow.add_output(element.get("name") or "")
+        elif element.tag == "processor":
+            name = element.get("name") or ""
+            type_name = element.get("type") or ""
+            inputs = {
+                child.get("name") or "": int(child.get("depth") or 0)
+                for child in element.findall("inputPort")
+            }
+            outputs = {
+                child.get("name") or "": int(child.get("depth") or 0)
+                for child in element.findall("outputPort")
+            }
+            if processor_factory is not None:
+                processor = processor_factory(name, type_name, inputs, outputs)
+            else:
+                processor = _StubProcessor(name, type_name, inputs, outputs)
+            workflow.add_processor(processor)
+    # Second pass: links need the processors in place.
+    for element in root:
+        if element.tag == "link":
+            workflow.link(
+                _split_port(element.get("source") or ""),
+                _split_port(element.get("sink") or ""),
+            )
+        elif element.tag == "coordination":
+            workflow.control(element.get("from") or "", element.get("to") or "")
+    return workflow

@@ -1,0 +1,67 @@
+"""Enactment traces: what happened during a workflow run."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One lifecycle event of one processor firing."""
+
+    processor: str
+    status: str  # scheduled | completed | failed
+    started_at: float
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    iterations: int = 1
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall-clock seconds, or None while running."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class EnactmentTrace:
+    """The ordered record of one enactment."""
+
+    workflow: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def start(self, processor: str) -> TraceEvent:
+        """Record a processor as scheduled; returns its event."""
+        event = TraceEvent(processor, "scheduled", started_at=time.perf_counter())
+        self.events.append(event)
+        return event
+
+    def complete(self, event: TraceEvent, iterations: int = 1) -> None:
+        """Mark an event completed with its iteration count."""
+        event.status = "completed"
+        event.finished_at = time.perf_counter()
+        event.iterations = iterations
+
+    def fail(self, event: TraceEvent, error: str) -> None:
+        """Mark an event failed with the error text."""
+        event.status = "failed"
+        event.finished_at = time.perf_counter()
+        event.error = error
+
+    def order(self) -> List[str]:
+        """Processor names in firing order."""
+        return [event.processor for event in self.events]
+
+    def failed(self) -> List[TraceEvent]:
+        """Events that ended in failure."""
+        return [event for event in self.events if event.status == "failed"]
+
+    def total_duration(self) -> float:
+        """Sum of all event durations (seconds)."""
+        return sum(event.duration or 0.0 for event in self.events)
+
+    def __repr__(self) -> str:
+        return f"<EnactmentTrace {self.workflow!r}: {len(self.events)} events>"

@@ -1,0 +1,68 @@
+"""Graphviz DOT rendering of workflows.
+
+Produces the pictures the paper draws (Figs. 1 and 6) as DOT text:
+processors as boxes (quality-view processors can be highlighted, like
+the shaded box (a) of Fig. 6), data links as solid edges labelled with
+their ports, control links as dashed edges.  Pure text output — no
+graphviz dependency; feed the result to ``dot -Tsvg`` if installed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.workflow.model import Workflow
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def workflow_to_dot(
+    workflow: Workflow,
+    highlight: Optional[Iterable[str]] = None,
+    rankdir: str = "TB",
+) -> str:
+    """Render a workflow as a DOT digraph.
+
+    ``highlight`` names processors drawn shaded (the embedded quality
+    fragment in a Fig. 6-style picture).
+    """
+    highlighted: Set[str] = set(highlight or ())
+    lines = [f"digraph {_quote(workflow.name)} {{"]
+    lines.append(f"  rankdir={rankdir};")
+    lines.append("  node [shape=box, fontsize=10];")
+    for name in workflow.inputs:
+        lines.append(
+            f"  {_quote('in:' + name)} [shape=ellipse, label={_quote(name)}];"
+        )
+    for name in workflow.outputs:
+        lines.append(
+            f"  {_quote('out:' + name)} [shape=ellipse, label={_quote(name)}];"
+        )
+    for name, processor in workflow.processors.items():
+        attributes = [f"label={_quote(name)}"]
+        if name in highlighted:
+            attributes.append('style=filled')
+            attributes.append('fillcolor="lightgrey"')
+        lines.append(f"  {_quote(name)} [{', '.join(attributes)}];")
+    for link in workflow.data_links:
+        source = (
+            _quote(link.source.processor)
+            if link.source.processor
+            else _quote("in:" + link.source.port)
+        )
+        sink = (
+            _quote(link.sink.processor)
+            if link.sink.processor
+            else _quote("out:" + link.sink.port)
+        )
+        label = _quote(f"{link.source.port}->{link.sink.port}")
+        lines.append(f"  {source} -> {sink} [label={label}, fontsize=8];")
+    for control in workflow.control_links:
+        lines.append(
+            f"  {_quote(control.source)} -> {_quote(control.sink)} "
+            f"[style=dashed, constraint=true];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

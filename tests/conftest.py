@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Scenario generation is the expensive step (reference-database digestion
+feeds the Imprint index), so the default scenario and its derived
+artefacts are session-scoped and must be treated as read-only by tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import QuratorFramework
+from repro.ontology import build_iq_model
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+
+
+@pytest.fixture(scope="session")
+def iq_model():
+    return build_iq_model()
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return ProteomicsScenario.generate(seed=42, n_proteins=150, n_spots=6)
+
+
+@pytest.fixture(scope="session")
+def imprint_runs(scenario):
+    return scenario.identify_all()
+
+
+@pytest.fixture(scope="session")
+def result_set(imprint_runs):
+    return ImprintResultSet(imprint_runs)
+
+
+@pytest.fixture()
+def framework():
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    return framework

@@ -1,0 +1,147 @@
+"""Tests for action operators and the directly-executable process pattern."""
+
+import pytest
+
+from repro.annotation import AnnotationMap, AnnotationStore
+from repro.annotation.functions import CallableAnnotationFunction
+from repro.process import (
+    AnnotationOperator,
+    DataEnrichmentOperator,
+    FilterAction,
+    QualityProcess,
+    SplitterAction,
+)
+from repro.process.actions import DEFAULT_GROUP
+from repro.qa import PIScoreClassifierQA, UniversalPIScoreQA
+from repro.rdf import Q, URIRef
+
+ITEMS = [URIRef(f"urn:lsid:test:item:{i}") for i in range(6)]
+
+
+def make_map(values):
+    amap = AnnotationMap(ITEMS[: len(values)])
+    for item, (hr, mc) in zip(amap.items(), values):
+        if hr is not None:
+            amap.set_evidence(item, Q.HitRatio, hr)
+        if mc is not None:
+            amap.set_evidence(item, Q.Coverage, mc)
+    return amap
+
+
+class TestSplitter:
+    def test_paper_semantics_k_plus_one_groups(self):
+        amap = make_map([(0.9, 0.9), (0.5, 0.5), (0.1, 0.1)])
+        amap.set_tag(ITEMS[0], "cls", Q.high)
+        amap.set_tag(ITEMS[1], "cls", Q.mid)
+        amap.set_tag(ITEMS[2], "cls", Q.low)
+        splitter = SplitterAction(
+            "split",
+            [("good", "cls in q:high, q:mid"), ("top", "cls = 'high'")],
+        )
+        outcome = splitter.execute(amap.items(), amap)
+        assert outcome.items("good") == [ITEMS[0], ITEMS[1]]
+        assert outcome.items("top") == [ITEMS[0]]  # groups may overlap
+        assert outcome.items(DEFAULT_GROUP) == [ITEMS[2]]
+
+    def test_unmatched_items_fall_to_default(self):
+        amap = make_map([(None, None)])
+        splitter = SplitterAction("split", [("any", "HitRatio > 0")])
+        outcome = splitter.execute(amap.items(), amap)
+        assert outcome.items(DEFAULT_GROUP) == [ITEMS[0]]
+
+    def test_group_maps_are_subsets(self):
+        amap = make_map([(0.9, 0.9), (0.1, 0.1)])
+        splitter = SplitterAction("split", [("hi", "HitRatio > 0.5")])
+        outcome = splitter.execute(amap.items(), amap)
+        sub = outcome.map_of("hi")
+        assert sub.items() == [ITEMS[0]]
+        assert sub.get_evidence(ITEMS[0], Q.HitRatio) == 0.9
+
+    def test_reserved_default_name_rejected(self):
+        with pytest.raises(ValueError):
+            SplitterAction("split", [(DEFAULT_GROUP, "x > 1")])
+
+    def test_duplicate_group_rejected(self):
+        with pytest.raises(ValueError):
+            SplitterAction("split", [("g", "x > 1"), ("g", "x < 1")])
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            SplitterAction("split", [])
+
+    def test_surviving_excludes_default(self):
+        amap = make_map([(0.9, 0.9), (0.1, 0.1)])
+        splitter = SplitterAction("split", [("hi", "HitRatio > 0.5")])
+        outcome = splitter.execute(amap.items(), amap)
+        assert outcome.surviving() == [ITEMS[0]]
+
+
+class TestFilter:
+    def test_keeps_satisfying_items(self):
+        amap = make_map([(0.9, 0.9), (0.1, 0.1)])
+        action = FilterAction("f", "HitRatio > 0.5")
+        outcome = action.execute(amap.items(), amap)
+        assert outcome.items(FilterAction.ACCEPTED) == [ITEMS[0]]
+
+    def test_variable_bindings_visible(self):
+        amap = make_map([(0.9, 0.42)])
+        action = FilterAction("f", "coverage > 0.4")
+        outcome = action.execute(
+            amap.items(), amap, variable_bindings={"coverage": Q.Coverage}
+        )
+        assert outcome.items(FilterAction.ACCEPTED) == [ITEMS[0]]
+
+
+class TestQualityProcess:
+    def test_full_pipeline(self, iq_model):
+        store = AnnotationStore("cache", iq_model=iq_model, persistent=False)
+        data = {
+            ITEMS[0]: (0.9, 0.8),
+            ITEMS[1]: (0.5, 0.5),
+            ITEMS[2]: (0.05, 0.1),
+        }
+        annotator = AnnotationOperator(
+            "ann",
+            CallableAnnotationFunction(
+                Q["Imprint-output-annotation"],
+                [Q.HitRatio, Q.Coverage],
+                lambda item, ctx: {
+                    Q.HitRatio: data[item][0],
+                    Q.Coverage: data[item][1],
+                },
+            ),
+            store,
+            [Q.HitRatio, Q.Coverage],
+        )
+        enrichment = DataEnrichmentOperator(
+            "de", {Q.HitRatio: store, Q.Coverage: store}
+        )
+        process = QualityProcess(
+            "p",
+            annotators=[annotator],
+            enrichment=enrichment,
+            assertions=[
+                UniversalPIScoreQA(),
+                PIScoreClassifierQA(),
+            ],
+            actions=[FilterAction("keep", "ScoreClass in q:high, q:mid")],
+        )
+        result = process.execute(list(data))
+        assert result.consolidated.get_tag(ITEMS[0], "HR MC").plain() > 50
+        surviving = result.surviving("keep")
+        assert ITEMS[2] not in surviving
+        assert ITEMS[0] in surviving
+
+    def test_process_without_operators_passes_items_through(self):
+        process = QualityProcess("empty")
+        result = process.execute(ITEMS[:2])
+        assert result.surviving() == ITEMS[:2]
+
+    def test_qa_length_mismatch_detected(self):
+        class BrokenQA(UniversalPIScoreQA):
+            def compute(self, items, vectors):
+                return []
+
+        amap = make_map([(0.5, 0.5)])
+        with pytest.raises(ValueError):
+            BrokenQA().execute(amap)

@@ -1,0 +1,214 @@
+"""Tests for the analysis toolkit, the Turtle parser, DOT rendering,
+and failure injection through the full embedded pipeline."""
+
+import pytest
+
+from repro.proteomics.analysis import (
+    EnrichmentRow,
+    enrichment,
+    hypergeometric_pvalue,
+    pareto,
+    rank_displacement,
+    significance_ratio,
+)
+from repro.rdf import Graph, Literal, Namespace, Q, RDF
+from repro.rdf.turtle import TurtleParseError, parse_turtle
+
+EX = Namespace("http://example.org/")
+
+
+class TestPareto:
+    def test_ordering_and_shares(self):
+        rows = pareto({"a": 6, "b": 3, "c": 1})
+        assert [r.term for r in rows] == ["a", "b", "c"]
+        assert rows[0].share == pytest.approx(0.6)
+        assert rows[-1].cumulative_share == pytest.approx(1.0)
+
+    def test_ties_break_by_term(self):
+        rows = pareto({"z": 2, "a": 2})
+        assert [r.term for r in rows] == ["a", "z"]
+
+    def test_empty(self):
+        assert pareto({}) == []
+
+
+class TestSignificanceRatio:
+    def test_fig7_ordering(self):
+        raw = {"t1": 6, "t2": 14, "t3": 10}
+        kept = {"t1": 6, "t2": 0, "t3": 2}
+        rows = significance_ratio(raw, kept)
+        assert rows[0].term == "t1"
+        assert rows[0].ratio == 1.0
+        assert rows[-1].term == "t2"
+        assert rows[-1].ratio == 0.0
+
+    def test_rank_displacement_promotes_quality_terms(self):
+        raw = {"frequent-fp": 14, "rare-tp": 6, "mid": 10}
+        kept = {"rare-tp": 6, "mid": 2}
+        displacement = rank_displacement(raw, kept)
+        assert displacement["rare-tp"] > 0
+        assert displacement["frequent-fp"] < 0
+
+
+class TestHypergeometric:
+    def test_certain_event(self):
+        # drawing all items must include all successes
+        assert hypergeometric_pvalue(10, 4, 10, 4) == pytest.approx(1.0)
+
+    def test_impossible_event(self):
+        assert hypergeometric_pvalue(10, 2, 3, 3) == 0.0
+
+    def test_monotone_in_observed(self):
+        p_values = [
+            hypergeometric_pvalue(100, 20, 30, k) for k in range(0, 15)
+        ]
+        assert p_values == sorted(p_values, reverse=True)
+
+    def test_known_value(self):
+        # P(X >= 1), N=10, K=5, n=2: 1 - C(5,2)/C(10,2) = 1 - 10/45
+        assert hypergeometric_pvalue(10, 5, 2, 1) == pytest.approx(
+            1 - 10 / 45
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            hypergeometric_pvalue(5, 6, 1, 0)
+        with pytest.raises(ValueError):
+            hypergeometric_pvalue(5, 2, 9, 0)
+
+    def test_enrichment_detects_concentration(self):
+        raw = {"tp": 10, "fp1": 30, "fp2": 30}
+        kept = {"tp": 9, "fp1": 1}
+        rows = enrichment(raw, kept, alpha=0.05)
+        assert rows and rows[0].term == "tp"
+        assert all(r.p_value < 0.05 for r in rows)
+        assert "fp2" not in {r.term for r in rows}
+
+
+class TestTurtleParser:
+    def test_roundtrip_of_own_serialisation(self):
+        g = Graph()
+        g.add(EX.d1, RDF.type, Q.ImprintHitEntry)
+        g.add(EX.d1, Q.value, Literal(0.85))
+        g.add(EX.d1, EX.label, Literal("hello", lang="en"))
+        g.add(EX.d1, EX.note, Literal('says "hi"'))
+        restored = Graph().parse(g.serialize("turtle"), "turtle")
+        assert restored == g
+
+    def test_prefixes_and_semicolon_groups(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:p ex:o ;
+             ex:q "plain", "typed"^^<http://www.w3.org/2001/XMLSchema#string> ;
+             a ex:Thing .
+        """
+        triples = list(parse_turtle(text))
+        assert len(triples) == 4
+        assert (EX.s, RDF.type, EX.Thing) in triples
+
+    def test_numbers_and_booleans(self):
+        text = "@prefix ex: <http://example.org/> .\nex:s ex:n 42 ; ex:f 3.5 ; ex:b true ."
+        by_predicate = {t.predicate: t.object for t in parse_turtle(text)}
+        assert by_predicate[EX.n].value == 42
+        assert by_predicate[EX.f].value == 3.5
+        assert by_predicate[EX.b].value is True
+
+    def test_blank_nodes(self):
+        text = "@prefix ex: <http://example.org/> .\n_:x ex:p _:y ."
+        (triple,) = parse_turtle(text)
+        assert str(triple.subject) == "x"
+        assert str(triple.object) == "y"
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(TurtleParseError, match="undeclared"):
+            list(parse_turtle("zz:s zz:p zz:o ."))
+
+    def test_missing_dot_rejected(self):
+        text = "@prefix ex: <http://example.org/> .\nex:s ex:p ex:o"
+        with pytest.raises(TurtleParseError):
+            list(parse_turtle(text))
+
+    def test_comments_ignored(self):
+        text = (
+            "@prefix ex: <http://example.org/> . # prefix\n"
+            "# full line comment\n"
+            "ex:s ex:p ex:o .\n"
+        )
+        assert len(list(parse_turtle(text))) == 1
+
+    def test_iq_model_roundtrips_through_turtle(self, iq_model):
+        text = iq_model.ontology.graph.serialize("turtle")
+        restored = Graph().parse(text, "turtle")
+        assert restored == iq_model.ontology.graph
+
+
+class TestDotRendering:
+    def test_fig6_style_rendering(self, scenario):
+        from repro.core.ispider import build_deployment
+        from repro.workflow.visualize import workflow_to_dot
+
+        deployment = build_deployment(scenario)
+        quality_names = set(deployment.view.compile().processors)
+        dot = workflow_to_dot(deployment.embedded, highlight=quality_names)
+        assert dot.startswith("digraph")
+        assert '"DataEnrichment"' in dot
+        assert "lightgrey" in dot  # the shaded quality fragment
+        assert "style=dashed" in dot  # the annotator control link
+        assert dot.count(" -> ") == (
+            len(deployment.embedded.data_links)
+            + len(deployment.embedded.control_links)
+        )
+
+
+class TestFailureInjection:
+    def test_flaky_annotation_service_recovers_with_retries(
+        self, scenario, result_set
+    ):
+        """A transiently failing annotation service must not sink the
+        embedded pipeline when the processor retries (Taverna-style)."""
+        from repro.core.ispider import (
+            FILTER_ACTION,
+            example_quality_view_xml,
+            setup_framework,
+        )
+
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        service = framework.services.by_name("ImprintOutputAnnotator")
+        original_invoke = service.invoke
+        failures = {"remaining": 2}
+
+        def flaky_invoke(*args, **kwargs):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise RuntimeError("transient service failure")
+            return original_invoke(*args, **kwargs)
+
+        service.invoke = flaky_invoke
+        view = framework.quality_view(example_quality_view_xml())
+        workflow = view.compile()
+        workflow.processors["ImprintOutputAnnotator"].with_fault_tolerance(
+            retries=3
+        )
+        result = view.run(result_set.items())
+        assert result.surviving(FILTER_ACTION)
+        assert failures["remaining"] == 0
+
+    def test_flaky_service_without_retries_fails_loudly(
+        self, scenario, result_set
+    ):
+        from repro.core import QuratorError
+        from repro.core.ispider import example_quality_view_xml, setup_framework
+        from repro.workflow.enactor import EnactmentError
+
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        service = framework.services.by_name("ImprintOutputAnnotator")
+
+        def always_fail(*args, **kwargs):
+            raise RuntimeError("permanently down")
+
+        service.invoke = always_fail
+        view = framework.quality_view(example_quality_view_xml())
+        with pytest.raises(EnactmentError, match="ImprintOutputAnnotator"):
+            view.run(result_set.items())

@@ -1,0 +1,117 @@
+"""Tests for the annotation map (paper Sec. 4.1)."""
+
+import pytest
+
+from repro.annotation import AnnotationMap, TagValue
+from repro.rdf import Literal, Q, URIRef
+
+D1 = URIRef("urn:lsid:test:data:1")
+D2 = URIRef("urn:lsid:test:data:2")
+D3 = URIRef("urn:lsid:test:data:3")
+
+
+@pytest.fixture()
+def amap():
+    m = AnnotationMap([D1, D2])
+    m.set_evidence(D1, Q.HitRatio, 0.8)
+    m.set_evidence(D1, Q.Coverage, 0.5)
+    m.set_evidence(D2, Q.HitRatio, 0.2)
+    m.set_tag(D1, "ScoreClass", Q.high, syn_type=Q["class"],
+              sem_type=Q.PIScoreClassification)
+    m.set_tag(D1, "HR MC", 65.0, syn_type=Q.score)
+    return m
+
+
+class TestItems:
+    def test_order_preserved(self, amap):
+        assert amap.items() == [D1, D2]
+
+    def test_add_item_idempotent(self, amap):
+        amap.add_item(D1)
+        assert len(amap) == 2
+
+    def test_set_evidence_auto_adds_item(self, amap):
+        amap.set_evidence(D3, Q.HitRatio, 0.1)
+        assert D3 in amap
+        assert amap.items()[-1] == D3
+
+
+class TestEvidence:
+    def test_get_evidence(self, amap):
+        assert amap.get_evidence(D1, Q.HitRatio) == 0.8
+
+    def test_get_missing_evidence_is_none(self, amap):
+        assert amap.get_evidence(D2, Q.Coverage) is None
+        assert amap.get_evidence(D2, Q.Coverage, default=0.0) == 0.0
+
+    def test_evidence_types_union(self, amap):
+        assert amap.evidence_types() == {Q.HitRatio, Q.Coverage}
+
+    def test_has_evidence(self, amap):
+        assert amap.has_evidence(D1, Q.Coverage)
+        assert not amap.has_evidence(D2, Q.Coverage)
+
+
+class TestTags:
+    def test_get_tag(self, amap):
+        tag = amap.get_tag(D1, "ScoreClass")
+        assert tag.plain() == Q.high
+        assert tag.sem_type == Q.PIScoreClassification
+
+    def test_missing_tag_is_none(self, amap):
+        assert amap.get_tag(D2, "ScoreClass") is None
+
+    def test_tag_names(self, amap):
+        assert amap.tag_names() == {"ScoreClass", "HR MC"}
+
+    def test_classification_of_lookup(self, amap):
+        assert amap.classification_of(D1, Q.PIScoreClassification) == Q.high
+        assert amap.classification_of(D2, Q.PIScoreClassification) is None
+
+    def test_tag_value_unwraps_literal(self):
+        assert TagValue(Literal(3)).plain() == 3
+
+
+class TestEnvironment:
+    def test_environment_includes_tags_and_fragments(self, amap):
+        env = amap.environment(D1)
+        assert env["ScoreClass"] == Q.high
+        assert env["HR MC"] == 65.0
+        assert env["HitRatio"] == 0.8
+
+    def test_environment_variable_bindings(self, amap):
+        env = amap.environment(D1, {"coverage": Q.Coverage})
+        assert env["coverage"] == 0.5
+
+    def test_environment_missing_binding_is_none(self, amap):
+        env = amap.environment(D2, {"coverage": Q.Coverage})
+        assert env["coverage"] is None
+
+
+class TestStructural:
+    def test_merge_union_and_override(self, amap):
+        other = AnnotationMap([D3])
+        other.set_evidence(D1, Q.HitRatio, 0.99)
+        amap.merge(other)
+        assert amap.items() == [D1, D2, D3]
+        assert amap.get_evidence(D1, Q.HitRatio) == 0.99
+
+    def test_subset_preserves_order_and_content(self, amap):
+        sub = amap.subset([D2, D1])
+        assert sub.items() == [D1, D2]
+        assert sub.get_tag(D1, "HR MC").plain() == 65.0
+
+    def test_subset_excludes_others(self, amap):
+        sub = amap.subset([D2])
+        assert D1 not in sub
+
+    def test_copy_is_deep_enough(self, amap):
+        clone = amap.copy()
+        clone.set_evidence(D1, Q.HitRatio, 0.0)
+        assert amap.get_evidence(D1, Q.HitRatio) == 0.8
+
+    def test_equality(self, amap):
+        assert amap.copy() == amap
+        other = amap.copy()
+        other.set_tag(D2, "x", 1)
+        assert other != amap

@@ -1,0 +1,167 @@
+"""Tests for RDF-backed annotation repositories and the manager."""
+
+import pytest
+
+from repro.annotation import AnnotationMap, AnnotationStore, RepositoryManager
+from repro.annotation.functions import CallableAnnotationFunction
+from repro.rdf import Literal, Q, RDF, URIRef
+from repro.rdf.lsid import uniprot_lsid
+
+D1 = uniprot_lsid("P00001")
+D2 = uniprot_lsid("P00002")
+
+
+@pytest.fixture()
+def store(iq_model):
+    return AnnotationStore("test", iq_model=iq_model)
+
+
+class TestAnnotate:
+    def test_lookup_returns_value(self, store):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        assert store.lookup(D1, Q.HitRatio) == 0.8
+
+    def test_lookup_missing_is_none(self, store):
+        assert store.lookup(D1, Q.HitRatio) is None
+
+    def test_annotation_is_rdf_per_fig2(self, store, iq_model):
+        node = store.annotate(
+            D1, Q.HitRatio, 0.8,
+            data_class=iq_model.ImprintHitEntry,
+            function=iq_model.ImprintOutputAnnotation,
+        )
+        g = store.graph
+        assert (D1, Q["contains-evidence"], node) in g
+        assert (node, RDF.type, Q.HitRatio) in g
+        assert (node, Q.value, Literal(0.8)) in g
+        assert (node, Q.computedBy, iq_model.ImprintOutputAnnotation) in g
+        assert (D1, RDF.type, iq_model.ImprintHitEntry) in g
+
+    def test_rejects_undeclared_evidence_type(self, store):
+        with pytest.raises(ValueError):
+            store.annotate(D1, Q.NotEvidence, 1)
+
+    def test_untyped_store_accepts_anything(self):
+        free = AnnotationStore("free")
+        free.annotate(D1, Q.Whatever, 1)
+        assert free.lookup(D1, Q.Whatever) == 1
+
+    def test_lookup_all(self, store):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        store.annotate(D1, Q.Coverage, 0.5)
+        assert store.lookup_all(D1) == {Q.HitRatio: 0.8, Q.Coverage: 0.5}
+
+    def test_remove_annotations(self, store):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        store.annotate(D2, Q.HitRatio, 0.3)
+        store.remove_annotations(D1)
+        assert store.lookup(D1, Q.HitRatio) is None
+        assert store.lookup(D2, Q.HitRatio) == 0.3
+
+
+class TestMapIntegration:
+    def test_annotate_map_roundtrip(self, store):
+        amap = AnnotationMap([D1, D2])
+        amap.set_evidence(D1, Q.HitRatio, 0.9)
+        amap.set_evidence(D2, Q.Coverage, 0.4)
+        written = store.annotate_map(amap)
+        assert written == 2
+        out = store.enrich(AnnotationMap(), [D1, D2], [Q.HitRatio, Q.Coverage])
+        assert out.get_evidence(D1, Q.HitRatio) == 0.9
+        assert out.get_evidence(D2, Q.Coverage) == 0.4
+        assert out.get_evidence(D1, Q.Coverage) is None
+
+    def test_annotate_map_skips_nulls(self, store):
+        amap = AnnotationMap([D1])
+        amap.set_evidence(D1, Q.HitRatio, None)
+        assert store.annotate_map(amap) == 0
+
+    def test_annotated_items_and_types(self, store):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        assert store.annotated_items() == {D1}
+        assert store.evidence_types_present() == {Q.HitRatio}
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, store, iq_model):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        text = store.save()
+        fresh = AnnotationStore("test", iq_model=iq_model)
+        fresh.load(text)
+        assert fresh.lookup(D1, Q.HitRatio) == 0.8
+
+    def test_load_keeps_node_ids_fresh(self, store, iq_model):
+        store.annotate(D1, Q.HitRatio, 0.8)
+        fresh = AnnotationStore("test", iq_model=iq_model)
+        fresh.load(store.save())
+        fresh.annotate(D2, Q.HitRatio, 0.2)
+        # both values retrievable: no node-id collision overwrote anything
+        assert fresh.lookup(D1, Q.HitRatio) == 0.8
+        assert fresh.lookup(D2, Q.HitRatio) == 0.2
+
+
+class TestRepositoryManager:
+    def test_cache_exists_by_default(self):
+        manager = RepositoryManager()
+        cache = manager.repository("cache")
+        assert not cache.persistent
+
+    def test_create_and_get(self):
+        manager = RepositoryManager()
+        manager.create("curated", persistent=True)
+        assert manager.repository("curated").persistent
+        assert "curated" in manager
+
+    def test_duplicate_create_rejected(self):
+        manager = RepositoryManager()
+        with pytest.raises(ValueError):
+            manager.create("cache")
+
+    def test_unknown_repository_error_lists_known(self):
+        manager = RepositoryManager()
+        with pytest.raises(KeyError, match="cache"):
+            manager.repository("nope")
+
+    def test_clear_transient_only(self):
+        manager = RepositoryManager()
+        manager.create("curated", persistent=True)
+        manager.repository("cache").annotate(D1, Q.HitRatio, 1)
+        manager.repository("curated").annotate(D1, Q.HitRatio, 1)
+        manager.clear_transient()
+        assert manager.repository("cache").lookup(D1, Q.HitRatio) is None
+        assert manager.repository("curated").lookup(D1, Q.HitRatio) == 1
+
+    def test_cache_cannot_be_dropped(self):
+        manager = RepositoryManager()
+        with pytest.raises(ValueError):
+            manager.drop("cache")
+
+
+class TestAnnotationFunctions:
+    def test_callable_adapter(self, store):
+        fn = CallableAnnotationFunction(
+            Q["Imprint-output-annotation"],
+            [Q.HitRatio],
+            lambda item, ctx: {Q.HitRatio: 0.7},
+        )
+        amap = fn.annotate_into(store, [D1], {Q.HitRatio})
+        assert amap.get_evidence(D1, Q.HitRatio) == 0.7
+        assert store.lookup(D1, Q.HitRatio) == 0.7
+
+    def test_unsupported_evidence_rejected(self, store):
+        fn = CallableAnnotationFunction(
+            Q["Imprint-output-annotation"],
+            [Q.HitRatio],
+            lambda item, ctx: {},
+        )
+        with pytest.raises(ValueError):
+            fn.annotate_into(store, [D1], {Q.Coverage})
+
+    def test_restricts_to_requested_evidence(self):
+        fn = CallableAnnotationFunction(
+            Q["Imprint-output-annotation"],
+            [Q.HitRatio, Q.Coverage],
+            lambda item, ctx: {Q.HitRatio: 1.0, Q.Coverage: 0.5},
+        )
+        amap = fn.annotate([D1], {Q.HitRatio})
+        assert amap.get_evidence(D1, Q.Coverage) is None

@@ -1,0 +1,89 @@
+"""Tests for the binding model and semantic registry (paper Secs. 3, 6)."""
+
+import pytest
+
+from repro.binding import (
+    BindingError,
+    BindingRegistry,
+    DataResource,
+    LocatorType,
+    ServiceResource,
+)
+from repro.rdf import Q, QB, RDF
+
+
+class TestResources:
+    def test_service_resource(self):
+        resource = ServiceResource("http://host/svc")
+        assert resource.endpoint == "http://host/svc"
+        assert resource.is_service()
+
+    def test_data_resource_kinds(self):
+        for kind in (LocatorType.XPATH, LocatorType.SQL, LocatorType.URL):
+            resource = DataResource("loc", kind)
+            assert not resource.is_service()
+
+    def test_data_resource_rejects_endpoint_kind(self):
+        with pytest.raises(ValueError):
+            DataResource("x", LocatorType.SERVICE_ENDPOINT)
+
+
+class TestRegistry:
+    def test_bind_and_resolve_service(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_service(Q.UniversalPIScore2, "http://host/upis2")
+        assert registry.resolve_endpoint(Q.UniversalPIScore2) == "http://host/upis2"
+
+    def test_bindings_are_rdf(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_service(Q.HRScore, "http://host/hr")
+        assert (None, RDF.type, QB.Binding) in registry.graph
+        assert (None, QB.concept, Q.HRScore) in registry.graph
+
+    def test_unbound_concept_raises(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        with pytest.raises(BindingError):
+            registry.resolve(Q.HRScore)
+
+    def test_inheritance_from_superclass(self, iq_model):
+        # UniversalPIScore2 subclasses UniversalPIScore: binding the
+        # parent serves unbound specialisations (paper: user-defined
+        # specialisations of operator classes).
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_service(Q.UniversalPIScore, "http://host/upis")
+        assert (
+            registry.resolve_endpoint(Q.UniversalPIScore2) == "http://host/upis"
+        )
+
+    def test_nearest_binding_wins(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_service(Q.UniversalPIScore, "http://host/parent")
+        registry.bind_service(Q.UniversalPIScore2, "http://host/child")
+        assert (
+            registry.resolve_endpoint(Q.UniversalPIScore2) == "http://host/child"
+        )
+
+    def test_ambiguous_direct_bindings_raise(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_service(Q.HRScore, "http://a")
+        registry.bind_service(Q.HRScore, "http://b")
+        with pytest.raises(BindingError):
+            registry.resolve(Q.HRScore)
+
+    def test_data_binding_not_a_service(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        registry.bind_data(Q.EvidenceCode, "SELECT ...", LocatorType.SQL)
+        with pytest.raises(BindingError):
+            registry.resolve_endpoint(Q.EvidenceCode)
+
+    def test_is_bound(self, iq_model):
+        registry = BindingRegistry(iq_model.ontology)
+        assert not registry.is_bound(Q.HRScore)
+        registry.bind_service(Q.HRScore, "http://a")
+        assert registry.is_bound(Q.HRScore)
+
+    def test_without_ontology_no_inheritance(self):
+        registry = BindingRegistry()
+        registry.bind_service(Q.UniversalPIScore, "http://host/upis")
+        with pytest.raises(BindingError):
+            registry.resolve(Q.UniversalPIScore2)

@@ -1,0 +1,145 @@
+"""Tests for the condition expression language (paper Secs. 4.1, 5.1)."""
+
+import pytest
+
+from repro.process.conditions import Condition, ConditionError, parse_condition
+from repro.process.conditions.ast import referenced_names
+from repro.rdf import Q
+
+
+class TestParsing:
+    def test_paper_example_parses(self):
+        node = parse_condition("scoreClass in q:high, q:mid and HR MC > 20")
+        assert referenced_names(node) == {"scoreClass", "HR MC"}
+
+    def test_paper_braced_membership(self):
+        node = parse_condition("PIScoreClassification IN { 'high', 'mid' }")
+        assert referenced_names(node) == {"PIScoreClassification"}
+
+    def test_relational_example(self):
+        node = parse_condition("score < 3.2")
+        assert referenced_names(node) == {"score"}
+
+    def test_multiword_identifier(self):
+        node = parse_condition("HR MC score >= 10")
+        assert referenced_names(node) == {"HR MC score"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConditionError):
+            parse_condition("   ")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "score >",
+            "and score > 1",
+            "score in",
+            "(score > 1",
+            "score > 1 )",
+            "score ~ 3",
+            "in q:high",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ConditionError):
+            parse_condition(bad)
+
+    def test_operator_normalisation(self):
+        c = Condition("x == 1 or y <> 2")
+        assert c.evaluate({"x": 1, "y": 2})
+        assert c.evaluate({"x": 0, "y": 3})
+        assert not c.evaluate({"x": 0, "y": 2})
+
+
+class TestEvaluation:
+    def test_paper_example_semantics(self):
+        c = Condition("scoreClass in q:high, q:mid and HR MC > 20")
+        assert c({"scoreClass": Q.high, "HR MC": 25.0})
+        assert c({"scoreClass": Q.mid, "HR MC": 20.5})
+        assert not c({"scoreClass": Q.low, "HR MC": 99.0})
+        assert not c({"scoreClass": Q.high, "HR MC": 20.0})
+
+    def test_uri_vs_string_fragment_match(self):
+        c = Condition("cls = 'high'")
+        assert c({"cls": Q.high})
+        assert not c({"cls": Q.low})
+
+    def test_membership_with_strings(self):
+        c = Condition("cls in { 'high', 'mid' }")
+        assert c({"cls": Q.mid})
+        assert not c({"cls": Q.low})
+
+    def test_not_in(self):
+        c = Condition("cls not in q:low")
+        assert c({"cls": Q.high})
+        assert not c({"cls": Q.low})
+
+    def test_numeric_comparisons(self):
+        env = {"score": 10}
+        assert Condition("score >= 10")(env)
+        assert Condition("score <= 10")(env)
+        assert not Condition("score != 10")(env)
+        assert Condition("score > 9.5")(env)
+
+    def test_negative_numbers(self):
+        assert Condition("x > -2")({"x": 0})
+        assert not Condition("x > -2")({"x": -3})
+
+    def test_boolean_literals(self):
+        assert Condition("flag = true")({"flag": True})
+        assert Condition("flag = false")({"flag": False})
+        assert not Condition("flag = true")({"flag": False})
+
+    def test_not_operator(self):
+        assert Condition("not (score > 5)")({"score": 3})
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        c = Condition("a = 1 or b = 1 and c = 1")
+        assert c({"a": 1, "b": 0, "c": 0})
+        assert not c({"a": 0, "b": 1, "c": 0})
+
+    def test_parentheses_override(self):
+        c = Condition("(a = 1 or b = 1) and c = 1")
+        assert not c({"a": 1, "b": 0, "c": 0})
+        assert c({"a": 0, "b": 1, "c": 1})
+
+    def test_bare_identifier_truthiness(self):
+        c = Condition("flag")
+        assert c({"flag": True})
+        assert not c({"flag": False})
+        assert not c({})
+
+
+class TestNullSemantics:
+    def test_missing_value_fails_comparisons(self):
+        assert not Condition("score > 1")({})
+        assert not Condition("score < 1")({})
+        assert not Condition("score = 1")({})
+        assert not Condition("score != 1")({})
+
+    def test_missing_value_fails_membership(self):
+        assert not Condition("cls in q:high")({})
+
+    def test_is_null(self):
+        assert Condition("score is null")({})
+        assert not Condition("score is null")({"score": 1})
+
+    def test_is_not_null(self):
+        assert Condition("score is not null")({"score": 1})
+        assert not Condition("score is not null")({})
+
+    def test_explicit_null_literal(self):
+        assert not Condition("score = null")({"score": 1})
+
+
+class TestTypeHandling:
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(ConditionError):
+            Condition("x > 5")({"x": "high"})
+
+    def test_bool_does_not_equal_number(self):
+        assert not Condition("x = 1")({"x": True})
+
+    def test_unknown_prefix_treated_as_opaque(self):
+        c = Condition("cls = zz:thing")
+        assert c({"cls": "zz:thing"})

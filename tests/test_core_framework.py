@@ -1,0 +1,88 @@
+"""Tests for the framework facade and quality-view lifecycle."""
+
+import pytest
+
+from repro.core import QuratorError, QuratorFramework
+from repro.core.ispider import (
+    LiveImprintAnnotator,
+    ResultSetHolder,
+    example_quality_view_xml,
+)
+from repro.rdf import Q
+
+
+class TestFrameworkSetup:
+    def test_standard_services_deployed_and_bound(self, framework):
+        for name, concept in [
+            ("UniversalPIScore2", Q.UniversalPIScore2),
+            ("HRScore", Q.HRScore),
+            ("PIScoreClassifier", Q.PIScoreClassifier),
+        ]:
+            assert name in framework.services
+            assert framework.bindings.resolve_endpoint(concept).endswith(name)
+
+    def test_register_standard_services_idempotent(self, framework):
+        n = len(framework.services)
+        framework.register_standard_services()
+        assert len(framework.services) == n
+
+    def test_cache_repository_available(self, framework):
+        assert not framework.cache.persistent
+
+    def test_create_repository(self, framework):
+        store = framework.create_repository("curated", persistent=True)
+        assert framework.repositories.repository("curated") is store
+        assert framework.create_repository("curated") is store
+
+    def test_scavenger_sees_deployed_services(self, framework):
+        assert "HRScore" in framework.scavenger
+
+    def test_annotation_service_deployment(self, framework):
+        holder = ResultSetHolder()
+        service = framework.deploy_annotation_service(
+            "Ann", LiveImprintAnnotator(holder)
+        )
+        assert framework.services.by_name("Ann") is service
+        assert framework.bindings.resolve_endpoint(
+            Q["Imprint-output-annotation"]
+        ) == service.endpoint
+        assert "Ann" in framework.scavenger
+
+    def test_end_execution_clears_cache(self, framework):
+        from repro.rdf import URIRef
+
+        framework.cache.annotate(URIRef("urn:lsid:t:d:1"), Q.HitRatio, 1.0)
+        framework.end_execution()
+        assert len(framework.cache) == 0
+
+
+class TestQualityViewLifecycle:
+    def test_parse_error_wrapped(self, framework):
+        with pytest.raises(QuratorError, match="cannot parse"):
+            framework.quality_view("<broken")
+
+    def test_compile_error_wrapped(self, framework):
+        # no annotation service deployed -> compilation must fail
+        view = framework.quality_view(example_quality_view_xml())
+        with pytest.raises(QuratorError, match="cannot compile"):
+            view.compile()
+
+    def test_compile_caches_workflow(self, framework):
+        holder = ResultSetHolder()
+        framework.deploy_annotation_service(
+            "ImprintOutputAnnotator", LiveImprintAnnotator(holder)
+        )
+        view = framework.quality_view(example_quality_view_xml())
+        assert view.compile() is view.compile()
+        view.invalidate()
+        assert view.compile() is not None
+
+    def test_validation_report_accessible(self, framework):
+        view = framework.quality_view(example_quality_view_xml())
+        report = view.validate()
+        assert report.ok()
+
+    def test_view_xml_roundtrip(self, framework):
+        view = framework.quality_view(example_quality_view_xml())
+        again = framework.quality_view(view.to_xml())
+        assert again.spec.tag_names() == view.spec.tag_names()

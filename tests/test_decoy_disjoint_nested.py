@@ -1,0 +1,200 @@
+"""Tests for decoy-FDR estimation, OWL disjointness, nested workflows."""
+
+import pytest
+
+from repro.ontology import Ontology, build_iq_model
+from repro.proteomics import (
+    Imprint,
+    ImprintSettings,
+    MassSpectrometer,
+    SpectrometerSettings,
+    generate_reference_database,
+)
+from repro.proteomics.decoy import (
+    DecoyFDRAnnotator,
+    DecoySearcher,
+    FDREstimate,
+    declare_decoy_evidence,
+    decoy_database,
+    estimate_fdr,
+    hit_level_fdr,
+    DECOY_FDR,
+)
+from repro.proteomics.results import ImprintResultSet
+from repro.rdf import Namespace, Q, RDF, URIRef
+from repro.workflow import (
+    Enactor,
+    NestedWorkflowProcessor,
+    PythonProcessor,
+    Workflow,
+)
+
+EX = Namespace("http://example.org/onto#")
+
+
+class TestDecoyDatabase:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return generate_reference_database(60, seed=77)
+
+    def test_decoy_mirrors_target(self, database):
+        decoys = decoy_database(database)
+        assert len(decoys) == len(database)
+        original = database.get("P00001")
+        decoy = decoys.get("DECOY_P00001")
+        assert decoy.sequence == original.sequence[::-1]
+        assert len(decoy) == len(original)
+
+    def test_fdr_estimate_properties(self):
+        assert FDREstimate(10.0, 100, 5).fdr == pytest.approx(0.05)
+        assert FDREstimate(10.0, 0, 0).fdr == 0.0
+        assert FDREstimate(10.0, 2, 10).fdr == 1.0  # capped
+
+    def test_true_hits_get_low_fdr(self, database):
+        """A clean spectrum's top (true) hit must carry near-zero FDR;
+        weak hits carry higher FDR."""
+        engine = Imprint(database)
+        searcher = DecoySearcher(database)
+        settings = SpectrometerSettings(
+            detection_rate=0.85, mass_error_ppm=10.0, noise_peaks=12,
+            contaminant_rate=0.0,
+        )
+        peaks = MassSpectrometer(settings, seed=3).acquire(
+            [database.get("P00009")]
+        )
+        run = engine.identify(peaks, run_id="r1")
+        assert run.top().accession == "P00009"
+        per_rank = searcher.fdr_for_run(run, peaks)
+        assert per_rank[1] <= 0.2
+        # FDR is monotone non-decreasing down the ranked list
+        values = [per_rank[hit.rank] for hit in run.hits]
+        assert values == sorted(values)
+
+    def test_estimate_fdr_threshold_monotone(self, database):
+        engine = Imprint(database)
+        decoy_engine = Imprint(decoy_database(database))
+        peaks = MassSpectrometer(seed=4).acquire([database.get("P00010")])
+        target = engine.identify(peaks, "t")
+        decoy = decoy_engine.identify(peaks, "d")
+        low = estimate_fdr(target, decoy, threshold=5.0)
+        high = estimate_fdr(target, decoy, threshold=100.0)
+        assert high.fdr <= low.fdr
+
+    def test_decoy_annotator(self, database):
+        engine = Imprint(database)
+        searcher = DecoySearcher(database)
+        peaks = MassSpectrometer(seed=5).acquire([database.get("P00011")])
+        run = engine.identify(peaks, run_id="r1")
+        results = ImprintResultSet([run])
+        fdr_by_run = {"r1": searcher.fdr_for_run(run, peaks)}
+        annotator = DecoyFDRAnnotator(results, fdr_by_run)
+        amap = annotator.annotate(results.items(), {DECOY_FDR})
+        for item in results.items():
+            value = amap.get_evidence(item, DECOY_FDR)
+            assert value is not None
+            assert 0.0 <= value <= 1.0
+
+    def test_declare_decoy_evidence_extends_iq_model(self):
+        iq_model = build_iq_model()
+        declare_decoy_evidence(iq_model)
+        assert iq_model.is_evidence_type(DECOY_FDR)
+        assert iq_model.is_annotation_function(Q.DecoyFDRAnnotation)
+        # idempotent
+        declare_decoy_evidence(iq_model)
+
+
+class TestDisjointness:
+    def test_declared_disjointness_symmetric(self):
+        o = Ontology()
+        o.add_class(EX.A)
+        o.add_class(EX.B)
+        o.declare_disjoint(EX.A, EX.B)
+        assert o.are_disjoint(EX.A, EX.B)
+        assert o.are_disjoint(EX.B, EX.A)
+
+    def test_inherited_disjointness(self):
+        o = Ontology()
+        o.add_class(EX.A)
+        o.add_class(EX.B)
+        o.add_class(EX.A1, (EX.A,))
+        o.add_class(EX.B1, (EX.B,))
+        o.declare_disjoint(EX.A, EX.B)
+        assert o.are_disjoint(EX.A1, EX.B1)
+
+    def test_self_disjointness_rejected(self):
+        o = Ontology()
+        o.add_class(EX.A)
+        with pytest.raises(Exception):
+            o.declare_disjoint(EX.A, EX.A)
+
+    def test_violation_detection(self):
+        o = Ontology()
+        o.add_class(EX.A)
+        o.add_class(EX.B)
+        o.declare_disjoint(EX.A, EX.B)
+        o.add_individual(EX.x, EX.A)
+        o.add_individual(EX.x, EX.B)
+        problems = o.find_disjointness_violations()
+        assert len(problems) == 1
+        assert "EX" not in problems[0]  # message uses full URIs
+
+    def test_iq_model_declares_root_disjointness(self, iq_model):
+        o = iq_model.ontology
+        assert o.are_disjoint(iq_model.DataEntity, iq_model.QualityEvidence)
+        assert o.are_disjoint(iq_model.HitRatio, iq_model.ImprintHitEntry)
+        assert o.find_disjointness_violations() == []
+
+    def test_unrelated_classes_not_disjoint(self, iq_model):
+        o = iq_model.ontology
+        assert not o.are_disjoint(
+            iq_model.HitRatio, iq_model.MassCoverage
+        )
+
+
+class TestNestedWorkflows:
+    def inner(self):
+        wf = Workflow("inner")
+        wf.add_input("xs")
+        wf.add_output("doubled")
+        wf.add_processor(
+            PythonProcessor("dbl", lambda v: v * 2,
+                            input_ports={"v": 0}, output_ports={"out": 0})
+        )
+        wf.connect("", "xs", "dbl", "v")
+        wf.connect("dbl", "out", "", "doubled")
+        return wf
+
+    def test_nested_workflow_as_processor(self):
+        outer = Workflow("outer")
+        outer.add_input("data")
+        outer.add_output("result")
+        outer.add_processor(NestedWorkflowProcessor("nested", self.inner()))
+        outer.add_processor(
+            PythonProcessor("total", lambda xs: sum(xs),
+                            input_ports={"xs": 1}, output_ports={"out": 0})
+        )
+        outer.connect("", "data", "nested", "xs")
+        outer.connect("nested", "doubled", "total", "xs")
+        outer.connect("total", "out", "", "result")
+        assert Enactor().run(outer, {"data": [1, 2, 3]}) == {"result": 12}
+
+    def test_nested_ports_mirror_inner_workflow(self):
+        nested = NestedWorkflowProcessor("nested", self.inner())
+        assert set(nested.input_ports) == {"xs"}
+        assert set(nested.output_ports) == {"doubled"}
+
+    def test_nested_failure_propagates(self):
+        broken = Workflow("broken")
+        broken.add_output("y")
+        broken.add_processor(
+            PythonProcessor("boom", lambda: 1 / 0, output_ports={"out": 0})
+        )
+        broken.connect("boom", "out", "", "y")
+        outer = Workflow("outer")
+        outer.add_output("z")
+        outer.add_processor(NestedWorkflowProcessor("nested", broken))
+        outer.connect("nested", "y", "", "z")
+        from repro.workflow import EnactmentError
+
+        with pytest.raises(EnactmentError, match="nested"):
+            Enactor().run(outer, {})

@@ -1,0 +1,169 @@
+"""Edge-case coverage across subsystems."""
+
+import pytest
+
+from repro.annotation import AnnotationMap
+from repro.core.ispider import ResultSetHolder
+from repro.proteomics.results import ImprintResultSet
+from repro.qv import parse_quality_view
+from repro.rdf import Graph, Literal, Namespace, Q, RDF, URIRef
+from repro.rdf.sparql import evaluate
+from repro.services.messages import DataSetMessage
+
+EX = Namespace("http://example.org/")
+
+
+class TestSparqlEdgeCases:
+    @pytest.fixture()
+    def graph(self):
+        g = Graph()
+        g.add(EX.a, EX.kind, Literal("x"))
+        g.add(EX.b, EX.kind, Literal("y"))
+        g.add(EX.c, EX.kind, Literal("x"))
+        g.add(EX.a, EX.score, Literal(10))
+        g.add(EX.b, EX.score, Literal(20))
+        return g
+
+    def test_union_with_shared_filter(self, graph):
+        res = evaluate(graph, """
+            PREFIX ex: <http://example.org/>
+            SELECT ?s WHERE {
+              { ?s ex:kind "x" } UNION { ?s ex:kind "y" }
+              ?s ex:score ?v .
+              FILTER (?v >= 10)
+            }
+        """)
+        assert {row[0] for row in res} == {EX.a, EX.b}
+
+    def test_nested_optional(self, graph):
+        graph.add(EX.a, EX.extra, EX.z)
+        res = evaluate(graph, """
+            PREFIX ex: <http://example.org/>
+            SELECT ?s ?e ?v WHERE {
+              ?s ex:kind "x" .
+              OPTIONAL { ?s ex:extra ?e . OPTIONAL { ?e ex:score ?v } }
+            }
+        """)
+        bindings = {row[0]: (row[1], row[2]) for row in res}
+        assert bindings[EX.a][0] == EX.z
+        assert bindings[EX.c] == (None, None)
+
+    def test_distinct_with_order_and_limit(self, graph):
+        res = evaluate(graph, """
+            PREFIX ex: <http://example.org/>
+            SELECT DISTINCT ?k WHERE { ?s ex:kind ?k } ORDER BY ?k LIMIT 1
+        """)
+        assert [str(row[0]) for row in res] == ["x"]
+
+    def test_empty_group_pattern(self, graph):
+        res = evaluate(graph, "SELECT * WHERE { }")
+        assert len(res) == 1  # one empty solution, per SPARQL semantics
+
+    def test_ask_on_empty_graph(self):
+        assert evaluate(Graph(), "ASK { ?s ?p ?o }").boolean is False
+
+    def test_filter_regex_flags(self, graph):
+        res = evaluate(graph, """
+            PREFIX ex: <http://example.org/>
+            SELECT ?s WHERE { ?s ex:kind ?k . FILTER REGEX(?k, "^X$", "i") }
+        """)
+        assert {row[0] for row in res} == {EX.a, EX.c}
+
+    def test_self_join_same_predicate(self, graph):
+        res = evaluate(graph, """
+            PREFIX ex: <http://example.org/>
+            SELECT ?s ?t WHERE {
+              ?s ex:kind ?k . ?t ex:kind ?k .
+              FILTER (?s != ?t)
+            }
+        """)
+        assert {frozenset((row[0], row[1])) for row in res} == {
+            frozenset((EX.a, EX.c))
+        }
+
+
+class TestQVParsingEdgeCases:
+    def test_var_level_repository_override(self):
+        text = """
+        <QualityView name="override">
+          <QualityAssertion serviceName="s" serviceType="q:HRScore" tagName="T">
+            <variables repositoryRef="cache">
+              <var variableName="a" evidence="q:HitRatio"/>
+              <var variableName="b" evidence="q:Coverage" repositoryRef="curated"/>
+            </variables>
+          </QualityAssertion>
+        </QualityView>
+        """
+        spec = parse_quality_view(text)
+        variables = spec.assertions[0].variables
+        assert variables[0].repository_ref == "cache"
+        assert variables[1].repository_ref == "curated"
+
+    def test_variable_name_defaults_to_fragment(self):
+        text = """
+        <QualityView name="default-name">
+          <QualityAssertion serviceName="s" serviceType="q:HRScore" tagName="T">
+            <variables><var evidence="q:HitRatio"/></variables>
+          </QualityAssertion>
+        </QualityView>
+        """
+        spec = parse_quality_view(text)
+        assert spec.assertions[0].variables[0].name == "HitRatio"
+
+    def test_repository_for_prefers_assertion_side(self):
+        text = """
+        <QualityView name="two-sides">
+          <Annotator serviceName="a" serviceType="q:Imprint-output-annotation">
+            <variables repositoryRef="writer"><var evidence="q:HitRatio"/></variables>
+          </Annotator>
+          <QualityAssertion serviceName="s" serviceType="q:HRScore" tagName="T">
+            <variables repositoryRef="reader">
+              <var variableName="hitRatio" evidence="q:HitRatio"/>
+            </variables>
+          </QualityAssertion>
+        </QualityView>
+        """
+        spec = parse_quality_view(text)
+        assert spec.repository_for(Q.HitRatio) == "reader"
+
+
+class TestHolderAndMessages:
+    def test_holder_requires_results(self):
+        holder = ResultSetHolder()
+        with pytest.raises(RuntimeError, match="before the identification"):
+            holder.require()
+
+    def test_holder_set_then_require(self, imprint_runs):
+        holder = ResultSetHolder()
+        results = ImprintResultSet(imprint_runs[:1])
+        holder.set(results)
+        assert holder.require() is results
+
+    def test_dataset_message_preserves_duplicates_and_order(self):
+        items = [EX.a, EX.b, EX.a]
+        parsed = DataSetMessage.from_xml(DataSetMessage(items).to_xml())
+        assert parsed.items == items
+
+
+class TestAnnotationMapEdgeCases:
+    def test_environment_tag_shadows_evidence_fragment(self):
+        amap = AnnotationMap([EX.d])
+        amap.set_evidence(EX.d, Q.HitRatio, 0.5)
+        amap.set_tag(EX.d, "HitRatio", 99)  # same name as the fragment
+        env = amap.environment(EX.d)
+        assert env["HitRatio"] == 99  # tags win: they're computed later
+
+    def test_subset_of_unknown_items_is_empty(self):
+        amap = AnnotationMap([EX.d])
+        assert len(amap.subset([EX.other])) == 0
+
+    def test_evidence_overwrite_in_place(self):
+        amap = AnnotationMap([EX.d])
+        amap.set_evidence(EX.d, Q.HitRatio, 0.5)
+        amap.set_evidence(EX.d, Q.HitRatio, 0.7)
+        assert amap.get_evidence(EX.d, Q.HitRatio) == 0.7
+
+    def test_literal_evidence_unwrapped_in_environment(self):
+        amap = AnnotationMap([EX.d])
+        amap.set_evidence(EX.d, Q.HitRatio, Literal(0.5))
+        assert amap.environment(EX.d)["HitRatio"] == 0.5

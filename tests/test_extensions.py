@@ -1,0 +1,239 @@
+"""Tests for iteration strategies, fault tolerance, SPARQL aggregates,
+the condition unparser, and quality reports."""
+
+import pytest
+
+from repro.core.ispider import example_quality_view_xml, setup_framework
+from repro.core.report import render_report, routing_summary, tag_statistics
+from repro.process.conditions import Condition, parse_condition
+from repro.process.conditions.printer import unparse
+from repro.rdf import Graph, Literal, Namespace, Q, URIRef
+from repro.workflow import Enactor, EnactmentError, PythonProcessor, Workflow
+
+EX = Namespace("http://example.org/")
+
+
+class TestIterationStrategies:
+    def build(self, strategy):
+        wf = Workflow("iter")
+        wf.add_input("a")
+        wf.add_input("b")
+        wf.add_output("c")
+        processor = PythonProcessor(
+            "pair", lambda x, y: f"{x}{y}",
+            input_ports={"x": 0, "y": 0}, output_ports={"out": 0},
+        ).with_iteration(strategy)
+        wf.add_processor(processor)
+        wf.connect("", "a", "pair", "x")
+        wf.connect("", "b", "pair", "y")
+        wf.connect("pair", "out", "", "c")
+        return wf
+
+    def test_cross_product_default(self):
+        result = Enactor().run(self.build("cross"), {"a": [1, 2], "b": "uv"})
+        # note: b is a string (scalar), so only a iterates
+        assert result["c"] == ["1uv", "2uv"]
+
+    def test_cross_product_two_lists(self):
+        result = Enactor().run(
+            self.build("cross"), {"a": [1, 2], "b": ["u", "v"]}
+        )
+        assert result["c"] == ["1u", "1v", "2u", "2v"]
+
+    def test_dot_product(self):
+        result = Enactor().run(
+            self.build("dot"), {"a": [1, 2, 3], "b": ["u", "v", "w"]}
+        )
+        assert result["c"] == ["1u", "2v", "3w"]
+
+    def test_dot_product_length_mismatch(self):
+        with pytest.raises(EnactmentError, match="differing"):
+            Enactor().run(self.build("dot"), {"a": [1, 2], "b": ["u"]})
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PythonProcessor("p", lambda: 0).with_iteration("diagonal")
+
+
+class TestFaultTolerance:
+    def flaky(self, fail_times):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise RuntimeError(f"failure {calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def build(self, processor):
+        wf = Workflow("ft")
+        wf.add_output("y")
+        wf.add_processor(processor)
+        wf.connect(processor.name, "out", "", "y")
+        return wf
+
+    def test_retry_recovers(self):
+        fn, calls = self.flaky(2)
+        processor = PythonProcessor(
+            "p", fn, output_ports={"out": 0}
+        ).with_fault_tolerance(retries=2)
+        assert Enactor().run(self.build(processor), {}) == {"y": "ok"}
+        assert calls["n"] == 3
+
+    def test_retries_exhausted_raises(self):
+        fn, _ = self.flaky(5)
+        processor = PythonProcessor(
+            "p", fn, output_ports={"out": 0}
+        ).with_fault_tolerance(retries=1)
+        with pytest.raises(EnactmentError, match="failure 2"):
+            Enactor().run(self.build(processor), {})
+
+    def test_alternate_processor_used(self):
+        fn, _ = self.flaky(99)
+        alternate = PythonProcessor(
+            "backup", lambda: "from-backup", output_ports={"out": 0}
+        )
+        processor = PythonProcessor(
+            "p", fn, output_ports={"out": 0}
+        ).with_fault_tolerance(retries=1, alternate=alternate)
+        assert Enactor().run(self.build(processor), {}) == {"y": "from-backup"}
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            PythonProcessor("p", lambda: 0).with_fault_tolerance(retries=-1)
+
+
+class TestAggregates:
+    @pytest.fixture()
+    def graph(self):
+        g = Graph()
+        for i in range(9):
+            s = EX[f"s{i}"]
+            g.add(s, EX.group, Literal("even" if i % 2 == 0 else "odd"))
+            g.add(s, EX.score, Literal(float(i)))
+        return g
+
+    def test_group_by_with_count_and_avg(self, graph):
+        res = graph.query("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?g (COUNT(?s) AS ?n) (AVG(?v) AS ?a) WHERE {
+              ?s ex:group ?g ; ex:score ?v .
+            } GROUP BY ?g ORDER BY ?g
+        """)
+        rows = list(res)
+        assert [str(r[0]) for r in rows] == ["even", "odd"]
+        assert [r[1].value for r in rows] == [5, 4]
+        assert rows[0][2].value == pytest.approx(4.0)
+        assert rows[1][2].value == pytest.approx(4.0)
+
+    def test_count_star(self, graph):
+        res = graph.query("""
+            PREFIX ex: <http://example.org/>
+            SELECT (COUNT(*) AS ?n) WHERE { ?s ex:score ?v }
+        """)
+        assert list(res)[0][0].value == 9
+
+    def test_count_over_empty_is_zero(self, graph):
+        res = graph.query("""
+            PREFIX ex: <http://example.org/>
+            SELECT (COUNT(?s) AS ?n) WHERE {
+              ?s ex:score ?v . FILTER (?v > 1000)
+            }
+        """)
+        assert list(res)[0][0].value == 0
+
+    def test_min_max_sum(self, graph):
+        res = graph.query("""
+            PREFIX ex: <http://example.org/>
+            SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (SUM(?v) AS ?total)
+            WHERE { ?s ex:score ?v }
+        """)
+        (row,) = list(res)
+        assert row[0].value == 0.0
+        assert row[1].value == 8.0
+        assert row[2].value == 36.0
+
+    def test_count_distinct(self, graph):
+        graph.add(EX.extra, EX.group, Literal("even"))
+        res = graph.query("""
+            PREFIX ex: <http://example.org/>
+            SELECT (COUNT(DISTINCT ?g) AS ?n) WHERE { ?s ex:group ?g }
+        """)
+        assert list(res)[0][0].value == 2
+
+    def test_projection_must_be_grouped(self, graph):
+        from repro.rdf.sparql import SPARQLSyntaxError
+
+        with pytest.raises(SPARQLSyntaxError, match="GROUP BY"):
+            graph.query("""
+                PREFIX ex: <http://example.org/>
+                SELECT ?s (COUNT(?v) AS ?n) WHERE { ?s ex:score ?v }
+                GROUP BY ?g
+            """)
+
+    def test_star_only_for_count(self, graph):
+        from repro.rdf.sparql import SPARQLSyntaxError
+
+        with pytest.raises(SPARQLSyntaxError):
+            graph.query("SELECT (SUM(*) AS ?x) WHERE { ?s ?p ?o }")
+
+
+class TestUnparser:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "scoreClass in q:high, q:mid and HR MC > 20",
+            "score < 3.2",
+            "a = 1 or b = 2 and c = 3",
+            "(a = 1 or b = 2) and c = 3",
+            "not (a = 1 or b = 2)",
+            "x is null",
+            "x is not null and y not in { 'p', 'q' }",
+            "flag = true or other = false",
+            "name = 'it''s ok'".replace("''", "\\'"),
+        ],
+    )
+    def test_roundtrip_ast_equality(self, text):
+        node = parse_condition(text)
+        assert parse_condition(unparse(node)) == node
+
+    def test_roundtrip_preserves_semantics(self):
+        text = "scoreClass in q:high, q:mid and HR MC > 20"
+        original = Condition(text)
+        rendered = Condition(unparse(parse_condition(text)))
+        for env in (
+            {"scoreClass": Q.high, "HR MC": 25.0},
+            {"scoreClass": Q.low, "HR MC": 25.0},
+            {},
+        ):
+            assert original(env) == rendered(env)
+
+
+class TestQualityReport:
+    @pytest.fixture(scope="class")
+    def result(self, scenario, result_set):
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        view = framework.quality_view(example_quality_view_xml())
+        return view.run(result_set.items())
+
+    def test_tag_statistics_structure(self, result):
+        stats = tag_statistics(result)
+        assert stats["HR MC"]["kind"] == "score"
+        assert stats["HR MC"]["count"] > 0
+        assert stats["ScoreClass"]["kind"] == "class"
+        assert set(stats["ScoreClass"]["counts"]) <= {"low", "mid", "high"}
+
+    def test_routing_summary_counts(self, result):
+        routing = routing_summary(result)
+        (groups,) = routing.values()
+        assert sum(groups.values()) <= len(result.items)
+
+    def test_rendered_report_contains_sections(self, result):
+        text = render_report(result)
+        assert "quality assertions" in text
+        assert "actions" in text
+        assert "HR MC" in text
+        assert "%" in text

@@ -1,0 +1,150 @@
+"""Tests for the Imprint PMF search engine and result sets."""
+
+import pytest
+
+from repro.proteomics import (
+    Imprint,
+    ImprintSettings,
+    MassSpectrometer,
+    SpectrometerSettings,
+    generate_reference_database,
+)
+from repro.proteomics.results import ImprintResultSet
+from repro.proteomics.spectrometer import PeakList
+from repro.rdf.lsid import imprint_hit_lsid
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_reference_database(60, seed=21)
+
+
+@pytest.fixture(scope="module")
+def engine(database):
+    return Imprint(database)
+
+
+class TestIdentification:
+    def test_clean_spectrum_identifies_truth_at_rank_one(self, database, engine):
+        protein = database.get("P00007")
+        settings = SpectrometerSettings(
+            detection_rate=0.9, mass_error_ppm=5.0, noise_peaks=2,
+            contaminant_rate=0.0,
+        )
+        peaks = MassSpectrometer(settings, seed=1).acquire([protein])
+        run = engine.identify(peaks, run_id="clean")
+        assert run.top().accession == "P00007"
+
+    def test_indicators_in_valid_ranges(self, database, engine):
+        protein = database.get("P00010")
+        peaks = MassSpectrometer(seed=2).acquire([protein])
+        run = engine.identify(peaks)
+        for hit in run.hits:
+            assert 0.0 <= hit.hit_ratio <= 1.0
+            assert 0.0 <= hit.mass_coverage <= 1.0
+            assert hit.score >= 0.0
+            assert hit.peptides_count >= engine.settings.min_matched_peptides
+            assert hit.masses <= hit.peptides_count
+
+    def test_ranks_are_sequential_and_scores_descend(self, database, engine):
+        peaks = MassSpectrometer(seed=3).acquire([database.get("P00020")])
+        run = engine.identify(peaks)
+        assert [h.rank for h in run.hits] == list(range(1, len(run.hits) + 1))
+        scores = [h.score for h in run.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_hits_respected(self, database):
+        engine = Imprint(database, ImprintSettings(max_hits=3))
+        peaks = MassSpectrometer(seed=4).acquire([database.get("P00030")])
+        assert len(engine.identify(peaks)) <= 3
+
+    def test_empty_peak_list(self, engine):
+        assert engine.identify(PeakList([])).hits == []
+
+    def test_pure_noise_gives_weak_hits(self, engine, database):
+        import random
+
+        rng = random.Random(99)
+        noise = PeakList([rng.uniform(700, 3500) for _ in range(15)])
+        run = engine.identify(noise)
+        truth_peaks = MassSpectrometer(
+            SpectrometerSettings(detection_rate=0.9, mass_error_ppm=5.0,
+                                 noise_peaks=0, contaminant_rate=0.0),
+            seed=5,
+        ).acquire([database.get("P00007")])
+        true_run = engine.identify(truth_peaks)
+        best_noise = run.hits[0].score if run.hits else 0.0
+        assert true_run.top().score > 3 * best_noise
+
+    def test_deterministic(self, engine, database):
+        peaks = MassSpectrometer(seed=6).acquire([database.get("P00011")])
+        a = engine.identify(peaks, "r")
+        b = engine.identify(peaks, "r")
+        assert a.hits == b.hits
+
+    def test_mixture_sample_finds_both(self, database, engine):
+        settings = SpectrometerSettings(
+            detection_rate=0.9, mass_error_ppm=5.0, noise_peaks=2,
+            contaminant_rate=0.0,
+        )
+        proteins = [database.get("P00012"), database.get("P00013")]
+        peaks = MassSpectrometer(settings, seed=7).acquire(proteins)
+        accessions = engine.identify(peaks).accessions()[:2]
+        assert set(accessions) == {"P00012", "P00013"}
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ImprintSettings(tolerance_ppm=0)
+        with pytest.raises(ValueError):
+            ImprintSettings(max_hits=0)
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def runs(self, database):
+        engine = Imprint(database)
+        runs = []
+        for i, accession in enumerate(["P00001", "P00002"], start=1):
+            peaks = MassSpectrometer(seed=30 + i).acquire(
+                [database.get(accession)]
+            )
+            runs.append(engine.identify(peaks, run_id=f"run-{i}"))
+        return runs
+
+    def test_items_are_lsids_in_order(self, runs):
+        results = ImprintResultSet(runs)
+        expected_first = imprint_hit_lsid("run-1", 1)
+        assert results.items()[0] == expected_first
+        assert len(results) == sum(len(r) for r in runs)
+
+    def test_reference_roundtrip(self, runs):
+        results = ImprintResultSet(runs)
+        for item in results:
+            ref = results.reference(item)
+            assert results.accession(item) == ref.hit.accession
+            assert results.run_id(item) in ("run-1", "run-2")
+
+    def test_indicators_match_hit(self, runs):
+        results = ImprintResultSet(runs)
+        item = results.items()[0]
+        hit = results.hit(item)
+        indicators = results.indicators(item)
+        assert indicators["hitRatio"] == hit.hit_ratio
+        assert indicators["coverage"] == hit.mass_coverage
+        assert indicators["eldp"] == float(hit.eldp)
+
+    def test_items_of_run(self, runs):
+        results = ImprintResultSet(runs)
+        assert len(results.items_of_run("run-1")) == len(runs[0])
+
+    def test_unknown_item_raises(self, runs):
+        results = ImprintResultSet(runs)
+        with pytest.raises(KeyError):
+            results.reference(imprint_hit_lsid("ghost", 1))
+
+    def test_accessions_subset(self, runs):
+        results = ImprintResultSet(runs)
+        subset = results.items()[:3]
+        assert results.accessions(subset) == [
+            results.accession(i) for i in subset
+        ]

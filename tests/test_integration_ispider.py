@@ -1,0 +1,165 @@
+"""Integration tests: the full Figure-6/Figure-7 experiment end to end."""
+
+import pytest
+
+from repro.core.ispider import (
+    FILTER_ACTION,
+    build_deployment,
+    example_quality_view_xml,
+    setup_framework,
+)
+from repro.proteomics.results import ImprintResultSet
+from repro.proteomics.workflows import go_term_frequencies
+from repro.qv.deployment import DeploymentError
+from repro.rdf import Q
+
+
+@pytest.fixture(scope="module")
+def deployment(scenario):
+    return build_deployment(scenario)
+
+
+@pytest.fixture(scope="module")
+def outputs(deployment):
+    return deployment.run()
+
+
+@pytest.fixture(scope="module")
+def baseline(deployment):
+    return deployment.run_unfiltered()
+
+
+class TestEmbeddedWorkflow:
+    def test_embedded_structure_contains_both_flows(self, deployment):
+        names = set(deployment.embedded.processors)
+        assert "ProteinIdentification" in names  # host
+        assert "DataEnrichment" in names  # quality
+        assert "ImprintToDataSet" in names  # adapter
+        assert "AcceptedToAccessions" in names  # adapter
+
+    def test_replaced_host_link_is_cut(self, deployment):
+        for link in deployment.embedded.data_links:
+            assert not (
+                link.source.processor == "CollectAccessions"
+                and link.sink.processor == "GORetrieval"
+            )
+
+    def test_filtering_reduces_go_occurrences(self, outputs, baseline):
+        assert 0 < len(outputs["goTerms"]) < len(baseline["goTerms"])
+
+    def test_identifications_unchanged_by_quality_view(self, outputs, baseline):
+        assert [len(r.hits) for r in outputs["identifications"]] == [
+            len(r.hits) for r in baseline["identifications"]
+        ]
+
+    def test_filtered_terms_subset_of_baseline(self, outputs, baseline):
+        base = go_term_frequencies(baseline["goTerms"])
+        filtered = go_term_frequencies(outputs["goTerms"])
+        assert set(filtered) <= set(base)
+        assert all(filtered[t] <= base[t] for t in filtered)
+
+
+class TestQualityEffectiveness:
+    def test_surviving_ids_enriched_in_true_positives(
+        self, scenario, deployment, outputs, baseline
+    ):
+        runs = baseline["identifications"]
+        results = ImprintResultSet(runs)
+
+        def precision(accession_pairs):
+            true = sum(
+                1 for run_id, accession in accession_pairs
+                if scenario.is_true_positive(run_id, accession)
+            )
+            return true / max(1, len(accession_pairs))
+
+        all_pairs = [
+            (results.run_id(i), results.accession(i)) for i in results
+        ]
+        # re-run the view stand-alone to recover the surviving item set
+        view = deployment.view
+        deployment.holder.set(results)
+        result = view.run(results.items())
+        surviving = result.surviving(FILTER_ACTION)
+        surviving_pairs = [
+            (results.run_id(i), results.accession(i)) for i in surviving
+        ]
+        assert precision(surviving_pairs) > 2 * precision(all_pairs)
+
+    def test_true_functions_enriched_after_filtering(
+        self, scenario, outputs, baseline
+    ):
+        true_terms = set()
+        for accessions in scenario.ground_truth.values():
+            for accession in accessions:
+                true_terms.update(scenario.goa.terms_of(accession))
+        filtered = go_term_frequencies(outputs["goTerms"])
+        base = go_term_frequencies(baseline["goTerms"])
+        frac_filtered = sum(
+            c for t, c in filtered.items() if t in true_terms
+        ) / sum(filtered.values())
+        frac_base = sum(c for t, c in base.items() if t in true_terms) / sum(
+            base.values()
+        )
+        assert frac_filtered > frac_base
+
+    def test_significance_ratio_reranks_terms(self, outputs, baseline):
+        """The paper's Fig. 7 effect: ratio ranking != frequency ranking."""
+        base = go_term_frequencies(baseline["goTerms"])
+        filtered = go_term_frequencies(outputs["goTerms"])
+        by_ratio = sorted(
+            base, key=lambda t: filtered.get(t, 0) / base[t], reverse=True
+        )
+        by_frequency = sorted(base, key=lambda t: base[t], reverse=True)
+        assert by_ratio[:10] != by_frequency[:10]
+
+
+class TestRepeatedExecution:
+    def test_editing_the_condition_between_runs(self, scenario):
+        """Sec. 4: action conditions can change from one execution to the
+        next so users can observe alternative filtering options."""
+        strict = build_deployment(scenario, filter_condition="ScoreClass in q:high")
+        lenient = build_deployment(
+            scenario, filter_condition="ScoreClass in q:high, q:mid"
+        )
+        n_strict = len(strict.run()["goTerms"])
+        n_lenient = len(lenient.run()["goTerms"])
+        assert n_strict < n_lenient
+
+    def test_runs_are_reproducible(self, deployment, outputs):
+        again = deployment.run()
+        assert again["goTerms"] == outputs["goTerms"]
+
+
+class TestStandaloneView:
+    def test_view_run_produces_tags_and_groups(self, scenario, result_set):
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        view = framework.quality_view(example_quality_view_xml())
+        result = view.run(result_set.items())
+        assert result.actions() == [FILTER_ACTION]
+        item = result_set.items()[0]
+        assert result.tag_of(item, "HR MC") is not None
+        assert result.tag_of(item, "ScoreClass") in (Q.low, Q.mid, Q.high)
+
+    def test_view_is_data_independent(self, scenario, imprint_runs):
+        """The same (compiled) view runs unchanged on different data sets."""
+        framework, holder = setup_framework(scenario)
+        view = framework.quality_view(example_quality_view_xml())
+        first = ImprintResultSet(imprint_runs[:2])
+        second = ImprintResultSet(imprint_runs[2:4])
+        holder.set(first)
+        result_a = view.run(first.items())
+        holder.set(second)
+        result_b = view.run(second.items())
+        assert set(result_a.items).isdisjoint(result_b.items)
+        assert result_b.actions() == [FILTER_ACTION]
+
+    def test_transient_cache_cleared_between_runs(self, scenario, result_set):
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        view = framework.quality_view(example_quality_view_xml())
+        view.run(result_set.items())
+        size_after_first = len(framework.cache)
+        view.run(result_set.items())
+        assert len(framework.cache) == size_after_first

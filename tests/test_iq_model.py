@@ -1,0 +1,100 @@
+"""Tests for the IQ semantic model (paper Sec. 3)."""
+
+import pytest
+
+from repro.rdf import Q, URIRef
+
+
+class TestTaxonomy:
+    def test_root_classes_exist(self, iq_model):
+        o = iq_model.ontology
+        for root in (
+            iq_model.DataEntity,
+            iq_model.QualityEvidence,
+            iq_model.AnnotationFunction,
+            iq_model.QualityAssertion,
+            iq_model.ClassificationModel,
+            iq_model.QualityDimension,
+        ):
+            assert o.is_class(root), root
+
+    def test_evidence_taxonomy(self, iq_model):
+        assert iq_model.is_evidence_type(iq_model.HitRatio)
+        assert iq_model.is_evidence_type(iq_model.MassCoverage)
+        assert iq_model.is_evidence_type(iq_model.ELDP)
+        assert not iq_model.is_evidence_type(iq_model.ImprintHitEntry)
+
+    def test_data_entity_taxonomy(self, iq_model):
+        assert iq_model.ontology.is_subclass(
+            iq_model.ImprintHitEntry, iq_model.DataEntity
+        )
+
+    def test_assertion_taxonomy_with_specialisation(self, iq_model):
+        # UniversalPIScore2 specialises UniversalPIScore (operators are
+        # classes so users can specialise them, Sec. 4.1).
+        assert iq_model.ontology.is_subclass(
+            iq_model.UniversalPIScore2, iq_model.UniversalPIScore
+        )
+        assert iq_model.is_assertion_type(iq_model.UniversalPIScore2)
+
+    def test_annotation_functions(self, iq_model):
+        assert iq_model.is_annotation_function(iq_model.ImprintOutputAnnotation)
+
+    def test_no_cycles(self, iq_model):
+        assert iq_model.ontology.find_subclass_cycles() == []
+
+
+class TestClassificationModels:
+    def test_members_are_enumerated_individuals(self, iq_model):
+        members = iq_model.classification_members(iq_model.PIScoreClassification)
+        assert members == {iq_model.low, iq_model.mid, iq_model.high}
+
+    def test_pimatch_classification(self, iq_model):
+        members = iq_model.classification_members(iq_model.PIMatchClassification)
+        assert Q["average-to-low"] in members
+
+    def test_is_classification_model(self, iq_model):
+        assert iq_model.is_classification_model(iq_model.PIScoreClassification)
+        assert not iq_model.is_classification_model(iq_model.HitRatio)
+
+
+class TestDimensions:
+    def test_standard_dimensions_present(self, iq_model):
+        names = {d.fragment() for d in iq_model.dimensions()}
+        assert {"Accuracy", "Completeness", "Currency"} <= names
+
+
+class TestEvidenceRequirements:
+    def test_declared_requirements(self, iq_model):
+        required = iq_model.required_evidence(iq_model.UniversalPIScore)
+        assert required == {iq_model.HitRatio, iq_model.MassCoverage}
+
+    def test_requirements_inherited_by_specialisation(self, iq_model):
+        required = iq_model.required_evidence(iq_model.UniversalPIScore2)
+        assert required == {
+            iq_model.HitRatio,
+            iq_model.MassCoverage,
+            iq_model.PeptidesCount,
+        }
+
+
+class TestUserExtension:
+    def test_declare_new_evidence_type(self, iq_model):
+        new_type = iq_model.declare_evidence_type(
+            Q.TestNewEvidence, label="test evidence"
+        )
+        assert iq_model.is_evidence_type(new_type)
+
+    def test_declare_new_assertion_type(self, iq_model):
+        new_qa = iq_model.declare_assertion_type(
+            Q.TestNewAssertion,
+            evidence={iq_model.ELDP},
+            dimension=iq_model.Reliability,
+        )
+        assert iq_model.is_assertion_type(new_qa)
+        assert iq_model.required_evidence(new_qa) == {iq_model.ELDP}
+
+    def test_contains_evidence_property_schema(self, iq_model):
+        o = iq_model.ontology
+        assert o.property_domain(iq_model.contains_evidence) == iq_model.DataEntity
+        assert o.property_range(iq_model.contains_evidence) == iq_model.QualityEvidence

@@ -1,0 +1,151 @@
+"""Tests for the ontology engine and reasoner."""
+
+import pytest
+
+from repro.ontology import Ontology, OntologyError, PropertyKind, Reasoner
+from repro.rdf import Graph, Literal, Namespace, RDF, URIRef
+
+EX = Namespace("http://example.org/onto#")
+
+
+@pytest.fixture()
+def ontology():
+    o = Ontology()
+    o.add_class(EX.Animal, label="Animal")
+    o.add_class(EX.Mammal, (EX.Animal,))
+    o.add_class(EX.Dog, (EX.Mammal,))
+    o.add_class(EX.Cat, (EX.Mammal,))
+    o.add_class(EX.Robot)
+    o.add_property(EX.owns, PropertyKind.OBJECT, domain=EX.Animal, range=EX.Animal)
+    o.add_property(EX.age, PropertyKind.DATATYPE, domain=EX.Animal)
+    o.add_individual(EX.rex, EX.Dog)
+    o.add_individual(EX.tom, EX.Cat)
+    return o
+
+
+class TestSubsumption:
+    def test_reflexive(self, ontology):
+        assert ontology.is_subclass(EX.Dog, EX.Dog)
+
+    def test_transitive(self, ontology):
+        assert ontology.is_subclass(EX.Dog, EX.Animal)
+        assert not ontology.is_subclass(EX.Animal, EX.Dog)
+
+    def test_unrelated(self, ontology):
+        assert not ontology.is_subclass(EX.Robot, EX.Animal)
+
+    def test_superclasses_closure(self, ontology):
+        assert ontology.superclasses(EX.Dog) == {EX.Mammal, EX.Animal}
+
+    def test_subclasses_closure(self, ontology):
+        assert ontology.subclasses(EX.Animal) == {EX.Mammal, EX.Dog, EX.Cat}
+
+    def test_direct_subclasses(self, ontology):
+        assert ontology.subclasses(EX.Animal, direct=True) == {EX.Mammal}
+
+    def test_cache_invalidated_on_new_edge(self, ontology):
+        assert not ontology.is_subclass(EX.Robot, EX.Animal)
+        ontology.add_subclass_of(EX.Robot, EX.Animal)
+        assert ontology.is_subclass(EX.Robot, EX.Animal)
+
+    def test_self_subclass_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_subclass_of(EX.Dog, EX.Dog)
+
+
+class TestInstances:
+    def test_is_instance_through_hierarchy(self, ontology):
+        assert ontology.is_instance(EX.rex, EX.Dog)
+        assert ontology.is_instance(EX.rex, EX.Animal)
+        assert not ontology.is_instance(EX.rex, EX.Cat)
+
+    def test_individuals_of_includes_subclasses(self, ontology):
+        assert ontology.individuals_of(EX.Animal) == {EX.rex, EX.tom}
+
+    def test_individuals_of_direct(self, ontology):
+        assert ontology.individuals_of(EX.Animal, direct=True) == set()
+
+    def test_add_individual_requires_declared_class(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_individual(EX.x, EX.UndeclaredClass)
+
+    def test_label_and_comment(self, ontology):
+        assert ontology.label_of(EX.Animal) == "Animal"
+        assert ontology.comment_of(EX.Animal) is None
+
+
+class TestValidation:
+    def test_valid_statement(self, ontology):
+        ontology.validate_statement(EX.rex, EX.owns, EX.tom)
+
+    def test_domain_violation(self, ontology):
+        ontology.add_individual(EX.r2d2, EX.Robot)
+        with pytest.raises(OntologyError):
+            ontology.validate_statement(EX.r2d2, EX.owns, EX.tom)
+
+    def test_range_violation(self, ontology):
+        ontology.add_individual(EX.r2d2, EX.Robot)
+        with pytest.raises(OntologyError):
+            ontology.validate_statement(EX.rex, EX.owns, EX.r2d2)
+
+    def test_literal_in_object_range_rejected(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.validate_statement(EX.rex, EX.owns, Literal(3))
+
+    def test_untyped_subject_passes(self, ontology):
+        ontology.validate_statement(EX.unknown, EX.owns, EX.tom)
+
+    def test_datatype_property_accepts_literal(self, ontology):
+        ontology.validate_statement(EX.rex, EX.age, Literal(3))
+
+
+class TestCycles:
+    def test_no_cycles_in_tree(self, ontology):
+        assert ontology.find_subclass_cycles() == []
+
+    def test_detects_cycle(self):
+        o = Ontology()
+        o.add_class(EX.A)
+        o.add_class(EX.B, (EX.A,))
+        o.graph.add(EX.A, URIRef("http://www.w3.org/2000/01/rdf-schema#subClassOf"), EX.B)
+        o._invalidate()
+        assert o.find_subclass_cycles()
+
+
+class TestReasoner:
+    @pytest.fixture()
+    def reasoner(self, ontology):
+        data = Graph()
+        data.add(EX.fido, RDF.type, EX.Dog)
+        data.add(EX.fido, EX.owns, EX.tom)
+        return Reasoner(ontology, data)
+
+    def test_inferred_types(self, reasoner):
+        assert reasoner.inferred_types(EX.fido) == {EX.Dog, EX.Mammal, EX.Animal}
+
+    def test_is_instance_from_data_graph(self, reasoner):
+        assert reasoner.is_instance(EX.fido, EX.Animal)
+
+    def test_instances_of_spans_graphs(self, reasoner):
+        assert EX.fido in reasoner.instances_of(EX.Animal)
+        assert EX.rex in reasoner.instances_of(EX.Animal)
+
+    def test_materialise_types(self, reasoner):
+        entailed = reasoner.materialise_types()
+        assert (EX.fido, RDF.type, EX.Animal) in entailed
+
+    def test_entailed_triples_include_data(self, reasoner):
+        triples = list(reasoner.entailed_triples())
+        assert (EX.fido, EX.owns, EX.tom) in triples
+        assert (EX.fido, RDF.type, EX.Mammal) in triples
+
+    def test_validate_data_clean(self, reasoner):
+        assert reasoner.validate_data() == []
+
+    def test_validate_data_detects_domain_violation(self, ontology):
+        data = Graph()
+        data.add(EX.c3po, RDF.type, EX.Robot)
+        data.add(EX.c3po, EX.owns, EX.tom)
+        problems = Reasoner(ontology, data).validate_data()
+        assert len(problems) == 1
+        assert "domain" in problems[0]

@@ -1,0 +1,127 @@
+"""Repository persistence, SCUFL round-trips of compiled views, and
+full-pipeline trace/XML-path integration checks."""
+
+import pytest
+
+from repro.annotation import RepositoryManager
+from repro.annotation.map import AnnotationMap
+from repro.core.ispider import (
+    LiveImprintAnnotator,
+    ResultSetHolder,
+    build_deployment,
+    example_quality_view_xml,
+    setup_framework,
+)
+from repro.rdf import Q, URIRef
+from repro.rdf.lsid import uniprot_lsid
+from repro.services.messages import AnnotationMapMessage, DataSetMessage
+from repro.workflow.scufl import workflow_from_xml, workflow_to_xml
+
+D1 = uniprot_lsid("P00001")
+D2 = uniprot_lsid("P00002")
+
+
+class TestRepositoryPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        manager = RepositoryManager()
+        curated = manager.create("curated", persistent=True)
+        curated.annotate(D1, Q.HitRatio, 0.8)
+        curated.annotate(D2, Q.EvidenceCode, 4)
+        manager.repository("cache").annotate(D1, Q.Masses, 9)
+        paths = manager.save_all(str(tmp_path))
+        assert any(p.endswith("curated.nt") for p in paths)
+        assert any(p.endswith("repositories.json") for p in paths)
+        # the transient cache is not persisted
+        assert not any("cache" in p for p in paths)
+
+        fresh = RepositoryManager()
+        restored = fresh.load_all(str(tmp_path))
+        assert restored == ["curated"]
+        assert fresh.repository("curated").lookup(D1, Q.HitRatio) == 0.8
+        assert fresh.repository("curated").lookup(D2, Q.EvidenceCode) == 4
+
+    def test_load_into_existing_repository(self, tmp_path):
+        manager = RepositoryManager()
+        manager.create("curated", persistent=True).annotate(D1, Q.HitRatio, 0.8)
+        manager.save_all(str(tmp_path))
+        target = RepositoryManager()
+        target.create("curated", persistent=True).annotate(D2, Q.HitRatio, 0.2)
+        target.load_all(str(tmp_path))
+        store = target.repository("curated")
+        assert store.lookup(D1, Q.HitRatio) == 0.8
+        assert store.lookup(D2, Q.HitRatio) == 0.2
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RepositoryManager().load_all(str(tmp_path))
+
+    def test_loaded_store_continues_annotating(self, tmp_path):
+        manager = RepositoryManager()
+        manager.create("curated", persistent=True).annotate(D1, Q.HitRatio, 0.8)
+        manager.save_all(str(tmp_path))
+        fresh = RepositoryManager()
+        fresh.load_all(str(tmp_path))
+        fresh.repository("curated").annotate(D2, Q.HitRatio, 0.3)
+        assert fresh.repository("curated").lookup(D1, Q.HitRatio) == 0.8
+        assert fresh.repository("curated").lookup(D2, Q.HitRatio) == 0.3
+
+
+class TestCompiledViewScufl:
+    def test_compiled_quality_workflow_structure_roundtrips(self, framework):
+        holder = ResultSetHolder()
+        framework.deploy_annotation_service(
+            "ImprintOutputAnnotator", LiveImprintAnnotator(holder)
+        )
+        view = framework.quality_view(example_quality_view_xml())
+        workflow = view.compile()
+        restored = workflow_from_xml(workflow_to_xml(workflow))
+        assert set(restored.processors) == set(workflow.processors)
+        assert len(restored.data_links) == len(workflow.data_links)
+        assert len(restored.control_links) == len(workflow.control_links)
+        assert restored.topological_order() == workflow.topological_order()
+
+
+class TestEnactmentTraceIntegration:
+    def test_embedded_run_trace_covers_every_processor(self, scenario):
+        deployment = build_deployment(scenario)
+        deployment.run()
+        trace = deployment.framework.enactor.last_trace
+        assert set(trace.order()) == set(deployment.embedded.processors)
+        assert trace.failed() == []
+        # the identification step iterated once per sample
+        by_name = {event.processor: event for event in trace.events}
+        assert by_name["ProteinIdentification"].iterations == len(
+            scenario.pedro
+        )
+
+
+class TestXMLMessagePath:
+    def test_qa_service_full_xml_invocation(self, framework):
+        """Exercise the serialise -> invoke -> serialise wire path with a
+        real QA over real-looking evidence."""
+        service = framework.services.by_name("PIScoreClassifier")
+        items = [uniprot_lsid(f"P{i:05d}") for i in range(1, 7)]
+        amap = AnnotationMap(items)
+        for index, item in enumerate(items):
+            amap.set_evidence(item, Q.HitRatio, 0.1 + index * 0.15)
+            amap.set_evidence(item, Q.Coverage, 0.1 + index * 0.15)
+        service.build_operator = lambda **cfg: _classifier(cfg)
+        out_xml = service.invoke_xml(
+            DataSetMessage(items).to_xml(), AnnotationMapMessage(amap).to_xml()
+        )
+        out = AnnotationMapMessage.from_xml(out_xml).amap
+        labels = {out.get_tag(i, "ScoreClass").plain() for i in items}
+        assert labels <= {Q.low, Q.mid, Q.high}
+        assert len(labels) >= 2
+
+
+def _classifier(config):
+    from repro.qa.classifier import PIScoreClassifierQA
+
+    return PIScoreClassifierQA(
+        name=config.get("name", "c"),
+        tag_name=config.get("tag_name", "ScoreClass"),
+        variables=config.get(
+            "variables", {"hitRatio": Q.HitRatio, "coverage": Q.Coverage}
+        ),
+    )

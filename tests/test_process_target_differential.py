@@ -1,0 +1,146 @@
+"""Tests for the alternative process target + differential testing.
+
+The same quality-view spec compiled for the workflow environment and
+for the direct process interpreter must route identical items to
+identical groups — the strongest check that the compiler rules preserve
+the abstract-process semantics.
+"""
+
+import pytest
+
+from repro.core.ispider import (
+    FILTER_ACTION,
+    LiveImprintAnnotator,
+    ResultSetHolder,
+    example_quality_view_xml,
+    setup_framework,
+)
+from repro.qv import parse_quality_view
+from repro.qv.compiler import CompilationError
+from repro.qv.process_target import ProcessTargetCompiler
+
+
+@pytest.fixture()
+def loaded(scenario, result_set):
+    framework, holder = setup_framework(scenario)
+    holder.set(result_set)
+    return framework, holder, result_set
+
+
+def process_compiler(framework) -> ProcessTargetCompiler:
+    return ProcessTargetCompiler(
+        framework.iq_model,
+        framework.services,
+        framework.bindings,
+        framework.repositories,
+    )
+
+
+class TestProcessTarget:
+    def test_compiles_the_example_view(self, loaded):
+        framework, _, __ = loaded
+        spec = parse_quality_view(example_quality_view_xml())
+        process = process_compiler(framework).compile(spec)
+        assert len(process.annotators) == 1
+        assert process.enrichment is not None
+        assert len(process.assertions) == 3
+        assert len(process.actions) == 1
+
+    def test_executes_end_to_end(self, loaded):
+        framework, _, results = loaded
+        spec = parse_quality_view(example_quality_view_xml())
+        process = process_compiler(framework).compile(spec)
+        framework.repositories.clear_transient()
+        result = process.execute(results.items())
+        assert result.consolidated.tag_names() == {"HR MC", "HR", "ScoreClass"}
+        assert result.outcomes[FILTER_ACTION].surviving()
+
+    def test_unresolvable_service_rejected(self, scenario):
+        framework, _ = setup_framework(scenario)
+        framework.services.undeploy("ImprintOutputAnnotator")
+        spec = parse_quality_view(example_quality_view_xml())
+        with pytest.raises(CompilationError):
+            process_compiler(framework).compile(spec)
+
+    def test_validation_enforced(self, loaded):
+        framework, _, __ = loaded
+        bad = example_quality_view_xml().replace("q:hitRatio", "q:Bogus")
+        with pytest.raises(ValueError, match="validation"):
+            process_compiler(framework).compile(parse_quality_view(bad))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            "ScoreClass in q:high",
+            "ScoreClass in q:high, q:mid",
+            "ScoreClass in q:high, q:mid and HR MC > 20",
+            "HR MC > 35",
+            "HR > 20 and ScoreClass not in q:low",
+        ],
+    )
+    def test_both_targets_agree(self, loaded, condition):
+        framework, holder, results = loaded
+        spec = parse_quality_view(example_quality_view_xml(condition))
+        items = results.items()
+
+        # workflow target
+        view = framework.quality_view(spec)
+        workflow_result = view.run(items)
+        workflow_kept = workflow_result.surviving(FILTER_ACTION)
+
+        # process target
+        framework.repositories.clear_transient()
+        process = process_compiler(framework).compile(spec)
+        process_result = process.execute(items)
+        process_kept = process_result.surviving(FILTER_ACTION)
+
+        assert workflow_kept == process_kept
+        # tags agree item-by-item
+        for item in items:
+            for tag in ("HR MC", "HR", "ScoreClass"):
+                workflow_tag = workflow_result.annotation_map.get_tag(item, tag)
+                process_tag = process_result.consolidated.get_tag(item, tag)
+                assert (workflow_tag is None) == (process_tag is None)
+                if workflow_tag is not None:
+                    assert workflow_tag.plain() == process_tag.plain()
+
+    def test_splitter_differential(self, loaded):
+        framework, holder, results = loaded
+        xml = """
+        <QualityView name="split-differential">
+          <Annotator serviceName="ImprintOutputAnnotator"
+                     serviceType="q:Imprint-output-annotation">
+            <variables repositoryRef="cache" persistent="false">
+              <var evidence="q:hitRatio"/>
+              <var evidence="q:coverage"/>
+            </variables>
+          </Annotator>
+          <QualityAssertion serviceName="PIScoreClassifier"
+                            serviceType="q:PIScoreClassifier"
+                            tagSemType="q:PIScoreClassification"
+                            tagName="ScoreClass" tagSynType="q:class">
+            <variables repositoryRef="cache">
+              <var variableName="hitRatio" evidence="q:hitRatio"/>
+              <var variableName="coverage" evidence="q:coverage"/>
+            </variables>
+          </QualityAssertion>
+          <action name="route">
+            <splitter>
+              <group name="top"><condition>ScoreClass = 'high'</condition></group>
+              <group name="usable"><condition>ScoreClass in q:high, q:mid</condition></group>
+            </splitter>
+          </action>
+        </QualityView>
+        """
+        spec = parse_quality_view(xml)
+        items = results.items()
+        view = framework.quality_view(spec)
+        workflow_result = view.run(items)
+        framework.repositories.clear_transient()
+        process_result = process_compiler(framework).compile(spec).execute(items)
+        for group in ("top", "usable", "default"):
+            assert workflow_result.group("route", group) == (
+                process_result.outcomes["route"].items(group)
+            )

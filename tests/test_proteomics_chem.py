@@ -1,0 +1,183 @@
+"""Tests for masses, digestion, proteins, spectrometer."""
+
+import math
+
+import pytest
+
+from repro.proteomics import (
+    MassSpectrometer,
+    Protein,
+    SpectrometerSettings,
+    WATER_MONO,
+    generate_reference_database,
+    peptide_mass,
+    tryptic_digest,
+)
+from repro.proteomics.digest import cleavage_sites, limit_peptides, partial_peptides
+from repro.proteomics.masses import (
+    InvalidSequenceError,
+    RESIDUE_MONO,
+    mh_ion_mass,
+    ppm_error,
+    within_tolerance,
+)
+
+
+class TestMasses:
+    def test_single_residue(self):
+        assert peptide_mass("G") == pytest.approx(57.02146 + WATER_MONO)
+
+    def test_additivity(self):
+        assert peptide_mass("GAS") == pytest.approx(
+            RESIDUE_MONO["G"] + RESIDUE_MONO["A"] + RESIDUE_MONO["S"] + WATER_MONO
+        )
+
+    def test_known_peptide(self):
+        # Angiotensin fragment DRVYIHPF: well-known [M+H]+ ~ 1046.54
+        assert mh_ion_mass("DRVYIHPF") == pytest.approx(1046.54, abs=0.02)
+
+    def test_lowercase_accepted(self):
+        assert peptide_mass("gas") == peptide_mass("GAS")
+
+    def test_invalid_residue_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            peptide_mass("GAZ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            peptide_mass("")
+
+    def test_ppm_error_sign(self):
+        assert ppm_error(1000.01, 1000.0) == pytest.approx(10.0)
+        assert ppm_error(999.99, 1000.0) == pytest.approx(-10.0)
+
+    def test_within_tolerance(self):
+        assert within_tolerance(1000.01, 1000.0, 20)
+        assert not within_tolerance(1000.05, 1000.0, 20)
+
+
+class TestDigest:
+    def test_cleaves_after_k_and_r(self):
+        assert cleavage_sites("AAKBBRCC".replace("B", "G")) == [3, 6]
+
+    def test_no_cleavage_before_proline(self):
+        assert cleavage_sites("AAKPGGG") == []
+
+    def test_limit_digest_fragments(self):
+        peptides = tryptic_digest("AAAAAKGGGGGR", missed_cleavages=0, min_length=5)
+        assert [p.sequence for p in peptides] == ["AAAAAK", "GGGGGR"]
+        assert all(p.is_limit for p in peptides)
+
+    def test_missed_cleavage_products(self):
+        peptides = tryptic_digest("AAAAAKGGGGGR", missed_cleavages=1, min_length=5)
+        sequences = {p.sequence for p in peptides}
+        assert "AAAAAKGGGGGR" in sequences
+        partials = partial_peptides(peptides)
+        assert len(partials) == 1
+        assert partials[0].missed_cleavages == 1
+
+    def test_positions_are_consistent(self):
+        sequence = "AAAAAKGGGGGRCCCCCK"
+        for peptide in tryptic_digest(sequence, missed_cleavages=2, min_length=1):
+            assert sequence[peptide.start:peptide.end] == peptide.sequence
+
+    def test_length_window(self):
+        peptides = tryptic_digest("AAKGGGGGGGGGGR", missed_cleavages=0,
+                                  min_length=5, max_length=11)
+        assert [p.sequence for p in peptides] == ["GGGGGGGGGGR"]
+
+    def test_negative_missed_cleavages_rejected(self):
+        with pytest.raises(ValueError):
+            tryptic_digest("AAK", missed_cleavages=-1)
+
+    def test_protein_ending_in_k_has_no_empty_fragment(self):
+        peptides = tryptic_digest("AAAAAK", missed_cleavages=0, min_length=1)
+        assert [p.sequence for p in peptides] == ["AAAAAK"]
+
+
+class TestReferenceDatabase:
+    def test_deterministic_for_seed(self):
+        a = generate_reference_database(20, seed=5)
+        b = generate_reference_database(20, seed=5)
+        assert [p.sequence for p in a] == [p.sequence for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_reference_database(20, seed=5)
+        b = generate_reference_database(20, seed=6)
+        assert [p.sequence for p in a] != [p.sequence for p in b]
+
+    def test_accessions_unique_and_uniprot_style(self):
+        db = generate_reference_database(50, seed=1)
+        accessions = db.accessions()
+        assert len(set(accessions)) == 50
+        assert all(a.startswith("P") and len(a) == 6 for a in accessions)
+
+    def test_lengths_in_bounds(self):
+        db = generate_reference_database(50, seed=1, min_length=100, max_length=300)
+        assert all(100 <= len(p) <= 300 for p in db)
+
+    def test_duplicate_accession_rejected(self):
+        db = generate_reference_database(5, seed=1)
+        with pytest.raises(ValueError):
+            db.add(Protein("P00001", "dup", "AAAAAK"))
+
+    def test_organisms_cycle(self):
+        db = generate_reference_database(10, seed=1)
+        assert len({p.organism for p in db}) > 1
+
+    def test_invalid_sequence_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            Protein("X1", "bad", "AAAB1")
+
+
+class TestSpectrometer:
+    def protein(self):
+        return generate_reference_database(5, seed=3).get("P00001")
+
+    def test_deterministic_per_seed(self):
+        a = MassSpectrometer(seed=9).acquire([self.protein()])
+        b = MassSpectrometer(seed=9).acquire([self.protein()])
+        assert a.masses == b.masses
+
+    def test_noise_peaks_present(self):
+        settings = SpectrometerSettings(detection_rate=1.0, noise_peaks=5,
+                                        contaminant_rate=0.0, mass_error_ppm=0.0)
+        peaks = MassSpectrometer(settings, seed=1).acquire([self.protein()])
+        theoretical = {
+            round(mh_ion_mass(p.sequence), 3)
+            for p in tryptic_digest(self.protein().sequence)
+        }
+        non_matching = [
+            m for m in peaks if round(m, 3) not in theoretical
+        ]
+        assert len(non_matching) >= 5
+
+    def test_peaks_within_scan_range(self):
+        settings = SpectrometerSettings()
+        peaks = MassSpectrometer(settings, seed=2).acquire([self.protein()])
+        assert all(
+            settings.scan_min_mass <= m <= settings.scan_max_mass for m in peaks
+        )
+
+    def test_higher_detection_rate_more_peaks(self):
+        low = SpectrometerSettings(detection_rate=0.2, noise_peaks=0,
+                                   contaminant_rate=0.0)
+        high = SpectrometerSettings(detection_rate=0.95, noise_peaks=0,
+                                    contaminant_rate=0.0)
+        protein = generate_reference_database(3, seed=4, min_length=400,
+                                              max_length=600).get("P00001")
+        n_low = len(MassSpectrometer(low, seed=5).acquire([protein]))
+        n_high = len(MassSpectrometer(high, seed=5).acquire([protein]))
+        assert n_high > n_low
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            MassSpectrometer(seed=1).acquire([])
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            SpectrometerSettings(detection_rate=0.0)
+        with pytest.raises(ValueError):
+            SpectrometerSettings(mass_error_ppm=-1)
+        with pytest.raises(ValueError):
+            SpectrometerSettings(scan_min_mass=100, scan_max_mass=50)

@@ -1,0 +1,161 @@
+"""Tests for GO, GOA, Uniprot and PEDRo substitutes."""
+
+import pytest
+
+from repro.proteomics import (
+    GeneOntology,
+    GOTerm,
+    PedroRepository,
+    Sample,
+    generate_gene_ontology,
+    generate_goa,
+    generate_reference_database,
+    generate_uniprot,
+)
+from repro.proteomics.goa import EVIDENCE_CODE_RELIABILITY, GOAnnotation
+from repro.proteomics.spectrometer import PeakList
+
+
+class TestGeneOntology:
+    def test_generated_dag_is_rooted(self):
+        go = generate_gene_ontology(30, seed=2)
+        for term in go:
+            if term.term_id != go.ROOT_ID:
+                assert go.ROOT_ID in go.ancestors(term.term_id)
+
+    def test_deterministic(self):
+        a = generate_gene_ontology(30, seed=2)
+        b = generate_gene_ontology(30, seed=2)
+        assert a.term_ids() == b.term_ids()
+
+    def test_ancestors_exclude_self(self):
+        go = generate_gene_ontology(30, seed=2)
+        term = go.term_ids()[5]
+        assert term not in go.ancestors(term)
+
+    def test_descendants_inverse_of_ancestors(self):
+        go = generate_gene_ontology(30, seed=2)
+        for term in go.term_ids()[:10]:
+            for ancestor in go.ancestors(term):
+                assert term in go.descendants(ancestor)
+
+    def test_depth_of_root_is_zero(self):
+        go = GeneOntology()
+        assert go.depth(go.ROOT_ID) == 0
+
+    def test_add_requires_known_parents(self):
+        go = GeneOntology()
+        with pytest.raises(ValueError):
+            go.add(GOTerm("GO:0000002", "x", parents=("GO:9999999",)))
+
+    def test_duplicate_rejected(self):
+        go = GeneOntology()
+        with pytest.raises(ValueError):
+            go.add(GOTerm(go.ROOT_ID, "dup"))
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(ValueError):
+            GOTerm("X:123", "bad")
+
+
+class TestGOA:
+    @pytest.fixture(scope="class")
+    def world(self):
+        db = generate_reference_database(40, seed=3)
+        go = generate_gene_ontology(50, seed=3)
+        return db, go, generate_goa(db, go, seed=3)
+
+    def test_every_protein_annotated(self, world):
+        db, _, goa = world
+        for protein in db:
+            assert 2 <= len(goa.terms_of(protein.accession)) <= 6
+
+    def test_terms_exist_in_ontology(self, world):
+        _, go, goa = world
+        for annotation in goa:
+            assert annotation.term_id in go
+
+    def test_root_never_assigned(self, world):
+        _, go, goa = world
+        assert all(a.term_id != go.ROOT_ID for a in goa)
+
+    def test_evidence_codes_valid(self, world):
+        _, _, goa = world
+        assert all(
+            a.evidence_code in EVIDENCE_CODE_RELIABILITY for a in goa
+        )
+
+    def test_popularity_is_skewed(self, world):
+        _, _, goa = world
+        counts = {}
+        for annotation in goa:
+            counts[annotation.term_id] = counts.get(annotation.term_id, 0) + 1
+        frequencies = sorted(counts.values(), reverse=True)
+        # Zipf-ish: the most popular term dominates the median one.
+        assert frequencies[0] >= 3 * frequencies[len(frequencies) // 2]
+
+    def test_reliability_ranks(self):
+        assert GOAnnotation("P1", "GO:1", "IDA").reliability() == 5
+        assert GOAnnotation("P1", "GO:1", "IEA").reliability() == 1
+        assert GOAnnotation("P1", "GO:1", "???").reliability() == 0
+
+    def test_unknown_accession_empty(self, world):
+        _, _, goa = world
+        assert goa.terms_of("NOPE") == []
+
+
+class TestUniprot:
+    def test_mirrors_reference(self):
+        db = generate_reference_database(20, seed=4)
+        uniprot = generate_uniprot(db, seed=4)
+        assert len(uniprot) == 20
+        for protein in db:
+            assert protein.accession in uniprot
+
+    def test_uncurated_entries_are_iea(self):
+        db = generate_reference_database(40, seed=4)
+        uniprot = generate_uniprot(db, seed=4, curated_fraction=0.5)
+        uncurated = [e for e in uniprot if not e.curated]
+        assert uncurated
+        assert all(e.evidence_codes == ("IEA",) for e in uncurated)
+        assert all(e.best_evidence_reliability() == 1 for e in uncurated)
+
+    def test_curated_fraction_bounds(self):
+        db = generate_reference_database(5, seed=4)
+        with pytest.raises(ValueError):
+            generate_uniprot(db, curated_fraction=1.5)
+
+    def test_impact_factors_positive(self):
+        db = generate_reference_database(10, seed=4)
+        assert all(e.impact_factor > 0 for e in generate_uniprot(db, seed=4))
+
+
+class TestPedro:
+    def make_repository(self):
+        repo = PedroRepository("p")
+        repo.add(Sample("s1", PeakList([1000.5, 1200.25]), lab="lab-a"))
+        repo.add(Sample("s2", PeakList([900.0]), lab="lab-b"))
+        return repo
+
+    def test_retrieval_order(self):
+        repo = self.make_repository()
+        assert [s.sample_id for s in repo.samples(["s2", "s1"])] == ["s2", "s1"]
+
+    def test_samples_default_all(self):
+        assert len(self.make_repository().samples()) == 2
+
+    def test_duplicate_rejected(self):
+        repo = self.make_repository()
+        with pytest.raises(ValueError):
+            repo.add(Sample("s1", PeakList([])))
+
+    def test_unknown_sample_raises(self):
+        with pytest.raises(KeyError):
+            self.make_repository().get("ghost")
+
+    def test_xml_roundtrip(self):
+        repo = self.make_repository()
+        restored = PedroRepository.from_xml(repo.to_xml())
+        assert restored.sample_ids() == ["s1", "s2"]
+        assert restored.get("s1").peaks.masses == pytest.approx([1000.5, 1200.25])
+        assert restored.get("s2").lab == "lab-b"

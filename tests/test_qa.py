@@ -1,0 +1,262 @@
+"""Tests for the domain quality assertions and annotators."""
+
+import pytest
+
+from repro.annotation import AnnotationMap
+from repro.proteomics.results import ImprintResultSet
+from repro.qa import (
+    DecisionLeaf,
+    DecisionNode,
+    DecisionTreeQA,
+    EvidenceCodeAnnotator,
+    HRScoreQA,
+    ImprintOutputAnnotator,
+    JournalImpactAnnotator,
+    PIScoreClassifierQA,
+    ThresholdClassifierQA,
+    UniversalPIScoreQA,
+    UniversalPIScore2QA,
+)
+from repro.qa.classifier import mean_and_stddev
+from repro.qa.decision_tree import tree_from_dict
+from repro.rdf import Q, URIRef
+
+ITEMS = [URIRef(f"urn:lsid:test:item:{i}") for i in range(8)]
+
+
+def scored_map(pairs):
+    amap = AnnotationMap()
+    for item, (hr, mc) in zip(ITEMS, pairs):
+        amap.add_item(item)
+        if hr is not None:
+            amap.set_evidence(item, Q.HitRatio, hr)
+        if mc is not None:
+            amap.set_evidence(item, Q.Coverage, mc)
+    return amap
+
+
+class TestScores:
+    def test_universal_pi_score_weighted(self):
+        qa = UniversalPIScoreQA(hr_weight=1.0, mc_weight=0.0)
+        amap = scored_map([(0.8, 0.0)])
+        out = qa.execute(amap)
+        assert out.get_tag(ITEMS[0], "HR MC").plain() == pytest.approx(80.0)
+
+    def test_default_equal_weights(self):
+        qa = UniversalPIScoreQA()
+        out = qa.execute(scored_map([(1.0, 0.0)]))
+        assert out.get_tag(ITEMS[0], "HR MC").plain() == pytest.approx(50.0)
+
+    def test_null_evidence_gives_no_tag(self):
+        qa = UniversalPIScoreQA()
+        out = qa.execute(scored_map([(0.5, None)]))
+        assert out.get_tag(ITEMS[0], "HR MC") is None
+
+    def test_input_map_not_mutated(self):
+        qa = UniversalPIScoreQA()
+        amap = scored_map([(0.5, 0.5)])
+        qa.execute(amap)
+        assert amap.get_tag(ITEMS[0], "HR MC") is None
+
+    def test_score2_includes_peptides(self):
+        qa = UniversalPIScore2QA(peptides_saturation=10)
+        amap = scored_map([(1.0, 1.0)])
+        amap.set_evidence(ITEMS[0], Q.PeptidesCount, 10)
+        out = qa.execute(amap)
+        assert out.get_tag(ITEMS[0], "HR MC").plain() == pytest.approx(100.0)
+
+    def test_score2_saturation(self):
+        qa = UniversalPIScore2QA(peptides_saturation=10)
+        amap = scored_map([(1.0, 1.0)])
+        amap.set_evidence(ITEMS[0], Q.PeptidesCount, 500)
+        out = qa.execute(amap)
+        assert out.get_tag(ITEMS[0], "HR MC").plain() == pytest.approx(100.0)
+
+    def test_score2_missing_peptides_is_null(self):
+        qa = UniversalPIScore2QA()
+        out = qa.execute(scored_map([(1.0, 1.0)]))
+        assert out.get_tag(ITEMS[0], "HR MC") is None
+
+    def test_hr_score(self):
+        qa = HRScoreQA()
+        out = qa.execute(scored_map([(0.37, 0.9)]))
+        assert out.get_tag(ITEMS[0], "HR").plain() == pytest.approx(37.0)
+
+    def test_missing_variable_binding_rejected(self):
+        with pytest.raises(ValueError, match="variable bindings"):
+            UniversalPIScoreQA(variables={"hitRatio": Q.HitRatio})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            UniversalPIScoreQA(hr_weight=0.0, mc_weight=0.0)
+
+    def test_tag_metadata(self):
+        qa = UniversalPIScoreQA()
+        out = qa.execute(scored_map([(0.5, 0.5)]))
+        tag = out.get_tag(ITEMS[0], "HR MC")
+        assert tag.syn_type == Q.score
+
+
+class TestClassifier:
+    def test_mean_and_stddev(self):
+        mean, std = mean_and_stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert mean == pytest.approx(5.0)
+        assert std == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_stddev([])
+
+    def test_single_value_has_zero_stddev(self):
+        assert mean_and_stddev([3.0]) == (3.0, 0.0)
+
+    def test_three_way_classification_paper_thresholds(self):
+        # scores: one clear outlier high, one clear low, cluster mid
+        pairs = [(0.95, 0.95), (0.5, 0.5), (0.52, 0.48), (0.48, 0.52),
+                 (0.5, 0.5), (0.05, 0.05)]
+        qa = PIScoreClassifierQA()
+        out = qa.execute(scored_map(pairs))
+        assert out.get_tag(ITEMS[0], "ScoreClass").plain() == Q.high
+        assert out.get_tag(ITEMS[5], "ScoreClass").plain() == Q.low
+        for item in ITEMS[1:5]:
+            assert out.get_tag(item, "ScoreClass").plain() == Q.mid
+
+    def test_classification_tag_metadata(self):
+        qa = PIScoreClassifierQA()
+        out = qa.execute(scored_map([(0.5, 0.5), (0.9, 0.9), (0.1, 0.1)]))
+        tag = out.get_tag(ITEMS[0], "ScoreClass")
+        assert tag.syn_type == Q["class"]
+        assert tag.sem_type == Q.PIScoreClassification
+
+    def test_null_evidence_unclassified(self):
+        qa = PIScoreClassifierQA()
+        out = qa.execute(scored_map([(0.5, 0.5), (None, 0.5)]))
+        assert out.get_tag(ITEMS[1], "ScoreClass") is None
+
+    def test_all_null_collection(self):
+        qa = PIScoreClassifierQA()
+        out = qa.execute(scored_map([(None, None)]))
+        assert out.get_tag(ITEMS[0], "ScoreClass") is None
+
+    def test_threshold_classifier_bands(self):
+        qa = ThresholdClassifierQA(
+            "bands",
+            "Band",
+            {"hitRatio": Q.HitRatio},
+            lambda v: v.get("hitRatio"),
+            bands=[(0.3, Q.low), (0.7, Q.mid)],
+            top_class=Q.high,
+            scheme=Q.PIScoreClassification,
+        )
+        amap = scored_map([(0.1, None), (0.5, None), (0.9, None)])
+        out = qa.execute(amap)
+        assert out.get_tag(ITEMS[0], "Band").plain() == Q.low
+        assert out.get_tag(ITEMS[1], "Band").plain() == Q.mid
+        assert out.get_tag(ITEMS[2], "Band").plain() == Q.high
+
+    def test_threshold_bands_must_ascend(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifierQA(
+                "bad", "B", {}, lambda v: 0,
+                bands=[(0.7, Q.mid), (0.3, Q.low)],
+                top_class=Q.high, scheme=Q.PIScoreClassification,
+            )
+
+
+class TestDecisionTree:
+    def make_tree(self):
+        return DecisionNode(
+            "hitRatio", ">", 0.5,
+            then_branch=DecisionNode(
+                "coverage", ">", 0.5,
+                then_branch=DecisionLeaf(Q.high),
+                else_branch=DecisionLeaf(Q.mid),
+            ),
+            else_branch=DecisionLeaf(Q.low),
+        )
+
+    def test_paths(self):
+        tree = self.make_tree()
+        assert tree.decide({"hitRatio": 0.9, "coverage": 0.9}) == Q.high
+        assert tree.decide({"hitRatio": 0.9, "coverage": 0.1}) == Q.mid
+        assert tree.decide({"hitRatio": 0.1, "coverage": 0.9}) == Q.low
+
+    def test_missing_takes_else_by_default(self):
+        assert self.make_tree().decide({}) == Q.low
+
+    def test_missing_branch_override(self):
+        tree = DecisionNode(
+            "x", ">", 0, DecisionLeaf("yes"), DecisionLeaf("no"),
+            missing=DecisionLeaf("unknown"),
+        )
+        assert tree.decide({}) == "unknown"
+
+    def test_from_dict(self):
+        tree = tree_from_dict({
+            "variable": "hitRatio", "op": ">=", "threshold": 0.5,
+            "then": {"value": "good"},
+            "else": {"value": "bad"},
+        })
+        assert tree.decide({"hitRatio": 0.5}) == "good"
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"variable": "x", "op": ">"})
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            DecisionNode("x", "~", 0, DecisionLeaf(1), DecisionLeaf(2))
+
+    def test_as_qa(self):
+        qa = DecisionTreeQA(
+            "tree", "Verdict",
+            {"hitRatio": Q.HitRatio, "coverage": Q.Coverage},
+            self.make_tree(),
+        )
+        out = qa.execute(scored_map([(0.9, 0.9), (0.2, 0.2)]))
+        assert out.get_tag(ITEMS[0], "Verdict").plain() == Q.high
+        assert out.get_tag(ITEMS[1], "Verdict").plain() == Q.low
+
+
+class TestAnnotators:
+    def test_imprint_output_annotator(self, result_set):
+        annotator = ImprintOutputAnnotator(result_set)
+        items = result_set.items()[:5]
+        amap = annotator.annotate(
+            items, {Q.HitRatio, Q.Coverage, Q.PeptidesCount, Q.ELDP}
+        )
+        for item in items:
+            hit = result_set.hit(item)
+            assert amap.get_evidence(item, Q.HitRatio) == hit.hit_ratio
+            assert amap.get_evidence(item, Q.Coverage) == hit.mass_coverage
+            assert amap.get_evidence(item, Q.ELDP) == float(hit.eldp)
+
+    def test_restricts_to_requested_types(self, result_set):
+        annotator = ImprintOutputAnnotator(result_set)
+        items = result_set.items()[:2]
+        amap = annotator.annotate(items, {Q.HitRatio})
+        assert amap.get_evidence(items[0], Q.Coverage) is None
+
+    def test_unknown_item_left_null(self, result_set):
+        annotator = ImprintOutputAnnotator(result_set)
+        ghost = URIRef("urn:lsid:imprint.man.ac.uk:hit:ghost.1")
+        amap = annotator.annotate([ghost], {Q.HitRatio})
+        assert ghost in amap
+        assert amap.get_evidence(ghost, Q.HitRatio) is None
+
+    def test_evidence_code_annotator(self, scenario, result_set):
+        annotator = EvidenceCodeAnnotator(result_set, scenario.uniprot)
+        items = result_set.items()[:5]
+        amap = annotator.annotate(items, {Q.EvidenceCode})
+        for item in items:
+            reliability = amap.get_evidence(item, Q.EvidenceCode)
+            assert reliability is not None
+            assert 1 <= reliability <= 5
+
+    def test_journal_impact_annotator(self, scenario, result_set):
+        annotator = JournalImpactAnnotator(result_set, scenario.uniprot)
+        items = result_set.items()[:5]
+        amap = annotator.annotate(items, {Q.JournalImpactFactor})
+        assert all(
+            amap.get_evidence(i, Q.JournalImpactFactor) > 0 for i in items
+        )

@@ -1,0 +1,206 @@
+"""Tests for the decision-model learner (paper future work ii)."""
+
+import random
+
+import pytest
+
+from repro.annotation import AnnotationMap
+from repro.qa.decision_tree import DecisionLeaf, DecisionNode
+from repro.qa.learning import (
+    LabeledExample,
+    entropy,
+    gini_impurity,
+    learn_decision_tree,
+    learn_quality_assertion,
+    majority_label,
+    tree_accuracy,
+    tree_depth,
+)
+from repro.rdf import Q, URIRef
+
+
+def synthetic_examples(n=200, seed=0, noise=0.0):
+    rng = random.Random(seed)
+    examples = []
+    for _ in range(n):
+        hr, mc = rng.random(), rng.random()
+        label = "good" if (hr > 0.4 and mc > 0.3) else "bad"
+        if noise and rng.random() < noise:
+            label = "bad" if label == "good" else "good"
+        examples.append(LabeledExample({"hitRatio": hr, "coverage": mc}, label))
+    return examples
+
+
+class TestImpurity:
+    def test_gini_pure(self):
+        assert gini_impurity(["a", "a", "a"]) == 0.0
+
+    def test_gini_balanced_binary(self):
+        assert gini_impurity(["a", "b"]) == pytest.approx(0.5)
+
+    def test_entropy_pure(self):
+        assert entropy(["a"]) == 0.0
+
+    def test_entropy_balanced_binary(self):
+        assert entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert gini_impurity([]) == 0.0
+        assert entropy([]) == 0.0
+
+
+class TestMajority:
+    def test_majority(self):
+        examples = [LabeledExample({}, l) for l in "aabbb"]
+        assert majority_label(examples) == "b"
+
+    def test_tie_deterministic(self):
+        examples = [LabeledExample({}, l) for l in "ab"]
+        assert majority_label(examples) == "a"
+
+
+class TestLearner:
+    def test_learns_separable_concept(self):
+        examples = synthetic_examples()
+        tree = learn_decision_tree(examples, ["hitRatio", "coverage"])
+        assert tree_accuracy(tree, examples) >= 0.97
+
+    def test_generalises_to_held_out_data(self):
+        train = synthetic_examples(seed=1)
+        test = synthetic_examples(seed=2)
+        tree = learn_decision_tree(train, ["hitRatio", "coverage"])
+        assert tree_accuracy(tree, test) >= 0.9
+
+    def test_depth_limit_respected(self):
+        examples = synthetic_examples()
+        tree = learn_decision_tree(
+            examples, ["hitRatio", "coverage"], max_depth=1
+        )
+        assert tree_depth(tree) <= 1
+
+    def test_depth_zero_is_majority_leaf(self):
+        examples = synthetic_examples()
+        tree = learn_decision_tree(examples, ["hitRatio"], max_depth=0)
+        assert isinstance(tree, DecisionLeaf)
+
+    def test_pure_training_set_gives_leaf(self):
+        examples = [
+            LabeledExample({"x": float(i)}, "only") for i in range(10)
+        ]
+        tree = learn_decision_tree(examples, ["x"])
+        assert isinstance(tree, DecisionLeaf)
+        assert tree.value == "only"
+
+    def test_noise_robustness_via_min_samples(self):
+        examples = synthetic_examples(noise=0.05, seed=3)
+        tree = learn_decision_tree(
+            examples, ["hitRatio", "coverage"], min_samples_leaf=10
+        )
+        clean = synthetic_examples(seed=4)
+        assert tree_accuracy(tree, clean) >= 0.85
+
+    def test_irrelevant_variable_ignored(self):
+        rng = random.Random(5)
+        examples = [
+            LabeledExample(
+                {"signal": v, "junk": rng.random()},
+                "hi" if v > 0.5 else "lo",
+            )
+            for v in (rng.random() for _ in range(200))
+        ]
+        tree = learn_decision_tree(examples, ["signal", "junk"], max_depth=1)
+        assert isinstance(tree, DecisionNode)
+        assert tree.variable == "signal"
+
+    def test_missing_values_tolerated(self):
+        examples = [
+            LabeledExample({"x": 1.0}, "hi"),
+            LabeledExample({"x": 0.9}, "hi"),
+            LabeledExample({"x": 0.8}, "hi"),
+            LabeledExample({}, "lo"),
+            LabeledExample({"x": 0.1}, "lo"),
+            LabeledExample({"x": 0.0}, "lo"),
+            LabeledExample({"x": 0.05}, "lo"),
+            LabeledExample({"x": 0.85}, "hi"),
+        ]
+        tree = learn_decision_tree(examples, ["x"], min_samples_leaf=2)
+        assert tree_accuracy(tree, examples) >= 0.8
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ValueError):
+            learn_decision_tree([], ["x"])
+
+    def test_unknown_impurity_rejected(self):
+        with pytest.raises(ValueError):
+            learn_decision_tree(
+                synthetic_examples(10), ["hitRatio"], impurity="chaos"
+            )
+
+    def test_entropy_criterion_also_works(self):
+        examples = synthetic_examples()
+        tree = learn_decision_tree(
+            examples, ["hitRatio", "coverage"], impurity="entropy"
+        )
+        assert tree_accuracy(tree, examples) >= 0.95
+
+    def test_deterministic(self):
+        examples = synthetic_examples()
+        a = learn_decision_tree(examples, ["hitRatio", "coverage"])
+        b = learn_decision_tree(examples, ["hitRatio", "coverage"])
+        assert a == b
+
+
+class TestLearnedQA:
+    def test_learned_qa_executes_like_any_other(self):
+        examples = synthetic_examples()
+        qa = learn_quality_assertion(
+            "LearnedTriage",
+            "Learned",
+            {"hitRatio": Q.HitRatio, "coverage": Q.Coverage},
+            examples,
+            tag_syn_type=Q["class"],
+        )
+        items = [URIRef(f"urn:lsid:t:i:{i}") for i in range(3)]
+        amap = AnnotationMap(items)
+        amap.set_evidence(items[0], Q.HitRatio, 0.9)
+        amap.set_evidence(items[0], Q.Coverage, 0.9)
+        amap.set_evidence(items[1], Q.HitRatio, 0.05)
+        amap.set_evidence(items[1], Q.Coverage, 0.05)
+        amap.set_evidence(items[2], Q.HitRatio, 0.9)
+        amap.set_evidence(items[2], Q.Coverage, 0.05)
+        out = qa.execute(amap)
+        assert out.get_tag(items[0], "Learned").plain() == "good"
+        assert out.get_tag(items[1], "Learned").plain() == "bad"
+        assert out.get_tag(items[2], "Learned").plain() == "bad"
+
+    def test_learned_from_ground_truth_beats_chance(self, scenario, result_set):
+        """Train on one half of the spots, evaluate on the other half —
+        the ML-derived QA should separate true from false hits."""
+        items = result_set.items()
+        examples = []
+        for item in items:
+            hit = result_set.hit(item)
+            label = (
+                "true"
+                if scenario.is_true_positive(
+                    result_set.run_id(item), hit.accession
+                )
+                else "false"
+            )
+            examples.append(
+                LabeledExample(
+                    {
+                        "hitRatio": hit.hit_ratio,
+                        "coverage": hit.mass_coverage,
+                        "peptidesCount": float(hit.peptides_count),
+                    },
+                    label,
+                )
+            )
+        half = len(examples) // 2
+        tree = learn_decision_tree(
+            examples[:half],
+            ["hitRatio", "coverage", "peptidesCount"],
+            min_samples_leaf=2,
+        )
+        assert tree_accuracy(tree, examples[half:]) >= 0.85

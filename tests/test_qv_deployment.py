@@ -1,0 +1,157 @@
+"""Tests for deployment descriptors and workflow embedding (Sec. 6.2)."""
+
+import pytest
+
+from repro.qv.deployment import (
+    AdapterSpec,
+    ConnectorSpec,
+    DeploymentDescriptor,
+    DeploymentError,
+    embed_quality_workflow,
+    input_sinks,
+    output_source,
+)
+from repro.workflow import (
+    Enactor,
+    Port,
+    PythonProcessor,
+    Workflow,
+)
+
+
+def host_workflow():
+    wf = Workflow("host")
+    wf.add_input("x")
+    wf.add_output("y")
+    wf.add_processor(
+        PythonProcessor("produce", lambda v: [v, v + 1],
+                        input_ports={"v": 1}, output_ports={"out": 1})
+    )
+    wf.add_processor(
+        PythonProcessor("consume", lambda xs: sum(xs),
+                        input_ports={"xs": 1}, output_ports={"total": 0})
+    )
+    wf.connect("", "x", "produce", "v")
+    wf.connect("produce", "out", "consume", "xs")
+    wf.connect("consume", "total", "", "y")
+    return wf
+
+
+def quality_fragment():
+    wf = Workflow("quality")
+    wf.add_input("dataSet")
+    wf.add_output("kept")
+    wf.add_processor(
+        PythonProcessor("keep_even", lambda xs: [x for x in xs if x % 2 == 0],
+                        input_ports={"xs": 1}, output_ports={"kept": 1})
+    )
+    wf.connect("", "dataSet", "keep_even", "xs")
+    wf.connect("keep_even", "kept", "", "kept")
+    return wf
+
+
+class TestHelpers:
+    def test_input_sinks(self):
+        quality = quality_fragment()
+        assert input_sinks(quality, "dataSet") == [Port("keep_even", "xs")]
+
+    def test_output_source(self):
+        quality = quality_fragment()
+        assert output_source(quality, "kept") == Port("keep_even", "kept")
+
+    def test_output_source_unknown(self):
+        with pytest.raises(DeploymentError):
+            output_source(quality_fragment(), "ghost")
+
+
+class TestEmbedding:
+    def make_descriptor(self):
+        descriptor = DeploymentDescriptor("d")
+        descriptor.cut("produce", "out", "consume", "xs")
+        descriptor.connect("produce", "out", "keep_even", "xs")
+        descriptor.connect("keep_even", "kept", "consume", "xs")
+        return descriptor
+
+    def test_embedded_runs_with_quality_in_path(self):
+        embedded = embed_quality_workflow(
+            host_workflow(), quality_fragment(), self.make_descriptor()
+        )
+        # x=4 -> produce [4,5] -> keep evens [4] -> consume 4
+        assert Enactor().run(embedded, {"x": 4}) == {"y": 4}
+
+    def test_host_unmodified(self):
+        host = host_workflow()
+        embed_quality_workflow(host, quality_fragment(), self.make_descriptor())
+        assert Enactor().run(host, {"x": 4}) == {"y": 9}
+
+    def test_cut_of_missing_link_rejected(self):
+        descriptor = DeploymentDescriptor("d")
+        descriptor.cut("produce", "out", "ghost", "xs")
+        with pytest.raises(DeploymentError, match="does not exist"):
+            embed_quality_workflow(
+                host_workflow(), quality_fragment(), descriptor
+            )
+
+    def test_prefix_avoids_collisions(self):
+        host = host_workflow()
+        host.add_processor(
+            PythonProcessor("keep_even", lambda: None, output_ports={"o": 0})
+        )
+        descriptor = self.make_descriptor()
+        descriptor.prefix = "qv_"
+        embedded = embed_quality_workflow(host, quality_fragment(), descriptor)
+        assert "qv_keep_even" in embedded.processors
+        assert Enactor().run(embedded, {"x": 4})["y"] == 4
+
+    def test_collision_without_prefix_rejected(self):
+        host = host_workflow()
+        host.add_processor(
+            PythonProcessor("keep_even", lambda: None, output_ports={"o": 0})
+        )
+        with pytest.raises(Exception, match="collision"):
+            embed_quality_workflow(host, quality_fragment(), self.make_descriptor())
+
+    def test_adapter_in_path(self):
+        descriptor = DeploymentDescriptor("d")
+        descriptor.cut("produce", "out", "consume", "xs")
+        descriptor.add_adapter(
+            PythonProcessor("negate", lambda xs: [-x for x in xs],
+                            input_ports={"xs": 1}, output_ports={"out": 1})
+        )
+        descriptor.connect("produce", "out", "negate", "xs")
+        descriptor.connect("negate", "out", "keep_even", "xs")
+        descriptor.connect("keep_even", "kept", "consume", "xs")
+        embedded = embed_quality_workflow(
+            host_workflow(), quality_fragment(), descriptor
+        )
+        assert Enactor().run(embedded, {"x": 4}) == {"y": -4}
+
+
+class TestDescriptorXML:
+    def test_roundtrip(self):
+        descriptor = DeploymentDescriptor("d")
+        adapter = PythonProcessor("negate", lambda xs: xs,
+                                  input_ports={"xs": 1}, output_ports={"out": 1})
+        descriptor.add_adapter(adapter)
+        descriptor.cut("produce", "out", "consume", "xs")
+        descriptor.connect("produce", "out", "negate", "xs")
+        xml = descriptor.to_xml()
+        restored = DeploymentDescriptor.from_xml(
+            xml, adapter_registry={"negate": adapter}
+        )
+        assert restored.name == "d"
+        assert restored.cut_links == descriptor.cut_links
+        assert restored.connectors == descriptor.connectors
+        assert restored.adapters[0].adapter is adapter
+
+    def test_unregistered_adapter_rejected(self):
+        descriptor = DeploymentDescriptor("d")
+        descriptor.add_adapter(
+            PythonProcessor("a", lambda: None, output_ports={"o": 0})
+        )
+        with pytest.raises(DeploymentError, match="not registered"):
+            DeploymentDescriptor.from_xml(descriptor.to_xml())
+
+    def test_malformed_xml(self):
+        with pytest.raises(DeploymentError):
+            DeploymentDescriptor.from_xml("<broken")

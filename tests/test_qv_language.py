@@ -1,0 +1,202 @@
+"""Tests for the quality-view XML language and validator."""
+
+import pytest
+
+from repro.core.ispider import example_quality_view_xml
+from repro.qv import (
+    QVSyntaxError,
+    parse_quality_view,
+    quality_view_to_xml,
+    validate_quality_view,
+)
+from repro.qv.validator import QVValidationError
+from repro.rdf import Q
+
+MINIMAL = """
+<QualityView name="mini">
+  <QualityAssertion serviceName="HRScore" serviceType="q:HRScore"
+                    tagName="HR" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitRatio" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">
+    <filter><condition>HR &gt; 10</condition></filter>
+  </action>
+</QualityView>
+"""
+
+
+class TestParsing:
+    def test_paper_example_parses(self):
+        spec = parse_quality_view(example_quality_view_xml())
+        assert len(spec.annotators) == 1
+        assert len(spec.assertions) == 3
+        assert len(spec.actions) == 1
+        annotator = spec.annotators[0]
+        assert annotator.service_name == "ImprintOutputAnnotator"
+        assert not annotator.persistent
+        assert annotator.repository_ref == "cache"
+
+    def test_assertion_details(self):
+        spec = parse_quality_view(example_quality_view_xml())
+        hr_mc = spec.assertions[0]
+        assert hr_mc.tag_name == "HR MC"
+        assert hr_mc.tag_syn_type == Q.score
+        assert hr_mc.variable_bindings()["coverage"] == Q.coverage
+
+    def test_classifier_sem_type(self):
+        spec = parse_quality_view(example_quality_view_xml())
+        classifier = spec.assertions[2]
+        assert classifier.tag_sem_type == Q.PIScoreClassification
+
+    def test_case_insensitive_attributes(self):
+        text = MINIMAL.replace("serviceName", "servicename").replace(
+            "tagName", "tagname"
+        )
+        spec = parse_quality_view(text)
+        assert spec.assertions[0].tag_name == "HR"
+
+    def test_filter_condition_preserved(self):
+        spec = parse_quality_view(MINIMAL)
+        assert spec.actions[0].condition == "HR > 10"
+
+    def test_splitter_parsing(self):
+        text = """
+        <QualityView name="s">
+          <QualityAssertion serviceName="HRScore" serviceType="q:HRScore"
+                            tagName="HR">
+            <variables><var variableName="hitRatio" evidence="q:HitRatio"/></variables>
+          </QualityAssertion>
+          <action name="route">
+            <splitter>
+              <group name="good"><condition>HR &gt; 50</condition></group>
+              <group name="ok"><condition>HR &gt; 10</condition></group>
+            </splitter>
+          </action>
+        </QualityView>
+        """
+        spec = parse_quality_view(text)
+        action = spec.actions[0]
+        assert action.kind == "splitter"
+        assert [g.group for g in action.groups] == ["good", "ok"]
+
+    def test_custom_namespace_declaration(self):
+        text = """
+        <QualityView name="ns">
+          <namespace prefix="my" uri="http://my.org/"/>
+          <QualityAssertion serviceName="x" serviceType="my:QA" tagName="T"/>
+        </QualityView>
+        """
+        spec = parse_quality_view(text)
+        assert str(spec.assertions[0].service_type) == "http://my.org/QA"
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ("<Annotator/>", "serviceName"),
+            ("<Unknown/>", "unexpected element"),
+            ("<action name='a'><filter/></action>", "condition"),
+            (
+                "<action name='a'><filter><condition>x > 1</condition></filter>"
+                "<splitter><group name='g'><condition>y = 1</condition></group>"
+                "</splitter></action>",
+                "exactly one",
+            ),
+        ],
+    )
+    def test_syntax_errors(self, mutation, match):
+        text = f"<QualityView name='bad'>{mutation}</QualityView>"
+        with pytest.raises(QVSyntaxError, match=match):
+            parse_quality_view(text)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(QVSyntaxError):
+            parse_quality_view("<View/>")
+
+    def test_unknown_prefix_rejected(self):
+        text = MINIMAL.replace("q:HRScore", "zz:HRScore")
+        with pytest.raises(QVSyntaxError):
+            parse_quality_view(text)
+
+    def test_roundtrip(self):
+        spec = parse_quality_view(example_quality_view_xml())
+        reparsed = parse_quality_view(quality_view_to_xml(spec))
+        assert len(reparsed.assertions) == 3
+        assert reparsed.assertions[0].tag_name == "HR MC"
+        assert (
+            reparsed.actions[0].condition == spec.actions[0].condition
+        )
+
+
+class TestValidation:
+    def test_paper_example_validates(self, iq_model):
+        spec = parse_quality_view(example_quality_view_xml())
+        report = validate_quality_view(spec, iq_model)
+        assert report.ok(), report.errors
+
+    def test_case_canonicalisation_recorded(self, iq_model):
+        spec = parse_quality_view(example_quality_view_xml())
+        report = validate_quality_view(spec, iq_model)
+        assert report.canonicalised[Q.coverage] == Q.Coverage
+        assert report.canonicalised[Q.hitRatio] == Q.HitRatio
+
+    def test_unknown_evidence_type(self, iq_model):
+        text = MINIMAL.replace("q:HitRatio", "q:Bogus")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert not report.ok()
+        assert any("Bogus" in e for e in report.errors)
+
+    def test_wrong_service_type_category(self, iq_model):
+        text = MINIMAL.replace("q:HRScore", "q:HitRatio")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert any("QualityAssertion subclass" in e for e in report.errors)
+
+    def test_condition_referencing_unknown_name(self, iq_model):
+        text = MINIMAL.replace("HR &gt; 10", "Bogus &gt; 10")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert any("unknown names" in e for e in report.errors)
+
+    def test_unknown_repository(self, iq_model):
+        report = validate_quality_view(
+            parse_quality_view(MINIMAL), iq_model, known_repositories={"other"}
+        )
+        assert any("unknown repository" in e for e in report.errors)
+
+    def test_duplicate_tags_rejected(self, iq_model):
+        text = """
+        <QualityView name="dup">
+          <QualityAssertion serviceName="a" serviceType="q:HRScore" tagName="T">
+            <variables><var variableName="hitRatio" evidence="q:HitRatio"/></variables>
+          </QualityAssertion>
+          <QualityAssertion serviceName="b" serviceType="q:HRScore" tagName="T">
+            <variables><var variableName="hitRatio" evidence="q:HitRatio"/></variables>
+          </QualityAssertion>
+        </QualityView>
+        """
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert any("duplicate tag names" in e for e in report.errors)
+
+    def test_evidence_not_produced_warns(self, iq_model):
+        report = validate_quality_view(parse_quality_view(MINIMAL), iq_model)
+        assert report.ok()
+        assert any("not produced by any annotator" in w for w in report.warnings)
+
+    def test_declared_qa_evidence_warning(self, iq_model):
+        # HRScore requires q:HitRatio per the IQ model; binding something
+        # else triggers the advisory.
+        text = MINIMAL.replace('evidence="q:HitRatio"', 'evidence="q:Masses"')
+        text = text.replace("HR &gt; 10", "HR &gt; 10")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert any("does not bind it" in w for w in report.warnings)
+
+    def test_raise_if_failed(self, iq_model):
+        text = MINIMAL.replace("q:HitRatio", "q:Bogus")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        with pytest.raises(QVValidationError):
+            report.raise_if_failed()
+
+    def test_bad_syn_type(self, iq_model):
+        text = MINIMAL.replace("q:score", "q:HitRatio")
+        report = validate_quality_view(parse_quality_view(text), iq_model)
+        assert any("tagSynType" in e for e in report.errors)

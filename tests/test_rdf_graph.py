@@ -1,0 +1,151 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF, Triple, URIRef
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(EX.a, EX.knows, EX.b)
+    g.add(EX.a, EX.knows, EX.c)
+    g.add(EX.b, EX.knows, EX.c)
+    g.add(EX.a, EX.name, Literal("alice"))
+    return g
+
+
+class TestMutation:
+    def test_add_and_len(self, graph):
+        assert len(graph) == 4
+
+    def test_add_is_idempotent(self, graph):
+        graph.add(EX.a, EX.knows, EX.b)
+        assert len(graph) == 4
+
+    def test_add_triple_object(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        assert (EX.a, EX.p, EX.b) in g
+
+    def test_add_rejects_literal_subject(self):
+        with pytest.raises(TypeError):
+            Graph().add(Literal("x"), EX.p, EX.b)
+
+    def test_add_rejects_non_uri_predicate(self):
+        with pytest.raises(TypeError):
+            Graph().add(EX.a, Literal("p"), EX.b)
+
+    def test_remove_pattern(self, graph):
+        removed = graph.remove(EX.a, EX.knows, None)
+        assert removed == 2
+        assert len(graph) == 2
+        assert (EX.a, EX.knows, EX.b) not in graph
+
+    def test_remove_everything(self, graph):
+        assert graph.remove() == 4
+        assert len(graph) == 0
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert not graph
+
+
+class TestPatterns:
+    def test_fully_bound_membership(self, graph):
+        assert (EX.a, EX.knows, EX.b) in graph
+        assert (EX.a, EX.knows, EX.missing) not in graph
+
+    def test_subject_bound(self, graph):
+        assert len(list(graph.triples((EX.a, None, None)))) == 3
+
+    def test_predicate_bound(self, graph):
+        assert len(list(graph.triples((None, EX.knows, None)))) == 3
+
+    def test_object_bound(self, graph):
+        assert len(list(graph.triples((None, None, EX.c)))) == 2
+
+    def test_sp_bound(self, graph):
+        assert len(list(graph.triples((EX.a, EX.knows, None)))) == 2
+
+    def test_po_bound(self, graph):
+        assert list(graph.triples((None, EX.name, Literal("alice")))) == [
+            Triple(EX.a, EX.name, Literal("alice"))
+        ]
+
+    def test_so_bound(self, graph):
+        assert len(list(graph.triples((EX.a, None, EX.b)))) == 1
+
+    def test_all_unbound(self, graph):
+        assert len(list(graph.triples())) == 4
+
+    def test_subjects_deduplicated(self, graph):
+        assert set(graph.subjects(EX.knows)) == {EX.a, EX.b}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(EX.a, EX.knows)) == {EX.b, EX.c}
+
+    def test_predicates(self, graph):
+        assert set(graph.predicates(EX.a)) == {EX.knows, EX.name}
+
+
+class TestValue:
+    def test_value_single_match(self, graph):
+        assert graph.value(EX.a, EX.name, None) == Literal("alice")
+
+    def test_value_default(self, graph):
+        assert graph.value(EX.c, EX.name, None, default=Literal("?")) == Literal("?")
+
+    def test_value_ambiguous_raises(self, graph):
+        with pytest.raises(ValueError):
+            graph.value(EX.a, EX.knows, None)
+
+    def test_value_requires_one_unbound(self, graph):
+        with pytest.raises(ValueError):
+            graph.value(EX.a, None, None)
+
+
+class TestSetOperations:
+    def test_union(self, graph):
+        other = Graph()
+        other.add(EX.x, EX.p, EX.y)
+        combined = graph + other
+        assert len(combined) == 5
+
+    def test_difference(self, graph):
+        other = Graph()
+        other.add(EX.a, EX.knows, EX.b)
+        assert len(graph - other) == 3
+
+    def test_intersection(self, graph):
+        other = Graph()
+        other.add(EX.a, EX.knows, EX.b)
+        other.add(EX.z, EX.p, EX.q)
+        assert len(graph & other) == 1
+
+    def test_equality_is_set_semantics(self, graph):
+        assert graph.copy() == graph
+
+    def test_copy_is_independent(self, graph):
+        copy = graph.copy()
+        copy.add(EX.new, EX.p, EX.o)
+        assert len(graph) == 4
+
+
+class TestIndexConsistency:
+    def test_remove_cleans_all_indices(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.b)
+        g.remove(EX.a, EX.p, EX.b)
+        assert list(g.triples((EX.a, None, None))) == []
+        assert list(g.triples((None, EX.p, None))) == []
+        assert list(g.triples((None, None, EX.b))) == []
+
+    def test_same_value_different_positions(self):
+        g = Graph()
+        g.add(EX.n, EX.n, EX.n)
+        assert len(g) == 1
+        assert len(list(g.triples((EX.n, None, None)))) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for namespaces, prefix management and LSIDs."""
+
+import pytest
+
+from repro.rdf import Namespace, NamespaceManager, Q, RDF, URIRef
+from repro.rdf.lsid import (
+    LSID,
+    LSIDError,
+    accession_of,
+    go_lsid,
+    imprint_hit_lsid,
+    pedro_lsid,
+    uniprot_lsid,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x.org/")
+        assert ns.Thing == URIRef("http://x.org/Thing")
+
+    def test_item_access_for_awkward_names(self):
+        assert Q["contains-evidence"] == URIRef(
+            "http://qurator.org/iq#contains-evidence"
+        )
+
+    def test_contains(self):
+        assert Q.HitRatio in Q
+        assert URIRef("http://elsewhere/x") not in Q
+
+
+class TestNamespaceManager:
+    def test_expand_default_prefixes(self):
+        nsm = NamespaceManager()
+        assert nsm.expand("q:HitRatio") == Q.HitRatio
+        assert nsm.expand("rdf:type") == RDF.type
+
+    def test_expand_unknown_prefix(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("nope:x")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("plainname")
+
+    def test_compact(self):
+        nsm = NamespaceManager()
+        assert nsm.compact(Q.HitRatio) == "q:HitRatio"
+
+    def test_compact_unknown_namespace(self):
+        nsm = NamespaceManager()
+        assert nsm.compact(URIRef("http://unknown/x")) is None
+
+    def test_compact_prefers_longest_namespace(self):
+        nsm = NamespaceManager(defaults=False)
+        nsm.bind("a", "http://x/")
+        nsm.bind("b", "http://x/deep/")
+        assert nsm.compact(URIRef("http://x/deep/Item")) == "b:Item"
+
+    def test_rebind_replaces(self):
+        nsm = NamespaceManager()
+        nsm.bind("q", "http://other/")
+        assert nsm.expand("q:X") == URIRef("http://other/X")
+
+    def test_bind_no_replace_conflict(self):
+        nsm = NamespaceManager()
+        with pytest.raises(ValueError):
+            nsm.bind("q", "http://other/", replace=False)
+
+
+class TestLSID:
+    def test_format_and_parse_roundtrip(self):
+        lsid = LSID("uniprot.org", "uniprot", "P30089")
+        assert str(lsid) == "urn:lsid:uniprot.org:uniprot:P30089"
+        assert LSID.parse(str(lsid)) == lsid
+
+    def test_revision(self):
+        lsid = LSID("a", "b", "c", "2")
+        assert str(lsid).endswith(":c:2")
+        assert LSID.parse(str(lsid)).revision == "2"
+
+    def test_parse_rejects_non_lsid(self):
+        with pytest.raises(LSIDError):
+            LSID.parse("http://not-an-lsid")
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(LSIDError):
+            LSID.parse("urn:lsid:onlytwo:parts")
+
+    def test_component_cannot_contain_colon(self):
+        with pytest.raises(LSIDError):
+            LSID("a:b", "ns", "obj")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(LSIDError):
+            LSID("", "ns", "obj")
+
+    def test_is_lsid(self):
+        assert LSID.is_lsid("urn:lsid:a:b:c")
+        assert not LSID.is_lsid("urn:uuid:whatever")
+
+    def test_uniprot_wrapper(self):
+        uri = uniprot_lsid("P30089")
+        assert str(uri) == "urn:lsid:uniprot.org:uniprot:P30089"
+        assert accession_of(uri) == "P30089"
+
+    def test_imprint_hit_wrapper(self):
+        uri = imprint_hit_lsid("spot-001", 3)
+        assert accession_of(uri) == "spot-001.3"
+
+    def test_go_wrapper_strips_colon(self):
+        uri = go_lsid("GO:0001234")
+        assert accession_of(uri) == "0001234"
+
+    def test_pedro_wrapper(self):
+        assert "pedro" in str(pedro_lsid("s1"))

@@ -1,0 +1,84 @@
+"""Unit tests for N-Triples / Turtle serialisation."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, Literal, Namespace, Q, RDF, URIRef
+from repro.rdf.serializer import (
+    SerializationError,
+    parse_ntriples,
+    to_ntriples,
+    to_turtle,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def sample_graph():
+    g = Graph()
+    g.add(EX.d1, RDF.type, Q.ImprintHitEntry)
+    g.add(EX.d1, Q.value, Literal(0.85))
+    g.add(EX.d1, EX.label, Literal('a "quoted"\nstring'))
+    g.add(EX.d1, EX.tag, Literal("bonjour", lang="fr"))
+    g.add(BNode("b0"), EX.p, EX.d1)
+    return g
+
+
+class TestNTriples:
+    def test_roundtrip(self):
+        g = sample_graph()
+        g2 = Graph().parse(to_ntriples(g))
+        assert g2 == g
+
+    def test_sorted_deterministic(self):
+        g = sample_graph()
+        assert to_ntriples(g) == to_ntriples(g.copy())
+
+    def test_empty_graph(self):
+        assert to_ntriples(Graph()) == ""
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# comment\n\n<http://a> <http://p> <http://b> .\n"
+        triples = list(parse_ntriples(text))
+        assert len(triples) == 1
+
+    def test_parse_typed_literal(self):
+        text = (
+            '<http://a> <http://p> '
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        (triple,) = parse_ntriples(text)
+        assert triple.object.value == 42
+
+    def test_parse_lang_literal(self):
+        text = '<http://a> <http://p> "hi"@en .'
+        (triple,) = parse_ntriples(text)
+        assert triple.object.lang == "en"
+
+    def test_parse_missing_dot_raises(self):
+        with pytest.raises(SerializationError):
+            list(parse_ntriples("<http://a> <http://p> <http://b>"))
+
+    def test_parse_literal_subject_raises(self):
+        with pytest.raises(SerializationError):
+            list(parse_ntriples('"lit" <http://p> <http://b> .'))
+
+    def test_parse_unicode_escape(self):
+        text = '<http://a> <http://p> "caf\\u00e9" .'
+        (triple,) = parse_ntriples(text)
+        assert triple.object.lexical == "café"
+
+
+class TestTurtle:
+    def test_contains_prefixes_and_groups_subject(self):
+        text = to_turtle(sample_graph())
+        assert "@prefix q:" in text
+        assert "q:value 0.85" in text
+        assert text.count("<http://example.org/d1>\n") == 1
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(SerializationError):
+            sample_graph().serialize("rdfxml")
+
+    def test_parse_unknown_format_raises(self):
+        with pytest.raises(SerializationError):
+            Graph().parse("", "rdfxml")

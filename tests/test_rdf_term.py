@@ -1,0 +1,130 @@
+"""Unit tests for RDF terms."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URIRef, Variable
+from repro.rdf.term import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+
+
+class TestURIRef:
+    def test_equality_same_type(self):
+        assert URIRef("http://a") == URIRef("http://a")
+        assert URIRef("http://a") != URIRef("http://b")
+
+    def test_not_equal_to_other_term_types(self):
+        assert URIRef("x") != BNode("x")
+        assert URIRef("x") != Variable("x")
+        assert URIRef("x") != Literal("x")
+
+    def test_n3(self):
+        assert URIRef("http://a#b").n3() == "<http://a#b>"
+
+    def test_fragment(self):
+        assert URIRef("http://a#Frag").fragment() == "Frag"
+        assert URIRef("http://a/path/Leaf").fragment() == "Leaf"
+
+    def test_defrag(self):
+        assert URIRef("http://a#b").defrag() == URIRef("http://a")
+
+    def test_hashable_as_dict_key(self):
+        d = {URIRef("http://a"): 1}
+        assert d[URIRef("http://a")] == 1
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            URIRef(42)
+
+
+class TestBNode:
+    def test_fresh_bnodes_are_distinct(self):
+        assert BNode() != BNode()
+
+    def test_named_bnodes_equal(self):
+        assert BNode("x") == BNode("x")
+
+    def test_n3(self):
+        assert BNode("b1").n3() == "_:b1"
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+        assert Variable("$x") == Variable("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?")
+
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+
+class TestLiteral:
+    def test_infers_integer_datatype(self):
+        lit = Literal(5)
+        assert str(lit.datatype) == XSD_INTEGER
+        assert lit.value == 5
+
+    def test_infers_double_datatype(self):
+        lit = Literal(0.5)
+        assert str(lit.datatype) == XSD_DOUBLE
+        assert lit.value == 0.5
+
+    def test_infers_boolean_datatype(self):
+        lit = Literal(True)
+        assert str(lit.datatype) == XSD_BOOLEAN
+        assert lit.value is True
+        assert lit.lexical == "true"
+
+    def test_plain_string_has_no_datatype(self):
+        lit = Literal("hello")
+        assert lit.datatype is None
+        assert lit.value == "hello"
+
+    def test_typed_from_lexical(self):
+        lit = Literal("42", datatype=XSD_INTEGER)
+        assert lit.value == 42
+
+    def test_numeric_cross_type_equality(self):
+        assert Literal(2) == Literal(2.0)
+        assert hash(Literal(2)) == hash(Literal(2.0))
+
+    def test_language_literal(self):
+        lit = Literal("bonjour", lang="fr")
+        assert lit.lang == "fr"
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_lang_and_datatype_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_INTEGER, lang="en")
+
+    def test_ordering_numeric(self):
+        assert Literal(1) < Literal(2.5)
+        assert Literal(3) >= Literal(3.0)
+
+    def test_ordering_strings(self):
+        assert Literal("a") < Literal("b")
+
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(TypeError):
+            Literal(1) < Literal("a")
+
+    def test_immutable(self):
+        lit = Literal(1)
+        with pytest.raises(AttributeError):
+            lit.value = 2
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_boolean_lexical_parsing(self):
+        assert Literal("true", datatype=XSD_BOOLEAN).value is True
+        assert Literal("0", datatype=XSD_BOOLEAN).value is False
+        with pytest.raises(ValueError):
+            Literal("maybe", datatype=XSD_BOOLEAN)
+
+    def test_is_numeric_excludes_booleans(self):
+        assert Literal(1).is_numeric()
+        assert not Literal(True).is_numeric()
+        assert not Literal("1").is_numeric()

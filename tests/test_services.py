@@ -1,0 +1,182 @@
+"""Tests for the service layer: messages, interfaces, registry, WSDL."""
+
+import pytest
+
+from repro.annotation import AnnotationMap
+from repro.annotation.functions import CallableAnnotationFunction
+from repro.qa import UniversalPIScoreQA
+from repro.rdf import Q, URIRef
+from repro.services import (
+    AnnotationMapMessage,
+    AnnotationService,
+    DataSetMessage,
+    MessageError,
+    QualityAssertionService,
+    ServiceFault,
+    ServiceRegistry,
+    wsdl_for,
+)
+from repro.services.wsdl import parse_wsdl
+
+D1 = URIRef("urn:lsid:test:data:1")
+D2 = URIRef("urn:lsid:test:data:2")
+
+
+class TestDataSetMessage:
+    def test_roundtrip(self):
+        message = DataSetMessage([D1, D2])
+        parsed = DataSetMessage.from_xml(message.to_xml())
+        assert parsed.items == [D1, D2]
+
+    def test_empty(self):
+        assert DataSetMessage.from_xml(DataSetMessage([]).to_xml()).items == []
+
+    def test_malformed_xml(self):
+        with pytest.raises(MessageError):
+            DataSetMessage.from_xml("<not closed")
+
+    def test_wrong_root(self):
+        with pytest.raises(MessageError):
+            DataSetMessage.from_xml("<Other/>")
+
+
+class TestAnnotationMapMessage:
+    def test_roundtrip_evidence_and_tags(self):
+        amap = AnnotationMap([D1, D2])
+        amap.set_evidence(D1, Q.HitRatio, 0.8)
+        amap.set_evidence(D1, Q.PeptidesCount, 7)
+        amap.set_evidence(D2, Q.Masses, 3.5)
+        amap.set_tag(D1, "ScoreClass", Q.high, syn_type=Q["class"],
+                     sem_type=Q.PIScoreClassification)
+        amap.set_tag(D2, "HR MC", 42.0, syn_type=Q.score)
+        parsed = AnnotationMapMessage.from_xml(
+            AnnotationMapMessage(amap).to_xml()
+        ).amap
+        assert parsed == amap
+        # value types survive
+        assert isinstance(parsed.get_evidence(D1, Q.PeptidesCount), int)
+        assert isinstance(parsed.get_tag(D1, "ScoreClass").plain(), URIRef)
+
+    def test_roundtrip_booleans_and_none(self):
+        amap = AnnotationMap([D1])
+        amap.set_evidence(D1, Q.EvidenceCode, True)
+        parsed = AnnotationMapMessage.from_xml(
+            AnnotationMapMessage(amap).to_xml()
+        ).amap
+        assert parsed.get_evidence(D1, Q.EvidenceCode) is True
+
+    def test_items_without_annotations_survive(self):
+        amap = AnnotationMap([D1, D2])
+        parsed = AnnotationMapMessage.from_xml(
+            AnnotationMapMessage(amap).to_xml()
+        ).amap
+        assert parsed.items() == [D1, D2]
+
+
+class TestServices:
+    def test_annotation_service_merges_evidence(self):
+        fn = CallableAnnotationFunction(
+            Q["Imprint-output-annotation"],
+            [Q.HitRatio],
+            lambda item, ctx: {Q.HitRatio: 0.6},
+        )
+        service = AnnotationService("ann", fn.function_class, "ep", fn)
+        result = service.invoke(DataSetMessage([D1]), AnnotationMap())
+        assert result.get_evidence(D1, Q.HitRatio) == 0.6
+
+    def test_qa_service_builds_operator_from_config(self):
+        service = QualityAssertionService(
+            "qa", Q.UniversalPIScore, "ep", UniversalPIScoreQA
+        )
+        amap = AnnotationMap([D1])
+        amap.set_evidence(D1, Q.HitRatio, 1.0)
+        amap.set_evidence(D1, Q.Coverage, 1.0)
+        result = service.invoke(
+            DataSetMessage([D1]),
+            amap,
+            context={"name": "s", "tag_name": "T",
+                     "variables": {"hitRatio": Q.HitRatio, "coverage": Q.Coverage}},
+        )
+        assert result.get_tag(D1, "T").plain() == 100.0
+
+    def test_xml_invocation_path(self):
+        service = QualityAssertionService(
+            "qa", Q.UniversalPIScore, "ep", UniversalPIScoreQA
+        )
+        amap = AnnotationMap([D1])
+        amap.set_evidence(D1, Q.HitRatio, 0.5)
+        amap.set_evidence(D1, Q.Coverage, 0.5)
+        out_xml = service.invoke_xml(
+            DataSetMessage([D1]).to_xml(), AnnotationMapMessage(amap).to_xml()
+        )
+        out = AnnotationMapMessage.from_xml(out_xml).amap
+        assert out.get_tag(D1, "HR MC").plain() == 50.0
+
+    def test_xml_invocation_wraps_errors_as_faults(self):
+        service = QualityAssertionService(
+            "qa", Q.UniversalPIScore, "ep", UniversalPIScoreQA
+        )
+        with pytest.raises(ServiceFault):
+            service.invoke_xml("<bad", "<AnnotationMap/>")
+
+
+class TestRegistry:
+    def make_service(self, name, concept=Q.UniversalPIScore):
+        return QualityAssertionService(name, concept, "", UniversalPIScoreQA)
+
+    def test_deploy_assigns_endpoint(self):
+        registry = ServiceRegistry()
+        endpoint = registry.deploy(self.make_service("svc"))
+        assert endpoint.endswith("/svc")
+        assert registry.by_endpoint(endpoint).name == "svc"
+
+    def test_duplicate_name_rejected(self):
+        registry = ServiceRegistry()
+        registry.deploy(self.make_service("svc"))
+        with pytest.raises(ValueError):
+            registry.deploy(self.make_service("svc"))
+
+    def test_lookup_by_concept(self):
+        registry = ServiceRegistry()
+        registry.deploy(self.make_service("svc"))
+        assert registry.resolve_concept(Q.UniversalPIScore).name == "svc"
+
+    def test_ambiguous_concept_raises(self):
+        registry = ServiceRegistry()
+        registry.deploy(self.make_service("a"))
+        registry.deploy(self.make_service("b"))
+        with pytest.raises(KeyError, match="several services"):
+            registry.resolve_concept(Q.UniversalPIScore)
+
+    def test_unknown_name_raises_with_catalogue(self):
+        registry = ServiceRegistry()
+        with pytest.raises(KeyError):
+            registry.by_name("ghost")
+
+    def test_undeploy(self):
+        registry = ServiceRegistry()
+        registry.deploy(self.make_service("svc"))
+        registry.undeploy("svc")
+        assert "svc" not in registry
+        assert registry.by_concept(Q.UniversalPIScore) == []
+
+
+class TestWSDL:
+    def test_wsdl_roundtrip(self):
+        registry = ServiceRegistry()
+        service = QualityAssertionService(
+            "MyQA", Q.UniversalPIScore2, "", UniversalPIScoreQA
+        )
+        registry.deploy(service)
+        descriptor = parse_wsdl(wsdl_for(service))
+        assert descriptor["name"] == "MyQA"
+        assert descriptor["endpoint"] == service.endpoint
+        assert descriptor["concept"] == str(Q.UniversalPIScore2)
+
+    def test_wsdl_index_covers_all_services(self):
+        registry = ServiceRegistry()
+        registry.deploy(self.make_service("a"))
+        registry.deploy(self.make_service("b"))
+        assert len(registry.wsdl_index()) == 2
+
+    make_service = TestRegistry.make_service

@@ -1,0 +1,277 @@
+"""Tests for the SPARQL engine: parsing, evaluation, modifiers."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, Q, RDF, URIRef, Variable
+from repro.rdf.sparql import SPARQLSyntaxError, evaluate, parse_query
+
+EX = Namespace("http://example.org/")
+
+PREFIXES = """
+PREFIX ex: <http://example.org/>
+PREFIX q: <http://qurator.org/iq#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+"""
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    for i, (hr, label) in enumerate(
+        [(0.9, "high"), (0.5, "mid"), (0.1, "low")], start=1
+    ):
+        d = EX[f"d{i}"]
+        e = EX[f"e{i}"]
+        g.add(d, RDF.type, Q.ImprintHitEntry)
+        g.add(d, Q["contains-evidence"], e)
+        g.add(e, RDF.type, Q.HitRatio)
+        g.add(e, Q.value, Literal(hr))
+        g.add(d, EX.label, Literal(label))
+    g.add(EX.d1, EX.special, Literal(True))
+    return g
+
+
+class TestSelect:
+    def test_basic_bgp(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE { ?d rdf:type q:ImprintHitEntry }
+        """)
+        assert len(res) == 3
+        assert {row[0] for row in res} == {EX.d1, EX.d2, EX.d3}
+
+    def test_join_across_patterns(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d ?v WHERE {
+              ?d q:contains-evidence ?e .
+              ?e q:value ?v .
+            }
+        """)
+        assert len(res) == 3
+
+    def test_filter_numeric(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+              FILTER (?v > 0.4)
+            }
+        """)
+        assert {row[0] for row in res} == {EX.d1, EX.d2}
+
+    def test_filter_boolean_connectives(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+              FILTER (?v > 0.4 && ?v < 0.8)
+            }
+        """)
+        assert {row[0] for row in res} == {EX.d2}
+
+    def test_filter_string_equality(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE { ?d ex:label ?l . FILTER (?l = "mid") }
+        """)
+        assert [row[0] for row in res] == [EX.d2]
+
+    def test_semicolon_and_a_shorthand(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?e WHERE { ?e a q:HitRatio ; q:value ?v . }
+        """)
+        assert len(res) == 3
+
+    def test_order_by_desc(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d ?v WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+            } ORDER BY DESC(?v)
+        """)
+        values = [row[1].value for row in res]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_offset(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d ?v WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+            } ORDER BY ?v LIMIT 1 OFFSET 1
+        """)
+        assert len(res) == 1
+        assert res.rows[0][Variable("v")].value == 0.5
+
+    def test_distinct(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT DISTINCT ?t WHERE { ?x rdf:type ?t }
+        """)
+        assert len(res) == 2
+
+    def test_select_star(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT * WHERE { ?d ex:special ?s }
+        """)
+        assert len(res.variables) == 2
+
+    def test_optional(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d ?s WHERE {
+              ?d rdf:type q:ImprintHitEntry .
+              OPTIONAL { ?d ex:special ?s }
+            }
+        """)
+        bindings = {row[0]: row[1] for row in res}
+        assert bindings[EX.d1] is not None
+        assert bindings[EX.d2] is None
+
+    def test_union(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?x WHERE {
+              { ?x ex:label "high" } UNION { ?x ex:label "low" }
+            }
+        """)
+        assert {row[0] for row in res} == {EX.d1, EX.d3}
+
+    def test_bound_filter(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d rdf:type q:ImprintHitEntry .
+              OPTIONAL { ?d ex:special ?s }
+              FILTER (BOUND(?s))
+            }
+        """)
+        assert [row[0] for row in res] == [EX.d1]
+
+    def test_regex_filter(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE { ?d ex:label ?l . FILTER REGEX(?l, "^h") }
+        """)
+        assert [row[0] for row in res] == [EX.d1]
+
+    def test_arithmetic_in_filter(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+              FILTER (?v * 2 >= 1.0)
+            }
+        """)
+        assert {row[0] for row in res} == {EX.d1, EX.d2}
+
+    def test_type_error_in_filter_is_false(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE { ?d ex:label ?l . FILTER (?l > 5) }
+        """)
+        assert len(res) == 0
+
+
+class TestAskAndConstruct:
+    def test_ask_true(self, graph):
+        assert evaluate(graph, PREFIXES + "ASK { ?d ex:special true }").boolean
+
+    def test_ask_false(self, graph):
+        res = evaluate(graph, PREFIXES + "ASK { ex:d2 ex:special ?x }")
+        assert res.boolean is False
+
+    def test_construct(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            CONSTRUCT { ?d ex:copyOf ?v } WHERE {
+              ?d q:contains-evidence ?e . ?e q:value ?v .
+            }
+        """)
+        assert len(res.graph) == 3
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT WHERE { ?x ?y ?z }",
+            "SELECT ?x { ?x ?y ?z",
+            "FOO ?x WHERE { }",
+            "SELECT ?x WHERE { ?x }",
+            "PREFIX q <http://x> SELECT ?x WHERE { ?x a q:Y }",
+        ],
+    )
+    def test_rejects(self, query):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query(query)
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT ?x WHERE { ?x a zz:Y }")
+
+
+class TestDescribe:
+    def test_describe_constant(self, graph):
+        res = evaluate(graph, "DESCRIBE <http://example.org/d1>")
+        assert res.query_type == "CONSTRUCT"
+        assert (EX.d1, EX.label, Literal("high")) in res.graph
+        # only d1's statements
+        assert (EX.d2, None, None) not in res.graph
+
+    def test_describe_with_pattern(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            DESCRIBE ?d WHERE { ?d ex:special true }
+        """)
+        assert (EX.d1, EX.label, Literal("high")) in res.graph
+        assert (EX.d2, None, None) not in res.graph
+
+    def test_describe_expands_blank_nodes(self):
+        from repro.rdf import BNode
+
+        g = Graph()
+        b = BNode()
+        g.add(EX.x, EX.detail, b)
+        g.add(b, EX.note, Literal("nested"))
+        res = evaluate(g, "DESCRIBE <http://example.org/x>")
+        assert len(res.graph) == 2
+
+    def test_describe_requires_terms(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("DESCRIBE WHERE { ?s ?p ?o }")
+
+
+class TestExists:
+    def test_filter_exists(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d rdf:type q:ImprintHitEntry .
+              FILTER EXISTS { ?d ex:special ?any }
+            }
+        """)
+        assert [row[0] for row in res] == [EX.d1]
+
+    def test_filter_not_exists(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d rdf:type q:ImprintHitEntry .
+              FILTER NOT EXISTS { ?d ex:special ?any }
+            }
+        """)
+        assert {row[0] for row in res} == {EX.d2, EX.d3}
+
+    def test_exists_sees_outer_bindings(self, graph):
+        # the inner pattern is correlated with ?d from the outer scope
+        res = evaluate(graph, PREFIXES + """
+            SELECT ?d WHERE {
+              ?d ex:label ?l .
+              FILTER EXISTS { ?d q:contains-evidence ?e }
+              FILTER (?l = "high")
+            }
+        """)
+        assert [row[0] for row in res] == [EX.d1]
+
+    def test_not_exists_with_constant(self, graph):
+        res = evaluate(graph, PREFIXES + """
+            ASK { FILTER NOT EXISTS { ex:d1 ex:missingProp ?x } }
+        """)
+        assert res.boolean is True
+
+
+class TestUnannotatedItems:
+    def test_store_coverage_check(self):
+        from repro.annotation import AnnotationStore
+        from repro.rdf.lsid import uniprot_lsid
+
+        store = AnnotationStore("coverage")
+        a, b, c = (uniprot_lsid(f"C{i}") for i in range(3))
+        store.annotate(a, Q.HitRatio, 0.5)
+        store.annotate(c, Q.HitRatio, 0.7)
+        store.annotate(b, Q.Coverage, 0.2)  # different type
+        assert store.unannotated_items([a, b, c], Q.HitRatio) == [b]
+        assert store.unannotated_items([a, b, c], Q.Masses) == [a, b, c]

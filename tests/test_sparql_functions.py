@@ -1,0 +1,142 @@
+"""Direct tests of every SPARQL FILTER builtin."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, Literal, Namespace, URIRef
+from repro.rdf.sparql import evaluate
+from repro.rdf.sparql.functions import (
+    SPARQLTypeError,
+    effective_boolean_value,
+)
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(EX.s, EX.name, Literal("Hello World"))
+    g.add(EX.s, EX.tag, Literal("bonjour", lang="fr"))
+    g.add(EX.s, EX.n, Literal(-3))
+    g.add(EX.s, EX.f, Literal(2.5))
+    g.add(EX.s, EX.other, EX.o)
+    g.add(EX.s, EX.anon, BNode("b9"))
+    return g
+
+
+def ask(graph, expression, bindings="?s ex:name ?x . ?s ex:n ?n . ?s ex:f ?f ."):
+    query = f"""
+        PREFIX ex: <http://example.org/>
+        ASK {{ {bindings} FILTER ({expression}) }}
+    """
+    return evaluate(graph, query).boolean
+
+
+class TestStringFunctions:
+    def test_strlen(self, graph):
+        assert ask(graph, "STRLEN(?x) = 11")
+
+    def test_ucase_lcase(self, graph):
+        assert ask(graph, 'UCASE(?x) = "HELLO WORLD"')
+        assert ask(graph, 'LCASE(?x) = "hello world"')
+
+    def test_contains(self, graph):
+        assert ask(graph, 'CONTAINS(?x, "lo Wo")')
+        assert not ask(graph, 'CONTAINS(?x, "xyz")')
+
+    def test_strstarts_strends(self, graph):
+        assert ask(graph, 'STRSTARTS(?x, "Hello")')
+        assert ask(graph, 'STRENDS(?x, "World")')
+        assert not ask(graph, 'STRSTARTS(?x, "World")')
+
+    def test_str_of_uri(self, graph):
+        assert ask(
+            graph,
+            'STR(?o) = "http://example.org/o"',
+            bindings="?s ex:other ?o .",
+        )
+
+    def test_regex_anchors(self, graph):
+        assert ask(graph, 'REGEX(?x, "^Hello")')
+        assert not ask(graph, 'REGEX(?x, "^World")')
+
+
+class TestLanguageAndDatatype:
+    def test_lang(self, graph):
+        assert ask(graph, 'LANG(?t) = "fr"', bindings="?s ex:tag ?t .")
+        assert ask(graph, 'LANG(?x) = ""')
+
+    def test_langmatches(self, graph):
+        assert ask(
+            graph, 'LANGMATCHES(LANG(?t), "FR")', bindings="?s ex:tag ?t ."
+        )
+        assert ask(
+            graph, 'LANGMATCHES(LANG(?t), "*")', bindings="?s ex:tag ?t ."
+        )
+
+    def test_datatype(self, graph):
+        assert ask(
+            graph,
+            "DATATYPE(?n) = <http://www.w3.org/2001/XMLSchema#integer>",
+        )
+        assert ask(
+            graph,
+            "DATATYPE(?x) = <http://www.w3.org/2001/XMLSchema#string>",
+        )
+
+
+class TestNumericFunctions:
+    def test_abs(self, graph):
+        assert ask(graph, "ABS(?n) = 3")
+
+    def test_ceil_floor(self, graph):
+        assert ask(graph, "CEIL(?f) = 3")
+        assert ask(graph, "FLOOR(?f) = 2")
+
+    def test_round_half_up(self, graph):
+        assert ask(graph, "ROUND(?f) = 3")
+
+    def test_numeric_function_on_string_is_type_error(self, graph):
+        # a type error makes the filter false, not an exception
+        assert not ask(graph, "ABS(?x) = 3")
+
+
+class TestTermTests:
+    def test_isiri(self, graph):
+        assert ask(graph, "ISIRI(?o)", bindings="?s ex:other ?o .")
+        assert not ask(graph, "ISIRI(?x)")
+
+    def test_isblank(self, graph):
+        assert ask(graph, "ISBLANK(?b)", bindings="?s ex:anon ?b .")
+        assert not ask(graph, "ISBLANK(?o)", bindings="?s ex:other ?o .")
+
+    def test_isliteral(self, graph):
+        assert ask(graph, "ISLITERAL(?x)")
+        assert not ask(graph, "ISLITERAL(?o)", bindings="?s ex:other ?o .")
+
+    def test_isnumeric(self, graph):
+        assert ask(graph, "ISNUMERIC(?n)")
+        assert not ask(graph, "ISNUMERIC(?x)")
+
+    def test_sameterm(self, graph):
+        assert ask(graph, "SAMETERM(?x, ?x)")
+        assert not ask(graph, "SAMETERM(?x, ?n)")
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literal(self):
+        assert effective_boolean_value(Literal(True)) is True
+        assert effective_boolean_value(Literal(False)) is False
+
+    def test_numeric_literal(self):
+        assert effective_boolean_value(Literal(1))
+        assert not effective_boolean_value(Literal(0))
+        assert not effective_boolean_value(Literal(float("nan")))
+
+    def test_string_literal(self):
+        assert effective_boolean_value(Literal("x"))
+        assert not effective_boolean_value(Literal(""))
+
+    def test_uri_has_no_ebv(self):
+        with pytest.raises(SPARQLTypeError):
+            effective_boolean_value(URIRef("http://x"))

@@ -1,0 +1,218 @@
+"""Tests for structured evidence, assertion provenance, the QV library,
+and the CLI."""
+
+import pytest
+
+from repro.annotation import AnnotationMap, AnnotationStore
+from repro.annotation.structured import (
+    annotate_structured,
+    lookup_assertions,
+    lookup_structured,
+    record_assertions,
+)
+from repro.core.ispider import example_quality_view_xml
+from repro.qv import QualityViewLibrary, LibraryError, parse_quality_view
+from repro.rdf import Q, URIRef
+from repro.rdf.lsid import uniprot_lsid
+
+D1 = uniprot_lsid("P00001")
+
+
+class TestStructuredEvidence:
+    def test_roundtrip(self, iq_model):
+        store = AnnotationStore("s", iq_model=iq_model)
+        annotate_structured(
+            store, D1, Q.EvidenceCode,
+            {"code": "IDA", "curator": "db", "reliability": 5},
+        )
+        description = lookup_structured(store, D1, Q.EvidenceCode)
+        assert description == {"code": "IDA", "curator": "db", "reliability": 5}
+
+    def test_uri_values_preserved(self):
+        store = AnnotationStore("s")
+        annotate_structured(
+            store, D1, Q.EvidenceCode, {"source": Q.UniprotEntry}
+        )
+        description = lookup_structured(store, D1, Q.EvidenceCode)
+        assert description["source"] == Q.UniprotEntry
+
+    def test_missing_returns_none(self):
+        store = AnnotationStore("s")
+        assert lookup_structured(store, D1, Q.EvidenceCode) is None
+
+    def test_empty_description_rejected(self):
+        store = AnnotationStore("s")
+        with pytest.raises(ValueError):
+            annotate_structured(store, D1, Q.EvidenceCode, {})
+
+    def test_type_checked_against_iq_model(self, iq_model):
+        store = AnnotationStore("s", iq_model=iq_model)
+        with pytest.raises(ValueError):
+            annotate_structured(store, D1, Q.NotARealType, {"x": 1})
+
+    def test_coexists_with_plain_evidence(self, iq_model):
+        store = AnnotationStore("s", iq_model=iq_model)
+        store.annotate(D1, Q.HitRatio, 0.9)
+        annotate_structured(store, D1, Q.EvidenceCode, {"code": "TAS"})
+        assert store.lookup(D1, Q.HitRatio) == 0.9
+        assert lookup_structured(store, D1, Q.EvidenceCode)["code"] == "TAS"
+
+
+class TestAssertionProvenance:
+    def make_map(self):
+        amap = AnnotationMap([D1])
+        amap.set_tag(D1, "ScoreClass", Q.high, syn_type=Q["class"],
+                     sem_type=Q.PIScoreClassification)
+        amap.set_tag(D1, "HR MC", 73.25, syn_type=Q.score)
+        return amap
+
+    def test_record_and_lookup(self):
+        store = AnnotationStore("p")
+        written = record_assertions(store, self.make_map())
+        assert written == 2
+        results = lookup_assertions(store, D1)
+        assert ("HR MC", 73.25) in results
+        assert ("ScoreClass", Q.high) in results
+
+    def test_null_tags_skipped(self):
+        store = AnnotationStore("p")
+        amap = AnnotationMap([D1])
+        amap.set_tag(D1, "empty", None)
+        assert record_assertions(store, amap) == 0
+
+    def test_provenance_is_sparql_queryable(self):
+        store = AnnotationStore("p")
+        record_assertions(store, self.make_map())
+        result = store.graph.query("""
+            PREFIX q: <http://qurator.org/iq#>
+            SELECT ?item ?cls WHERE {
+              ?item q:hasAssertionResult ?r .
+              ?r q:assignedClass ?cls .
+            }
+        """)
+        assert list(result) == [(D1, Q.high)]
+
+
+class TestLibrary:
+    def test_publish_and_versions(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml(), author="pm")
+        library.publish_xml(example_quality_view_xml("HR MC > 30"))
+        assert library.versions_of("protein-id-quality") == [1, 2]
+        latest = library.get("protein-id-quality")
+        assert latest.version == 2
+        assert library.get("protein-id-quality", 1).author == "pm"
+
+    def test_unknown_entries_raise(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        with pytest.raises(LibraryError):
+            library.get("ghost")
+        library.publish_xml(example_quality_view_xml())
+        with pytest.raises(LibraryError):
+            library.get("protein-id-quality", 9)
+
+    def test_validation_on_publish(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        bad = example_quality_view_xml().replace("q:hitRatio", "q:Bogus")
+        with pytest.raises(ValueError):
+            library.publish_xml(bad)
+        assert len(library) == 0
+
+    def test_find_by_evidence_case_insensitive(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml())
+        assert library.find_by_evidence(Q.Coverage)
+        assert library.find_by_evidence(Q.coverage)
+        assert not library.find_by_evidence(Q.JournalImpactFactor)
+
+    def test_find_by_assertion_walks_hierarchy(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml())
+        # the view uses UniversalPIScore2, a subclass of UniversalPIScore
+        assert library.find_by_assertion(Q.UniversalPIScore)
+
+    def test_find_by_dimension(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml())
+        assert library.find_by_dimension(Q.Accuracy)
+        assert not library.find_by_dimension(Q.Currency)
+
+    def test_export_import_roundtrip(self, iq_model, tmp_path):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml())
+        paths = library.export_to(str(tmp_path))
+        assert len(paths) == 1
+        other = QualityViewLibrary(iq_model)
+        imported = other.import_from(str(tmp_path), author="peer")
+        assert len(imported) == 1
+        assert imported[0].spec.tag_names() == ["HR MC", "HR", "ScoreClass"]
+        assert imported[0].author == "peer"
+
+
+class TestCLI:
+    def test_validate_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "view.xml"
+        path.write_text(example_quality_view_xml())
+        assert main(["validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_bad_view(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "view.xml"
+        path.write_text(
+            example_quality_view_xml().replace("q:hitRatio", "q:Bogus")
+        )
+        assert main(["validate", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_prints_scufl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "view.xml"
+        path.write_text(example_quality_view_xml())
+        assert main(["compile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "<scufl" in out
+        assert "DataEnrichment" in out
+
+    def test_demo_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--spots", "2", "--proteins", "80",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "GO occurrences" in out
+
+    def test_info(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        assert "Qurator" in capsys.readouterr().out
+
+
+class TestLibraryDiff:
+    def test_version_diff(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml("ScoreClass in q:high"))
+        library.publish_xml(
+            example_quality_view_xml("ScoreClass in q:high, q:mid")
+        )
+        diff = library.diff("protein-id-quality")
+        assert not diff.is_empty()
+        assert "filter top k score" in diff.changed_conditions
+
+    def test_explicit_versions(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        for condition in ("HR MC > 10", "HR MC > 20", "HR MC > 30"):
+            library.publish_xml(example_quality_view_xml(condition))
+        diff = library.diff("protein-id-quality", 1, 3)
+        (change,) = diff.changed_conditions.values()
+        assert change == (["HR MC > 10"], ["HR MC > 30"])
+
+    def test_single_version_diff_is_empty(self, iq_model):
+        library = QualityViewLibrary(iq_model)
+        library.publish_xml(example_quality_view_xml())
+        assert library.diff("protein-id-quality").is_empty()
