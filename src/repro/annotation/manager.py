@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Iterator, List, Optional
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.annotation.store import AnnotationStore
 from repro.ontology.iq_model import IQModel
@@ -27,16 +28,22 @@ class RepositoryManager:
     def __init__(self, iq_model: Optional[IQModel] = None) -> None:
         self.iq_model = iq_model
         self._stores: Dict[str, AnnotationStore] = {}
+        # Guards the name -> store map so concurrent jobs of the
+        # execution runtime can get_or_create repositories safely.
+        self._lock = threading.RLock()
         # Every manager offers the per-execution cache by default.
         self.create(self.CACHE, persistent=False)
 
     def create(self, name: str, persistent: bool = True) -> AnnotationStore:
         """Create a new named repository; error if the name exists."""
-        if name in self._stores:
-            raise ValueError(f"repository {name!r} already exists")
-        store = AnnotationStore(name, iq_model=self.iq_model, persistent=persistent)
-        self._stores[name] = store
-        return store
+        with self._lock:
+            if name in self._stores:
+                raise ValueError(f"repository {name!r} already exists")
+            store = AnnotationStore(
+                name, iq_model=self.iq_model, persistent=persistent
+            )
+            self._stores[name] = store
+            return store
 
     def repository(self, name: str) -> AnnotationStore:
         """The repository by name; KeyError lists known names."""
@@ -50,9 +57,10 @@ class RepositoryManager:
 
     def get_or_create(self, name: str, persistent: bool = True) -> AnnotationStore:
         """The named repository, creating it if missing."""
-        if name in self._stores:
-            return self._stores[name]
-        return self.create(name, persistent=persistent)
+        with self._lock:
+            if name in self._stores:
+                return self._stores[name]
+            return self.create(name, persistent=persistent)
 
     def __contains__(self, name: str) -> bool:
         return name in self._stores
@@ -66,9 +74,23 @@ class RepositoryManager:
 
     def clear_transient(self) -> None:
         """Reset per-execution repositories (end-of-execution hook)."""
-        for store in self._stores.values():
+        with self._lock:
+            stores = list(self._stores.values())
+        for store in stores:
             if not store.persistent:
                 store.clear()
+
+    def lookup_stats(self) -> Tuple[int, int]:
+        """Aggregate (lookups, hits) across every repository.
+
+        The runtime reads deltas of this around each job to surface
+        annotation-cache effectiveness on the job's metrics.
+        """
+        with self._lock:
+            stores = list(self._stores.values())
+        lookups = sum(store.stats.lookups for store in stores)
+        hits = sum(store.stats.hits for store in stores)
+        return lookups, hits
 
     def drop(self, name: str) -> None:
         """Remove a repository (the cache cannot be dropped)."""

@@ -12,6 +12,8 @@ swappable (paper Sec. 5).
 from __future__ import annotations
 
 import itertools
+import threading
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.annotation.map import AnnotationMap
@@ -45,8 +47,33 @@ SELECT ?type ?value WHERE {{
 """
 
 
+@dataclass
+class LookupStats:
+    """Read-side counters of one repository (runtime metrics feed).
+
+    A *hit* is a keyed :meth:`AnnotationStore.lookup` that found a
+    value.  Counters are cumulative per store; the execution runtime
+    reads deltas around each job.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that found a value."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
 class AnnotationStore:
-    """One quality-annotation repository (paper Fig. 5, data layer)."""
+    """One quality-annotation repository (paper Fig. 5, data layer).
+
+    Concurrency: writes are serialized by the underlying graph's index
+    lock, and evidence-node ids come from an atomic counter, so
+    concurrent annotators (the execution runtime's jobs) can fill one
+    shared repository safely.  Keyed reads are safe alongside writes to
+    *other* data items; see ``repro.rdf.graph`` for the full contract.
+    """
 
     def __init__(
         self,
@@ -60,6 +87,8 @@ class AnnotationStore:
         self.graph = Graph(f"annotations:{name}")
         self._instance = next(_instance_counter)
         self._counter = itertools.count()
+        self._stats_lock = threading.Lock()
+        self.stats = LookupStats()
 
     # -- writing -----------------------------------------------------------
 
@@ -128,11 +157,17 @@ class AnnotationStore:
         result = self.graph.query(
             _EVIDENCE_QUERY.format(data=data_item, evidence_type=evidence_type)
         )
+        found: Optional[Any] = None
+        hit = False
         for (value,) in result:
-            if isinstance(value, Literal):
-                return value.value
-            return value
-        return None
+            hit = True
+            found = value.value if isinstance(value, Literal) else value
+            break
+        with self._stats_lock:
+            self.stats.lookups += 1
+            if hit:
+                self.stats.hits += 1
+        return found
 
     def lookup_all(self, data_item: URIRef) -> Dict[URIRef, Any]:
         """Every (evidence type, value) pair known for a data item."""

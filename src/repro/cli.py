@@ -8,6 +8,9 @@ Commands:
   deployed) and print the resulting quality workflow as SCUFL-like XML.
 * ``demo [--spots N] [--seed S]`` — run the paper's Figure-7 experiment
   and print the significance-ratio table.
+* ``batch [--workers W] [--spots N]`` — drive the concurrent execution
+  runtime: one quality-view job per sample through the job queue and
+  worker pool, with per-job and aggregate metrics.
 * ``info`` — one-paragraph description and component inventory.
 """
 
@@ -42,6 +45,33 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=42)
     demo.add_argument("--proteins", type=int, default=400)
     demo.add_argument(
+        "--filter",
+        dest="filter_condition",
+        default="ScoreClass in q:high",
+        help="the action condition applied to identifications",
+    )
+
+    batch = commands.add_parser(
+        "batch", help="run concurrent quality-view jobs through the runtime"
+    )
+    batch.add_argument("--spots", type=int, default=8)
+    batch.add_argument("--proteins", type=int, default=200)
+    batch.add_argument("--seed", type=int, default=42)
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument("--queue-size", type=int, default=32)
+    batch.add_argument(
+        "--policy", choices=("block", "reject"), default="block",
+        help="admission control when the job queue is full",
+    )
+    batch.add_argument(
+        "--parallel-enactment", action="store_true",
+        help="also parallelise processors inside each job (wavefront)",
+    )
+    batch.add_argument(
+        "--latency", type=float, default=0.0, metavar="MS",
+        help="simulated WSDL round-trip per service call, in milliseconds",
+    )
+    batch.add_argument(
         "--filter",
         dest="filter_condition",
         default="ScoreClass in q:high",
@@ -123,6 +153,85 @@ def _cmd_demo(
     return 0
 
 
+def _cmd_batch(args) -> int:
+    import time
+
+    from repro.core.ispider import example_quality_view_xml, setup_framework
+    from repro.proteomics import ProteomicsScenario
+    from repro.proteomics.results import ImprintResultSet
+    from repro.runtime import QueueFullError, RuntimeConfig
+
+    if args.latency < 0:
+        print(f"error: --latency must be >= 0, got {args.latency}",
+              file=sys.stderr)
+        return 2
+    try:
+        config = RuntimeConfig(
+            workers=args.workers,
+            queue_size=args.queue_size,
+            queue_policy=args.policy,
+            parallel_enactment=args.parallel_enactment,
+        ).validated()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = ProteomicsScenario.generate(
+        seed=args.seed, n_proteins=args.proteins, n_spots=args.spots
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    if args.latency > 0:
+        for service in framework.services:
+            service.with_latency(args.latency / 1000.0)
+    view = framework.quality_view(
+        example_quality_view_xml(args.filter_condition)
+    )
+    datasets = [results.items_of_run(run.run_id) for run in runs]
+    print(
+        f"runtime: {config.workers} workers, queue {config.queue_size} "
+        f"({config.queue_policy}), "
+        f"{'parallel' if config.parallel_enactment else 'serial'} enactment"
+    )
+    started = time.perf_counter()
+    with framework.runtime(config) as service:
+        try:
+            batch = service.submit_many(view, datasets)
+        except QueueFullError as exc:
+            print(f"error: {exc} (queue {config.queue_size} cannot admit "
+                  f"{len(datasets)} jobs under --policy reject; raise "
+                  f"--queue-size or use --policy block)", file=sys.stderr)
+            return 1
+        outcomes = batch.results()
+        elapsed = time.perf_counter() - started
+        snap = service.snapshot()
+    print(f"\n{'job':<28} {'items':>5} {'kept':>5} "
+          f"{'queued ms':>9} {'run ms':>7} {'cache':>7}")
+    for handle, outcome in zip(batch, outcomes):
+        metrics = outcome.metrics
+        hit_rate = (
+            metrics.cache_hits / metrics.cache_lookups
+            if metrics.cache_lookups else 0.0
+        )
+        print(f"{handle.name:<28} {len(outcome.items):>5} "
+              f"{len(outcome.surviving()):>5} "
+              f"{1000 * (metrics.queue_wait or 0):>9.2f} "
+              f"{1000 * (metrics.run_seconds or 0):>7.2f} "
+              f"{hit_rate:>6.0%}")
+    print(f"\n{snap.completed}/{snap.submitted} jobs completed, "
+          f"{snap.failed} failed, in {elapsed:.2f}s "
+          f"({snap.completed / elapsed:.1f} jobs/sec); "
+          f"mean queue wait {1000 * snap.mean_queue_wait:.2f} ms")
+    slowest = sorted(
+        snap.processor_seconds.items(), key=lambda kv: -kv[1]
+    )[:5]
+    print("hottest processors: "
+          + ", ".join(f"{name} {seconds * 1000:.1f} ms"
+                      for name, seconds in slowest))
+    return 0
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -147,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(
             args.spots, args.seed, args.proteins, args.filter_condition
         )
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "info":
         return _cmd_info()
     return 2

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Union
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
 
 from repro.annotation.functions import AnnotationFunction, AnnotationFunctionRegistry
 from repro.annotation.manager import RepositoryManager
@@ -22,6 +23,10 @@ from repro.services.registry import ServiceRegistry
 from repro.workflow.enactor import Enactor
 from repro.workflow.scavenger import Scavenger
 
+if TYPE_CHECKING:
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.service import ExecutionService
+
 
 class QuratorFramework:
     """One configured deployment of the quality framework (paper Fig. 5)."""
@@ -35,6 +40,7 @@ class QuratorFramework:
         self.scavenger = Scavenger()
         self.enactor = Enactor()
         self._compiler: Optional[QVCompiler] = None
+        self._compiler_lock = threading.Lock()
 
     # -- repositories -----------------------------------------------------
 
@@ -103,11 +109,12 @@ class QuratorFramework:
     @property
     def compiler(self) -> QVCompiler:
         """The (lazily built) quality-view compiler for this framework."""
-        if self._compiler is None:
-            self._compiler = QVCompiler(
-                self.iq_model, self.services, self.bindings, self.repositories
-            )
-        return self._compiler
+        with self._compiler_lock:
+            if self._compiler is None:
+                self._compiler = QVCompiler(
+                    self.iq_model, self.services, self.bindings, self.repositories
+                )
+            return self._compiler
 
     def quality_view(self, view: Union[str, QualityViewSpec]) -> QualityView:
         """Create a quality view from XML text or a parsed spec."""
@@ -116,6 +123,26 @@ class QuratorFramework:
         except ValueError as exc:
             raise QuratorError(f"cannot parse quality view: {exc}", exc) from exc
         return QualityView(spec, self)
+
+    def runtime(
+        self, config: Optional["RuntimeConfig"] = None, **overrides: Any
+    ) -> "ExecutionService":
+        """A concurrent execution engine over this framework.
+
+        Returns a started :class:`repro.runtime.service.ExecutionService`
+        (job queue + worker pool); keyword overrides adjust the config,
+        e.g. ``framework.runtime(workers=8, queue_policy="reject")``.
+        The caller owns its lifecycle — use it as a context manager or
+        call ``shutdown()``.
+        """
+        from repro.runtime.config import RuntimeConfig
+        from repro.runtime.service import ExecutionService
+
+        if config is None:
+            config = RuntimeConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return ExecutionService(self, config)
 
     def end_execution(self) -> None:
         """Per-execution cleanup: clears transient (cache) repositories."""

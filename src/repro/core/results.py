@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.annotation.map import AnnotationMap
 from repro.rdf import URIRef
@@ -15,13 +15,17 @@ class QualityViewResult:
 
     ``groups`` is keyed by action name, then group name ('accepted' for
     filters, declared names plus 'default' for splitters), holding the
-    routed item lists.
+    routed item lists.  ``metrics`` is filled by the execution runtime
+    (a :class:`repro.runtime.metrics.JobMetrics`) when the run went
+    through a job queue; it stays ``None`` for direct ``view.run``
+    calls.
     """
 
     view_name: str
     items: List[URIRef]
     annotation_map: AnnotationMap
     groups: Dict[str, Dict[str, List[URIRef]]] = field(default_factory=dict)
+    metrics: Optional[Any] = None
 
     def actions(self) -> List[str]:
         """The actions that produced routing groups."""

@@ -5,10 +5,29 @@ any triple pattern with at least one bound position resolves without a
 full scan.  This is the storage layer under the annotation repositories
 (paper Sec. 5); the SPARQL engine in ``repro.rdf.sparql`` evaluates
 queries over it, keeping the store swappable as the paper requires.
+
+Concurrency contract
+--------------------
+
+Index *mutation* (``add``/``remove``/``clear``) is serialized by a
+per-graph re-entrant lock (mirroring the ``_bnode_lock`` that already
+guards blank-node id allocation in ``repro.rdf.term``), so concurrent
+writers — e.g. parallel annotators of the execution runtime filling
+one shared repository — can never corrupt the three indices or the
+size counter.  Pattern reads (``triples``, and everything built on it:
+``__iter__``, ``subjects``/``objects``, SPARQL, serialisation)
+materialise their matches *under the same lock*, so every read is a
+consistent snapshot: a concurrent add is observed entirely or not at
+all, and iteration never races a mutation.  This is what lets the
+execution runtime share one transient repository session across
+concurrent quality-view jobs — one job's data-enrichment reads while
+another job's annotator writes.  Point ``__contains__`` checks on a
+fully bound triple read a single index cell and take no lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
 from repro.rdf.namespace import NamespaceManager
@@ -47,6 +66,9 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        # Serializes index updates; see the module docstring for the
+        # exact guarantees readers get.
+        self._write_lock = threading.RLock()
         self.namespace_manager = NamespaceManager()
 
     # -- mutation ---------------------------------------------------------
@@ -60,11 +82,12 @@ class Graph:
         else:
             raise TypeError("add() takes a Triple or three terms")
         s, p, o = validate_triple(s, p, o)
-        if o not in self._spo.get(s, {}).get(p, ()):
-            _index_add(self._spo, s, p, o)
-            _index_add(self._pos, p, o, s)
-            _index_add(self._osp, o, s, p)
-            self._size += 1
+        with self._write_lock:
+            if o not in self._spo.get(s, {}).get(p, ()):
+                _index_add(self._spo, s, p, o)
+                _index_add(self._pos, p, o, s)
+                _index_add(self._osp, o, s, p)
+                self._size += 1
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, tuple]]) -> "Graph":
@@ -80,25 +103,36 @@ class Graph:
         obj: Optional[Node] = None,
     ) -> int:
         """Remove all triples matching the pattern; returns count removed."""
-        matched = list(self.triples((subject, predicate, obj)))
-        for s, p, o in matched:
-            _index_remove(self._spo, s, p, o)
-            _index_remove(self._pos, p, o, s)
-            _index_remove(self._osp, o, s, p)
-        self._size -= len(matched)
+        with self._write_lock:
+            matched = list(self.triples((subject, predicate, obj)))
+            for s, p, o in matched:
+                _index_remove(self._spo, s, p, o)
+                _index_remove(self._pos, p, o, s)
+                _index_remove(self._osp, o, s, p)
+            self._size -= len(matched)
         return len(matched)
 
     def clear(self) -> None:
         """Remove every triple."""
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
+        with self._write_lock:
+            self._spo.clear()
+            self._pos.clear()
+            self._osp.clear()
+            self._size = 0
 
     # -- query ------------------------------------------------------------
 
     def triples(self, pattern: TriplePattern = (None, None, None)) -> Iterator[Triple]:
-        """Yield triples matching a pattern of bound terms and ``None``."""
+        """Triples matching a pattern of bound terms and ``None``.
+
+        The matches are materialised under the graph lock, so the
+        returned iterator is a consistent snapshot even while other
+        threads mutate the graph (see the module docstring).
+        """
+        with self._write_lock:
+            return iter(list(self._match(pattern)))
+
+    def _match(self, pattern: TriplePattern) -> Iterator[Triple]:
         s, p, o = pattern
         if s is not None:
             by_p = self._spo.get(s)

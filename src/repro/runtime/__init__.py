@@ -1,0 +1,48 @@
+"""The concurrent quality-view execution runtime.
+
+The paper enacts one compiled quality view at a time; this subsystem
+turns that per-call facade into a throughput-oriented service:
+
+* :class:`~repro.runtime.parallel.ParallelEnactor` — wavefront
+  scheduling over the compiled workflow DAG plus parallel implicit
+  iteration, output-identical to the serial enactor;
+* :class:`~repro.runtime.service.ExecutionService` — a bounded job
+  queue drained by a worker pool, with job handles/futures, batched
+  submission, admission control (block/reject backpressure) and
+  graceful draining shutdown;
+* :mod:`~repro.runtime.metrics` — per-job measurements (queue wait,
+  enactment wall time, per-processor timings, annotation-cache hits)
+  and aggregate :class:`~repro.runtime.metrics.RuntimeStats`.
+
+Obtain a configured engine via ``QuratorFramework.runtime()``.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.jobs import (
+    JobBatch,
+    JobCancelledError,
+    JobHandle,
+    JobStatus,
+)
+from repro.runtime.metrics import JobMetrics, RuntimeStats, RuntimeStatsSnapshot
+from repro.runtime.parallel import ParallelEnactor
+from repro.runtime.service import (
+    ExecutionService,
+    QueueFullError,
+    RuntimeClosedError,
+)
+
+__all__ = [
+    "ExecutionService",
+    "JobBatch",
+    "JobCancelledError",
+    "JobHandle",
+    "JobMetrics",
+    "JobStatus",
+    "ParallelEnactor",
+    "QueueFullError",
+    "RuntimeClosedError",
+    "RuntimeConfig",
+    "RuntimeStats",
+    "RuntimeStatsSnapshot",
+]

@@ -1,0 +1,75 @@
+"""Configuration of the concurrent execution runtime."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+#: Admission-control policies for a full job queue.
+POLICY_BLOCK = "block"
+POLICY_REJECT = "reject"
+
+
+def default_workers() -> int:
+    """A sensible worker-pool width for this machine."""
+    return min(8, os.cpu_count() or 4)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunables of one :class:`repro.runtime.service.ExecutionService`.
+
+    ``workers``
+        Threads draining the job queue (each runs whole enactments).
+    ``queue_size``
+        Bound of the job queue; ``0`` means unbounded (no backpressure).
+    ``queue_policy``
+        What a submit against a full queue does: ``"block"`` waits for
+        a slot, ``"reject"`` raises ``QueueFullError`` immediately.
+    ``parallel_enactment``
+        When true, each job is enacted by a wavefront
+        :class:`~repro.runtime.parallel.ParallelEnactor` (independent
+        processors of the compiled DAG fire concurrently); when false
+        jobs use the serial enactor and concurrency comes only from the
+        worker pool.
+    ``enactment_workers``
+        Wavefront width of the per-job parallel enactor.
+    ``iteration_workers``
+        Fan-out width for implicit iteration inside one firing;
+        ``1`` keeps iterations serial.
+    """
+
+    workers: int = 4
+    queue_size: int = 64
+    queue_policy: str = POLICY_BLOCK
+    parallel_enactment: bool = False
+    enactment_workers: int = 4
+    iteration_workers: int = 1
+    name: str = "runtime"
+
+    def validated(self) -> "RuntimeConfig":
+        """Range-check every field; returns self for chaining."""
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_size < 0:
+            raise ValueError(
+                f"queue_size must be >= 0 (0 = unbounded), got {self.queue_size}"
+            )
+        if self.queue_policy not in (POLICY_BLOCK, POLICY_REJECT):
+            raise ValueError(
+                f"unknown queue_policy {self.queue_policy!r}; "
+                f"valid: {POLICY_BLOCK!r}, {POLICY_REJECT!r}"
+            )
+        if self.enactment_workers < 1:
+            raise ValueError(
+                f"enactment_workers must be >= 1, got {self.enactment_workers}"
+            )
+        if self.iteration_workers < 1:
+            raise ValueError(
+                f"iteration_workers must be >= 1, got {self.iteration_workers}"
+            )
+        return self
+
+    def with_overrides(self, **overrides) -> "RuntimeConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **overrides).validated()

@@ -1,0 +1,183 @@
+"""Jobs and the handles callers hold on them."""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.metrics import JobMetrics
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job can change state no further."""
+        return self in (
+            JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED
+        )
+
+
+class JobCancelledError(RuntimeError):
+    """The job was cancelled before it ran."""
+
+
+class JobHandle:
+    """A future over one submitted job.
+
+    Returned by the execution service at submission; callers use it to
+    wait for, inspect, or cancel the job.  ``metrics`` carries the
+    job's measurements once it finishes.
+    """
+
+    def __init__(self, job_id: int, name: str = "") -> None:
+        self.job_id = job_id
+        self.name = name or f"job-{job_id}"
+        self.metrics = JobMetrics(job_id, submitted_at=time.perf_counter())
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._status = JobStatus.QUEUED
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        #: Runtime-installed hook fired when a cancellation wins.
+        self._on_cancel: Optional[Callable[[], None]] = None
+
+    # -- state transitions (runtime-internal) ------------------------------
+
+    def _try_start(self) -> bool:
+        """QUEUED -> RUNNING; False if the job was cancelled meanwhile."""
+        with self._lock:
+            if self._status is not JobStatus.QUEUED:
+                return False
+            self._status = JobStatus.RUNNING
+            self.metrics.started_at = time.perf_counter()
+            return True
+
+    def _finish(self, value: Any) -> None:
+        with self._lock:
+            self._status = JobStatus.SUCCEEDED
+            self._value = value
+            self.metrics.finished_at = time.perf_counter()
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._status = JobStatus.FAILED
+            self._error = error
+            self.metrics.finished_at = time.perf_counter()
+        self._done.set()
+
+    # -- caller API --------------------------------------------------------
+
+    @property
+    def status(self) -> JobStatus:
+        """The job's current lifecycle state."""
+        with self._lock:
+            return self._status
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; returns whether cancellation won."""
+        with self._lock:
+            if self._status is not JobStatus.QUEUED:
+                return False
+            self._status = JobStatus.CANCELLED
+            self._error = JobCancelledError(f"{self.name} was cancelled")
+        self._done.set()
+        if self._on_cancel is not None:
+            self._on_cancel()
+        return True
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until terminal (or timeout); returns done()."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's value; re-raises its error; TimeoutError on wait."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"{self.name} did not finish in {timeout}s")
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The job's error (None on success); TimeoutError on wait."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"{self.name} did not finish in {timeout}s")
+        with self._lock:
+            return self._error
+
+    def __repr__(self) -> str:
+        return f"<JobHandle {self.name!r} ({self.status.value})>"
+
+
+class Job:
+    """A unit of queued work: a thunk plus the handle observing it."""
+
+    def __init__(self, handle: JobHandle, thunk: Callable[[], Any]) -> None:
+        self.handle = handle
+        self.thunk = thunk
+
+
+class JobBatch:
+    """The handles of one batched submission, with collective waits."""
+
+    def __init__(self, handles: Sequence[JobHandle]) -> None:
+        self.handles: List[JobHandle] = list(handles)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self):
+        return iter(self.handles)
+
+    def __getitem__(self, index: int) -> JobHandle:
+        return self.handles[index]
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every job is terminal; False if the wait timed out."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        for handle in self.handles:
+            remaining = (
+                None if deadline is None else deadline - time.perf_counter()
+            )
+            if remaining is not None and remaining <= 0:
+                return False
+            if not handle.wait(remaining):
+                return False
+        return True
+
+    def results(self, timeout: Optional[float] = None) -> List[Any]:
+        """Every job's value in submission order; raises the first error."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        values: List[Any] = []
+        for handle in self.handles:
+            remaining = (
+                None if deadline is None else deadline - time.perf_counter()
+            )
+            values.append(handle.result(remaining))
+        return values
+
+    def failures(self) -> List[JobHandle]:
+        """Finished jobs that failed or were cancelled."""
+        return [
+            h for h in self.handles
+            if h.done() and h.status in (JobStatus.FAILED, JobStatus.CANCELLED)
+        ]
+
+    def __repr__(self) -> str:
+        done = sum(1 for h in self.handles if h.done())
+        return f"<JobBatch {done}/{len(self.handles)} done>"

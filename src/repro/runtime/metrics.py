@@ -1,0 +1,159 @@
+"""Execution metrics: per-job measurements and runtime aggregates."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.workflow.trace import EnactmentTrace
+
+
+@dataclass
+class JobMetrics:
+    """What one job cost, measured by the runtime.
+
+    Times are ``time.perf_counter`` readings; durations in seconds.
+    ``processor_seconds`` aggregates the enactment trace per processor
+    (summed over nested/iterated firings); ``cache_lookups`` /
+    ``cache_hits`` are annotation-repository read deltas observed over
+    the job's execution window (approximate when jobs overlap, since
+    repositories are shared per framework).
+    """
+
+    job_id: int
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    processor_seconds: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+    cache_lookups: int = 0
+    cache_hits: int = 0
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Enactment wall time, or None while running/queued."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def record_trace(self, trace: Optional[EnactmentTrace]) -> None:
+        """Fold an enactment trace into the per-processor timings."""
+        if trace is None:
+            return
+        for event in trace.events:
+            duration = event.duration
+            if duration is None:
+                continue
+            self.processor_seconds[event.processor] = (
+                self.processor_seconds.get(event.processor, 0.0) + duration
+            )
+            self.iterations += event.iterations
+
+
+@dataclass(frozen=True)
+class RuntimeStatsSnapshot:
+    """One immutable reading of a runtime's counters."""
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    cancelled: int
+    in_queue: int
+    running: int
+    total_queue_wait: float
+    total_run_seconds: float
+    uptime: float
+    processor_seconds: Dict[str, float]
+
+    @property
+    def finished(self) -> int:
+        """Jobs that reached a terminal state."""
+        return self.completed + self.failed + self.cancelled
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed-job throughput over the runtime's uptime."""
+        if self.uptime <= 0:
+            return 0.0
+        return self.completed / self.uptime
+
+    @property
+    def mean_queue_wait(self) -> float:
+        """Average seconds a finished job spent queued."""
+        done = self.completed + self.failed
+        return self.total_queue_wait / done if done else 0.0
+
+
+class RuntimeStats:
+    """Thread-safe accumulator behind :class:`RuntimeStatsSnapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_at = time.perf_counter()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.running = 0
+        self.total_queue_wait = 0.0
+        self.total_run_seconds = 0.0
+        self.processor_seconds: Dict[str, float] = {}
+
+    def on_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def on_cancel(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def on_start(self) -> None:
+        with self._lock:
+            self.running += 1
+
+    def on_finish(self, metrics: JobMetrics, failed: bool) -> None:
+        """Fold one finished job's measurements into the aggregates."""
+        with self._lock:
+            self.running -= 1
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+            self.total_queue_wait += metrics.queue_wait or 0.0
+            self.total_run_seconds += metrics.run_seconds or 0.0
+            for processor, seconds in metrics.processor_seconds.items():
+                self.processor_seconds[processor] = (
+                    self.processor_seconds.get(processor, 0.0) + seconds
+                )
+
+    def snapshot(self, in_queue: int = 0) -> RuntimeStatsSnapshot:
+        """A consistent point-in-time reading of every counter."""
+        with self._lock:
+            return RuntimeStatsSnapshot(
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                rejected=self.rejected,
+                cancelled=self.cancelled,
+                in_queue=in_queue,
+                running=self.running,
+                total_queue_wait=self.total_queue_wait,
+                total_run_seconds=self.total_run_seconds,
+                uptime=time.perf_counter() - self._started_at,
+                processor_seconds=dict(self.processor_seconds),
+            )

@@ -1,0 +1,179 @@
+"""Wavefront-parallel workflow enactment.
+
+The serial :class:`repro.workflow.enactor.Enactor` fires processors one
+at a time in topological order.  This module's
+:class:`ParallelEnactor` instead schedules a *wavefront* over the
+data/control-link DAG: every processor whose upstream dependencies have
+completed is submitted to a thread pool, so independent branches of a
+compiled quality view (e.g. the three QAs fed by the single Data
+Enrichment step of Fig. 6) execute concurrently.  Implicit iteration
+can additionally fan out each firing's per-element calls across a
+second pool.
+
+Both enactors share the firing semantics of
+``repro.workflow.enactor`` (:func:`fire_processor` — implicit
+iteration, retry/alternate fault tolerance), so a parallel enactment
+produces exactly the outputs of a serial one; only the interleaving of
+trace events differs.  The differential tests in
+``tests/test_runtime_parallel.py`` pin that equivalence down.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.workflow.enactor import (
+    EnactmentError,
+    EnactmentResult,
+    Enactor,
+    check_inputs,
+    collect_workflow_outputs,
+    fire_processor,
+    gather_port_values,
+)
+from repro.workflow.model import Workflow
+from repro.workflow.trace import EnactmentTrace
+
+
+class ParallelEnactor(Enactor):
+    """Enacts workflows with wavefront (DAG-level) parallelism.
+
+    ``max_workers`` bounds how many processors may fire concurrently;
+    ``iteration_workers`` > 1 additionally parallelises the implicit
+    iteration inside each firing (a dedicated pool per run, so firings
+    cannot deadlock waiting on their own iteration subtasks).
+
+    The instance is re-entrant: concurrent ``run`` calls from different
+    threads each get their own pools, value store, and trace
+    (``last_trace`` is per calling thread, as in the base class).
+    """
+
+    def __init__(
+        self, max_workers: int = 4, iteration_workers: int = 1
+    ) -> None:
+        super().__init__()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if iteration_workers < 1:
+            raise ValueError(
+                f"iteration_workers must be >= 1, got {iteration_workers}"
+            )
+        self.max_workers = max_workers
+        self.iteration_workers = iteration_workers
+
+    def enact(
+        self, workflow: Workflow, inputs: Optional[Mapping[str, Any]] = None
+    ) -> EnactmentResult:
+        """Enact a workflow; returns its outputs *with* the run's trace."""
+        inputs = dict(inputs or {})
+        check_inputs(workflow, inputs)
+        workflow.validate()
+        trace = EnactmentTrace(workflow.name)
+        self.last_trace = trace
+        values: Dict[Tuple[str, str], Any] = {
+            ("", name): value for name, value in inputs.items()
+        }
+        pending: Dict[str, Set[str]] = {
+            name: set(workflow.upstream_of(name)) for name in workflow.processors
+        }
+        dependents: Dict[str, List[str]] = {name: [] for name in pending}
+        for name, deps in pending.items():
+            for dep in deps:
+                dependents[dep].append(name)
+
+        iteration_pool: Optional[ThreadPoolExecutor] = None
+        mapper = None
+        if self.iteration_workers > 1:
+            iteration_pool = ThreadPoolExecutor(
+                max_workers=self.iteration_workers,
+                thread_name_prefix=f"iter-{workflow.name}",
+            )
+
+            def mapper(call, calls):  # noqa: F811 - bound when pool exists
+                return list(iteration_pool.map(call, calls))
+
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix=f"enact-{workflow.name}",
+            ) as pool:
+                self._wavefront(
+                    workflow, pool, mapper, trace, values, pending, dependents
+                )
+        finally:
+            if iteration_pool is not None:
+                iteration_pool.shutdown(wait=True)
+        return EnactmentResult(collect_workflow_outputs(workflow, values), trace)
+
+    def _wavefront(
+        self,
+        workflow: Workflow,
+        pool: ThreadPoolExecutor,
+        mapper: Optional[Callable],
+        trace: EnactmentTrace,
+        values: Dict[Tuple[str, str], Any],
+        pending: Dict[str, Set[str]],
+        dependents: Dict[str, List[str]],
+    ) -> None:
+        """Drive the ready set through the pool until the DAG drains.
+
+        Only this (scheduler) thread touches ``values`` and ``pending``:
+        inputs are gathered before submission, outputs recorded after
+        completion, so worker tasks never share mutable scheduling
+        state.
+        """
+        in_flight: Dict[Future, str] = {}
+        failure: Optional[EnactmentError] = None
+
+        def submit(name: str) -> None:
+            processor = workflow.processors[name]
+            port_values = gather_port_values(workflow, name, values)
+
+            def task() -> Tuple[Dict[str, Any], int]:
+                event = trace.start(name)
+                try:
+                    outputs, iterations = fire_processor(
+                        processor, port_values, mapper
+                    )
+                except Exception as exc:
+                    trace.fail(event, str(exc))
+                    raise EnactmentError(workflow.name, name, exc) from exc
+                trace.complete(event, iterations)
+                return outputs, iterations
+
+            in_flight[pool.submit(task)] = name
+
+        ready = sorted(name for name, deps in pending.items() if not deps)
+        for name in ready:
+            del pending[name]
+            submit(name)
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            newly_ready: List[str] = []
+            for future in done:
+                name = in_flight.pop(future)
+                try:
+                    outputs, _ = future.result()
+                except EnactmentError as exc:
+                    # Remember the first failure; let in-flight siblings
+                    # finish but submit nothing new.
+                    if failure is None:
+                        failure = exc
+                    continue
+                for port, value in outputs.items():
+                    values[(name, port)] = value
+                for dependent in dependents[name]:
+                    deps = pending.get(dependent)
+                    if deps is None:
+                        continue
+                    deps.discard(name)
+                    if not deps:
+                        newly_ready.append(dependent)
+            if failure is None:
+                for name in sorted(newly_ready):
+                    del pending[name]
+                    submit(name)
+        if failure is not None:
+            raise failure

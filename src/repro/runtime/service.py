@@ -1,0 +1,308 @@
+"""The execution service: a job queue drained by a worker pool.
+
+This is the throughput layer over the per-call facade: callers submit
+quality-view executions (or raw workflow enactments) as *jobs* and get
+back :class:`~repro.runtime.jobs.JobHandle` futures.  A bounded queue
+provides admission control with a configurable full-queue policy
+(block until a slot frees, or reject immediately); ``submit_many``
+pushes N datasets through one compiled view, sharing one compilation
+and one annotation-repository session; ``shutdown`` drains gracefully.
+
+Concurrency contract: all jobs of one service share the framework's
+annotation repositories.  Writes are serialized by the RDF store's
+index lock (see ``repro.rdf.graph``), and annotator evidence is keyed
+per data item, so jobs over distinct items compose; per-execution
+cache *clearing* however is batch-scoped — the service clears
+transient repositories at submission time (``clear_cache=True``),
+never while other jobs are in flight mid-batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
+
+from repro.rdf import URIRef
+from repro.runtime.config import POLICY_REJECT, RuntimeConfig
+from repro.runtime.jobs import Job, JobBatch, JobHandle
+from repro.runtime.metrics import RuntimeStats, RuntimeStatsSnapshot
+from repro.runtime.parallel import ParallelEnactor
+from repro.workflow.enactor import Enactor
+from repro.workflow.model import Workflow
+
+if TYPE_CHECKING:
+    from repro.core.framework import QuratorFramework
+    from repro.core.quality_view import QualityView
+
+#: Queue sentinel telling one worker to exit.
+_STOP = object()
+
+
+class QueueFullError(RuntimeError):
+    """Admission refused: the job queue is at capacity."""
+
+
+class RuntimeClosedError(RuntimeError):
+    """The service no longer accepts submissions."""
+
+
+class ExecutionService:
+    """Concurrent quality-view execution over one framework instance.
+
+    Usually obtained via :meth:`QuratorFramework.runtime`; usable as a
+    context manager (drains and shuts down on exit).
+    """
+
+    def __init__(
+        self,
+        framework: "QuratorFramework",
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.framework = framework
+        self.config = (config or RuntimeConfig()).validated()
+        self.stats = RuntimeStats()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_size)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._closed = False
+        self._job_counter = 0
+        if self.config.parallel_enactment:
+            self._enactor: Enactor = ParallelEnactor(
+                max_workers=self.config.enactment_workers,
+                iteration_workers=self.config.iteration_workers,
+            )
+        else:
+            self._enactor = Enactor()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.config.name}-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        view: "QualityView",
+        items: Sequence[URIRef],
+        *,
+        clear_cache: bool = False,
+        name: str = "",
+        timeout: Optional[float] = None,
+    ) -> JobHandle:
+        """Queue one quality-view execution; returns its handle.
+
+        The view is compiled eagerly (compilation errors surface at
+        submission, not on the worker).  ``clear_cache=True`` resets
+        transient repositories *now*, at admission — only safe when no
+        other job is mid-flight against the same framework.
+        """
+        view.compile()
+        if clear_cache:
+            self.framework.repositories.clear_transient()
+        dataset = list(items)
+        handle = self._new_handle(name or f"qv-{view.name}")
+
+        def thunk():
+            result = view.run(dataset, enactor=self._enactor, clear_cache=False)
+            result.metrics = handle.metrics
+            return result, self._enactor.last_trace
+
+        self._enqueue(Job(handle, thunk), timeout)
+        return handle
+
+    def submit_many(
+        self,
+        view: "QualityView",
+        datasets: Sequence[Sequence[URIRef]],
+        *,
+        clear_cache: bool = True,
+        name: str = "",
+        timeout: Optional[float] = None,
+    ) -> JobBatch:
+        """Push N datasets through one view as one batch of jobs.
+
+        The compilation and the annotation-repository session are
+        shared: the view compiles once, transient repositories clear
+        once (before any job starts), and every job enacts the same
+        compiled workflow over its own dataset.
+        """
+        view.compile()
+        if clear_cache:
+            self.framework.repositories.clear_transient()
+        prefix = name or f"qv-{view.name}"
+        handles = [
+            self.submit(
+                view,
+                dataset,
+                clear_cache=False,
+                name=f"{prefix}[{index}]",
+                timeout=timeout,
+            )
+            for index, dataset in enumerate(datasets)
+        ]
+        return JobBatch(handles)
+
+    def submit_workflow(
+        self,
+        workflow: Workflow,
+        inputs: Optional[Mapping[str, Any]] = None,
+        *,
+        name: str = "",
+        timeout: Optional[float] = None,
+    ) -> JobHandle:
+        """Queue a raw workflow enactment; the result is its outputs."""
+        handle = self._new_handle(name or f"wf-{workflow.name}")
+        inputs = dict(inputs or {})
+
+        def thunk():
+            enacted = self._enactor.enact(workflow, inputs)
+            return enacted.outputs, enacted.trace
+
+        self._enqueue(Job(handle, thunk), timeout)
+        return handle
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no job is queued or running; False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout
+            )
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop the service.
+
+        ``drain=True`` completes every accepted job first; otherwise
+        queued jobs are cancelled (running ones still finish).  Either
+        way no new submissions are accepted afterwards.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self.drain(timeout)
+        else:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(job, Job):
+                    job.handle.cancel()
+                    self._job_done()
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=exc_info[0] is None)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the service still accepts submissions."""
+        with self._lock:
+            return self._closed
+
+    def snapshot(self) -> RuntimeStatsSnapshot:
+        """A point-in-time reading of the runtime's counters."""
+        with self._lock:
+            in_queue = self._outstanding - self.stats.running
+        return self.stats.snapshot(in_queue=max(0, in_queue))
+
+    # -- internals ---------------------------------------------------------
+
+    def _new_handle(self, name: str) -> JobHandle:
+        with self._lock:
+            self._job_counter += 1
+            job_id = self._job_counter
+        handle = JobHandle(job_id, name=f"{name}#{job_id}")
+        handle._on_cancel = self.stats.on_cancel
+        return handle
+
+    def _enqueue(self, job: Job, timeout: Optional[float]) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeClosedError(
+                    f"runtime {self.config.name!r} is shut down"
+                )
+            self._outstanding += 1
+        try:
+            if self.config.queue_policy == POLICY_REJECT:
+                try:
+                    self._queue.put_nowait(job)
+                except queue.Full:
+                    raise QueueFullError(
+                        f"job queue is full ({self.config.queue_size}); "
+                        f"retry later or use queue_policy='block'"
+                    ) from None
+            else:
+                try:
+                    self._queue.put(job, timeout=timeout)
+                except queue.Full:
+                    raise QueueFullError(
+                        f"job queue stayed full for {timeout}s"
+                    ) from None
+        except QueueFullError:
+            self._job_done()
+            self.stats.on_reject()
+            raise
+        self.stats.on_submit()
+
+    def _job_done(self) -> None:
+        with self._idle:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._idle.notify_all()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(item)
+            finally:
+                self._job_done()
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        handle = job.handle
+        if not handle._try_start():
+            return  # cancelled while queued
+        self.stats.on_start()
+        lookups_before, hits_before = self.framework.repositories.lookup_stats()
+        # Reset the worker thread's trace slot so a failure before this
+        # job's trace exists cannot fold a previous job's timings in.
+        self._enactor.last_trace = None
+        failed = False
+        try:
+            value, trace = job.thunk()
+        except BaseException as exc:  # noqa: BLE001 - job fault boundary
+            failed = True
+            handle.metrics.record_trace(self._enactor.last_trace)
+            handle._fail(exc)
+        else:
+            handle.metrics.record_trace(trace)
+            handle._finish(value)
+        lookups_after, hits_after = self.framework.repositories.lookup_stats()
+        handle.metrics.cache_lookups = lookups_after - lookups_before
+        handle.metrics.cache_hits = hits_after - hits_before
+        self.stats.on_finish(handle.metrics, failed=failed)

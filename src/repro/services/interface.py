@@ -10,6 +10,7 @@ native fast path the workflow enactor uses.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Any, Callable, Mapping, Optional
 
 from repro.annotation.map import AnnotationMap
@@ -27,13 +28,33 @@ class ServiceFault(RuntimeError):
 
 
 class Service(abc.ABC):
-    """A deployed Qurator service: an endpoint plus the common interface."""
+    """A deployed Qurator service: an endpoint plus the common interface.
+
+    The paper's services are WSDL web services; ``latency`` models the
+    network round trip of one invocation (seconds slept before
+    processing, 0 by default).  Throughput experiments use it to study
+    the concurrent runtime under realistic remote-call conditions.
+    """
 
     def __init__(self, name: str, concept: URIRef, endpoint: str) -> None:
         self.name = name
         #: The IQ-model class this service implements.
         self.concept = concept
         self.endpoint = endpoint
+        #: Simulated WSDL round-trip time per invocation, in seconds.
+        self.latency: float = 0.0
+
+    def with_latency(self, seconds: float) -> "Service":
+        """Set the simulated round-trip time; returns self for chaining."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.latency = seconds
+        return self
+
+    def _round_trip(self) -> None:
+        """Pay one invocation's simulated network cost."""
+        if self.latency > 0:
+            time.sleep(self.latency)
 
     @abc.abstractmethod
     def invoke(
@@ -88,6 +109,7 @@ class QualityAssertionService(Service):
     ) -> AnnotationMap:
         """Process a data set + annotation map into a new map."""
 
+        self._round_trip()
         config = dict(context or {})
         operator = self.build_operator(**config)
         restricted = amap.subset(dataset.items) if dataset.items else amap
@@ -122,6 +144,7 @@ class AnnotationService(Service):
     ) -> AnnotationMap:
         """Process a data set + annotation map into a new map."""
 
+        self._round_trip()
         computed = self.function.annotate(
             list(dataset.items), set(self.function.provides), context
         )

@@ -5,15 +5,28 @@ links and honouring control links, as in Taverna's enactment service.
 Implicit iteration: when a depth-0 input port receives a list, the
 processor fires once per element (cross product over all iterated
 ports, Taverna's default strategy) and each output becomes a list.
+
+The firing semantics (implicit iteration, retry/alternate fault
+tolerance) live in the module-level :func:`fire_processor` /
+:func:`fire_once` functions so that every enactment strategy — the
+serial :class:`Enactor` here and the wavefront
+:class:`repro.runtime.parallel.ParallelEnactor` — shares one
+implementation and therefore one behaviour.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.workflow.model import Workflow, WorkflowError
 from repro.workflow.trace import EnactmentTrace
+
+#: A mapper applying one firing callable over per-iteration inputs,
+#: preserving order.  ``None`` means a plain serial loop.
+IterationMapper = Callable[[Callable[[Dict[str, Any]], Dict[str, Any]], List[Dict[str, Any]]], List[Dict[str, Any]]]
 
 
 class EnactmentError(RuntimeError):
@@ -28,23 +41,200 @@ class EnactmentError(RuntimeError):
         self.cause = cause
 
 
+@dataclass
+class EnactmentResult:
+    """One enactment's outputs together with its own trace.
+
+    Unlike ``Enactor.last_trace`` (kept for backward compatibility),
+    the trace here belongs unambiguously to this run, so concurrent
+    callers can never observe another enactment's record.
+    """
+
+    outputs: Dict[str, Any]
+    trace: EnactmentTrace
+
+
+# -- shared firing semantics -------------------------------------------------
+
+
+def fire_once(processor, inputs: Dict[str, Any]) -> Dict[str, Any]:
+    """One processor invocation with Taverna-style fault tolerance.
+
+    A processor may declare ``retries`` (re-invocations after a
+    failure) and an ``alternate`` processor tried when every retry
+    is exhausted — mirroring Taverna's retry/alternate-processor
+    configuration.
+    """
+    retries = getattr(processor, "retries", 0)
+    attempts = retries + 1
+    last_error: Optional[Exception] = None
+    for _ in range(attempts):
+        try:
+            return processor.fire(inputs)
+        except Exception as exc:  # noqa: BLE001 - fault boundary
+            last_error = exc
+    alternate = getattr(processor, "alternate", None)
+    if alternate is not None:
+        return fire_once(alternate, inputs)
+    assert last_error is not None
+    raise last_error
+
+
+def iteration_inputs(
+    processor, port_values: Mapping[str, Any]
+) -> Optional[List[Dict[str, Any]]]:
+    """The per-iteration input dicts of one firing, or ``None``.
+
+    ``None`` means no implicit iteration applies (no depth-0 port
+    received a list) and the processor fires exactly once.  Otherwise
+    the list holds one complete input dict per iteration, in the order
+    mandated by the processor's iteration strategy: 'cross' (Taverna's
+    default, the cartesian product) or 'dot' (element-wise zip of
+    equal-length lists).
+    """
+    iterated = sorted(
+        port
+        for port, value in port_values.items()
+        if processor.input_ports.get(port, 1) == 0 and isinstance(value, list)
+    )
+    if not iterated:
+        return None
+    strategy = getattr(processor, "iteration_strategy", "cross")
+    axes = [port_values[port] for port in iterated]
+    if strategy == "dot":
+        lengths = {len(axis) for axis in axes}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"processor {processor.name!r} uses the dot iteration "
+                f"strategy but its iterated inputs have differing "
+                f"lengths {sorted(len(a) for a in axes)}"
+            )
+        combinations = list(zip(*axes))
+    elif strategy == "cross":
+        combinations = list(itertools.product(*axes))
+    else:
+        raise ValueError(
+            f"processor {processor.name!r} has unknown iteration "
+            f"strategy {strategy!r}; valid: 'cross', 'dot'"
+        )
+    calls: List[Dict[str, Any]] = []
+    for combination in combinations:
+        call_inputs = dict(port_values)
+        for port, value in zip(iterated, combination):
+            call_inputs[port] = value
+        calls.append(call_inputs)
+    return calls
+
+
+def fire_processor(
+    processor,
+    port_values: Dict[str, Any],
+    mapper: Optional[IterationMapper] = None,
+) -> Tuple[Dict[str, Any], int]:
+    """Fire a processor over its gathered inputs; returns (outputs, n).
+
+    ``mapper`` lets a caller parallelise the implicit-iteration fan-out
+    (it must preserve input order); by default iterations run serially.
+    """
+    calls = iteration_inputs(processor, port_values)
+    if calls is None:
+        return fire_once(processor, dict(port_values)), 1
+
+    def call(inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return fire_once(processor, inputs)
+
+    if mapper is None or len(calls) <= 1:
+        results = [call(inputs) for inputs in calls]
+    else:
+        results = mapper(call, calls)
+    collected: Dict[str, List[Any]] = {
+        port: [] for port in processor.output_ports
+    }
+    for outputs in results:
+        for port in processor.output_ports:
+            collected[port].append(outputs.get(port))
+    return dict(collected), len(calls)
+
+
+def gather_port_values(
+    workflow: Workflow,
+    processor: str,
+    values: Mapping[Tuple[str, str], Any],
+) -> Dict[str, Any]:
+    """Collect one processor's input-port values from produced values."""
+    port_values: Dict[str, Any] = {}
+    for link in workflow.incoming_links(processor):
+        key = (link.source.processor, link.source.port)
+        if key not in values:
+            raise WorkflowError(
+                f"data link {link.source} -> {link.sink} reads a value "
+                f"that was never produced"
+            )
+        port_values[link.sink.port] = values[key]
+    return port_values
+
+
+def collect_workflow_outputs(
+    workflow: Workflow, values: Mapping[Tuple[str, str], Any]
+) -> Dict[str, Any]:
+    """Resolve the workflow-level outputs from the produced values."""
+    results: Dict[str, Any] = {}
+    for out_name in workflow.outputs:
+        for link in workflow.data_links:
+            if not link.sink.processor and link.sink.port == out_name:
+                key = (link.source.processor, link.source.port)
+                if key not in values:
+                    raise WorkflowError(
+                        f"workflow output {out_name!r} reads a value "
+                        f"that was never produced"
+                    )
+                results[out_name] = values[key]
+    return results
+
+
+def check_inputs(workflow: Workflow, inputs: Mapping[str, Any]) -> None:
+    """Reject enactments missing declared workflow inputs."""
+    missing = [name for name in workflow.inputs if name not in inputs]
+    if missing:
+        raise WorkflowError(
+            f"workflow {workflow.name!r} is missing inputs {missing}"
+        )
+
+
 class Enactor:
-    """Runs workflows; keeps the trace of its last enactment."""
+    """Runs workflows; keeps the trace of its last enactment.
+
+    ``last_trace`` is stored per *calling thread*: a thread always sees
+    the trace of its own most recent run and can never observe another
+    thread's enactment (the original single-attribute behaviour made
+    concurrent callers race).  :meth:`enact` additionally returns the
+    trace attached to the run's own result.
+    """
 
     def __init__(self) -> None:
-        self.last_trace: Optional[EnactmentTrace] = None
+        self._local = threading.local()
+
+    @property
+    def last_trace(self) -> Optional[EnactmentTrace]:
+        """The calling thread's most recent enactment trace."""
+        return getattr(self._local, "trace", None)
+
+    @last_trace.setter
+    def last_trace(self, trace: Optional[EnactmentTrace]) -> None:
+        self._local.trace = trace
 
     def run(
         self, workflow: Workflow, inputs: Optional[Mapping[str, Any]] = None
     ) -> Dict[str, Any]:
         """Enact a workflow over the given inputs; returns its outputs."""
+        return self.enact(workflow, inputs).outputs
 
+    def enact(
+        self, workflow: Workflow, inputs: Optional[Mapping[str, Any]] = None
+    ) -> EnactmentResult:
+        """Enact a workflow; returns its outputs *with* the run's trace."""
         inputs = dict(inputs or {})
-        missing = [name for name in workflow.inputs if name not in inputs]
-        if missing:
-            raise WorkflowError(
-                f"workflow {workflow.name!r} is missing inputs {missing}"
-            )
+        check_inputs(workflow, inputs)
         workflow.validate()
         trace = EnactmentTrace(workflow.name)
         self.last_trace = trace
@@ -55,15 +245,7 @@ class Enactor:
         }
         for name in workflow.topological_order():
             processor = workflow.processors[name]
-            port_values: Dict[str, Any] = {}
-            for link in workflow.incoming_links(name):
-                key = (link.source.processor, link.source.port)
-                if key not in values:
-                    raise WorkflowError(
-                        f"data link {link.source} -> {link.sink} reads a value "
-                        f"that was never produced"
-                    )
-                port_values[link.sink.port] = values[key]
+            port_values = gather_port_values(workflow, name, values)
             event = trace.start(name)
             try:
                 outputs, iterations = self._fire(processor, port_values)
@@ -73,83 +255,12 @@ class Enactor:
             trace.complete(event, iterations)
             for port, value in outputs.items():
                 values[(name, port)] = value
-        results: Dict[str, Any] = {}
-        for out_name in workflow.outputs:
-            for link in workflow.data_links:
-                if not link.sink.processor and link.sink.port == out_name:
-                    key = (link.source.processor, link.source.port)
-                    if key not in values:
-                        raise WorkflowError(
-                            f"workflow output {out_name!r} reads a value "
-                            f"that was never produced"
-                        )
-                    results[out_name] = values[key]
-        return results
+        return EnactmentResult(collect_workflow_outputs(workflow, values), trace)
 
     def _fire(
         self, processor, port_values: Dict[str, Any]
     ) -> Tuple[Dict[str, Any], int]:
-        iterated = sorted(
-            port
-            for port, value in port_values.items()
-            if processor.input_ports.get(port, 1) == 0 and isinstance(value, list)
-        )
-        if not iterated:
-            return self._fire_once(processor, dict(port_values)), 1
-        # Implicit iteration over list-valued scalar ports, combined by
-        # the processor's iteration strategy: 'cross' (Taverna's
-        # default, the cartesian product) or 'dot' (element-wise zip of
-        # equal-length lists).
-        strategy = getattr(processor, "iteration_strategy", "cross")
-        axes = [port_values[port] for port in iterated]
-        if strategy == "dot":
-            lengths = {len(axis) for axis in axes}
-            if len(lengths) > 1:
-                raise ValueError(
-                    f"processor {processor.name!r} uses the dot iteration "
-                    f"strategy but its iterated inputs have differing "
-                    f"lengths {sorted(len(a) for a in axes)}"
-                )
-            combinations = list(zip(*axes))
-        elif strategy == "cross":
-            combinations = list(itertools.product(*axes))
-        else:
-            raise ValueError(
-                f"processor {processor.name!r} has unknown iteration "
-                f"strategy {strategy!r}; valid: 'cross', 'dot'"
-            )
-        collected: Dict[str, List[Any]] = {
-            port: [] for port in processor.output_ports
-        }
-        count = 0
-        for combination in combinations:
-            call_inputs = dict(port_values)
-            for port, value in zip(iterated, combination):
-                call_inputs[port] = value
-            outputs = self._fire_once(processor, call_inputs)
-            count += 1
-            for port in processor.output_ports:
-                collected[port].append(outputs.get(port))
-        return dict(collected), count
+        return fire_processor(processor, port_values)
 
     def _fire_once(self, processor, inputs: Dict[str, Any]) -> Dict[str, Any]:
-        """One processor invocation with Taverna-style fault tolerance.
-
-        A processor may declare ``retries`` (re-invocations after a
-        failure) and an ``alternate`` processor tried when every retry
-        is exhausted — mirroring Taverna's retry/alternate-processor
-        configuration.
-        """
-        retries = getattr(processor, "retries", 0)
-        attempts = retries + 1
-        last_error: Optional[Exception] = None
-        for _ in range(attempts):
-            try:
-                return processor.fire(inputs)
-            except Exception as exc:  # noqa: BLE001 - fault boundary
-                last_error = exc
-        alternate = getattr(processor, "alternate", None)
-        if alternate is not None:
-            return self._fire_once(alternate, inputs)
-        assert last_error is not None
-        raise last_error
+        return fire_once(processor, inputs)

@@ -1,0 +1,297 @@
+"""The execution service: queueing, backpressure, metrics, stress."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.ispider import example_quality_view_xml, setup_framework
+from repro.rdf import Graph, Q, RDF, URIRef
+from repro.runtime import (
+    JobCancelledError,
+    JobStatus,
+    QueueFullError,
+    RuntimeClosedError,
+    RuntimeConfig,
+)
+from repro.workflow.enactor import Enactor
+from repro.workflow.model import Port, Workflow
+from repro.workflow.processors import PythonProcessor
+
+
+@pytest.fixture(scope="module")
+def qv_world(scenario, result_set):
+    framework, holder = setup_framework(scenario)
+    holder.set(result_set)
+    view = framework.quality_view(example_quality_view_xml())
+    view.compile()
+    return framework, view, result_set
+
+
+def _blocking_workflow(gate: threading.Event, started: threading.Event) -> Workflow:
+    """A one-processor workflow that parks on ``gate`` when fired."""
+    workflow = Workflow("blocker")
+    workflow.add_input("x")
+    workflow.add_output("y")
+
+    def hold(x):
+        started.set()
+        assert gate.wait(10), "test gate never opened"
+        return x
+
+    workflow.add_processor(
+        PythonProcessor(
+            "hold", hold, input_ports={"x": 0}, output_ports={"out": 0}
+        )
+    )
+    workflow.connect("", "x", "hold", "x")
+    workflow.link(Port("hold", "out"), Port("", "y"))
+    return workflow
+
+
+class TestSubmission:
+    def test_submit_matches_direct_run(self, qv_world):
+        framework, view, results = qv_world
+        items = results.items()
+        framework.repositories.clear_transient()
+        direct = view.run(items, enactor=Enactor(), clear_cache=False)
+        with framework.runtime(workers=2) as service:
+            handle = service.submit(view, items, clear_cache=True)
+            outcome = handle.result(timeout=30)
+        assert outcome.groups == direct.groups
+        assert outcome.annotation_map == direct.annotation_map
+        assert handle.status is JobStatus.SUCCEEDED
+
+    def test_submit_many_shares_compilation(self, qv_world):
+        framework, view, results = qv_world
+        items = results.items()
+        compiled_before = view.compile()
+        with framework.runtime(workers=4) as service:
+            batch = service.submit_many(
+                view, [items[: len(items) // 2], items[len(items) // 2:]]
+            )
+            outcomes = batch.results(timeout=30)
+        assert view.compile() is compiled_before
+        assert len(outcomes) == 2
+        # the two half-datasets partition the full item set
+        assert sum(len(o.items) for o in outcomes) == len(items)
+
+    def test_job_failure_surfaces_on_handle(self, qv_world):
+        framework, _, __ = qv_world
+        workflow = Workflow("fails")
+        workflow.add_input("x")
+        workflow.add_output("y")
+
+        def boom(x):
+            raise ValueError("job deliberately failed")
+
+        workflow.add_processor(
+            PythonProcessor(
+                "bad", boom, input_ports={"x": 0}, output_ports={"out": 0}
+            )
+        )
+        workflow.connect("", "x", "bad", "x")
+        workflow.link(Port("bad", "out"), Port("", "y"))
+        with framework.runtime(workers=1) as service:
+            handle = service.submit_workflow(workflow, {"x": 1})
+            assert handle.wait(10)
+            assert handle.status is JobStatus.FAILED
+            with pytest.raises(Exception, match="job deliberately failed"):
+                handle.result()
+            snap = service.snapshot()
+        assert snap.failed == 1
+        assert snap.completed == 0
+
+    def test_metrics_populated(self, qv_world):
+        framework, view, results = qv_world
+        items = results.items()
+        with framework.runtime(workers=1) as service:
+            handle = service.submit(view, items, clear_cache=True)
+            outcome = handle.result(timeout=30)
+        metrics = handle.metrics
+        assert outcome.metrics is metrics
+        assert metrics.queue_wait is not None and metrics.queue_wait >= 0
+        assert metrics.run_seconds is not None and metrics.run_seconds > 0
+        # the Fig. 6 pipeline fired: annotator, DE, 3 QAs, consolidate, action
+        assert "DataEnrichment" in metrics.processor_seconds
+        assert len(metrics.processor_seconds) == 7
+        assert metrics.iterations >= 7
+        # DE read the cache repository the annotator just filled
+        assert metrics.cache_lookups > 0
+        assert metrics.cache_hits > 0
+
+
+class TestAdmissionControl:
+    def test_reject_policy_raises_when_full(self, qv_world):
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(
+            workers=1, queue_size=1, queue_policy="reject"
+        )
+        try:
+            running = service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)  # worker busy
+            queued = service.submit_workflow(workflow, {"x": 2})
+            with pytest.raises(QueueFullError):
+                service.submit_workflow(workflow, {"x": 3})
+            assert service.snapshot().rejected == 1
+            gate.set()
+            assert running.result(10) == {"y": 1}
+            assert queued.result(10) == {"y": 2}
+        finally:
+            gate.set()
+            service.shutdown()
+        snap = service.snapshot()
+        assert snap.completed == 2
+        assert snap.rejected == 1
+
+    def test_cancel_queued_job(self, qv_world):
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(workers=1)
+        try:
+            running = service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)
+            queued = service.submit_workflow(workflow, {"x": 2})
+            assert queued.cancel()
+            assert queued.status is JobStatus.CANCELLED
+            with pytest.raises(JobCancelledError):
+                queued.result(10)
+            # a running job cannot be cancelled
+            assert not running.cancel()
+            gate.set()
+            assert running.result(10) == {"y": 1}
+        finally:
+            gate.set()
+            service.shutdown()
+        assert service.snapshot().cancelled == 1
+
+    def test_closed_service_rejects_submission(self, qv_world):
+        framework, view, results = qv_world
+        service = framework.runtime(workers=1)
+        service.shutdown()
+        assert service.closed
+        with pytest.raises(RuntimeClosedError):
+            service.submit(view, results.items())
+
+    def test_shutdown_without_drain_cancels_queued(self, qv_world):
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(workers=1)
+        running = service.submit_workflow(workflow, {"x": 1})
+        assert started.wait(10)
+        queued = service.submit_workflow(workflow, {"x": 2})
+        gate.set()
+        service.shutdown(drain=False)
+        assert running.result(10) == {"y": 1}
+        assert queued.status is JobStatus.CANCELLED
+
+    def test_drain_waits_for_all_jobs(self, qv_world):
+        framework, view, results = qv_world
+        items = results.items()
+        service = framework.runtime(workers=2)
+        try:
+            batch = service.submit_many(
+                view, [items[:4], items[4:8], items[8:12], items]
+            )
+            assert service.drain(timeout=60)
+            assert all(handle.done() for handle in batch)
+        finally:
+            service.shutdown()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            RuntimeConfig(workers=0).validated()
+        with pytest.raises(ValueError, match="queue_policy"):
+            RuntimeConfig(queue_policy="drop").validated()
+        with pytest.raises(ValueError, match="iteration_workers"):
+            RuntimeConfig(iteration_workers=0).validated()
+        assert RuntimeConfig().validated().workers == 4
+
+
+@pytest.mark.slow
+class TestStress:
+    def test_eight_concurrent_jobs_one_framework(self, qv_world):
+        """≥8 QV jobs in flight against a single framework instance."""
+        framework, view, results = qv_world
+        datasets = [
+            results.items_of_run(run_id)
+            for run_id in sorted({results.run_id(i) for i in results.items()})
+        ]
+        # replicate the per-spot datasets until we have 16 jobs
+        while len(datasets) < 16:
+            datasets.append(datasets[len(datasets) % 6])
+
+        # serial reference per dataset, one shared repository session
+        framework.repositories.clear_transient()
+        reference = [
+            view.run(ds, enactor=Enactor(), clear_cache=False).groups
+            for ds in datasets
+        ]
+
+        with framework.runtime(
+            workers=8, parallel_enactment=True, enactment_workers=3
+        ) as service:
+            batch = service.submit_many(view, datasets)
+            outcomes = batch.results(timeout=120)
+            snap = service.snapshot()
+        assert [o.groups for o in outcomes] == reference
+        assert snap.completed == len(datasets)
+        assert snap.failed == 0
+        assert not batch.failures()
+
+
+class TestGraphConcurrency:
+    """Satellite: triple-store index updates are safe under threads."""
+
+    def test_concurrent_adds_keep_indices_consistent(self):
+        graph = Graph("stress")
+        n_threads, per_thread = 8, 300
+        barrier = threading.Barrier(n_threads)
+
+        def writer(t: int) -> None:
+            barrier.wait()
+            for k in range(per_thread):
+                node = URIRef(f"http://example.org/item/{t}/{k}")
+                graph.add(node, RDF.type, Q.DataEntity)
+                graph.add(node, Q.value, URIRef(f"http://example.org/v/{t}/{k}"))
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(graph) == n_threads * per_thread * 2
+        # every triple is reachable through all three indices
+        probe = URIRef("http://example.org/item/3/17")
+        assert (probe, RDF.type, Q.DataEntity) in graph
+        assert len(list(graph.triples((None, RDF.type, Q.DataEntity)))) == (
+            n_threads * per_thread
+        )
+
+    def test_concurrent_duplicate_adds_count_once(self):
+        graph = Graph("dupes")
+        triple = (
+            URIRef("http://example.org/s"),
+            Q.value,
+            URIRef("http://example.org/o"),
+        )
+        barrier = threading.Barrier(8)
+
+        def writer() -> None:
+            barrier.wait()
+            for _ in range(200):
+                graph.add(*triple)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(graph) == 1
