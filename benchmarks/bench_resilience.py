@@ -1,0 +1,156 @@
+"""E14 — resilience: fault-free overhead and recovery throughput.
+
+The resilient invoker sits on every service call of every job, so its
+fault-free cost must be negligible before anyone turns it on in
+production: this experiment runs the E13 workload (one quality-view
+job per spot, 10 ms simulated WSDL round trip, 4 workers) three ways —
+
+* **bare** — no resilience configured (the seed code path);
+* **resilient, no faults** — full policy stack attached (retries,
+  breakers) but nothing ever fails: measures pure overhead, accepted
+  at <= 5% throughput loss vs bare;
+* **resilient, 25% faults** — a seeded ``FaultInjector`` fails a
+  quarter of all service invocations: measures what recovery costs and
+  checks that every job still completes with zero dead letters.
+
+Table lands in ``benchmarks/results/E14_resilience.txt``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core.ispider import example_quality_view_xml, setup_framework
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.resilience import FaultInjector, ResilienceConfig
+from repro.runtime import RuntimeConfig
+
+#: Simulated WSDL round trip per service invocation (as in E13).
+SERVICE_LATENCY_S = 0.010
+
+#: Jobs per measured configuration (the 8 per-spot datasets, cycled).
+N_JOBS = 16
+
+WORKERS = 4
+
+#: Fraction of service invocations the chaos leg fails.
+FAULT_RATE = 0.25
+
+#: Timed repetitions per configuration; the median filters scheduler
+#: noise out of the <= 5% overhead comparison.
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def workload(bench_seed):
+    """Framework factory + datasets; each leg gets a fresh framework."""
+    scenario = ProteomicsScenario.generate(
+        seed=bench_seed, n_proteins=200, n_spots=8
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    spots = [results.items_of_run(run.run_id) for run in runs]
+    datasets = [spots[i % len(spots)] for i in range(N_JOBS)]
+
+    def fresh_framework():
+        framework, holder = setup_framework(scenario)
+        holder.set(results)
+        for service in framework.services:
+            service.with_latency(SERVICE_LATENCY_S)
+        return framework
+
+    return fresh_framework, datasets
+
+
+def _run_leg(framework, datasets, resilience=None):
+    """One timed batch; returns (jobs/sec, stats snapshot)."""
+    view = framework.quality_view(example_quality_view_xml())
+    config = RuntimeConfig(
+        workers=WORKERS,
+        queue_size=len(datasets),
+        parallel_enactment=True,
+        enactment_workers=3,
+        resilience=resilience,
+    )
+    with framework.runtime(config) as service:
+        start = time.perf_counter()
+        batch = service.submit_many(view, datasets)
+        batch.results(timeout=300)
+        elapsed = time.perf_counter() - start
+        snapshot = service.snapshot()
+    assert snapshot.completed == len(datasets)
+    assert snapshot.failed == 0
+    assert snapshot.dead_lettered == 0
+    return len(datasets) / elapsed, snapshot
+
+
+def _median_rate(framework, datasets, resilience=None):
+    rates, last_snapshot = [], None
+    for _ in range(REPEATS):
+        rate, last_snapshot = _run_leg(framework, datasets, resilience)
+        rates.append(rate)
+    return statistics.median(rates), last_snapshot
+
+
+@pytest.mark.slow
+def test_resilience_overhead_and_recovery(workload, bench_seed):
+    fresh_framework, datasets = workload
+    resilient_config = ResilienceConfig(
+        max_attempts=8, backoff_base=0.005, backoff_cap=0.1,
+        jitter_seed=bench_seed, breaker_threshold=0,
+    )
+
+    bare_framework = fresh_framework()
+    bare, _ = _median_rate(bare_framework, datasets)
+
+    quiet_framework = fresh_framework()
+    quiet, quiet_snap = _median_rate(
+        quiet_framework, datasets, resilient_config
+    )
+    assert quiet_snap.invocation_retries == 0  # nothing failed
+
+    chaos_framework = fresh_framework()
+    injector = FaultInjector(seed=bench_seed)
+    injector.plan_all(fault_rate=FAULT_RATE)
+    injector.attach_registry(chaos_framework.services)
+    chaos, chaos_snap = _median_rate(
+        chaos_framework, datasets, resilient_config
+    )
+    assert chaos_snap.invocation_retries > 0
+    assert injector.total_injected() > 0
+
+    overhead = (bare - quiet) / bare
+    lines = [
+        f"workload: {N_JOBS} jobs (8 spots cycled), {WORKERS} workers, "
+        f"{SERVICE_LATENCY_S * 1e3:.1f} ms/call simulated round trip; "
+        f"median of {REPEATS} runs",
+        f"{'configuration':<28} {'jobs/sec':>9} {'vs bare':>8}",
+        f"{'bare (no resilience)':<28} {bare:>9.2f} {'1.00x':>8}",
+        f"{'resilient, no faults':<28} {quiet:>9.2f} {quiet / bare:>7.2f}x",
+        f"{f'resilient, {FAULT_RATE:.0%} faults':<28} "
+        f"{chaos:>9.2f} {chaos / bare:>7.2f}x",
+        f"fault-free invoker overhead: {max(0.0, overhead):.1%} "
+        f"(acceptance: <= 5%)",
+        f"recovery: {chaos_snap.invocation_retries} invocation retries, "
+        f"{chaos_snap.dead_lettered} dead-lettered "
+        f"(last chaos repetition)",
+    ]
+    write_table(
+        "E14_resilience",
+        "Resilient invocation: overhead and recovery",
+        lines,
+        seed=bench_seed,
+    )
+
+    assert quiet >= 0.95 * bare, (
+        f"fault-free resilience overhead must stay <= 5% "
+        f"(bare {bare:.2f} vs resilient {quiet:.2f} jobs/sec)"
+    )
+    # recovery pays retries, not correctness: every job completed above;
+    # throughput should stay within the same order of magnitude.
+    assert chaos >= 0.4 * bare

@@ -42,9 +42,11 @@ WORKER_COUNTS = (1, 2, 4, 8)
 
 
 @pytest.fixture(scope="module")
-def workload():
+def workload(bench_seed):
     """Framework + compiled example view + one dataset per spot."""
-    scenario = ProteomicsScenario.generate(seed=42, n_proteins=200, n_spots=8)
+    scenario = ProteomicsScenario.generate(
+        seed=bench_seed, n_proteins=200, n_spots=8
+    )
     runs = scenario.identify_all()
     results = ImprintResultSet(runs)
     framework, holder = setup_framework(scenario)
@@ -85,7 +87,7 @@ def _service_jobs_per_second(framework, view, datasets, workers) -> float:
 
 
 @pytest.mark.slow
-def test_runtime_throughput_scales(workload):
+def test_runtime_throughput_scales(workload, bench_seed):
     framework, view, datasets = workload
 
     # Warm-up: populate persistent repositories / code paths once so the
@@ -111,7 +113,10 @@ def test_runtime_throughput_scales(workload):
             for workers, rate in by_workers.items()
         ),
     ]
-    write_table("E13_runtime", "Runtime throughput (Figure-7 workload)", lines)
+    write_table(
+        "E13_runtime", "Runtime throughput (Figure-7 workload)", lines,
+        seed=bench_seed,
+    )
 
     assert by_workers[4] >= 2.0 * serial, (
         f"4 workers must give >= 2x serial throughput "

@@ -17,18 +17,40 @@ from repro.proteomics import ProteomicsScenario
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def write_table(experiment_id: str, title: str, lines) -> None:
-    """Persist one experiment's output table and echo it."""
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed", type=int, default=42,
+        help="scenario seed; recorded in the benchmarks/results/* tables",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_seed(request) -> int:
+    """The --seed the benchmark run was invoked with."""
+    return request.config.getoption("--seed")
+
+
+def write_table(experiment_id: str, title: str, lines, seed=None) -> None:
+    """Persist one experiment's output table and echo it.
+
+    ``seed`` (the run's ``--seed``) is recorded as a header line so a
+    committed result file states how to regenerate itself.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    body = "\n".join([f"# {title}", *lines, ""])
+    header = [f"# {title}"]
+    if seed is not None:
+        header.append(f"# seed: {seed}")
+    body = "\n".join([*header, *lines, ""])
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(body)
     print(f"\n{body}")
 
 
 @pytest.fixture(scope="session")
-def paper_scenario():
+def paper_scenario(bench_seed):
     """The paper-scale world: 10 protein spots (Sec. 6.3)."""
-    return ProteomicsScenario.generate(seed=42, n_proteins=400, n_spots=10)
+    return ProteomicsScenario.generate(
+        seed=bench_seed, n_proteins=400, n_spots=10
+    )
 
 
 @pytest.fixture(scope="session")

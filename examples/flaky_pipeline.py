@@ -1,0 +1,107 @@
+"""Resilient execution: a quality-view batch survives flaky services.
+
+The paper runs its quality services as remote WSDL endpoints and
+assumes every call succeeds; ``repro.resilience`` drops that
+assumption.  This example injects deterministic faults into the
+framework's services, then runs the Sec. 5.1 example view twice:
+
+1. **Recovery** — ~30% of all service invocations fail, and a retry
+   policy (exponential backoff, full jitter) absorbs every fault: all
+   jobs complete, results identical to a fault-free run, zero dead
+   letters.
+2. **Degradation** — the ``HRScore`` annotator is taken down entirely;
+   ``on_failure="default_annotation"`` lets jobs finish with neutral,
+   ``Q.degraded``-tagged annotations instead of failing outright, and
+   the runtime counts every degraded firing.
+
+Run:  python examples/flaky_pipeline.py
+"""
+
+from repro.core.ispider import (
+    FILTER_ACTION,
+    example_quality_view_xml,
+    setup_framework,
+)
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.resilience import FaultInjector, ResilienceConfig
+from repro.runtime import RuntimeConfig
+
+
+def fresh_world(scenario, results):
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    view = framework.quality_view(example_quality_view_xml())
+    return framework, view
+
+
+def main() -> None:
+    # 1. The usual synthetic world: several samples to identify.
+    scenario = ProteomicsScenario.generate(seed=11, n_proteins=150, n_spots=6)
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    datasets_of = lambda res: [res.items_of_run(run.run_id) for run in runs]
+
+    # 2. Recovery: fail ~30% of every service's invocations (seeded, so
+    #    the drill is reproducible) and let the retry policy absorb it.
+    framework, view = fresh_world(scenario, results)
+    injector = FaultInjector(seed=7).plan_all(fault_rate=0.3)
+    injector.attach_registry(framework.services)
+
+    resilience = ResilienceConfig(
+        max_attempts=6,          # up to 5 retries per service call
+        backoff_base=0.002,      # first retry within ~2 ms (full jitter)
+        backoff_cap=0.05,
+        jitter_seed=7,           # replayable backoff schedule
+        breaker_threshold=0,     # no breakers in this short drill
+    )
+    config = RuntimeConfig(
+        workers=4, queue_size=16, parallel_enactment=True,
+        enactment_workers=3, resilience=resilience, job_retries=1,
+    )
+    with framework.runtime(config) as service:
+        batch = service.submit_many(view, datasets_of(results))
+        outcomes = batch.results(timeout=120)
+        snapshot = service.snapshot()
+        dead = len(service.dead_letters)
+
+    kept = sum(len(outcome.surviving(FILTER_ACTION)) for outcome in outcomes)
+    print(f"recovery drill: {snapshot.completed}/{snapshot.submitted} jobs "
+          f"completed, {kept} items kept, {dead} dead-lettered")
+    print(f"  {injector.total_injected()} faults injected, "
+          f"{snapshot.invocation_retries} invocation retries, "
+          f"{snapshot.job_retries} whole-job retries")
+    for name, counters in sorted(injector.counters().items()):
+        if counters.faults:
+            print(f"  {name:<14} {counters.faults:>3} faults "
+                  f"in {counters.invocations} invocations")
+
+    # 3. Degradation: kill one annotator outright.  With
+    #    on_failure="default_annotation" the enactment still completes —
+    #    affected items get a neutral annotation tagged Q.degraded, and
+    #    every degraded firing is visible in the stats.
+    framework, view = fresh_world(scenario, results)
+    outage = FaultInjector(seed=7)
+    outage.attach(framework.services.by_name("HRScore"))
+    outage.plan("HRScore", fault_rate=1.0)
+
+    degraded_config = RuntimeConfig(
+        workers=4, queue_size=16,
+        resilience=resilience.with_overrides(
+            max_attempts=2, on_failure="default_annotation"
+        ),
+    )
+    with framework.runtime(degraded_config) as service:
+        batch = service.submit_many(view, datasets_of(results))
+        outcomes = batch.results(timeout=120)
+        snapshot = service.snapshot()
+
+    kept = sum(len(outcome.surviving(FILTER_ACTION)) for outcome in outcomes)
+    print(f"\nHRScore outage: {snapshot.completed}/{snapshot.submitted} jobs "
+          f"still completed ({snapshot.failed} failed), {kept} items kept")
+    print(f"  {snapshot.degraded_firings} degraded firings recorded "
+          f"— evidence is missing, and the trace says so")
+
+
+if __name__ == "__main__":
+    main()

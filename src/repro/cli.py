@@ -10,7 +10,10 @@ Commands:
   and print the significance-ratio table.
 * ``batch [--workers W] [--spots N]`` — drive the concurrent execution
   runtime: one quality-view job per sample through the job queue and
-  worker pool, with per-job and aggregate metrics.
+  worker pool, with per-job and aggregate metrics.  ``--fault-rate`` /
+  ``--retry-attempts`` / ``--job-retries`` / ``--on-failure`` exercise
+  the resilience layer; the exit status is non-zero when any job fails
+  or is dead-lettered.
 * ``info`` — one-paragraph description and component inventory.
 """
 
@@ -70,6 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--latency", type=float, default=0.0, metavar="MS",
         help="simulated WSDL round-trip per service call, in milliseconds",
+    )
+    batch.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="inject a ServiceFault into this fraction of service calls",
+    )
+    batch.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault-injection streams",
+    )
+    batch.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="per-invocation attempts under the resilience policy "
+             "(default: 3 whenever faults are injected; omit both for "
+             "the bare, non-resilient invocation path)",
+    )
+    batch.add_argument(
+        "--job-retries", type=int, default=0,
+        help="whole-job re-runs before a failed job is dead-lettered",
+    )
+    batch.add_argument(
+        "--on-failure", choices=("fail", "skip", "default_annotation"),
+        default="fail",
+        help="degradation policy of service-backed processors",
     )
     batch.add_argument(
         "--filter",
@@ -159,18 +185,34 @@ def _cmd_batch(args) -> int:
     from repro.core.ispider import example_quality_view_xml, setup_framework
     from repro.proteomics import ProteomicsScenario
     from repro.proteomics.results import ImprintResultSet
+    from repro.resilience import FaultInjector, ResilienceConfig
     from repro.runtime import QueueFullError, RuntimeConfig
 
     if args.latency < 0:
         print(f"error: --latency must be >= 0, got {args.latency}",
               file=sys.stderr)
         return 2
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got "
+              f"{args.fault_rate}", file=sys.stderr)
+        return 2
+    resilience = None
+    if (args.retry_attempts is not None or args.fault_rate > 0
+            or args.on_failure != "fail"):
+        attempts = 3 if args.retry_attempts is None else args.retry_attempts
+        resilience = ResilienceConfig(
+            max_attempts=attempts,
+            jitter_seed=args.fault_seed,
+            on_failure=args.on_failure,
+        )
     try:
         config = RuntimeConfig(
             workers=args.workers,
             queue_size=args.queue_size,
             queue_policy=args.policy,
             parallel_enactment=args.parallel_enactment,
+            job_retries=args.job_retries,
+            resilience=resilience,
         ).validated()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -185,6 +227,11 @@ def _cmd_batch(args) -> int:
     if args.latency > 0:
         for service in framework.services:
             service.with_latency(args.latency / 1000.0)
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(seed=args.fault_seed)
+        injector.plan_all(fault_rate=args.fault_rate)
+        injector.attach_registry(framework.services)
     view = framework.quality_view(
         example_quality_view_xml(args.filter_condition)
     )
@@ -193,6 +240,9 @@ def _cmd_batch(args) -> int:
         f"runtime: {config.workers} workers, queue {config.queue_size} "
         f"({config.queue_policy}), "
         f"{'parallel' if config.parallel_enactment else 'serial'} enactment"
+        + (f", fault rate {args.fault_rate:.0%} (seed {args.fault_seed})"
+           if injector else "")
+        + (f", {resilience.max_attempts} attempts/call" if resilience else "")
     )
     started = time.perf_counter()
     with framework.runtime(config) as service:
@@ -203,13 +253,22 @@ def _cmd_batch(args) -> int:
                   f"{len(datasets)} jobs under --policy reject; raise "
                   f"--queue-size or use --policy block)", file=sys.stderr)
             return 1
-        outcomes = batch.results()
+        batch.wait()
         elapsed = time.perf_counter() - started
         snap = service.snapshot()
+        dead_letters = list(service.dead_letters)
     print(f"\n{'job':<28} {'items':>5} {'kept':>5} "
           f"{'queued ms':>9} {'run ms':>7} {'cache':>7}")
-    for handle, outcome in zip(batch, outcomes):
-        metrics = outcome.metrics
+    for handle in batch:
+        metrics = handle.metrics
+        error = handle.exception()
+        if error is not None:
+            print(f"{handle.name:<28} {'-':>5} {'-':>5} "
+                  f"{1000 * (metrics.queue_wait or 0):>9.2f} "
+                  f"{1000 * (metrics.run_seconds or 0):>7.2f} "
+                  f"{handle.status.value}")
+            continue
+        outcome = handle.result()
         hit_rate = (
             metrics.cache_hits / metrics.cache_lookups
             if metrics.cache_lookups else 0.0
@@ -223,12 +282,33 @@ def _cmd_batch(args) -> int:
           f"{snap.failed} failed, in {elapsed:.2f}s "
           f"({snap.completed / elapsed:.1f} jobs/sec); "
           f"mean queue wait {1000 * snap.mean_queue_wait:.2f} ms")
+    if resilience is not None or injector is not None or args.job_retries:
+        print(f"resilience: {snap.invocation_retries} invocation retries, "
+              f"{snap.invocations_exhausted} exhausted, "
+              f"{snap.breaker_rejections} breaker rejections "
+              f"({snap.open_endpoints} endpoints open), "
+              f"{snap.degraded_firings} degraded firings, "
+              f"{snap.job_retries} job retries, "
+              f"{snap.dead_lettered} dead-lettered"
+              + (f"; {injector.total_injected()} faults injected"
+                 if injector else ""))
     slowest = sorted(
         snap.processor_seconds.items(), key=lambda kv: -kv[1]
     )[:5]
     print("hottest processors: "
           + ", ".join(f"{name} {seconds * 1000:.1f} ms"
                       for name, seconds in slowest))
+    failures = batch.failures()
+    if failures or dead_letters:
+        print(f"\n{len(failures)} job(s) failed "
+              f"({len(dead_letters)} dead-lettered):", file=sys.stderr)
+        for handle in failures:
+            error = handle.exception()
+            print(f"  {handle.name}: {type(error).__name__}: {error}"
+                  + (f" (after {handle.metrics.retries} job retries)"
+                     if handle.metrics.retries else ""),
+                  file=sys.stderr)
+        return 1
     return 0
 
 

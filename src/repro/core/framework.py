@@ -144,6 +144,22 @@ class QuratorFramework:
             config = config.with_overrides(**overrides)
         return ExecutionService(self, config)
 
+    def resilient_invoker(self, config: Optional[Any] = None) -> Any:
+        """A fault-tolerant service invoker bound to this framework.
+
+        Builds a :class:`repro.resilience.ResilientInvoker` from the
+        given :class:`~repro.resilience.ResilienceConfig` (defaults
+        apply when omitted) and registers its circuit breakers as the
+        service registry's health registry, so
+        ``framework.services.health()`` reports per-endpoint breaker
+        state.  Pass the invoker to
+        :meth:`QualityView.with_resilience` or use
+        ``runtime(resilience=...)`` for the managed path.
+        """
+        from repro.resilience import ResilientInvoker
+
+        return ResilientInvoker(config, services=self.services)
+
     def end_execution(self) -> None:
         """Per-execution cleanup: clears transient (cache) repositories."""
         self.repositories.clear_transient()

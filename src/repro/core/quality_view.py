@@ -71,6 +71,24 @@ class QualityView:
         """Drop the compiled workflow (after editing the spec)."""
         self._workflow = None
 
+    def with_resilience(self, invoker, config=None) -> "QualityView":
+        """Route this view's service calls through a resilient invoker.
+
+        Compiles the view (if needed) and applies
+        :func:`repro.resilience.apply_resilience`: every service-backed
+        processor invokes through ``invoker`` (retries, deadlines,
+        circuit breakers) and picks up the ``on_failure`` degradation
+        policies of ``config`` (which defaults to the invoker's own
+        configuration).  Returns ``self`` for chaining; re-apply after
+        :meth:`invalidate`.
+        """
+        from repro.resilience import apply_resilience
+
+        apply_resilience(
+            self.compile(), invoker, config if config is not None else invoker.config
+        )
+        return self
+
     def embed(
         self,
         host: Workflow,

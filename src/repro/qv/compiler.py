@@ -35,16 +35,20 @@ from repro.ontology.iq_model import IQModel
 from repro.process.actions import DEFAULT_GROUP, FilterAction, SplitterAction
 from repro.qv.spec import ActionSpec, QualityViewSpec
 from repro.qv.validator import validate_quality_view
-from repro.rdf import URIRef
+from repro.rdf import Q, URIRef
 from repro.services.interface import AnnotationService, QualityAssertionService
 from repro.services.messages import DataSetMessage
 from repro.services.registry import ServiceRegistry
 from repro.workflow.model import Workflow
-from repro.workflow.processors import Processor
+from repro.workflow.processors import ON_FAILURE_DEFAULT, Processor
 
 #: Compiler-assigned processor names (checked by the Fig. 6 benchmark).
 DATA_ENRICHMENT = "DataEnrichment"
 CONSOLIDATE = "ConsolidateAssertions"
+
+#: Tag value marking an assertion degraded under ``default_annotation``
+#: (the item's evidence was missing / its QA service kept failing).
+DEGRADED_TAG = Q.degraded
 
 
 class CompilationError(ValueError):
@@ -79,7 +83,9 @@ class AnnotatorProcessor(Processor):
         """Execute this compiled step; see the class docstring."""
 
         items = list(inputs.get("dataSet") or [])
-        computed = self.service.invoke(DataSetMessage(items), AnnotationMap())
+        computed = self.invoke_service(
+            self.service, DataSetMessage(items), AnnotationMap()
+        )
         wanted = set(self.evidence_types)
         restricted = AnnotationMap()
         for item in computed.items():
@@ -130,10 +136,27 @@ class AssertionProcessor(Processor):
 
         items = list(inputs.get("dataSet") or [])
         amap = inputs.get("annotationMap") or AnnotationMap()
-        result = self.service.invoke(
-            DataSetMessage(items), amap, context=self.config
+        result = self.invoke_service(
+            self.service, DataSetMessage(items), amap, context=self.config
         )
         return {"annotationMap": result}
+
+    def degraded(self, inputs: Dict[str, Any], policy: str) -> Dict[str, Any]:
+        """Pass the input map through; optionally tag items as degraded.
+
+        Under ``skip`` the QA simply contributes no tag (downstream
+        conditions see the tag as absent); ``default_annotation``
+        additionally tags every input item with ``q:degraded`` under
+        the view's tag name, so actions and reports can distinguish
+        "assertion skipped" from "assertion never configured".
+        """
+        outputs = super().degraded(inputs, policy)
+        tag_name = self.config.get("tag_name")
+        if policy == ON_FAILURE_DEFAULT and tag_name:
+            amap = outputs["annotationMap"]
+            for item in list(inputs.get("dataSet") or []):
+                amap.set_tag(item, tag_name, DEGRADED_TAG)
+        return outputs
 
 
 class ConsolidateProcessor(Processor):

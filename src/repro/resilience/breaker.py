@@ -1,0 +1,228 @@
+"""Per-endpoint circuit breakers (closed -> open -> half-open).
+
+A breaker fails fast once an endpoint has produced enough consecutive
+faults, sparing the worker pool from burning retries against a service
+that is down; after a cool-down it lets a bounded number of probes
+through and re-closes on success.  The clock is injectable so state
+transitions are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+
+class BreakerState(str, Enum):
+    """Lifecycle of one endpoint's breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(RuntimeError):
+    """The endpoint's breaker is open; the call was not attempted."""
+
+    def __init__(self, endpoint: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit open for endpoint {endpoint!r}; "
+            f"next probe in {max(0.0, retry_after):.2f}s"
+        )
+        self.endpoint = endpoint
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """One immutable reading of a breaker's health counters."""
+
+    endpoint: str
+    state: BreakerState
+    consecutive_failures: int
+    failures: int
+    successes: int
+    rejections: int
+    opened_count: int
+
+
+class CircuitBreaker:
+    """One endpoint's breaker; thread-safe, with an injectable clock.
+
+    ``threshold`` consecutive failures trip CLOSED -> OPEN.  After
+    ``reset_after`` seconds OPEN lets probes through (HALF_OPEN);
+    ``probes`` successful probes re-close it, any probe failure
+    re-opens it.  ``threshold=0`` disables the breaker (always allows,
+    still counts).
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        threshold: int = 5,
+        reset_after: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if reset_after < 0:
+            raise ValueError(f"reset_after must be >= 0, got {reset_after}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.endpoint = endpoint
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self.probes = probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._failures = 0
+        self._successes = 0
+        self._rejections = 0
+        self._opened_count = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state (OPEN may lazily report HALF_OPEN)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> None:
+        """Admit one invocation or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            if self.threshold == 0:
+                return
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return
+            if (
+                self._state is BreakerState.HALF_OPEN
+                and self._probes_in_flight < self.probes
+            ):
+                self._probes_in_flight += 1
+                return
+            self._rejections += 1
+            retry_after = (
+                self._opened_at + self.reset_after - self._clock()
+            )
+            raise CircuitOpenError(self.endpoint, retry_after)
+
+    def record_success(self) -> None:
+        """Note a successful invocation; may re-close a half-open breaker."""
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_successes += 1
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if self._probe_successes >= self.probes:
+                    self._state = BreakerState.CLOSED
+                    self._probe_successes = 0
+                    self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """Note a failed invocation; may open the breaker."""
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self.threshold == 0:
+                return
+            if self._state is BreakerState.HALF_OPEN:
+                self._open()
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._open()
+
+    def snapshot(self) -> BreakerSnapshot:
+        """A consistent reading of state and health counters."""
+        with self._lock:
+            self._maybe_half_open()
+            return BreakerSnapshot(
+                endpoint=self.endpoint,
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                failures=self._failures,
+                successes=self._successes,
+                rejections=self._rejections,
+                opened_count=self._opened_count,
+            )
+
+    # -- internals (lock held) ---------------------------------------------
+
+    def _open(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_count += 1
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+
+class CircuitBreakerRegistry:
+    """Breakers keyed by endpoint, created on first use."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_after: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self.probes = probes
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        """The endpoint's breaker (created closed on first use)."""
+        with self._lock:
+            found = self._breakers.get(endpoint)
+            if found is None:
+                found = CircuitBreaker(
+                    endpoint,
+                    threshold=self.threshold,
+                    reset_after=self.reset_after,
+                    probes=self.probes,
+                    clock=self._clock,
+                )
+                self._breakers[endpoint] = found
+            return found
+
+    def snapshots(self) -> Dict[str, BreakerSnapshot]:
+        """endpoint -> health snapshot for every known breaker."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.endpoint: b.snapshot() for b in breakers}
+
+    def open_endpoints(self) -> list:
+        """Endpoints whose breaker is currently open."""
+        return [
+            endpoint
+            for endpoint, snap in self.snapshots().items()
+            if snap.state is BreakerState.OPEN
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._breakers)

@@ -1,0 +1,112 @@
+"""Configuration of the fault-tolerance layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+# The degradation-policy constants live with the firing semantics in
+# the workflow layer; this module re-exports them as the config-facing
+# names.
+from repro.workflow.processors import (  # noqa: F401  (re-export)
+    ON_FAILURE_DEFAULT,
+    ON_FAILURE_FAIL,
+    ON_FAILURE_POLICIES,
+    ON_FAILURE_SKIP,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables of one :class:`repro.resilience.ResilientInvoker`.
+
+    ``max_attempts``
+        Invocations tried per service call (1 = no retries).
+    ``backoff_base`` / ``backoff_cap``
+        Exponential-backoff schedule: the delay before attempt *n + 1*
+        is drawn uniformly from ``[0, min(cap, base * 2**(n-1))]``
+        (full jitter, after the AWS architecture-blog scheme).
+    ``jitter_seed``
+        Seeds the jitter RNG; ``None`` draws from the OS.  Seeded runs
+        produce identical backoff schedules, which the chaos
+        differential tests rely on.
+    ``deadline``
+        Per-invocation wall-clock budget in seconds, spanning all
+        retries and backoff sleeps; ``None`` means unbounded.  A retry
+        that cannot finish its backoff within the budget raises
+        :class:`~repro.resilience.policy.DeadlineExceeded` instead of
+        sleeping.
+    ``breaker_threshold``
+        Consecutive failures that trip an endpoint's circuit breaker
+        (closed -> open); ``0`` disables breakers entirely.
+    ``breaker_reset_after``
+        Seconds an open breaker waits before letting one probe through
+        (open -> half-open).
+    ``breaker_probes``
+        Successful probes required to re-close a half-open breaker.
+    ``on_failure``
+        Default degradation policy applied to *service-backed*
+        processors when the invoker gives up: ``"fail"`` propagates the
+        error (the paper's behaviour), ``"skip"`` contributes nothing,
+        ``"default_annotation"`` additionally tags the items as
+        degraded (evidence missing).
+    ``on_failure_overrides``
+        Per-processor policy overrides by processor name; these apply
+        to any named processor, service-backed or not.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.02
+    backoff_cap: float = 1.0
+    jitter_seed: Optional[int] = None
+    deadline: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_reset_after: float = 30.0
+    breaker_probes: int = 1
+    on_failure: str = ON_FAILURE_FAIL
+    on_failure_overrides: Mapping[str, str] = field(default_factory=dict)
+
+    def validated(self) -> "ResilienceConfig":
+        """Range-check every field; returns self for chaining."""
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_cap < 0:
+            raise ValueError(
+                f"backoff_cap must be >= 0, got {self.backoff_cap}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0 (0 disables breakers), "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_after < 0:
+            raise ValueError(
+                f"breaker_reset_after must be >= 0, "
+                f"got {self.breaker_reset_after}"
+            )
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}"
+            )
+        for name, policy in (
+            ("on_failure", self.on_failure),
+            *self.on_failure_overrides.items(),
+        ):
+            if policy not in ON_FAILURE_POLICIES:
+                raise ValueError(
+                    f"unknown on_failure policy {policy!r} for {name!r}; "
+                    f"valid: {ON_FAILURE_POLICIES}"
+                )
+        return self
+
+    def with_overrides(self, **overrides) -> "ResilienceConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **overrides).validated()

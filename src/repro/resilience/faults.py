@@ -1,0 +1,254 @@
+"""Deterministic fault injection for quality services.
+
+Production quality pipelines fail at the service boundary: a remote
+annotator times out, a QA endpoint returns a SOAP fault, a round trip
+takes ten times its usual latency.  This module makes those behaviours
+*injectable and repeatable* so the resilience layer can be tested: a
+:class:`FaultInjector` holds one seeded random stream per service name
+and, consulted on every round trip, raises :class:`InjectedFault` /
+:class:`InjectedTimeout` or sleeps extra latency according to a
+per-service :class:`FaultPlan`.
+
+Two attachment styles cover both registry-deployed and ad-hoc services:
+
+* ``injector.attach(service)`` (or ``attach_registry``) installs the
+  injector into the service's own round-trip hook — the service keeps
+  its concrete type, so compiler ``isinstance`` checks still hold;
+* :class:`FlakyService` wraps an arbitrary service behind the common
+  interface when subclass identity does not matter.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.services.interface import Service, ServiceFault
+
+
+class InjectedFault(ServiceFault):
+    """A deterministic, injector-raised service fault."""
+
+
+class InjectedTimeout(InjectedFault):
+    """An injected timeout: the call 'hung' past the client's patience."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """How one service misbehaves, per invocation.
+
+    Probabilities are independent draws from the service's seeded
+    stream: ``latency_rate`` adds ``extra_latency`` seconds to the
+    round trip, then ``timeout_rate`` raises :class:`InjectedTimeout`,
+    then ``fault_rate`` raises :class:`InjectedFault`.  ``max_faults``
+    caps how many faults (of either kind) the plan injects in total —
+    handy for "fails twice, then recovers" scenarios (``None`` means
+    no cap).
+    """
+
+    fault_rate: float = 0.0
+    timeout_rate: float = 0.0
+    latency_rate: float = 0.0
+    extra_latency: float = 0.0
+    max_faults: Optional[int] = None
+
+    def validated(self) -> "FaultPlan":
+        """Range-check every field; returns self for chaining."""
+        for name in ("fault_rate", "timeout_rate", "latency_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.fault_rate + self.timeout_rate > 1.0:
+            raise ValueError(
+                f"fault_rate + timeout_rate must be <= 1, got "
+                f"{self.fault_rate} + {self.timeout_rate}"
+            )
+        if self.extra_latency < 0:
+            raise ValueError(
+                f"extra_latency must be >= 0, got {self.extra_latency}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+        return self
+
+
+@dataclass
+class FaultCounters:
+    """What the injector did to one service so far."""
+
+    invocations: int = 0
+    faults: int = 0
+    timeouts: int = 0
+    delays: int = 0
+
+
+class FaultInjector:
+    """Seeded, per-service fault injection behind the round-trip hook.
+
+    Each service name owns an independent ``random.Random`` stream
+    derived from ``(seed, name)``, so the k-th invocation of a service
+    draws the same verdict regardless of how other services interleave
+    — which keeps multi-threaded chaos runs reproducible per service.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._plans: Dict[str, FaultPlan] = {}
+        self._default_plan: Optional[FaultPlan] = None
+        self._streams: Dict[str, random.Random] = {}
+        self._counters: Dict[str, FaultCounters] = {}
+        self._lock = threading.Lock()
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, service_name: str, plan: Optional[FaultPlan] = None,
+             **kwargs: Any) -> "FaultInjector":
+        """Set one service's fault plan (kwargs build a FaultPlan)."""
+        if plan is None:
+            plan = FaultPlan(**kwargs)
+        self._plans[service_name] = plan.validated()
+        return self
+
+    def plan_all(self, plan: Optional[FaultPlan] = None,
+                 **kwargs: Any) -> "FaultInjector":
+        """Set the fallback plan for services without their own."""
+        if plan is None:
+            plan = FaultPlan(**kwargs)
+        self._default_plan = plan.validated()
+        return self
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, service: Service) -> Service:
+        """Install this injector into a service's round-trip hook."""
+        service.fault_injector = self
+        return service
+
+    def detach(self, service: Service) -> Service:
+        """Remove this injector from a service (idempotent)."""
+        if service.fault_injector is self:
+            service.fault_injector = None
+        return service
+
+    def attach_registry(self, services: Iterable[Service]) -> "FaultInjector":
+        """Attach to every service of a registry (or any iterable)."""
+        for service in services:
+            self.attach(service)
+        return self
+
+    def detach_registry(self, services: Iterable[Service]) -> "FaultInjector":
+        """Detach from every service of a registry (or any iterable)."""
+        for service in services:
+            self.detach(service)
+        return self
+
+    # -- the injection point ----------------------------------------------
+
+    def on_invocation(self, service: Service) -> None:
+        """Called by ``Service._round_trip`` before each invocation.
+
+        May sleep (injected latency) and may raise (injected fault or
+        timeout); otherwise the invocation proceeds normally.
+        """
+        plan = self._plans.get(service.name, self._default_plan)
+        with self._lock:
+            counters = self._counters.setdefault(service.name, FaultCounters())
+            counters.invocations += 1
+            if plan is None:
+                return
+            stream = self._streams.get(service.name)
+            if stream is None:
+                stream = random.Random(f"{self.seed}/{service.name}")
+                self._streams[service.name] = stream
+            delay = (
+                plan.extra_latency
+                if plan.latency_rate and stream.random() < plan.latency_rate
+                else 0.0
+            )
+            budget_left = (
+                plan.max_faults is None
+                or counters.faults + counters.timeouts < plan.max_faults
+            )
+            verdict = stream.random()
+            timeout = budget_left and verdict < plan.timeout_rate
+            fault = (
+                budget_left
+                and not timeout
+                and verdict < plan.timeout_rate + plan.fault_rate
+            )
+            if timeout:
+                counters.timeouts += 1
+            elif fault:
+                counters.faults += 1
+            if delay:
+                counters.delays += 1
+        if delay:
+            time.sleep(delay)
+        if timeout:
+            raise InjectedTimeout(
+                service.name,
+                f"injected timeout (seed {self.seed})",
+                endpoint=service.endpoint,
+            )
+        if fault:
+            raise InjectedFault(
+                service.name,
+                f"injected fault (seed {self.seed})",
+                endpoint=service.endpoint,
+            )
+
+    # -- observation -------------------------------------------------------
+
+    def counters(self) -> Mapping[str, FaultCounters]:
+        """Per-service injection counters (a snapshot copy)."""
+        with self._lock:
+            return {
+                name: FaultCounters(
+                    invocations=c.invocations,
+                    faults=c.faults,
+                    timeouts=c.timeouts,
+                    delays=c.delays,
+                )
+                for name, c in self._counters.items()
+            }
+
+    def total_injected(self) -> int:
+        """Faults + timeouts injected across all services."""
+        with self._lock:
+            return sum(
+                c.faults + c.timeouts for c in self._counters.values()
+            )
+
+    def reset(self) -> None:
+        """Restart every stream and counter (plans are kept)."""
+        with self._lock:
+            self._streams.clear()
+            self._counters.clear()
+
+
+class FlakyService(Service):
+    """A fault-injecting wrapper around an arbitrary service.
+
+    Delegates the invocation to the wrapped service after consulting
+    the injector; unknown attributes fall through to the inner service
+    so operator factories and annotation functions stay reachable.
+    """
+
+    def __init__(self, inner: Service, injector: FaultInjector) -> None:
+        super().__init__(inner.name, inner.concept, inner.endpoint)
+        self.inner = inner
+        self.fault_injector = injector
+
+    def invoke(self, dataset, amap, context=None):
+        """Inject per the plan, then delegate to the wrapped service."""
+        self._round_trip()
+        return self.inner.invoke(dataset, amap, context=context)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.__dict__["inner"], name)

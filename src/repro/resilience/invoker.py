@@ -1,0 +1,202 @@
+"""The resilient invocation path shared by every enactment strategy.
+
+``ResilientInvoker.invoke`` wraps one ``Service.invoke`` round trip
+with the full policy stack: circuit-breaker admission, bounded retries
+with exponential backoff + full jitter, and a wall-clock deadline that
+spans all attempts.  Service-backed processors route their calls
+through ``Processor.invoke_service``, so the serial and the wavefront
+enactor exercise exactly this code path — resilience behaviour cannot
+diverge between them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.resilience.breaker import CircuitBreakerRegistry, CircuitOpenError
+from repro.resilience.config import ON_FAILURE_FAIL, ResilienceConfig
+from repro.resilience.policy import DeadlineExceeded, RetryPolicy
+from repro.services.interface import Service
+
+
+@dataclass(frozen=True)
+class InvokerStatsSnapshot:
+    """One immutable reading of an invoker's counters."""
+
+    invocations: int
+    successes: int
+    failures: int
+    retries: int
+    exhausted: int
+    deadline_exceeded: int
+    breaker_rejections: int
+
+    @property
+    def first_try_successes(self) -> int:
+        """Invocations that never needed a retry."""
+        return max(0, self.successes - self.retries)
+
+
+class InvokerStats:
+    """Thread-safe accumulator behind :class:`InvokerStatsSnapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.invocations = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.deadline_exceeded = 0
+        self.breaker_rejections = 0
+
+    def count(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def snapshot(self) -> InvokerStatsSnapshot:
+        with self._lock:
+            return InvokerStatsSnapshot(
+                invocations=self.invocations,
+                successes=self.successes,
+                failures=self.failures,
+                retries=self.retries,
+                exhausted=self.exhausted,
+                deadline_exceeded=self.deadline_exceeded,
+                breaker_rejections=self.breaker_rejections,
+            )
+
+
+class ResilientInvoker:
+    """Retries, deadlines, and circuit breaking around service calls.
+
+    One invoker is meant to be shared by every concurrent enactment of
+    a deployment (its breaker registry *is* the endpoint health state);
+    all methods are thread-safe.  Passing the framework's service
+    registry publishes the breaker health through
+    ``ServiceRegistry.health()``.  ``clock``/``sleep`` are injectable
+    for tests.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ResilienceConfig] = None,
+        services: Optional[Any] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = (config or ResilienceConfig()).validated()
+        self.policy = RetryPolicy(
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            seed=self.config.jitter_seed,
+        )
+        self.breakers = CircuitBreakerRegistry(
+            threshold=self.config.breaker_threshold,
+            reset_after=self.config.breaker_reset_after,
+            probes=self.config.breaker_probes,
+            clock=clock,
+        )
+        self.stats = InvokerStats()
+        self._clock = clock
+        self._sleep = sleep
+        if services is not None:
+            services.health_registry = self.breakers
+
+    def invoke(
+        self,
+        service: Service,
+        dataset: Any,
+        amap: Any,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
+        """One service call under the full resilience policy.
+
+        Raises :class:`CircuitOpenError` without attempting the call
+        when the endpoint's breaker is open, the last ``ServiceFault``
+        when retries are exhausted, and :class:`DeadlineExceeded` when
+        the remaining budget cannot cover the next backoff.
+        """
+        breaker = self.breakers.breaker(service.endpoint or service.name)
+        deadline = (
+            None
+            if self.config.deadline is None
+            else self._clock() + self.config.deadline
+        )
+        self.stats.count("invocations")
+        failures = 0
+        while True:
+            try:
+                breaker.allow()
+            except CircuitOpenError:
+                self.stats.count("breaker_rejections")
+                raise
+            try:
+                result = service.invoke(dataset, amap, context=context)
+            except Exception as error:
+                breaker.record_failure()
+                if not self.policy.retryable(error):
+                    raise
+                self.stats.count("failures")
+                failures += 1
+                if failures >= self.policy.max_attempts:
+                    self.stats.count("exhausted")
+                    raise
+                delay = self.policy.backoff(failures)
+                if deadline is not None and self._clock() + delay > deadline:
+                    self.stats.count("deadline_exceeded")
+                    raise DeadlineExceeded(
+                        service.name,
+                        f"deadline of {self.config.deadline}s exhausted "
+                        f"after {failures} failed attempt(s)",
+                        endpoint=service.endpoint,
+                        cause=error,
+                    ) from error
+                self.stats.count("retries")
+                if delay > 0:
+                    self._sleep(delay)
+            else:
+                breaker.record_success()
+                self.stats.count("successes")
+                return result
+
+    def snapshot(self) -> InvokerStatsSnapshot:
+        """A point-in-time reading of the invocation counters."""
+        return self.stats.snapshot()
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"<ResilientInvoker {snap.invocations} invocations, "
+            f"{snap.retries} retries, {len(self.breakers)} breakers>"
+        )
+
+
+def apply_resilience(
+    workflow: Any,
+    invoker: Optional[ResilientInvoker],
+    config: Optional[ResilienceConfig] = None,
+) -> Any:
+    """Attach an invoker and degradation policies to a compiled workflow.
+
+    Service-backed processors (those with a ``service`` attribute) get
+    the invoker and the config's default ``on_failure`` policy;
+    ``on_failure_overrides`` apply to any processor by name.  Returns
+    the workflow for chaining.  Idempotent: re-applying replaces the
+    previous wiring.
+    """
+    if config is None:
+        config = invoker.config if invoker is not None else ResilienceConfig()
+    for processor in workflow.processors.values():
+        service_backed = getattr(processor, "service", None) is not None
+        if service_backed:
+            processor.invoker = invoker
+        if processor.name in config.on_failure_overrides:
+            processor.on_failure = config.on_failure_overrides[processor.name]
+        elif service_backed and config.on_failure != ON_FAILURE_FAIL:
+            processor.on_failure = config.on_failure
+    return workflow

@@ -1,0 +1,79 @@
+"""Retry policies: exponential backoff, full jitter, deadlines."""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+from repro.services.interface import ServiceFault
+
+
+class DeadlineExceeded(ServiceFault):
+    """The invocation's wall-clock budget ran out across retries."""
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter over a seeded stream.
+
+    The delay before attempt ``n + 1`` (n >= 1 failures so far) is
+    drawn uniformly from ``[0, min(cap, base * 2**(n-1))]`` — the
+    "full jitter" scheme, which decorrelates retry storms across
+    concurrent callers.  A seeded policy replays the same schedule,
+    which the chaos differential tests use; the stream is guarded by a
+    lock so concurrent invocations draw from one well-defined sequence.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {backoff_base}")
+        if backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {backoff_cap}")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def ceiling(self, failures: int) -> float:
+        """The jitter-free backoff ceiling after ``failures`` failures."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        return min(
+            self.backoff_cap, self.backoff_base * (2 ** (failures - 1))
+        )
+
+    def backoff(self, failures: int) -> float:
+        """Seconds to sleep before the next attempt (full jitter)."""
+        ceiling = self.ceiling(failures)
+        if ceiling <= 0:
+            return 0.0
+        with self._lock:
+            return self._rng.uniform(0.0, ceiling)
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether an invocation error is worth another attempt.
+
+        Only service-layer faults are retried; programming errors
+        propagate immediately.  Deadline and breaker errors are
+        terminal by construction and never re-enter the loop.
+        """
+        return isinstance(error, ServiceFault) and not isinstance(
+            error, DeadlineExceeded
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryPolicy attempts={self.max_attempts} "
+            f"base={self.backoff_base}s cap={self.backoff_cap}s>"
+        )

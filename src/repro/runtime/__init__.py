@@ -14,6 +14,14 @@ turns that per-call facade into a throughput-oriented service:
   enactment wall time, per-processor timings, annotation-cache hits)
   and aggregate :class:`~repro.runtime.metrics.RuntimeStats`.
 
+Fault tolerance: configure ``RuntimeConfig(resilience=...)`` with a
+:class:`repro.resilience.ResilienceConfig` and the service routes every
+service invocation through one shared
+:class:`~repro.resilience.ResilientInvoker` (retries with backoff,
+deadlines, circuit breakers, ``on_failure`` degradation);
+``job_retries`` adds whole-job re-runs, with permanently failed jobs
+collected on ``ExecutionService.dead_letters``.
+
 Obtain a configured engine via ``QuratorFramework.runtime()``.
 """
 

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.resilience.config import ResilienceConfig
 
 #: Admission-control policies for a full job queue.
 POLICY_BLOCK = "block"
@@ -37,6 +40,17 @@ class RuntimeConfig:
     ``iteration_workers``
         Fan-out width for implicit iteration inside one firing;
         ``1`` keeps iterations serial.
+    ``job_retries``
+        Whole-job re-runs after a failed enactment before the job is
+        failed and dead-lettered (``0`` = fail on the first error; the
+        finer-grained per-invocation retries live in ``resilience``).
+    ``resilience``
+        Optional :class:`repro.resilience.ResilienceConfig`; when set,
+        the service builds one shared
+        :class:`~repro.resilience.ResilientInvoker` and wires every
+        submitted view/workflow through it (retries with backoff,
+        deadlines, per-endpoint circuit breakers, ``on_failure``
+        degradation policies).
     """
 
     workers: int = 4
@@ -45,6 +59,8 @@ class RuntimeConfig:
     parallel_enactment: bool = False
     enactment_workers: int = 4
     iteration_workers: int = 1
+    job_retries: int = 0
+    resilience: Optional[ResilienceConfig] = None
     name: str = "runtime"
 
     def validated(self) -> "RuntimeConfig":
@@ -68,6 +84,12 @@ class RuntimeConfig:
             raise ValueError(
                 f"iteration_workers must be >= 1, got {self.iteration_workers}"
             )
+        if self.job_retries < 0:
+            raise ValueError(
+                f"job_retries must be >= 0, got {self.job_retries}"
+            )
+        if self.resilience is not None:
+            self.resilience.validated()
         return self
 
     def with_overrides(self, **overrides) -> "RuntimeConfig":

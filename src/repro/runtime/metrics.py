@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.workflow.trace import EnactmentTrace
 
@@ -30,6 +30,11 @@ class JobMetrics:
     iterations: int = 0
     cache_lookups: int = 0
     cache_hits: int = 0
+    #: Whole-job re-runs the worker performed after failed enactments
+    #: (bounded by ``RuntimeConfig.job_retries``).
+    retries: int = 0
+    #: Trace events whose failure an ``on_failure`` policy absorbed.
+    degraded_firings: int = 0
 
     @property
     def queue_wait(self) -> Optional[float]:
@@ -50,6 +55,8 @@ class JobMetrics:
         if trace is None:
             return
         for event in trace.events:
+            if event.status == "degraded":
+                self.degraded_firings += 1
             duration = event.duration
             if duration is None:
                 continue
@@ -74,6 +81,26 @@ class RuntimeStatsSnapshot:
     total_run_seconds: float
     uptime: float
     processor_seconds: Dict[str, float]
+    # -- resilience counters (zero when no policy is configured) -------
+    #: Whole-job re-runs after failed enactments.
+    job_retries: int = 0
+    #: Jobs that exhausted their retry policy and were dead-lettered.
+    dead_lettered: int = 0
+    #: Trace events degraded by ``on_failure`` policies.
+    degraded_firings: int = 0
+    #: Per-invocation retries performed by the resilient invoker.
+    invocation_retries: int = 0
+    #: Invocations that failed every attempt (fault surfaced).
+    invocations_exhausted: int = 0
+    #: Invocations refused because an endpoint's breaker was open.
+    breaker_rejections: int = 0
+    #: Endpoints whose circuit breaker is currently open.
+    open_endpoints: int = 0
+
+    @property
+    def retries(self) -> int:
+        """All retry work performed: per-invocation plus whole-job."""
+        return self.invocation_retries + self.job_retries
 
     @property
     def finished(self) -> int:
@@ -109,6 +136,9 @@ class RuntimeStats:
         self.total_queue_wait = 0.0
         self.total_run_seconds = 0.0
         self.processor_seconds: Dict[str, float] = {}
+        self.job_retries = 0
+        self.dead_lettered = 0
+        self.degraded_firings = 0
 
     def on_submit(self) -> None:
         with self._lock:
@@ -126,6 +156,16 @@ class RuntimeStats:
         with self._lock:
             self.running += 1
 
+    def on_job_retry(self) -> None:
+        """One whole-job re-run after a failed enactment."""
+        with self._lock:
+            self.job_retries += 1
+
+    def on_dead_letter(self) -> None:
+        """One job exhausted its retry policy and was dead-lettered."""
+        with self._lock:
+            self.dead_lettered += 1
+
     def on_finish(self, metrics: JobMetrics, failed: bool) -> None:
         """Fold one finished job's measurements into the aggregates."""
         with self._lock:
@@ -136,13 +176,29 @@ class RuntimeStats:
                 self.completed += 1
             self.total_queue_wait += metrics.queue_wait or 0.0
             self.total_run_seconds += metrics.run_seconds or 0.0
+            self.degraded_firings += metrics.degraded_firings
             for processor, seconds in metrics.processor_seconds.items():
                 self.processor_seconds[processor] = (
                     self.processor_seconds.get(processor, 0.0) + seconds
                 )
 
-    def snapshot(self, in_queue: int = 0) -> RuntimeStatsSnapshot:
-        """A consistent point-in-time reading of every counter."""
+    def snapshot(
+        self, in_queue: int = 0, invoker: Optional[Any] = None
+    ) -> RuntimeStatsSnapshot:
+        """A consistent point-in-time reading of every counter.
+
+        ``invoker`` (a :class:`repro.resilience.ResilientInvoker`)
+        contributes the invocation-level resilience counters when the
+        runtime has one.
+        """
+        invocation_retries = invocations_exhausted = 0
+        breaker_rejections = open_endpoints = 0
+        if invoker is not None:
+            inv = invoker.snapshot()
+            invocation_retries = inv.retries
+            invocations_exhausted = inv.exhausted
+            breaker_rejections = inv.breaker_rejections
+            open_endpoints = len(invoker.breakers.open_endpoints())
         with self._lock:
             return RuntimeStatsSnapshot(
                 submitted=self.submitted,
@@ -156,4 +212,11 @@ class RuntimeStats:
                 total_run_seconds=self.total_run_seconds,
                 uptime=time.perf_counter() - self._started_at,
                 processor_seconds=dict(self.processor_seconds),
+                job_retries=self.job_retries,
+                dead_lettered=self.dead_lettered,
+                degraded_firings=self.degraded_firings,
+                invocation_retries=invocation_retries,
+                invocations_exhausted=invocations_exhausted,
+                breaker_rejections=breaker_rejections,
+                open_endpoints=open_endpoints,
             )

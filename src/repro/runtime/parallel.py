@@ -134,13 +134,16 @@ class ParallelEnactor(Enactor):
             def task() -> Tuple[Dict[str, Any], int]:
                 event = trace.start(name)
                 try:
-                    outputs, iterations = fire_processor(
+                    outputs, iterations, degradations = fire_processor(
                         processor, port_values, mapper
                     )
                 except Exception as exc:
                     trace.fail(event, str(exc))
                     raise EnactmentError(workflow.name, name, exc) from exc
-                trace.complete(event, iterations)
+                if degradations:
+                    trace.degrade(event, "; ".join(degradations), iterations)
+                else:
+                    trace.complete(event, iterations)
                 return outputs, iterations
 
             in_flight[pool.submit(task)] = name

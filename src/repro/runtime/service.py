@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.rdf import URIRef
+from repro.resilience import ResilientInvoker, apply_resilience
 from repro.runtime.config import POLICY_REJECT, RuntimeConfig
 from repro.runtime.jobs import Job, JobBatch, JobHandle
 from repro.runtime.metrics import RuntimeStats, RuntimeStatsSnapshot
@@ -62,6 +63,16 @@ class ExecutionService:
         self.framework = framework
         self.config = (config or RuntimeConfig()).validated()
         self.stats = RuntimeStats()
+        #: Jobs that failed permanently (their ``job_retries`` budget —
+        #: possibly zero — exhausted); inspect after a batch to triage.
+        self.dead_letters: List[JobHandle] = []
+        self.invoker: Optional[ResilientInvoker] = None
+        if self.config.resilience is not None:
+            # One shared invoker: all jobs see the same circuit breakers
+            # and the same resilience counters.
+            self.invoker = ResilientInvoker(
+                self.config.resilience, services=framework.services
+            )
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_size)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -104,7 +115,7 @@ class ExecutionService:
         transient repositories *now*, at admission — only safe when no
         other job is mid-flight against the same framework.
         """
-        view.compile()
+        self._apply_resilience(view.compile())
         if clear_cache:
             self.framework.repositories.clear_transient()
         dataset = list(items)
@@ -159,6 +170,7 @@ class ExecutionService:
         timeout: Optional[float] = None,
     ) -> JobHandle:
         """Queue a raw workflow enactment; the result is its outputs."""
+        self._apply_resilience(workflow)
         handle = self._new_handle(name or f"wf-{workflow.name}")
         inputs = dict(inputs or {})
 
@@ -224,9 +236,16 @@ class ExecutionService:
         """A point-in-time reading of the runtime's counters."""
         with self._lock:
             in_queue = self._outstanding - self.stats.running
-        return self.stats.snapshot(in_queue=max(0, in_queue))
+        return self.stats.snapshot(
+            in_queue=max(0, in_queue), invoker=self.invoker
+        )
 
     # -- internals ---------------------------------------------------------
+
+    def _apply_resilience(self, workflow: Workflow) -> None:
+        """Route a workflow's service calls through the shared invoker."""
+        if self.invoker is not None:
+            apply_resilience(workflow, self.invoker, self.config.resilience)
 
     def _new_handle(self, name: str) -> JobHandle:
         with self._lock:
@@ -289,19 +308,37 @@ class ExecutionService:
             return  # cancelled while queued
         self.stats.on_start()
         lookups_before, hits_before = self.framework.repositories.lookup_stats()
-        # Reset the worker thread's trace slot so a failure before this
-        # job's trace exists cannot fold a previous job's timings in.
-        self._enactor.last_trace = None
+        # Whole-job retries run inline on this worker (never re-enqueued,
+        # so a bounded queue cannot deadlock on its own retries).
+        attempts = 1 + self.config.job_retries
         failed = False
-        try:
-            value, trace = job.thunk()
-        except BaseException as exc:  # noqa: BLE001 - job fault boundary
-            failed = True
-            handle.metrics.record_trace(self._enactor.last_trace)
-            handle._fail(exc)
-        else:
-            handle.metrics.record_trace(trace)
-            handle._finish(value)
+        for attempt in range(1, attempts + 1):
+            # Reset the worker thread's trace slot so a failure before
+            # this attempt's trace exists cannot fold a previous run's
+            # timings in.
+            self._enactor.last_trace = None
+            try:
+                value, trace = job.thunk()
+            except Exception as exc:  # noqa: BLE001 - job fault boundary
+                handle.metrics.record_trace(self._enactor.last_trace)
+                if attempt < attempts:
+                    handle.metrics.retries += 1
+                    self.stats.on_job_retry()
+                    continue
+                failed = True
+                handle._fail(exc)
+            except BaseException as exc:  # noqa: BLE001 - never retried
+                failed = True
+                handle.metrics.record_trace(self._enactor.last_trace)
+                handle._fail(exc)
+            else:
+                handle.metrics.record_trace(trace)
+                handle._finish(value)
+            break
+        if failed:
+            with self._lock:
+                self.dead_letters.append(handle)
+            self.stats.on_dead_letter()
         lookups_after, hits_after = self.framework.repositories.lookup_stats()
         handle.metrics.cache_lookups = lookups_after - lookups_before
         handle.metrics.cache_hits = hits_after - hits_before

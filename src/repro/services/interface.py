@@ -19,12 +19,27 @@ from repro.rdf import URIRef
 
 
 class ServiceFault(RuntimeError):
-    """The service-layer error envelope (a SOAP fault analogue)."""
+    """The service-layer error envelope (a SOAP fault analogue).
 
-    def __init__(self, service: str, message: str) -> None:
-        super().__init__(f"fault from service {service!r}: {message}")
+    Carries the failing service's name and endpoint so retried or
+    dead-lettered invocations stay debuggable from the trace alone, and
+    keeps the underlying exception both as ``cause`` and as
+    ``__cause__`` (raise sites use ``raise ... from exc``).
+    """
+
+    def __init__(
+        self,
+        service: str,
+        message: str,
+        endpoint: Optional[str] = None,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        where = f" at {endpoint}" if endpoint else ""
+        super().__init__(f"fault from service {service!r}{where}: {message}")
         self.service = service
         self.fault_message = message
+        self.endpoint = endpoint
+        self.cause = cause
 
 
 class Service(abc.ABC):
@@ -43,6 +58,9 @@ class Service(abc.ABC):
         self.endpoint = endpoint
         #: Simulated WSDL round-trip time per invocation, in seconds.
         self.latency: float = 0.0
+        #: Optional :class:`repro.resilience.FaultInjector` consulted on
+        #: every round trip (may sleep or raise an injected fault).
+        self.fault_injector: Optional[Any] = None
 
     def with_latency(self, seconds: float) -> "Service":
         """Set the simulated round-trip time; returns self for chaining."""
@@ -52,7 +70,14 @@ class Service(abc.ABC):
         return self
 
     def _round_trip(self) -> None:
-        """Pay one invocation's simulated network cost."""
+        """Pay one invocation's simulated network cost.
+
+        When a fault injector is attached it runs first, so an injected
+        fault costs nothing extra while injected latency stacks on top
+        of the service's own round-trip time.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_invocation(self)
         if self.latency > 0:
             time.sleep(self.latency)
 
@@ -74,7 +99,9 @@ class Service(abc.ABC):
         except ServiceFault:
             raise
         except Exception as exc:
-            raise ServiceFault(self.name, str(exc)) from exc
+            raise ServiceFault(
+                self.name, str(exc), endpoint=self.endpoint, cause=exc
+            ) from exc
         return AnnotationMapMessage(result).to_xml()
 
     def __repr__(self) -> str:

@@ -8,7 +8,7 @@ simulates the published-WSDL surface the workflow scavenger crawls.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.rdf import URIRef
 from repro.services.interface import Service
@@ -23,6 +23,11 @@ class ServiceRegistry:
         self._by_name: Dict[str, Service] = {}
         self._by_endpoint: Dict[str, Service] = {}
         self._by_concept: Dict[URIRef, List[Service]] = {}
+        #: Per-endpoint circuit-breaker registry, installed by a
+        #: :class:`repro.resilience.ResilientInvoker`; the registry
+        #: itself stays resilience-agnostic and only republishes the
+        #: health counters (see :meth:`health`).
+        self.health_registry: Optional[Any] = None
 
     def deploy(self, service: Service) -> str:
         """Register a service; assigns its endpoint. Returns the endpoint."""
@@ -34,6 +39,47 @@ class ServiceRegistry:
         self._by_endpoint[endpoint] = service
         self._by_concept.setdefault(service.concept, []).append(service)
         return endpoint
+
+    def replace(self, service: Service) -> Service:
+        """Swap the same-named deployed service in place.
+
+        The replacement inherits the deployed endpoint, so compiled
+        bindings and WSDL links stay valid — this is how a
+        :class:`repro.resilience.FlakyService` wrapper (or a patched
+        implementation) takes over an endpoint.  Returns the service
+        it replaced.
+        """
+        try:
+            previous = self._by_name[service.name]
+        except KeyError:
+            raise KeyError(
+                f"no service named {service.name!r} to replace; "
+                f"deployed: {sorted(self._by_name)}"
+            ) from None
+        service.endpoint = previous.endpoint
+        self._by_name[service.name] = service
+        self._by_endpoint[previous.endpoint] = service
+        siblings = self._by_concept.setdefault(service.concept, [])
+        previous_siblings = self._by_concept.get(previous.concept, [])
+        if previous in previous_siblings:
+            previous_siblings.remove(previous)
+        siblings.append(service)
+        return previous
+
+    def health(self) -> Dict[str, Any]:
+        """endpoint -> circuit-breaker snapshot for deployed services.
+
+        Empty when no resilient invoker has been attached; endpoints
+        that were never invoked through the invoker are omitted.
+        """
+        if self.health_registry is None:
+            return {}
+        known = self.health_registry.snapshots()
+        return {
+            endpoint: known[endpoint]
+            for endpoint in self._by_endpoint
+            if endpoint in known
+        }
 
     def undeploy(self, name: str) -> None:
         """Remove a service from every index (idempotent)."""

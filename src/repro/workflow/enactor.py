@@ -7,11 +7,17 @@ processor fires once per element (cross product over all iterated
 ports, Taverna's default strategy) and each output becomes a list.
 
 The firing semantics (implicit iteration, retry/alternate fault
-tolerance) live in the module-level :func:`fire_processor` /
-:func:`fire_once` functions so that every enactment strategy — the
-serial :class:`Enactor` here and the wavefront
-:class:`repro.runtime.parallel.ParallelEnactor` — shares one
+tolerance, ``on_failure`` degradation) live in the module-level
+:func:`fire_processor` / :func:`fire_once` functions so that every
+enactment strategy — the serial :class:`Enactor` here and the
+wavefront :class:`repro.runtime.parallel.ParallelEnactor` — shares one
 implementation and therefore one behaviour.
+
+Degradation: a processor whose ``on_failure`` policy is ``"skip"`` or
+``"default_annotation"`` absorbs an otherwise-fatal firing failure
+into its :meth:`~repro.workflow.processors.Processor.degraded`
+fallback outputs; the enactment continues and the trace records the
+event with status ``"degraded"`` instead of ``"failed"``.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.workflow.model import Workflow, WorkflowError
+from repro.workflow.processors import ON_FAILURE_FAIL
 from repro.workflow.trace import EnactmentTrace
 
 #: A mapper applying one firing callable over per-iteration inputs,
@@ -80,6 +87,26 @@ def fire_once(processor, inputs: Dict[str, Any]) -> Dict[str, Any]:
     raise last_error
 
 
+def fire_degradable(
+    processor, inputs: Dict[str, Any], degradations: List[str]
+) -> Dict[str, Any]:
+    """One firing with the processor's ``on_failure`` policy applied.
+
+    Runs :func:`fire_once` (retries + alternate); if that still fails
+    and the processor declares a non-``fail`` policy, the failure is
+    absorbed: the fallback outputs come from ``processor.degraded``
+    and a note is appended to ``degradations`` for the trace.
+    """
+    try:
+        return fire_once(processor, inputs)
+    except Exception as exc:  # noqa: BLE001 - degradation boundary
+        policy = getattr(processor, "on_failure", ON_FAILURE_FAIL)
+        if policy == ON_FAILURE_FAIL:
+            raise
+        degradations.append(f"{type(exc).__name__}: {exc}")
+        return processor.degraded(inputs, policy)
+
+
 def iteration_inputs(
     processor, port_values: Mapping[str, Any]
 ) -> Optional[List[Dict[str, Any]]]:
@@ -130,18 +157,25 @@ def fire_processor(
     processor,
     port_values: Dict[str, Any],
     mapper: Optional[IterationMapper] = None,
-) -> Tuple[Dict[str, Any], int]:
-    """Fire a processor over its gathered inputs; returns (outputs, n).
+) -> Tuple[Dict[str, Any], int, List[str]]:
+    """Fire a processor over its gathered inputs.
+
+    Returns ``(outputs, iterations, degradations)`` — the third element
+    lists the failures absorbed by the processor's ``on_failure``
+    policy (empty on a clean firing; the caller marks the trace event
+    degraded when it is not).
 
     ``mapper`` lets a caller parallelise the implicit-iteration fan-out
     (it must preserve input order); by default iterations run serially.
     """
+    degradations: List[str] = []
     calls = iteration_inputs(processor, port_values)
     if calls is None:
-        return fire_once(processor, dict(port_values)), 1
+        outputs = fire_degradable(processor, dict(port_values), degradations)
+        return outputs, 1, degradations
 
     def call(inputs: Dict[str, Any]) -> Dict[str, Any]:
-        return fire_once(processor, inputs)
+        return fire_degradable(processor, inputs, degradations)
 
     if mapper is None or len(calls) <= 1:
         results = [call(inputs) for inputs in calls]
@@ -153,7 +187,7 @@ def fire_processor(
     for outputs in results:
         for port in processor.output_ports:
             collected[port].append(outputs.get(port))
-    return dict(collected), len(calls)
+    return dict(collected), len(calls), degradations
 
 
 def gather_port_values(
@@ -248,18 +282,23 @@ class Enactor:
             port_values = gather_port_values(workflow, name, values)
             event = trace.start(name)
             try:
-                outputs, iterations = self._fire(processor, port_values)
+                outputs, iterations, degradations = self._fire(
+                    processor, port_values
+                )
             except Exception as exc:
                 trace.fail(event, str(exc))
                 raise EnactmentError(workflow.name, name, exc) from exc
-            trace.complete(event, iterations)
+            if degradations:
+                trace.degrade(event, "; ".join(degradations), iterations)
+            else:
+                trace.complete(event, iterations)
             for port, value in outputs.items():
                 values[(name, port)] = value
         return EnactmentResult(collect_workflow_outputs(workflow, values), trace)
 
     def _fire(
         self, processor, port_values: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], int]:
+    ) -> Tuple[Dict[str, Any], int, List[str]]:
         return fire_processor(processor, port_values)
 
     def _fire_once(self, processor, inputs: Dict[str, Any]) -> Dict[str, Any]:

@@ -12,6 +12,14 @@ import abc
 import copy
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+#: Degradation policies for failures absorbed at the firing boundary
+#: (re-exported by ``repro.resilience.config``, defined here so the
+#: workflow layer needs no resilience import).
+ON_FAILURE_FAIL = "fail"
+ON_FAILURE_SKIP = "skip"
+ON_FAILURE_DEFAULT = "default_annotation"
+ON_FAILURE_POLICIES = (ON_FAILURE_FAIL, ON_FAILURE_SKIP, ON_FAILURE_DEFAULT)
+
 
 class Processor(abc.ABC):
     """A workflow step with named, depth-annotated ports.
@@ -30,6 +38,15 @@ class Processor(abc.ABC):
 
     #: Processor tried when this one (and its retries) failed.
     alternate: Optional["Processor"] = None
+
+    #: What an unrecoverable firing failure does: ``"fail"`` propagates
+    #: (the default), ``"skip"`` / ``"default_annotation"`` degrade to
+    #: :meth:`degraded` outputs and mark the trace event as degraded.
+    on_failure: str = ON_FAILURE_FAIL
+
+    #: Optional :class:`repro.resilience.ResilientInvoker` routing this
+    #: processor's service calls (retry/backoff/deadline/breaker).
+    invoker: Optional[Any] = None
 
     def __init__(
         self,
@@ -60,6 +77,60 @@ class Processor(abc.ABC):
         self.retries = retries
         self.alternate = alternate
         return self
+
+    def with_on_failure(self, policy: str) -> "Processor":
+        """Set the degradation policy; returns self for chaining."""
+        if policy not in ON_FAILURE_POLICIES:
+            raise ValueError(
+                f"unknown on_failure policy {policy!r}; "
+                f"valid: {ON_FAILURE_POLICIES}"
+            )
+        self.on_failure = policy
+        return self
+
+    def invoke_service(
+        self,
+        service: Any,
+        dataset: Any,
+        amap: Any,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
+        """Route one service call through the resilient invoker, if any.
+
+        Service-backed processors call this instead of
+        ``service.invoke`` directly, so attaching an invoker (see
+        ``repro.resilience.apply_resilience``) adds retry, deadline and
+        circuit-breaker behaviour without touching firing semantics.
+        """
+        if self.invoker is None:
+            return service.invoke(dataset, amap, context=context)
+        return self.invoker.invoke(service, dataset, amap, context=context)
+
+    def degraded(self, inputs: Dict[str, Any], policy: str) -> Dict[str, Any]:
+        """Fallback outputs when ``on_failure`` absorbs a failure.
+
+        The default contribution is "nothing": an ``annotationMap``
+        output passes the input map through unchanged (the processor
+        added no annotations — evidence missing), list ports become
+        empty lists, scalar ports ``None``.  Subclasses refine this
+        (e.g. a QA tagging items as degraded under
+        ``default_annotation``).
+        """
+        from repro.annotation.map import AnnotationMap
+
+        outputs: Dict[str, Any] = {}
+        for port, depth in self.output_ports.items():
+            if port == "annotationMap":
+                amap = inputs.get("annotationMap")
+                outputs[port] = (
+                    amap.copy() if isinstance(amap, AnnotationMap)
+                    else AnnotationMap()
+                )
+            elif depth >= 1:
+                outputs[port] = []
+            else:
+                outputs[port] = None
+        return outputs
 
     @abc.abstractmethod
     def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
@@ -191,7 +262,9 @@ class WSDLProcessor(Processor):
         amap = inputs.get("annotationMap")
         if amap is None:
             amap = AnnotationMap()
-        result = self.service.invoke(dataset, amap, context=self.config or None)
+        result = self.invoke_service(
+            self.service, dataset, amap, context=self.config or None
+        )
         return {"annotationMap": result}
 
 

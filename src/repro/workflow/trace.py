@@ -12,7 +12,7 @@ class TraceEvent:
     """One lifecycle event of one processor firing."""
 
     processor: str
-    status: str  # scheduled | completed | failed
+    status: str  # scheduled | completed | degraded | failed
     started_at: float
     finished_at: Optional[float] = None
     error: Optional[str] = None
@@ -51,6 +51,18 @@ class EnactmentTrace:
         event.finished_at = time.perf_counter()
         event.error = error
 
+    def degrade(self, event: TraceEvent, error: str, iterations: int = 1) -> None:
+        """Mark an event degraded: its failure was absorbed by policy.
+
+        The enactment continued on the processor's fallback outputs;
+        ``error`` keeps the absorbed failure(s) debuggable from the
+        trace.
+        """
+        event.status = "degraded"
+        event.finished_at = time.perf_counter()
+        event.error = error
+        event.iterations = iterations
+
     def order(self) -> List[str]:
         """Processor names in firing order."""
         return [event.processor for event in self.events]
@@ -58,6 +70,10 @@ class EnactmentTrace:
     def failed(self) -> List[TraceEvent]:
         """Events that ended in failure."""
         return [event for event in self.events if event.status == "failed"]
+
+    def degraded(self) -> List[TraceEvent]:
+        """Events whose failure was absorbed by an on_failure policy."""
+        return [event for event in self.events if event.status == "degraded"]
 
     def total_duration(self) -> float:
         """Sum of all event durations (seconds)."""

@@ -10,6 +10,7 @@ property-based random DAGs (hypothesis).
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -17,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.core.ispider import example_quality_view_xml, setup_framework
 from repro.runtime import ParallelEnactor
+from repro.services.interface import ServiceFault
 from repro.workflow.enactor import EnactmentError, Enactor
 from repro.workflow.model import Port, Workflow
 from repro.workflow.processors import PythonProcessor
@@ -204,6 +206,84 @@ class TestRandomDagDifferential:
             ParallelEnactor(max_workers=3).run(workflow, {"x": 1})
         assert serial_error.value.processor == parallel_error.value.processor
         assert "deliberate" in str(parallel_error.value)
+
+
+class TestWavefrontFaultPropagation:
+    """Satellite: a ServiceFault in one branch fails the run cleanly.
+
+    The wavefront must neither hang nor orphan in-flight siblings: the
+    failing branch's error surfaces as one EnactmentError, concurrently
+    running siblings finish their firing, nothing downstream of the
+    failure is ever scheduled, and the run's thread pools shut down.
+    """
+
+    def _forked(self, sibling_delay: float = 0.0) -> Workflow:
+        """input -> src -> {bad -> after_bad, slow_sibling} (two branches)."""
+        workflow = Workflow("forked")
+        workflow.add_input("x")
+        workflow.add_output("y")
+
+        def boom(x):
+            raise ServiceFault("remote-qa", "endpoint down",
+                               endpoint="http://x/qa")
+
+        def slow(x):
+            if sibling_delay:
+                time.sleep(sibling_delay)
+            return x * 2
+
+        workflow.add_processor(
+            PythonProcessor("src", lambda x: x + 1, input_ports={"x": 0},
+                            output_ports={"out": 0})
+        )
+        workflow.add_processor(
+            PythonProcessor("bad", boom, input_ports={"x": 0},
+                            output_ports={"out": 0})
+        )
+        workflow.add_processor(
+            PythonProcessor("after_bad", lambda x: x, input_ports={"x": 0},
+                            output_ports={"out": 0})
+        )
+        workflow.add_processor(
+            PythonProcessor("slow_sibling", slow, input_ports={"x": 0},
+                            output_ports={"out": 0})
+        )
+        workflow.connect("", "x", "src", "x")
+        workflow.connect("src", "out", "bad", "x")
+        workflow.connect("bad", "out", "after_bad", "x")
+        workflow.connect("src", "out", "slow_sibling", "x")
+        workflow.link(Port("slow_sibling", "out"), Port("", "y"))
+        return workflow
+
+    def test_fault_surfaces_without_hanging(self):
+        enactor = ParallelEnactor(max_workers=4)
+        with pytest.raises(EnactmentError) as error:
+            enactor.run(self._forked(), {"x": 1})
+        assert error.value.processor == "bad"
+        assert isinstance(error.value.cause, ServiceFault)
+        assert error.value.cause.endpoint == "http://x/qa"
+
+    def test_in_flight_sibling_completes_and_downstream_is_never_fired(self):
+        enactor = ParallelEnactor(max_workers=4)
+        with pytest.raises(EnactmentError):
+            enactor.run(self._forked(sibling_delay=0.05), {"x": 1})
+        trace = enactor.last_trace
+        by_name = {event.processor: event for event in trace.events}
+        # the sibling that was already in flight finished its firing
+        assert by_name["slow_sibling"].status == "completed"
+        # nothing downstream of the failure was ever scheduled
+        assert "after_bad" not in by_name
+        assert by_name["bad"].status == "failed"
+
+    def test_executor_threads_are_shut_down(self):
+        enactor = ParallelEnactor(max_workers=3, iteration_workers=2)
+        with pytest.raises(EnactmentError):
+            enactor.run(self._forked(sibling_delay=0.02), {"x": 1})
+        leftovers = [
+            thread for thread in threading.enumerate()
+            if thread.name.startswith(("enact-forked", "iter-forked"))
+        ]
+        assert leftovers == []
 
 
 class TestTraceIsolation:
