@@ -1,0 +1,138 @@
+"""E15 — observability overhead: fully instrumented vs disabled.
+
+The instrumentation threaded through the workflow, runtime,
+resilience, RDF, and annotation layers runs on every hot path
+(processor firings, service invocations, SPARQL evaluations, cache
+lookups).  This experiment pins its cost on the E13 workload — the
+Figure-7 quality view pushed through the execution service at 4
+workers with simulated 10 ms WSDL round trips — comparing telemetry
+fully ON (default registry + tracing + event log) against fully OFF
+(``observability.disable()``: ``NullRegistry``, ``NullEventLog``, span
+creation suppressed).
+
+Acceptance bar: instrumented throughput >= 95% of the disabled
+baseline (<= 5% overhead).  Table lands in
+``benchmarks/results/E15_observability.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro import observability
+from repro.core.ispider import example_quality_view_xml, setup_framework
+from repro.observability import MetricRegistry, set_default_registry
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.resilience import ResilienceConfig
+from repro.runtime import RuntimeConfig
+
+#: Simulated WSDL round trip per service invocation (as in E13).
+SERVICE_LATENCY_S = 0.010
+
+#: Jobs per measured pass (the 8 per-spot datasets, cycled).
+N_JOBS = 16
+
+WORKERS = 4
+
+#: Measured passes per mode; the best pass is scored, so a stray
+#: scheduler hiccup in either mode cannot decide the comparison.
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def workload(bench_seed):
+    """Framework + compiled example view + one dataset per spot."""
+    scenario = ProteomicsScenario.generate(
+        seed=bench_seed, n_proteins=200, n_spots=8
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    for service in framework.services:
+        service.with_latency(SERVICE_LATENCY_S)
+    view = framework.quality_view(example_quality_view_xml())
+    view.compile()
+    spots = [results.items_of_run(run.run_id) for run in runs]
+    datasets = [spots[i % len(spots)] for i in range(N_JOBS)]
+    return framework, view, datasets
+
+
+def _jobs_per_second(framework, view, datasets) -> float:
+    config = RuntimeConfig(
+        workers=WORKERS,
+        queue_size=len(datasets),
+        parallel_enactment=True,
+        enactment_workers=3,
+        resilience=ResilienceConfig(max_attempts=2),
+    )
+    framework.repositories.clear_transient()
+    with framework.runtime(config) as service:
+        start = time.perf_counter()
+        batch = service.submit_many(view, datasets, clear_cache=False)
+        batch.results(timeout=300)
+        elapsed = time.perf_counter() - start
+        snapshot = service.snapshot()
+    assert snapshot.completed == len(datasets)
+    assert snapshot.failed == 0
+    return len(datasets) / elapsed
+
+
+def _best_rate(framework, view, datasets) -> float:
+    return max(
+        _jobs_per_second(framework, view, datasets) for _ in range(REPEATS)
+    )
+
+
+@pytest.mark.slow
+def test_observability_overhead_is_bounded(workload, bench_seed):
+    framework, view, datasets = workload
+
+    # Warm-up both code paths once.
+    _jobs_per_second(framework, view, datasets)
+
+    state = observability.disable()
+    try:
+        disabled = _best_rate(framework, view, datasets)
+    finally:
+        observability.restore(state)
+
+    # Full telemetry into a fresh registry (default tracing + events).
+    previous = set_default_registry(MetricRegistry())
+    try:
+        instrumented = _best_rate(framework, view, datasets)
+        families = len(observability.get_registry().names())
+        samples = sum(
+            len(family.samples)
+            for family in observability.get_registry().collect()
+        )
+    finally:
+        set_default_registry(previous)
+
+    ratio = instrumented / disabled
+    lines = [
+        f"workload: {N_JOBS} jobs, {WORKERS} workers, "
+        f"{SERVICE_LATENCY_S * 1e3:.1f} ms simulated service round trip, "
+        f"best of {REPEATS} passes",
+        f"telemetry volume when enabled: {families} metric families, "
+        f"{samples} label series",
+        f"{'mode':<28} {'jobs/sec':>9} {'relative':>9}",
+        f"{'telemetry disabled':<28} {disabled:>9.2f} {'1.000':>9}",
+        f"{'fully instrumented':<28} {instrumented:>9.2f} {ratio:>9.3f}",
+        f"overhead: {max(0.0, (1 - ratio)) * 100:.1f}% "
+        f"(acceptance bar: <= 5%)",
+    ]
+    write_table(
+        "E15_observability",
+        "Observability overhead (E13 workload, 4 workers)",
+        lines,
+        seed=bench_seed,
+    )
+    assert instrumented >= 0.95 * disabled, (
+        f"instrumentation costs more than 5%: {instrumented:.2f} vs "
+        f"{disabled:.2f} jobs/sec ({(1 - ratio) * 100:.1f}%)"
+    )

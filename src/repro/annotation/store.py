@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.annotation.map import AnnotationMap
+from repro.observability import add_to_current, get_registry
 from repro.ontology.iq_model import IQModel
 from repro.rdf import Graph, Literal, Q, RDF, URIRef
 from repro.rdf.term import Node
@@ -153,7 +154,14 @@ class AnnotationStore:
     # -- reading -----------------------------------------------------------
 
     def lookup(self, data_item: URIRef, evidence_type: URIRef) -> Optional[Any]:
-        """The (data, evidence type) key access of the paper, via SPARQL."""
+        """The (data, evidence type) key access of the paper, via SPARQL.
+
+        Every lookup is attributed two ways: to the process-wide
+        metric registry (``repro_annotation_store_lookups_total`` by
+        store and hit/miss), and — via the active span's root — to
+        exactly the runtime job that caused it, however many thread
+        hops away it ran (see ``repro.observability.spans``).
+        """
         result = self.graph.query(
             _EVIDENCE_QUERY.format(data=data_item, evidence_type=evidence_type)
         )
@@ -167,6 +175,14 @@ class AnnotationStore:
             self.stats.lookups += 1
             if hit:
                 self.stats.hits += 1
+        get_registry().counter(
+            "repro_annotation_store_lookups_total",
+            "Keyed evidence reads by store and hit/miss.",
+            labels=("store", "result"),
+        ).labels(store=self.name, result="hit" if hit else "miss").inc()
+        add_to_current("cache.lookups", 1)
+        if hit:
+            add_to_current("cache.hits", 1)
         return found
 
     def lookup_all(self, data_item: URIRef) -> Dict[URIRef, Any]:

@@ -12,8 +12,15 @@ Commands:
   runtime: one quality-view job per sample through the job queue and
   worker pool, with per-job and aggregate metrics.  ``--fault-rate`` /
   ``--retry-attempts`` / ``--job-retries`` / ``--on-failure`` exercise
-  the resilience layer; the exit status is non-zero when any job fails
-  or is dead-lettered.
+  the resilience layer; ``--telemetry <path>`` dumps the full JSON
+  telemetry snapshot (metrics + breaker health + runtime aggregates +
+  events + spans) after the batch; the exit status is non-zero when
+  any job fails or is dead-lettered.
+* ``metrics [--port P] [--oneshot]`` — run a small instrumented
+  workload, then expose the metric registry: an HTTP endpoint serving
+  Prometheus text (``/metrics``) and a JSON snapshot
+  (``/metrics.json``), or — with ``--oneshot`` — a single scrape
+  printed to stdout.
 * ``info`` — one-paragraph description and component inventory.
 """
 
@@ -102,6 +109,32 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="filter_condition",
         default="ScoreClass in q:high",
         help="the action condition applied to identifications",
+    )
+    batch.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write the JSON telemetry snapshot here after the batch",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="expose execution metrics (Prometheus text + JSON snapshot)",
+    )
+    metrics.add_argument("--spots", type=int, default=4)
+    metrics.add_argument("--proteins", type=int, default=120)
+    metrics.add_argument("--seed", type=int, default=42)
+    metrics.add_argument("--workers", type=int, default=2)
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument(
+        "--port", type=int, default=9464,
+        help="HTTP port for /metrics (0 binds an ephemeral port)",
+    )
+    metrics.add_argument(
+        "--oneshot", action="store_true",
+        help="print one scrape to stdout instead of serving HTTP",
+    )
+    metrics.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="--oneshot output: Prometheus text or the JSON snapshot",
     )
 
     commands.add_parser("info", help="describe this reproduction")
@@ -298,6 +331,13 @@ def _cmd_batch(args) -> int:
     print("hottest processors: "
           + ", ".join(f"{name} {seconds * 1000:.1f} ms"
                       for name, seconds in slowest))
+    if args.telemetry:
+        from repro.observability import write_telemetry
+
+        write_telemetry(
+            args.telemetry, services=framework.services, runtime=snap
+        )
+        print(f"telemetry snapshot written to {args.telemetry}")
     failures = batch.failures()
     if failures or dead_letters:
         print(f"\n{len(failures)} job(s) failed "
@@ -309,6 +349,67 @@ def _cmd_batch(args) -> int:
                      if handle.metrics.retries else ""),
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.core.ispider import example_quality_view_xml, setup_framework
+    from repro.observability import (
+        json_snapshot,
+        render_prometheus,
+        serve_metrics,
+    )
+    from repro.proteomics import ProteomicsScenario
+    from repro.proteomics.results import ImprintResultSet
+    from repro.resilience import ResilienceConfig
+    from repro.runtime import RuntimeConfig
+
+    # A small end-to-end workload so every layer has published samples:
+    # workflow firings, runtime jobs, resilient invocations (the
+    # resilience config routes service calls through the invoker, which
+    # also creates the per-endpoint breaker-state gauges), SPARQL
+    # timings, and annotation-store reads.
+    scenario = ProteomicsScenario.generate(
+        seed=args.seed, n_proteins=args.proteins, n_spots=args.spots
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    view = framework.quality_view(example_quality_view_xml())
+    config = RuntimeConfig(
+        workers=args.workers,
+        parallel_enactment=True,
+        resilience=ResilienceConfig(max_attempts=2),
+    ).validated()
+    datasets = [results.items_of_run(run.run_id) for run in runs]
+    with framework.runtime(config) as service:
+        service.submit_many(view, datasets).wait()
+        snap = service.snapshot()
+    if args.oneshot:
+        if args.format == "json":
+            document = json_snapshot(
+                services=framework.services, runtime=snap
+            )
+            print(json.dumps(document, indent=2, sort_keys=True, default=str))
+        else:
+            print(render_prometheus(), end="")
+        return 0
+    server = serve_metrics(
+        host=args.host, port=args.port,
+        services=framework.services, runtime=snap,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving http://{host}:{port}/metrics "
+          f"(JSON snapshot at /metrics.json; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -338,6 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "info":
         return _cmd_info()
     return 2

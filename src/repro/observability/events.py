@@ -1,0 +1,159 @@
+"""Structured event log: JSON-ready dicts through pluggable sinks.
+
+Instrumented layers emit *events* — small flat dicts with a name, a
+unix timestamp, and whatever attributes matter (job name, endpoint,
+breaker state…).  The default log keeps the newest events in a
+bounded in-memory ring (:class:`RingBufferSink`), which the JSON
+snapshot exporter and the CLI drain; attaching a
+:class:`JsonLinesFileSink` streams the same events to disk as JSON
+lines.  When a span is active, its trace/span ids are stamped onto
+every event automatically, so the log joins against the span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.observability import spans
+
+
+class RingBufferSink:
+    """Keeps the newest ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The buffered events, oldest first (``limit`` keeps the newest)."""
+        with self._lock:
+            events = list(self._events)
+        return events if limit is None else events[-limit:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class JsonLinesFileSink:
+    """Appends each event to a file as one JSON line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, default=str, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+
+class CallbackSink:
+    """Routes events to an arbitrary callable (test hook, bridge)."""
+
+    def __init__(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        self.fn = fn
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.fn(event)
+
+
+class EventLog:
+    """Fans every emitted event out to its sinks.
+
+    A sink failure never breaks the instrumented caller — faulty
+    sinks are dropped after their first raise.
+    """
+
+    def __init__(self, *sinks: Any) -> None:
+        self._lock = threading.Lock()
+        self._sinks: List[Any] = list(sinks) or [RingBufferSink()]
+
+    @property
+    def ring(self) -> Optional[RingBufferSink]:
+        """The first ring-buffer sink, if any (the snapshot source)."""
+        with self._lock:
+            for sink in self._sinks:
+                if isinstance(sink, RingBufferSink):
+                    return sink
+        return None
+
+    def add_sink(self, sink: Any) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def emit(self, name: str, **attributes: Any) -> Dict[str, Any]:
+        """Build, stamp, and deliver one event; returns it."""
+        event: Dict[str, Any] = {"event": name, "ts": time.time()}
+        span = spans.current_span()
+        if span is not None:
+            event["trace_id"] = span.trace_id
+            event["span_id"] = span.span_id
+        event.update(attributes)
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.emit(event)
+            except Exception:  # noqa: BLE001 - sinks must not break callers
+                self.remove_sink(sink)
+        return event
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The ring buffer's events (empty when no ring sink is attached)."""
+        ring = self.ring
+        return ring.events(limit) if ring is not None else []
+
+
+class NullEventLog(EventLog):
+    """An event log that drops everything (telemetry disabled)."""
+
+    def __init__(self) -> None:
+        super().__init__(CallbackSink(lambda event: None))
+
+    def emit(self, name: str, **attributes: Any) -> Dict[str, Any]:
+        return {}
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return []
+
+
+_default_log = EventLog()
+_default_lock = threading.Lock()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide event log the instrumented layers emit to."""
+    return _default_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Swap the process-wide event log; returns the previous one."""
+    global _default_log
+    with _default_lock:
+        previous = _default_log
+        _default_log = log
+        return previous

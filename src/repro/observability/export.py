@@ -1,0 +1,234 @@
+"""Exporters: Prometheus text format, JSON snapshots, and an HTTP endpoint.
+
+``render_prometheus`` produces the Prometheus text exposition format
+(``text/plain; version=0.0.4``): one ``# HELP`` / ``# TYPE`` pair per
+family, label-escaped samples, and the ``_bucket``/``_sum``/``_count``
+triplet for histograms.  ``json_snapshot`` renders the same registry —
+plus, optionally, per-endpoint circuit-breaker health from a
+:class:`repro.services.registry.ServiceRegistry`, a runtime's
+:class:`~repro.runtime.metrics.RuntimeStatsSnapshot`, recent events,
+and recent spans — as one JSON-ready dict, so a single document
+reports runtime, resilience, and enactment telemetry together.
+``serve_metrics`` puts both behind a tiny stdlib HTTP server
+(``/metrics`` and ``/metrics.json``), which is what
+``python -m repro metrics`` runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from repro.observability import events as events_mod
+from repro.observability import spans as spans_mod
+from repro.observability.registry import (
+    MetricFamilySnapshot,
+    MetricRegistry,
+    get_registry,
+)
+
+#: The content type Prometheus scrapers expect for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _render_family(family: MetricFamilySnapshot) -> List[str]:
+    lines = []
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for sample in family.samples:
+        if family.kind == "histogram":
+            for bound, count in sample.buckets or []:
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                labels = _render_labels(sample.labels, f'le="{le}"')
+                lines.append(f"{family.name}_bucket{labels} {count}")
+            plain = _render_labels(sample.labels)
+            lines.append(
+                f"{family.name}_sum{plain} {_format_value(sample.sum)}"
+            )
+            lines.append(f"{family.name}_count{plain} {sample.count}")
+        else:
+            labels = _render_labels(sample.labels)
+            lines.append(
+                f"{family.name}{labels} {_format_value(sample.value)}"
+            )
+    return lines
+
+
+def render_prometheus(registry: Optional[MetricRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + "\n"
+
+
+def _family_to_json(family: MetricFamilySnapshot) -> Dict[str, Any]:
+    samples = []
+    for sample in family.samples:
+        entry: Dict[str, Any] = {"labels": dict(sample.labels)}
+        if family.kind == "histogram":
+            entry["buckets"] = [
+                {"le": "+Inf" if math.isinf(b) else b, "count": c}
+                for b, c in sample.buckets or []
+            ]
+            entry["sum"] = sample.sum
+            entry["count"] = sample.count
+        else:
+            entry["value"] = sample.value
+        samples.append(entry)
+    return {"kind": family.kind, "help": family.help, "samples": samples}
+
+
+def json_snapshot(
+    registry: Optional[MetricRegistry] = None,
+    services: Optional[Any] = None,
+    runtime: Optional[Any] = None,
+    event_limit: int = 200,
+    span_limit: int = 200,
+) -> Dict[str, Any]:
+    """One JSON-ready telemetry document.
+
+    ``services`` (a :class:`~repro.services.registry.ServiceRegistry`)
+    contributes per-endpoint circuit-breaker health via its
+    ``health()`` view; ``runtime`` (an
+    :class:`~repro.runtime.service.ExecutionService` or a
+    :class:`~repro.runtime.metrics.RuntimeStatsSnapshot`) contributes
+    the runtime's aggregate counters — so one document joins
+    enactment, runtime, and resilience telemetry.
+    """
+    registry = registry if registry is not None else get_registry()
+    document: Dict[str, Any] = {
+        "generated_at": time.time(),
+        "metrics": {
+            family.name: _family_to_json(family)
+            for family in registry.collect()
+        },
+    }
+    if services is not None:
+        document["health"] = {
+            endpoint: {
+                "state": snap.state.value,
+                "consecutive_failures": snap.consecutive_failures,
+                "failures": snap.failures,
+                "successes": snap.successes,
+                "rejections": snap.rejections,
+                "opened_count": snap.opened_count,
+            }
+            for endpoint, snap in sorted(services.health().items())
+        }
+    if runtime is not None:
+        snapshot = runtime.snapshot() if hasattr(runtime, "snapshot") else runtime
+        document["runtime"] = dataclasses.asdict(snapshot)
+    recent_events = events_mod.get_event_log().recent(event_limit)
+    if recent_events:
+        document["events"] = recent_events
+    recent_spans = spans_mod.recent_spans(span_limit)
+    if recent_spans:
+        document["spans"] = recent_spans
+    return document
+
+
+def write_telemetry(
+    path: str,
+    registry: Optional[MetricRegistry] = None,
+    services: Optional[Any] = None,
+    runtime: Optional[Any] = None,
+) -> str:
+    """Dump :func:`json_snapshot` to a file; returns the path."""
+    document = json_snapshot(registry, services=services, runtime=runtime)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def serve_metrics(
+    registry: Optional[MetricRegistry] = None,
+    host: str = "127.0.0.1",
+    port: int = 9464,
+    services: Optional[Any] = None,
+    runtime: Optional[Any] = None,
+) -> ThreadingHTTPServer:
+    """An HTTP server exposing ``/metrics`` and ``/metrics.json``.
+
+    Returns the (not yet serving) server; call ``serve_forever()`` or
+    run it on a thread and ``shutdown()`` when done.  ``port=0`` binds
+    an ephemeral port (``server.server_address[1]`` reports it).
+    """
+    resolved = registry if registry is not None else get_registry()
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            if path in ("/metrics", "/"):
+                body = render_prometheus(resolved).encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            elif path in ("/metrics.json", "/snapshot"):
+                document = json_snapshot(
+                    resolved, services=services, runtime=runtime
+                )
+                body = json.dumps(
+                    document, indent=2, sort_keys=True, default=str
+                ).encode("utf-8")
+                content_type = "application/json"
+            else:
+                self.send_error(404, "try /metrics or /metrics.json")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # scrapes poll; keep stderr quiet
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_background(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run a :func:`serve_metrics` server on a daemon thread."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,484 @@
+"""Thread-safe metric registry: labeled counters, gauges, histograms.
+
+The registry is deliberately Prometheus-shaped: a *family* is one
+metric name with a fixed label schema, a *child* is one label-value
+combination, and a collect pass produces immutable snapshots that the
+exporters (``repro.observability.export``) render as Prometheus text
+or JSON.  Everything is safe for concurrent mutation — every family
+guards its children map and their values with one lock, so concurrent
+``inc``/``observe`` calls can never lose updates (pinned by the
+hammer test in ``tests/test_observability.py``).
+
+Naming convention (enforced at registration, linted across the source
+tree by ``tests/test_observability_lint.py``)::
+
+    repro_<subsystem>_<name>[_unit]     e.g. repro_runtime_job_run_seconds
+
+A process-wide default registry (:func:`get_registry` /
+:func:`set_default_registry`) is what the instrumented layers write
+to; swapping in a :class:`NullRegistry` turns every observation into a
+no-op, which is how telemetry is disabled entirely (benchmark E15
+measures the difference at under 5%).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: The enforced metric-name shape: ``repro_<subsystem>_<name>[_unit]``
+#: — lower-case tokens, at least one token after the subsystem.
+METRIC_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*(?:_[a-z0-9]+)+$")
+
+_LABEL_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: Default histogram buckets for second-valued latencies (upper
+#: bounds, seconds); an implicit +Inf bucket always follows.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """A metric was declared or used inconsistently."""
+
+
+@dataclass
+class MetricSample:
+    """One child's reading inside a family snapshot.
+
+    Counters and gauges use ``value``; histograms use ``buckets``
+    (cumulative ``(upper_bound, count)`` pairs, +Inf last), ``sum``
+    and ``count``.
+    """
+
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+    buckets: Optional[List[Tuple[float, int]]] = None
+    sum: float = 0.0
+    count: int = 0
+
+
+@dataclass
+class MetricFamilySnapshot:
+    """One immutable reading of a whole metric family."""
+
+    name: str
+    help: str
+    kind: str  # counter | gauge | histogram
+    label_names: Tuple[str, ...]
+    samples: List[MetricSample]
+
+
+class _Family:
+    """Shared plumbing of one named metric with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, label_names: Sequence[str]
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        for label in self.label_names:
+            if not _LABEL_NAME_RE.match(label):
+                raise MetricError(
+                    f"metric {name!r} declares invalid label name {label!r}"
+                )
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelkv: object):
+        """The child for one label-value combination (created on first use)."""
+        if set(labelkv) != set(self.label_names):
+            raise MetricError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.label_names)}, got {sorted(labelkv)}"
+            )
+        key = tuple(str(labelkv[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+            return child
+
+    def _child(self):
+        """The single child of an unlabelled family."""
+        return self.labels()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def _sorted_children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _labels_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def snapshot(self) -> MetricFamilySnapshot:
+        raise NotImplementedError
+
+
+class _CounterChild:
+    """One label combination of a counter; monotonically increasing."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError(f"counters only go up; inc({amount}) refused")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Counter(_Family):
+    """A monotonically increasing count (events, items, retries)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled child (labelled families use .labels())."""
+        self._child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """The unlabelled child's current value."""
+        return self._child().value
+
+    def snapshot(self) -> MetricFamilySnapshot:
+        samples = [
+            MetricSample(labels=self._labels_dict(key), value=child.value)
+            for key, child in self._sorted_children()
+        ]
+        return MetricFamilySnapshot(
+            self.name, self.help, self.kind, self.label_names, samples
+        )
+
+
+class _GaugeChild:
+    """One label combination of a gauge; goes up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Family):
+    """A value that can go up and down (queue depth, busy workers)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """The unlabelled child's current value."""
+        return self._child().value
+
+    def snapshot(self) -> MetricFamilySnapshot:
+        samples = [
+            MetricSample(labels=self._labels_dict(key), value=child.value)
+            for key, child in self._sorted_children()
+        ]
+        return MetricFamilySnapshot(
+            self.name, self.help, self.kind, self.label_names, samples
+        )
+
+
+class _HistogramChild:
+    """One label combination of a histogram; fixed upper bounds."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def reading(self) -> Tuple[List[Tuple[float, int]], float, int]:
+        """Cumulative ``(le, count)`` pairs (+Inf last), sum, count."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._sum
+            count = self._count
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self._bounds, counts):
+            running += bucket_count
+            cumulative.append((bound, running))
+        cumulative.append((float("inf"), count))
+        return cumulative, total, count
+
+
+class Histogram(_Family):
+    """A fixed-bucket distribution (latencies, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError(f"histogram {name!r} needs at least one bucket")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise MetricError(
+                f"histogram {name!r} buckets must be finite (+Inf is implicit)"
+            )
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name!r} has duplicate buckets")
+        self.buckets = bounds
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._child().observe(value)
+
+    def snapshot(self) -> MetricFamilySnapshot:
+        samples = []
+        for key, child in self._sorted_children():
+            cumulative, total, count = child.reading()
+            samples.append(
+                MetricSample(
+                    labels=self._labels_dict(key),
+                    buckets=cumulative,
+                    sum=total,
+                    count=count,
+                )
+            )
+        return MetricFamilySnapshot(
+            self.name, self.help, self.kind, self.label_names, samples
+        )
+
+
+class MetricRegistry:
+    """A process-local catalogue of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the
+    first call fixes the help text, label schema (and buckets); later
+    calls return the same family, so instrumented code can declare the
+    metric at the point of use without import-order coupling.
+    Redeclaring a name as a different kind or with a different label
+    schema raises :class:`MetricError`.
+    """
+
+    def __init__(self, strict_names: bool = True) -> None:
+        self.strict_names = strict_names
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- declaration (get-or-create) ---------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        """The named counter family, created on first use."""
+        return self._family(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        """The named gauge family, created on first use."""
+        return self._family(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The named histogram family, created on first use."""
+        return self._family(Histogram, name, help, labels, buckets=buckets)
+
+    def _family(self, cls, name, help, labels, **extra) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"metric {name!r} is a {existing.kind}, "
+                        f"not a {cls.kind}"
+                    )
+                if existing.label_names != tuple(labels):
+                    raise MetricError(
+                        f"metric {name!r} was declared with labels "
+                        f"{list(existing.label_names)}, not {list(labels)}"
+                    )
+                return existing
+            if self.strict_names and not METRIC_NAME_RE.match(name):
+                raise MetricError(
+                    f"metric name {name!r} violates the "
+                    f"repro_<subsystem>_<name>[_unit] convention"
+                )
+            family = cls(name, help, labels, **extra)
+            self._families[name] = family
+            return family
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The family by name, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered family."""
+        with self._lock:
+            return sorted(self._families)
+
+    def collect(self) -> List[MetricFamilySnapshot]:
+        """A consistent-per-family snapshot of every metric, by name."""
+        with self._lock:
+            families = sorted(self._families.items())
+        return [family.snapshot() for _, family in families]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {len(self)} families>"
+
+
+class _NullMetric:
+    """One do-nothing object standing in for every family and child."""
+
+    __slots__ = ()
+
+    def labels(self, **labelkv: object) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricRegistry):
+    """A registry that records nothing: telemetry disabled.
+
+    Every declaration returns one shared no-op metric, so the
+    instrumented hot paths pay only a method call; ``collect`` is
+    always empty.
+    """
+
+    def counter(self, name, help="", labels=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", labels=()):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(  # type: ignore[override]
+        self, name, help="", labels=(), buckets=DEFAULT_LATENCY_BUCKETS
+    ):
+        return _NULL_METRIC
+
+    def collect(self) -> List[MetricFamilySnapshot]:
+        return []
+
+
+#: The process-wide registry the instrumented layers write to.
+_default_registry: MetricRegistry = MetricRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricRegistry) -> MetricRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Installing a :class:`NullRegistry` disables metric collection
+    everywhere; installing a fresh :class:`MetricRegistry` starts the
+    catalogue from zero (tests and benchmarks use both).
+    """
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous

@@ -303,11 +303,29 @@ class Graph:
         """Evaluate a SPARQL query string over this graph.
 
         Imported lazily to keep the storage layer free of parser
-        dependencies; returns the engine's result object.
+        dependencies; returns the engine's result object.  Each
+        evaluation (parse included) is timed onto the
+        ``repro_rdf_sparql_query_seconds`` histogram.
         """
+        import time
+
+        from repro.observability import get_registry
         from repro.rdf.sparql import evaluate
 
-        return evaluate(self, sparql)
+        started = time.perf_counter()
+        try:
+            return evaluate(self, sparql)
+        finally:
+            registry = get_registry()
+            registry.counter(
+                "repro_rdf_sparql_queries_total",
+                "SPARQL evaluations over any graph.",
+            ).inc()
+            registry.histogram(
+                "repro_rdf_sparql_query_seconds",
+                "Wall-clock seconds of one SPARQL evaluation "
+                "(parse included).",
+            ).observe(time.perf_counter() - started)
 
     def serialize(self, format: str = "ntriples") -> str:
         """Render the graph in a named format (ntriples/turtle)."""

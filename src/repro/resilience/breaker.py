@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, Optional
 
+from repro.observability import get_event_log, get_registry
+
 
 class BreakerState(str, Enum):
     """Lifecycle of one endpoint's breaker."""
@@ -22,6 +24,37 @@ class BreakerState(str, Enum):
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of the breaker states (documented in the metric help).
+_STATE_VALUES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+def _publish_transition(
+    endpoint: str, state: BreakerState, initial: bool = False
+) -> None:
+    """Reflect one breaker state change on the registry and event log."""
+    registry = get_registry()
+    registry.gauge(
+        "repro_resilience_breaker_state",
+        "Circuit-breaker state per endpoint "
+        "(0=closed, 1=half-open, 2=open).",
+        labels=("endpoint",),
+    ).labels(endpoint=endpoint).set(_STATE_VALUES[state])
+    if initial:
+        return
+    registry.counter(
+        "repro_resilience_breaker_transitions_total",
+        "Breaker state transitions by endpoint and target state.",
+        labels=("endpoint", "to"),
+    ).labels(endpoint=endpoint, to=state.value).inc()
+    get_event_log().emit(
+        "breaker.transition", endpoint=endpoint, state=state.value
+    )
 
 
 class CircuitOpenError(RuntimeError):
@@ -88,6 +121,7 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes_in_flight = 0
         self._probe_successes = 0
+        _publish_transition(endpoint, BreakerState.CLOSED, initial=True)
 
     @property
     def state(self) -> BreakerState:
@@ -128,6 +162,7 @@ class CircuitBreaker:
                     self._state = BreakerState.CLOSED
                     self._probe_successes = 0
                     self._probes_in_flight = 0
+                    _publish_transition(self.endpoint, BreakerState.CLOSED)
 
     def record_failure(self) -> None:
         """Note a failed invocation; may open the breaker."""
@@ -166,6 +201,7 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._probes_in_flight = 0
         self._probe_successes = 0
+        _publish_transition(self.endpoint, BreakerState.OPEN)
 
     def _maybe_half_open(self) -> None:
         if (
@@ -175,6 +211,7 @@ class CircuitBreaker:
             self._state = BreakerState.HALF_OPEN
             self._probes_in_flight = 0
             self._probe_successes = 0
+            _publish_transition(self.endpoint, BreakerState.HALF_OPEN)
 
 
 class CircuitBreakerRegistry:

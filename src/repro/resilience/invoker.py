@@ -16,10 +16,18 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
+from repro.observability import get_registry
 from repro.resilience.breaker import CircuitBreakerRegistry, CircuitOpenError
 from repro.resilience.config import ON_FAILURE_FAIL, ResilienceConfig
 from repro.resilience.policy import DeadlineExceeded, RetryPolicy
 from repro.services.interface import Service
+
+
+def _endpoint_counter(name: str, help: str, endpoint: str):
+    """One per-endpoint resilience counter child from the registry."""
+    return get_registry().counter(
+        name, help, labels=("endpoint",)
+    ).labels(endpoint=endpoint)
 
 
 @dataclass(frozen=True)
@@ -121,48 +129,96 @@ class ResilientInvoker:
         when retries are exhausted, and :class:`DeadlineExceeded` when
         the remaining budget cannot cover the next backoff.
         """
-        breaker = self.breakers.breaker(service.endpoint or service.name)
+        endpoint = service.endpoint or service.name
+        breaker = self.breakers.breaker(endpoint)
         deadline = (
             None
             if self.config.deadline is None
             else self._clock() + self.config.deadline
         )
         self.stats.count("invocations")
+        started = time.perf_counter()
         failures = 0
-        while True:
-            try:
-                breaker.allow()
-            except CircuitOpenError:
-                self.stats.count("breaker_rejections")
-                raise
-            try:
-                result = service.invoke(dataset, amap, context=context)
-            except Exception as error:
-                breaker.record_failure()
-                if not self.policy.retryable(error):
+        try:
+            while True:
+                try:
+                    breaker.allow()
+                except CircuitOpenError:
+                    self.stats.count("breaker_rejections")
+                    _endpoint_counter(
+                        "repro_resilience_breaker_rejections_total",
+                        "Invocations refused because the breaker was open.",
+                        endpoint,
+                    ).inc()
+                    self._count_outcome(endpoint, "breaker_open")
                     raise
-                self.stats.count("failures")
-                failures += 1
-                if failures >= self.policy.max_attempts:
-                    self.stats.count("exhausted")
-                    raise
-                delay = self.policy.backoff(failures)
-                if deadline is not None and self._clock() + delay > deadline:
-                    self.stats.count("deadline_exceeded")
-                    raise DeadlineExceeded(
-                        service.name,
-                        f"deadline of {self.config.deadline}s exhausted "
-                        f"after {failures} failed attempt(s)",
-                        endpoint=service.endpoint,
-                        cause=error,
-                    ) from error
-                self.stats.count("retries")
-                if delay > 0:
-                    self._sleep(delay)
-            else:
-                breaker.record_success()
-                self.stats.count("successes")
-                return result
+                try:
+                    result = service.invoke(dataset, amap, context=context)
+                except Exception as error:
+                    breaker.record_failure()
+                    if not self.policy.retryable(error):
+                        self._count_outcome(endpoint, "error")
+                        raise
+                    self.stats.count("failures")
+                    failures += 1
+                    if failures >= self.policy.max_attempts:
+                        self.stats.count("exhausted")
+                        _endpoint_counter(
+                            "repro_resilience_exhausted_total",
+                            "Invocations that failed every allowed attempt.",
+                            endpoint,
+                        ).inc()
+                        self._count_outcome(endpoint, "exhausted")
+                        raise
+                    delay = self.policy.backoff(failures)
+                    if deadline is not None and self._clock() + delay > deadline:
+                        self.stats.count("deadline_exceeded")
+                        _endpoint_counter(
+                            "repro_resilience_deadline_exceeded_total",
+                            "Invocations abandoned because the deadline "
+                            "could not cover the next backoff.",
+                            endpoint,
+                        ).inc()
+                        self._count_outcome(endpoint, "deadline")
+                        raise DeadlineExceeded(
+                            service.name,
+                            f"deadline of {self.config.deadline}s exhausted "
+                            f"after {failures} failed attempt(s)",
+                            endpoint=service.endpoint,
+                            cause=error,
+                        ) from error
+                    self.stats.count("retries")
+                    _endpoint_counter(
+                        "repro_resilience_retries_total",
+                        "Per-invocation retries after a retryable fault.",
+                        endpoint,
+                    ).inc()
+                    if delay > 0:
+                        _endpoint_counter(
+                            "repro_resilience_backoff_seconds_total",
+                            "Seconds spent sleeping in retry backoff.",
+                            endpoint,
+                        ).inc(delay)
+                        self._sleep(delay)
+                else:
+                    breaker.record_success()
+                    self.stats.count("successes")
+                    self._count_outcome(endpoint, "success")
+                    return result
+        finally:
+            get_registry().histogram(
+                "repro_resilience_invocation_seconds",
+                "Wall-clock seconds of one invocation, all attempts and "
+                "backoffs included.",
+                labels=("endpoint",),
+            ).labels(endpoint=endpoint).observe(time.perf_counter() - started)
+
+    def _count_outcome(self, endpoint: str, outcome: str) -> None:
+        get_registry().counter(
+            "repro_resilience_invocations_total",
+            "Finished invocations by endpoint and outcome.",
+            labels=("endpoint", "outcome"),
+        ).labels(endpoint=endpoint, outcome=outcome).inc()
 
     def snapshot(self) -> InvokerStatsSnapshot:
         """A point-in-time reading of the invocation counters."""

@@ -125,11 +125,23 @@ class JobHandle:
 
 
 class Job:
-    """A unit of queued work: a thunk plus the handle observing it."""
+    """A unit of queued work: a thunk plus the handle observing it.
 
-    def __init__(self, handle: JobHandle, thunk: Callable[[], Any]) -> None:
+    ``submitter_span`` is the span active where the job was created
+    (``repro.observability.current_span()``); the worker re-activates
+    it before opening the job's own span, so the job parents under the
+    submitter's trace despite the queue hop.
+    """
+
+    def __init__(
+        self,
+        handle: JobHandle,
+        thunk: Callable[[], Any],
+        submitter_span: Optional[Any] = None,
+    ) -> None:
         self.handle = handle
         self.thunk = thunk
+        self.submitter_span = submitter_span
 
 
 class JobBatch:

@@ -7,6 +7,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.observability import get_registry
 from repro.workflow.trace import EnactmentTrace
 
 
@@ -17,9 +18,10 @@ class JobMetrics:
     Times are ``time.perf_counter`` readings; durations in seconds.
     ``processor_seconds`` aggregates the enactment trace per processor
     (summed over nested/iterated firings); ``cache_lookups`` /
-    ``cache_hits`` are annotation-repository read deltas observed over
-    the job's execution window (approximate when jobs overlap, since
-    repositories are shared per framework).
+    ``cache_hits`` are annotation-repository reads attributed to this
+    job via its span context (exact even when jobs overlap — each read
+    accumulates on the reading job's root span, however many thread
+    hops deep it happened; see ``repro.observability.spans``).
     """
 
     job_id: int
@@ -122,9 +124,16 @@ class RuntimeStatsSnapshot:
 
 
 class RuntimeStats:
-    """Thread-safe accumulator behind :class:`RuntimeStatsSnapshot`."""
+    """Thread-safe accumulator behind :class:`RuntimeStatsSnapshot`.
 
-    def __init__(self) -> None:
+    Every lifecycle transition is also published to the process-wide
+    metric registry, labelled with the runtime's name; the lock-guarded
+    attributes stay the source of truth for :meth:`snapshot` (they
+    survive a registry swap mid-run).
+    """
+
+    def __init__(self, name: str = "runtime") -> None:
+        self.name = name
         self._lock = threading.Lock()
         self._started_at = time.perf_counter()
         self.submitted = 0
@@ -140,31 +149,78 @@ class RuntimeStats:
         self.dead_lettered = 0
         self.degraded_firings = 0
 
+    # -- registry mirrors --------------------------------------------------
+
+    def _jobs_total(self, outcome: str):
+        return get_registry().counter(
+            "repro_runtime_jobs_total",
+            "Jobs leaving the runtime, by outcome "
+            "(completed/failed/cancelled/rejected).",
+            labels=("runtime", "outcome"),
+        ).labels(runtime=self.name, outcome=outcome)
+
+    def _queue_depth(self):
+        return get_registry().gauge(
+            "repro_runtime_queue_depth",
+            "Jobs admitted to the queue and not yet started.",
+            labels=("runtime",),
+        ).labels(runtime=self.name)
+
+    def _workers_busy(self):
+        return get_registry().gauge(
+            "repro_runtime_workers_busy",
+            "Worker threads currently running a job.",
+            labels=("runtime",),
+        ).labels(runtime=self.name)
+
+    # -- lifecycle hooks ---------------------------------------------------
+
     def on_submit(self) -> None:
         with self._lock:
             self.submitted += 1
+        get_registry().counter(
+            "repro_runtime_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            labels=("runtime",),
+        ).labels(runtime=self.name).inc()
+        self._queue_depth().inc()
 
     def on_reject(self) -> None:
         with self._lock:
             self.rejected += 1
+        self._jobs_total("rejected").inc()
 
     def on_cancel(self) -> None:
         with self._lock:
             self.cancelled += 1
+        self._jobs_total("cancelled").inc()
+        self._queue_depth().dec()
 
     def on_start(self) -> None:
         with self._lock:
             self.running += 1
+        self._queue_depth().dec()
+        self._workers_busy().inc()
 
     def on_job_retry(self) -> None:
         """One whole-job re-run after a failed enactment."""
         with self._lock:
             self.job_retries += 1
+        get_registry().counter(
+            "repro_runtime_job_retries_total",
+            "Whole-job re-runs after a failed enactment.",
+            labels=("runtime",),
+        ).labels(runtime=self.name).inc()
 
     def on_dead_letter(self) -> None:
         """One job exhausted its retry policy and was dead-lettered."""
         with self._lock:
             self.dead_lettered += 1
+        get_registry().counter(
+            "repro_runtime_dead_letters_total",
+            "Jobs that exhausted their retry budget.",
+            labels=("runtime",),
+        ).labels(runtime=self.name).inc()
 
     def on_finish(self, metrics: JobMetrics, failed: bool) -> None:
         """Fold one finished job's measurements into the aggregates."""
@@ -181,6 +237,24 @@ class RuntimeStats:
                 self.processor_seconds[processor] = (
                     self.processor_seconds.get(processor, 0.0) + seconds
                 )
+        registry = get_registry()
+        self._workers_busy().dec()
+        self._jobs_total("failed" if failed else "completed").inc()
+        queue_wait = metrics.queue_wait
+        if queue_wait is not None:
+            registry.histogram(
+                "repro_runtime_job_queue_wait_seconds",
+                "Seconds a job waited in the queue before starting.",
+                labels=("runtime",),
+            ).labels(runtime=self.name).observe(queue_wait)
+        run_seconds = metrics.run_seconds
+        if run_seconds is not None:
+            registry.histogram(
+                "repro_runtime_job_run_seconds",
+                "Enactment wall-clock seconds of one job "
+                "(all retry attempts included).",
+                labels=("runtime",),
+            ).labels(runtime=self.name).observe(run_seconds)
 
     def snapshot(
         self, in_queue: int = 0, invoker: Optional[Any] = None

@@ -24,14 +24,18 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.observability import current_span, use_span
 from repro.workflow.enactor import (
+    KIND_WAVEFRONT,
     EnactmentError,
     EnactmentResult,
     Enactor,
     check_inputs,
     collect_workflow_outputs,
+    enactment_telemetry,
     fire_processor,
     gather_port_values,
+    traced_firing,
 )
 from repro.workflow.model import Workflow
 from repro.workflow.trace import EnactmentTrace
@@ -48,7 +52,16 @@ class ParallelEnactor(Enactor):
     The instance is re-entrant: concurrent ``run`` calls from different
     threads each get their own pools, value store, and trace
     (``last_trace`` is per calling thread, as in the base class).
+
+    Observability: thread pools do not inherit context variables, so
+    the active span is captured at task submission and re-activated
+    inside each firing task (and each parallel iteration call) — a
+    firing two pool hops away from the submitting job still lands in
+    that job's trace, and its annotation-store reads count against
+    exactly that job.
     """
+
+    kind = KIND_WAVEFRONT
 
     def __init__(
         self, max_workers: int = 4, iteration_workers: int = 1
@@ -92,16 +105,26 @@ class ParallelEnactor(Enactor):
             )
 
             def mapper(call, calls):  # noqa: F811 - bound when pool exists
-                return list(iteration_pool.map(call, calls))
+                # Carry the firing task's span onto the iteration pool
+                # threads so per-element calls stay in its trace.
+                span = current_span()
+
+                def hop(inputs):
+                    with use_span(span):
+                        return call(inputs)
+
+                return list(iteration_pool.map(hop, calls))
 
         try:
-            with ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix=f"enact-{workflow.name}",
-            ) as pool:
-                self._wavefront(
-                    workflow, pool, mapper, trace, values, pending, dependents
-                )
+            with enactment_telemetry(workflow.name, self.kind):
+                with ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=f"enact-{workflow.name}",
+                ) as pool:
+                    self._wavefront(
+                        workflow, pool, mapper, trace, values, pending,
+                        dependents,
+                    )
         finally:
             if iteration_pool is not None:
                 iteration_pool.shutdown(wait=True)
@@ -130,21 +153,19 @@ class ParallelEnactor(Enactor):
         def submit(name: str) -> None:
             processor = workflow.processors[name]
             port_values = gather_port_values(workflow, name, values)
+            # Captured on the scheduler thread (where the enact span —
+            # and, under the execution service, the job span — is
+            # active); re-activated on the pool thread inside the task.
+            span = current_span()
 
             def task() -> Tuple[Dict[str, Any], int]:
-                event = trace.start(name)
-                try:
-                    outputs, iterations, degradations = fire_processor(
-                        processor, port_values, mapper
+                with use_span(span):
+                    return traced_firing(
+                        trace,
+                        name,
+                        workflow.name,
+                        lambda: fire_processor(processor, port_values, mapper),
                     )
-                except Exception as exc:
-                    trace.fail(event, str(exc))
-                    raise EnactmentError(workflow.name, name, exc) from exc
-                if degradations:
-                    trace.degrade(event, "; ".join(degradations), iterations)
-                else:
-                    trace.complete(event, iterations)
-                return outputs, iterations
 
             in_flight[pool.submit(task)] = name
 

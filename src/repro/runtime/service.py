@@ -23,6 +23,13 @@ import queue
 import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.observability import (
+    current_span,
+    get_event_log,
+    get_registry,
+    start_span,
+    use_span,
+)
 from repro.rdf import URIRef
 from repro.resilience import ResilientInvoker, apply_resilience
 from repro.runtime.config import POLICY_REJECT, RuntimeConfig
@@ -62,7 +69,12 @@ class ExecutionService:
     ) -> None:
         self.framework = framework
         self.config = (config or RuntimeConfig()).validated()
-        self.stats = RuntimeStats()
+        self.stats = RuntimeStats(self.config.name)
+        get_registry().gauge(
+            "repro_runtime_worker_pool_size",
+            "Configured worker threads of the execution service.",
+            labels=("runtime",),
+        ).labels(runtime=self.config.name).set(self.config.workers)
         #: Jobs that failed permanently (their ``job_retries`` budget —
         #: possibly zero — exhausted); inspect after a batch to triage.
         self.dead_letters: List[JobHandle] = []
@@ -126,7 +138,7 @@ class ExecutionService:
             result.metrics = handle.metrics
             return result, self._enactor.last_trace
 
-        self._enqueue(Job(handle, thunk), timeout)
+        self._enqueue(Job(handle, thunk, submitter_span=current_span()), timeout)
         return handle
 
     def submit_many(
@@ -178,7 +190,7 @@ class ExecutionService:
             enacted = self._enactor.enact(workflow, inputs)
             return enacted.outputs, enacted.trace
 
-        self._enqueue(Job(handle, thunk), timeout)
+        self._enqueue(Job(handle, thunk, submitter_span=current_span()), timeout)
         return handle
 
     # -- lifecycle ---------------------------------------------------------
@@ -307,39 +319,62 @@ class ExecutionService:
         if not handle._try_start():
             return  # cancelled while queued
         self.stats.on_start()
-        lookups_before, hits_before = self.framework.repositories.lookup_stats()
         # Whole-job retries run inline on this worker (never re-enqueued,
         # so a bounded queue cannot deadlock on its own retries).
         attempts = 1 + self.config.job_retries
         failed = False
-        for attempt in range(1, attempts + 1):
-            # Reset the worker thread's trace slot so a failure before
-            # this attempt's trace exists cannot fold a previous run's
-            # timings in.
-            self._enactor.last_trace = None
-            try:
-                value, trace = job.thunk()
-            except Exception as exc:  # noqa: BLE001 - job fault boundary
-                handle.metrics.record_trace(self._enactor.last_trace)
-                if attempt < attempts:
-                    handle.metrics.retries += 1
-                    self.stats.on_job_retry()
-                    continue
-                failed = True
-                handle._fail(exc)
-            except BaseException as exc:  # noqa: BLE001 - never retried
-                failed = True
-                handle.metrics.record_trace(self._enactor.last_trace)
-                handle._fail(exc)
-            else:
-                handle.metrics.record_trace(trace)
-                handle._finish(value)
-            break
+        # The job span is `always=True`: it must exist even with tracing
+        # off, because every annotation-store read below attributes onto
+        # it (exact per-job cache counts — no cross-talk between
+        # overlapping jobs, unlike the old repository-wide window
+        # deltas).  Re-activating the submitter's span first parents the
+        # job under the trace that queued it.
+        with use_span(job.submitter_span):
+            with start_span(
+                f"job:{handle.name}",
+                always=True,
+                boundary=True,
+                job=handle.name,
+                runtime=self.config.name,
+            ) as span:
+                for attempt in range(1, attempts + 1):
+                    # Reset the worker thread's trace slot so a failure
+                    # before this attempt's trace exists cannot fold a
+                    # previous run's timings in.
+                    self._enactor.last_trace = None
+                    try:
+                        value, trace = job.thunk()
+                    except Exception as exc:  # noqa: BLE001 - job fault boundary
+                        handle.metrics.record_trace(self._enactor.last_trace)
+                        if attempt < attempts:
+                            handle.metrics.retries += 1
+                            self.stats.on_job_retry()
+                            continue
+                        failed = True
+                        handle._fail(exc)
+                    except BaseException as exc:  # noqa: BLE001 - never retried
+                        failed = True
+                        handle.metrics.record_trace(self._enactor.last_trace)
+                        handle._fail(exc)
+                    else:
+                        handle.metrics.record_trace(trace)
+                        handle._finish(value)
+                    break
+                if failed:
+                    span.end(status="error")
         if failed:
             with self._lock:
                 self.dead_letters.append(handle)
             self.stats.on_dead_letter()
-        lookups_after, hits_after = self.framework.repositories.lookup_stats()
-        handle.metrics.cache_lookups = lookups_after - lookups_before
-        handle.metrics.cache_hits = hits_after - hits_before
+        handle.metrics.cache_lookups = int(span.counter("cache.lookups"))
+        handle.metrics.cache_hits = int(span.counter("cache.hits"))
         self.stats.on_finish(handle.metrics, failed=failed)
+        get_event_log().emit(
+            "job.finished",
+            job=handle.name,
+            runtime=self.config.name,
+            outcome="failed" if failed else "completed",
+            retries=handle.metrics.retries,
+            cache_lookups=handle.metrics.cache_lookups,
+            cache_hits=handle.metrics.cache_hits,
+        )

@@ -22,14 +22,16 @@ event with status ``"degraded"`` instead of ``"failed"``.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.observability import get_registry, start_span
 from repro.workflow.model import Workflow, WorkflowError
 from repro.workflow.processors import ON_FAILURE_FAIL
-from repro.workflow.trace import EnactmentTrace
+from repro.workflow.trace import EnactmentTrace, TraceEvent
 
 #: A mapper applying one firing callable over per-iteration inputs,
 #: preserving order.  ``None`` means a plain serial loop.
@@ -59,6 +61,108 @@ class EnactmentResult:
 
     outputs: Dict[str, Any]
     trace: EnactmentTrace
+
+
+#: Enactment-strategy labels published on the workflow metrics.
+KIND_SERIAL = "serial"
+KIND_WAVEFRONT = "wavefront"
+
+
+# -- shared telemetry --------------------------------------------------------
+
+
+def record_firing(event: TraceEvent) -> None:
+    """Publish one finished trace event to the default metric registry.
+
+    Both enactment strategies call this right after an event reaches a
+    terminal status, so the per-processor firing counters are — like
+    the firing semantics themselves — strategy-independent (the
+    differential test in ``tests/test_observability_integration.py``
+    pins serial and wavefront counts equal).
+    """
+    registry = get_registry()
+    registry.counter(
+        "repro_workflow_processor_firings_total",
+        "Processor firings by terminal status.",
+        labels=("processor", "status"),
+    ).labels(processor=event.processor, status=event.status).inc()
+    registry.counter(
+        "repro_workflow_processor_iterations_total",
+        "Per-element calls performed by processor firings.",
+        labels=("processor",),
+    ).labels(processor=event.processor).inc(event.iterations)
+    if event.status == "degraded":
+        registry.counter(
+            "repro_workflow_degraded_firings_total",
+            "Firings whose failure an on_failure policy absorbed.",
+        ).inc()
+    duration = event.duration
+    if duration is not None:
+        registry.histogram(
+            "repro_workflow_processor_fire_seconds",
+            "Wall-clock seconds of one processor firing (all iterations).",
+            labels=("processor",),
+        ).labels(processor=event.processor).observe(duration)
+
+
+@contextlib.contextmanager
+def enactment_telemetry(workflow_name: str, kind: str) -> Iterator[None]:
+    """Span, in-flight gauge, and outcome counter around one enactment."""
+    registry = get_registry()
+    registry.gauge(
+        "repro_workflow_active_enactments",
+        "Workflow enactments currently in flight.",
+    ).inc()
+    status = "completed"
+    try:
+        with start_span(
+            f"enact:{workflow_name}", workflow=workflow_name, enactor=kind
+        ):
+            yield
+    except BaseException:
+        status = "failed"
+        raise
+    finally:
+        registry = get_registry()
+        registry.gauge(
+            "repro_workflow_active_enactments",
+            "Workflow enactments currently in flight.",
+        ).dec()
+        registry.counter(
+            "repro_workflow_enactments_total",
+            "Finished enactments by strategy and status.",
+            labels=("enactor", "status"),
+        ).labels(enactor=kind, status=status).inc()
+
+
+def traced_firing(
+    trace: EnactmentTrace,
+    name: str,
+    workflow_name: str,
+    fire: Callable[[], Tuple[Dict[str, Any], int, List[str]]],
+) -> Tuple[Dict[str, Any], int]:
+    """Run one firing under its trace event, span, and metrics.
+
+    The single bottleneck both enactment strategies drive a firing
+    through: starts the trace event, opens a ``fire:<processor>``
+    span, maps the outcome onto the event (completed / degraded /
+    failed), and publishes it via :func:`record_firing`.  Raises
+    :class:`EnactmentError` on unabsorbed failure.
+    """
+    event = trace.start(name)
+    with start_span(f"fire:{name}", processor=name, workflow=workflow_name):
+        try:
+            outputs, iterations, degradations = fire()
+        except Exception as exc:
+            trace.fail(event, str(exc))
+            record_firing(event)
+            raise EnactmentError(workflow_name, name, exc) from exc
+        if degradations:
+            trace.degrade(event, "; ".join(degradations), iterations)
+        else:
+            trace.complete(event, iterations)
+        record_firing(event)
+        return outputs, iterations
 
 
 # -- shared firing semantics -------------------------------------------------
@@ -245,6 +349,9 @@ class Enactor:
     trace attached to the run's own result.
     """
 
+    #: The strategy label this enactor publishes on workflow metrics.
+    kind = KIND_SERIAL
+
     def __init__(self) -> None:
         self._local = threading.local()
 
@@ -277,23 +384,18 @@ class Enactor:
         values: Dict[Tuple[str, str], Any] = {
             ("", name): value for name, value in inputs.items()
         }
-        for name in workflow.topological_order():
-            processor = workflow.processors[name]
-            port_values = gather_port_values(workflow, name, values)
-            event = trace.start(name)
-            try:
-                outputs, iterations, degradations = self._fire(
-                    processor, port_values
+        with enactment_telemetry(workflow.name, self.kind):
+            for name in workflow.topological_order():
+                processor = workflow.processors[name]
+                port_values = gather_port_values(workflow, name, values)
+                outputs, _ = traced_firing(
+                    trace,
+                    name,
+                    workflow.name,
+                    lambda: self._fire(processor, port_values),
                 )
-            except Exception as exc:
-                trace.fail(event, str(exc))
-                raise EnactmentError(workflow.name, name, exc) from exc
-            if degradations:
-                trace.degrade(event, "; ".join(degradations), iterations)
-            else:
-                trace.complete(event, iterations)
-            for port, value in outputs.items():
-                values[(name, port)] = value
+                for port, value in outputs.items():
+                    values[(name, port)] = value
         return EnactmentResult(collect_workflow_outputs(workflow, values), trace)
 
     def _fire(

@@ -12,6 +12,8 @@ import abc
 import copy
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.observability import get_registry, start_span
+
 #: Degradation policies for failures absorbed at the firing boundary
 #: (re-exported by ``repro.resilience.config``, defined here so the
 #: workflow layer needs no resilience import).
@@ -102,9 +104,19 @@ class Processor(abc.ABC):
         ``repro.resilience.apply_resilience``) adds retry, deadline and
         circuit-breaker behaviour without touching firing semantics.
         """
-        if self.invoker is None:
-            return service.invoke(dataset, amap, context=context)
-        return self.invoker.invoke(service, dataset, amap, context=context)
+        get_registry().counter(
+            "repro_workflow_service_calls_total",
+            "Service invocations issued by workflow processors.",
+            labels=("processor",),
+        ).labels(processor=self.name).inc()
+        with start_span(
+            f"service:{self.name}",
+            processor=self.name,
+            service=getattr(service, "name", ""),
+        ):
+            if self.invoker is None:
+                return service.invoke(dataset, amap, context=context)
+            return self.invoker.invoke(service, dataset, amap, context=context)
 
     def degraded(self, inputs: Dict[str, Any], policy: str) -> Dict[str, Any]:
         """Fallback outputs when ``on_failure`` absorbs a failure.

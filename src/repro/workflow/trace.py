@@ -25,6 +25,29 @@ class TraceEvent:
             return None
         return self.finished_at - self.started_at
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready rendering of this event."""
+        return {
+            "processor": self.processor,
+            "status": self.status,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "iterations": self.iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            processor=data["processor"],
+            status=data["status"],
+            started_at=data["started_at"],
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            iterations=data.get("iterations", 1),
+        )
+
 
 @dataclass
 class EnactmentTrace:
@@ -78,6 +101,26 @@ class EnactmentTrace:
     def total_duration(self) -> float:
         """Sum of all event durations (seconds)."""
         return sum(event.duration or 0.0 for event in self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready rendering for persistence and replay.
+
+        Every event — including ``degraded`` ones with their absorbed
+        error text — round-trips through :meth:`from_dict` unchanged.
+        """
+        return {
+            "workflow": self.workflow,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EnactmentTrace":
+        """Rebuild a trace saved by :meth:`to_dict`."""
+        trace = cls(data["workflow"])
+        trace.events = [
+            TraceEvent.from_dict(event) for event in data.get("events", [])
+        ]
+        return trace
 
     def __repr__(self) -> str:
         return f"<EnactmentTrace {self.workflow!r}: {len(self.events)} events>"

@@ -1,0 +1,462 @@
+"""Unit tests of ``repro.observability``: registry, spans, events, export.
+
+Includes the concurrency guarantees the subsystem advertises: the
+8-thread hammer pinning exact counter/histogram totals, and the
+root-attribution semantics of spans across thread hops.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.observability import (
+    CallbackSink,
+    EventLog,
+    JsonLinesFileSink,
+    METRIC_NAME_RE,
+    MetricError,
+    MetricRegistry,
+    NullEventLog,
+    NullRegistry,
+    RingBufferSink,
+    clear_recorded_spans,
+    current_span,
+    disable,
+    get_registry,
+    json_snapshot,
+    recent_spans,
+    render_prometheus,
+    restore,
+    set_default_registry,
+    set_tracing,
+    start_span,
+    use_span,
+    write_telemetry,
+)
+from repro.observability.registry import _NULL_METRIC
+from repro.workflow.trace import EnactmentTrace, TraceEvent
+
+
+@pytest.fixture
+def registry():
+    return MetricRegistry()
+
+
+@pytest.fixture
+def swapped(registry):
+    """Install a fresh default registry for the test, then restore."""
+    previous = set_default_registry(registry)
+    yield registry
+    set_default_registry(previous)
+
+
+# -- counters, gauges, histograms --------------------------------------------
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("repro_test_things_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_labelled_children_are_independent(self, registry):
+        counter = registry.counter(
+            "repro_test_things_total", "help", labels=("kind",)
+        )
+        counter.labels(kind="a").inc(2)
+        counter.labels(kind="b").inc(3)
+        assert counter.labels(kind="a").value == 2
+        assert counter.labels(kind="b").value == 3
+
+    def test_negative_increment_refused(self, registry):
+        counter = registry.counter("repro_test_things_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_wrong_label_set_refused(self, registry):
+        counter = registry.counter(
+            "repro_test_things_total", labels=("kind",)
+        )
+        with pytest.raises(MetricError):
+            counter.labels(other="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_test_depth", "help")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self, registry):
+        histogram = registry.histogram(
+            "repro_test_wait_seconds", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.1)   # lands in le=0.1 (le is inclusive)
+        histogram.observe(0.5)   # lands in le=1.0
+        histogram.observe(99.0)  # lands only in +Inf
+        buckets, total, count = histogram.labels().reading()
+        assert buckets == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+        assert count == 3
+        assert total == pytest.approx(99.6)
+
+    def test_bucket_validation(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("repro_test_a_seconds", buckets=())
+        with pytest.raises(MetricError):
+            registry.histogram(
+                "repro_test_b_seconds", buckets=(1.0, float("inf"))
+            )
+        with pytest.raises(MetricError):
+            registry.histogram("repro_test_c_seconds", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        first = registry.counter("repro_test_things_total", "help")
+        second = registry.counter("repro_test_things_total", "ignored")
+        assert first is second
+        assert first.help == "help"
+
+    def test_kind_mismatch_refused(self, registry):
+        registry.counter("repro_test_things_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_test_things_total")
+
+    def test_label_schema_mismatch_refused(self, registry):
+        registry.counter("repro_test_things_total", labels=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("repro_test_things_total", labels=("b",))
+
+    def test_name_convention_enforced(self, registry):
+        for bad in ("things_total", "repro_x", "repro_Upper_total", "repro"):
+            with pytest.raises(MetricError):
+                registry.counter(bad)
+        relaxed = MetricRegistry(strict_names=False)
+        relaxed.counter("anything_goes")  # does not raise
+
+    def test_collect_is_sorted_by_name(self, registry):
+        registry.counter("repro_test_b_total").inc()
+        registry.counter("repro_test_a_total").inc()
+        names = [family.name for family in registry.collect()]
+        assert names == sorted(names)
+
+    def test_null_registry_is_inert(self):
+        null = NullRegistry()
+        metric = null.counter("not even a valid name")
+        assert metric is _NULL_METRIC
+        metric.inc()
+        metric.labels(anything="x").observe(1.0)
+        assert metric.value == 0.0
+        assert null.collect() == []
+
+    def test_default_registry_swap(self, registry):
+        previous = set_default_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            set_default_registry(previous)
+        assert get_registry() is previous
+
+    def test_disable_and_restore(self):
+        state = disable()
+        try:
+            assert isinstance(get_registry(), NullRegistry)
+            get_registry().counter("repro_test_things_total").inc()
+            assert get_registry().collect() == []
+        finally:
+            restore(state)
+        assert not isinstance(get_registry(), NullRegistry)
+
+
+class TestConcurrency:
+    """Hammer the registry from 8 threads; totals must be exact."""
+
+    def test_counter_and_histogram_totals_are_exact(self, registry):
+        n_threads, per_thread = 8, 5000
+        counter = registry.counter("repro_test_hits_total")
+        labelled = registry.counter(
+            "repro_test_kinds_total", labels=("kind",)
+        )
+        histogram = registry.histogram(
+            "repro_test_lat_seconds", buckets=(0.5,)
+        )
+        gauge = registry.gauge("repro_test_level")
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(index: int) -> None:
+            barrier.wait()
+            child = labelled.labels(kind=f"k{index % 2}")
+            for _ in range(per_thread):
+                counter.inc()
+                child.inc()
+                histogram.observe(0.25)
+                gauge.inc()
+                gauge.dec()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        assert counter.value == total
+        assert labelled.labels(kind="k0").value == total / 2
+        assert labelled.labels(kind="k1").value == total / 2
+        buckets, _, count = histogram.labels().reading()
+        assert count == total
+        assert buckets == [(0.5, total), (math.inf, total)]
+        assert gauge.value == 0
+
+
+# -- spans -------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_links_parent_and_trace(self):
+        with start_span("outer") as outer:
+            with start_span("inner") as inner:
+                assert current_span() is inner
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.status == "ok"
+        assert outer.duration is not None
+
+    def test_error_marks_span(self):
+        with pytest.raises(RuntimeError):
+            with start_span("doomed") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert "boom" in span.error
+
+    def test_counters_accumulate_on_root_across_threads(self):
+        with start_span("root") as root:
+            with start_span("child") as child:
+                captured = current_span()
+
+            def worker():
+                with use_span(captured):
+                    current_span().add("cache.lookups", 3)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            child.add("cache.lookups", 1)
+        assert root.counter("cache.lookups") == 4
+        assert child.counter("cache.lookups") == 4  # reads the root
+
+    def test_boundary_span_isolates_counters(self):
+        with start_span("submitter") as submitter:
+            with start_span("job-a", boundary=True) as job_a:
+                job_a.add("cache.lookups", 2)
+            with start_span("job-b", boundary=True) as job_b:
+                job_b.add("cache.lookups", 5)
+            submitter.add("cache.lookups", 1)
+        assert job_a.counter("cache.lookups") == 2
+        assert job_b.counter("cache.lookups") == 5
+        assert submitter.counter("cache.lookups") == 1
+        # lineage is preserved even though attribution is split
+        assert job_a.trace_id == submitter.trace_id
+        assert job_a.parent_id == submitter.span_id
+
+    def test_disabled_tracing_yields_null_span_that_delegates(self):
+        previous = set_tracing(False)
+        try:
+            with start_span("invisible") as span:
+                assert span.trace_id is None
+            with start_span("job", always=True) as job:
+                with start_span("nested") as null_child:
+                    null_child.add("cache.lookups", 2)
+                assert job.counter("cache.lookups") == 2
+        finally:
+            set_tracing(previous)
+
+    def test_recorder_keeps_finished_spans(self):
+        clear_recorded_spans()
+        with start_span("recorded", workflow="wf"):
+            pass
+        spans = recent_spans()
+        assert spans[-1]["name"] == "recorded"
+        assert spans[-1]["attributes"] == {"workflow": "wf"}
+
+    def test_use_span_accepts_none(self):
+        with use_span(None) as nothing:
+            assert nothing is None
+            assert current_span() is None
+
+
+# -- events ------------------------------------------------------------------
+
+
+class TestEvents:
+    def test_ring_buffer_bounds_and_order(self):
+        ring = RingBufferSink(capacity=3)
+        log = EventLog(ring)
+        for index in range(5):
+            log.emit("tick", index=index)
+        kept = [event["index"] for event in log.recent()]
+        assert kept == [2, 3, 4]
+        assert log.recent(limit=1)[0]["index"] == 4
+
+    def test_events_are_stamped_with_span_context(self):
+        log = EventLog()
+        with start_span("spanning") as span:
+            event = log.emit("inside")
+        assert event["trace_id"] == span.trace_id
+        assert event["span_id"] == span.span_id
+        assert event["ts"] > 0
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonLinesFileSink(str(path))
+        log = EventLog(sink)
+        log.emit("first", value=1)
+        log.emit("second", value=2)
+        sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert [line["event"] for line in lines] == ["first", "second"]
+
+    def test_faulty_sink_is_dropped_not_fatal(self):
+        ring = RingBufferSink()
+
+        def explode(event):
+            raise RuntimeError("sink down")
+
+        log = EventLog(CallbackSink(explode), ring)
+        log.emit("one")
+        log.emit("two")
+        assert [event["event"] for event in log.recent()] == ["one", "two"]
+
+    def test_null_event_log_drops_everything(self):
+        log = NullEventLog()
+        assert log.emit("anything") == {}
+        assert log.recent() == []
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_rendering(self, registry):
+        registry.counter(
+            "repro_test_things_total", "How many\nthings.", labels=("kind",)
+        ).labels(kind='we"ird\\').inc(3)
+        registry.gauge("repro_test_depth", "Depth.").set(2.5)
+        text = render_prometheus(registry)
+        assert "# HELP repro_test_things_total How many\\nthings." in text
+        assert "# TYPE repro_test_things_total counter" in text
+        assert (
+            'repro_test_things_total{kind="we\\"ird\\\\"} 3' in text
+        )
+        assert "repro_test_depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_rendering(self, registry):
+        registry.histogram(
+            "repro_test_wait_seconds", "Waits.", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        text = render_prometheus(registry)
+        assert 'repro_test_wait_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_test_wait_seconds_bucket{le="1"} 1' in text
+        assert 'repro_test_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_test_wait_seconds_sum 0.5" in text
+        assert "repro_test_wait_seconds_count 1" in text
+
+    def test_integers_render_without_decimal_point(self, registry):
+        registry.counter("repro_test_things_total").inc(7)
+        assert "repro_test_things_total 7\n" in render_prometheus(registry)
+
+
+class TestJsonSnapshot:
+    def test_health_and_runtime_are_joined_in(self, registry):
+        from repro.resilience.breaker import BreakerSnapshot, BreakerState
+
+        registry.counter("repro_test_things_total").inc()
+
+        class FakeServices:
+            def health(self):
+                return {
+                    "http://x": BreakerSnapshot(
+                        endpoint="http://x",
+                        state=BreakerState.OPEN,
+                        consecutive_failures=5,
+                        failures=7,
+                        successes=2,
+                        rejections=1,
+                        opened_count=1,
+                    )
+                }
+
+        document = json_snapshot(registry, services=FakeServices())
+        assert document["metrics"]["repro_test_things_total"]["samples"][0][
+            "value"
+        ] == 1
+        health = document["health"]["http://x"]
+        assert health["state"] == "open"
+        assert health["consecutive_failures"] == 5
+        assert health["opened_count"] == 1
+        json.dumps(document, default=str)  # must be JSON-serialisable
+
+    def test_write_telemetry_round_trips(self, registry, tmp_path):
+        registry.gauge("repro_test_depth").set(4)
+        path = tmp_path / "telemetry.json"
+        write_telemetry(str(path), registry)
+        document = json.loads(path.read_text())
+        assert document["metrics"]["repro_test_depth"]["samples"][0]["value"] == 4
+
+
+# -- trace serialization (satellite: EnactmentTrace round-trip) --------------
+
+
+class TestTraceRoundTrip:
+    def _sample_trace(self) -> EnactmentTrace:
+        trace = EnactmentTrace("wf")
+        done = trace.start("annotate")
+        trace.complete(done, iterations=3)
+        degraded = trace.start("score")
+        trace.degrade(degraded, "ServiceFault: flaky", iterations=2)
+        failed = trace.start("filter")
+        trace.fail(failed, "ValueError: bad condition")
+        trace.events.append(
+            TraceEvent("running", "scheduled", started_at=1.0)
+        )
+        return trace
+
+    def test_round_trip_preserves_every_event(self):
+        trace = self._sample_trace()
+        rebuilt = EnactmentTrace.from_dict(trace.to_dict())
+        assert rebuilt.workflow == trace.workflow
+        assert rebuilt.events == trace.events
+        assert [e.status for e in rebuilt.events] == [
+            "completed", "degraded", "failed", "scheduled"
+        ]
+        assert rebuilt.degraded()[0].error == "ServiceFault: flaky"
+        assert rebuilt.events[0].iterations == 3
+
+    def test_round_trip_survives_json(self):
+        trace = self._sample_trace()
+        rebuilt = EnactmentTrace.from_dict(
+            json.loads(json.dumps(trace.to_dict()))
+        )
+        assert rebuilt.events == trace.events
+
+    def test_name_regex_is_exported(self):
+        assert METRIC_NAME_RE.match("repro_runtime_job_run_seconds")
+        assert not METRIC_NAME_RE.match("repro_X")

@@ -1,0 +1,151 @@
+"""Metric-name hygiene and the Prometheus scrape contract.
+
+Two enforcement passes:
+
+* a source lint — every ``repro_*`` metric-name literal anywhere under
+  ``src/repro`` must follow ``repro_<subsystem>_<name>[_unit]``;
+* a scrape check — ``python -m repro metrics --oneshot`` must print
+  Prometheus text format 0.0.4 that parses line by line, and must
+  include at least one counter, one gauge, and one histogram from each
+  of the workflow, runtime, and resilience subsystems.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.observability import METRIC_NAME_RE
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+#: Any double-quoted literal that looks like a metric (or metric-ish)
+#: name.  Catching every ``repro_*`` literal keeps the lint robust to
+#: helper indirection (e.g. ``_endpoint_counter``) — a misnamed metric
+#: cannot hide behind a wrapper.
+_NAME_LITERAL_RE = re.compile(r'"(repro_[A-Za-z0-9_]+)"')
+
+#: Prometheus text-format line shapes (exposition format 0.0.4).
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|NaN|[+-]Inf)$"
+)
+
+
+class TestMetricNameLint:
+    def test_every_metric_literal_follows_the_convention(self):
+        violations = []
+        names = set()
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            for name in _NAME_LITERAL_RE.findall(path.read_text()):
+                names.add(name)
+                if not METRIC_NAME_RE.match(name):
+                    violations.append(f"{path.relative_to(SRC_ROOT)}: {name}")
+        assert not violations, (
+            "metric names violating repro_<subsystem>_<name>[_unit]:\n  "
+            + "\n  ".join(violations)
+        )
+        # the lint must actually be scanning the instrumented tree
+        assert len(names) >= 20, sorted(names)
+
+    def test_instrumented_subsystems_declare_expected_metrics(self):
+        text = "\n".join(
+            path.read_text() for path in sorted(SRC_ROOT.rglob("*.py"))
+        )
+        for expected in (
+            "repro_workflow_processor_firings_total",
+            "repro_workflow_processor_fire_seconds",
+            "repro_runtime_jobs_total",
+            "repro_runtime_queue_depth",
+            "repro_runtime_job_run_seconds",
+            "repro_resilience_invocations_total",
+            "repro_resilience_breaker_state",
+            "repro_resilience_retries_total",
+            "repro_rdf_sparql_query_seconds",
+            "repro_annotation_store_lookups_total",
+        ):
+            assert expected in text, f"metric {expected} is not declared"
+
+
+@pytest.fixture(scope="module")
+def scrape():
+    """One ``repro metrics --oneshot`` scrape (shared by the checks)."""
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = main(
+            ["metrics", "--oneshot", "--spots", "2", "--proteins", "60"]
+        )
+    assert status == 0
+    return buffer.getvalue()
+
+
+class TestPrometheusScrape:
+    def test_every_line_parses(self, scrape):
+        assert scrape.strip(), "empty scrape"
+        for line in scrape.strip().splitlines():
+            assert (
+                _HELP_RE.match(line)
+                or _TYPE_RE.match(line)
+                or _SAMPLE_RE.match(line)
+            ), f"unparseable exposition line: {line!r}"
+
+    def test_samples_belong_to_typed_families(self, scrape):
+        kinds = {}
+        for line in scrape.strip().splitlines():
+            typed = _TYPE_RE.match(line)
+            if typed:
+                kinds[typed.group(1)] = typed.group(2)
+        assert kinds, "no # TYPE lines in the scrape"
+        for line in scrape.strip().splitlines():
+            sample = _SAMPLE_RE.match(line)
+            if not sample:
+                continue
+            name = sample.group(1)
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert name in kinds or (
+                base in kinds and kinds[base] == "histogram"
+            ), f"sample {name!r} has no # TYPE declaration"
+
+    def test_each_subsystem_exposes_all_three_kinds(self, scrape):
+        kinds = {}
+        for line in scrape.strip().splitlines():
+            typed = _TYPE_RE.match(line)
+            if typed:
+                kinds.setdefault(typed.group(1), typed.group(2))
+        for subsystem in ("workflow", "runtime", "resilience"):
+            present = {
+                kind
+                for name, kind in kinds.items()
+                if name.startswith(f"repro_{subsystem}_")
+            }
+            assert {"counter", "gauge", "histogram"} <= present, (
+                f"subsystem {subsystem!r} exposes only {sorted(present)}"
+            )
+
+    def test_histograms_carry_the_full_triplet(self, scrape):
+        lines = scrape.strip().splitlines()
+        histograms = {
+            match.group(1)
+            for match in (_TYPE_RE.match(line) for line in lines)
+            if match and match.group(2) == "histogram"
+        }
+        assert histograms
+        text = "\n".join(lines)
+        for name in histograms:
+            assert f'{name}_bucket' in text
+            assert f'le="+Inf"' in text
+            assert f"{name}_sum" in text
+            assert f"{name}_count" in text
