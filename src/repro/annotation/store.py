@@ -7,6 +7,14 @@ is linked by ``q:contains-evidence`` to an evidence node which carries
 ``q:computedBy`` provenance.  Reads are keyed by (data item, evidence
 type) and go through the SPARQL engine, so the storage backend stays
 swappable (paper Sec. 5).
+
+All read queries are *prepared* once at module load
+(:func:`repro.rdf.sparql.prepare`): the query text carries ``$data`` /
+``$etype`` parameters instead of being re-built per item with
+``str.format``, so repeat lookups reuse one compiled plan and never
+touch the SPARQL lexer or parser.  Bulk reads (:meth:`lookup_batch`,
+used by :meth:`enrich`) fetch a whole evidence column in a single
+query instead of one query per data item.
 """
 
 from __future__ import annotations
@@ -20,32 +28,53 @@ from repro.annotation.map import AnnotationMap
 from repro.observability import add_to_current, get_registry
 from repro.ontology.iq_model import IQModel
 from repro.rdf import Graph, Literal, Q, RDF, URIRef
+from repro.rdf.sparql import prepare
 from repro.rdf.term import Node
 
-_EVIDENCE_QUERY = """
+_EVIDENCE_QUERY = prepare("""
 PREFIX q: <http://qurator.org/iq#>
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
-SELECT ?value WHERE {{
-  <{data}> q:contains-evidence ?e .
-  ?e rdf:type <{evidence_type}> ;
+SELECT ?value WHERE {
+  $data q:contains-evidence ?e .
+  ?e rdf:type $etype ;
      q:value ?value .
-}}
-"""
+}
+""")
 
 #: Distinguishes evidence nodes minted by different store instances of
 #: the same name (e.g. a fresh store loading a saved one), so node ids
 #: never collide.  Deterministic within a process.
 _instance_counter = itertools.count()
 
-_ALL_EVIDENCE_QUERY = """
+_ALL_EVIDENCE_QUERY = prepare("""
 PREFIX q: <http://qurator.org/iq#>
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
-SELECT ?type ?value WHERE {{
-  <{data}> q:contains-evidence ?e .
+SELECT ?type ?value WHERE {
+  $data q:contains-evidence ?e .
   ?e rdf:type ?type ;
      q:value ?value .
-}}
-"""
+}
+""")
+
+#: One sweep over an entire evidence column; :meth:`lookup_batch`
+#: filters the result to the requested items.
+_BATCH_EVIDENCE_QUERY = prepare("""
+PREFIX q: <http://qurator.org/iq#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?d ?value WHERE {
+  ?d q:contains-evidence ?e .
+  ?e rdf:type $etype ;
+     q:value ?value .
+}
+""")
+
+_COVERAGE_QUERY = prepare("""
+PREFIX q: <http://qurator.org/iq#>
+ASK {
+  $data q:contains-evidence ?e .
+  ?e a $etype .
+}
+""")
 
 
 @dataclass
@@ -162,8 +191,8 @@ class AnnotationStore:
         exactly the runtime job that caused it, however many thread
         hops away it ran (see ``repro.observability.spans``).
         """
-        result = self.graph.query(
-            _EVIDENCE_QUERY.format(data=data_item, evidence_type=evidence_type)
+        result = _EVIDENCE_QUERY.execute(
+            self.graph, data=data_item, etype=evidence_type
         )
         found: Optional[Any] = None
         hit = False
@@ -187,7 +216,7 @@ class AnnotationStore:
 
     def lookup_all(self, data_item: URIRef) -> Dict[URIRef, Any]:
         """Every (evidence type, value) pair known for a data item."""
-        result = self.graph.query(_ALL_EVIDENCE_QUERY.format(data=data_item))
+        result = _ALL_EVIDENCE_QUERY.execute(self.graph, data=data_item)
         found: Dict[URIRef, Any] = {}
         for evidence_type, value in result:
             if isinstance(evidence_type, URIRef):
@@ -196,20 +225,63 @@ class AnnotationStore:
                 )
         return found
 
+    def lookup_batch(
+        self, items: Iterable[URIRef], evidence_type: URIRef
+    ) -> Dict[URIRef, Any]:
+        """One evidence type for many data items in a single query.
+
+        Sweeps the whole evidence column once and filters to the
+        requested items, instead of issuing one keyed query per item.
+        Accounting matches per-item :meth:`lookup` exactly: every
+        requested item counts as one lookup, every item with a value
+        as one hit.
+        """
+        wanted = list(items)
+        wanted_set = set(wanted)
+        found: Dict[URIRef, Any] = {}
+        result = _BATCH_EVIDENCE_QUERY.execute(self.graph, etype=evidence_type)
+        for data_item, value in result:
+            if data_item in wanted_set and data_item not in found:
+                found[data_item] = (
+                    value.value if isinstance(value, Literal) else value
+                )
+        hits = len(found)
+        with self._stats_lock:
+            self.stats.lookups += len(wanted)
+            self.stats.hits += hits
+        counter = get_registry().counter(
+            "repro_annotation_store_lookups_total",
+            "Keyed evidence reads by store and hit/miss.",
+            labels=("store", "result"),
+        )
+        if hits:
+            counter.labels(store=self.name, result="hit").inc(hits)
+        if len(wanted) - hits:
+            counter.labels(store=self.name, result="miss").inc(len(wanted) - hits)
+        add_to_current("cache.lookups", len(wanted))
+        if hits:
+            add_to_current("cache.hits", hits)
+        return found
+
     def enrich(
         self,
         amap: AnnotationMap,
         items: Iterable[URIRef],
         evidence_types: Iterable[URIRef],
     ) -> AnnotationMap:
-        """Fill an annotation map from the store (Data Enrichment reads)."""
+        """Fill an annotation map from the store (Data Enrichment reads).
+
+        Uses :meth:`lookup_batch` — one query per evidence type rather
+        than one per (item, type) pair — with identical hit/miss
+        accounting.
+        """
         wanted = list(evidence_types)
-        for item in items:
+        batch = list(items)
+        for item in batch:
             amap.add_item(item)
-            for evidence_type in wanted:
-                value = self.lookup(item, evidence_type)
-                if value is not None:
-                    amap.set_evidence(item, evidence_type, value)
+        for evidence_type in wanted:
+            for item, value in self.lookup_batch(batch, evidence_type).items():
+                amap.set_evidence(item, evidence_type, value)
         return amap
 
     def unannotated_items(
@@ -218,18 +290,12 @@ class AnnotationStore:
         """The given items lacking any value for an evidence type.
 
         The coverage check a Data-Enrichment caller runs to decide
-        whether an annotation function must fire (uses NOT EXISTS).
+        whether an annotation function must fire.
         """
         missing: List[URIRef] = []
         for item in items:
-            result = self.graph.query(
-                f"""
-                PREFIX q: <http://qurator.org/iq#>
-                ASK {{
-                  <{item}> q:contains-evidence ?e .
-                  ?e a <{evidence_type}> .
-                }}
-                """
+            result = _COVERAGE_QUERY.execute(
+                self.graph, data=item, etype=evidence_type
             )
             if not result.boolean:
                 missing.append(item)

@@ -21,6 +21,12 @@ Commands:
   Prometheus text (``/metrics``) and a JSON snapshot
   (``/metrics.json``), or — with ``--oneshot`` — a single scrape
   printed to stdout.
+* ``query <sparql> [--data FILE] [--explain]`` — run a SPARQL query
+  over an RDF file (or a synthetic annotation store) through the
+  planned execution path; ``--explain`` prints the chosen join order,
+  per-pattern cardinality estimates and plan-cache statistics instead
+  of rows; ``--no-planner`` / ``--no-cache`` select the naive
+  evaluator or disable plan reuse for comparison.
 * ``info`` — one-paragraph description and component inventory.
 """
 
@@ -135,6 +141,50 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--format", choices=("prom", "json"), default="prom",
         help="--oneshot output: Prometheus text or the JSON snapshot",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="run a SPARQL query through the planner (--explain shows the plan)",
+    )
+    query.add_argument(
+        "sparql", nargs="?", default=None,
+        help="the query text (omit when using --query-file)",
+    )
+    query.add_argument(
+        "--query-file", metavar="PATH", default=None,
+        help="read the query from this file instead",
+    )
+    query.add_argument(
+        "--data", metavar="PATH", default=None,
+        help="RDF file to query (default: a synthetic annotation store)",
+    )
+    query.add_argument(
+        "--data-format", choices=("ntriples", "nt", "turtle", "ttl"),
+        default=None,
+        help="format of --data (default: guessed from the extension)",
+    )
+    query.add_argument(
+        "--synthetic-items", type=int, default=200, metavar="N",
+        help="data items in the synthetic store when --data is omitted",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print join order, cardinality estimates and plan-cache "
+             "stats instead of executing",
+    )
+    query.add_argument(
+        "--no-planner", action="store_true",
+        help="use the naive reference evaluator instead of the planner",
+    )
+    query.add_argument(
+        "--no-cache", action="store_true",
+        help="compile the plan fresh, bypassing the prepared-query cache",
+    )
+    query.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="execute N times and report per-run timing (exercises the "
+             "plan cache)",
     )
 
     commands.add_parser("info", help="describe this reproduction")
@@ -413,6 +463,84 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    import time
+
+    from repro.rdf import Graph
+    from repro.rdf.sparql import SPARQLSyntaxError, compile_query
+    from repro.rdf.sparql.evaluator import SPARQLEvaluationError
+
+    if (args.sparql is None) == (args.query_file is None):
+        print("error: provide the query text or --query-file (not both)",
+              file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}",
+              file=sys.stderr)
+        return 2
+    sparql = args.sparql if args.sparql is not None else _read(args.query_file)
+
+    if args.data is not None:
+        fmt = args.data_format
+        if fmt is None:
+            fmt = "turtle" if args.data.endswith((".ttl", ".turtle")) \
+                else "ntriples"
+        graph = Graph("cli:data")
+        graph.parse(_read(args.data), fmt)
+        print(f"loaded {len(graph)} triples from {args.data} ({fmt})")
+    else:
+        from repro.annotation.store import AnnotationStore
+        from repro.rdf import Q
+        from repro.rdf.lsid import uniprot_lsid
+
+        store = AnnotationStore("cli:synthetic")
+        evidence_types = [Q.HitRatio, Q.Coverage, Q.PeptidesCount]
+        for index in range(args.synthetic_items):
+            item = uniprot_lsid(f"B{index:06d}")
+            for offset, evidence_type in enumerate(evidence_types):
+                store.annotate(
+                    item, evidence_type, (index * 7 + offset) % 100 / 100.0
+                )
+        graph = store.graph
+        print(f"synthetic annotation store: {args.synthetic_items} items, "
+              f"{len(graph)} triples")
+
+    try:
+        if args.explain:
+            compiled = compile_query(sparql, use_cache=not args.no_cache)
+            print(compiled.explain(graph))
+            return 0
+        result = None
+        for run in range(args.repeat):
+            started = time.perf_counter()
+            result = graph.query(
+                sparql,
+                use_planner=not args.no_planner,
+                use_cache=not args.no_cache,
+            )
+            elapsed = (time.perf_counter() - started) * 1e3
+            if args.repeat > 1:
+                print(f"run {run + 1}: {elapsed:.3f} ms")
+    except (SPARQLSyntaxError, SPARQLEvaluationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if result.query_type == "ASK":
+        print("yes" if result.boolean else "no")
+        return 0
+    if result.graph is not None:
+        print(result.graph.serialize("ntriples"), end="")
+        return 0
+    header = [f"?{var}" for var in result.variables]
+    print("  ".join(header))
+    for row in result:
+        print("  ".join(
+            value.n3() if value is not None else "-" for value in row
+        ))
+    print(f"({len(result)} row{'s' if len(result) != 1 else ''})")
+    return 0
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -441,6 +569,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "info":
         return _cmd_info()
     return 2

@@ -1,10 +1,19 @@
-"""An indexed in-memory triple store.
+"""A dictionary-encoded, indexed in-memory triple store.
 
-The graph maintains three permutation indices (SPO, POS, OSP) so that
-any triple pattern with at least one bound position resolves without a
-full scan.  This is the storage layer under the annotation repositories
-(paper Sec. 5); the SPARQL engine in ``repro.rdf.sparql`` evaluates
-queries over it, keeping the store swappable as the paper requires.
+Every term is interned once into a per-graph dictionary (``Node`` →
+dense integer id) and the three permutation indices (SPO, POS, OSP)
+hold those small integers instead of full term objects, so any triple
+pattern with at least one bound position resolves without a full scan
+and index probes hash machine ints rather than composite terms.  This
+is the storage layer under the annotation repositories (paper Sec. 5);
+the SPARQL engine in ``repro.rdf.sparql`` evaluates queries over it,
+keeping the store swappable as the paper requires.
+
+Alongside the indices the graph maintains per-predicate cardinality
+statistics (triple count, distinct subjects, distinct objects) updated
+incrementally on every add/remove; the query planner in
+``repro.rdf.sparql.plan`` reads them to choose a join order once per
+query instead of re-sorting patterns per solution.
 
 Concurrency contract
 --------------------
@@ -13,48 +22,53 @@ Index *mutation* (``add``/``remove``/``clear``) is serialized by a
 per-graph re-entrant lock (mirroring the ``_bnode_lock`` that already
 guards blank-node id allocation in ``repro.rdf.term``), so concurrent
 writers — e.g. parallel annotators of the execution runtime filling
-one shared repository — can never corrupt the three indices or the
-size counter.  Pattern reads (``triples``, and everything built on it:
-``__iter__``, ``subjects``/``objects``, SPARQL, serialisation)
-materialise their matches *under the same lock*, so every read is a
-consistent snapshot: a concurrent add is observed entirely or not at
-all, and iteration never races a mutation.  This is what lets the
-execution runtime share one transient repository session across
-concurrent quality-view jobs — one job's data-enrichment reads while
-another job's annotator writes.  Point ``__contains__`` checks on a
-fully bound triple read a single index cell and take no lock.
+one shared repository — can never corrupt the indices, the term
+dictionary, or the statistics.  Pattern reads (``triples``, and
+everything built on it: ``__iter__``, ``subjects``/``objects``,
+SPARQL, serialisation) materialise their matches *under the same
+lock*, so every read is a consistent snapshot: a concurrent add is
+observed entirely or not at all, and iteration never races a
+mutation.  Planned SPARQL execution likewise holds the lock for the
+whole (materialising) evaluation.  This is what lets the execution
+runtime share one transient repository session across concurrent
+quality-view jobs — one job's data-enrichment reads while another
+job's annotator writes.  Point ``__contains__`` checks on a fully
+bound triple read a single index cell and take no lock.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.rdf.namespace import NamespaceManager
 from repro.rdf.term import BNode, Literal, Node, URIRef
 from repro.rdf.triple import Object, Predicate, Subject, Triple, validate_triple
 
-_Index = Dict[Node, Dict[Node, Set[Node]]]
+#: An index level: first-position id -> second-position id -> third ids.
+_Index = Dict[int, Dict[int, Set[int]]]
 
 TriplePattern = Tuple[Optional[Node], Optional[Node], Optional[Node]]
 
 
-def _index_add(index: _Index, a: Node, b: Node, c: Node) -> None:
-    index.setdefault(a, {}).setdefault(b, set()).add(c)
+class PredicateStats:
+    """Incremental cardinalities of one predicate (planner input)."""
 
+    __slots__ = ("triples", "subjects", "objects")
 
-def _index_remove(index: _Index, a: Node, b: Node, c: Node) -> None:
-    level_b = index.get(a)
-    if level_b is None:
-        return
-    level_c = level_b.get(b)
-    if level_c is None:
-        return
-    level_c.discard(c)
-    if not level_c:
-        del level_b[b]
-        if not level_b:
-            del index[a]
+    def __init__(self, triples: int = 0, subjects: int = 0, objects: int = 0):
+        self.triples = triples
+        self.subjects = subjects
+        self.objects = objects
+
+    def copy(self) -> "PredicateStats":
+        return PredicateStats(self.triples, self.subjects, self.objects)
+
+    def __repr__(self) -> str:
+        return (
+            f"PredicateStats(triples={self.triples}, "
+            f"subjects={self.subjects}, objects={self.objects})"
+        )
 
 
 class Graph:
@@ -62,16 +76,98 @@ class Graph:
 
     def __init__(self, identifier: Optional[str] = None) -> None:
         self.identifier = identifier
+        # Term dictionary: every distinct term gets a dense integer id.
+        # Ids are never recycled (removal keeps the dictionary entry),
+        # so a decoded id is always valid without holding the lock.
+        self._term_ids: Dict[Node, int] = {}
+        self._term_list: List[Node] = []
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
+        self._pred_stats: Dict[int, PredicateStats] = {}
         self._size = 0
         # Serializes index updates; see the module docstring for the
         # exact guarantees readers get.
         self._write_lock = threading.RLock()
         self.namespace_manager = NamespaceManager()
 
+    # -- dictionary encoding ----------------------------------------------
+
+    def _intern(self, term: Node) -> int:
+        """Id of a term, creating one (caller holds the write lock)."""
+        tid = self._term_ids.get(term)
+        if tid is None:
+            tid = len(self._term_list)
+            self._term_ids[term] = tid
+            self._term_list.append(term)
+        return tid
+
+    def _encode(self, term: Node) -> Optional[int]:
+        """Id of a term if it has ever been interned, else ``None``."""
+        return self._term_ids.get(term)
+
     # -- mutation ---------------------------------------------------------
+
+    def _insert_encoded(self, sid: int, pid: int, oid: int) -> bool:
+        """Insert one encoded triple; returns True if it was new.
+
+        Caller holds the write lock.  Maintains the per-predicate
+        cardinality statistics incrementally.
+        """
+        by_p = self._spo.get(sid)
+        if by_p is not None:
+            objects = by_p.get(pid)
+            if objects is not None and oid in objects:
+                return False
+        stats = self._pred_stats.get(pid)
+        if stats is None:
+            stats = self._pred_stats[pid] = PredicateStats()
+        if by_p is None or pid not in by_p:
+            stats.subjects += 1
+        by_o = self._pos.get(pid)
+        if by_o is None:
+            self._pos[pid] = by_o = {}
+        if oid not in by_o:
+            stats.objects += 1
+        stats.triples += 1
+        if by_p is None:
+            self._spo[sid] = by_p = {}
+        by_p.setdefault(pid, set()).add(oid)
+        by_o.setdefault(oid, set()).add(sid)
+        self._osp.setdefault(oid, {}).setdefault(sid, set()).add(pid)
+        self._size += 1
+        return True
+
+    def _delete_encoded(self, sid: int, pid: int, oid: int) -> None:
+        """Remove one present encoded triple (caller holds the lock)."""
+        by_p = self._spo[sid]
+        objects = by_p[pid]
+        objects.discard(oid)
+        stats = self._pred_stats[pid]
+        stats.triples -= 1
+        if not objects:
+            del by_p[pid]
+            stats.subjects -= 1
+            if not by_p:
+                del self._spo[sid]
+        by_o = self._pos[pid]
+        subjects = by_o[oid]
+        subjects.discard(sid)
+        if not subjects:
+            del by_o[oid]
+            stats.objects -= 1
+            if not by_o:
+                del self._pos[pid]
+        if stats.triples == 0:
+            del self._pred_stats[pid]
+        by_s = self._osp[oid]
+        preds = by_s[sid]
+        preds.discard(pid)
+        if not preds:
+            del by_s[sid]
+            if not by_s:
+                del self._osp[oid]
+        self._size -= 1
 
     def add(self, *args: object) -> "Graph":
         """Add a triple; accepts ``add(s, p, o)`` or ``add(Triple(...))``."""
@@ -83,17 +179,67 @@ class Graph:
             raise TypeError("add() takes a Triple or three terms")
         s, p, o = validate_triple(s, p, o)
         with self._write_lock:
-            if o not in self._spo.get(s, {}).get(p, ()):
-                _index_add(self._spo, s, p, o)
-                _index_add(self._pos, p, o, s)
-                _index_add(self._osp, o, s, p)
-                self._size += 1
+            self._insert_encoded(
+                self._intern(s), self._intern(p), self._intern(o)
+            )
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, tuple]]) -> "Graph":
-        """Add every triple of an iterable; returns self."""
-        for triple in triples:
-            self.add(triple)
+        """Bulk-add every triple of an iterable; returns self.
+
+        The whole batch is validated and encoded under one lock
+        acquisition instead of going triple-by-triple through
+        :meth:`add`, and the cardinality statistics are merged once at
+        the end rather than updated per triple.
+        """
+        # Materialise first: iterating another Graph must snapshot it
+        # (its own lock) before we start holding ours.
+        batch = [validate_triple(*t) for t in triples]
+        if not batch:
+            return self
+        with self._write_lock:
+            intern = self._intern
+            spo, pos, osp = self._spo, self._pos, self._osp
+            added: Dict[int, List[int]] = {}  # pid -> [triples, subj, obj]
+            count = 0
+            for s, p, o in batch:
+                sid, pid, oid = intern(s), intern(p), intern(o)
+                by_p = spo.get(sid)
+                if by_p is None:
+                    spo[sid] = by_p = {}
+                objects = by_p.get(pid)
+                if objects is None:
+                    by_p[pid] = objects = set()
+                    new_subject = True
+                else:
+                    if oid in objects:
+                        continue
+                    new_subject = False
+                by_o = pos.get(pid)
+                if by_o is None:
+                    pos[pid] = by_o = {}
+                new_object = oid not in by_o
+                objects.add(oid)
+                by_o.setdefault(oid, set()).add(sid)
+                osp.setdefault(oid, {}).setdefault(sid, set()).add(pid)
+                delta = added.get(pid)
+                if delta is None:
+                    delta = added[pid] = [0, 0, 0]
+                delta[0] += 1
+                if new_subject:
+                    delta[1] += 1
+                if new_object:
+                    delta[2] += 1
+                count += 1
+            # one statistics merge for the whole batch
+            for pid, (n_triples, n_subjects, n_objects) in added.items():
+                stats = self._pred_stats.get(pid)
+                if stats is None:
+                    stats = self._pred_stats[pid] = PredicateStats()
+                stats.triples += n_triples
+                stats.subjects += n_subjects
+                stats.objects += n_objects
+            self._size += count
         return self
 
     def remove(
@@ -104,20 +250,18 @@ class Graph:
     ) -> int:
         """Remove all triples matching the pattern; returns count removed."""
         with self._write_lock:
-            matched = list(self.triples((subject, predicate, obj)))
-            for s, p, o in matched:
-                _index_remove(self._spo, s, p, o)
-                _index_remove(self._pos, p, o, s)
-                _index_remove(self._osp, o, s, p)
-            self._size -= len(matched)
+            matched = list(self._match_encoded((subject, predicate, obj)))
+            for sid, pid, oid in matched:
+                self._delete_encoded(sid, pid, oid)
         return len(matched)
 
     def clear(self) -> None:
-        """Remove every triple."""
+        """Remove every triple (the term dictionary is kept)."""
         with self._write_lock:
             self._spo.clear()
             self._pos.clear()
             self._osp.clear()
+            self._pred_stats.clear()
             self._size = 0
 
     # -- query ------------------------------------------------------------
@@ -130,62 +274,94 @@ class Graph:
         threads mutate the graph (see the module docstring).
         """
         with self._write_lock:
-            return iter(list(self._match(pattern)))
+            terms = self._term_list
+            return iter(
+                [
+                    Triple(terms[sid], terms[pid], terms[oid])
+                    for sid, pid, oid in self._match_encoded(pattern)
+                ]
+            )
 
-    def _match(self, pattern: TriplePattern) -> Iterator[Triple]:
+    def _match_encoded(
+        self, pattern: TriplePattern
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Encoded id triples matching a term pattern (lock held)."""
         s, p, o = pattern
+        sid = pid = oid = None
         if s is not None:
-            by_p = self._spo.get(s)
+            sid = self._term_ids.get(s)
+            if sid is None:
+                return
+        if p is not None:
+            pid = self._term_ids.get(p)
+            if pid is None:
+                return
+        if o is not None:
+            oid = self._term_ids.get(o)
+            if oid is None:
+                return
+        yield from self._match_ids(sid, pid, oid)
+
+    def _match_ids(
+        self, sid: Optional[int], pid: Optional[int], oid: Optional[int]
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Encoded matches for an id pattern (``None`` = wildcard)."""
+        if sid is not None:
+            by_p = self._spo.get(sid)
             if by_p is None:
                 return
-            if p is not None:
-                objects = by_p.get(p)
+            if pid is not None:
+                objects = by_p.get(pid)
                 if objects is None:
                     return
-                if o is not None:
-                    if o in objects:
-                        yield Triple(s, p, o)
+                if oid is not None:
+                    if oid in objects:
+                        yield (sid, pid, oid)
                     return
                 for obj in objects:
-                    yield Triple(s, p, obj)
+                    yield (sid, pid, obj)
                 return
             for pred, objects in by_p.items():
-                if o is not None:
-                    if o in objects:
-                        yield Triple(s, pred, o)
+                if oid is not None:
+                    if oid in objects:
+                        yield (sid, pred, oid)
                 else:
                     for obj in objects:
-                        yield Triple(s, pred, obj)
+                        yield (sid, pred, obj)
             return
-        if p is not None:
-            by_o = self._pos.get(p)
+        if pid is not None:
+            by_o = self._pos.get(pid)
             if by_o is None:
                 return
-            if o is not None:
-                for subj in by_o.get(o, ()):
-                    yield Triple(subj, p, o)
+            if oid is not None:
+                for subj in by_o.get(oid, ()):
+                    yield (subj, pid, oid)
                 return
             for obj, subjects in by_o.items():
                 for subj in subjects:
-                    yield Triple(subj, p, obj)
+                    yield (subj, pid, obj)
             return
-        if o is not None:
-            by_s = self._osp.get(o)
+        if oid is not None:
+            by_s = self._osp.get(oid)
             if by_s is None:
                 return
             for subj, preds in by_s.items():
                 for pred in preds:
-                    yield Triple(subj, pred, o)
+                    yield (subj, pred, oid)
             return
         for subj, by_p in self._spo.items():
             for pred, objects in by_p.items():
                 for obj in objects:
-                    yield Triple(subj, pred, obj)
+                    yield (subj, pred, obj)
 
     def __contains__(self, pattern: Union[Triple, TriplePattern]) -> bool:
         s, p, o = pattern
         if s is not None and p is not None and o is not None:
-            return o in self._spo.get(s, {}).get(p, ())
+            ids = self._term_ids
+            sid, pid, oid = ids.get(s), ids.get(p), ids.get(o)
+            if sid is None or pid is None or oid is None:
+                return False
+            return oid in self._spo.get(sid, {}).get(pid, ())
         return next(self.triples((s, p, o)), None) is not None
 
     def subjects(
@@ -248,6 +424,17 @@ class Graph:
             return p
         return o
 
+    # -- planner statistics -------------------------------------------------
+
+    def predicate_stats(self, predicate: Node) -> PredicateStats:
+        """Cardinality statistics of one predicate (zeros if absent)."""
+        with self._write_lock:
+            pid = self._term_ids.get(predicate)
+            if pid is None:
+                return PredicateStats()
+            stats = self._pred_stats.get(pid)
+            return stats.copy() if stats is not None else PredicateStats()
+
     # -- collection protocol ----------------------------------------------
 
     def __len__(self) -> int:
@@ -271,8 +458,8 @@ class Graph:
     # -- set operations ----------------------------------------------------
 
     def __add__(self, other: "Graph") -> "Graph":
-        result = Graph()
-        result.add_all(self)
+        result = self.copy()
+        result.identifier = None
         result.add_all(other)
         return result
 
@@ -288,9 +475,32 @@ class Graph:
         return result
 
     def copy(self) -> "Graph":
-        """An independent copy of the graph."""
+        """An independent copy of the graph.
+
+        Copies the term dictionary, the three indices and the
+        statistics structurally — a bulk index build, not a
+        triple-by-triple re-insertion.
+        """
         result = Graph(self.identifier)
-        result.add_all(self)
+        with self._write_lock:
+            result._term_ids = dict(self._term_ids)
+            result._term_list = list(self._term_list)
+            result._spo = {
+                a: {b: set(c) for b, c in by_b.items()}
+                for a, by_b in self._spo.items()
+            }
+            result._pos = {
+                a: {b: set(c) for b, c in by_b.items()}
+                for a, by_b in self._pos.items()
+            }
+            result._osp = {
+                a: {b: set(c) for b, c in by_b.items()}
+                for a, by_b in self._osp.items()
+            }
+            result._pred_stats = {
+                pid: stats.copy() for pid, stats in self._pred_stats.items()
+            }
+            result._size = self._size
         return result
 
     # -- convenience -------------------------------------------------------
@@ -299,21 +509,39 @@ class Graph:
         """Bind a prefix for serialisation."""
         self.namespace_manager.bind(prefix, namespace)
 
-    def query(self, sparql: str):
+    def query(
+        self,
+        sparql: str,
+        *,
+        use_planner: bool = True,
+        use_cache: bool = True,
+    ):
         """Evaluate a SPARQL query string over this graph.
+
+        By default the query is compiled by the one-shot planner
+        (``repro.rdf.sparql.plan``) through the process-wide prepared-
+        query cache, so repeat evaluations of the same text skip the
+        lexer/parser entirely.  ``use_planner=False`` routes through
+        the naive reference evaluator (differential tests, benchmark
+        baselines); ``use_cache=False`` forces recompilation.
 
         Imported lazily to keep the storage layer free of parser
         dependencies; returns the engine's result object.  Each
-        evaluation (parse included) is timed onto the
+        evaluation (compile or parse included) is timed onto the
         ``repro_rdf_sparql_query_seconds`` histogram.
         """
         import time
 
         from repro.observability import get_registry
-        from repro.rdf.sparql import evaluate
 
         started = time.perf_counter()
         try:
+            if use_planner:
+                from repro.rdf.sparql.plan import compile_query
+
+                return compile_query(sparql, use_cache=use_cache).execute(self)
+            from repro.rdf.sparql import evaluate
+
             return evaluate(self, sparql)
         finally:
             registry = get_registry()
@@ -321,6 +549,11 @@ class Graph:
                 "repro_rdf_sparql_queries_total",
                 "SPARQL evaluations over any graph.",
             ).inc()
+            registry.counter(
+                "repro_rdf_plan_executions_total",
+                "Graph.query() evaluations by execution path.",
+                labels=("planner",),
+            ).labels(planner="on" if use_planner else "off").inc()
             registry.histogram(
                 "repro_rdf_sparql_query_seconds",
                 "Wall-clock seconds of one SPARQL evaluation "

@@ -209,5 +209,4 @@ def parse_into_graph(graph, text: str, format: str = "ntriples") -> None:
         reader = _READERS[format]
     except KeyError:
         raise SerializationError(f"unknown parse format {format!r}") from None
-    for triple in reader(text):
-        graph.add(triple)
+    graph.add_all(reader(text))

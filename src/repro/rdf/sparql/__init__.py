@@ -5,15 +5,46 @@ the Qurator framework relies on for annotation lookup — SELECT / ASK /
 CONSTRUCT query forms with basic graph patterns, FILTER, OPTIONAL,
 UNION, DISTINCT, ORDER BY, LIMIT and OFFSET — plus the common builtin
 functions used in filters.
+
+Two execution paths share one parser and one result/modifier layer:
+
+* :func:`evaluate` — the straightforward reference evaluator;
+* :func:`compile_query` / :func:`prepare` — the planned path
+  (:mod:`repro.rdf.sparql.plan`): one-shot join ordering from index
+  statistics, filter pushdown, and an LRU cache of compiled plans.
+  ``Graph.query`` uses this path by default.
 """
 
-from repro.rdf.sparql.parser import parse_query, SPARQLSyntaxError
+from repro.rdf.sparql.parser import (
+    SPARQLSyntaxError,
+    parse_query,
+    parse_query_params,
+)
 from repro.rdf.sparql.evaluator import evaluate, SPARQLResult, SPARQLEvaluationError
+from repro.rdf.sparql.plan import (
+    CompiledQuery,
+    PlanCache,
+    PreparedQuery,
+    compile_query,
+    explain,
+    get_plan_cache,
+    prepare,
+    reset_plan_cache,
+)
 
 __all__ = [
+    "CompiledQuery",
+    "PlanCache",
+    "PreparedQuery",
     "SPARQLEvaluationError",
     "SPARQLResult",
     "SPARQLSyntaxError",
+    "compile_query",
     "evaluate",
+    "explain",
+    "get_plan_cache",
     "parse_query",
+    "parse_query_params",
+    "prepare",
+    "reset_plan_cache",
 ]

@@ -528,11 +528,39 @@ def _compute_aggregate(
     )
 
 
-def evaluate(graph: Graph, query: Union[str, ast.Query]) -> SPARQLResult:
-    """Parse (if needed) and evaluate a query over ``graph``."""
+def evaluate(
+    graph: Graph,
+    query: Union[str, ast.Query],
+    *,
+    initial: Optional[Solution] = None,
+    pattern_rows=None,
+) -> SPARQLResult:
+    """Parse (if needed) and evaluate a query over ``graph``.
+
+    ``initial`` pre-binds variables before pattern evaluation — the
+    substitution mechanism behind prepared ``$param`` queries.
+    ``pattern_rows`` (internal) overrides how the query's graph
+    pattern is enumerated: a callable ``(pattern, first_only=False) ->
+    List[Solution]``.  The planner in :mod:`repro.rdf.sparql.plan`
+    injects its compiled executor here so both engines share one
+    implementation of projection, aggregation, solution modifiers and
+    the CONSTRUCT/DESCRIBE forms; the default is the naive reference
+    evaluation via :func:`eval_pattern`.
+    """
     parsed = parse_query(query) if isinstance(query, str) else query
+    if pattern_rows is None:
+
+        def pattern_rows(pattern: ast.Pattern, first_only: bool = False):
+            solutions = eval_pattern(
+                pattern, graph, dict(initial) if initial else None
+            )
+            if first_only:
+                first = next(solutions, None)
+                return [] if first is None else [first]
+            return list(solutions)
+
     if isinstance(parsed, ast.SelectQuery):
-        rows = list(eval_pattern(parsed.pattern, graph))
+        rows = pattern_rows(parsed.pattern)
         if parsed.aggregates or parsed.group_by:
             rows = _aggregate_rows(rows, parsed)
             variables = tuple(parsed.group_by) + tuple(
@@ -551,15 +579,15 @@ def evaluate(graph: Graph, query: Union[str, ast.Query]) -> SPARQLResult:
         ]
         return SPARQLResult("SELECT", variables=variables, rows=projected)
     if isinstance(parsed, ast.AskQuery):
-        found = next(eval_pattern(parsed.pattern, graph), None)
-        return SPARQLResult("ASK", boolean=found is not None)
+        found = pattern_rows(parsed.pattern, first_only=True)
+        return SPARQLResult("ASK", boolean=bool(found))
     if isinstance(parsed, ast.DescribeQuery):
         resources: List[Node] = []
         constants = [t for t in parsed.terms if not isinstance(t, Variable)]
         resources.extend(constants)
         described_vars = [t for t in parsed.terms if isinstance(t, Variable)]
         if parsed.pattern is not None and described_vars:
-            for row in eval_pattern(parsed.pattern, graph):
+            for row in pattern_rows(parsed.pattern):
                 for var in described_vars:
                     value = row.get(var)
                     if value is not None and value not in resources:
@@ -569,7 +597,7 @@ def evaluate(graph: Graph, query: Union[str, ast.Query]) -> SPARQLResult:
             _describe_into(graph, resource, out)
         return SPARQLResult("CONSTRUCT", graph=out)
     if isinstance(parsed, ast.ConstructQuery):
-        rows = list(eval_pattern(parsed.pattern, graph))
+        rows = pattern_rows(parsed.pattern)
         if parsed.offset:
             rows = rows[parsed.offset:]
         if parsed.limit is not None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.rdf.namespace import RDF, NamespaceManager
 from repro.rdf.sparql import ast
@@ -446,3 +446,21 @@ class _Parser:
 def parse_query(query: str) -> ast.Query:
     """Parse a SPARQL query string into its algebra representation."""
     return _Parser(tokenize(query)).parse()
+
+
+def parse_query_params(query: str) -> Tuple[ast.Query, FrozenSet[str]]:
+    """Parse a query and report its ``$name`` parameter variables.
+
+    SPARQL treats ``$name`` and ``?name`` as the same variable; by
+    convention this engine reads ``$``-spelled variables as the
+    *parameters* of a prepared query (see
+    :func:`repro.rdf.sparql.plan.prepare`), to be substituted with
+    concrete terms at execution time.
+    """
+    tokens = tokenize(query)
+    params = frozenset(
+        token.value[1:]
+        for token in tokens
+        if token.kind == "VAR" and token.value.startswith("$")
+    )
+    return _Parser(tokens).parse(), params

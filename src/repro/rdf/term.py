@@ -5,6 +5,12 @@ Terms follow the RDF abstract syntax.  ``URIRef``, ``BNode`` and
 usable as dictionary keys); ``Literal`` carries a lexical form plus an
 optional datatype and language tag, and exposes the typed Python value
 for comparisons inside SPARQL ``FILTER`` and the condition language.
+
+Terms are hashed on every index probe and dictionary-encoding lookup,
+so every class keeps ``__slots__`` and a cached hash: the string
+subclasses alias ``str.__hash__`` directly (CPython memoises a string's
+hash in the object header, and the alias skips a Python-level frame per
+probe), and ``Literal`` precomputes its hash once at construction.
 """
 
 from __future__ import annotations
@@ -69,8 +75,7 @@ class URIRef(Node, str):
             return result
         return not result
 
-    def __hash__(self) -> int:
-        return str.__hash__(self)
+    __hash__ = str.__hash__
 
     def defrag(self) -> "URIRef":
         """Return the URI without its fragment component."""
@@ -121,8 +126,7 @@ class BNode(Node, str):
             return result
         return not result
 
-    def __hash__(self) -> int:
-        return str.__hash__(self)
+    __hash__ = str.__hash__
 
 
 class Variable(Node, str):
@@ -158,8 +162,7 @@ class Variable(Node, str):
             return result
         return not result
 
-    def __hash__(self) -> int:
-        return str.__hash__(self)
+    __hash__ = str.__hash__
 
 
 def _infer_datatype(value: Any) -> Optional[str]:
@@ -221,7 +224,7 @@ class Literal(Node):
     (mirroring SPARQL type errors).
     """
 
-    __slots__ = ("lexical", "datatype", "lang", "value")
+    __slots__ = ("lexical", "datatype", "lang", "value", "_hash")
 
     def __init__(
         self,
@@ -245,6 +248,14 @@ class Literal(Node):
         object.__setattr__(self, "datatype", URIRef(datatype) if datatype else None)
         object.__setattr__(self, "lang", lang)
         object.__setattr__(self, "value", typed)
+        # Precomputed once: literals are hashed on every index probe and
+        # dictionary-encoding lookup.  Numeric literals hash by value so
+        # Literal(1) and Literal(1.0) stay in one equality class.
+        if isinstance(typed, (int, float)) and not isinstance(typed, bool):
+            cached = hash(float(typed))
+        else:
+            cached = hash((lexical, self.datatype, lang))
+        object.__setattr__(self, "_hash", cached)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Literal instances are immutable")
@@ -294,9 +305,7 @@ class Literal(Node):
         return not result
 
     def __hash__(self) -> int:
-        if self.is_numeric():
-            return hash(float(self.value))
-        return hash((self.lexical, self.datatype, self.lang))
+        return self._hash
 
     def _comparable(self, other: "Literal") -> None:
         if self.is_numeric() and other.is_numeric():

@@ -73,8 +73,26 @@ class TestMetricNameLint:
             "repro_resilience_retries_total",
             "repro_rdf_sparql_query_seconds",
             "repro_annotation_store_lookups_total",
+            "repro_rdf_plan_cache_hits_total",
+            "repro_rdf_plan_cache_misses_total",
+            "repro_rdf_plan_cache_evictions_total",
+            "repro_rdf_plan_cache_entries",
+            "repro_rdf_plan_compile_seconds",
+            "repro_rdf_plan_executions_total",
         ):
             assert expected in text, f"metric {expected} is not declared"
+
+    def test_lint_covers_the_query_planner_module(self):
+        """The planner is instrumented; the lint must be scanning it."""
+        plan_source = SRC_ROOT / "rdf" / "sparql" / "plan.py"
+        names = set(_NAME_LITERAL_RE.findall(plan_source.read_text()))
+        assert {
+            "repro_rdf_plan_cache_hits_total",
+            "repro_rdf_plan_cache_misses_total",
+            "repro_rdf_plan_compile_seconds",
+        } <= names
+        for name in names:
+            assert METRIC_NAME_RE.match(name), name
 
 
 @pytest.fixture(scope="module")

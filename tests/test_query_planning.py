@@ -1,0 +1,415 @@
+"""The planned SPARQL execution path: ordering, pushdown, caching.
+
+Covers the compile-once machinery in :mod:`repro.rdf.sparql.plan` —
+join ordering from the graph's incremental predicate statistics,
+filter pushdown into the index-nested-loop join, the prepared-query
+(``$param``) API the annotation store runs on, the LRU plan cache and
+its metrics — plus the dictionary-encoded storage underneath
+(per-predicate statistics, bulk loads, structural copies).
+
+Result *equivalence* against the naive evaluator is the subject of the
+randomized differential suite in ``test_sparql_differential.py``; the
+tests here pin behaviour and the observable plan shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import MetricRegistry, set_default_registry
+from repro.rdf import Graph, Literal, Q, RDF, URIRef
+from repro.rdf.graph import PredicateStats
+from repro.rdf.sparql import (
+    compile_query,
+    get_plan_cache,
+    prepare,
+    reset_plan_cache,
+)
+from repro.rdf.term import Variable
+
+EX = "http://example.org/"
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricRegistry()
+    previous = set_default_registry(fresh)
+    yield fresh
+    set_default_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_plan_cache()
+    yield
+    reset_plan_cache()
+
+
+def annotated_graph(n_items: int = 20) -> Graph:
+    """The paper's Fig. 2 shape: item → evidence node → typed value."""
+    graph = Graph("planner-test")
+    for index in range(n_items):
+        item = URIRef(f"{EX}item/{index}")
+        node = URIRef(f"{EX}evidence/{index}")
+        graph.add(item, Q["contains-evidence"], node)
+        graph.add(node, RDF.type, Q.HitRatio)
+        graph.add(node, Q.value, Literal(index / n_items))
+    return graph
+
+
+EVIDENCE_SELECT = """
+PREFIX q: <http://qurator.org/iq#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?d ?v WHERE {
+  ?d q:contains-evidence ?e .
+  ?e rdf:type q:HitRatio ;
+     q:value ?v .
+}
+"""
+
+
+# -- storage layer: statistics, bulk loads, copies ---------------------------
+
+
+class TestPredicateStats:
+    def test_counts_track_adds(self):
+        graph = annotated_graph(10)
+        stats = graph.predicate_stats(Q["contains-evidence"])
+        assert stats.triples == 10
+        assert stats.subjects == 10
+        assert stats.objects == 10
+
+    def test_shared_predicate_counts_distinct_terms(self):
+        graph = Graph()
+        a, b = URIRef(f"{EX}a"), URIRef(f"{EX}b")
+        p = URIRef(f"{EX}p")
+        graph.add(a, p, Literal("x"))
+        graph.add(a, p, Literal("y"))
+        graph.add(b, p, Literal("x"))
+        stats = graph.predicate_stats(p)
+        assert (stats.triples, stats.subjects, stats.objects) == (3, 2, 2)
+
+    def test_removal_decrements(self):
+        graph = Graph()
+        a, p = URIRef(f"{EX}a"), URIRef(f"{EX}p")
+        graph.add(a, p, Literal("x"))
+        graph.add(a, p, Literal("y"))
+        graph.remove(a, p, Literal("y"))
+        stats = graph.predicate_stats(p)
+        assert (stats.triples, stats.subjects, stats.objects) == (1, 1, 1)
+        graph.remove(a, p, Literal("x"))
+        assert graph.predicate_stats(p).triples == 0
+
+    def test_unknown_predicate_is_empty(self):
+        stats = Graph().predicate_stats(URIRef(f"{EX}nope"))
+        assert isinstance(stats, PredicateStats)
+        assert stats.triples == 0
+
+    def test_accessor_returns_a_copy(self):
+        graph = annotated_graph(3)
+        stats = graph.predicate_stats(Q.value)
+        stats.triples = 999
+        assert graph.predicate_stats(Q.value).triples == 3
+
+    def test_bulk_load_matches_incremental_stats(self):
+        incremental = annotated_graph(15)
+        bulk = Graph()
+        bulk.add_all(incremental)
+        for predicate in (Q["contains-evidence"], RDF.type, Q.value):
+            a = incremental.predicate_stats(predicate)
+            b = bulk.predicate_stats(predicate)
+            assert (a.triples, a.subjects, a.objects) == (
+                b.triples, b.subjects, b.objects
+            )
+        assert set(bulk) == set(incremental)
+
+    def test_copy_is_independent(self):
+        original = annotated_graph(5)
+        clone = original.copy()
+        clone.add(URIRef(f"{EX}new"), Q.value, Literal(1))
+        assert len(original) == 15
+        assert len(clone) == 16
+        assert original.predicate_stats(Q.value).triples == 5
+        assert clone.predicate_stats(Q.value).triples == 6
+
+    def test_graph_addition_uses_bulk_path(self):
+        left = annotated_graph(4)
+        right = Graph()
+        right.add(URIRef(f"{EX}x"), Q.value, Literal(9))
+        merged = left + right
+        assert len(merged) == 13
+        assert merged.predicate_stats(Q.value).triples == 5
+        assert len(left) == 12  # operands untouched
+
+
+# -- join ordering and filter pushdown ---------------------------------------
+
+
+class TestJoinOrdering:
+    def test_selective_pattern_runs_first(self):
+        graph = annotated_graph(50)
+        # a rare predicate: only one triple
+        graph.add(URIRef(f"{EX}item/7"), Q.computedBy, URIRef(f"{EX}tool"))
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        SELECT ?d ?e WHERE {
+          ?d q:contains-evidence ?e .
+          ?d q:computedBy ?tool .
+        }
+        """
+        plan = compile_query(text).explain(graph)
+        lines = [line for line in plan.splitlines() if ". ?" in line]
+        assert "computedBy" in lines[0]
+        assert "contains-evidence" in lines[1]
+
+    def test_explain_reports_estimates_and_cache(self):
+        graph = annotated_graph(10)
+        plan = compile_query(EVIDENCE_SELECT).explain(graph)
+        assert "BGP #1 (3 patterns" in plan
+        assert "est=" in plan
+        assert "plan cache:" in plan
+
+    def test_adjacent_groups_are_coalesced(self):
+        # the parser splits `?d ... . ?e ...` into joined BGPs; the
+        # planner must merge them so ordering crosses the boundary
+        graph = annotated_graph(10)
+        plan = compile_query(EVIDENCE_SELECT).explain(graph)
+        assert "BGP #2" not in plan
+
+    def test_filter_is_pushed_before_the_last_pattern(self):
+        graph = annotated_graph(10)
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        SELECT ?d WHERE {
+          ?e q:value ?v .
+          ?d q:contains-evidence ?e .
+          ?e rdf:type q:HitRatio .
+          FILTER (?v < 0.5)
+        }
+        """
+        plan = compile_query(text).explain(graph)
+        assert "1 pushed filters" in plan
+        step_lines = plan.splitlines()
+        filter_at = next(
+            i for i, line in enumerate(step_lines)
+            if "filter after this step" in line
+        )
+        # the filter fires as soon as ?v is bound, not after the join
+        following_patterns = [
+            line for line in step_lines[filter_at + 1:]
+            if line.strip().startswith(("2.", "3."))
+        ]
+        assert following_patterns, plan
+
+    def test_exists_filter_is_not_pushed(self):
+        graph = annotated_graph(5)
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        SELECT ?d WHERE {
+          ?d q:contains-evidence ?e .
+          FILTER NOT EXISTS { ?e q:value ?v . }
+        }
+        """
+        plan = compile_query(text).explain(graph)
+        assert "0 pushed filters" in plan
+        assert len(graph.query(text)) == 0  # every item has a value
+
+    def test_ordering_never_changes_results(self):
+        graph = annotated_graph(25)
+        planned = graph.query(EVIDENCE_SELECT)
+        naive = graph.query(EVIDENCE_SELECT, use_planner=False)
+        assert sorted(map(str, planned.rows)) == sorted(map(str, naive.rows))
+        assert len(planned) == 25
+
+
+class TestPlannedSemantics:
+    """Targeted shapes; the differential suite covers the breadth."""
+
+    def test_repeated_variable_in_one_pattern(self):
+        graph = Graph()
+        a, b = URIRef(f"{EX}a"), URIRef(f"{EX}b")
+        p = URIRef(f"{EX}loves")
+        graph.add(a, p, a)
+        graph.add(a, p, b)
+        result = graph.query(
+            f"SELECT ?x WHERE {{ ?x <{EX}loves> ?x . }}"
+        )
+        assert [row for row in result] == [(a,)]
+
+    def test_optional_keeps_unmatched_left_rows(self):
+        graph = annotated_graph(3)
+        orphan = URIRef(f"{EX}orphan")
+        graph.add(orphan, Q["contains-evidence"], URIRef(f"{EX}bare"))
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        SELECT ?e ?v WHERE {
+          ?d q:contains-evidence ?e .
+          OPTIONAL { ?e q:value ?v . }
+        }
+        """
+        rows = graph.query(text).rows
+        assert len(rows) == 4
+        unbound = [row for row in rows if Variable("v") not in row]
+        assert len(unbound) == 1
+
+    def test_union_merges_both_branches(self):
+        graph = annotated_graph(4)
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        SELECT ?x WHERE {
+          { ?x rdf:type q:HitRatio . } UNION { ?x q:value ?v . }
+        }
+        """
+        assert len(graph.query(text)) == 8
+
+    def test_ask_and_construct_run_planned(self):
+        graph = annotated_graph(3)
+        ask = graph.query(
+            "PREFIX q: <http://qurator.org/iq#> "
+            "ASK { ?d q:contains-evidence ?e . }"
+        )
+        assert ask.boolean is True
+        built = graph.query(
+            "PREFIX q: <http://qurator.org/iq#> "
+            "CONSTRUCT { ?e q:value ?v . } WHERE { ?e q:value ?v . }"
+        )
+        assert len(built.graph) == 3
+
+    def test_modifiers_apply_after_planned_matching(self):
+        graph = annotated_graph(10)
+        text = """
+        PREFIX q: <http://qurator.org/iq#>
+        SELECT ?v WHERE { ?e q:value ?v . } ORDER BY DESC(?v) LIMIT 3
+        """
+        values = [value.value for (value,) in graph.query(text)]
+        assert values == [0.9, 0.8, 0.7]
+
+
+# -- prepared queries ---------------------------------------------------------
+
+
+class TestPreparedQueries:
+    def test_params_substitute_terms(self):
+        graph = annotated_graph(6)
+        lookup = prepare("""
+        PREFIX q: <http://qurator.org/iq#>
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        SELECT ?value WHERE {
+          $data q:contains-evidence ?e .
+          ?e rdf:type $etype ; q:value ?value .
+        }
+        """)
+        assert lookup.params == frozenset({"data", "etype"})
+        result = lookup.execute(
+            graph, data=URIRef(f"{EX}item/2"), etype=Q.HitRatio
+        )
+        assert [value.value for (value,) in result] == [2 / 6]
+
+    def test_plain_values_become_literals(self):
+        graph = Graph()
+        item = URIRef(f"{EX}a")
+        graph.add(item, Q.value, Literal(0.5))
+        query = prepare(
+            "PREFIX q: <http://qurator.org/iq#> "
+            "ASK { ?d q:value $v . }"
+        )
+        assert query.execute(graph, v=0.5).boolean is True
+        assert query.execute(graph, v=0.25).boolean is False
+
+    def test_missing_and_unknown_params_are_rejected(self):
+        query = prepare(
+            "PREFIX q: <http://qurator.org/iq#> "
+            "ASK { $data q:value ?v . }"
+        )
+        with pytest.raises(ValueError, match="missing parameters: data"):
+            query.execute(Graph())
+        with pytest.raises(ValueError, match="unknown parameters: bogus"):
+            query.execute(Graph(), data=URIRef(f"{EX}a"), bogus=1)
+
+    def test_param_rows_are_not_projected(self):
+        graph = annotated_graph(2)
+        query = prepare("""
+        PREFIX q: <http://qurator.org/iq#>
+        SELECT ?v WHERE { $data q:contains-evidence ?e . ?e q:value ?v . }
+        """)
+        result = query.execute(graph, data=URIRef(f"{EX}item/1"))
+        assert result.variables == (Variable("v"),)
+
+    def test_question_and_dollar_spellings_are_one_variable(self):
+        graph = Graph()
+        graph.add(URIRef(f"{EX}a"), Q.value, Literal(1))
+        query = prepare(
+            "PREFIX q: <http://qurator.org/iq#> "
+            "SELECT ?d WHERE { ?d q:value $v . FILTER (?v > 0) }"
+        )
+        assert query.params == frozenset({"v"})
+        assert len(query.execute(graph, v=0.5)) == 0
+        assert len(query.execute(graph, v=1)) == 1
+
+
+# -- the plan cache -----------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_repeat_compiles_hit(self):
+        compile_query(EVIDENCE_SELECT)
+        first = compile_query(EVIDENCE_SELECT)
+        second = compile_query(EVIDENCE_SELECT)
+        assert first is second
+        stats = get_plan_cache().stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_evicts_oldest(self):
+        reset_plan_cache(capacity=2)
+        queries = [
+            f"SELECT ?x WHERE {{ ?x <{EX}p{i}> ?y . }}" for i in range(3)
+        ]
+        for text in queries:
+            compile_query(text)
+        stats = get_plan_cache().stats()
+        assert stats.entries == 2
+        assert stats.evictions == 1
+        # oldest was dropped: recompiling it misses
+        compile_query(queries[0])
+        assert get_plan_cache().stats().misses == 4
+
+    def test_use_cache_false_bypasses(self):
+        a = compile_query(EVIDENCE_SELECT, use_cache=False)
+        b = compile_query(EVIDENCE_SELECT, use_cache=False)
+        assert a is not b
+        assert get_plan_cache().stats().entries == 0
+
+    def test_one_plan_serves_many_graphs(self):
+        small = annotated_graph(2)
+        large = annotated_graph(9)
+        compiled = compile_query(EVIDENCE_SELECT)
+        assert len(compiled.execute(small)) == 2
+        assert len(compiled.execute(large)) == 9
+
+    def test_cache_metrics_are_published(self, registry):
+        compile_query(EVIDENCE_SELECT)
+        compile_query(EVIDENCE_SELECT)
+        hits = registry.counter("repro_rdf_plan_cache_hits_total")
+        misses = registry.counter("repro_rdf_plan_cache_misses_total")
+        assert hits.value == 1
+        assert misses.value == 1
+        entries = registry.gauge("repro_rdf_plan_cache_entries")
+        assert entries.value == 1
+
+    def test_execution_path_metric_labels(self, registry):
+        graph = annotated_graph(2)
+        graph.query(EVIDENCE_SELECT)
+        graph.query(EVIDENCE_SELECT, use_planner=False)
+        counter = registry.counter(
+            "repro_rdf_plan_executions_total", labels=("planner",)
+        )
+        assert counter.labels(planner="on").value == 1
+        assert counter.labels(planner="off").value == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            reset_plan_cache(capacity=0)
