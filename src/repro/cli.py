@@ -6,6 +6,12 @@ Commands:
   the IQ model; exit status 1 on errors.
 * ``compile <view.xml>`` — compile a view (with the standard services
   deployed) and print the resulting quality workflow as SCUFL-like XML.
+  ``--explain`` prints the optimization-pass pipeline, per-pass IR
+  deltas and the wavefront schedule instead; ``--disable-pass NAME``
+  switches individual passes off; ``--observed-outputs PORTS``
+  restricts the output contract (arming filter pushdown / aggressive
+  evidence pruning); ``--no-optimize`` runs the single-shot reference
+  translation.
 * ``demo [--spots N] [--seed S]`` — run the paper's Figure-7 experiment
   and print the significance-ratio table.
 * ``batch [--workers W] [--spots N]`` — drive the concurrent execution
@@ -53,6 +59,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "compile", help="compile a view and print the quality workflow"
     )
     compile_cmd.add_argument("file", help="path to the quality-view XML")
+    compile_cmd.add_argument(
+        "--explain", action="store_true",
+        help="print the pass pipeline and per-pass IR deltas instead "
+             "of the workflow XML",
+    )
+    compile_cmd.add_argument(
+        "--no-optimize", action="store_true",
+        help="use the single-shot reference translation (no IR, no "
+             "passes, no schedule annotation)",
+    )
+    compile_cmd.add_argument(
+        "--disable-pass", action="append", default=[], metavar="NAME",
+        dest="disabled_passes",
+        help="switch off one optimization pass by name (repeatable); "
+             "see the --explain output for registered names",
+    )
+    compile_cmd.add_argument(
+        "--observed-outputs", metavar="PORTS", default=None,
+        help="comma-separated workflow outputs the caller consumes; "
+             "omitting annotationMap arms filter pushdown and "
+             "aggressive evidence pruning",
+    )
 
     demo = commands.add_parser(
         "demo", help="run the Figure-7 experiment on synthetic data"
@@ -214,22 +242,56 @@ def _cmd_validate(path: str) -> int:
     return 0
 
 
-def _cmd_compile(path: str) -> int:
+def _cmd_compile(args) -> int:
     from repro.core.framework import QuratorFramework
     from repro.core.ispider import LiveImprintAnnotator, ResultSetHolder
+    from repro.qv.passes import CompileOptions
     from repro.workflow.scufl import workflow_to_xml
 
+    if args.no_optimize and (
+        args.disabled_passes or args.observed_outputs or args.explain
+    ):
+        print("error: --explain/--disable-pass/--observed-outputs "
+              "require the optimizing pipeline (drop --no-optimize)",
+              file=sys.stderr)
+        return 2
     framework = QuratorFramework()
     framework.register_standard_services()
     framework.deploy_annotation_service(
         "ImprintOutputAnnotator", LiveImprintAnnotator(ResultSetHolder())
     )
+    options = CompileOptions(
+        disabled_passes=frozenset(args.disabled_passes),
+        observed_outputs=(
+            frozenset(
+                port.strip()
+                for port in args.observed_outputs.split(",")
+                if port.strip()
+            )
+            if args.observed_outputs is not None
+            else None
+        ),
+    )
     try:
-        view = framework.quality_view(_read(path))
-        workflow = view.compile()
+        view = framework.quality_view(_read(args.file))
+        if args.no_optimize:
+            workflow = framework.compiler.compile(view.spec, optimize=False)
+        else:
+            workflow, report = framework.compiler.compile_with_report(
+                view.spec, options=options
+            )
     except Exception as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.explain:
+        schedule = workflow.ensure_schedule()
+        print(f"view: {view.name!r}  fingerprint: "
+              f"{workflow.source_fingerprint[:16]}…")
+        print(report.render(), end="")
+        print("schedule:")
+        for index, stage in enumerate(schedule.stages):
+            print(f"  wave {index}: {', '.join(stage)}")
+        return 0
     print(workflow_to_xml(workflow))
     return 0
 
@@ -560,7 +622,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         return _cmd_validate(args.file)
     if args.command == "compile":
-        return _cmd_compile(args.file)
+        return _cmd_compile(args)
     if args.command == "demo":
         return _cmd_demo(
             args.spots, args.seed, args.proteins, args.filter_condition

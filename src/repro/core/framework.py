@@ -78,9 +78,18 @@ class QuratorFramework:
         concept: URIRef,
         operator_factory: Callable[..., Any],
         bind: bool = True,
+        item_local: bool = False,
     ) -> QualityAssertionService:
-        """Deploy a QA operator factory as a service; bind its concept."""
-        service = QualityAssertionService(name, concept, "", operator_factory)
+        """Deploy a QA operator factory as a service; bind its concept.
+
+        ``item_local`` declares the operator's verdicts independent of
+        the rest of the collection (see
+        :class:`~repro.services.interface.QualityAssertionService`),
+        which lets the compiler push filters below the QA.
+        """
+        service = QualityAssertionService(
+            name, concept, "", operator_factory, item_local=item_local
+        )
         self.services.deploy(service)
         if bind:
             self.bindings.bind_service(concept, service.endpoint)
@@ -91,14 +100,22 @@ class QuratorFramework:
         """Deploy the paper's three example QAs under their IQ classes."""
         if "UniversalPIScore" not in self.services:
             self.deploy_qa_service(
-                "UniversalPIScore", Q.UniversalPIScore, UniversalPIScoreQA
+                "UniversalPIScore",
+                Q.UniversalPIScore,
+                UniversalPIScoreQA,
+                item_local=True,
             )
         if "UniversalPIScore2" not in self.services:
             self.deploy_qa_service(
-                "UniversalPIScore2", Q.UniversalPIScore2, UniversalPIScore2QA
+                "UniversalPIScore2",
+                Q.UniversalPIScore2,
+                UniversalPIScore2QA,
+                item_local=True,
             )
         if "HRScore" not in self.services:
-            self.deploy_qa_service("HRScore", Q.HRScore, HRScoreQA)
+            self.deploy_qa_service(
+                "HRScore", Q.HRScore, HRScoreQA, item_local=True
+            )
         if "PIScoreClassifier" not in self.services:
             self.deploy_qa_service(
                 "PIScoreClassifier", Q.PIScoreClassifier, PIScoreClassifierQA

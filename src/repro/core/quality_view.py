@@ -56,11 +56,25 @@ class QualityView:
             known_repositories=set(self.framework.repositories.names()),
         )
 
-    def compile(self, force: bool = False) -> Workflow:
-        """Compile (and cache) the quality workflow for this view."""
+    def compile(
+        self,
+        force: bool = False,
+        optimize: bool = True,
+        options=None,
+    ) -> Workflow:
+        """Compile (and cache) the quality workflow for this view.
+
+        ``optimize`` / ``options`` are forwarded to
+        :meth:`repro.qv.compiler.QVCompiler.compile`; pass
+        ``options=CompileOptions(observed_outputs=...)`` (with
+        ``force=True`` if already compiled) to unlock the
+        observed-output passes before handing the view to a runtime.
+        """
         if self._workflow is None or force:
             try:
-                self._workflow = self.framework.compiler.compile(self.spec)
+                self._workflow = self.framework.compiler.compile(
+                    self.spec, optimize=optimize, options=options
+                )
             except ValueError as exc:
                 raise QuratorError(
                     f"cannot compile quality view {self.name!r}: {exc}", exc

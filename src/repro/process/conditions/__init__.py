@@ -21,9 +21,12 @@ from repro.process.conditions.ast import (
     NotNode,
     NullCheck,
     OrNode,
+    referenced_names,
 )
+from repro.process.conditions.analysis import conjoin, split_conjuncts
 from repro.process.conditions.lexer import ConditionError
 from repro.process.conditions.parser import parse_condition
+from repro.process.conditions.printer import unparse
 from repro.process.conditions.evaluator import Condition
 
 __all__ = [
@@ -38,5 +41,9 @@ __all__ = [
     "NotNode",
     "NullCheck",
     "OrNode",
+    "conjoin",
     "parse_condition",
+    "referenced_names",
+    "split_conjuncts",
+    "unparse",
 ]

@@ -1,0 +1,48 @@
+"""Static analysis over condition ASTs.
+
+The quality-view compiler's optimization passes reason about action
+conditions without evaluating them: *filter pushdown* needs the
+top-level AND-conjuncts of a condition (a conjunct that references only
+one QA tag can gate the data set before later assertions run), and
+*evidence pruning* needs the set of names a condition reads.
+
+These helpers are pure functions over the frozen AST nodes of
+:mod:`repro.process.conditions.ast`; node equality is structural, so
+two parses of the same conjunct compare equal across actions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.process.conditions.ast import (
+    AndNode,
+    ConditionNode,
+    referenced_names,
+)
+
+__all__ = ["conjoin", "referenced_names", "split_conjuncts"]
+
+
+def split_conjuncts(node: ConditionNode) -> List[ConditionNode]:
+    """The top-level AND-conjuncts of a condition, left to right.
+
+    ``a and b and c`` yields ``[a, b, c]``; anything that is not an
+    ``AndNode`` (including a parenthesised disjunction) is a single
+    conjunct.  The conjunction of the returned list is semantically
+    identical to the input: ``and`` is associative and the evaluator
+    has no short-circuit side effects.
+    """
+    if isinstance(node, AndNode):
+        return split_conjuncts(node.left) + split_conjuncts(node.right)
+    return [node]
+
+
+def conjoin(conjuncts: Sequence[ConditionNode]) -> ConditionNode:
+    """Rebuild a (left-associated) conjunction from conjuncts."""
+    if not conjuncts:
+        raise ValueError("cannot conjoin an empty conjunct list")
+    node = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        node = AndNode(node, conjunct)
+    return node

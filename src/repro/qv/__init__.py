@@ -20,7 +20,21 @@ from repro.qv.spec import (
 )
 from repro.qv.xml_io import QVSyntaxError, parse_quality_view, quality_view_to_xml
 from repro.qv.validator import QVValidationError, validate_quality_view
-from repro.qv.compiler import QVCompiler, CompilationError
+from repro.qv.compiler import QVCompiler, CompilationError, check_output_ports
+from repro.qv.ir import (
+    IRModule,
+    canonical_condition,
+    lower_view,
+    view_fingerprint,
+)
+from repro.qv.passes import (
+    PASS_NAMES,
+    CompileOptions,
+    PassManager,
+    PassReport,
+    default_passes,
+)
+from repro.qv.backend import emit_workflow
 from repro.qv.deployment import (
     AdapterSpec,
     ConnectorSpec,
@@ -30,7 +44,7 @@ from repro.qv.deployment import (
 )
 from repro.qv.process_target import ProcessTargetCompiler
 from repro.qv.library import LibraryEntry, LibraryError, QualityViewLibrary
-from repro.qv.diff import ViewDiff, diff_views, render_diff
+from repro.qv.diff import ViewDiff, diff_views, render_diff, same_compiled_view
 
 __all__ = [
     "ActionSpec",
@@ -38,11 +52,16 @@ __all__ = [
     "AnnotatorSpec",
     "AssertionSpec",
     "CompilationError",
+    "CompileOptions",
     "ConnectorSpec",
     "DeploymentDescriptor",
     "DeploymentError",
+    "IRModule",
     "LibraryEntry",
     "LibraryError",
+    "PASS_NAMES",
+    "PassManager",
+    "PassReport",
     "ProcessTargetCompiler",
     "QVCompiler",
     "QualityViewLibrary",
@@ -52,8 +71,14 @@ __all__ = [
     "SplitterGroupSpec",
     "VariableSpec",
     "ViewDiff",
+    "canonical_condition",
+    "check_output_ports",
+    "default_passes",
     "diff_views",
+    "emit_workflow",
+    "lower_view",
     "render_diff",
+    "same_compiled_view",
     "embed_quality_workflow",
     "parse_quality_view",
     "quality_view_to_xml",

@@ -19,12 +19,23 @@ The compiler follows the rules of paper Sec. 6.1 exactly:
 
 The compiled workflow has one input, ``dataSet`` (the item URIs), and
 outputs ``annotationMap`` plus one port per action group.
+
+Two compilation pipelines share this module's processor classes:
+
+* ``compile(spec, optimize=False)`` — the single-shot reference
+  translation below, rule by rule;
+* ``compile(spec)`` (the default) — the staged pipeline: frontend
+  lowering to a typed IR (:mod:`repro.qv.ir`), rewrite passes
+  (:mod:`repro.qv.passes`), and workflow emission
+  (:mod:`repro.qv.backend`).  With no pass firing it emits the same
+  topology as the reference; the differential suite pins byte-equal
+  outputs between the two.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.annotation.manager import RepositoryManager
 from repro.annotation.map import AnnotationMap
@@ -39,8 +50,12 @@ from repro.rdf import Q, URIRef
 from repro.services.interface import AnnotationService, QualityAssertionService
 from repro.services.messages import DataSetMessage
 from repro.services.registry import ServiceRegistry
+from repro.observability import get_registry
 from repro.workflow.model import Workflow
 from repro.workflow.processors import ON_FAILURE_DEFAULT, Processor
+
+if TYPE_CHECKING:
+    from repro.qv.passes.base import CompileOptions, PassReport
 
 #: Compiler-assigned processor names (checked by the Fig. 6 benchmark).
 DATA_ENRICHMENT = "DataEnrichment"
@@ -59,6 +74,43 @@ def sanitize(name: str) -> str:
     """Turn an arbitrary name into a safe port identifier."""
     cleaned = re.sub(r"[^A-Za-z0-9_]+", "_", name).strip("_")
     return cleaned or "port"
+
+
+def check_output_ports(spec: QualityViewSpec) -> None:
+    """Reject sanitized port-name collisions before emission.
+
+    :func:`sanitize` is many-to-one (``"top k!"`` and ``"top k?"`` both
+    become ``top_k``), so two distinct action or group names can claim
+    the same workflow output port.  Without this check the second
+    silently shadows the first (group ports within one action) or dies
+    with an unhelpful duplicate-output error (across actions).  Both
+    compilation pipelines run this check.
+    """
+    claimed: Dict[str, Tuple[str, str]] = {}
+    for action in spec.actions:
+        if action.kind == "filter":
+            groups = [FilterAction.ACCEPTED]
+        else:
+            groups = [g.group for g in action.groups] + [DEFAULT_GROUP]
+        ports: Dict[str, str] = {}
+        for group in groups:
+            port = sanitize(group)
+            clash = ports.get(port)
+            if clash is not None and clash != group:
+                raise CompilationError(
+                    f"action {action.name!r}: groups {clash!r} and {group!r} "
+                    f"both sanitize to port name {port!r}; rename one group"
+                )
+            ports[port] = group
+            output = f"{sanitize(action.name)}_{port}"
+            owner = claimed.get(output)
+            if owner is not None and owner != (action.name, group):
+                raise CompilationError(
+                    f"actions {owner[0]!r} and {action.name!r} collide on "
+                    f"workflow output port {output!r} (their names sanitize "
+                    f"to the same identifier); rename one action"
+                )
+            claimed[output] = (action.name, group)
 
 
 class AnnotatorProcessor(Processor):
@@ -120,9 +172,23 @@ class DataEnrichmentProcessor(Processor):
 
 
 class AssertionProcessor(Processor):
-    """A compiled QA: invokes the bound service with the view's config."""
+    """A compiled QA: invokes the bound service with the view's config.
 
-    def __init__(self, name: str, service: QualityAssertionService, config) -> None:
+    ``skip_on_empty`` is set by the optimizing backend on processors fed
+    from a filter gate: an empty (fully filtered) data set then skips
+    the service invocation entirely and contributes an empty map.  The
+    reference pipeline never sets it — a QA service invoked with an
+    empty data set operates on the whole input map, which is the wire
+    contract this flag must not change for ungated processors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        service: QualityAssertionService,
+        config,
+        skip_on_empty: bool = False,
+    ) -> None:
         super().__init__(
             name,
             input_ports={"dataSet": 1, "annotationMap": 1},
@@ -130,12 +196,15 @@ class AssertionProcessor(Processor):
         )
         self.service = service
         self.config = dict(config)
+        self.skip_on_empty = skip_on_empty
 
     def fire(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
         """Execute this compiled step; see the class docstring."""
 
         items = list(inputs.get("dataSet") or [])
         amap = inputs.get("annotationMap") or AnnotationMap()
+        if not items and self.skip_on_empty:
+            return {"annotationMap": amap.subset([])}
         result = self.invoke_service(
             self.service, DataSetMessage(items), amap, context=self.config
         )
@@ -205,7 +274,19 @@ class ActionProcessor(Processor):
                 namespaces=namespaces,
             )
             groups = [g.group for g in action_spec.groups] + [DEFAULT_GROUP]
-        self.group_ports = {group: sanitize(group) for group in groups}
+        self.group_ports: Dict[str, str] = {}
+        for group in groups:
+            port = sanitize(group)
+            clash = next(
+                (g for g, p in self.group_ports.items() if p == port), None
+            )
+            if clash is not None:
+                raise CompilationError(
+                    f"action {action_spec.name!r}: groups {clash!r} and "
+                    f"{group!r} both sanitize to port name {port!r}; "
+                    f"rename one group"
+                )
+            self.group_ports[group] = port
         output_ports = {port: 1 for port in self.group_ports.values()}
         output_ports["outcome"] = 1
         super().__init__(
@@ -269,9 +350,80 @@ class QVCompiler:
 
     # -- compilation ------------------------------------------------------------
 
-    def compile(self, spec: QualityViewSpec, validate: bool = True) -> Workflow:
-        """Compile a validated view into a quality workflow."""
+    def compile(
+        self,
+        spec: QualityViewSpec,
+        validate: bool = True,
+        optimize: bool = True,
+        options: Optional["CompileOptions"] = None,
+    ) -> Workflow:
+        """Compile a validated view into a quality workflow.
 
+        ``optimize=True`` (the default) runs the staged pipeline —
+        frontend lowering, rewrite passes, backend emission — and
+        annotates the result with a wavefront schedule.
+        ``optimize=False`` runs the single-shot reference translation;
+        it accepts no ``options`` and serves as the differential
+        baseline for the optimizing pipeline.
+        """
+        if not optimize:
+            if options is not None:
+                raise CompilationError(
+                    "compilation options require optimize=True "
+                    "(the reference pipeline takes none)"
+                )
+            return self._compile_reference(spec, validate=validate)
+        workflow, _report = self.compile_with_report(
+            spec, validate=validate, options=options
+        )
+        return workflow
+
+    def compile_with_report(
+        self,
+        spec: QualityViewSpec,
+        validate: bool = True,
+        options: Optional["CompileOptions"] = None,
+    ) -> "Tuple[Workflow, PassReport]":
+        """Run the staged pipeline; also return the per-pass report.
+
+        The report carries the frontend's verification notes and, for
+        every optimization pass, whether it fired, its wall-clock cost
+        and its IR deltas — ``python -m repro compile --explain``
+        renders it.
+        """
+        from repro.qv.backend import emit_workflow
+        from repro.qv.ir import lower_view
+        from repro.qv.passes import PassManager, default_passes
+        from repro.qv.passes.base import CompileOptions
+
+        opts = options if options is not None else CompileOptions()
+        ir = lower_view(
+            spec, self, validate=validate,
+            observed_outputs=opts.observed_outputs,
+        )
+        report = PassManager(default_passes(opts)).run(ir)
+        workflow = emit_workflow(ir)
+        self._stamp(workflow, spec, mode="optimized")
+        return workflow, report
+
+    def _stamp(self, workflow: Workflow, spec: QualityViewSpec, mode: str) -> None:
+        """Record provenance on the emitted workflow + count the run."""
+        from repro.qv.ir import view_fingerprint
+
+        workflow.source_fingerprint = view_fingerprint(spec)
+        workflow.compile_mode = mode
+        get_registry().counter(
+            "repro_qv_compile_runs_total",
+            "Quality-view compilations by pipeline mode.",
+            labels=("mode",),
+        ).labels(mode=mode).inc()
+
+    def _compile_reference(
+        self, spec: QualityViewSpec, validate: bool = True
+    ) -> Workflow:
+        """The paper's rule-by-rule translation (differential baseline)."""
+
+        check_output_ports(spec)
         canonical: Dict[URIRef, URIRef] = {}
         if validate:
             report = validate_quality_view(
@@ -383,4 +535,5 @@ class QVCompiler:
                 output = f"{sanitize(action_spec.name)}_{port}"
                 workflow.add_output(output)
                 workflow.connect(processor.name, port, "", output)
+        self._stamp(workflow, spec, mode="reference")
         return workflow

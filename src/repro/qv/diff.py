@@ -5,14 +5,28 @@ what changed between versions before adopting one: which operators were
 added or removed, which variable bindings moved, and — most often —
 how the action conditions were edited.  ``diff_views`` computes a
 structured diff; ``render_diff`` prints it.
+
+Comparisons run over the compiler frontend's *canonical signatures*
+(:mod:`repro.qv.ir`): condition text is normalised through the
+parse/unparse round trip and operator blocks compare by content, not
+formatting — so a diff is stable under whitespace edits and under the
+processor reordering an optimizing compilation may introduce.  For
+already-compiled workflows, :func:`same_compiled_view` answers whether
+two workflows (however differently optimized) came from the same view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.qv.spec import ActionSpec, AnnotatorSpec, AssertionSpec, QualityViewSpec
+from repro.qv.ir import (
+    action_signature,
+    annotator_signature,
+    assertion_signature,
+)
+from repro.qv.spec import QualityViewSpec
+from repro.workflow.model import Workflow
 
 
 @dataclass
@@ -49,27 +63,18 @@ class ViewDiff:
         )
 
 
-def _annotator_signature(annotator: AnnotatorSpec) -> tuple:
-    return (
-        annotator.service_type,
-        tuple(sorted(str(e) for e in annotator.evidence_types())),
-        annotator.repository_ref,
-        annotator.persistent,
-    )
+def same_compiled_view(a: Workflow, b: Workflow) -> bool:
+    """Whether two compiled workflows came from the same quality view.
 
-
-def _assertion_signature(assertion: AssertionSpec) -> tuple:
+    Both compilation pipelines stamp the source view's canonical
+    fingerprint (:func:`repro.qv.ir.view_fingerprint`) on the emitted
+    workflow, so an optimized and a reference compilation of one view
+    compare equal here even though their processor graphs differ.
+    Hand-built workflows (no fingerprint) never compare equal.
+    """
     return (
-        assertion.service_type,
-        assertion.tag_name,
-        assertion.tag_syn_type,
-        assertion.tag_sem_type,
-        tuple(
-            sorted(
-                (v.name, str(v.evidence), v.repository_ref)
-                for v in assertion.variables
-            )
-        ),
+        a.source_fingerprint is not None
+        and a.source_fingerprint == b.source_fingerprint
     )
 
 
@@ -82,7 +87,7 @@ def diff_views(old: QualityViewSpec, new: QualityViewSpec) -> ViewDiff:
     diff.added_annotators = sorted(set(new_annotators) - set(old_annotators))
     diff.removed_annotators = sorted(set(old_annotators) - set(new_annotators))
     for name in sorted(set(old_annotators) & set(new_annotators)):
-        if _annotator_signature(old_annotators[name]) != _annotator_signature(
+        if annotator_signature(old_annotators[name]) != annotator_signature(
             new_annotators[name]
         ):
             diff.changed_annotators.append(name)
@@ -92,7 +97,7 @@ def diff_views(old: QualityViewSpec, new: QualityViewSpec) -> ViewDiff:
     diff.added_assertions = sorted(set(new_assertions) - set(old_assertions))
     diff.removed_assertions = sorted(set(old_assertions) - set(new_assertions))
     for name in sorted(set(old_assertions) & set(new_assertions)):
-        if _assertion_signature(old_assertions[name]) != _assertion_signature(
+        if assertion_signature(old_assertions[name]) != assertion_signature(
             new_assertions[name]
         ):
             diff.changed_assertions.append(name)
@@ -102,13 +107,16 @@ def diff_views(old: QualityViewSpec, new: QualityViewSpec) -> ViewDiff:
     diff.added_actions = sorted(set(new_actions) - set(old_actions))
     diff.removed_actions = sorted(set(old_actions) - set(new_actions))
     for name in sorted(set(old_actions) & set(new_actions)):
-        old_conditions = old_actions[name].conditions()
-        new_conditions = new_actions[name].conditions()
-        if (
-            old_conditions != new_conditions
-            or old_actions[name].kind != new_actions[name].kind
+        # Signatures canonicalise the condition text, so pure
+        # formatting edits (whitespace, redundant parentheses) do not
+        # register; the reported texts stay as written.
+        if action_signature(old_actions[name]) != action_signature(
+            new_actions[name]
         ):
-            diff.changed_conditions[name] = (old_conditions, new_conditions)
+            diff.changed_conditions[name] = (
+                old_actions[name].conditions(),
+                new_actions[name].conditions(),
+            )
     return diff
 
 

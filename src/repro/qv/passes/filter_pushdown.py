@@ -1,0 +1,123 @@
+"""Filter pushdown: gate the data set on an early QA verdict.
+
+When every action is a filter and all their conditions share a
+top-level conjunct that reads exactly one name — and that name is a
+quality-assertion tag — the verdict is already known once the
+producing QA has run.  The pass records an :class:`~repro.qv.ir.IRGate`
+and the backend inserts a gate processor right after the producer:
+later QA bundles and the actions then see only the surviving items,
+saving per-item classification work on items the filters would discard
+anyway.
+
+Soundness conditions (all checked, any miss = pass does not fire):
+
+* ``annotationMap`` must be unobserved — gated QAs tag only survivors,
+  so the full map loses tags for filtered items (group outputs are
+  unaffected: actions re-evaluate their complete original condition,
+  and the pushed conjunct is idempotent on survivors);
+* every assertion outside the producer's bundle must be backed by an
+  ``item_local`` service — one whose verdict for an item does not
+  depend on the rest of the collection — because it now scores a
+  narrowed collection;
+* the shared conjunct's one referenced name resolves to a tag (tags
+  shadow evidence in the evaluation environment of both the gate and
+  the reference actions, so both read the same value);
+* tag names are unique across assertions (guaranteed by validation,
+  re-checked here for ``validate=False`` compilations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.process.conditions import (
+    ConditionError,
+    conjoin,
+    parse_condition,
+    referenced_names,
+    split_conjuncts,
+    unparse,
+)
+from repro.qv.passes.base import CompileOptions, Pass
+
+if TYPE_CHECKING:
+    from repro.qv.ir import IRModule
+
+
+class FilterPushdownPass(Pass):
+    name = "filter-pushdown"
+    description = (
+        "hoist a shared single-tag filter conjunct above later QA "
+        "stages (annotationMap unobserved only)"
+    )
+
+    def __init__(self, options: CompileOptions) -> None:
+        self.options = options
+
+    def run(self, ir: "IRModule") -> List[str]:
+        if self.options.observes("annotationMap"):
+            return []
+        if ir.gate is not None or not ir.actions or len(ir.bundles) < 2:
+            return []
+        if any(action.spec.kind != "filter" for action in ir.actions):
+            return []
+        try:
+            parsed = [
+                parse_condition(action.spec.condition or "")
+                for action in ir.actions
+            ]
+        except ConditionError:
+            return []
+
+        conjunct_sets = [split_conjuncts(node) for node in parsed]
+        shared = [
+            conjunct
+            for conjunct in conjunct_sets[0]
+            if all(conjunct in rest for rest in conjunct_sets[1:])
+        ]
+
+        members = [m for bundle in ir.bundles for m in bundle.members]
+        tags = {member.tag_name: member for member in members}
+        if len(tags) != len(members):  # duplicate tags: validate=False path
+            return []
+        by_tag: Dict[str, list] = {}
+        for conjunct in shared:
+            names = referenced_names(conjunct)
+            if len(names) == 1:
+                (name,) = names
+                if name in tags:
+                    by_tag.setdefault(name, []).append(conjunct)
+        if not by_tag:
+            return []
+
+        # Gate on the earliest-declared candidate tag: it maximises the
+        # number of QA stages running after (and thus narrowed by) it.
+        tag_name = min(by_tag, key=lambda tag: tags[tag].index)
+        producer = tags[tag_name]
+        producer_bundle = next(
+            bundle for bundle in ir.bundles if producer in bundle.members
+        )
+        gated_members = [
+            member
+            for bundle in ir.bundles
+            if bundle is not producer_bundle
+            for member in bundle.members
+        ]
+        if not gated_members:
+            return []
+        for member in gated_members:
+            if not getattr(member.service, "item_local", False):
+                return []
+
+        from repro.qv.ir import IRGate
+
+        predicate = unparse(conjoin(by_tag[tag_name]))
+        ir.gate = IRGate(
+            producer=producer.name, tag_name=tag_name, predicate=predicate
+        )
+        return [
+            f"gated the data set on {predicate!r} right after QA "
+            f"{producer.name!r}",
+            f"{len(gated_members)} later assertion(s) and "
+            f"{len(ir.actions)} action(s) now see only surviving items",
+        ]

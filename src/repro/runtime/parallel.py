@@ -88,13 +88,23 @@ class ParallelEnactor(Enactor):
         values: Dict[Tuple[str, str], Any] = {
             ("", name): value for name, value in inputs.items()
         }
+        # Compiled workflows carry a precomputed wavefront schedule;
+        # consume it instead of re-deriving the dependency maps per run
+        # (upstream_of scans every link per processor).  Hand-built or
+        # structurally edited workflows fall back to a fresh computation
+        # — ensure_schedule treats a stale processor set as a miss.
+        schedule = workflow.schedule
+        if (
+            schedule is None
+            or schedule.dependencies.keys() != workflow.processors.keys()
+        ):
+            schedule = workflow.compute_schedule()
         pending: Dict[str, Set[str]] = {
-            name: set(workflow.upstream_of(name)) for name in workflow.processors
+            name: set(deps) for name, deps in schedule.dependencies.items()
         }
-        dependents: Dict[str, List[str]] = {name: [] for name in pending}
-        for name, deps in pending.items():
-            for dep in deps:
-                dependents[dep].append(name)
+        dependents: Dict[str, List[str]] = {
+            name: list(waiting) for name, waiting in schedule.dependents.items()
+        }
 
         iteration_pool: Optional[ThreadPoolExecutor] = None
         mapper = None

@@ -109,7 +109,15 @@ class Service(abc.ABC):
 
 
 class QualityAssertionService(Service):
-    """Exposes a :class:`QualityAssertionOperator` as a service."""
+    """Exposes a :class:`QualityAssertionOperator` as a service.
+
+    ``item_local`` declares that the operator's verdict for an item
+    depends only on that item's own evidence vector — never on the
+    rest of the collection.  The quality-view compiler's filter
+    pushdown relies on it: an item-local QA may safely score a
+    narrowed collection.  Collection-relative QAs (e.g. thresholds at
+    avg ± stddev of the score distribution) must leave it False.
+    """
 
     def __init__(
         self,
@@ -117,11 +125,14 @@ class QualityAssertionService(Service):
         concept: URIRef,
         endpoint: str,
         operator_factory: Callable[..., Any],
+        item_local: bool = False,
     ) -> None:
         super().__init__(name, concept, endpoint)
         #: Builds the QA operator given the view's configuration
         #: (tag_name, tag_syn_type, tag_sem_type, variables).
         self.operator_factory = operator_factory
+        #: Per-item verdicts only; see the class docstring.
+        self.item_local = item_local
 
     def build_operator(self, **config: Any):
         """Instantiate the QA operator from view configuration."""
@@ -134,14 +145,30 @@ class QualityAssertionService(Service):
         amap: AnnotationMap,
         context: Optional[Mapping[str, Any]] = None,
     ) -> AnnotationMap:
-        """Process a data set + annotation map into a new map."""
+        """Process a data set + annotation map into a new map.
+
+        A batched invocation passes a list of member operator
+        configurations under the ``"operators"`` context key (the
+        compiler's QA-fusion pass emits these): one round trip, the
+        member operators chained over the same restricted map.  QA
+        operators read only evidence vectors, so the chained result
+        carries exactly the tags the member-by-member invocations
+        would have produced.
+        """
 
         self._round_trip()
         config = dict(context or {})
-        operator = self.build_operator(**config)
+        member_configs = config.pop("operators", None)
         restricted = amap.subset(dataset.items) if dataset.items else amap
         for item in dataset.items:
             restricted.add_item(item)
+        if member_configs:
+            result = restricted
+            for member_config in member_configs:
+                operator = self.build_operator(**dict(member_config))
+                result = operator.execute(result)
+            return result
+        operator = self.build_operator(**config)
         return operator.execute(restricted)
 
 

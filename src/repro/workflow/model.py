@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.workflow.processors import Processor
 
@@ -42,6 +42,25 @@ class ControlLink:
     sink: str
 
 
+@dataclass(frozen=True)
+class WavefrontSchedule:
+    """A precomputed enactment schedule over a workflow's processors.
+
+    ``stages`` groups processors into wavefronts: everything in stage
+    *n* depends only on processors of earlier stages, so one stage can
+    fire concurrently.  ``dependencies`` maps each processor to its
+    direct upstream set and ``dependents`` to the processors waiting on
+    it — exactly the bookkeeping the parallel enactor otherwise
+    re-derives per run.  Compiled quality workflows carry one
+    (:func:`repro.qv.backend.emit_workflow` calls
+    :meth:`Workflow.ensure_schedule`); structural edits invalidate it.
+    """
+
+    stages: Tuple[Tuple[str, ...], ...]
+    dependencies: Dict[str, FrozenSet[str]]
+    dependents: Dict[str, Tuple[str, ...]]
+
+
 class Workflow:
     """A composition of processors, in the style of Taverna's SCUFL."""
 
@@ -53,6 +72,12 @@ class Workflow:
         #: Workflow-level inputs: name -> Port() with empty processor.
         self.inputs: List[str] = []
         self.outputs: List[str] = []
+        #: Compiler provenance: fingerprint of the source quality view
+        #: and the pipeline that produced this workflow ("reference" or
+        #: "optimized").  ``None`` for hand-built workflows.
+        self.source_fingerprint: Optional[str] = None
+        self.compile_mode: Optional[str] = None
+        self._schedule: Optional[WavefrontSchedule] = None
 
     # -- construction ------------------------------------------------------
 
@@ -64,6 +89,7 @@ class Workflow:
                 f"named {processor.name!r}"
             )
         self.processors[processor.name] = processor
+        self._schedule = None
         return processor
 
     def add_input(self, name: str) -> None:
@@ -105,6 +131,7 @@ class Workflow:
         self._check_port(sink, "sink")
         link = DataLink(source, sink)
         self.data_links.append(link)
+        self._schedule = None
         return link
 
     def connect(
@@ -123,6 +150,7 @@ class Workflow:
                 raise WorkflowError(f"no processor named {name!r}")
         link = ControlLink(source, sink)
         self.control_links.append(link)
+        self._schedule = None
         return link
 
     # -- analysis ---------------------------------------------------------------
@@ -171,6 +199,66 @@ class Workflow:
                 f"{sorted(pending)}"
             )
         return order
+
+    def compute_schedule(self) -> "WavefrontSchedule":
+        """Derive (and cache) the wavefront schedule; raises on cycles.
+
+        Stage membership is deterministic: each wavefront lists its
+        processors in sorted name order, matching the tie-breaking of
+        :meth:`topological_order`.
+        """
+        dependencies = {
+            name: frozenset(self.upstream_of(name)) for name in self.processors
+        }
+        dependents: Dict[str, List[str]] = {name: [] for name in self.processors}
+        for name, deps in dependencies.items():
+            for dep in deps:
+                dependents[dep].append(name)
+        remaining = {name: set(deps) for name, deps in dependencies.items()}
+        stages: List[Tuple[str, ...]] = []
+        ready = sorted(name for name, deps in remaining.items() if not deps)
+        while ready:
+            stages.append(tuple(ready))
+            for name in ready:
+                del remaining[name]
+            newly_ready: Set[str] = set()
+            for name in ready:
+                for dependent in dependents[name]:
+                    deps = remaining.get(dependent)
+                    if deps is not None:
+                        deps.discard(name)
+                        if not deps:
+                            newly_ready.add(dependent)
+            ready = sorted(newly_ready)
+        if remaining:
+            raise WorkflowError(
+                f"workflow {self.name!r} has a dependency cycle among "
+                f"{sorted(remaining)}"
+            )
+        schedule = WavefrontSchedule(
+            stages=tuple(stages),
+            dependencies=dependencies,
+            dependents={
+                name: tuple(waiting) for name, waiting in dependents.items()
+            },
+        )
+        self._schedule = schedule
+        return schedule
+
+    def ensure_schedule(self) -> "WavefrontSchedule":
+        """The cached schedule, recomputed if missing or stale."""
+        schedule = self._schedule
+        if (
+            schedule is None
+            or schedule.dependencies.keys() != self.processors.keys()
+        ):
+            return self.compute_schedule()
+        return schedule
+
+    @property
+    def schedule(self) -> Optional["WavefrontSchedule"]:
+        """The cached wavefront schedule, or ``None`` after edits."""
+        return self._schedule
 
     def depth_warnings(self) -> List[str]:
         """Advisory lint: data links whose port depths disagree.
@@ -240,6 +328,7 @@ class Workflow:
         ports of ``other`` are *not* copied; the caller wires the merged
         fragment explicitly (that is the deployment descriptor's job).
         """
+        self._schedule = None
         renamed: Dict[str, str] = {}
         for name, processor in other.processors.items():
             new_name = f"{prefix}{name}"

@@ -60,6 +60,31 @@ class TestViewDiff:
         diff = diff_views(old, new)
         assert diff.changed_assertions == ["HR score"]
 
+    def test_formatting_only_edit_registers_no_change(self):
+        """Canonicalised conditions: whitespace edits do not diff."""
+        old = self.spec("ScoreClass in q:high")
+        new = self.spec("ScoreClass   in\n      q:high")
+        assert diff_views(old, new).is_empty()
+
+    def test_optimized_and_reference_compilations_stay_comparable(
+        self, framework
+    ):
+        """Pass-induced reordering must not register as a view change:
+        both pipelines stamp the same canonical fingerprint, and the
+        spec-level diff of the (unchanged) view stays empty."""
+        from repro.core.ispider import LiveImprintAnnotator, ResultSetHolder
+        from repro.qv.diff import same_compiled_view
+
+        framework.deploy_annotation_service(
+            "ImprintOutputAnnotator", LiveImprintAnnotator(ResultSetHolder())
+        )
+        spec = self.spec()
+        reference = framework.compiler.compile(spec, optimize=False)
+        optimized = framework.compiler.compile(spec)
+        assert reference.processors.keys() == optimized.processors.keys()
+        assert same_compiled_view(reference, optimized)
+        assert diff_views(spec, self.spec()).is_empty()
+
     def test_action_rename_is_remove_plus_add(self):
         old = self.spec()
         new = self.spec()

@@ -79,6 +79,10 @@ class TestMetricNameLint:
             "repro_rdf_plan_cache_entries",
             "repro_rdf_plan_compile_seconds",
             "repro_rdf_plan_executions_total",
+            "repro_qv_compile_runs_total",
+            "repro_qv_compile_pass_seconds",
+            "repro_qv_compile_processors_eliminated_total",
+            "repro_qv_compile_invocations_saved_total",
         ):
             assert expected in text, f"metric {expected} is not declared"
 
@@ -90,6 +94,20 @@ class TestMetricNameLint:
             "repro_rdf_plan_cache_hits_total",
             "repro_rdf_plan_cache_misses_total",
             "repro_rdf_plan_compile_seconds",
+        } <= names
+        for name in names:
+            assert METRIC_NAME_RE.match(name), name
+
+    def test_lint_covers_the_compiler_passes(self):
+        """The pass manager is instrumented; the lint must scan it."""
+        names = set()
+        for path in sorted((SRC_ROOT / "qv").rglob("*.py")):
+            names.update(_NAME_LITERAL_RE.findall(path.read_text()))
+        assert {
+            "repro_qv_compile_runs_total",
+            "repro_qv_compile_pass_seconds",
+            "repro_qv_compile_processors_eliminated_total",
+            "repro_qv_compile_invocations_saved_total",
         } <= names
         for name in names:
             assert METRIC_NAME_RE.match(name), name

@@ -153,6 +153,69 @@ class TestSanitize:
         assert sanitize(raw) == expected
 
 
+class TestPortCollisions:
+    """sanitize() is many-to-one; colliding claims must fail loudly."""
+
+    HEADER = """
+        <QualityView name="collide">
+          <Annotator serviceName="ImprintOutputAnnotator"
+                     serviceType="q:Imprint-output-annotation">
+            <variables repositoryRef="cache" persistent="false">
+              <var evidence="q:hitRatio"/>
+            </variables>
+          </Annotator>
+          <QualityAssertion serviceName="HR score" serviceType="q:HRScore"
+                            tagName="HR" tagSynType="q:score">
+            <variables repositoryRef="cache">
+              <var variableName="hitRatio" evidence="q:hitRatio"/>
+            </variables>
+          </QualityAssertion>
+    """
+
+    def view(self, actions):
+        return parse_quality_view(self.HEADER + actions + "</QualityView>")
+
+    def test_actions_colliding_on_output_port(self, loaded_framework):
+        framework, _ = loaded_framework
+        spec = self.view("""
+          <action name="top k!">
+            <filter><condition>HR &gt; 40</condition></filter>
+          </action>
+          <action name="top k?">
+            <filter><condition>HR &gt; 50</condition></filter>
+          </action>
+        """)
+        with pytest.raises(CompilationError, match="collide"):
+            framework.compiler.compile(spec)
+        with pytest.raises(CompilationError, match="collide"):
+            framework.compiler.compile(spec, optimize=False)
+
+    def test_splitter_groups_colliding_on_port(self, loaded_framework):
+        framework, _ = loaded_framework
+        spec = self.view("""
+          <action name="route">
+            <splitter>
+              <group name="a b"><condition>HR &gt; 40</condition></group>
+              <group name="a:b"><condition>HR &gt; 50</condition></group>
+            </splitter>
+          </action>
+        """)
+        with pytest.raises(CompilationError, match="sanitize"):
+            framework.compiler.compile(spec)
+        with pytest.raises(CompilationError, match="sanitize"):
+            framework.compiler.compile(spec, optimize=False)
+
+    def test_distinct_ports_still_compile(self, loaded_framework):
+        framework, _ = loaded_framework
+        spec = self.view("""
+          <action name="top k">
+            <filter><condition>HR &gt; 40</condition></filter>
+          </action>
+        """)
+        workflow = framework.compiler.compile(spec)
+        assert "top_k_accepted" in workflow.outputs
+
+
 class TestSplitterCompilation:
     def test_splitter_ports_include_default(self, loaded_framework):
         framework, _ = loaded_framework

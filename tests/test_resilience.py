@@ -541,6 +541,69 @@ class TestChaosDifferential:
             assert chaos_groups == base_groups
 
 
+class TestOptimizedPlanChaos:
+    """Fault drill through an optimized (fused + gated) compiled plan.
+
+    The staged compiler rewires the workflow — one fused HRScore
+    invocation, a filter gate narrowing the data set — so resilience
+    must keep its guarantees on that shape too: retries recover every
+    injected fault and the surviving verdicts match both the fault-free
+    optimized run (byte-identical) and the reference compilation.
+    """
+
+    def _world(self, scenario, result_set, injector=None):
+        from tests.test_compiler_ir import OBSERVED, PUSHDOWN_XML
+
+        framework, holder = setup_framework(scenario)
+        holder.set(result_set)
+        if injector is not None:
+            injector.attach_registry(framework.services)
+        view = framework.quality_view(PUSHDOWN_XML)
+        return framework, view, OBSERVED
+
+    def test_faults_recover_and_verdicts_match_the_reference(
+        self, scenario, result_set, chaos_datasets
+    ):
+        ref_framework, ref_view, _ = self._world(scenario, result_set)
+        ref_view.compile(optimize=False)
+        reference, _, _ = _run_batch(
+            ref_framework, ref_view, chaos_datasets, parallel=True
+        )
+
+        base_framework, base_view, observed = self._world(
+            scenario, result_set
+        )
+        base_view.compile(options=observed)
+        assert "HR score + HR score b" in base_view.compile().processors
+        baseline, base_snap, base_dead = _run_batch(
+            base_framework, base_view, chaos_datasets, parallel=True
+        )
+        assert base_snap.invocation_retries == 0
+        assert not base_dead
+
+        injector = FaultInjector(seed=11).plan_all(fault_rate=0.35)
+        chaos_framework, chaos_view, observed = self._world(
+            scenario, result_set, injector=injector
+        )
+        chaos_view.compile(options=observed)
+        chaos, snap, dead = _run_batch(
+            chaos_framework, chaos_view, chaos_datasets, parallel=True
+        )
+
+        assert injector.total_injected() > 0
+        assert snap.invocation_retries > 0
+        assert snap.failed == 0
+        assert not dead
+        for (chaos_xml, chaos_groups), (base_xml, base_groups) in zip(
+            chaos, baseline
+        ):
+            assert chaos_xml == base_xml
+            assert chaos_groups == base_groups
+        # the filter verdicts agree with the reference pipeline's
+        for (_, chaos_groups), (_, ref_groups) in zip(chaos, reference):
+            assert chaos_groups == ref_groups
+
+
 # -- runtime integration -----------------------------------------------------
 
 
