@@ -1,0 +1,277 @@
+"""E18 — serving under mixed multi-tenant load: req/s, p99, plan sharing.
+
+The serving tier (``python -m repro serve``) puts the paper's
+"quality views as services" deployment model under one HTTP surface;
+this experiment loads it the way a small group of collaborating
+scientists would: several tenants register the *same* Sec. 5.1 view
+(the plan cache must compile it exactly once), then issue mixed
+traffic — asynchronous enactments over per-spot datasets, job-status
+polls, and health probes — from concurrent client threads against a
+live ``ThreadingHTTPServer`` on an ephemeral port.  One "free-tier"
+tenant runs with a deliberately tight token bucket, so the run also
+demonstrates per-tenant quota isolation: its 429s must not dent the
+paid tenants' acceptance rate.
+
+Measured: sustained HTTP req/s over the whole mixed phase, p50/p95/p99
+request latency split by request class, enactment admission outcomes
+per tenant, and the plan-cache counters.  Acceptance: one compilation
+total, zero paid-tenant rejections, at least one quota 429 for the
+free tenant, and a p99 under the generous CI bound.  Artefacts land in
+``benchmarks/results/E18_serving.txt`` and ``BENCH_E18.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro.core.ispider import example_quality_view_xml, setup_framework
+from repro.proteomics import ProteomicsScenario
+from repro.proteomics.results import ImprintResultSet
+from repro.runtime import RuntimeConfig
+from repro.serving import QualityViewServer, ServingConfig
+
+#: Simulated WSDL round trip per quality-service invocation (as E13).
+SERVICE_LATENCY_S = 0.005
+
+#: Paid tenants issuing full mixed traffic.
+PAID_TENANTS = ("lab-a", "lab-b", "lab-c")
+#: The rate-limited tenant (tokens/s, burst) — tight enough to trip.
+FREE_TENANT, FREE_RATE, FREE_BURST = "free-tier", 1.0, 4.0
+
+#: Per-tenant request mix.
+ENACTS_PER_TENANT = 10
+POLLS_PER_TENANT = 25
+
+#: Generous CI bound on p99 request latency (seconds).
+P99_BOUND_S = 2.0
+#: Sustained mixed-traffic floor (requests/second, all classes).
+THROUGHPUT_FLOOR = 25.0
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _http(base, method, path, body=None, headers=None):
+    """(status, parsed JSON, elapsed seconds) for one exchange."""
+    request = Request(base + path, data=body, method=method)
+    for header, value in (headers or {}).items():
+        request.add_header(header, value)
+    started = time.perf_counter()
+    try:
+        with urlopen(request, timeout=60) as response:
+            raw, status = response.read(), response.status
+    except HTTPError as error:
+        raw, status = error.read(), error.code
+    elapsed = time.perf_counter() - started
+    return status, json.loads(raw.decode("utf-8")), elapsed
+
+
+@pytest.fixture(scope="module")
+def serving_deployment(bench_seed):
+    """A served framework over the E13-scale proteomics world."""
+    scenario = ProteomicsScenario.generate(
+        seed=bench_seed, n_proteins=200, n_spots=8
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    for service in framework.services:
+        service.with_latency(SERVICE_LATENCY_S)
+    datasets = {
+        run.run_id: results.items_of_run(run.run_id) for run in runs
+    }
+    runtime = framework.runtime(
+        RuntimeConfig(
+            workers=4,
+            queue_size=128,
+            queue_policy="reject",
+            parallel_enactment=True,
+            enactment_workers=3,
+            name="serving-bench",
+        )
+    )
+    config = ServingConfig(port=0, quota_rate=10_000.0, quota_burst=10_000.0)
+    server = QualityViewServer(
+        framework, runtime, config=config, datasets=datasets
+    )
+    server.start()
+    server.serve_in_background()
+    server.quotas.configure(FREE_TENANT, rate=FREE_RATE, burst=FREE_BURST)
+    yield server, sorted(datasets)
+    server.close()
+    runtime.shutdown(drain=True)
+
+
+def _tenant_worker(base, tenant, dataset_names, record):
+    """One tenant's mixed traffic; appends (class, status, secs) rows."""
+    headers = {"X-Tenant": tenant}
+    job_links = []
+    for index in range(ENACTS_PER_TENANT):
+        dataset = dataset_names[index % len(dataset_names)]
+        body = json.dumps({"dataset": dataset}).encode("utf-8")
+        status, document, elapsed = _http(
+            base, "POST", f"/views/qv-{tenant}/enact", body, headers
+        )
+        record.append(("enact", tenant, status, elapsed))
+        if status == 202:
+            job_links.append(document["links"]["status"])
+    for index in range(POLLS_PER_TENANT):
+        if job_links and index % 5 != 0:
+            path = job_links[index % len(job_links)]
+            kind = "job_status"
+        else:
+            path, kind = "/healthz", "healthz"
+        status, _, elapsed = _http(base, "GET", path, None, headers)
+        record.append((kind, tenant, status, elapsed))
+
+
+def test_e18_multi_tenant_serving_load(serving_deployment, bench_seed):
+    server, dataset_names = serving_deployment
+    base = server.url
+    xml = example_quality_view_xml().encode("utf-8")
+    tenants = [*PAID_TENANTS, FREE_TENANT]
+
+    # -- registration phase: same spec, one compilation ------------------
+    for tenant in tenants:
+        status, document, _ = _http(
+            base, "PUT", f"/views/qv-{tenant}", xml,
+            {"X-Tenant": tenant, "Content-Type": "application/xml"},
+        )
+        assert status == 201, document
+    cache_stats = server.plan_cache.stats()
+
+    # -- mixed-traffic phase ----------------------------------------------
+    record = []
+    threads = [
+        threading.Thread(
+            target=_tenant_worker, args=(base, tenant, dataset_names, record)
+        )
+        for tenant in tenants
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+    assert server.runtime.drain(timeout=120)
+    drain_seconds = time.perf_counter() - wall_start
+
+    # -- aggregate ---------------------------------------------------------
+    requests_total = len(record) + len(tenants)  # + registrations
+    throughput = len(record) / wall_seconds
+    latencies = [row[3] for row in record]
+    by_class = {}
+    for kind, _, _, elapsed in record:
+        by_class.setdefault(kind, []).append(elapsed)
+    outcomes = {}
+    for kind, tenant, status, _ in record:
+        if kind == "enact":
+            key = "accepted" if status == 202 else f"http_{status}"
+            outcomes.setdefault(tenant, {}).setdefault(key, 0)
+            outcomes[tenant][key] += 1
+    paid_rejected = sum(
+        count
+        for tenant in PAID_TENANTS
+        for key, count in outcomes.get(tenant, {}).items()
+        if key != "accepted"
+    )
+    free_429 = outcomes.get(FREE_TENANT, {}).get("http_429", 0)
+    completed = server.runtime.snapshot().completed
+    p99 = _percentile(latencies, 0.99)
+
+    acceptance = {
+        "single_compilation_ok": cache_stats["compilations"] == 1,
+        "paid_all_accepted_ok": paid_rejected == 0,
+        "free_tier_throttled_ok": free_429 >= 1,
+        "p99_bound_s": P99_BOUND_S,
+        "p99_ok": p99 <= P99_BOUND_S,
+        "throughput_floor": THROUGHPUT_FLOOR,
+        "throughput_ok": throughput >= THROUGHPUT_FLOOR,
+    }
+    summary = {
+        "experiment": "E18_serving",
+        "seed": bench_seed,
+        "acceptance": acceptance,
+        "workload": {
+            "tenants": list(tenants),
+            "enacts_per_tenant": ENACTS_PER_TENANT,
+            "polls_per_tenant": POLLS_PER_TENANT,
+            "service_latency_ms": SERVICE_LATENCY_S * 1000,
+            "free_tier": {"rate": FREE_RATE, "burst": FREE_BURST},
+            "requests_total": requests_total,
+        },
+        "throughput_rps": round(throughput, 1),
+        "latency_ms": {
+            kind: {
+                "p50": round(1000 * _percentile(samples, 0.50), 2),
+                "p95": round(1000 * _percentile(samples, 0.95), 2),
+                "p99": round(1000 * _percentile(samples, 0.99), 2),
+            }
+            for kind, samples in sorted(by_class.items())
+        },
+        "enact_outcomes": outcomes,
+        "plan_cache": cache_stats,
+        "jobs_completed": completed,
+        "wall_seconds": {
+            "mixed_traffic": round(wall_seconds, 3),
+            "to_drain": round(drain_seconds, 3),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_E18.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"tenants: {', '.join(tenants)} "
+        f"(free tier: {FREE_RATE}/s, burst {FREE_BURST})",
+        f"requests: {requests_total} total, "
+        f"{len(record)} in the mixed phase",
+        f"sustained throughput: {throughput:.1f} req/s "
+        f"(floor {THROUGHPUT_FLOOR})",
+        "",
+        f"{'class':<12} {'n':>5} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}",
+    ]
+    for kind, samples in sorted(by_class.items()):
+        lines.append(
+            f"{kind:<12} {len(samples):>5} "
+            f"{1000 * _percentile(samples, 0.50):>8.2f} "
+            f"{1000 * _percentile(samples, 0.95):>8.2f} "
+            f"{1000 * _percentile(samples, 0.99):>8.2f}"
+        )
+    lines += [
+        "",
+        f"plan cache: {cache_stats['compilations']} compilation(s), "
+        f"{cache_stats['hits']} hit(s) across {len(tenants)} tenants",
+        f"admission: paid rejections {paid_rejected}, "
+        f"free-tier 429s {free_429}",
+        f"jobs completed: {completed} "
+        f"(drained in {drain_seconds:.2f}s)",
+        "",
+        "acceptance: " + ", ".join(
+            f"{name}={value}" for name, value in acceptance.items()
+        ),
+    ]
+    write_table(
+        "E18_serving",
+        "E18 — multi-tenant serving: mixed load, plan sharing, quotas",
+        lines,
+        seed=bench_seed,
+    )
+    assert all(
+        value for name, value in acceptance.items() if name.endswith("_ok")
+    ), acceptance

@@ -27,6 +27,16 @@ Commands:
   Prometheus text (``/metrics``) and a JSON snapshot
   (``/metrics.json``), or — with ``--oneshot`` — a single scrape
   printed to stdout.
+* ``serve [--port P] [--workers W] [--quota-rate R]`` — run the
+  long-lived multi-tenant quality-view server over a synthetic
+  proteomics deployment: ``PUT /views/{name}`` registers views (the
+  compiled-plan cache shares one compilation per view fingerprint
+  across tenants), ``POST /views/{name}/enact`` routes submissions
+  through the execution runtime under per-tenant token-bucket quotas
+  (429 + ``Retry-After`` on exhaustion or queue backpressure), plus
+  job lifecycle (``/jobs``), dead letters, ``/metrics``, and
+  ``/healthz``.  ``--register-example`` pre-registers the Sec. 5.1
+  example view; Ctrl-C shuts down cleanly.
 * ``query <sparql> [--data FILE] [--explain]`` — run a SPARQL query
   over an RDF file (or a synthetic annotation store) through the
   planned execution path; ``--explain`` prints the chosen join order,
@@ -170,6 +180,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prom", "json"), default="prom",
         help="--oneshot output: Prometheus text or the JSON snapshot",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant quality-view server (HTTP/JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8099,
+        help="HTTP port (0 binds an ephemeral port)",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bound of the job queue backing admission control",
+    )
+    serve.add_argument(
+        "--parallel-enactment", action="store_true",
+        help="wavefront-parallel enactment inside each job",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=50.0, metavar="R",
+        help="per-tenant refill rate, requests/second (0 disables quotas)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=100.0, metavar="B",
+        help="per-tenant burst capacity, tokens",
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=128, metavar="N",
+        help="LRU capacity of the shared compiled-plan cache",
+    )
+    serve.add_argument(
+        "--register-example", action="store_true",
+        help="pre-register the Sec. 5.1 example view as "
+             "'protein-id-quality'",
+    )
+    serve.add_argument(
+        "--spots", type=int, default=8,
+        help="protein spots of the synthetic backing scenario",
+    )
+    serve.add_argument("--proteins", type=int, default=200)
+    serve.add_argument("--seed", type=int, default=42)
 
     query = commands.add_parser(
         "query",
@@ -509,6 +561,8 @@ def _cmd_metrics(args) -> int:
         else:
             print(render_prometheus(), end="")
         return 0
+    from repro.observability import serve_until_interrupt
+
     server = serve_metrics(
         host=args.host, port=args.port,
         services=framework.services, runtime=snap,
@@ -516,13 +570,73 @@ def _cmd_metrics(args) -> int:
     host, port = server.server_address[:2]
     print(f"serving http://{host}:{port}/metrics "
           f"(JSON snapshot at /metrics.json; Ctrl-C to stop)")
+    return serve_until_interrupt(server)
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.ispider import example_quality_view_xml, setup_framework
+    from repro.observability import serve_until_interrupt
+    from repro.proteomics import ProteomicsScenario
+    from repro.proteomics.results import ImprintResultSet
+    from repro.runtime import RuntimeConfig
+    from repro.serving import QualityViewServer, ServingConfig
+
+    # The synthetic backing deployment: a proteomics scenario whose
+    # identification results feed the live Imprint annotator, so
+    # registered views have real evidence to annotate, assert over,
+    # and filter.  GET /datasets lists the run ids enact bodies can
+    # reference ({"dataset": "<run id>"}).
+    scenario = ProteomicsScenario.generate(
+        seed=args.seed, n_proteins=args.proteins, n_spots=args.spots
+    )
+    runs = scenario.identify_all()
+    results = ImprintResultSet(runs)
+    framework, holder = setup_framework(scenario)
+    holder.set(results)
+    datasets = {run.run_id: results.items_of_run(run.run_id) for run in runs}
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
-    return 0
+        runtime_config = RuntimeConfig(
+            workers=args.workers,
+            queue_size=args.queue_size,
+            queue_policy="reject",
+            parallel_enactment=args.parallel_enactment,
+            name="serving",
+        ).validated()
+        serving_config = ServingConfig(
+            host=args.host,
+            port=args.port,
+            quota_rate=args.quota_rate if args.quota_rate > 0 else None,
+            quota_burst=args.quota_burst,
+            plan_cache_size=args.plan_cache_size,
+        ).validated()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with framework.runtime(runtime_config) as runtime:
+        server = QualityViewServer(
+            framework, runtime, config=serving_config, datasets=datasets
+        ).start()
+        if args.register_example:
+            record = server.views.register(
+                "protein-id-quality",
+                example_quality_view_xml(),
+                serving_config.default_tenant,
+            )
+            print(f"registered view 'protein-id-quality' "
+                  f"(fingerprint {record.fingerprint[:16]}…)")
+        quota = (
+            f"{args.quota_rate:g} req/s (burst {args.quota_burst:g})"
+            if args.quota_rate > 0 else "disabled"
+        )
+        print(
+            f"serving http://{args.host}:{server.port} — "
+            f"{runtime_config.workers} workers, queue "
+            f"{runtime_config.queue_size} (reject), per-tenant quota "
+            f"{quota}, {len(datasets)} datasets; Ctrl-C to stop"
+        )
+        print("endpoints: PUT /views/{name}  POST /views/{name}/enact  "
+              "GET /jobs/{id}  /metrics  /healthz")
+        return serve_until_interrupt(server)
 
 
 def _cmd_query(args) -> int:
@@ -631,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "info":

@@ -45,6 +45,7 @@ from repro.observability.export import (
     render_prometheus,
     serve_in_background,
     serve_metrics,
+    serve_until_interrupt,
     write_telemetry,
 )
 from repro.observability.registry import (
@@ -123,6 +124,7 @@ __all__ = [
     "restore",
     "serve_in_background",
     "serve_metrics",
+    "serve_until_interrupt",
     "set_default_registry",
     "set_event_log",
     "set_tracing",

@@ -232,3 +232,24 @@ def serve_in_background(server: ThreadingHTTPServer) -> threading.Thread:
     )
     thread.start()
     return thread
+
+
+def serve_until_interrupt(server: Any) -> int:
+    """Serve in the foreground until Ctrl-C; returns a process status.
+
+    The graceful path the CLI commands (``metrics``, ``serve``) share:
+    ``serve_forever()`` until ``KeyboardInterrupt``, then
+    ``shutdown()`` (unblocks any concurrent ``serve_forever`` state)
+    and ``server_close()`` (releases the socket), mapping Ctrl-C to a
+    clean exit code 0 instead of a traceback.  ``server`` is anything
+    with the ``BaseServer`` lifecycle trio (``serve_forever`` /
+    ``shutdown`` / ``server_close``).
+    """
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+        return 0
+    finally:
+        server.server_close()
+    return 0

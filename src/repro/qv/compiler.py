@@ -322,6 +322,14 @@ class QVCompiler:
         self.services = services
         self.bindings = bindings
         self.repositories = repositories
+        #: Optional fingerprint-keyed cache of compiled plans (any
+        #: object with ``get_or_compile(fingerprint, thunk)``, e.g.
+        #: :class:`repro.serving.plans.PlanCache`).  When installed,
+        #: default-option optimizing compiles of signature-identical
+        #: views share one emitted workflow — the serving layer keys
+        #: on this so N tenants registering the same view cost one
+        #: compilation.
+        self.plan_cache: Optional[Any] = None
 
     # -- resolution ----------------------------------------------------------
 
@@ -373,6 +381,16 @@ class QVCompiler:
                     "(the reference pipeline takes none)"
                 )
             return self._compile_reference(spec, validate=validate)
+        if self.plan_cache is not None and options is None and validate:
+            # Only the default-option, validated pipeline is cacheable:
+            # the fingerprint covers the view signature, not compile
+            # options, so non-default options always compile fresh.
+            from repro.qv.ir import view_fingerprint
+
+            return self.plan_cache.get_or_compile(
+                view_fingerprint(spec),
+                lambda: self.compile_with_report(spec, validate=True)[0],
+            )
         workflow, _report = self.compile_with_report(
             spec, validate=validate, options=options
         )

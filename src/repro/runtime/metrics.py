@@ -257,13 +257,20 @@ class RuntimeStats:
             ).labels(runtime=self.name).observe(run_seconds)
 
     def snapshot(
-        self, in_queue: int = 0, invoker: Optional[Any] = None
+        self,
+        in_queue: int = 0,
+        invoker: Optional[Any] = None,
+        outstanding: Optional[int] = None,
     ) -> RuntimeStatsSnapshot:
         """A consistent point-in-time reading of every counter.
 
         ``invoker`` (a :class:`repro.resilience.ResilientInvoker`)
         contributes the invocation-level resilience counters when the
-        runtime has one.
+        runtime has one.  When ``outstanding`` (submitted-but-not-done,
+        from the service's own counter) is given, ``in_queue`` is
+        derived from it *inside* the counter lock — so the published
+        ``in_queue`` and ``running`` come from the same instant and
+        ``in_queue + running == max(outstanding, running)`` exactly.
         """
         invocation_retries = invocations_exhausted = 0
         breaker_rejections = open_endpoints = 0
@@ -274,6 +281,8 @@ class RuntimeStats:
             breaker_rejections = inv.breaker_rejections
             open_endpoints = len(invoker.breakers.open_endpoints())
         with self._lock:
+            if outstanding is not None:
+                in_queue = max(0, outstanding - self.running)
             return RuntimeStatsSnapshot(
                 submitted=self.submitted,
                 completed=self.completed,

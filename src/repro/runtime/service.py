@@ -48,7 +48,35 @@ _STOP = object()
 
 
 class QueueFullError(RuntimeError):
-    """Admission refused: the job queue is at capacity."""
+    """Admission refused: the job queue is at capacity.
+
+    Carries the refusal machine-readably so callers (the serving
+    layer's 429 path, CLI batch) can surface backpressure without
+    parsing the message: ``reason`` is ``"queue_full"`` (reject policy)
+    or ``"queue_timeout"`` (block policy that timed out), and
+    ``queue_depth``/``capacity`` describe the queue at refusal time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue_full",
+        queue_depth: int = 0,
+        capacity: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+    def details(self) -> Dict[str, Any]:
+        """The refusal as one JSON-ready dict."""
+        return {
+            "reason": self.reason,
+            "queue_depth": self.queue_depth,
+            "capacity": self.capacity,
+        }
 
 
 class RuntimeClosedError(RuntimeError):
@@ -244,12 +272,27 @@ class ExecutionService:
         with self._lock:
             return self._closed
 
+    @property
+    def outstanding(self) -> int:
+        """Jobs accepted and not yet finished (queued + running)."""
+        with self._lock:
+            return self._outstanding
+
+    def queue_depth(self) -> int:
+        """Jobs sitting in the queue right now (approximate under load).
+
+        Exposed for external admission control (the serving layer's
+        ``/healthz`` and 429 bodies); prefer :meth:`snapshot` for a
+        consistent multi-counter reading.
+        """
+        return self._queue.qsize()
+
     def snapshot(self) -> RuntimeStatsSnapshot:
         """A point-in-time reading of the runtime's counters."""
         with self._lock:
-            in_queue = self._outstanding - self.stats.running
+            outstanding = self._outstanding
         return self.stats.snapshot(
-            in_queue=max(0, in_queue), invoker=self.invoker
+            invoker=self.invoker, outstanding=outstanding
         )
 
     # -- internals ---------------------------------------------------------
@@ -281,14 +324,20 @@ class ExecutionService:
                 except queue.Full:
                     raise QueueFullError(
                         f"job queue is full ({self.config.queue_size}); "
-                        f"retry later or use queue_policy='block'"
+                        f"retry later or use queue_policy='block'",
+                        reason="queue_full",
+                        queue_depth=self._queue.qsize(),
+                        capacity=self.config.queue_size,
                     ) from None
             else:
                 try:
                     self._queue.put(job, timeout=timeout)
                 except queue.Full:
                     raise QueueFullError(
-                        f"job queue stayed full for {timeout}s"
+                        f"job queue stayed full for {timeout}s",
+                        reason="queue_timeout",
+                        queue_depth=self._queue.qsize(),
+                        capacity=self.config.queue_size,
                     ) from None
         except QueueFullError:
             self._job_done()

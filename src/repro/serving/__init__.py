@@ -1,0 +1,56 @@
+"""The multi-tenant quality-view serving layer.
+
+The paper's deployment model ("quality views as services") makes a
+compiled view a long-lived service invoked repeatedly by independent
+consumers; this package is that serving tier for the whole framework:
+
+* :mod:`~repro.serving.server` — a threaded stdlib HTTP/JSON server
+  (:class:`QualityViewServer`) exposing view registration, enactment
+  submission, job lifecycle, dead letters, metrics, and health;
+* :mod:`~repro.serving.registry` — named view registrations shared by
+  tenants, validated and compiled at ``PUT`` time;
+* :mod:`~repro.serving.plans` — a fingerprint-keyed LRU of compiled
+  workflows, installed as the framework compiler's plan cache so
+  signature-identical views cost one compilation server-wide;
+* :mod:`~repro.serving.quotas` — per-tenant token buckets behind the
+  429/``Retry-After`` admission path (the queue's block/reject policy
+  backs it for total-load protection);
+* :mod:`~repro.serving.wire` — deterministic JSON codecs for results,
+  jobs, and requests (served results are byte-equal to direct
+  :class:`~repro.runtime.service.ExecutionService` runs).
+
+``python -m repro serve`` wires a synthetic proteomics deployment
+behind this server; see ``docs/architecture.md`` ("Serving layer").
+"""
+
+from repro.serving.plans import PlanCache
+from repro.serving.quotas import QuotaDecision, QuotaManager, TokenBucket
+from repro.serving.registry import (
+    RegisteredView,
+    RegistrationError,
+    UnknownViewError,
+    ViewRegistry,
+)
+from repro.serving.server import (
+    QualityViewServer,
+    ServingConfig,
+    build_server,
+)
+from repro.serving.wire import WireError, encode_job, encode_result
+
+__all__ = [
+    "PlanCache",
+    "QualityViewServer",
+    "QuotaDecision",
+    "QuotaManager",
+    "RegisteredView",
+    "RegistrationError",
+    "ServingConfig",
+    "TokenBucket",
+    "UnknownViewError",
+    "ViewRegistry",
+    "WireError",
+    "build_server",
+    "encode_job",
+    "encode_result",
+]

@@ -1,0 +1,124 @@
+"""The shared compiled-plan cache of the serving layer.
+
+Identical quality views registered by different tenants (or under
+different names) hash to the same :func:`repro.qv.ir.view_fingerprint`;
+the :class:`PlanCache` keys on that digest so the whole server performs
+one compilation per distinct view signature, however many tenants
+register it.  Installed as :attr:`repro.qv.compiler.QVCompiler.plan_cache`
+it short-circuits the default-option optimizing pipeline.
+
+The cache is a bounded LRU: registering views beyond ``capacity``
+evicts the least-recently-used plan (it recompiles on next use — plans
+are derived state, never the source of truth).  Lookups are
+single-flight: the lock is held across a miss's compilation so two
+concurrent registrations of the same view cannot both compile it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict
+
+from repro.observability import get_registry
+
+
+def _counter(name: str, help_text: str):
+    return get_registry().counter(name, help_text)
+
+
+class PlanCache:
+    """An LRU of compiled workflows keyed by ``view_fingerprint``."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[str, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._compile_seconds = 0.0
+
+    def _entries_gauge(self):
+        # Resolved per touch: the process registry may be swapped
+        # mid-run (tests install fresh registries).
+        return get_registry().gauge(
+            "repro_serving_plan_cache_entries",
+            "Compiled plans currently cached by the serving layer.",
+        )
+
+    def get_or_compile(
+        self, fingerprint: str, compile_fn: Callable[[], Any]
+    ) -> Any:
+        """The cached plan for ``fingerprint``, compiling on a miss.
+
+        The compile runs under the cache lock (single-flight), so N
+        concurrent registrations of one view signature cost exactly
+        one compilation.
+        """
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is not None:
+                self._plans.move_to_end(fingerprint)
+                self._hits += 1
+                _counter(
+                    "repro_serving_plan_cache_hits_total",
+                    "Plan-cache lookups served from a cached compilation.",
+                ).inc()
+                return plan
+            self._misses += 1
+            _counter(
+                "repro_serving_plan_cache_misses_total",
+                "Plan-cache lookups that required a fresh compilation.",
+            ).inc()
+            started = time.perf_counter()
+            plan = compile_fn()
+            elapsed = time.perf_counter() - started
+            self._compile_seconds += elapsed
+            get_registry().histogram(
+                "repro_serving_plan_compile_seconds",
+                "Wall-clock seconds compiling a view on a plan-cache miss.",
+            ).observe(elapsed)
+            self._plans[fingerprint] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+                _counter(
+                    "repro_serving_plan_cache_evictions_total",
+                    "Plans evicted from the LRU at capacity.",
+                ).inc()
+            self._entries_gauge().set(len(self._plans))
+            return plan
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a plan is cached (does not touch LRU order)."""
+        with self._lock:
+            return fingerprint in self._plans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready reading of the cache counters."""
+        with self._lock:
+            compilations = self._misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._plans),
+                "hits": self._hits,
+                "misses": self._misses,
+                "compilations": compilations,
+                "evictions": self._evictions,
+                "compile_seconds": round(self._compile_seconds, 6),
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<PlanCache {stats['entries']}/{self.capacity} plans, "
+            f"{stats['hits']} hits / {stats['misses']} misses>"
+        )

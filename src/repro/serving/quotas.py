@@ -1,0 +1,144 @@
+"""Per-tenant admission control: token buckets over monotonic time.
+
+Each tenant gets one :class:`TokenBucket` (``rate`` tokens/second,
+``burst`` capacity); an enactment costs one token.  A refused request
+carries ``retry_after`` — the seconds until the bucket holds one token
+again — which the server surfaces as the HTTP ``Retry-After`` header
+on its 429 response.  Quotas guard *per-tenant fairness*; the queue's
+block/reject policy (:class:`repro.runtime.service.ExecutionService`)
+guards *total* load — a tenant inside its quota can still be refused
+by queue backpressure, and vice versa.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.observability import get_registry
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """The outcome of one admission check."""
+
+    allowed: bool
+    tenant: str
+    #: Seconds until one token is available again (0.0 when allowed).
+    retry_after: float = 0.0
+    #: Tokens left after the check (floored at 0 for display).
+    remaining: float = 0.0
+
+    def retry_after_header(self) -> str:
+        """``Retry-After`` header value (whole seconds, >= 1)."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock=time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> "tuple[bool, float, float]":
+        """(allowed, retry_after, remaining) for one request of ``cost``."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0, self._tokens
+            deficit = cost - self._tokens
+            return False, deficit / self.rate, 0.0
+
+
+class QuotaManager:
+    """Token buckets keyed by tenant, created lazily on first use.
+
+    ``rate``/``burst`` are the defaults for unseen tenants;
+    :meth:`configure` pins a per-tenant override (e.g. a paid tier).
+    ``rate=None`` disables quota enforcement entirely (every check
+    allows).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = 50.0,
+        burst: float = 100.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._overrides: Dict[str, "tuple[float, float]"] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether admission checks can ever refuse."""
+        return self.rate is not None
+
+    def configure(self, tenant: str, rate: float, burst: float) -> None:
+        """Pin a per-tenant rate/burst (replaces any existing bucket)."""
+        with self._lock:
+            self._overrides[tenant] = (float(rate), float(burst))
+            self._buckets[tenant] = TokenBucket(rate, burst, self._clock)
+
+    def check(self, tenant: str, cost: float = 1.0) -> QuotaDecision:
+        """Spend ``cost`` tokens of ``tenant``'s bucket, or refuse."""
+        if self.rate is None:
+            return QuotaDecision(allowed=True, tenant=tenant)
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(
+                    tenant, (self.rate, self.burst)
+                )
+                bucket = TokenBucket(rate, burst, self._clock)
+                self._buckets[tenant] = bucket
+                get_registry().gauge(
+                    "repro_serving_quota_tenants",
+                    "Tenants with an active quota bucket.",
+                ).set(len(self._buckets))
+        allowed, retry_after, remaining = bucket.try_acquire(cost)
+        if not allowed:
+            get_registry().counter(
+                "repro_serving_quota_rejections_total",
+                "Enactments refused by a tenant's token bucket.",
+                labels=("tenant",),
+            ).labels(tenant=tenant).inc()
+        return QuotaDecision(
+            allowed=allowed,
+            tenant=tenant,
+            retry_after=retry_after,
+            remaining=remaining,
+        )
+
+    def tenants(self) -> Dict[str, Dict[str, Any]]:
+        """tenant -> {rate, burst} for every active bucket."""
+        with self._lock:
+            return {
+                tenant: {"rate": bucket.rate, "burst": bucket.burst}
+                for tenant, bucket in sorted(self._buckets.items())
+            }

@@ -1,0 +1,207 @@
+"""Wire-format codecs: the serving layer's JSON documents.
+
+Encoding is deterministic — sorted keys, insertion-ordered lists, and
+plain (unwrapped) literal values — so two enactments that computed the
+same result serialize to byte-identical documents.  That property is
+load-bearing: the end-to-end serving test compares a served enactment
+byte-for-byte against a direct :class:`ExecutionService` run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.annotation.map import AnnotationMap
+from repro.core.results import QualityViewResult
+from repro.rdf import URIRef
+from repro.runtime.jobs import JobHandle
+
+
+class WireError(ValueError):
+    """A request document the server cannot decode."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def dumps(document: Any) -> bytes:
+    """Serialize one response document deterministically."""
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":"),
+                   default=_jsonable)
+        + "\n"
+    ).encode("utf-8")
+
+
+def loads(body: bytes) -> Any:
+    """Parse one request body; :class:`WireError` on malformed JSON."""
+    if not body:
+        raise WireError("empty request body; expected a JSON document")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed JSON request body: {exc}") from exc
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+# -- results ---------------------------------------------------------------
+
+
+def encode_annotation_map(amap: AnnotationMap) -> Dict[str, Any]:
+    """One item-keyed document of evidence values and QA tags."""
+    encoded: Dict[str, Any] = {}
+    for item in amap.items():
+        tags = {
+            name: {
+                "value": tag.plain(),
+                "syn_type": str(tag.syn_type) if tag.syn_type else None,
+                "sem_type": str(tag.sem_type) if tag.sem_type else None,
+            }
+            for name, tag in amap.tags_for(item).items()
+        }
+        evidence = {
+            str(evidence_type): _plain_value(value)
+            for evidence_type, value in amap.evidence_for(item).items()
+        }
+        encoded[str(item)] = {"evidence": evidence, "tags": tags}
+    return encoded
+
+
+def _plain_value(value: Any) -> Any:
+    plain = value.value if hasattr(value, "value") else value
+    if isinstance(plain, (str, int, float, bool)) or plain is None:
+        return plain
+    return str(plain)
+
+
+def encode_result(result: QualityViewResult) -> Dict[str, Any]:
+    """A :class:`QualityViewResult` as one JSON-ready document."""
+    return {
+        "view": result.view_name,
+        "items": [str(item) for item in result.items],
+        "groups": {
+            action: {
+                group: [str(item) for item in members]
+                for group, members in by_group.items()
+            }
+            for action, by_group in result.groups.items()
+        },
+        "surviving": [str(item) for item in result.surviving()],
+        "annotation_map": encode_annotation_map(result.annotation_map),
+    }
+
+
+# -- jobs ------------------------------------------------------------------
+
+
+def encode_job(
+    handle: JobHandle,
+    view: str = "",
+    tenant: str = "",
+) -> Dict[str, Any]:
+    """One job's lifecycle document (no result payload)."""
+    metrics = handle.metrics
+    document: Dict[str, Any] = {
+        "job_id": handle.job_id,
+        "name": handle.name,
+        "status": handle.status.value,
+        "view": view,
+        "tenant": tenant,
+        "retries": metrics.retries,
+    }
+    queue_wait = metrics.queue_wait
+    if queue_wait is not None:
+        document["queue_wait_ms"] = round(1000 * queue_wait, 3)
+    run_seconds = metrics.run_seconds
+    if run_seconds is not None:
+        document["run_ms"] = round(1000 * run_seconds, 3)
+        document["cache_lookups"] = metrics.cache_lookups
+        document["cache_hits"] = metrics.cache_hits
+    if handle.done():
+        error = handle.exception()
+        if error is not None:
+            document["error"] = {
+                "type": type(error).__name__,
+                "message": str(error),
+            }
+    return document
+
+
+# -- requests --------------------------------------------------------------
+
+
+def decode_enact_request(
+    document: Any,
+    datasets: Optional[Mapping[str, Sequence[URIRef]]] = None,
+) -> "tuple[List[URIRef], bool, Optional[float]]":
+    """(items, wait, timeout) from one ``POST .../enact`` body.
+
+    The body names its data either inline (``{"items": [...]}``) or by
+    reference into the server's dataset catalog (``{"dataset": "r1"}``);
+    ``"wait": true`` (with optional ``"timeout"`` seconds) asks for the
+    result inline instead of a 202 + job handle.
+    """
+    if not isinstance(document, dict):
+        raise WireError("enact body must be a JSON object")
+    has_items = "items" in document
+    has_dataset = "dataset" in document
+    if has_items == has_dataset:
+        raise WireError('enact body needs exactly one of "items", "dataset"')
+    if has_items:
+        raw = document["items"]
+        if not isinstance(raw, list) or not all(
+            isinstance(item, str) for item in raw
+        ):
+            raise WireError('"items" must be a list of URI strings')
+        items = [URIRef(item) for item in raw]
+    else:
+        name = document["dataset"]
+        catalog = datasets or {}
+        if name not in catalog:
+            raise WireError(
+                f"unknown dataset {name!r}; "
+                f"server has {sorted(catalog)}", status=404
+            )
+        items = list(catalog[name])
+    wait = bool(document.get("wait", False))
+    timeout = document.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise WireError('"timeout" must be a number of seconds') from None
+        if timeout <= 0:
+            raise WireError('"timeout" must be > 0 seconds')
+    return items, wait, timeout
+
+
+def decode_view_registration(document: Any, content_type: str) -> str:
+    """The view XML out of one ``PUT /views/{name}`` body.
+
+    Accepts raw XML (``Content-Type: application/xml`` or a body that
+    starts with ``<``) or a JSON wrapper ``{"xml": "<QualityView..."}``.
+    """
+    if isinstance(document, bytes):
+        text = document.decode("utf-8", errors="replace")
+    else:
+        text = str(document)
+    stripped = text.lstrip()
+    if "xml" in content_type or stripped.startswith("<"):
+        if not stripped:
+            raise WireError("empty view registration body")
+        return text
+    parsed = loads(text.encode("utf-8"))
+    if not isinstance(parsed, dict) or not isinstance(
+        parsed.get("xml"), str
+    ):
+        raise WireError(
+            'view registration must be XML or a JSON object {"xml": "..."}'
+        )
+    return parsed["xml"]

@@ -460,3 +460,87 @@ class TestTraceRoundTrip:
     def test_name_regex_is_exported(self):
         assert METRIC_NAME_RE.match("repro_runtime_job_run_seconds")
         assert not METRIC_NAME_RE.match("repro_X")
+
+
+# -- the metrics HTTP endpoint -----------------------------------------------
+
+
+class TestMetricsServer:
+    """HTTP behaviour of :func:`serve_metrics` and the shutdown path."""
+
+    @pytest.fixture
+    def served(self, registry):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        from repro.observability import serve_in_background, serve_metrics
+
+        registry.counter("repro_test_hits_total", "hits").inc(3)
+        server = serve_metrics(registry, port=0)
+        serve_in_background(server)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+
+        def fetch(path):
+            try:
+                with urlopen(base + path, timeout=5) as response:
+                    return response.status, response.read().decode("utf-8")
+            except HTTPError as error:
+                return error.code, error.read().decode("utf-8", "replace")
+
+        yield fetch
+        server.shutdown()
+        server.server_close()
+
+    def test_unknown_path_is_404(self, served):
+        status, body = served("/nope")
+        assert status == 404
+        assert "/metrics" in body  # the error hints at the real routes
+
+    def test_query_string_is_ignored_in_routing(self, served):
+        status, body = served("/metrics?format=prometheus&x=1")
+        assert status == 200
+        assert "repro_test_hits_total 3" in body
+        status, body = served("/metrics.json?pretty")
+        assert status == 200
+        assert json.loads(body)["metrics"]
+
+    def test_query_string_on_unknown_path_still_404(self, served):
+        status, _ = served("/metricsx?y=/metrics")
+        assert status == 404
+
+    def test_serve_until_interrupt_maps_ctrl_c_to_clean_exit(self):
+        from repro.observability import serve_until_interrupt
+
+        calls = []
+
+        class FakeServer:
+            def serve_forever(self):
+                calls.append("serve_forever")
+                raise KeyboardInterrupt
+
+            def shutdown(self):
+                calls.append("shutdown")
+
+            def server_close(self):
+                calls.append("server_close")
+
+        assert serve_until_interrupt(FakeServer()) == 0
+        assert calls == ["serve_forever", "shutdown", "server_close"]
+
+    def test_serve_until_interrupt_closes_socket_on_normal_return(self):
+        from repro.observability import serve_until_interrupt
+
+        calls = []
+
+        class FakeServer:
+            def serve_forever(self):
+                calls.append("serve_forever")
+
+            def shutdown(self):  # pragma: no cover - not reached
+                calls.append("shutdown")
+
+            def server_close(self):
+                calls.append("server_close")
+
+        assert serve_until_interrupt(FakeServer()) == 0
+        assert calls == ["serve_forever", "server_close"]

@@ -83,6 +83,15 @@ class TestMetricNameLint:
             "repro_qv_compile_pass_seconds",
             "repro_qv_compile_processors_eliminated_total",
             "repro_qv_compile_invocations_saved_total",
+            "repro_serving_http_requests_total",
+            "repro_serving_http_request_seconds",
+            "repro_serving_plan_cache_hits_total",
+            "repro_serving_plan_cache_misses_total",
+            "repro_serving_plan_cache_entries",
+            "repro_serving_plan_compile_seconds",
+            "repro_serving_quota_rejections_total",
+            "repro_serving_enactments_total",
+            "repro_serving_views_registered",
         ):
             assert expected in text, f"metric {expected} is not declared"
 
@@ -108,6 +117,21 @@ class TestMetricNameLint:
             "repro_qv_compile_pass_seconds",
             "repro_qv_compile_processors_eliminated_total",
             "repro_qv_compile_invocations_saved_total",
+        } <= names
+        for name in names:
+            assert METRIC_NAME_RE.match(name), name
+
+    def test_lint_covers_the_serving_module(self):
+        """The serving tier is instrumented; the lint must scan it."""
+        names = set()
+        for path in sorted((SRC_ROOT / "serving").rglob("*.py")):
+            names.update(_NAME_LITERAL_RE.findall(path.read_text()))
+        assert {
+            "repro_serving_http_requests_total",
+            "repro_serving_plan_cache_hits_total",
+            "repro_serving_plan_cache_misses_total",
+            "repro_serving_quota_rejections_total",
+            "repro_serving_enactments_total",
         } <= names
         for name in names:
             assert METRIC_NAME_RE.match(name), name

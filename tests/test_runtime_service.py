@@ -203,6 +203,75 @@ class TestAdmissionControl:
         finally:
             service.shutdown()
 
+    def test_queue_full_error_is_machine_readable(self, qv_world):
+        """Satellite: backpressure surfaces without string-parsing."""
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(
+            workers=1, queue_size=1, queue_policy="reject"
+        )
+        try:
+            service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)
+            service.submit_workflow(workflow, {"x": 2})
+            with pytest.raises(QueueFullError) as excinfo:
+                service.submit_workflow(workflow, {"x": 3})
+            error = excinfo.value
+            assert error.reason == "queue_full"
+            assert error.capacity == 1
+            assert error.queue_depth == 1
+            assert error.details() == {
+                "reason": "queue_full",
+                "queue_depth": 1,
+                "capacity": 1,
+            }
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_queue_timeout_error_reason(self, qv_world):
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(
+            workers=1, queue_size=1, queue_policy="block"
+        )
+        try:
+            service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)
+            service.submit_workflow(workflow, {"x": 2})
+            with pytest.raises(QueueFullError) as excinfo:
+                service.submit_workflow(workflow, {"x": 3}, timeout=0.05)
+            assert excinfo.value.reason == "queue_timeout"
+            assert excinfo.value.details()["capacity"] == 1
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_queue_depth_and_outstanding_hooks(self, qv_world):
+        """Satellite: live depth/outstanding readings for serving."""
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(workers=1)
+        try:
+            assert service.queue_depth() == 0
+            assert service.outstanding == 0
+            service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)
+            queued = service.submit_workflow(workflow, {"x": 2})
+            assert service.queue_depth() == 1
+            assert service.outstanding == 2
+            gate.set()
+            assert queued.result(10) == {"y": 2}
+            assert service.drain(10)
+            assert service.queue_depth() == 0
+            assert service.outstanding == 0
+        finally:
+            gate.set()
+            service.shutdown()
+
     def test_config_validation(self):
         with pytest.raises(ValueError, match="workers"):
             RuntimeConfig(workers=0).validated()
@@ -211,6 +280,97 @@ class TestAdmissionControl:
         with pytest.raises(ValueError, match="iteration_workers"):
             RuntimeConfig(iteration_workers=0).validated()
         assert RuntimeConfig().validated().workers == 4
+
+
+class TestSnapshotUnderRaces:
+    """Satellite: snapshot() stays consistent under concurrent load.
+
+    ``in_queue = outstanding - running`` is computed from two counters
+    updated by different threads; these tests pin the invariants the
+    arithmetic must hold at every observable instant.
+    """
+
+    def _noop_workflow(self) -> Workflow:
+        workflow = Workflow("noop")
+        workflow.add_input("x")
+        workflow.add_output("y")
+        workflow.add_processor(
+            PythonProcessor(
+                "id", lambda x: x, input_ports={"x": 0}, output_ports={"out": 0}
+            )
+        )
+        workflow.connect("", "x", "id", "x")
+        workflow.link(Port("id", "out"), Port("", "y"))
+        return workflow
+
+    def test_snapshot_invariants_under_concurrent_submit_drain(self, qv_world):
+        framework, _, __ = qv_world
+        workflow = self._noop_workflow()
+        service = framework.runtime(workers=4, queue_size=8)
+        stop = threading.Event()
+        violations = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                snap = service.snapshot()
+                if snap.in_queue < 0:
+                    violations.append(f"in_queue {snap.in_queue} < 0")
+                if snap.running < 0 or snap.running > 4:
+                    violations.append(f"running {snap.running} outside pool")
+                # _outstanding increments (and a worker may even finish
+                # the job) before on_submit() runs, so with a single
+                # submitter every derived count may lead ``submitted``
+                # by at most one in-flight job.
+                if snap.in_queue + snap.running > snap.submitted + 1:
+                    violations.append(
+                        f"live {snap.in_queue}+{snap.running} > "
+                        f"submitted {snap.submitted} + 1"
+                    )
+                if snap.finished > snap.submitted + 1:
+                    violations.append(
+                        f"finished {snap.finished} > "
+                        f"submitted {snap.submitted} + 1"
+                    )
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            handles = [
+                service.submit_workflow(workflow, {"x": i})
+                for i in range(120)
+            ]
+            assert service.drain(timeout=60)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(10)
+            service.shutdown()
+        assert not violations, violations[:10]
+        assert all(h.result(10) == {"y": h.job_id - handles[0].job_id}
+                   for h in handles)
+        final = service.snapshot()
+        assert final.completed == 120
+        assert final.in_queue == 0
+        assert final.running == 0
+
+    def test_snapshot_in_queue_floors_at_zero_mid_transition(self, qv_world):
+        """A worker can be between _try_start and on_start; the clamp
+        keeps the published reading non-negative regardless."""
+        framework, _, __ = qv_world
+        gate, started = threading.Event(), threading.Event()
+        workflow = _blocking_workflow(gate, started)
+        service = framework.runtime(workers=2)
+        try:
+            service.submit_workflow(workflow, {"x": 1})
+            assert started.wait(10)
+            for _ in range(50):
+                snap = service.snapshot()
+                assert snap.in_queue >= 0
+                assert snap.in_queue <= snap.submitted
+        finally:
+            gate.set()
+            service.shutdown()
 
 
 @pytest.mark.slow
