@@ -1,0 +1,171 @@
+"""E19 — durable storage: bulk-load rate, reopen latency, WAL overhead.
+
+The storage subsystem (:mod:`repro.storage`) gives the Sec. 4
+annotation repositories and the serving tier a disk-backed life beyond
+one process.  This experiment measures what that durability costs and
+what the bulk path buys:
+
+* **Bulk load** — stream one million generated triples through
+  :func:`bulk_load_triples` (segment written directly, no per-triple
+  WAL) and report sustained triples/second.
+* **Reopen latency** — open the resulting store cold (segment replay
+  into fresh indexes) and time it; this is the restart cost of a
+  ``repro serve --store-dir`` deployment.
+* **WAL overhead** — write the same incremental workload at
+  ``fsync=always`` / ``batch`` / ``none`` and compare commit rates, so
+  the durability/throughput trade of each mode is a number, not a vibe.
+* **Query parity** — the planned/naive differential re-run on the
+  reopened store; the disk backend must answer byte-identically.
+
+Artefacts land in ``benchmarks/results/E19_storage.txt`` and
+``BENCH_E19.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro.rdf import Graph, Literal, URIRef
+from repro.storage import DiskBackend, bulk_load_triples
+
+EX = "http://example.org/"
+
+#: The bulk-load corpus (acceptance floor: one million triples).
+BULK_TRIPLES = 1_000_000
+#: Incremental workload per WAL sync mode.
+WAL_TRIPLES = 5_000
+#: fsync cadence of the "batch" mode under test.
+FSYNC_BATCH = 64
+
+QUERIES = [
+    f"""SELECT ?s ?x ?y WHERE {{
+        ?s <{EX}p0> ?x .
+        ?s <{EX}p1> ?y .
+    }}""",
+    f"""SELECT ?s ?v WHERE {{
+        ?s <{EX}p2> ?v .
+        FILTER (?v > 500)
+    }}""",
+]
+
+
+def generate_triples(n: int):
+    """A skewed synthetic corpus: 16 predicates, Zipf-ish subjects."""
+    subjects = [URIRef(f"{EX}s{i}") for i in range(n // 10 or 1)]
+    predicates = [URIRef(f"{EX}p{i}") for i in range(16)]
+    for i in range(n):
+        # The object is unique per i: every generated triple is
+        # distinct (the store is a set; duplicates would not count).
+        yield (
+            subjects[(i * i) % len(subjects)],
+            predicates[i % 16],
+            Literal(i),
+        )
+
+
+def solutions(result):
+    return sorted(
+        tuple(sorted((str(v), value.n3()) for v, value in row.items()))
+        for row in result.rows
+    )
+
+
+def test_storage_costs(tmp_path_factory, bench_seed):
+    base = tmp_path_factory.mktemp("e19")
+    lines = []
+    report = {"bulk": {}, "reopen": {}, "wal": {}, "parity": {}}
+
+    # -- bulk load -------------------------------------------------------
+    bulk_dir = str(base / "bulk")
+    bulk = bulk_load_triples(generate_triples(BULK_TRIPLES), bulk_dir)
+    report["bulk"] = {
+        "triples": bulk["triples_loaded"],
+        "seconds": round(bulk["seconds"], 2),
+        "triples_per_second": int(bulk["triples_per_second"]),
+        "segment_mib": round(bulk["segment_bytes"] / 2**20, 1),
+    }
+    lines.append(
+        f"bulk load: {bulk['triples_loaded']:,} triples in "
+        f"{bulk['seconds']:.2f}s = {bulk['triples_per_second']:,.0f} "
+        f"triples/s ({report['bulk']['segment_mib']} MiB segment)"
+    )
+
+    # -- reopen latency --------------------------------------------------
+    started = time.perf_counter()
+    backend = DiskBackend(bulk_dir, sync="none")
+    reopen_seconds = time.perf_counter() - started
+    assert backend.size == BULK_TRIPLES
+    report["reopen"] = {
+        "seconds": round(reopen_seconds, 2),
+        "triples_per_second": int(BULK_TRIPLES / reopen_seconds),
+    }
+    lines.append(
+        f"cold reopen: {BULK_TRIPLES:,} triples in {reopen_seconds:.2f}s "
+        f"= {BULK_TRIPLES / reopen_seconds:,.0f} triples/s"
+    )
+
+    # -- query parity on the reopened store ------------------------------
+    graph = Graph(backend=backend)
+    parity_ok = True
+    for query in QUERIES:
+        planned = solutions(graph.query(query))
+        naive = solutions(graph.query(query, use_planner=False))
+        parity_ok = parity_ok and planned == naive
+    report["parity"] = {"queries": len(QUERIES), "ok": parity_ok}
+    lines.append(
+        f"query parity (planned vs naive, reopened store): "
+        f"{'ok' if parity_ok else 'FAILED'} over {len(QUERIES)} queries"
+    )
+    graph.close()
+
+    # -- WAL overhead per sync mode --------------------------------------
+    workload = list(generate_triples(WAL_TRIPLES))
+    for mode in ("none", "batch", "always"):
+        directory = str(base / f"wal-{mode}")
+        incremental = Graph(
+            backend=DiskBackend(
+                directory, sync=mode, fsync_batch=FSYNC_BATCH
+            )
+        )
+        started = time.perf_counter()
+        for triple in workload:
+            incremental.add(*triple)
+        elapsed = time.perf_counter() - started
+        fsyncs = incremental.backend._wal.fsyncs
+        incremental.close()
+        rate = WAL_TRIPLES / elapsed
+        report["wal"][mode] = {
+            "seconds": round(elapsed, 3),
+            "triples_per_second": int(rate),
+            "fsyncs": fsyncs,
+        }
+        label = f"fsync={mode}" + (
+            f" (every {FSYNC_BATCH})" if mode == "batch" else ""
+        )
+        lines.append(
+            f"incremental {label}: {WAL_TRIPLES:,} commits in "
+            f"{elapsed:.3f}s = {rate:,.0f} triples/s, {fsyncs} fsyncs"
+        )
+    none_rate = report["wal"]["none"]["triples_per_second"]
+    always_rate = report["wal"]["always"]["triples_per_second"]
+    lines.append(
+        f"durability cost: fsync=always runs at "
+        f"{always_rate / none_rate:.1%} of fsync=none throughput"
+    )
+
+    write_table(
+        "E19_storage",
+        "E19 — storage: bulk load, reopen latency, WAL sync modes",
+        lines,
+        seed=bench_seed,
+    )
+    (RESULTS_DIR / "BENCH_E19.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert bulk["triples_loaded"] == BULK_TRIPLES
+    assert parity_ok
+    assert report["wal"]["always"]["fsyncs"] >= WAL_TRIPLES
+    assert report["wal"]["none"]["fsyncs"] == 0

@@ -25,25 +25,77 @@ class RepositoryManager:
     #: The conventional name of the per-execution scratch repository.
     CACHE = "cache"
 
-    def __init__(self, iq_model: Optional[IQModel] = None) -> None:
+    def __init__(
+        self,
+        iq_model: Optional[IQModel] = None,
+        storage_root: Optional[str] = None,
+    ) -> None:
         self.iq_model = iq_model
+        self.storage_root = storage_root
         self._stores: Dict[str, AnnotationStore] = {}
         # Guards the name -> store map so concurrent jobs of the
         # execution runtime can get_or_create repositories safely.
         self._lock = threading.RLock()
         # Every manager offers the per-execution cache by default.
         self.create(self.CACHE, persistent=False)
+        if storage_root is not None:
+            self.attach_storage(storage_root)
 
     def create(self, name: str, persistent: bool = True) -> AnnotationStore:
-        """Create a new named repository; error if the name exists."""
+        """Create a new named repository; error if the name exists.
+
+        With a storage root attached, persistent repositories open a
+        durable store under ``<root>/<name>``; transient ones (the
+        cache) always stay in memory.
+        """
         with self._lock:
             if name in self._stores:
                 raise ValueError(f"repository {name!r} already exists")
+            directory = None
+            if self.storage_root is not None and persistent:
+                directory = str(pathlib.Path(self.storage_root) / name)
             store = AnnotationStore(
-                name, iq_model=self.iq_model, persistent=persistent
+                name,
+                iq_model=self.iq_model,
+                persistent=persistent,
+                directory=directory,
             )
             self._stores[name] = store
             return store
+
+    def attach_storage(self, root: str) -> List[str]:
+        """Make persistent repositories durable under a directory.
+
+        Future :meth:`create` calls open their store under
+        ``<root>/<name>``, and every store directory already present is
+        reopened immediately — a restarted process re-serves warm
+        annotations without re-annotation.  Returns the names reopened.
+        """
+        base = pathlib.Path(root)
+        base.mkdir(parents=True, exist_ok=True)
+        reopened: List[str] = []
+        with self._lock:
+            self.storage_root = str(base)
+            for manifest in sorted(base.glob("*/MANIFEST.json")):
+                name = manifest.parent.name
+                if name not in self._stores:
+                    self.create(name, persistent=True)
+                    reopened.append(name)
+        return reopened
+
+    def flush_all(self) -> None:
+        """Force every repository's pending writes to stable storage."""
+        with self._lock:
+            stores = list(self._stores.values())
+        for store in stores:
+            store.flush()
+
+    def close_all(self) -> None:
+        """Flush and close every repository (process shutdown hook)."""
+        with self._lock:
+            stores = list(self._stores.values())
+        for store in stores:
+            store.close()
 
     def repository(self, name: str) -> AnnotationStore:
         """The repository by name; KeyError lists known names."""

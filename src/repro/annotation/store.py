@@ -110,22 +110,42 @@ class AnnotationStore:
         name: str,
         iq_model: Optional[IQModel] = None,
         persistent: bool = True,
+        directory: Optional[str] = None,
+        sync: str = "batch",
     ) -> None:
         self.name = name
         self.iq_model = iq_model
         self.persistent = persistent
-        self.graph = Graph(f"annotations:{name}")
-        self._instance = next(_instance_counter)
+        self.directory = directory
+        if directory is not None:
+            # A durable repository: annotations survive restart and are
+            # re-served without re-annotation.  The store's open
+            # generation replaces the process-local instance counter in
+            # evidence-node ids, so nodes minted before and after a
+            # restart can never collide.
+            from repro.storage import DiskBackend
+
+            backend = DiskBackend(directory, sync=sync)
+            self.graph = Graph(f"annotations:{name}", backend=backend)
+            self._instance_token = f"g{backend.generation}"
+        else:
+            self.graph = Graph(f"annotations:{name}")
+            self._instance_token = f"i{next(_instance_counter)}"
         self._counter = itertools.count()
         self._stats_lock = threading.Lock()
         self.stats = LookupStats()
+
+    @property
+    def durable(self) -> bool:
+        """True when the repository is backed by an on-disk store."""
+        return self.graph.backend.durable
 
     # -- writing -----------------------------------------------------------
 
     def _new_evidence_node(self) -> URIRef:
         return URIRef(
             f"http://qurator.org/annotation/{self.name}/"
-            f"i{self._instance}e{next(self._counter)}"
+            f"{self._instance_token}e{next(self._counter)}"
         )
 
     def annotate(
@@ -323,6 +343,14 @@ class AnnotationStore:
     def clear(self) -> None:
         """Drop all triples (used for per-execution cache resets)."""
         self.graph.clear()
+
+    def flush(self) -> None:
+        """Force pending writes to stable storage (durable stores)."""
+        self.graph.flush()
+
+    def close(self) -> None:
+        """Flush and release the underlying backend; idempotent."""
+        self.graph.close()
 
     def save(self) -> str:
         """Serialise the repository to N-Triples."""

@@ -36,7 +36,16 @@ Commands:
   (429 + ``Retry-After`` on exhaustion or queue backpressure), plus
   job lifecycle (``/jobs``), dead letters, ``/metrics``, and
   ``/healthz``.  ``--register-example`` pre-registers the Sec. 5.1
-  example view; Ctrl-C shuts down cleanly.
+  example view; ``--store-dir PATH`` makes the deployment durable —
+  registered views and persistent annotation repositories live in
+  disk-backed stores under PATH and are re-served after restart
+  without re-registration; Ctrl-C shuts down cleanly.
+* ``store load|info|compact|snapshot`` — manage durable triple
+  stores: ``load`` streams an N-Triples file into a fresh store
+  through the bulk loader (no per-triple WAL traffic, reports
+  triples/sec), ``info`` prints a store's manifest/recovery summary,
+  ``compact`` folds segments + WAL into one fresh segment, and
+  ``snapshot`` writes a consistent copy to a new directory.
 * ``query <sparql> [--data FILE] [--explain]`` — run a SPARQL query
   over an RDF file (or a synthetic annotation store) through the
   planned execution path; ``--explain`` prints the chosen join order,
@@ -222,6 +231,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--proteins", type=int, default=200)
     serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--store-dir", metavar="PATH", default=None,
+        help="durable state root: registered views and persistent "
+             "annotation repositories survive restart (omit for "
+             "in-memory serving)",
+    )
+    serve.add_argument(
+        "--store-sync", choices=("always", "batch", "none"),
+        default="batch",
+        help="WAL fsync policy of the durable stores",
+    )
+
+    store = commands.add_parser(
+        "store", help="manage durable triple-store directories"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_load = store_commands.add_parser(
+        "load", help="bulk-load an N-Triples file into a fresh store"
+    )
+    store_load.add_argument("file", help="source N-Triples file")
+    store_load.add_argument("directory", help="store directory to create")
+    store_load.add_argument(
+        "--batch-size", type=int, default=50_000, metavar="N",
+        help="triples buffered per index batch",
+    )
+    store_info = store_commands.add_parser(
+        "info", help="print a store's manifest and recovery summary"
+    )
+    store_info.add_argument("directory", help="store directory")
+    store_compact = store_commands.add_parser(
+        "compact", help="fold segments + WAL into one fresh segment"
+    )
+    store_compact.add_argument("directory", help="store directory")
+    store_snapshot = store_commands.add_parser(
+        "snapshot", help="write a consistent copy to a new directory"
+    )
+    store_snapshot.add_argument("directory", help="source store directory")
+    store_snapshot.add_argument("destination", help="directory to create")
 
     query = commands.add_parser(
         "query",
@@ -608,6 +655,8 @@ def _cmd_serve(args) -> int:
             quota_rate=args.quota_rate if args.quota_rate > 0 else None,
             quota_burst=args.quota_burst,
             plan_cache_size=args.plan_cache_size,
+            storage_dir=args.store_dir,
+            storage_sync=args.store_sync,
         ).validated()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -616,6 +665,13 @@ def _cmd_serve(args) -> int:
         server = QualityViewServer(
             framework, runtime, config=serving_config, datasets=datasets
         ).start()
+        if args.store_dir:
+            restored = server.views.names()
+            print(f"durable store: {args.store_dir} "
+                  f"(sync={args.store_sync}; "
+                  f"{len(restored)} view(s) restored"
+                  + (": " + ", ".join(restored) if restored else "")
+                  + ")")
         if args.register_example:
             record = server.views.register(
                 "protein-id-quality",
@@ -637,6 +693,54 @@ def _cmd_serve(args) -> int:
         print("endpoints: PUT /views/{name}  POST /views/{name}/enact  "
               "GET /jobs/{id}  /metrics  /healthz")
         return serve_until_interrupt(server)
+
+
+def _cmd_store(args) -> int:
+    import json
+
+    from repro.storage import DiskBackend, StorageError, bulk_load_ntriples
+
+    try:
+        if args.store_command == "load":
+            if args.batch_size < 1:
+                print(f"error: --batch-size must be >= 1, got "
+                      f"{args.batch_size}", file=sys.stderr)
+                return 2
+            summary = bulk_load_ntriples(
+                args.file, args.directory, batch_size=args.batch_size
+            )
+            print(f"loaded {summary['triples_loaded']} triples "
+                  f"({summary['terms']} terms) into {summary['directory']} "
+                  f"in {summary['seconds']:.2f}s "
+                  f"({summary['triples_per_second']:,.0f} triples/sec, "
+                  f"segment {summary['segment_bytes']:,} bytes)")
+            return 0
+        backend = DiskBackend(args.directory, create=False, sync="none")
+        try:
+            if args.store_command == "info":
+                print(json.dumps(
+                    backend.describe(), indent=2, sort_keys=True
+                ))
+            elif args.store_command == "compact":
+                path = backend.compact()
+                print(f"compacted {args.directory} into {path.name} "
+                      f"({backend.size} triples, "
+                      f"{path.stat().st_size:,} bytes); WAL reset")
+            elif args.store_command == "snapshot":
+                backend.snapshot(args.destination)
+                print(f"snapshot of {args.directory} "
+                      f"({backend.size} triples) written to "
+                      f"{args.destination}")
+        finally:
+            backend.close()
+        return 0
+    except (StorageError, OSError) as exc:
+        details = exc.details() if isinstance(exc, StorageError) else {
+            "code": "os_error", "message": str(exc),
+        }
+        print(f"error: {json.dumps(details, sort_keys=True)}",
+              file=sys.stderr)
+        return 1
 
 
 def _cmd_query(args) -> int:
@@ -747,6 +851,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "info":

@@ -1,6 +1,6 @@
-"""A dictionary-encoded, indexed in-memory triple store.
+"""A dictionary-encoded, indexed triple store over pluggable backends.
 
-Every term is interned once into a per-graph dictionary (``Node`` →
+Every term is interned once into a per-store dictionary (``Node`` →
 dense integer id) and the three permutation indices (SPO, POS, OSP)
 hold those small integers instead of full term objects, so any triple
 pattern with at least one bound position resolves without a full scan
@@ -9,11 +9,23 @@ is the storage layer under the annotation repositories (paper Sec. 5);
 the SPARQL engine in ``repro.rdf.sparql`` evaluates queries over it,
 keeping the store swappable as the paper requires.
 
-Alongside the indices the graph maintains per-predicate cardinality
+Since PR 7 the state itself lives in a *storage backend*
+(:mod:`repro.storage`): :class:`~repro.storage.backend.MemoryBackend`
+holds exactly the structures this module used to keep inline, and
+:class:`~repro.storage.disk.DiskBackend` adds a write-ahead log and
+snapshot segments so a store survives restart.  The graph keeps direct
+aliases (``_term_ids``/``_term_list``/``_spo``/``_pos``/``_osp``/
+``_pred_stats``) onto the backend's structures — backends mutate them
+in place, never rebinding — which is what lets the SPARQL planner
+(``repro.rdf.sparql.plan``) snapshot them once per execution
+regardless of the backend behind them.  ``REPRO_STORAGE_BACKEND``
+selects what a bare ``Graph()`` runs on (see ``repro.storage``).
+
+Alongside the indices the backend maintains per-predicate cardinality
 statistics (triple count, distinct subjects, distinct objects) updated
-incrementally on every add/remove; the query planner in
-``repro.rdf.sparql.plan`` reads them to choose a join order once per
-query instead of re-sorting patterns per solution.
+incrementally on every add/remove; the query planner reads them to
+choose a join order once per query instead of re-sorting patterns per
+solution.
 
 Concurrency contract
 --------------------
@@ -33,141 +45,81 @@ whole (materialising) evaluation.  This is what lets the execution
 runtime share one transient repository session across concurrent
 quality-view jobs — one job's data-enrichment reads while another
 job's annotator writes.  Point ``__contains__`` checks on a fully
-bound triple read a single index cell and take no lock.
+bound triple read a single index cell and take no lock.  Backends are
+externally synchronized: every backend call happens under this lock.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Iterable, Iterator, Optional, Set, Tuple, Union
 
 from repro.rdf.namespace import NamespaceManager
-from repro.rdf.term import BNode, Literal, Node, URIRef
+from repro.rdf.term import Node
 from repro.rdf.triple import Object, Predicate, Subject, Triple, validate_triple
+from repro.storage.backend import (
+    MemoryBackend,
+    PredicateStats,
+    StorageBackend,
+    copy_state,
+)
 
-#: An index level: first-position id -> second-position id -> third ids.
-_Index = Dict[int, Dict[int, Set[int]]]
+__all__ = ["Graph", "PredicateStats", "TriplePattern"]
 
 TriplePattern = Tuple[Optional[Node], Optional[Node], Optional[Node]]
 
 
-class PredicateStats:
-    """Incremental cardinalities of one predicate (planner input)."""
+def _default_backend() -> StorageBackend:
+    mode = os.environ.get("REPRO_STORAGE_BACKEND", "memory").strip()
+    if mode in ("", "memory"):
+        return MemoryBackend()
+    from repro.storage import backend_from_env
 
-    __slots__ = ("triples", "subjects", "objects")
-
-    def __init__(self, triples: int = 0, subjects: int = 0, objects: int = 0):
-        self.triples = triples
-        self.subjects = subjects
-        self.objects = objects
-
-    def copy(self) -> "PredicateStats":
-        return PredicateStats(self.triples, self.subjects, self.objects)
-
-    def __repr__(self) -> str:
-        return (
-            f"PredicateStats(triples={self.triples}, "
-            f"subjects={self.subjects}, objects={self.objects})"
-        )
+    return backend_from_env()
 
 
 class Graph:
     """A set of RDF triples with pattern-matching access paths."""
 
-    def __init__(self, identifier: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        identifier: Optional[str] = None,
+        *,
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
         self.identifier = identifier
-        # Term dictionary: every distinct term gets a dense integer id.
+        self.backend = backend if backend is not None else _default_backend()
+        # Aliases the SPARQL planner snapshots directly; the backend
+        # mutates these structures in place and never rebinds them.
         # Ids are never recycled (removal keeps the dictionary entry),
         # so a decoded id is always valid without holding the lock.
-        self._term_ids: Dict[Node, int] = {}
-        self._term_list: List[Node] = []
-        self._spo: _Index = {}
-        self._pos: _Index = {}
-        self._osp: _Index = {}
-        self._pred_stats: Dict[int, PredicateStats] = {}
-        self._size = 0
+        self._term_ids = self.backend.term_ids
+        self._term_list = self.backend.term_list
+        self._spo = self.backend.spo
+        self._pos = self.backend.pos
+        self._osp = self.backend.osp
+        self._pred_stats = self.backend.pred_stats
         # Serializes index updates; see the module docstring for the
         # exact guarantees readers get.
         self._write_lock = threading.RLock()
         self.namespace_manager = NamespaceManager()
 
+    @property
+    def _size(self) -> int:
+        return self.backend.size
+
     # -- dictionary encoding ----------------------------------------------
 
     def _intern(self, term: Node) -> int:
         """Id of a term, creating one (caller holds the write lock)."""
-        tid = self._term_ids.get(term)
-        if tid is None:
-            tid = len(self._term_list)
-            self._term_ids[term] = tid
-            self._term_list.append(term)
-        return tid
+        return self.backend.intern(term)
 
     def _encode(self, term: Node) -> Optional[int]:
         """Id of a term if it has ever been interned, else ``None``."""
         return self._term_ids.get(term)
 
     # -- mutation ---------------------------------------------------------
-
-    def _insert_encoded(self, sid: int, pid: int, oid: int) -> bool:
-        """Insert one encoded triple; returns True if it was new.
-
-        Caller holds the write lock.  Maintains the per-predicate
-        cardinality statistics incrementally.
-        """
-        by_p = self._spo.get(sid)
-        if by_p is not None:
-            objects = by_p.get(pid)
-            if objects is not None and oid in objects:
-                return False
-        stats = self._pred_stats.get(pid)
-        if stats is None:
-            stats = self._pred_stats[pid] = PredicateStats()
-        if by_p is None or pid not in by_p:
-            stats.subjects += 1
-        by_o = self._pos.get(pid)
-        if by_o is None:
-            self._pos[pid] = by_o = {}
-        if oid not in by_o:
-            stats.objects += 1
-        stats.triples += 1
-        if by_p is None:
-            self._spo[sid] = by_p = {}
-        by_p.setdefault(pid, set()).add(oid)
-        by_o.setdefault(oid, set()).add(sid)
-        self._osp.setdefault(oid, {}).setdefault(sid, set()).add(pid)
-        self._size += 1
-        return True
-
-    def _delete_encoded(self, sid: int, pid: int, oid: int) -> None:
-        """Remove one present encoded triple (caller holds the lock)."""
-        by_p = self._spo[sid]
-        objects = by_p[pid]
-        objects.discard(oid)
-        stats = self._pred_stats[pid]
-        stats.triples -= 1
-        if not objects:
-            del by_p[pid]
-            stats.subjects -= 1
-            if not by_p:
-                del self._spo[sid]
-        by_o = self._pos[pid]
-        subjects = by_o[oid]
-        subjects.discard(sid)
-        if not subjects:
-            del by_o[oid]
-            stats.objects -= 1
-            if not by_o:
-                del self._pos[pid]
-        if stats.triples == 0:
-            del self._pred_stats[pid]
-        by_s = self._osp[oid]
-        preds = by_s[sid]
-        preds.discard(pid)
-        if not preds:
-            del by_s[sid]
-            if not by_s:
-                del self._osp[oid]
-        self._size -= 1
 
     def add(self, *args: object) -> "Graph":
         """Add a triple; accepts ``add(s, p, o)`` or ``add(Triple(...))``."""
@@ -178,10 +130,12 @@ class Graph:
         else:
             raise TypeError("add() takes a Triple or three terms")
         s, p, o = validate_triple(s, p, o)
+        backend = self.backend
         with self._write_lock:
-            self._insert_encoded(
-                self._intern(s), self._intern(p), self._intern(o)
+            backend.insert(
+                backend.intern(s), backend.intern(p), backend.intern(o)
             )
+            backend.commit()
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, tuple]]) -> "Graph":
@@ -190,56 +144,20 @@ class Graph:
         The whole batch is validated and encoded under one lock
         acquisition instead of going triple-by-triple through
         :meth:`add`, and the cardinality statistics are merged once at
-        the end rather than updated per triple.
+        the end rather than updated per triple (``insert_batch``).
         """
         # Materialise first: iterating another Graph must snapshot it
         # (its own lock) before we start holding ours.
         batch = [validate_triple(*t) for t in triples]
         if not batch:
             return self
+        backend = self.backend
         with self._write_lock:
-            intern = self._intern
-            spo, pos, osp = self._spo, self._pos, self._osp
-            added: Dict[int, List[int]] = {}  # pid -> [triples, subj, obj]
-            count = 0
-            for s, p, o in batch:
-                sid, pid, oid = intern(s), intern(p), intern(o)
-                by_p = spo.get(sid)
-                if by_p is None:
-                    spo[sid] = by_p = {}
-                objects = by_p.get(pid)
-                if objects is None:
-                    by_p[pid] = objects = set()
-                    new_subject = True
-                else:
-                    if oid in objects:
-                        continue
-                    new_subject = False
-                by_o = pos.get(pid)
-                if by_o is None:
-                    pos[pid] = by_o = {}
-                new_object = oid not in by_o
-                objects.add(oid)
-                by_o.setdefault(oid, set()).add(sid)
-                osp.setdefault(oid, {}).setdefault(sid, set()).add(pid)
-                delta = added.get(pid)
-                if delta is None:
-                    delta = added[pid] = [0, 0, 0]
-                delta[0] += 1
-                if new_subject:
-                    delta[1] += 1
-                if new_object:
-                    delta[2] += 1
-                count += 1
-            # one statistics merge for the whole batch
-            for pid, (n_triples, n_subjects, n_objects) in added.items():
-                stats = self._pred_stats.get(pid)
-                if stats is None:
-                    stats = self._pred_stats[pid] = PredicateStats()
-                stats.triples += n_triples
-                stats.subjects += n_subjects
-                stats.objects += n_objects
-            self._size += count
+            intern = backend.intern
+            backend.insert_batch(
+                (intern(s), intern(p), intern(o)) for s, p, o in batch
+            )
+            backend.commit()
         return self
 
     def remove(
@@ -249,20 +167,37 @@ class Graph:
         obj: Optional[Node] = None,
     ) -> int:
         """Remove all triples matching the pattern; returns count removed."""
+        backend = self.backend
         with self._write_lock:
             matched = list(self._match_encoded((subject, predicate, obj)))
             for sid, pid, oid in matched:
-                self._delete_encoded(sid, pid, oid)
+                backend.delete(sid, pid, oid)
+            backend.commit()
         return len(matched)
 
     def clear(self) -> None:
         """Remove every triple (the term dictionary is kept)."""
         with self._write_lock:
-            self._spo.clear()
-            self._pos.clear()
-            self._osp.clear()
-            self._pred_stats.clear()
-            self._size = 0
+            self.backend.clear()
+            self.backend.commit()
+
+    # -- durability -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force buffered mutations to stable storage (durable backends)."""
+        with self._write_lock:
+            self.backend.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources; idempotent."""
+        with self._write_lock:
+            self.backend.close()
+
+    def __enter__(self) -> "Graph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- query ------------------------------------------------------------
 
@@ -438,13 +373,13 @@ class Graph:
     # -- collection protocol ----------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        return self.backend.size
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return self.backend.size > 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
@@ -464,43 +399,29 @@ class Graph:
         return result
 
     def __sub__(self, other: "Graph") -> "Graph":
-        result = Graph()
+        result = Graph(backend=MemoryBackend())
         result.add_all(t for t in self if t not in other)
         return result
 
     def __and__(self, other: "Graph") -> "Graph":
         small, large = (self, other) if len(self) <= len(other) else (other, self)
-        result = Graph()
+        result = Graph(backend=MemoryBackend())
         result.add_all(t for t in small if t in large)
         return result
 
     def copy(self) -> "Graph":
-        """An independent copy of the graph.
+        """An independent, memory-backed copy of the graph.
 
         Copies the term dictionary, the three indices and the
         statistics structurally — a bulk index build, not a
-        triple-by-triple re-insertion.
+        triple-by-triple re-insertion.  The statistics are copied
+        explicitly (never recounted), so ``predicate_stats()`` of the
+        copy is identical to the source's by construction; copying a
+        durable graph yields a plain in-memory one.
         """
-        result = Graph(self.identifier)
+        result = Graph(self.identifier, backend=MemoryBackend())
         with self._write_lock:
-            result._term_ids = dict(self._term_ids)
-            result._term_list = list(self._term_list)
-            result._spo = {
-                a: {b: set(c) for b, c in by_b.items()}
-                for a, by_b in self._spo.items()
-            }
-            result._pos = {
-                a: {b: set(c) for b, c in by_b.items()}
-                for a, by_b in self._pos.items()
-            }
-            result._osp = {
-                a: {b: set(c) for b, c in by_b.items()}
-                for a, by_b in self._osp.items()
-            }
-            result._pred_stats = {
-                pid: stats.copy() for pid, stats in self._pred_stats.items()
-            }
-            result._size = self._size
+            copy_state(self.backend, result.backend)
         return result
 
     # -- convenience -------------------------------------------------------
@@ -577,4 +498,4 @@ class Graph:
 
     def __repr__(self) -> str:
         name = self.identifier or "anonymous"
-        return f"<Graph {name} ({self._size} triples)>"
+        return f"<Graph {name} ({self.backend.size} triples)>"

@@ -101,7 +101,17 @@ def parse_ntriples(text: str) -> Iterator[Triple]:
 
     # Split on '\n' only: splitlines() would also break on \x0b/
     # etc., which may legitimately appear escaped inside literals.
-    for line_no, raw in enumerate(text.split("\n"), start=1):
+    return parse_ntriples_lines(text.split("\n"))
+
+
+def parse_ntriples_lines(lines) -> Iterator[Triple]:
+    """Yield triples from an iterable of N-Triples lines.
+
+    The streaming entry point: the bulk loader feeds file objects
+    through here without materialising the document as one string.
+    """
+
+    for line_no, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue

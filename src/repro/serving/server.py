@@ -54,6 +54,7 @@ from repro.serving.registry import (
     UnknownViewError,
     ViewRegistry,
 )
+from repro.storage.errors import StorageError
 
 if TYPE_CHECKING:
     from repro.core.framework import QuratorFramework
@@ -86,6 +87,15 @@ class ServingConfig:
     #: Seconds a ``"wait": true`` enactment blocks before answering 504
     #: (a request ``"timeout"`` overrides, never exceeding this cap).
     wait_timeout: float = 60.0
+    #: Durable state root (``repro serve --store-dir``).  When set, the
+    #: view registry and the persistent annotation repositories open
+    #: disk-backed stores under it: registered views and warm
+    #: annotations survive restart.  ``None`` keeps everything
+    #: in-memory.
+    storage_dir: Optional[str] = None
+    #: WAL sync policy of the serving stores (``always``/``batch``/
+    #: ``none``); see ``repro.storage.wal``.
+    storage_sync: str = "batch"
 
     def validated(self) -> "ServingConfig":
         """Range-check every field; returns self for chaining."""
@@ -115,6 +125,13 @@ class ServingConfig:
         if self.max_body_bytes < 1:
             raise ValueError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        from repro.storage import SYNC_MODES
+
+        if self.storage_sync not in SYNC_MODES:
+            raise ValueError(
+                f"storage_sync must be one of {SYNC_MODES}, "
+                f"got {self.storage_sync!r}"
             )
         return self
 
@@ -169,7 +186,25 @@ class QualityViewServer:
         self.runtime = runtime
         self.config = (config or ServingConfig()).validated()
         self.plan_cache = PlanCache(self.config.plan_cache_size)
-        self.views = ViewRegistry(framework, self.plan_cache)
+        self._views_graph = None
+        if self.config.storage_dir is not None:
+            # Durable serving: registered views persist under
+            # <store-dir>/views, persistent annotation repositories
+            # under <store-dir>/annotations/<name>.  A restarted
+            # server re-serves both without re-registration or
+            # re-annotation.
+            import pathlib
+
+            from repro.storage import open_store
+
+            root = pathlib.Path(self.config.storage_dir)
+            self._views_graph = open_store(
+                str(root / "views"), sync=self.config.storage_sync
+            )
+            framework.repositories.attach_storage(str(root / "annotations"))
+        self.views = ViewRegistry(
+            framework, self.plan_cache, durable_graph=self._views_graph
+        )
         self.quotas = QuotaManager(
             self.config.quota_rate, self.config.quota_burst
         )
@@ -235,13 +270,20 @@ class QualityViewServer:
             self._httpd = None
 
     def close(self, shutdown_runtime: bool = False) -> None:
-        """Shut down and release the socket; optionally drain the runtime."""
+        """Shut down and release the socket; optionally drain the runtime.
+
+        A durable server also flushes and closes its stores, so the
+        next open replays nothing."""
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
         if shutdown_runtime:
             self.runtime.shutdown(drain=True)
+        if self._views_graph is not None:
+            self._views_graph.close()
+            self._views_graph = None
+            self.framework.repositories.close_all()
 
     def __enter__(self) -> "QualityViewServer":
         return self.start()
@@ -283,6 +325,12 @@ class QualityViewServer:
         except wire.WireError as exc:
             status, extra = exc.status, {}
             payload = wire.dumps({"error": "bad_request", "message": str(exc)})
+            content_type = JSON_CONTENT_TYPE
+        except StorageError as exc:
+            # Durable-store trouble answers with the same machine-
+            # readable shape the storage layer raises (code + details).
+            status, extra = 500, {}
+            payload = wire.dumps({"error": exc.code, **exc.details()})
             content_type = JSON_CONTENT_TYPE
         except Exception as exc:  # noqa: BLE001 - request fault boundary
             status, extra = 500, {}
@@ -617,12 +665,32 @@ class QualityViewServer:
             "breakers": breakers,
             "open_endpoints": open_endpoints,
             "plan_cache": self.plan_cache.stats(),
+            "storage": self._storage_health(),
         }
         get_registry().gauge(
             "repro_serving_uptime_seconds",
             "Seconds since the serving process started.",
         ).set(document["uptime_s"])
         return document, 503 if closed else 200
+
+    def _storage_health(self) -> Dict[str, Any]:
+        """The durable-store section of ``/healthz``."""
+        if self._views_graph is None:
+            return {"durable": False}
+        stores: Dict[str, Any] = {
+            "views": self._views_graph.backend.describe()
+        }
+        for store in self.framework.repositories:
+            if store.durable:
+                stores[f"annotations/{store.name}"] = (
+                    store.graph.backend.describe()
+                )
+        return {
+            "durable": True,
+            "directory": self.config.storage_dir,
+            "sync": self.config.storage_sync,
+            "stores": stores,
+        }
 
     def _telemetry(self) -> Dict[str, Any]:
         document = json_snapshot(

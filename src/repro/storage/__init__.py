@@ -1,0 +1,124 @@
+"""repro.storage — persistent, pluggable triple-store backends.
+
+The package splits the dictionary-encoded triple store (PR 4) into a
+front end (:class:`repro.rdf.graph.Graph`, unchanged API) and a
+*storage backend* owning the term dictionary, the SPO/POS/OSP indices
+and the per-predicate statistics:
+
+* :class:`MemoryBackend` — the in-memory structures, verbatim;
+* :class:`DiskBackend` — the same structures plus a write-ahead log
+  with group-commit fsync batching, snapshot segments, crash-recovery
+  replay, compaction and snapshot/restore (:mod:`repro.storage.disk`);
+* :func:`bulk_load_ntriples` — a streaming loader that builds a store
+  directory without per-triple WAL traffic (:mod:`repro.storage.bulk`).
+
+``REPRO_STORAGE_BACKEND`` selects what a plain ``Graph()`` runs on:
+
+* ``memory`` (default) — :class:`MemoryBackend`;
+* ``disk-scratch`` — a :class:`DiskBackend` in a per-process scratch
+  directory with ``sync="none"``, removed at interpreter exit.  CI
+  uses this to run the whole rdf/sparql/annotation test tier against
+  the durable backend without touching a single test.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+from typing import Optional
+
+from repro.storage.backend import (
+    EncodedTriple,
+    MemoryBackend,
+    PredicateStats,
+    StorageBackend,
+    copy_state,
+)
+from repro.storage.bulk import bulk_load_ntriples, bulk_load_triples
+from repro.storage.disk import DiskBackend
+from repro.storage.errors import SnapshotMismatch, StorageError, WALCorruption
+from repro.storage.wal import SYNC_MODES, WALWriter
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "DiskBackend",
+    "PredicateStats",
+    "EncodedTriple",
+    "copy_state",
+    "StorageError",
+    "WALCorruption",
+    "SnapshotMismatch",
+    "WALWriter",
+    "SYNC_MODES",
+    "bulk_load_ntriples",
+    "bulk_load_triples",
+    "backend_from_env",
+    "open_store",
+    "scratch_directory",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable selecting the default ``Graph()`` backend.
+BACKEND_ENV_VAR = "REPRO_STORAGE_BACKEND"
+
+_scratch_lock = threading.Lock()
+_scratch_root: Optional[str] = None
+_scratch_counter = itertools.count(1)
+
+
+def _cleanup_scratch() -> None:
+    global _scratch_root
+    if _scratch_root is not None:
+        shutil.rmtree(_scratch_root, ignore_errors=True)
+        _scratch_root = None
+
+
+def scratch_directory() -> str:
+    """A fresh store directory under the per-process scratch root.
+
+    The root is created lazily and removed at interpreter exit; each
+    call returns a distinct subdirectory.
+    """
+    global _scratch_root
+    with _scratch_lock:
+        if _scratch_root is None:
+            _scratch_root = tempfile.mkdtemp(prefix="repro-store-")
+            atexit.register(_cleanup_scratch)
+        return os.path.join(
+            _scratch_root, f"scratch-{next(_scratch_counter):06d}"
+        )
+
+
+def backend_from_env() -> StorageBackend:
+    """The backend a bare ``Graph()`` should run on (env-selected)."""
+    mode = os.environ.get(BACKEND_ENV_VAR, "memory").strip() or "memory"
+    if mode == "memory":
+        return MemoryBackend()
+    if mode == "disk-scratch":
+        return DiskBackend(scratch_directory(), sync="none")
+    raise StorageError(
+        f"{BACKEND_ENV_VAR}={mode!r} is not a known backend "
+        "(expected 'memory' or 'disk-scratch')"
+    )
+
+
+def open_store(
+    directory: str,
+    *,
+    sync: str = "batch",
+    fsync_batch: int = 64,
+    create: bool = True,
+):
+    """Open (or create) a durable store as a ready-to-use ``Graph``."""
+    from repro.rdf.graph import Graph
+
+    return Graph(
+        backend=DiskBackend(
+            directory, sync=sync, fsync_batch=fsync_batch, create=create
+        )
+    )

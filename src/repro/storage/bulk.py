@@ -1,0 +1,118 @@
+"""Streaming bulk loader: N-Triples file -> fresh store directory.
+
+Loading a large dataset through the WAL would write every triple twice
+(once to the log, once again at the next compaction) and pay a framing
+record per triple.  The bulk loader skips the WAL entirely: it streams
+the source file through the N-Triples parser, builds the in-memory
+indices with the merged-stats batch path, then writes one snapshot
+segment plus a fresh manifest and an empty WAL.  The resulting
+directory is a complete store — opening it replays nothing.
+
+Benchmark E19 (``benchmarks/bench_storage.py``) reports the loader's
+triples/second against the per-triple WAL path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Iterable, Optional
+
+from repro.observability import get_registry
+from repro.rdf.serializer import parse_ntriples_lines
+from repro.rdf.triple import Triple
+from repro.storage import disk as disk_module
+from repro.storage.backend import MemoryBackend
+from repro.storage.errors import StorageError
+
+#: Encoded triples buffered between ``insert_batch`` calls.
+DEFAULT_BATCH_SIZE = 50_000
+
+_BULK_SECONDS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+                         60.0, 120.0, 300.0, 600.0)
+
+
+def bulk_load_triples(
+    triples: Iterable[Triple],
+    directory: str,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Dict[str, Any]:
+    """Build a fresh store at ``directory`` from an iterable of triples.
+
+    The destination must not already hold a store.  Returns a summary
+    dict (triples read/loaded, terms, elapsed seconds, triples/sec,
+    segment bytes).
+    """
+    dest = pathlib.Path(directory)
+    if (dest / disk_module.MANIFEST_NAME).exists():
+        raise StorageError(
+            f"bulk load destination {dest} already holds a store",
+            directory=str(dest),
+        )
+    dest.mkdir(parents=True, exist_ok=True)
+    started = time.perf_counter()
+    backend = MemoryBackend()
+    intern = backend.intern
+    batch = []
+    read = 0
+    loaded = 0
+    for triple in triples:
+        read += 1
+        subject, predicate, obj = triple
+        batch.append((intern(subject), intern(predicate), intern(obj)))
+        if len(batch) >= batch_size:
+            loaded += backend.insert_batch(batch)
+            batch.clear()
+    if batch:
+        loaded += backend.insert_batch(batch)
+    entry = disk_module.write_segment(dest / "seg-000001.seg", backend)
+    manifest = disk_module._fresh_manifest()
+    manifest["segments"] = [entry]
+    manifest["next_segment"] = 2
+    tmp = dest / (disk_module.MANIFEST_NAME + ".tmp")
+    tmp.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", "utf-8"
+    )
+    os.replace(tmp, dest / disk_module.MANIFEST_NAME)
+    (dest / disk_module.WAL_NAME).touch()
+    elapsed = time.perf_counter() - started
+    registry = get_registry()
+    registry.counter(
+        "repro_storage_bulk_load_triples_total",
+        "Triples ingested by the bulk loader.",
+    ).inc(read)
+    registry.histogram(
+        "repro_storage_bulk_load_seconds",
+        "Wall-clock seconds of one bulk load.",
+        buckets=_BULK_SECONDS_BUCKETS,
+    ).observe(elapsed)
+    return {
+        "directory": str(dest),
+        "triples_read": read,
+        "triples_loaded": loaded,
+        "terms": len(backend.term_list),
+        "seconds": elapsed,
+        "triples_per_second": (read / elapsed) if elapsed > 0 else 0.0,
+        "segment_bytes": entry["bytes"],
+    }
+
+
+def bulk_load_ntriples(
+    source: str,
+    directory: str,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Dict[str, Any]:
+    """Stream an N-Triples file into a fresh store at ``directory``."""
+    source_path = pathlib.Path(source)
+    with open(source_path, "r", encoding="utf-8") as handle:
+        summary = bulk_load_triples(
+            parse_ntriples_lines(line.rstrip("\n") for line in handle),
+            directory,
+            batch_size=batch_size,
+        )
+    summary["source"] = str(source_path)
+    return summary

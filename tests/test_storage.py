@@ -1,0 +1,540 @@
+"""The persistent storage subsystem: WAL, segments, recovery, bulk load.
+
+The durability contract under test: every committed graph mutation
+survives a process crash at *any* byte boundary — the write-ahead log
+replays complete records and silently truncates a torn tail, while a
+genuinely corrupt record (bad CRC mid-log) refuses to open with a
+machine-readable :class:`WALCorruption`.  Segments carry a footer with
+counts and predicate statistics that are re-verified on every load, so
+a tampered or bit-rotten snapshot fails loudly as
+:class:`SnapshotMismatch` instead of silently mis-planning queries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+
+import pytest
+
+from repro.rdf import BNode, Graph, Literal, URIRef
+from repro.storage import (
+    BACKEND_ENV_VAR,
+    DiskBackend,
+    MemoryBackend,
+    SnapshotMismatch,
+    StorageError,
+    WALCorruption,
+    WALWriter,
+    backend_from_env,
+    bulk_load_ntriples,
+    bulk_load_triples,
+    open_store,
+)
+from repro.storage.records import (
+    OP_ADD,
+    RecordScanner,
+    add_payload,
+    decode_term,
+    encode_record,
+    encode_term,
+)
+
+EX = "http://example.org/"
+
+
+def triple(i: int):
+    return (
+        URIRef(f"{EX}s{i % 7}"),
+        URIRef(f"{EX}p{i % 3}"),
+        Literal(f"value-{i}"),
+    )
+
+
+def populated_disk_graph(directory: str, n: int = 40, **kwargs) -> Graph:
+    kwargs.setdefault("sync", "always")
+    graph = Graph(backend=DiskBackend(directory, **kwargs))
+    for i in range(n):
+        graph.add(*triple(i))
+    return graph
+
+
+class TestTermCodec:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            URIRef(f"{EX}resource"),
+            BNode("b42"),
+            Literal("plain"),
+            Literal("42", datatype=URIRef("http://www.w3.org/2001/XMLSchema#integer")),
+            Literal("bonjour", lang="fr"),
+            Literal(""),
+            Literal("snowman ☃ and newline\nand tab\t"),
+        ],
+    )
+    def test_round_trip(self, term):
+        blob = encode_term(term)
+        decoded, offset = decode_term(blob, 0)
+        assert decoded == term
+        assert type(decoded) is type(term)
+        assert offset == len(blob)
+        if isinstance(term, Literal):
+            assert decoded.datatype == term.datatype
+            assert decoded.lang == term.lang
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_term(b"\xffjunk", 0)
+
+
+class TestRecordScanner:
+    def test_clean_stream(self):
+        data = b"".join(
+            encode_record(add_payload(i, i + 1, i + 2)) for i in range(5)
+        )
+        scanner = RecordScanner(data)
+        records = list(scanner)
+        assert len(records) == 5
+        assert scanner.status == "clean"
+        assert scanner.end == len(data)
+
+    def test_torn_tail_is_reported_not_fatal(self):
+        whole = encode_record(add_payload(1, 2, 3))
+        data = whole + encode_record(add_payload(4, 5, 6))[:-3]
+        scanner = RecordScanner(data)
+        records = list(scanner)
+        assert len(records) == 1
+        assert scanner.status == "torn"
+        assert scanner.end == len(whole)
+
+    def test_corrupt_crc_mid_stream(self):
+        first = bytearray(encode_record(add_payload(1, 2, 3)))
+        second = encode_record(add_payload(4, 5, 6))
+        first[-1] ^= 0xFF  # flip a payload byte: CRC of record 0 fails
+        scanner = RecordScanner(bytes(first) + second)
+        list(scanner)
+        assert scanner.status == "corrupt"
+        assert scanner.error is not None
+
+
+class TestDiskBackendRoundTrip:
+    def test_reopen_restores_triples_terms_and_stats(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=40)
+        graph.remove(*triple(0))
+        expected = sorted(graph.triples(), key=repr)
+        predicates = [URIRef(f"{EX}p{i}") for i in range(3)]
+        expected_stats = {
+            p: graph.predicate_stats(p).as_tuple() for p in predicates
+        }
+        graph.close()
+
+        reopened = Graph(backend=DiskBackend(directory, sync="none"))
+        assert sorted(reopened.triples(), key=repr) == expected
+        for p in predicates:
+            assert reopened.predicate_stats(p).as_tuple() == expected_stats[p]
+        info = reopened.backend.describe()
+        assert info["recovery"]["outcome"] == "clean"
+        assert info["opens"] == 2
+        reopened.close()
+
+    def test_term_ids_are_stable_across_reopen(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=12)
+        ids_before = dict(graph.backend.term_ids)
+        graph.close()
+        reopened = DiskBackend(directory, sync="none")
+        assert dict(reopened.term_ids) == ids_before
+        reopened.close()
+
+    def test_clear_persists(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=10)
+        graph.clear()
+        graph.add(*triple(99))
+        graph.close()
+        reopened = Graph(backend=DiskBackend(directory, sync="none"))
+        assert len(reopened) == 1
+        assert triple(99) in reopened
+        reopened.close()
+
+    def test_missing_store_without_create(self, tmp_path):
+        with pytest.raises(StorageError) as excinfo:
+            DiskBackend(str(tmp_path / "nope"), create=False)
+        assert excinfo.value.code == "storage_error"
+        assert "nope" in excinfo.value.details()["directory"]
+
+    def test_context_manager_closes(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with open_store(directory, sync="none") as graph:
+            graph.add(*triple(1))
+        backend = DiskBackend(directory, sync="none")
+        assert backend.size == 1
+        backend.close()
+
+
+class TestWALRecovery:
+    def test_truncation_at_every_byte_boundary_of_last_record(self, tmp_path):
+        """Satellite 3: a crash mid-write of the final WAL record must
+        reopen to exactly the last fully-committed state, with no
+        partial triples, for *every* possible torn-tail length."""
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=5)
+        committed = sorted(graph.triples(), key=repr)
+        wal_path = pathlib.Path(directory) / "store.wal"
+        base_size = wal_path.stat().st_size
+        # One more committed mutation: the record we will tear.
+        graph.add(*triple(999))
+        graph.close()
+        full = wal_path.read_bytes()
+        last_record = full[base_size:]
+        assert last_record, "the final add must have produced WAL bytes"
+
+        for cut in range(len(last_record)):
+            wal_path.write_bytes(full[: base_size + cut])
+            backend = DiskBackend(directory, sync="none")
+            reopened = Graph(backend=backend)
+            assert sorted(reopened.triples(), key=repr) == committed, (
+                f"torn tail of {cut} bytes must replay to committed state"
+            )
+            # A cut on an interior record boundary of the final commit
+            # (the adds's TERM records precede its ADD) replays clean;
+            # any other cut is a torn tail that recovery truncates.
+            info = backend.describe()
+            outcome = info["recovery"]["outcome"]
+            assert outcome in ("clean", "torn_tail")
+            if outcome == "torn_tail":
+                assert info["recovery"]["wal_truncated_bytes"] > 0
+            reopened.close()
+            # Recovery rewrites the WAL tail; restore the scenario.
+            wal_path.write_bytes(full)
+
+        # And the untouched full WAL replays the final triple.
+        backend = DiskBackend(directory, sync="none")
+        assert triple(999) in Graph(backend=backend)
+        backend.close()
+
+    def test_interior_corruption_is_wal_corruption(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=8)
+        graph.close()
+        wal_path = pathlib.Path(directory) / "store.wal"
+        blob = bytearray(wal_path.read_bytes())
+        assert len(blob) > 20
+        blob[10] ^= 0xFF  # inside the first record, not the tail
+        wal_path.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruption) as excinfo:
+            DiskBackend(directory, sync="none")
+        error = excinfo.value
+        assert error.code == "wal_corruption"
+        details = error.details()
+        assert details["code"] == "wal_corruption"
+        assert isinstance(details["offset"], int)
+
+    def test_absurd_record_length_is_corruption(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=3)
+        graph.close()
+        wal_path = pathlib.Path(directory) / "store.wal"
+        bogus = struct.pack("<II", 0x7FFFFFFF, 0) + b"x" * 64
+        wal_path.write_bytes(bogus + wal_path.read_bytes())
+        with pytest.raises(WALCorruption):
+            DiskBackend(directory, sync="none")
+
+
+class TestSnapshotVerification:
+    def test_tampered_segment_is_snapshot_mismatch(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=30)
+        graph.backend.compact()
+        graph.close()
+        segments = sorted(pathlib.Path(directory).glob("*.seg"))
+        assert segments
+        blob = bytearray(segments[-1].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        segments[-1].write_bytes(bytes(blob))
+        with pytest.raises((SnapshotMismatch, WALCorruption)) as excinfo:
+            DiskBackend(directory, sync="none")
+        assert excinfo.value.code in ("snapshot_mismatch", "wal_corruption")
+
+    def test_bad_magic_is_snapshot_mismatch(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=5)
+        graph.backend.compact()
+        graph.close()
+        segment = sorted(pathlib.Path(directory).glob("*.seg"))[-1]
+        blob = bytearray(segment.read_bytes())
+        blob[0] ^= 0xFF
+        segment.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotMismatch) as excinfo:
+            DiskBackend(directory, sync="none")
+        assert excinfo.value.code == "snapshot_mismatch"
+        assert excinfo.value.details()["segment"]
+
+    def test_missing_segment_file(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=5)
+        graph.backend.compact()
+        graph.close()
+        for segment in pathlib.Path(directory).glob("*.seg"):
+            segment.unlink()
+        with pytest.raises(StorageError):
+            DiskBackend(directory, sync="none")
+
+
+class TestCompactionAndSnapshot:
+    def test_compaction_folds_wal_into_segment(self, tmp_path):
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=25)
+        graph.remove(*triple(3))
+        expected = sorted(graph.triples(), key=repr)
+        wal_path = pathlib.Path(directory) / "store.wal"
+        assert wal_path.stat().st_size > 0
+        segment = graph.backend.compact()
+        assert segment.exists()
+        assert wal_path.stat().st_size == 0
+        graph.close()
+        reopened = Graph(backend=DiskBackend(directory, sync="none"))
+        assert sorted(reopened.triples(), key=repr) == expected
+        assert reopened.backend.describe()["compactions"] == 1
+        reopened.close()
+
+    def test_snapshot_is_an_independent_store(self, tmp_path):
+        source_dir = str(tmp_path / "source")
+        dest_dir = str(tmp_path / "dest")
+        graph = populated_disk_graph(source_dir, n=15)
+        expected = sorted(graph.triples(), key=repr)
+        graph.backend.snapshot(dest_dir)
+        # Diverge the source after the snapshot.
+        graph.add(*triple(777))
+        graph.close()
+        restored = Graph(backend=DiskBackend(dest_dir, sync="none"))
+        assert sorted(restored.triples(), key=repr) == expected
+        assert triple(777) not in restored
+        restored.close()
+
+    def test_snapshot_refuses_existing_store(self, tmp_path):
+        source_dir = str(tmp_path / "source")
+        graph = populated_disk_graph(source_dir, n=3)
+        with pytest.raises(StorageError):
+            graph.backend.snapshot(source_dir)
+        graph.close()
+
+
+class TestWALWriterPolicies:
+    def test_fsync_batching_counts(self, tmp_path):
+        path = str(tmp_path / "w.wal")
+        writer = WALWriter(path, sync="batch", fsync_batch=4)
+        for i in range(10):
+            writer.append(add_payload(i, i, i))
+            writer.commit()
+        assert writer.commits == 10
+        assert writer.fsyncs == 2  # commits 4 and 8
+        writer.flush()
+        assert writer.fsyncs == 3
+        writer.close()
+
+    def test_sync_none_never_fsyncs(self, tmp_path):
+        writer = WALWriter(str(tmp_path / "w.wal"), sync="none")
+        writer.append(add_payload(1, 2, 3))
+        writer.commit()
+        writer.flush()
+        assert writer.fsyncs == 0
+        writer.close()
+
+    def test_sync_always_fsyncs_every_commit(self, tmp_path):
+        writer = WALWriter(str(tmp_path / "w.wal"), sync="always")
+        for i in range(3):
+            writer.append(add_payload(i, i, i))
+            writer.commit()
+        assert writer.fsyncs == 3
+        writer.close()
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WALWriter(str(tmp_path / "w.wal"), sync="sometimes")
+
+
+class TestBulkLoader:
+    def test_load_triples_then_reopen(self, tmp_path):
+        directory = str(tmp_path / "bulk")
+        triples = [triple(i) for i in range(2000)]
+        report = bulk_load_triples(triples, directory, batch_size=256)
+        assert report["triples_loaded"] == 2000
+        assert report["triples_per_second"] > 0
+        graph = Graph(backend=DiskBackend(directory, sync="none"))
+        assert len(graph) == 2000
+        assert sorted(graph.triples(), key=repr) == sorted(triples, key=repr)
+        # Bulk load must produce the same stats as incremental adds.
+        incremental = Graph()
+        incremental.add_all(triples)
+        for i in range(3):
+            p = URIRef(f"{EX}p{i}")
+            assert (
+                graph.predicate_stats(p).as_tuple()
+                == incremental.predicate_stats(p).as_tuple()
+            )
+        graph.close()
+
+    def test_load_ntriples_file(self, tmp_path):
+        source = Graph()
+        for i in range(120):
+            source.add(*triple(i))
+        nt_path = tmp_path / "data.nt"
+        nt_path.write_text(source.serialize())
+        directory = str(tmp_path / "bulk")
+        report = bulk_load_ntriples(str(nt_path), directory)
+        assert report["triples_loaded"] == 120
+        graph = Graph(backend=DiskBackend(directory, sync="none"))
+        assert sorted(graph.triples(), key=repr) == sorted(
+            source.triples(), key=repr
+        )
+        graph.close()
+
+    def test_refuses_to_load_over_existing_store(self, tmp_path):
+        directory = str(tmp_path / "bulk")
+        bulk_load_triples([triple(0)], directory)
+        with pytest.raises(StorageError):
+            bulk_load_triples([triple(1)], directory)
+
+
+class TestBackendSelection:
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert Graph().backend.kind == "memory"
+        assert backend_from_env().kind == "memory"
+
+    def test_env_selects_disk_scratch(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "disk-scratch")
+        graph = Graph()
+        assert graph.backend.kind == "disk"
+        assert graph.backend.durable
+        graph.add(*triple(1))
+        assert len(graph) == 1
+        graph.close()
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "floppy")
+        with pytest.raises(StorageError):
+            backend_from_env()
+
+
+class TestGraphCopySemantics:
+    """Satellite 1: copies and unions rebuild stats explicitly."""
+
+    def test_stats_identical_across_copy_bulk_incremental_and_reopen(
+        self, tmp_path
+    ):
+        triples = [triple(i) for i in range(60)]
+        incremental = Graph()
+        for t in triples:
+            incremental.add(*t)
+        bulk = Graph()
+        bulk.add_all(triples)
+        copied = incremental.copy()
+        union = Graph() + incremental
+        disk = populated_disk_graph(str(tmp_path / "store"), n=0)
+        disk.add_all(triples)
+        disk.close()
+        reopened = Graph(backend=DiskBackend(str(tmp_path / "store"), sync="none"))
+        graphs = {
+            "incremental": incremental,
+            "bulk": bulk,
+            "copy": copied,
+            "union": union,
+            "reopened-disk": reopened,
+        }
+        for i in range(3):
+            p = URIRef(f"{EX}p{i}")
+            reference = incremental.predicate_stats(p).as_tuple()
+            for label, graph in graphs.items():
+                assert graph.predicate_stats(p).as_tuple() == reference, label
+        reopened.close()
+
+    def test_copy_of_disk_graph_is_memory_and_independent(self, tmp_path):
+        disk = populated_disk_graph(str(tmp_path / "store"), n=10)
+        clone = disk.copy()
+        assert clone.backend.kind == "memory"
+        clone.add(*triple(500))
+        assert len(clone) == len(disk) + 1
+        disk.close()
+
+
+class TestStoreCLI:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_load_info_compact_snapshot(self, tmp_path, capsys):
+        source = Graph()
+        for i in range(200):
+            source.add(*triple(i))
+        nt_path = tmp_path / "data.nt"
+        nt_path.write_text(source.serialize())
+        store_dir = str(tmp_path / "s1")
+        snap_dir = str(tmp_path / "s2")
+
+        assert self.run_cli("store", "load", str(nt_path), store_dir) == 0
+        out = capsys.readouterr().out
+        assert "200 triples" in out and "triples/sec" in out
+
+        assert self.run_cli("store", "info", store_dir) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["triples"] == 200
+        assert info["kind"] == "disk"
+
+        assert self.run_cli("store", "compact", store_dir) == 0
+        capsys.readouterr()
+        assert self.run_cli("store", "snapshot", store_dir, snap_dir) == 0
+        capsys.readouterr()
+        graph = Graph(backend=DiskBackend(snap_dir, sync="none"))
+        assert len(graph) == 200
+        graph.close()
+
+    def test_missing_store_errors_machine_readably(self, tmp_path, capsys):
+        assert self.run_cli("store", "info", str(tmp_path / "absent")) == 1
+        err = capsys.readouterr().err
+        payload = json.loads(err.split("error:", 1)[1])
+        assert payload["code"] == "storage_error"
+
+
+class TestStorageMetrics:
+    def test_storage_metric_names_pass_the_lint(self):
+        from repro.observability.registry import METRIC_NAME_RE
+
+        for name in (
+            "repro_storage_wal_records_total",
+            "repro_storage_wal_fsyncs_total",
+            "repro_storage_open_backends",
+            "repro_storage_recoveries_total",
+            "repro_storage_segment_write_seconds",
+            "repro_storage_compactions_total",
+            "repro_storage_snapshots_total",
+            "repro_storage_bulk_load_triples_total",
+            "repro_storage_bulk_load_seconds",
+        ):
+            assert METRIC_NAME_RE.match(name), name
+
+    def test_recovery_outcome_metric_emitted(self, tmp_path):
+        from repro.observability import get_registry
+
+        directory = str(tmp_path / "store")
+        graph = populated_disk_graph(directory, n=4)
+        graph.close()
+        registry = get_registry()
+        before = registry.counter(
+            "repro_storage_recoveries_total",
+            "Store opens by recovery outcome.",
+            labels=("outcome",),
+        ).labels(outcome="clean").value
+        backend = DiskBackend(directory, sync="none")
+        backend.close()
+        after = registry.counter(
+            "repro_storage_recoveries_total",
+            "Store opens by recovery outcome.",
+            labels=("outcome",),
+        ).labels(outcome="clean").value
+        assert after == before + 1
