@@ -1,0 +1,145 @@
+"""E20 — incremental vs full re-enactment across delta ratios.
+
+The streaming subsystem's core bet is that absorbing a delta through
+the :class:`repro.stream.IncrementalEnactor` costs work proportional
+to the delta, not to the data set.  This experiment measures that bet
+directly: over a feed-backed Sec. 5.1 deployment at paper-plus scale
+(hundreds of tracked items), sweep the fraction of the data set each
+delta touches from 1% to 50% and time (a) the incremental apply and
+(b) the full batch recompute of the same state — the differential
+oracle the incremental path must stay byte-equal to.
+
+Measured: mean apply/recompute wall time per ratio, the speedup, the
+memo hit rate, and the per-step differential verdict.  Acceptance:
+every timed step byte-equal, and ≥3x speedup at delta ratios ≤10%.
+Artefacts land in ``benchmarks/results/E20_streaming.txt`` and
+``BENCH_E20.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from repro.serving import wire
+from repro.stream import Delta, IncrementalEnactor
+from repro.stream.scenario import build_stream_scenario, random_row, stream_item
+
+#: Tracked items (the paper's 10-spot world yields a few hundred hits).
+N_ITEMS = 320
+#: Timed update deltas per ratio (after an untimed bootstrap).
+STEPS = 5
+#: Fractions of the data set each delta touches.
+DELTA_RATIOS = (0.01, 0.05, 0.10, 0.25, 0.50)
+#: Required incremental speedup at delta ratios of at most 10%.
+SPEEDUP_FLOOR, SMALL_DELTA = 3.0, 0.10
+
+
+def _result_bytes(result) -> bytes:
+    return wire.dumps(wire.encode_result(result))
+
+
+def _sweep_ratio(ratio: float, seed: int):
+    """One ratio's timed steps; returns the aggregate row."""
+    rng = random.Random(seed)
+    scenario = build_stream_scenario()
+    enactor = IncrementalEnactor(scenario.view, feed=scenario.table)
+    universe = [stream_item(i) for i in range(N_ITEMS)]
+    enactor.apply(Delta(upserts={item: random_row(rng) for item in universe}))
+
+    batch = max(1, int(N_ITEMS * ratio))
+    cursor = 0
+    apply_seconds, oracle_seconds = [], []
+    hit_rates = []
+    mismatches = 0
+    for _ in range(STEPS):
+        touched = [universe[(cursor + k) % N_ITEMS] for k in range(batch)]
+        cursor = (cursor + batch) % N_ITEMS
+        delta = Delta(upserts={item: random_row(rng) for item in touched})
+
+        started = time.perf_counter()
+        outcome = enactor.apply(delta)
+        apply_seconds.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        oracle = enactor.full_recompute()
+        oracle_seconds.append(time.perf_counter() - started)
+
+        if _result_bytes(outcome.result) != _result_bytes(oracle):
+            mismatches += 1
+        lookups = outcome.report.memo_hits + outcome.report.memo_misses
+        hit_rates.append(outcome.report.memo_hits / lookups if lookups else 0.0)
+
+    mean_apply = sum(apply_seconds) / STEPS
+    mean_oracle = sum(oracle_seconds) / STEPS
+    return {
+        "delta_ratio": ratio,
+        "items_touched": batch,
+        "apply_ms": round(1000 * mean_apply, 3),
+        "full_recompute_ms": round(1000 * mean_oracle, 3),
+        "speedup": round(mean_oracle / mean_apply, 2),
+        "memo_hit_rate": round(sum(hit_rates) / STEPS, 4),
+        "byte_equal_steps": STEPS - mismatches,
+        "steps": STEPS,
+    }
+
+
+def test_e20_incremental_vs_full_recompute(bench_seed):
+    rows = [
+        _sweep_ratio(ratio, bench_seed + index)
+        for index, ratio in enumerate(DELTA_RATIOS)
+    ]
+
+    all_byte_equal = all(row["byte_equal_steps"] == row["steps"] for row in rows)
+    small = [row for row in rows if row["delta_ratio"] <= SMALL_DELTA]
+    small_speedup = min(row["speedup"] for row in small)
+    acceptance = {
+        "byte_equal_ok": all_byte_equal,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "small_delta_ratio": SMALL_DELTA,
+        "small_delta_min_speedup": small_speedup,
+        "small_delta_speedup_ok": small_speedup >= SPEEDUP_FLOOR,
+    }
+    summary = {
+        "experiment": "E20_streaming",
+        "seed": bench_seed,
+        "items": N_ITEMS,
+        "steps_per_ratio": STEPS,
+        "acceptance": acceptance,
+        "sweep": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_E20.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"data set: {N_ITEMS} items, {STEPS} timed deltas per ratio "
+        f"(untimed bootstrap first)",
+        "",
+        f"{'ratio':>6} {'touched':>8} {'apply ms':>10} {'full ms':>10} "
+        f"{'speedup':>8} {'memo hit':>9} {'byte-eq':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['delta_ratio']:>6.0%} {row['items_touched']:>8} "
+            f"{row['apply_ms']:>10.2f} {row['full_recompute_ms']:>10.2f} "
+            f"{row['speedup']:>7.1f}x {row['memo_hit_rate']:>8.0%} "
+            f"{row['byte_equal_steps']:>5}/{row['steps']}"
+        )
+    lines += [
+        "",
+        "acceptance: " + ", ".join(
+            f"{name}={value}" for name, value in acceptance.items()
+        ),
+    ]
+    write_table(
+        "E20_streaming",
+        "E20 — incremental apply vs full recompute across delta ratios",
+        lines,
+        seed=bench_seed,
+    )
+    assert all_byte_equal, rows
+    assert small_speedup >= SPEEDUP_FLOOR, rows

@@ -40,10 +40,24 @@ Commands:
   registered views and persistent annotation repositories live in
   disk-backed stores under PATH and are re-served after restart
   without re-registration; Ctrl-C shuts down cleanly.
+* ``stream [--events FILE] [--cursor-dir PATH]`` — run the streaming
+  quality-view engine over a delta feed: each record is absorbed
+  incrementally (only touched items re-annotated, QA verdicts served
+  from the memo table when unaffected), the surviving fraction feeds
+  tumbling/sliding windows and EWMA/CUSUM drift detectors, and drift
+  raises events through the observability event log.  Without
+  ``--events`` a seeded synthetic feed is generated (``--items``,
+  ``--steps``, ``--delta-ratio``, ``--drift-after``);
+  ``--emit-events`` writes that feed to a JSON-lines file instead of
+  running.  ``--cursor-dir`` persists the watermark after every
+  record, so a killed-and-restarted stream resumes where it stopped
+  without reprocessing or duplicate drift events; ``--verify`` checks
+  every incremental result byte-equal against a full recompute.
 * ``store load|info|compact|snapshot`` — manage durable triple
   stores: ``load`` streams an N-Triples file into a fresh store
   through the bulk loader (no per-triple WAL traffic, reports
-  triples/sec), ``info`` prints a store's manifest/recovery summary,
+  triples/sec), ``info`` prints a store's manifest/recovery summary
+  (plus any stream cursor files checkpointing into the directory),
   ``compact`` folds segments + WAL into one fresh segment, and
   ``snapshot`` writes a consistent copy to a new directory.
 * ``query <sparql> [--data FILE] [--explain]`` — run a SPARQL query
@@ -241,6 +255,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store-sync", choices=("always", "batch", "none"),
         default="batch",
         help="WAL fsync policy of the durable stores",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="run the streaming quality-view engine over a delta feed",
+    )
+    stream.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="JSON-lines delta feed to consume (default: a seeded "
+             "synthetic feed)",
+    )
+    stream.add_argument(
+        "--follow", action="store_true",
+        help="tail --events for appended records instead of stopping "
+             "at end of file",
+    )
+    stream.add_argument(
+        "--emit-events", metavar="PATH", default=None,
+        help="write the synthetic feed to this JSON-lines file and exit",
+    )
+    stream.add_argument(
+        "--cursor-dir", metavar="PATH", default=None,
+        help="directory for the persistent stream cursor; a restarted "
+             "stream resumes from the recorded watermark",
+    )
+    stream.add_argument(
+        "--cursor-name", default="default", metavar="NAME",
+        help="cursor file name (stream-<NAME>.cursor)",
+    )
+    stream.add_argument("--items", type=int, default=40,
+                        help="items in the synthetic feed's data set")
+    stream.add_argument("--steps", type=int, default=20,
+                        help="update batches in the synthetic feed")
+    stream.add_argument(
+        "--delta-ratio", type=float, default=0.1, metavar="R",
+        help="fraction of items each synthetic delta touches",
+    )
+    stream.add_argument("--seed", type=int, default=42)
+    stream.add_argument(
+        "--drift-after", type=int, default=None, metavar="K",
+        help="degrade synthetic evidence quality after K update steps",
+    )
+    stream.add_argument(
+        "--window", type=float, default=5.0, metavar="SIZE",
+        help="window length over the quality signal (event time)",
+    )
+    stream.add_argument(
+        "--slide", type=float, default=None, metavar="S",
+        help="window hop (default: tumbling, hop == size)",
+    )
+    stream.add_argument(
+        "--max-records", type=int, default=None, metavar="N",
+        help="stop after processing N records",
+    )
+    stream.add_argument(
+        "--verify", action="store_true",
+        help="differentially check every incremental result byte-equal "
+             "against a full recompute (slow)",
+    )
+    stream.add_argument(
+        "--filter",
+        dest="filter_condition",
+        default="ScoreClass in q:high",
+        help="the view's action condition",
     )
 
     store = commands.add_parser(
@@ -695,6 +773,108 @@ def _cmd_serve(args) -> int:
         return serve_until_interrupt(server)
 
 
+def _cmd_stream(args) -> int:
+    from repro.serving import wire
+    from repro.storage.cursors import CursorFile
+    from repro.stream import (
+        CusumDetector,
+        EwmaDetector,
+        IncrementalEnactor,
+        JsonLinesSource,
+        RollingWindows,
+        StreamEngine,
+    )
+    from repro.stream.scenario import build_stream_scenario, synthetic_records
+
+    if args.delta_ratio <= 0 or args.delta_ratio > 1:
+        print(f"error: --delta-ratio must be in (0, 1], got "
+              f"{args.delta_ratio}", file=sys.stderr)
+        return 2
+    if args.emit_events is not None:
+        records = synthetic_records(
+            items=args.items, steps=args.steps,
+            delta_ratio=args.delta_ratio, seed=args.seed,
+            drift_after=args.drift_after,
+        )
+        count = JsonLinesSource.write(args.emit_events, records)
+        print(f"wrote {count} records to {args.emit_events}")
+        return 0
+
+    scenario = build_stream_scenario(args.filter_condition)
+    enactor = IncrementalEnactor(scenario.view, feed=scenario.table)
+    if args.events is not None:
+        source = JsonLinesSource(args.events, follow=args.follow)
+        feed_label = args.events
+    else:
+        class _ListSource:
+            def __init__(self, records):
+                self._records = records
+
+            def records(self):
+                return iter(self._records)
+
+        source = _ListSource(synthetic_records(
+            items=args.items, steps=args.steps,
+            delta_ratio=args.delta_ratio, seed=args.seed,
+            drift_after=args.drift_after,
+        ))
+        feed_label = (f"synthetic (items {args.items}, steps {args.steps}, "
+                      f"delta ratio {args.delta_ratio:g}, seed {args.seed})")
+    cursor = (
+        CursorFile(args.cursor_dir, args.cursor_name)
+        if args.cursor_dir is not None else None
+    )
+    engine = StreamEngine(
+        enactor,
+        windows=RollingWindows(args.window, args.slide),
+        detectors=[EwmaDetector(), CusumDetector()],
+        cursor=cursor,
+        name=args.cursor_name,
+    )
+    print(f"stream over view {scenario.view.name!r} — feed: {feed_label}")
+    if engine.resumed:
+        print(f"resumed from persisted watermark seq {engine.watermark} "
+              f"(records at or below it are skipped)")
+    mismatches = 0
+
+    def show(step):
+        nonlocal mismatches
+        report = step.outcome.report
+        lookups = report.memo_hits + report.memo_misses
+        hit_rate = report.memo_hits / lookups if lookups else 0.0
+        suffix = ""
+        if args.verify:
+            oracle = wire.dumps(wire.encode_result(enactor.full_recompute()))
+            same = wire.dumps(wire.encode_result(step.outcome.result)) == oracle
+            mismatches += 0 if same else 1
+            suffix += "  verify=ok" if same else "  verify=MISMATCH"
+        for event in step.drift_events:
+            suffix += (f"  DRIFT[{event.detector} {event.direction} "
+                       f"stat={event.statistic:.2f}]")
+        for window in step.closed_windows:
+            suffix += (f"  window[{window.start:g}..{window.end:g} "
+                       f"mean={window.mean:.3f} n={window.count}]")
+        print(f"seq {step.record.seq:>4}  items {report.items_total:>4}  "
+              f"delta {report.delta_size:>3}  reannotated "
+              f"{report.reannotated_items:>3}  memo {hit_rate:>4.0%}  "
+              f"surviving {step.signal:.3f}{suffix}")
+
+    stats = engine.run(source, max_records=args.max_records, on_step=show)
+    print(f"\n{stats.processed} processed, {stats.skipped} skipped "
+          f"(watermark {stats.watermark}), {stats.drift_events} drift "
+          f"event(s), {stats.windows_closed} window(s) closed"
+          + (f"; {stats.replayed} record(s) replayed into the feed, "
+             f"{stats.bootstrapped_items} item(s) re-bootstrapped"
+             if stats.replayed else "")
+          + (f"; cursor {cursor.path}" if cursor is not None else ""))
+    if args.verify:
+        print(f"verification: {stats.processed - mismatches}/"
+              f"{stats.processed} byte-equal to full recompute")
+        if mismatches:
+            return 1
+    return 0
+
+
 def _cmd_store(args) -> int:
     import json
 
@@ -718,9 +898,18 @@ def _cmd_store(args) -> int:
         backend = DiskBackend(args.directory, create=False, sync="none")
         try:
             if args.store_command == "info":
-                print(json.dumps(
-                    backend.describe(), indent=2, sort_keys=True
-                ))
+                from repro.storage.cursors import CursorFile, cursor_files
+
+                description = backend.describe()
+                cursors = {}
+                for path in cursor_files(args.directory):
+                    name = path.name[len("stream-"):-len(".cursor")]
+                    document = CursorFile(args.directory, name).load()
+                    cursors[path.name] = (
+                        document if document is not None else "unreadable"
+                    )
+                description["stream_cursors"] = cursors
+                print(json.dumps(description, indent=2, sort_keys=True))
             elif args.store_command == "compact":
                 path = backend.compact()
                 print(f"compacted {args.directory} into {path.name} "
@@ -851,6 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "store":
         return _cmd_store(args)
     if args.command == "query":

@@ -36,7 +36,10 @@ class RingBufferSink:
         """The buffered events, oldest first (``limit`` keeps the newest)."""
         with self._lock:
             events = list(self._events)
-        return events if limit is None else events[-limit:]
+        if limit is None:
+            return events
+        # events[-limit:] would return *everything* for limit=0.
+        return events[-limit:] if limit > 0 else []
 
     def clear(self) -> None:
         with self._lock:

@@ -213,6 +213,11 @@ class QualityViewServer:
         }
         self._jobs: "OrderedDict[int, _JobRecord]" = OrderedDict()
         self._jobs_lock = threading.Lock()
+        # Incremental stream sessions: one enactor per registered view,
+        # keyed by the registration fingerprint so re-registering a view
+        # with new XML drops the stale memo state.
+        self._streams: Dict[str, Tuple[str, Any]] = {}
+        self._streams_lock = threading.Lock()
         self._started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
 
@@ -398,6 +403,11 @@ class QualityViewServer:
                     parts[1], body, headers
                 )
                 return "/views/{name}/enact", document, status, extra
+            if len(parts) == 3 and parts[2] == "deltas" and method == "POST":
+                document, status, extra = self._apply_delta(
+                    parts[1], body, headers
+                )
+                return "/views/{name}/deltas", document, status, extra
         if parts and parts[0] == "jobs" and method == "GET":
             if len(parts) == 1:
                 return "/jobs", self._list_jobs(), 200, {}
@@ -421,6 +431,7 @@ class QualityViewServer:
                 "routes": [
                     "PUT /views/{name}", "GET /views", "GET /views/{name}",
                     "DELETE /views/{name}", "POST /views/{name}/enact",
+                    "POST /views/{name}/deltas",
                     "GET /jobs", "GET /jobs/{id}", "GET /jobs/{id}/result",
                     "GET /deadletters", "GET /datasets", "GET /metrics",
                     "GET /metrics.json", "GET /healthz",
@@ -562,6 +573,90 @@ class QualityViewServer:
             )
         status = 410 if handle.status is JobStatus.CANCELLED else 500
         return {"error": "job_failed", "job": job_document}, status
+
+    def _apply_delta(
+        self, name: str, body: bytes, headers: Mapping[str, str]
+    ) -> Tuple[Dict[str, Any], int, Dict[str, str]]:
+        """POST /views/{name}/deltas — incremental re-enactment.
+
+        The body is ``{"delta": {...}}`` (see
+        :func:`repro.stream.delta.delta_from_document`).  Admission
+        reuses the tenant quota path of ``/enact``; the delta is then
+        absorbed synchronously by the view's stream session — a
+        per-view :class:`repro.stream.IncrementalEnactor` whose memo
+        state lives as long as the registration (re-registering the
+        view with different XML drops it).  Upsert values act as
+        invalidation hints here: the view's annotators re-read their
+        own evidence sources for the touched items.
+        """
+        from repro.stream.delta import delta_from_document
+        from repro.stream.incremental import IncrementalEnactor, StreamError
+
+        record = self._get_view(name)
+        tenant = self._tenant(headers)
+        document = wire.loads(body)
+        if not isinstance(document, dict) or "delta" not in document:
+            raise _Response(
+                422,
+                {
+                    "error": "invalid_delta",
+                    "message": "body must be a JSON object with a 'delta' key",
+                },
+            )
+        try:
+            delta = delta_from_document(document["delta"])
+        except ValueError as exc:
+            raise _Response(
+                422, {"error": "invalid_delta", "message": str(exc)}
+            ) from None
+        decision = self.quotas.check(tenant)
+        if not decision.allowed:
+            self._count_enactment(tenant, "quota_rejected")
+            raise _Response(
+                429,
+                {
+                    "error": "quota_exhausted",
+                    "tenant": tenant,
+                    "retry_after": round(decision.retry_after, 3),
+                },
+                headers={"Retry-After": decision.retry_after_header()},
+            )
+        with self._streams_lock:
+            session = self._streams.get(name)
+            if session is None or session[0] != record.fingerprint:
+                session = (record.fingerprint, IncrementalEnactor(record.view))
+                self._streams[name] = session
+        _fingerprint, enactor = session
+        try:
+            outcome = enactor.apply(delta)
+        except StreamError as exc:
+            raise _Response(
+                422, {"error": "invalid_delta", "message": str(exc)}
+            ) from None
+        self._count_enactment(tenant, "accepted")
+        self.views.count_enactment(name)
+        get_event_log().emit(
+            "serving.delta.accepted",
+            view=name,
+            tenant=tenant,
+            fingerprint=outcome.report.delta_fingerprint,
+            size=outcome.report.delta_size,
+            items=outcome.report.items_total,
+        )
+        return (
+            {
+                "view": name,
+                "tenant": tenant,
+                "delta": {
+                    "fingerprint": outcome.report.delta_fingerprint,
+                    "size": outcome.report.delta_size,
+                },
+                "report": outcome.report.to_document(),
+                "result": wire.encode_result(outcome.result),
+            },
+            200,
+            {},
+        )
 
     def _count_enactment(self, tenant: str, outcome: str) -> None:
         get_registry().counter(

@@ -39,6 +39,7 @@ from repro.storage.backend import (
     copy_state,
 )
 from repro.storage.bulk import bulk_load_ntriples, bulk_load_triples
+from repro.storage.cursors import CURSOR_SUFFIX, CursorFile, cursor_files
 from repro.storage.disk import DiskBackend
 from repro.storage.errors import SnapshotMismatch, StorageError, WALCorruption
 from repro.storage.wal import SYNC_MODES, WALWriter
@@ -57,6 +58,9 @@ __all__ = [
     "SYNC_MODES",
     "bulk_load_ntriples",
     "bulk_load_triples",
+    "CursorFile",
+    "cursor_files",
+    "CURSOR_SUFFIX",
     "backend_from_env",
     "open_store",
     "scratch_directory",

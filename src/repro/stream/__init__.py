@@ -1,0 +1,68 @@
+"""Incremental re-enactment and streaming quality views.
+
+The paper treats a quality view as a one-shot compilation, but quality
+is *evolving*: evidence values drift, new items arrive, users tighten
+their acceptability thresholds between executions (Sec. 5.1's editable
+action conditions).  This package adds a second execution mode next to
+batch enactment:
+
+- :mod:`repro.stream.delta` — the :class:`Delta` change model (new
+  items, updated/retracted evidence, changed action thresholds) with a
+  canonical fingerprint, plus the :class:`EvidenceTable` feed that
+  backs delta-driven annotation functions.
+- :mod:`repro.stream.incremental` — the :class:`IncrementalEnactor`:
+  dependency analysis over the compiler's typed IR maps each delta to
+  the affected processors/items, re-running only those with the
+  annotation repository as the memo table.  Full recompute stays
+  available as the differential oracle; results are byte-equal.
+- :mod:`repro.stream.windows` — tumbling/sliding windows and
+  EWMA/CUSUM drift detectors over the stream's quality signal.
+- :mod:`repro.stream.source` — evidence-feed sources (in-memory queue,
+  JSON-lines tail) yielding sequenced :class:`StreamRecord`\\ s.
+- :mod:`repro.stream.engine` — the :class:`StreamEngine` loop:
+  source -> incremental apply -> windows/drift -> event log, with the
+  watermark persisted through :mod:`repro.storage` cursors so a
+  restarted stream resumes without reprocessing.
+- :mod:`repro.stream.scenario` — a feed-backed proteomics deployment
+  and a seeded synthetic delta generator for the CLI, tests, and
+  benchmark E20.
+"""
+
+from repro.stream.delta import Delta, EvidenceTable, delta_from_document, delta_to_document
+from repro.stream.engine import StreamEngine, StreamStats, StepResult
+from repro.stream.incremental import (
+    IncrementalEnactor,
+    IncrementalOutcome,
+    IncrementalReport,
+    StreamError,
+)
+from repro.stream.source import JsonLinesSource, QueueSource, StreamRecord
+from repro.stream.windows import (
+    CusumDetector,
+    DriftEvent,
+    EwmaDetector,
+    RollingWindows,
+    WindowResult,
+)
+
+__all__ = [
+    "Delta",
+    "EvidenceTable",
+    "delta_from_document",
+    "delta_to_document",
+    "IncrementalEnactor",
+    "IncrementalOutcome",
+    "IncrementalReport",
+    "StreamError",
+    "StreamEngine",
+    "StreamStats",
+    "StepResult",
+    "StreamRecord",
+    "QueueSource",
+    "JsonLinesSource",
+    "RollingWindows",
+    "WindowResult",
+    "EwmaDetector",
+    "CusumDetector",
+    "DriftEvent",
+]

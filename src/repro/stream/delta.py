@@ -1,0 +1,243 @@
+"""The delta model: what changed since the last enactment.
+
+A :class:`Delta` describes one batch of change against a quality view's
+input: evidence upserts (which also introduce new items), evidence
+retractions, and edited action thresholds (the paper's Sec. 5.1
+lifecycle of "repeatedly executing the view, possibly editing action
+conditions in between").  Deltas are value objects with a canonical
+JSON document form and a stable fingerprint, so they can travel over
+the wire (``POST /views/{name}/deltas``), sit in JSON-lines feed files,
+and be deduplicated.
+
+The :class:`EvidenceTable` is the feed-side source of truth that backs
+a delta-driven annotation function: annotators recompute evidence from
+*their* source, so an upsert's values take effect by being applied to
+the table the annotation function reads.  Deployments whose annotators
+read a different source (e.g. the live Imprint result set) treat upsert
+values as invalidation hints: the affected items are re-annotated from
+that source instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.annotation.functions import CallableAnnotationFunction
+from repro.rdf import URIRef
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-stable stand-in for an evidence value."""
+
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One batch of change: evidence upserts, retractions, thresholds.
+
+    - ``upserts`` maps item -> {evidence_type: value}.  An item the
+      enactor has never seen is a *new item*; an already-tracked item
+      becomes *dirty* in the listed evidence columns.
+    - ``retractions`` lists ``(item, evidence_type)`` pairs; an
+      evidence type of ``None`` retracts *all* evidence of the item.
+      Items themselves are never removed from the data set — a fully
+      retracted item simply carries no evidence, exactly as an unknown
+      item does in batch enactment.
+    - ``thresholds`` maps a filter action's name to its new condition
+      text (the user tightening or relaxing acceptability).
+    """
+
+    upserts: Mapping[URIRef, Mapping[URIRef, Any]] = field(default_factory=dict)
+    retractions: Sequence[Tuple[URIRef, Optional[URIRef]]] = field(
+        default_factory=tuple
+    )
+    thresholds: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "upserts",
+            {
+                URIRef(item): {URIRef(et): v for et, v in dict(values).items()}
+                for item, values in dict(self.upserts).items()
+            },
+        )
+        object.__setattr__(
+            self,
+            "retractions",
+            tuple(
+                (URIRef(item), None if etype is None else URIRef(etype))
+                for item, etype in self.retractions
+            ),
+        )
+        object.__setattr__(self, "thresholds", dict(self.thresholds))
+
+    # -- shape ---------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the delta carries no change at all."""
+
+        return not (self.upserts or self.retractions or self.thresholds)
+
+    def touched_items(self) -> List[URIRef]:
+        """The items this delta mentions, first mention first."""
+
+        seen: Dict[URIRef, None] = {}
+        for item in self.upserts:
+            seen.setdefault(item, None)
+        for item, _etype in self.retractions:
+            seen.setdefault(item, None)
+        return list(seen)
+
+    def size(self) -> int:
+        """Number of changed cells: evidence writes + retractions + thresholds."""
+
+        return (
+            sum(len(values) for values in self.upserts.values())
+            + len(self.retractions)
+            + len(self.thresholds)
+        )
+
+    # -- canonical form ------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The delta as a JSON-friendly document (see ``from_document``)."""
+
+        return delta_to_document(self)
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "Delta":
+        """Parse a document produced by :func:`delta_to_document`."""
+
+        return delta_from_document(document)
+
+    def fingerprint(self) -> str:
+        """A canonical sha256 over the delta's sorted document form."""
+
+        payload = json.dumps(
+            self.to_document(), sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def delta_to_document(delta: Delta) -> Dict[str, Any]:
+    """Encode a delta as a plain-JSON document (string URIs)."""
+
+    return {
+        "upserts": {
+            str(item): {str(et): _canonical(v) for et, v in values.items()}
+            for item, values in delta.upserts.items()
+        },
+        "retractions": [
+            [str(item), None if etype is None else str(etype)]
+            for item, etype in delta.retractions
+        ],
+        "thresholds": dict(delta.thresholds),
+    }
+
+
+def delta_from_document(document: Mapping[str, Any]) -> Delta:
+    """Decode a delta from its document form; raises ``ValueError``."""
+
+    if not isinstance(document, Mapping):
+        raise ValueError("delta document must be a JSON object")
+    upserts = document.get("upserts")
+    upserts = {} if upserts is None else upserts
+    retractions = document.get("retractions")
+    retractions = [] if retractions is None else retractions
+    thresholds = document.get("thresholds")
+    thresholds = {} if thresholds is None else thresholds
+    if not isinstance(upserts, Mapping):
+        raise ValueError("delta 'upserts' must be an object")
+    if not isinstance(retractions, (list, tuple)):
+        raise ValueError("delta 'retractions' must be a list")
+    if not isinstance(thresholds, Mapping):
+        raise ValueError("delta 'thresholds' must be an object")
+    parsed_retractions: List[Tuple[URIRef, Optional[URIRef]]] = []
+    for entry in retractions:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ValueError("each retraction must be an [item, evidence] pair")
+        item, etype = entry
+        parsed_retractions.append(
+            (URIRef(item), None if etype is None else URIRef(etype))
+        )
+    for values in upserts.values():
+        if not isinstance(values, Mapping):
+            raise ValueError("each upsert must map evidence types to values")
+    return Delta(
+        upserts={
+            URIRef(item): {URIRef(et): v for et, v in values.items()}
+            for item, values in upserts.items()
+        },
+        retractions=parsed_retractions,
+        thresholds={str(k): str(v) for k, v in thresholds.items()},
+    )
+
+
+class EvidenceTable:
+    """A thread-safe item -> {evidence_type: value} feed table.
+
+    This is the mutable source annotators read in streaming scenarios:
+    applying a delta edits the table, after which re-annotation of the
+    touched items observes the new values.
+    """
+
+    def __init__(
+        self,
+        initial: Optional[Mapping[URIRef, Mapping[URIRef, Any]]] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._rows: Dict[URIRef, Dict[URIRef, Any]] = {
+            URIRef(item): {URIRef(et): v for et, v in dict(values).items()}
+            for item, values in dict(initial or {}).items()
+        }
+
+    def set(self, item: URIRef, evidence_type: URIRef, value: Any) -> None:
+        """Set one evidence cell."""
+
+        with self._lock:
+            self._rows.setdefault(URIRef(item), {})[URIRef(evidence_type)] = value
+
+    def get(self, item: URIRef) -> Dict[URIRef, Any]:
+        """The item's evidence row (a copy; empty for unknown items)."""
+
+        with self._lock:
+            return dict(self._rows.get(URIRef(item), {}))
+
+    def items(self) -> List[URIRef]:
+        """The items with a row, insertion order."""
+
+        with self._lock:
+            return list(self._rows)
+
+    def apply(self, delta: Delta) -> None:
+        """Apply a delta's evidence changes to the table."""
+
+        with self._lock:
+            for item, values in delta.upserts.items():
+                self._rows.setdefault(item, {}).update(values)
+            for item, etype in delta.retractions:
+                row = self._rows.get(item)
+                if row is None:
+                    continue
+                if etype is None:
+                    row.clear()
+                else:
+                    row.pop(etype, None)
+
+    def annotation_function(
+        self, function_class: URIRef, provides: Iterable[URIRef]
+    ) -> CallableAnnotationFunction:
+        """An annotation function reading evidence from this table."""
+
+        def read(item: URIRef, _context: Optional[Mapping[str, Any]]) -> Dict[URIRef, Any]:
+            return self.get(item)
+
+        return CallableAnnotationFunction(function_class, provides, read)

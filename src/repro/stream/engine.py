@@ -1,0 +1,211 @@
+"""The streaming loop: source -> incremental apply -> windows -> drift.
+
+The engine pulls sequenced records from a source, absorbs each delta
+through the :class:`~repro.stream.incremental.IncrementalEnactor`,
+reduces the refreshed result to one scalar quality signal (default:
+the surviving fraction), feeds windows and drift detectors, and raises
+``stream.drift`` / ``stream.window`` events through the observability
+event log.
+
+Resume semantics: after every processed record the engine persists its
+watermark (the record's ``seq``) through a
+:class:`repro.storage.cursors.CursorFile`.  On construction the
+persisted watermark is reloaded, and any record with ``seq`` at or
+below it is skipped *before* touching the detectors or emitting
+events — so a killed-and-restarted stream neither reprocesses deltas
+nor emits duplicate drift events.  When the enactor is coupled to an
+in-memory evidence feed, skipped records are still *replayed into the
+feed* (cheap dict writes, no enactment), and the first live record is
+preceded by one silent bootstrap delta that re-introduces the feed's
+items — so the tracked data set and evidence state recover fully at
+the cost of a single batch re-annotation instead of one enactment per
+skipped record.  Detector state restarts from scratch (deterministic
+warmup), never re-announcing drift the previous run already raised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.results import QualityViewResult
+from repro.observability import get_event_log, get_registry
+from repro.storage.cursors import CursorFile
+from repro.stream.delta import Delta
+from repro.stream.incremental import IncrementalEnactor, IncrementalOutcome
+from repro.stream.source import StreamRecord
+from repro.stream.windows import DriftEvent, RollingWindows, WindowResult
+
+
+def surviving_fraction(result: QualityViewResult) -> float:
+    """The default quality signal: share of items the view accepts."""
+
+    if not result.items:
+        return 0.0
+    return len(result.surviving()) / len(result.items)
+
+
+@dataclass
+class StepResult:
+    """Everything one processed record produced."""
+
+    record: StreamRecord
+    outcome: IncrementalOutcome
+    signal: float
+    closed_windows: List[WindowResult] = field(default_factory=list)
+    drift_events: List[DriftEvent] = field(default_factory=list)
+
+
+@dataclass
+class StreamStats:
+    """A run's totals (one ``run`` call)."""
+
+    processed: int = 0
+    skipped: int = 0
+    replayed: int = 0
+    bootstrapped_items: int = 0
+    drift_events: int = 0
+    windows_closed: int = 0
+    watermark: int = 0
+    last_signal: Optional[float] = None
+
+
+class StreamEngine:
+    """Drives one incremental enactor from a record source."""
+
+    def __init__(
+        self,
+        enactor: IncrementalEnactor,
+        signal: Callable[[QualityViewResult], float] = surviving_fraction,
+        windows: Optional[RollingWindows] = None,
+        detectors: Sequence[Any] = (),
+        cursor: Optional[CursorFile] = None,
+        name: str = "stream",
+        replay_feed: bool = True,
+    ) -> None:
+        self.enactor = enactor
+        self.signal = signal
+        self.windows = windows
+        self.detectors = list(detectors)
+        self.cursor = cursor
+        self.name = name
+        self.replay_feed = replay_feed
+        self.watermark = 0
+        self.resumed = False
+        self._pending_bootstrap = False
+        self._replayed_thresholds: Dict[str, str] = {}
+        if cursor is not None:
+            persisted = cursor.load()
+            if persisted is not None:
+                self.watermark = int(persisted.get("seq", 0))
+                self.resumed = self.watermark > 0
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _checkpoint(self, stats: StreamStats) -> None:
+        if self.cursor is None:
+            return
+        self.cursor.save(
+            {
+                "seq": self.watermark,
+                "view": self.enactor.view.name,
+                "stream": self.name,
+                "updated": time.time(),
+            }
+        )
+
+    # -- one record ----------------------------------------------------------
+
+    def process(self, record: StreamRecord, stats: StreamStats) -> Optional[StepResult]:
+        """Process one record; ``None`` when the watermark skips it."""
+
+        view = self.enactor.view.name
+        registry = get_registry()
+        if record.seq <= self.watermark:
+            stats.skipped += 1
+            if self.replay_feed and self.enactor.feed is not None:
+                # Rebuild source state without enacting: feed writes are
+                # cheap; one bootstrap delta re-annotates later.
+                self.enactor.feed.apply(record.delta)
+                self._replayed_thresholds.update(record.delta.thresholds)
+                self._pending_bootstrap = True
+                stats.replayed += 1
+            registry.counter(
+                "repro_stream_records_total",
+                "Stream records seen, by disposition.",
+                labels=("view", "disposition"),
+            ).labels(view=view, disposition="skipped").inc()
+            return None
+        if self._pending_bootstrap:
+            bootstrap = Delta(
+                upserts={item: {} for item in self.enactor.feed.items()},
+                thresholds=dict(self._replayed_thresholds),
+            )
+            self._pending_bootstrap = False
+            self._replayed_thresholds = {}
+            if not bootstrap.is_empty():
+                # Silent recovery: no signal, no windows, no drift.
+                outcome = self.enactor.apply(bootstrap)
+                stats.bootstrapped_items = outcome.report.items_total
+        outcome = self.enactor.apply(record.delta)
+        value = self.signal(outcome.result)
+        step = StepResult(record=record, outcome=outcome, signal=value)
+        log = get_event_log()
+        if self.windows is not None:
+            step.closed_windows = self.windows.add(record.timestamp, value)
+            for window in step.closed_windows:
+                log.emit(
+                    "stream.window",
+                    stream=self.name,
+                    view=view,
+                    **window.to_document(),
+                )
+        for detector in self.detectors:
+            event = detector.update(value)
+            if event is not None:
+                step.drift_events.append(event)
+                log.emit(
+                    "stream.drift",
+                    stream=self.name,
+                    view=view,
+                    seq=record.seq,
+                    **event.to_document(),
+                )
+                registry.counter(
+                    "repro_stream_drift_events_total",
+                    "Drift events raised by stream detectors.",
+                    labels=("view", "detector"),
+                ).labels(view=view, detector=event.detector).inc()
+        registry.counter(
+            "repro_stream_records_total",
+            "Stream records seen, by disposition.",
+            labels=("view", "disposition"),
+        ).labels(view=view, disposition="processed").inc()
+        self.watermark = record.seq
+        stats.processed += 1
+        stats.drift_events += len(step.drift_events)
+        stats.windows_closed += len(step.closed_windows)
+        stats.watermark = self.watermark
+        stats.last_signal = value
+        self._checkpoint(stats)
+        return step
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(
+        self,
+        source: Any,
+        max_records: Optional[int] = None,
+        on_step: Optional[Callable[[StepResult], None]] = None,
+    ) -> StreamStats:
+        """Drain a source (its ``records()`` iterator) through the engine."""
+
+        stats = StreamStats(watermark=self.watermark)
+        for record in source.records():
+            step = self.process(record, stats)
+            if step is not None and on_step is not None:
+                on_step(step)
+            if max_records is not None and stats.processed >= max_records:
+                break
+        return stats

@@ -1,0 +1,463 @@
+"""Incremental re-enactment: re-run only what a delta touches.
+
+The enactor keeps three pieces of memo state per view, all derived from
+the compiler's typed IR (:func:`repro.qv.ir.lower_view`):
+
+- the tracked data set (items only ever accumulate; a fully retracted
+  item carries no evidence, exactly like an unknown item in batch
+  enactment),
+- the evidence memo ``item -> {evidence_type: value}`` mirroring what
+  the single DataEnrichment step would read from the annotation
+  repositories, and
+- the tag memo ``assertion -> item -> {tag_name: TagValue}`` holding
+  each QA's last verdict per item.
+
+Applying a :class:`~repro.stream.delta.Delta` re-fires the *compiled
+processor classes themselves* (``AnnotatorProcessor``,
+``AssertionProcessor``, ``ActionProcessor`` from
+:mod:`repro.qv.compiler`) over affected subsets, so invocation
+semantics are byte-identical to batch enactment by construction:
+
+1. every touched item is re-annotated (its repository rows are
+   retracted first — the memo-ownership invariant: a store written by
+   the view's annotators is owned by them, per item),
+2. the evidence memo is refreshed for touched items through the same
+   ``lookup_batch`` reads the DataEnrichment step performs, and the
+   *observed* evidence diff decides which assertions are affected,
+3. item-local QA services (``QualityAssertionService.item_local``, the
+   same contract the filter-pushdown pass relies on) re-run over
+   affected items only; collection-scoped QAs (e.g. the score
+   classifier, whose bands depend on the whole data set) re-run over
+   everything whenever any read column moved,
+4. consolidation is assembled from the memos (provably the same
+   item/tag ordering as ``ConsolidateProcessor``'s map merge), and the
+   actions re-fire over the full set — threshold deltas swap the
+   filter condition in the view spec (and invalidate the compiled
+   workflow) before rebuilding the action processor.
+
+``full_recompute()`` is the differential oracle: it retracts the
+annotator-owned rows for every tracked item and runs the view's normal
+batch path over the same data set.  ``apply`` results must serialize
+byte-equal to it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.annotation.map import AnnotationMap, TagValue
+from repro.annotation.store import AnnotationStore
+from repro.core.errors import QuratorError
+from repro.core.quality_view import QualityView
+from repro.core.results import QualityViewResult
+from repro.observability import get_registry
+from repro.qv.compiler import (
+    ActionProcessor,
+    AnnotatorProcessor,
+    AssertionProcessor,
+    sanitize,
+)
+from repro.qv.ir import IRModule, lower_view
+from repro.qv.spec import ActionSpec
+from repro.rdf import URIRef
+from repro.stream.delta import Delta, EvidenceTable
+
+
+class StreamError(QuratorError):
+    """A delta could not be applied to the incremental enactor."""
+
+
+@dataclass
+class IncrementalReport:
+    """What one ``apply`` actually did, for cost accounting.
+
+    ``memo_hits`` / ``memo_misses`` count per-(assertion, item) verdict
+    reuse: a hit is a tag served from the memo table, a miss is a tag
+    recomputed by a QA service.  ``reannotated_items`` is the number of
+    items whose evidence was recomputed and re-read.
+    """
+
+    delta_fingerprint: str
+    delta_size: int
+    new_items: int
+    dirty_items: int
+    items_total: int
+    reannotated_items: int
+    annotators_fired: int
+    assertions_fired: List[str] = field(default_factory=list)
+    assertions_skipped: List[str] = field(default_factory=list)
+    actions_rebuilt: List[str] = field(default_factory=list)
+    qa_item_evaluations: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    seconds: float = 0.0
+
+    def to_document(self) -> Dict[str, Any]:
+        """The report as a JSON-friendly document."""
+
+        return {
+            "delta_fingerprint": self.delta_fingerprint,
+            "delta_size": self.delta_size,
+            "new_items": self.new_items,
+            "dirty_items": self.dirty_items,
+            "items_total": self.items_total,
+            "reannotated_items": self.reannotated_items,
+            "annotators_fired": self.annotators_fired,
+            "assertions_fired": list(self.assertions_fired),
+            "assertions_skipped": list(self.assertions_skipped),
+            "actions_rebuilt": list(self.actions_rebuilt),
+            "qa_item_evaluations": self.qa_item_evaluations,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class IncrementalOutcome:
+    """An applied delta: the refreshed view result plus the cost report."""
+
+    result: QualityViewResult
+    report: IncrementalReport
+
+
+class IncrementalEnactor:
+    """Delta-driven re-enactment of one quality view.
+
+    ``feed`` optionally couples the enactor to the
+    :class:`~repro.stream.delta.EvidenceTable` its annotators read;
+    delta evidence is then written to the table before re-annotation
+    (``apply_feed=False`` leaves feed maintenance to the caller).
+    Deployments whose annotators read another source treat upsert
+    values as invalidation hints — the items are re-annotated from that
+    source.
+    """
+
+    def __init__(
+        self,
+        view: QualityView,
+        feed: Optional[EvidenceTable] = None,
+        apply_feed: bool = True,
+    ) -> None:
+        self.view = view
+        self.framework = view.framework
+        self.feed = feed
+        self.apply_feed = apply_feed
+        self._lock = threading.RLock()
+        self.ir: IRModule = lower_view(view.spec, self.framework.compiler)
+        self._build_processors()
+        # Memo state.  Items only accumulate; order is arrival order and
+        # doubles as the dataSet order handed to the oracle.
+        self._items: List[URIRef] = []
+        self._evidence: Dict[URIRef, Dict[URIRef, Any]] = {}
+        self._tags: Dict[str, Dict[URIRef, Dict[str, TagValue]]] = {
+            ira.name: {} for ira in self.ir.assertions()
+        }
+        self._deltas_applied = 0
+
+    # -- construction --------------------------------------------------------
+
+    def _build_processors(self) -> None:
+        annotators = [
+            AnnotatorProcessor(
+                sanitize(ann.name),
+                ann.service,
+                ann.store,
+                ann.evidence_types,
+                ann.data_class,
+            )
+            for ann in self.ir.annotators
+        ]
+        # The serial enactor fires ready processors in sorted-name order;
+        # annotators are all roots, so match that order for store writes.
+        self._annotators = sorted(annotators, key=lambda proc: proc.name)
+        self._columns: List[Tuple[URIRef, AnnotationStore]] = list(
+            self.ir.enrichment.columns.items()
+        )
+        self._assertions = [
+            (ira, AssertionProcessor(sanitize(ira.name), ira.service, ira.config()))
+            for ira in self.ir.assertions()
+        ]
+        self._action_order = [ira.spec.name for ira in self.ir.actions]
+        self._action_procs: Dict[str, ActionProcessor] = {
+            spec.name: self._make_action(spec)
+            for spec in (ira.spec for ira in self.ir.actions)
+        }
+
+    def _make_action(self, spec: ActionSpec) -> ActionProcessor:
+        return ActionProcessor(
+            spec.name, spec, self.ir.variable_bindings, self.ir.namespaces
+        )
+
+    def _annotator_stores(self) -> List[AnnotationStore]:
+        stores: List[AnnotationStore] = []
+        for proc in self._annotators:
+            if proc.store not in stores:
+                stores.append(proc.store)
+        return stores
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def items(self) -> List[URIRef]:
+        """The tracked data set, arrival order."""
+
+        with self._lock:
+            return list(self._items)
+
+    @property
+    def deltas_applied(self) -> int:
+        """How many deltas this enactor has absorbed."""
+
+        with self._lock:
+            return self._deltas_applied
+
+    # -- threshold edits -----------------------------------------------------
+
+    def _apply_thresholds(self, thresholds: Dict[str, str]) -> List[str]:
+        rebuilt: List[str] = []
+        for name, condition in thresholds.items():
+            index = next(
+                (
+                    i
+                    for i, spec in enumerate(self.view.spec.actions)
+                    if spec.name == name
+                ),
+                None,
+            )
+            if index is None:
+                raise StreamError(
+                    f"threshold update targets unknown action {name!r}"
+                )
+            spec = self.view.spec.actions[index]
+            if spec.kind != "filter":
+                raise StreamError(
+                    f"threshold updates only support filter actions; "
+                    f"{name!r} is a {spec.kind}"
+                )
+            try:
+                new_spec = replace(spec, condition=condition)
+                self._action_procs[name] = self._make_action(new_spec)
+            except (ValueError, QuratorError) as exc:
+                raise StreamError(
+                    f"invalid condition for action {name!r}: {exc}"
+                ) from exc
+            self.view.spec.actions[index] = new_spec
+            rebuilt.append(name)
+        if rebuilt:
+            # The oracle compiles from the spec; drop the stale workflow.
+            self.view.invalidate()
+        return rebuilt
+
+    # -- the delta path ------------------------------------------------------
+
+    def apply(self, delta: Delta) -> IncrementalOutcome:
+        """Absorb one delta and return the refreshed view result."""
+
+        with self._lock:
+            started = time.perf_counter()
+            if self.feed is not None and self.apply_feed:
+                self.feed.apply(delta)
+            rebuilt = (
+                self._apply_thresholds(dict(delta.thresholds))
+                if delta.thresholds
+                else []
+            )
+
+            touched = delta.touched_items()
+            touched_set = set(touched)
+            new_items = [item for item in touched if item not in self._evidence]
+            new_set = set(new_items)
+            dirty_existing = [item for item in self._items if item in touched_set]
+            # Store writes happen in tracked order first, then arrivals.
+            dirty = dirty_existing + new_items
+
+            # 1. Retract the annotator-owned repository rows of every
+            # touched item, then re-annotate from the source of truth.
+            if dirty:
+                for store in self._annotator_stores():
+                    for item in dirty:
+                        store.remove_annotations(item)
+                for proc in self._annotators:
+                    proc.fire({"dataSet": list(dirty)})
+
+            # 2. Refresh the evidence memo through the same per-column
+            # batch reads DataEnrichment performs; the *observed* diff
+            # (not the declared delta) decides which QAs are affected.
+            previous = {item: self._evidence.get(item, {}) for item in dirty}
+            for item in dirty:
+                self._evidence[item] = {}
+            if dirty:
+                by_store: Dict[AnnotationStore, List[URIRef]] = {}
+                for evidence_type, store in self._columns:
+                    by_store.setdefault(store, []).append(evidence_type)
+                for store, evidence_types in by_store.items():
+                    # Keyed per-item reads, not a column sweep: the
+                    # refresh must cost O(|dirty|), not O(|store|).
+                    wanted = set(evidence_types)
+                    for item in dirty:
+                        for evidence_type, value in store.lookup_all(item).items():
+                            if evidence_type in wanted:
+                                self._evidence[item][evidence_type] = value
+            changed_columns: Dict[URIRef, Set[URIRef]] = {}
+            for item in dirty_existing:
+                before, after = previous[item], self._evidence[item]
+                moved = {
+                    etype
+                    for etype in set(before) | set(after)
+                    if before.get(etype) != after.get(etype)
+                }
+                if moved:
+                    changed_columns[item] = moved
+            self._items.extend(new_items)
+
+            # 3. Rebuild the enriched map from the memo (pure dict work;
+            # no repository reads for unchanged items).
+            enriched = AnnotationMap(self._items)
+            for item in self._items:
+                for evidence_type, value in self._evidence[item].items():
+                    enriched.set_evidence(item, evidence_type, value)
+
+            # 4. Assertions: memo hits for unaffected items, subset
+            # re-evaluation for item-local QAs, full re-evaluation for
+            # collection-scoped QAs.
+            report = IncrementalReport(
+                delta_fingerprint=delta.fingerprint(),
+                delta_size=delta.size(),
+                new_items=len(new_items),
+                dirty_items=len(dirty_existing),
+                items_total=len(self._items),
+                reannotated_items=len(dirty),
+                annotators_fired=len(self._annotators) if dirty else 0,
+                actions_rebuilt=rebuilt,
+            )
+            total = len(self._items)
+            for ira, proc in self._assertions:
+                reads = set(ira.variables.values())
+                affected = [
+                    item
+                    for item in self._items
+                    if item in new_set or (changed_columns.get(item, set()) & reads)
+                ]
+                memo = self._tags[ira.name]
+                if not affected:
+                    report.assertions_skipped.append(ira.name)
+                    report.memo_hits += total
+                    continue
+                report.assertions_fired.append(ira.name)
+                if ira.service.item_local:
+                    fired = proc.fire(
+                        {"dataSet": affected, "annotationMap": enriched}
+                    )
+                    result_map = fired["annotationMap"]
+                    for item in affected:
+                        memo[item] = dict(result_map.tags_for(item))
+                    report.memo_hits += total - len(affected)
+                    report.memo_misses += len(affected)
+                    report.qa_item_evaluations += len(affected)
+                else:
+                    fired = proc.fire(
+                        {"dataSet": list(self._items), "annotationMap": enriched}
+                    )
+                    result_map = fired["annotationMap"]
+                    self._tags[ira.name] = {
+                        item: dict(result_map.tags_for(item))
+                        for item in self._items
+                    }
+                    report.memo_misses += total
+                    report.qa_item_evaluations += total
+
+            # 5. Consolidate by assembly: evidence order comes from the
+            # enriched map, tags land assertion-major per item — the
+            # exact ordering ConsolidateProcessor's map merge produces.
+            merged = enriched.copy()
+            for ira, _proc in self._assertions:
+                memo = self._tags[ira.name]
+                for item in self._items:
+                    for tag_name, tag in (memo.get(item) or {}).items():
+                        merged.set_tag(
+                            item, tag_name, tag.value, tag.syn_type, tag.sem_type
+                        )
+
+            # 6. Actions always re-fire (they are cheap condition scans
+            # and thresholds may have moved); package like the view does.
+            result = QualityViewResult(
+                view_name=self.view.name,
+                items=list(self._items),
+                annotation_map=merged,
+            )
+            for name in self._action_order:
+                proc = self._action_procs[name]
+                fired = proc.fire(
+                    {"dataSet": list(self._items), "annotationMap": merged}
+                )
+                outcome = fired["outcome"]
+                result.groups[proc.name] = {
+                    group: list(outcome.items(group))
+                    for group in proc.group_ports
+                }
+
+            self._deltas_applied += 1
+            report.seconds = time.perf_counter() - started
+            self._count(report)
+            return IncrementalOutcome(result=result, report=report)
+
+    def _count(self, report: IncrementalReport) -> None:
+        registry = get_registry()
+        view = self.view.name
+        registry.counter(
+            "repro_stream_deltas_total",
+            "Deltas absorbed by incremental enactors.",
+            labels=("view",),
+        ).labels(view=view).inc()
+        registry.counter(
+            "repro_stream_memo_hits_total",
+            "Per-(assertion, item) verdicts served from the memo table.",
+            labels=("view",),
+        ).labels(view=view).inc(report.memo_hits)
+        registry.counter(
+            "repro_stream_memo_misses_total",
+            "Per-(assertion, item) verdicts recomputed by QA services.",
+            labels=("view",),
+        ).labels(view=view).inc(report.memo_misses)
+        registry.counter(
+            "repro_stream_reannotated_items_total",
+            "Items whose evidence was recomputed for a delta.",
+            labels=("view",),
+        ).labels(view=view).inc(report.reannotated_items)
+        registry.counter(
+            "repro_stream_processors_fired_total",
+            "Compiled processors re-fired by incremental applies.",
+            labels=("view", "kind"),
+        ).labels(view=view, kind="annotator").inc(report.annotators_fired)
+        registry.counter(
+            "repro_stream_processors_fired_total",
+            "Compiled processors re-fired by incremental applies.",
+            labels=("view", "kind"),
+        ).labels(view=view, kind="assertion").inc(len(report.assertions_fired))
+        registry.histogram(
+            "repro_stream_apply_seconds",
+            "Wall-clock seconds absorbing one delta.",
+            labels=("view",),
+        ).labels(view=view).observe(report.seconds)
+
+    # -- the differential oracle ---------------------------------------------
+
+    def full_recompute(self) -> QualityViewResult:
+        """Batch-enact the tracked data set from scratch (the oracle).
+
+        Retracts the annotator-owned repository rows for every tracked
+        item first, so the batch path re-annotates from the same source
+        of truth the incremental path reads.  The rewritten rows carry
+        the current feed values, leaving the memo state valid — oracle
+        runs may be interleaved with ``apply`` calls freely.
+        """
+
+        with self._lock:
+            for store in self._annotator_stores():
+                for item in self._items:
+                    store.remove_annotations(item)
+            return self.view.run(list(self._items), clear_cache=False)

@@ -1,0 +1,129 @@
+"""A feed-backed deployment for streaming demos, tests and benchmarks.
+
+The batch proteomics scenario annotates from a live Imprint result set;
+the streaming scenario replaces that source with an
+:class:`~repro.stream.delta.EvidenceTable`, so deltas *are* the source
+of truth: applying one changes what the annotator reads, and the
+incremental enactor re-annotates exactly the touched items.  The view
+itself is the paper's Sec. 5.1 example unchanged — same annotator name,
+same three QAs (two item-local scores plus the collection-scoped
+classifier), same filter action — which keeps the streaming path
+exercising the identical compiled pipeline the batch tests verify.
+
+``synthetic_records`` generates a seeded, deterministic feed: a
+bootstrap delta introducing the initial items, then update batches
+touching a fixed fraction of the data set, with an optional quality
+regression after ``drift_after`` steps (evidence values degrade, the
+surviving fraction drops, drift detectors fire).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.framework import QuratorFramework
+from repro.core.ispider import DEFAULT_FILTER_CONDITION, example_quality_view_xml
+from repro.core.quality_view import QualityView
+from repro.qa.annotators import ImprintOutputAnnotator
+from repro.rdf import Q, URIRef
+from repro.stream.delta import Delta, EvidenceTable
+from repro.stream.source import StreamRecord
+
+#: The evidence columns the feed carries (the Imprint indicator set).
+FEED_EVIDENCE = sorted(ImprintOutputAnnotator.provides, key=str)
+
+
+def stream_item(index: int) -> URIRef:
+    """A stable URI for the index-th synthetic stream item."""
+
+    return URIRef(f"http://example.org/stream/hit-{index:04d}")
+
+
+def random_row(rng: random.Random, quality: float = 1.0) -> Dict[URIRef, Any]:
+    """One synthetic evidence row; ``quality < 1`` degrades the scores."""
+
+    return {
+        Q.Coverage: round(rng.uniform(0.05, 0.9) * quality, 4),
+        Q.HitRatio: round(rng.uniform(0.1, 0.95) * quality, 4),
+        Q.Masses: rng.randint(5, 40),
+        Q.PeptidesCount: rng.randint(2, 25),
+    }
+
+
+@dataclass
+class StreamScenario:
+    """A framework + view whose annotator reads an evidence table."""
+
+    framework: QuratorFramework
+    view: QualityView
+    table: EvidenceTable
+
+
+def build_stream_scenario(
+    filter_condition: str = DEFAULT_FILTER_CONDITION,
+) -> StreamScenario:
+    """Assemble the feed-backed Sec. 5.1 deployment."""
+
+    framework = QuratorFramework()
+    framework.register_standard_services()
+    table = EvidenceTable()
+    framework.deploy_annotation_service(
+        "ImprintOutputAnnotator",
+        table.annotation_function(
+            Q["Imprint-output-annotation"], ImprintOutputAnnotator.provides
+        ),
+    )
+    view = framework.quality_view(example_quality_view_xml(filter_condition))
+    return StreamScenario(framework=framework, view=view, table=table)
+
+
+def synthetic_records(
+    items: int = 40,
+    steps: int = 20,
+    delta_ratio: float = 0.1,
+    seed: int = 7,
+    drift_after: Optional[int] = None,
+    drift_quality: float = 0.35,
+    start_seq: int = 1,
+) -> List[StreamRecord]:
+    """A deterministic feed: bootstrap + ``steps`` update batches.
+
+    Record ``start_seq`` introduces ``items`` items with full evidence
+    rows; each later record re-draws the evidence of
+    ``max(1, items * delta_ratio)`` round-robin items.  After
+    ``drift_after`` update steps the drawn values degrade by
+    ``drift_quality``, simulating an instrument drifting out of spec.
+    """
+
+    rng = random.Random(seed)
+    universe = [stream_item(i) for i in range(items)]
+    records = [
+        StreamRecord(
+            seq=start_seq,
+            timestamp=float(start_seq),
+            delta=Delta(upserts={item: random_row(rng) for item in universe}),
+        )
+    ]
+    batch = max(1, int(items * delta_ratio))
+    cursor = 0
+    for step in range(1, steps + 1):
+        quality = (
+            drift_quality if drift_after is not None and step > drift_after else 1.0
+        )
+        touched = [
+            universe[(cursor + offset) % items] for offset in range(batch)
+        ]
+        cursor = (cursor + batch) % items
+        seq = start_seq + step
+        records.append(
+            StreamRecord(
+                seq=seq,
+                timestamp=float(seq),
+                delta=Delta(
+                    upserts={item: random_row(rng, quality) for item in touched}
+                ),
+            )
+        )
+    return records

@@ -1,0 +1,155 @@
+"""Evidence-feed sources: where deltas come from.
+
+A source yields :class:`StreamRecord` values — a delta plus a
+monotonically increasing sequence number and an event timestamp.  The
+sequence number is the resume key: the engine persists the highest
+processed ``seq`` as its watermark and skips anything at or below it
+after a restart.
+
+Two sources cover the common shapes:
+
+- :class:`QueueSource` — an in-memory handoff for tests and embedded
+  producers.
+- :class:`JsonLinesSource` — a JSON-lines file of record documents
+  (``{"seq": 3, "ts": 12.5, "delta": {...}}``), optionally tailed:
+  with ``follow=True`` the source keeps polling the file for appended
+  lines until stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.stream.delta import Delta, delta_from_document, delta_to_document
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One sequenced feed entry."""
+
+    seq: int
+    timestamp: float
+    delta: Delta
+
+    def to_document(self) -> Dict[str, Any]:
+        """The record as a JSON-friendly document."""
+
+        return {
+            "seq": self.seq,
+            "ts": self.timestamp,
+            "delta": delta_to_document(self.delta),
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "StreamRecord":
+        """Parse a document; raises ``ValueError`` on malformed input."""
+
+        if not isinstance(document, Mapping):
+            raise ValueError("stream record must be a JSON object")
+        try:
+            seq = int(document["seq"])
+        except (KeyError, TypeError, ValueError):
+            raise ValueError("stream record needs an integer 'seq'") from None
+        timestamp = float(document.get("ts", seq))
+        return cls(
+            seq=seq,
+            timestamp=timestamp,
+            delta=delta_from_document(document.get("delta") or {}),
+        )
+
+
+class QueueSource:
+    """An in-memory, blocking record source."""
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[Optional[StreamRecord]]" = queue.Queue()
+        self._closed = threading.Event()
+
+    def put(self, record: StreamRecord) -> None:
+        """Enqueue one record."""
+
+        self._queue.put(record)
+
+    def close(self) -> None:
+        """Signal end of stream; pending records still drain."""
+
+        self._closed.set()
+        self._queue.put(None)
+
+    def records(self) -> Iterator[StreamRecord]:
+        """Yield records until the source is closed."""
+
+        while True:
+            record = self._queue.get()
+            if record is None:
+                if self._closed.is_set():
+                    return
+                continue
+            yield record
+
+
+class JsonLinesSource:
+    """A JSON-lines file of stream-record documents.
+
+    ``follow=True`` tails the file: after reaching the end the source
+    sleeps ``poll`` seconds and retries, until ``stop`` (a
+    ``threading.Event``) is set.  Blank lines are skipped; a malformed
+    line raises ``ValueError`` naming the line number.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        follow: bool = False,
+        poll: float = 0.05,
+        stop: Optional[threading.Event] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.follow = follow
+        self.poll = poll
+        self.stop = stop or threading.Event()
+
+    @staticmethod
+    def write(path: Union[str, Path], records) -> int:
+        """Write records to a JSON-lines feed file; returns the count."""
+
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record.to_document(), sort_keys=True) + "\n"
+                )
+                count += 1
+        return count
+
+    def records(self) -> Iterator[StreamRecord]:
+        """Yield records from the file (tailing it when ``follow``)."""
+
+        lineno = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    if not self.follow or self.stop.is_set():
+                        return
+                    time.sleep(self.poll)
+                    continue
+                lineno += 1
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    document = json.loads(text)
+                    record = StreamRecord.from_document(document)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: bad stream record: {exc}"
+                    ) from None
+                yield record

@@ -1,0 +1,269 @@
+"""Windowed aggregation and drift detection over the quality signal.
+
+The stream engine reduces every applied delta to one scalar quality
+signal (by default the surviving fraction of the data set — the share
+of items the view's final action accepts).  This module maintains
+rolling aggregates of that signal and watches it for drift:
+
+- :class:`RollingWindows` assigns event-time samples to tumbling
+  (``slide is None``) or sliding windows and closes a window once the
+  watermark passes its end — closed windows are immutable
+  :class:`WindowResult` values, the "rolling classification" record.
+- :class:`EwmaDetector` tracks an exponentially weighted mean and
+  variance and flags samples more than ``threshold`` sigma away
+  (Shewhart-style EWMA control chart, as MSstatsQC applies to
+  longitudinal quality monitoring).
+- :class:`CusumDetector` accumulates two one-sided CUSUM statistics
+  against a reference level and flags when either exceeds ``limit``.
+
+Both detectors are deterministic, pure-python state machines: the same
+sample sequence always yields the same drift events, which is what the
+resume-without-duplicate-drift guarantee builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One closed window of the quality signal."""
+
+    start: float
+    end: float
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+    def to_document(self) -> Dict[str, Any]:
+        """The window as a JSON-friendly document."""
+
+        return {
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class RollingWindows:
+    """Event-time tumbling/sliding windows over a scalar signal.
+
+    ``size`` is the window length; ``slide`` the hop between window
+    starts (``None`` or ``slide == size`` gives tumbling windows).  A
+    window ``[start, start + size)`` closes when a sample's timestamp
+    (the watermark — samples are assumed in order) reaches its end.
+    """
+
+    def __init__(self, size: float, slide: Optional[float] = None) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        slide = size if slide is None else slide
+        if slide <= 0 or slide > size:
+            raise ValueError("slide must be in (0, size]")
+        self.size = float(size)
+        self.slide = float(slide)
+        self._open: Dict[float, List[float]] = {}
+
+    def _starts_for(self, timestamp: float) -> List[float]:
+        # Window starts are the slide grid points whose window spans ts.
+        last = math.floor(timestamp / self.slide) * self.slide
+        starts = []
+        start = last
+        while start > timestamp - self.size:
+            starts.append(start)
+            start -= self.slide
+        return sorted(starts)
+
+    def _close_until(self, watermark: float) -> List[WindowResult]:
+        closed = []
+        for start in sorted(self._open):
+            if start + self.size <= watermark:
+                samples = self._open.pop(start)
+                closed.append(self._result(start, samples))
+        return closed
+
+    def _result(self, start: float, samples: List[float]) -> WindowResult:
+        return WindowResult(
+            start=start,
+            end=start + self.size,
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+
+    def add(self, timestamp: float, value: float) -> List[WindowResult]:
+        """Record a sample; returns any windows the watermark closed."""
+
+        closed = self._close_until(float(timestamp))
+        for start in self._starts_for(float(timestamp)):
+            self._open.setdefault(start, []).append(float(value))
+        return closed
+
+    def flush(self) -> List[WindowResult]:
+        """Close every open window (end of stream)."""
+
+        closed = [
+            self._result(start, samples)
+            for start, samples in sorted(self._open.items())
+        ]
+        self._open.clear()
+        return closed
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """A detector crossing: the quality signal moved too far."""
+
+    detector: str
+    kind: str  # "ewma" | "cusum"
+    direction: str  # "up" | "down"
+    value: float
+    statistic: float
+    threshold: float
+    sample_index: int
+
+    def to_document(self) -> Dict[str, Any]:
+        """The event as JSON-friendly attributes."""
+
+        return {
+            "detector": self.detector,
+            "kind": self.kind,
+            "direction": self.direction,
+            "value": self.value,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "sample_index": self.sample_index,
+        }
+
+
+class EwmaDetector:
+    """EWMA control chart: flag samples far from the smoothed baseline.
+
+    After ``warmup`` samples establish the baseline, a sample whose
+    distance from the EWMA mean exceeds ``threshold`` times the EWMA
+    standard deviation raises drift; the baseline then restarts from
+    the new level so a sustained shift fires once, not continuously.
+    """
+
+    kind = "ewma"
+
+    def __init__(
+        self,
+        name: str = "ewma",
+        alpha: float = 0.3,
+        threshold: float = 3.0,
+        warmup: int = 5,
+        min_sigma: float = 1e-6,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.name = name
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = max(1, int(warmup))
+        self.min_sigma = min_sigma
+        self._mean: Optional[float] = None
+        self._var = 0.0
+        self._count = 0
+        self._index = -1
+
+    def _reset(self, value: float) -> None:
+        self._mean = value
+        self._var = 0.0
+        self._count = 1
+
+    def update(self, value: float) -> Optional[DriftEvent]:
+        """Feed one sample; returns a drift event on a crossing."""
+
+        self._index += 1
+        value = float(value)
+        if self._mean is None:
+            self._reset(value)
+            return None
+        deviation = value - self._mean
+        sigma = max(math.sqrt(self._var), self.min_sigma)
+        if self._count >= self.warmup and abs(deviation) > self.threshold * sigma:
+            event = DriftEvent(
+                detector=self.name,
+                kind=self.kind,
+                direction="up" if deviation > 0 else "down",
+                value=value,
+                statistic=abs(deviation) / sigma,
+                threshold=self.threshold,
+                sample_index=self._index,
+            )
+            self._reset(value)
+            return event
+        # Standard EWMA mean/variance recursion.
+        self._var = (1 - self.alpha) * (self._var + self.alpha * deviation**2)
+        self._mean += self.alpha * deviation
+        self._count += 1
+        return None
+
+
+class CusumDetector:
+    """Two-sided CUSUM: accumulate drift from a reference level.
+
+    The reference is the mean of the first ``warmup`` samples (or a
+    fixed ``target``).  Each side accumulates excursions beyond the
+    ``slack`` dead band; crossing ``limit`` raises drift and resets
+    both sides with the reference re-anchored at the current value.
+    """
+
+    kind = "cusum"
+
+    def __init__(
+        self,
+        name: str = "cusum",
+        slack: float = 0.02,
+        limit: float = 0.1,
+        warmup: int = 5,
+        target: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.slack = slack
+        self.limit = limit
+        self.warmup = max(1, int(warmup))
+        self._target = target
+        self._baseline: List[float] = []
+        self._high = 0.0
+        self._low = 0.0
+        self._index = -1
+
+    def update(self, value: float) -> Optional[DriftEvent]:
+        """Feed one sample; returns a drift event on a crossing."""
+
+        self._index += 1
+        value = float(value)
+        if self._target is None:
+            self._baseline.append(value)
+            if len(self._baseline) < self.warmup:
+                return None
+            self._target = sum(self._baseline) / len(self._baseline)
+            self._baseline = []
+            return None
+        self._high = max(0.0, self._high + value - self._target - self.slack)
+        self._low = max(0.0, self._low + self._target - value - self.slack)
+        if self._high > self.limit or self._low > self.limit:
+            drifted_up = self._high > self.limit
+            event = DriftEvent(
+                detector=self.name,
+                kind=self.kind,
+                direction="up" if drifted_up else "down",
+                value=value,
+                statistic=self._high if drifted_up else self._low,
+                threshold=self.limit,
+                sample_index=self._index,
+            )
+            self._high = self._low = 0.0
+            self._target = value
+            return event
+        return None

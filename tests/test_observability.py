@@ -312,6 +312,17 @@ class TestEvents:
         assert kept == [2, 3, 4]
         assert log.recent(limit=1)[0]["index"] == 4
 
+    def test_ring_buffer_limit_zero_returns_nothing(self):
+        # regression: events[-0:] is the whole deque, not zero events
+        ring = RingBufferSink()
+        log = EventLog(ring)
+        for index in range(3):
+            log.emit("tick", index=index)
+        assert ring.events(limit=0) == []
+        assert log.recent(limit=0) == []
+        assert len(ring.events(limit=2)) == 2
+        assert len(ring.events()) == 3
+
     def test_events_are_stamped_with_span_context(self):
         log = EventLog()
         with start_span("spanning") as span:

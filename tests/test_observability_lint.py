@@ -92,6 +92,14 @@ class TestMetricNameLint:
             "repro_serving_quota_rejections_total",
             "repro_serving_enactments_total",
             "repro_serving_views_registered",
+            "repro_stream_deltas_total",
+            "repro_stream_memo_hits_total",
+            "repro_stream_memo_misses_total",
+            "repro_stream_reannotated_items_total",
+            "repro_stream_processors_fired_total",
+            "repro_stream_apply_seconds",
+            "repro_stream_drift_events_total",
+            "repro_stream_records_total",
         ):
             assert expected in text, f"metric {expected} is not declared"
 
@@ -117,6 +125,23 @@ class TestMetricNameLint:
             "repro_qv_compile_pass_seconds",
             "repro_qv_compile_processors_eliminated_total",
             "repro_qv_compile_invocations_saved_total",
+        } <= names
+        for name in names:
+            assert METRIC_NAME_RE.match(name), name
+
+    def test_lint_covers_the_stream_module(self):
+        """The streaming tier is instrumented; the lint must scan it."""
+        names = set()
+        for path in sorted((SRC_ROOT / "stream").rglob("*.py")):
+            names.update(_NAME_LITERAL_RE.findall(path.read_text()))
+        assert {
+            "repro_stream_deltas_total",
+            "repro_stream_memo_hits_total",
+            "repro_stream_memo_misses_total",
+            "repro_stream_reannotated_items_total",
+            "repro_stream_apply_seconds",
+            "repro_stream_drift_events_total",
+            "repro_stream_records_total",
         } <= names
         for name in names:
             assert METRIC_NAME_RE.match(name), name
