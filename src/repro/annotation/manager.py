@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.annotation.store import AnnotationStore
 from repro.ontology.iq_model import IQModel
@@ -33,6 +33,9 @@ class RepositoryManager:
         self.iq_model = iq_model
         self.storage_root = storage_root
         self._stores: Dict[str, AnnotationStore] = {}
+        #: Hash-partition guard inherited by every store, present and
+        #: future; see :meth:`configure_shard`.
+        self._shard: Optional[Any] = None
         # Guards the name -> store map so concurrent jobs of the
         # execution runtime can get_or_create repositories safely.
         self._lock = threading.RLock()
@@ -60,6 +63,8 @@ class RepositoryManager:
                 persistent=persistent,
                 directory=directory,
             )
+            if self._shard is not None:
+                store.configure_shard(self._shard)
             self._stores[name] = store
             return store
 
@@ -131,6 +136,21 @@ class RepositoryManager:
         for store in stores:
             if not store.persistent:
                 store.clear()
+
+    def configure_shard(self, shard: Optional[Any]) -> None:
+        """Restrict every repository's writes to one hash partition.
+
+        Installed inside each forked worker of the process execution
+        backend (:mod:`repro.runtime.process`): a worker owns exactly
+        one partition of every annotation repository, so a write routed
+        to the wrong worker fails loudly instead of silently diverging
+        from the serial oracle.  Repositories created later inherit the
+        guard; ``None`` lifts it everywhere.
+        """
+        with self._lock:
+            self._shard = shard
+            for store in self._stores.values():
+                store.configure_shard(shard)
 
     def lookup_stats(self) -> Tuple[int, int]:
         """Aggregate (lookups, hits) across every repository.

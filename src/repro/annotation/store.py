@@ -134,11 +134,25 @@ class AnnotationStore:
         self._counter = itertools.count()
         self._stats_lock = threading.Lock()
         self.stats = LookupStats()
+        #: Optional hash-partition guard (an object with ``owns(id)``,
+        #: see :class:`repro.runtime.shard.ShardSpec`); installed by the
+        #: process backend's workers so a write routed to the wrong
+        #: shard fails loudly instead of silently diverging.
+        self._shard: Optional[Any] = None
 
     @property
     def durable(self) -> bool:
         """True when the repository is backed by an on-disk store."""
         return self.graph.backend.durable
+
+    def configure_shard(self, shard: Optional[Any]) -> None:
+        """Restrict writes to one hash partition (``None`` lifts it).
+
+        ``shard`` is any object with ``owns(data_id) -> bool`` plus
+        ``index``/``count`` attributes — in practice a
+        :class:`repro.runtime.shard.ShardSpec`.
+        """
+        self._shard = shard
 
     # -- writing -----------------------------------------------------------
 
@@ -167,6 +181,11 @@ class AnnotationStore:
         ):
             raise ValueError(
                 f"{evidence_type} is not a QualityEvidence class in the IQ model"
+            )
+        if self._shard is not None and not self._shard.owns(data_item):
+            raise ValueError(
+                f"repository {self.name!r} on shard {self._shard.index} "
+                f"of {self._shard.count} does not own data item {data_item}"
             )
         node = self._new_evidence_node()
         literal = value if isinstance(value, Literal) else Literal(value)

@@ -135,6 +135,16 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--proteins", type=int, default=200)
     batch.add_argument("--seed", type=int, default=42)
     batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument(
+        "--backend", choices=("thread", "process"), default=None,
+        help="execution backend (default: thread, or the "
+             "REPRO_RUNTIME_BACKEND environment variable)",
+    )
+    batch.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="worker processes of the process backend "
+             "(0 derives the count from --workers)",
+    )
     batch.add_argument("--queue-size", type=int, default=32)
     batch.add_argument(
         "--policy", choices=("block", "reject"), default="block",
@@ -214,6 +224,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="HTTP port (0 binds an ephemeral port)",
     )
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--backend", choices=("thread", "process"), default=None,
+        help="execution backend (default: thread, or the "
+             "REPRO_RUNTIME_BACKEND environment variable)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="worker processes of the process backend "
+             "(0 derives the count from --workers)",
+    )
     serve.add_argument(
         "--queue-size", type=int, default=64,
         help="bound of the job queue backing admission control",
@@ -535,6 +555,8 @@ def _cmd_batch(args) -> int:
             parallel_enactment=args.parallel_enactment,
             job_retries=args.job_retries,
             resilience=resilience,
+            shards=args.shards,
+            **({"backend": args.backend} if args.backend else {}),
         ).validated()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -558,8 +580,12 @@ def _cmd_batch(args) -> int:
         example_quality_view_xml(args.filter_condition)
     )
     datasets = [results.items_of_run(run.run_id) for run in runs]
+    pool = (
+        f"{config.effective_shards()} shard processes"
+        if config.backend == "process" else f"{config.workers} workers"
+    )
     print(
-        f"runtime: {config.workers} workers, queue {config.queue_size} "
+        f"runtime: {pool}, queue {config.queue_size} "
         f"({config.queue_policy}), "
         f"{'parallel' if config.parallel_enactment else 'serial'} enactment"
         + (f", fault rate {args.fault_rate:.0%} (seed {args.fault_seed})"
@@ -633,7 +659,10 @@ def _cmd_batch(args) -> int:
               f"({len(dead_letters)} dead-lettered):", file=sys.stderr)
         for handle in failures:
             error = handle.exception()
-            print(f"  {handle.name}: {type(error).__name__}: {error}"
+            cause = ""
+            if hasattr(error, "details"):
+                cause = f" {error.details()}"
+            print(f"  {handle.name}: {type(error).__name__}: {error}{cause}"
                   + (f" (after {handle.metrics.retries} job retries)"
                      if handle.metrics.retries else ""),
                   file=sys.stderr)
@@ -726,6 +755,8 @@ def _cmd_serve(args) -> int:
             queue_policy="reject",
             parallel_enactment=args.parallel_enactment,
             name="serving",
+            shards=args.shards,
+            **({"backend": args.backend} if args.backend else {}),
         ).validated()
         serving_config = ServingConfig(
             host=args.host,
@@ -762,9 +793,14 @@ def _cmd_serve(args) -> int:
             f"{args.quota_rate:g} req/s (burst {args.quota_burst:g})"
             if args.quota_rate > 0 else "disabled"
         )
+        pool = (
+            f"{runtime_config.effective_shards()} shard processes"
+            if runtime_config.backend == "process"
+            else f"{runtime_config.workers} workers"
+        )
         print(
             f"serving http://{args.host}:{server.port} — "
-            f"{runtime_config.workers} workers, queue "
+            f"{pool}, queue "
             f"{runtime_config.queue_size} (reject), per-tenant quota "
             f"{quota}, {len(datasets)} datasets; Ctrl-C to stop"
         )

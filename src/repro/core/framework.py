@@ -149,16 +149,23 @@ class QuratorFramework:
         Returns a started :class:`repro.runtime.service.ExecutionService`
         (job queue + worker pool); keyword overrides adjust the config,
         e.g. ``framework.runtime(workers=8, queue_policy="reject")``.
-        The caller owns its lifecycle — use it as a context manager or
-        call ``shutdown()``.
+        ``backend="process"`` (or ``REPRO_RUNTIME_BACKEND=process``)
+        selects the sharded process-pool backend instead — deploy every
+        service *before* building the runtime then, because workers
+        inherit the framework at fork time.  The caller owns its
+        lifecycle — use it as a context manager or call ``shutdown()``.
         """
-        from repro.runtime.config import RuntimeConfig
+        from repro.runtime.config import BACKEND_PROCESS, RuntimeConfig
         from repro.runtime.service import ExecutionService
 
         if config is None:
             config = RuntimeConfig()
         if overrides:
             config = config.with_overrides(**overrides)
+        if config.backend == BACKEND_PROCESS:
+            from repro.runtime.process import ProcessExecutionService
+
+            return ProcessExecutionService(self, config)
         return ExecutionService(self, config)
 
     def resilient_invoker(self, config: Optional[Any] = None) -> Any:

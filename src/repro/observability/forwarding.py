@@ -1,0 +1,90 @@
+"""Cross-process telemetry forwarding for the process execution backend.
+
+After a fork, each worker process owns a private copy of the metric
+registry: counters a worker bumps are invisible to the parent's
+exporters.  Workers therefore report structured *records* — one per
+processed chunk, plus worker-lifecycle events — through the stats
+queue, and the parent republishes them here under the
+``repro_runtime_proc_*`` metric families and re-emits lifecycle events
+through the parent's event log.  Span timing crosses the boundary the
+same way: each worker stage measures its own wall clock and the chunk
+record carries the per-stage seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.observability.events import get_event_log
+from repro.observability.registry import get_registry
+
+__all__ = [
+    "chunk_record",
+    "publish_chunk_record",
+    "publish_worker_event",
+    "set_worker_gauge",
+]
+
+
+def chunk_record(
+    *,
+    shard: int,
+    job: int,
+    seq: int,
+    items: int,
+    status: str,
+    stage_seconds: Mapping[str, float],
+    cache_lookups: int = 0,
+    cache_hits: int = 0,
+) -> Dict[str, Any]:
+    """One worker chunk's telemetry, as a wire-safe stat message."""
+    return {
+        "kind": "stat",
+        "shard": shard,
+        "job": job,
+        "seq": seq,
+        "items": items,
+        "status": status,
+        "stage_seconds": {
+            stage: float(seconds)
+            for stage, seconds in stage_seconds.items()
+        },
+        "cache_lookups": int(cache_lookups),
+        "cache_hits": int(cache_hits),
+    }
+
+
+def publish_chunk_record(record: Mapping[str, Any]) -> None:
+    """Republish one worker chunk record on the parent's registry."""
+    registry = get_registry()
+    shard = str(record.get("shard", ""))
+    registry.counter(
+        "repro_runtime_proc_chunks_total",
+        "Streaming chunks processed by worker shard and status.",
+        labels=("shard", "status"),
+    ).labels(shard=shard, status=str(record.get("status", ""))).inc()
+    registry.counter(
+        "repro_runtime_proc_chunk_items_total",
+        "Data items processed by worker shard.",
+        labels=("shard",),
+    ).labels(shard=shard).inc(int(record.get("items", 0)))
+    for stage, seconds in (record.get("stage_seconds") or {}).items():
+        registry.histogram(
+            "repro_runtime_proc_stage_seconds",
+            "Wall-clock seconds of one chunk through one worker stage.",
+            labels=("stage",),
+        ).labels(stage=str(stage)).observe(float(seconds))
+
+
+def publish_worker_event(name: str, **attributes: Any) -> None:
+    """Re-emit one worker-lifecycle event on the parent's event log."""
+    get_event_log().emit(name, **attributes)
+
+
+def set_worker_gauge(runtime: str, live: int) -> None:
+    """Publish the live worker-process count of one runtime."""
+    get_registry().gauge(
+        "repro_runtime_proc_workers",
+        "Live worker processes of the process execution backend.",
+        labels=("runtime",),
+    ).labels(runtime=runtime).set(live)

@@ -52,10 +52,15 @@ from repro.workflow.processors import ON_FAILURE_DEFAULT, Processor
 
 __all__ = [
     "FILTER_GATE",
+    "STAGE_ANNOTATE",
+    "STAGE_ASSERT",
+    "STAGE_ENRICH",
     "BatchEnrichmentProcessor",
     "FilterGateProcessor",
     "FusedAssertionProcessor",
     "emit_workflow",
+    "shardable_processors",
+    "stage_chain",
 ]
 
 #: Compiler-assigned name of the pushed-down filter gate processor.
@@ -221,6 +226,99 @@ class FilterGateProcessor(Processor):
         amap = inputs.get("annotationMap") or AnnotationMap()
         outcome = self.gate.execute(items, amap, self.variable_bindings)
         return {"dataSet": outcome.items(FilterAction.ACCEPTED)}
+
+
+# -- stage-chain emission (process execution backend) -----------------------
+#
+# The multi-process runtime splits a compiled quality workflow into a
+# *shardable* prefix — processors whose per-item outputs are independent
+# of the rest of the collection, safe to run over a hash partition of
+# the data set — and a *residual* suffix the parent runs over the merged
+# frontier (collection-scoped QAs, consolidation, actions).  Worker
+# processes run the shardable prefix as a chain of streaming stages:
+# annotate -> enrich -> assert/filter.
+
+#: Worker-side stage names, in hand-off order.
+STAGE_ANNOTATE = "annotate"
+STAGE_ENRICH = "enrich"
+STAGE_ASSERT = "assert"
+
+STAGE_ORDER = (STAGE_ANNOTATE, STAGE_ENRICH, STAGE_ASSERT)
+
+
+def _item_partitionable(processor: Processor) -> bool:
+    """Whether one processor's semantics survive item partitioning.
+
+    Annotators and data enrichment are per-item by construction (keyed
+    repository writes/reads).  A QA is partitionable only when its
+    service declares ``item_local`` verdicts; a fused bundle inherits
+    the declaration of its (single) service.  The filter gate evaluates
+    its predicate per item.  Everything else — collection-scoped QAs,
+    consolidation, actions — must see the whole data set.
+    """
+    if isinstance(processor, (AnnotatorProcessor, DataEnrichmentProcessor)):
+        return True
+    if isinstance(processor, (AssertionProcessor, FusedAssertionProcessor)):
+        return bool(getattr(processor.service, "item_local", False))
+    if isinstance(processor, FilterGateProcessor):
+        return True
+    return False
+
+
+def shardable_processors(workflow: Workflow) -> Tuple[str, ...]:
+    """The workflow's shardable prefix, in topological order.
+
+    A processor is shardable iff it is item-partitionable *and* every
+    upstream processor (data and control links) is itself shardable —
+    a value computed downstream of a collection-scoped stage may depend
+    on the whole data set even if the processor's own operator is
+    per-item.
+    """
+    shardable: set = set()
+    order = workflow.topological_order()
+    for name in order:
+        processor = workflow.processors[name]
+        if not _item_partitionable(processor):
+            continue
+        if any(dep not in shardable for dep in workflow.upstream_of(name)):
+            continue
+        shardable.add(name)
+    return tuple(name for name in order if name in shardable)
+
+
+def _stage_of(processor: Processor) -> str:
+    if isinstance(processor, AnnotatorProcessor):
+        return STAGE_ANNOTATE
+    if isinstance(processor, DataEnrichmentProcessor):
+        return STAGE_ENRICH
+    return STAGE_ASSERT
+
+
+def stage_chain(workflow: Workflow) -> Dict[str, Tuple[str, ...]]:
+    """Shardable processors grouped into the worker's streaming stages.
+
+    Returns ``{stage: (processor, ...)}`` with processors in topological
+    order within each stage.  The grouping is a valid coarsening of the
+    wavefront schedule for compiled quality workflows: annotators never
+    depend on enrichment or assertions, and enrichment never depends on
+    assertions — verified here so a structurally surprising workflow
+    fails at planning time, not mid-stream.
+    """
+    shardable = shardable_processors(workflow)
+    region = set(shardable)
+    stages: Dict[str, List[str]] = {stage: [] for stage in STAGE_ORDER}
+    rank = {stage: index for index, stage in enumerate(STAGE_ORDER)}
+    for name in shardable:
+        stage = _stage_of(workflow.processors[name])
+        for dep in workflow.upstream_of(name):
+            if dep in region and rank[_stage_of(workflow.processors[dep])] > rank[stage]:
+                raise ValueError(
+                    f"processor {name!r} ({stage}) depends on {dep!r} of a "
+                    f"later stage; the workflow does not fit the "
+                    f"annotate/enrich/assert chain"
+                )
+        stages[stage].append(name)
+    return {stage: tuple(names) for stage, names in stages.items()}
 
 
 def _member_port(bundle: IRBundle, member: IRAssertion) -> str:

@@ -22,10 +22,23 @@ deadlines, circuit breakers, ``on_failure`` degradation);
 ``job_retries`` adds whole-job re-runs, with permanently failed jobs
 collected on ``ExecutionService.dead_letters``.
 
+CPU-bound workloads can switch to the sharded process pool —
+:class:`~repro.runtime.process.ProcessExecutionService`, selected via
+``RuntimeConfig(backend="process", shards=N)`` or
+``REPRO_RUNTIME_BACKEND=process`` — which streams the item-partitionable
+stages of each view (annotate/enrich/item-local QA) through forked
+worker processes, each owning one hash partition
+(:mod:`~repro.runtime.shard`) of the data and of the annotation
+repositories, with collection-scoped stages back in the parent.
+
 Obtain a configured engine via ``QuratorFramework.runtime()``.
 """
 
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import (
+    BACKEND_PROCESS,
+    BACKEND_THREAD,
+    RuntimeConfig,
+)
 from repro.runtime.jobs import (
     JobBatch,
     JobCancelledError,
@@ -34,13 +47,17 @@ from repro.runtime.jobs import (
 )
 from repro.runtime.metrics import JobMetrics, RuntimeStats, RuntimeStatsSnapshot
 from repro.runtime.parallel import ParallelEnactor
+from repro.runtime.process import ProcessExecutionService, WorkerLostError
 from repro.runtime.service import (
     ExecutionService,
     QueueFullError,
     RuntimeClosedError,
 )
+from repro.runtime.shard import ShardSpec, owners, partition, shard_of
 
 __all__ = [
+    "BACKEND_PROCESS",
+    "BACKEND_THREAD",
     "ExecutionService",
     "JobBatch",
     "JobCancelledError",
@@ -48,9 +65,15 @@ __all__ = [
     "JobMetrics",
     "JobStatus",
     "ParallelEnactor",
+    "ProcessExecutionService",
     "QueueFullError",
     "RuntimeClosedError",
     "RuntimeConfig",
     "RuntimeStats",
     "RuntimeStatsSnapshot",
+    "ShardSpec",
+    "WorkerLostError",
+    "owners",
+    "partition",
+    "shard_of",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.resilience.config import ResilienceConfig
@@ -11,6 +11,21 @@ from repro.resilience.config import ResilienceConfig
 #: Admission-control policies for a full job queue.
 POLICY_BLOCK = "block"
 POLICY_REJECT = "reject"
+
+#: Execution backends an :class:`RuntimeConfig` can select.
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+
+#: Environment override of the default backend, mirroring
+#: ``REPRO_STORAGE_BACKEND``: ``REPRO_RUNTIME_BACKEND=process`` makes
+#: every default-constructed runtime multi-process, which is how the CI
+#: tier re-runs the runtime/stream test files against the process pool.
+BACKEND_ENV = "REPRO_RUNTIME_BACKEND"
+
+
+def default_backend() -> str:
+    """The backend selected by the environment (``thread`` if unset)."""
+    return os.environ.get(BACKEND_ENV, BACKEND_THREAD)
 
 
 def default_workers() -> int:
@@ -51,6 +66,25 @@ class RuntimeConfig:
         submitted view/workflow through it (retries with backoff,
         deadlines, per-endpoint circuit breakers, ``on_failure``
         degradation policies).
+    ``backend``
+        ``"thread"`` (the default) runs jobs on an in-process worker
+        pool; ``"process"`` runs the shardable stages of each job on a
+        pool of forked worker processes
+        (:class:`repro.runtime.process.ProcessExecutionService`), with
+        consolidation and other collection-scoped stages in the parent.
+        The default honours the ``REPRO_RUNTIME_BACKEND`` environment
+        variable.
+    ``shards``
+        Worker processes of the process backend, each owning a hash
+        partition of the data items and their annotation repositories;
+        ``0`` (the default) means "same as ``workers``".
+    ``chunk_size``
+        Items per streaming chunk on the process backend: the unit of
+        hand-off between the worker's annotate/enrich/assert stages
+        and of partial results shipped back to the parent.
+    ``worker_timeout``
+        Seconds the process backend's watchdog waits for a worker to
+        exit at shutdown before terminating it (also bounds the join).
     """
 
     workers: int = 4
@@ -62,6 +96,14 @@ class RuntimeConfig:
     job_retries: int = 0
     resilience: Optional[ResilienceConfig] = None
     name: str = "runtime"
+    backend: str = field(default_factory=default_backend)
+    shards: int = 0
+    chunk_size: int = 32
+    worker_timeout: float = 10.0
+
+    def effective_shards(self) -> int:
+        """The worker-process count the process backend actually runs."""
+        return self.shards if self.shards > 0 else self.workers
 
     def validated(self) -> "RuntimeConfig":
         """Range-check every field; returns self for chaining."""
@@ -87,6 +129,24 @@ class RuntimeConfig:
         if self.job_retries < 0:
             raise ValueError(
                 f"job_retries must be >= 0, got {self.job_retries}"
+            )
+        if self.backend not in (BACKEND_THREAD, BACKEND_PROCESS):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"valid: {BACKEND_THREAD!r}, {BACKEND_PROCESS!r}"
+            )
+        if self.shards < 0:
+            raise ValueError(
+                f"shards must be >= 0 (0 = same as workers), "
+                f"got {self.shards}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be > 0, got {self.worker_timeout}"
             )
         if self.resilience is not None:
             self.resilience.validated()

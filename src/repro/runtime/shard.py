@@ -1,0 +1,83 @@
+"""Hash partitioning of data items across worker shards.
+
+The process backend routes every data item to exactly one worker by a
+stable digest of its identifier, and the same function decides which
+annotation-repository partition owns the item's memo entries — so a
+worker never needs cross-process locking to annotate or enrich its own
+items.  Stability matters twice over: the assignment must be identical
+across interpreter runs (Python's builtin ``hash`` is salted per
+process, so it is useless here) and across the parent and its workers
+(which route and verify with the same function).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shard_of(data_id: str, shards: int) -> int:
+    """The owning shard of one data item, in ``range(shards)``.
+
+    Uses the first 8 bytes of BLAKE2b over the UTF-8 identifier — a
+    keyless, process-independent digest — so the mapping is a pure
+    function of ``(data_id, shards)``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    digest = hashlib.blake2b(
+        str(data_id).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def partition(items: Sequence[T], shards: int) -> List[List[T]]:
+    """Split items into per-shard lists, preserving input order.
+
+    Every item lands in exactly one list (``result[shard_of(item)]``),
+    and within each list the original relative order is kept — the
+    property the parent's result assembly relies on to reconstruct
+    dataset-ordered values byte-equal to a serial enactment.
+    """
+    buckets: List[List[T]] = [[] for _ in range(shards)]
+    for item in items:
+        buckets[shard_of(str(item), shards)].append(item)
+    return buckets
+
+
+def owners(items: Iterable[T], shards: int) -> Dict[T, int]:
+    """Item -> owning shard, for routing checks and tests."""
+    return {item: shard_of(str(item), shards) for item in items}
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    """Split one shard's items into bounded chunks (order preserved).
+
+    Chunks are the unit of streaming hand-off: a worker pushes each
+    chunk through its stage chain and ships the partial result back as
+    soon as that chunk clears the last shardable stage, so the parent
+    starts merging while later chunks are still being annotated.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        list(items[start:start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's identity within a sharded runtime."""
+
+    index: int
+    count: int
+
+    def owns(self, data_id: str) -> bool:
+        """Whether this shard's repositories own the item's memo entries."""
+        return shard_of(data_id, self.count) == self.index

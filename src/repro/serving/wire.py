@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.annotation.map import AnnotationMap
 from repro.core.results import QualityViewResult
-from repro.rdf import URIRef
+from repro.rdf import Literal, URIRef
 from repro.runtime.jobs import JobHandle
 
 
@@ -180,6 +180,212 @@ def decode_enact_request(
         if timeout <= 0:
             raise WireError('"timeout" must be > 0 seconds')
     return items, wait, timeout
+
+
+# -- inter-process messages (process execution backend) --------------------
+#
+# Every payload crossing a process boundary — job chunks, control
+# messages, partial results, stats records, errors — is one of these
+# message kinds, serialized with :func:`encode_message` and parsed with
+# :func:`decode_message`.  The encoder is deliberately strict: only
+# exact JSON types survive a round trip unchanged, so anything else
+# (a ``URIRef``, a ``Literal``, a set, a custom object) is rejected
+# *by name* at send time instead of arriving subtly transformed.
+# Rich values (annotation maps, item lists, typed terms) must go
+# through the explicit value codecs below.
+
+#: Message kinds of the process backend's two queues.
+#: parent -> worker: view (compile request), chunk (items to process),
+#: clear (reset transient repositories), stop (drain and exit);
+#: worker -> parent: ready (startup handshake), part (one chunk's
+#: frontier values), stat (telemetry record), error (one chunk or
+#: view failed).
+MESSAGE_KINDS = frozenset(
+    {"view", "chunk", "clear", "stop", "ready", "part", "stat", "error"}
+)
+
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_wire_safe(value: Any, path: str) -> None:
+    """Reject anything that would not survive a JSON round trip.
+
+    Checks *exact* types: a ``str`` subclass like ``URIRef`` or an
+    ``int``-like enum would serialize fine but decode as its plain base
+    type, which is precisely the silent corruption this guard exists to
+    catch.  The error names the offending type and its path.
+    """
+    kind = type(value)
+    if kind in _WIRE_SCALARS:
+        return
+    if kind is dict:
+        for key, entry in value.items():
+            if type(key) is not str:
+                raise WireError(
+                    f"non-serializable message: key {key!r} at {path} is "
+                    f"{type(key).__name__}; wire keys must be plain str"
+                )
+            _check_wire_safe(entry, f"{path}.{key}")
+        return
+    if kind is list:
+        for index, entry in enumerate(value):
+            _check_wire_safe(entry, f"{path}[{index}]")
+        return
+    raise WireError(
+        f"non-serializable message: value at {path} is "
+        f"{kind.__name__}; encode it with a wire value codec first"
+    )
+
+
+def encode_message(document: Mapping[str, Any]) -> bytes:
+    """Serialize one inter-process message after strict validation."""
+    if not isinstance(document, dict):
+        raise WireError(
+            f"message must be a dict, got {type(document).__name__}"
+        )
+    kind = document.get("kind")
+    if kind not in MESSAGE_KINDS:
+        raise WireError(
+            f"unknown message kind {kind!r}; valid: {sorted(MESSAGE_KINDS)}"
+        )
+    _check_wire_safe(document, "message")
+    return dumps(document)
+
+
+def decode_message(payload: bytes) -> Dict[str, Any]:
+    """Parse one inter-process message; checks the kind tag."""
+    document = loads(payload)
+    if not isinstance(document, dict) or document.get("kind") not in MESSAGE_KINDS:
+        raise WireError(
+            f"malformed inter-process message: {document!r:.120}"
+        )
+    return document
+
+
+def _encode_term(value: Any) -> Any:
+    """One evidence/tag value, losslessly typed for the wire."""
+    if value is None:
+        return None
+    if isinstance(value, Literal):
+        return {
+            "t": "lit",
+            "l": value.lexical,
+            "d": str(value.datatype) if value.datatype else None,
+            "g": value.lang,
+        }
+    if isinstance(value, URIRef):
+        return {"t": "uri", "v": str(value)}
+    if type(value) in (str, int, float, bool):
+        return {"t": "py", "v": value}
+    raise WireError(
+        f"cannot encode annotation value of type {type(value).__name__}"
+    )
+
+
+def _decode_term(document: Any) -> Any:
+    if document is None:
+        return None
+    tag = document.get("t")
+    if tag == "lit":
+        return Literal(
+            document["l"], datatype=document["d"], lang=document["g"]
+        )
+    if tag == "uri":
+        return URIRef(document["v"])
+    if tag == "py":
+        return document["v"]
+    raise WireError(f"unknown wire term tag {tag!r}")
+
+
+def encode_typed_map(amap: AnnotationMap) -> Dict[str, Any]:
+    """A lossless annotation-map codec for process hand-off.
+
+    Unlike :func:`encode_annotation_map` (the human-facing result
+    document, which flattens terms to plain JSON), this preserves term
+    types and per-item insertion order, so a decoded map is ``==`` the
+    original and downstream stages behave identically.
+    """
+    items = [str(item) for item in amap.items()]
+    evidence = [
+        [
+            [str(etype), _encode_term(value)]
+            for etype, value in amap.evidence_for(item).items()
+        ]
+        for item in amap.items()
+    ]
+    tags = [
+        [
+            [
+                name,
+                _encode_term(tag.value),
+                str(tag.syn_type) if tag.syn_type else None,
+                str(tag.sem_type) if tag.sem_type else None,
+            ]
+            for name, tag in amap.tags_for(item).items()
+        ]
+        for item in amap.items()
+    ]
+    return {"items": items, "evidence": evidence, "tags": tags}
+
+
+def decode_typed_map(document: Mapping[str, Any]) -> AnnotationMap:
+    """Rebuild an :class:`AnnotationMap` from :func:`encode_typed_map`."""
+    try:
+        items = [URIRef(item) for item in document["items"]]
+        amap = AnnotationMap(items)
+        for item, entries in zip(items, document["evidence"]):
+            for etype, value in entries:
+                amap.set_evidence(item, URIRef(etype), _decode_term(value))
+        for item, entries in zip(items, document["tags"]):
+            for name, value, syn_type, sem_type in entries:
+                amap.set_tag(
+                    item,
+                    name,
+                    _decode_term(value),
+                    syn_type=URIRef(syn_type) if syn_type else None,
+                    sem_type=URIRef(sem_type) if sem_type else None,
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed annotation-map document: {exc}") from exc
+    return amap
+
+
+def encode_stage_value(value: Any) -> Dict[str, Any]:
+    """One frontier value (a shardable stage output) for the wire.
+
+    Frontier values are what workers ship back to the parent: either an
+    annotation map or a data-set (item list).  Anything else is a
+    planner bug and fails loudly with the offending type's name.
+    """
+    if value is None:
+        return {"kind": "null"}
+    if isinstance(value, AnnotationMap):
+        return {"kind": "annotationMap", "map": encode_typed_map(value)}
+    if isinstance(value, (list, tuple)):
+        bad = next(
+            (entry for entry in value if not isinstance(entry, str)), None
+        )
+        if bad is not None:
+            raise WireError(
+                f"cannot encode data-set entry of type {type(bad).__name__}"
+            )
+        return {"kind": "dataSet", "items": [str(entry) for entry in value]}
+    raise WireError(
+        f"cannot encode inter-process stage value of type "
+        f"{type(value).__name__}"
+    )
+
+
+def decode_stage_value(document: Mapping[str, Any]) -> Any:
+    """Rebuild one frontier value from :func:`encode_stage_value`."""
+    kind = document.get("kind")
+    if kind == "null":
+        return None
+    if kind == "annotationMap":
+        return decode_typed_map(document["map"])
+    if kind == "dataSet":
+        return [URIRef(item) for item in document["items"]]
+    raise WireError(f"unknown stage-value kind {kind!r}")
 
 
 def decode_view_registration(document: Any, content_type: str) -> str:

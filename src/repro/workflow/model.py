@@ -174,6 +174,22 @@ class Workflow:
         """Data links reading a processor's outputs."""
         return [l for l in self.data_links if l.source.processor == processor]
 
+    def boundary_links(self, region: Set[str]) -> List[DataLink]:
+        """Data links leaving a processor region.
+
+        A link is on the boundary when its source processor lies inside
+        ``region`` and its sink does not — including links feeding the
+        workflow's own output ports (empty sink processor).  The process
+        execution backend uses this to decide which shardable-stage
+        values must cross back to the parent for the residual stages.
+        """
+        return [
+            link
+            for link in self.data_links
+            if link.source.processor in region
+            and link.sink.processor not in region
+        ]
+
     def topological_order(self) -> List[str]:
         """Processor firing order; raises on cyclic dependencies."""
         pending = {

@@ -68,6 +68,12 @@ class TestMetricNameLint:
             "repro_runtime_jobs_total",
             "repro_runtime_queue_depth",
             "repro_runtime_job_run_seconds",
+            "repro_runtime_proc_workers",
+            "repro_runtime_proc_chunks_total",
+            "repro_runtime_proc_chunk_items_total",
+            "repro_runtime_proc_stage_seconds",
+            "repro_runtime_proc_worker_restarts_total",
+            "repro_runtime_proc_messages_total",
             "repro_resilience_invocations_total",
             "repro_resilience_breaker_state",
             "repro_resilience_retries_total",
