@@ -1,0 +1,201 @@
+"""E22 — paged storage: O(segments) cold open and paged probe cost.
+
+The paged engine (:mod:`repro.storage.paged`) keeps triples in
+immutable mmap'd sorted runs, so a cold open maps files and reads
+footers instead of replaying every triple into dict indexes.  This
+experiment quantifies the tentpole claims of ISSUE 10:
+
+* **Cold open** — bulk-load one million triples into *both* engines,
+  then time a cold open of each.  The paged open must finish within
+  0.3 s and be at least 100x faster than the disk engine's replay
+  (27.5 s in E19's published run).
+* **Probe throughput** — random point lookups and prefix scans
+  through the :class:`~repro.storage.paged.PagedProbe` with a block
+  cache far smaller than the store, so the numbers include real page
+  misses, not a warmed dict.
+* **Query parity** — the planned/naive differential re-run on the
+  paged store; answers must match the disk engine byte for byte.
+
+Artefacts land in ``benchmarks/results/E22_paged_storage.txt`` and
+``BENCH_E22.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_table
+from benchmarks.bench_storage import BULK_TRIPLES, QUERIES, generate_triples, solutions
+from repro.rdf import Graph
+from repro.storage import DiskBackend, PagedBackend, bulk_load_triples
+
+#: Cache budget for the probe-throughput phase: 256 blocks = 1 MiB,
+#: versus ~45 MiB of run sections for the million-triple store.
+PROBE_CACHE_BLOCKS = 256
+#: Random point lookups / prefix scans measured per phase.
+POINT_LOOKUPS = 20_000
+PREFIX_SCANS = 2_000
+
+#: Acceptance: cold open of one million triples, mmap + footers only.
+MAX_COLD_OPEN_SECONDS = 0.3
+MIN_SPEEDUP = 100.0
+
+
+def test_paged_storage_costs(tmp_path_factory, bench_seed):
+    base = tmp_path_factory.mktemp("e22")
+    lines = []
+    report = {"bulk": {}, "cold_open": {}, "probe": {}, "parity": {}}
+
+    # -- bulk load into both engines --------------------------------------
+    paged_dir = str(base / "paged")
+    disk_dir = str(base / "disk")
+    paged_bulk = bulk_load_triples(
+        generate_triples(BULK_TRIPLES), paged_dir, engine="paged"
+    )
+    disk_bulk = bulk_load_triples(
+        generate_triples(BULK_TRIPLES), disk_dir, engine="disk"
+    )
+    report["bulk"] = {
+        "triples": paged_bulk["triples_loaded"],
+        "paged_seconds": round(paged_bulk["seconds"], 2),
+        "paged_triples_per_second": int(paged_bulk["triples_per_second"]),
+        "disk_seconds": round(disk_bulk["seconds"], 2),
+        "disk_triples_per_second": int(disk_bulk["triples_per_second"]),
+        "paged_segment_mib": round(paged_bulk["segment_bytes"] / 2**20, 1),
+    }
+    lines.append(
+        f"bulk load (paged): {paged_bulk['triples_loaded']:,} triples in "
+        f"{paged_bulk['seconds']:.2f}s = "
+        f"{paged_bulk['triples_per_second']:,.0f} triples/s "
+        f"({report['bulk']['paged_segment_mib']} MiB of runs)"
+    )
+    lines.append(
+        f"bulk load (disk):  {disk_bulk['triples_loaded']:,} triples in "
+        f"{disk_bulk['seconds']:.2f}s = "
+        f"{disk_bulk['triples_per_second']:,.0f} triples/s"
+    )
+
+    # -- cold open: O(segments) vs O(triples) ------------------------------
+    started = time.perf_counter()
+    paged = PagedBackend(paged_dir, sync="none")
+    paged_open_seconds = time.perf_counter() - started
+    assert paged.size == BULK_TRIPLES
+
+    started = time.perf_counter()
+    disk = DiskBackend(disk_dir, sync="none")
+    disk_open_seconds = time.perf_counter() - started
+    assert disk.size == BULK_TRIPLES
+    disk.close()
+
+    speedup = disk_open_seconds / paged_open_seconds
+    report["cold_open"] = {
+        "paged_seconds": round(paged_open_seconds, 4),
+        "disk_seconds": round(disk_open_seconds, 2),
+        "speedup": round(speedup, 1),
+        "max_seconds": MAX_COLD_OPEN_SECONDS,
+    }
+    lines.append(
+        f"cold open (paged): {BULK_TRIPLES:,} triples in "
+        f"{paged_open_seconds * 1000:.1f}ms (mmap + footers)"
+    )
+    lines.append(
+        f"cold open (disk):  {BULK_TRIPLES:,} triples in "
+        f"{disk_open_seconds:.2f}s (full segment replay)"
+    )
+    lines.append(f"cold-open speedup: {speedup:,.0f}x (floor {MIN_SPEEDUP:.0f}x)")
+
+    # -- probe throughput with a starved block cache -----------------------
+    paged.close()
+    paged = PagedBackend(
+        paged_dir, sync="none", cache_blocks=PROBE_CACHE_BLOCKS
+    )
+    probe = paged.probe()
+    n_terms = len(paged.term_list)
+    rng = random.Random(bench_seed)
+    # Sample real triples out of the store for the point-lookup set so
+    # every probe does full binary-search work (fences + in-block).
+    sample_every = max(1, BULK_TRIPLES // POINT_LOOKUPS)
+    points = [
+        triple
+        for index, triple in enumerate(paged.encoded_triples())
+        if index % sample_every == 0
+    ]
+    rng.shuffle(points)
+    points = points[:POINT_LOOKUPS]
+
+    started = time.perf_counter()
+    hits = sum(1 for sid, pid, oid in points if probe.contains(sid, pid, oid))
+    point_seconds = time.perf_counter() - started
+    assert hits == len(points)
+
+    subjects = [points[rng.randrange(len(points))][0] for _ in range(PREFIX_SCANS)]
+    started = time.perf_counter()
+    scanned = 0
+    for sid in subjects:
+        for _ in probe.scan(sid, None, None):
+            scanned += 1
+    scan_seconds = time.perf_counter() - started
+
+    cache = paged.cache.stats()
+    store_blocks = sum(
+        run.path.stat().st_size // 4096 for run in paged.runs
+    )
+    report["probe"] = {
+        "cache_blocks": PROBE_CACHE_BLOCKS,
+        "store_blocks": store_blocks,
+        "point_lookups": len(points),
+        "point_lookups_per_second": int(len(points) / point_seconds),
+        "prefix_scans": PREFIX_SCANS,
+        "rows_scanned": scanned,
+        "scan_rows_per_second": int(scanned / scan_seconds),
+        "cache_hit_rate": round(
+            cache["hits"] / max(1, cache["hits"] + cache["misses"]), 3
+        ),
+        "evictions": cache["evictions"],
+    }
+    lines.append(
+        f"point lookups ({PROBE_CACHE_BLOCKS}-block cache vs "
+        f"{store_blocks:,}-block store): "
+        f"{report['probe']['point_lookups_per_second']:,} lookups/s"
+    )
+    lines.append(
+        f"prefix scans: {scanned:,} rows over {PREFIX_SCANS:,} subjects = "
+        f"{report['probe']['scan_rows_per_second']:,} rows/s "
+        f"(hit rate {report['probe']['cache_hit_rate']:.1%}, "
+        f"{cache['evictions']:,} evictions)"
+    )
+    assert cache["evictions"] > 0, "the cache must be smaller than the store"
+    assert n_terms > 0
+
+    # -- query parity against the disk engine ------------------------------
+    paged_graph = Graph(backend=paged)
+    disk_graph = Graph(backend=DiskBackend(disk_dir, sync="none"))
+    parity_ok = True
+    for query in QUERIES:
+        planned = solutions(paged_graph.query(query))
+        naive = solutions(paged_graph.query(query, use_planner=False))
+        reference = solutions(disk_graph.query(query))
+        parity_ok = parity_ok and planned == naive == reference
+    report["parity"] = {"queries": len(QUERIES), "ok": parity_ok}
+    lines.append(
+        f"query parity (planned vs naive vs disk engine): "
+        f"{'ok' if parity_ok else 'FAILED'} over {len(QUERIES)} queries"
+    )
+    disk_graph.close()
+    paged_graph.close()
+
+    write_table(
+        "E22_paged_storage",
+        "E22 — paged storage: cold open, starved-cache probes, parity",
+        lines,
+        seed=bench_seed,
+    )
+    (RESULTS_DIR / "BENCH_E22.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert parity_ok
+    assert paged_open_seconds <= MAX_COLD_OPEN_SECONDS
+    assert speedup >= MIN_SPEEDUP

@@ -122,10 +122,13 @@ class AnnotationStore:
             # re-served without re-annotation.  The store's open
             # generation replaces the process-local instance counter in
             # evidence-node ids, so nodes minted before and after a
-            # restart can never collide.
-            from repro.storage import DiskBackend
+            # restart can never collide.  The engine (disk or paged) is
+            # detected from the directory's manifest; a fresh directory
+            # follows REPRO_STORAGE_BACKEND (``repro.storage.
+            # default_engine``), so the paged CI tier covers this path.
+            from repro.storage import open_backend
 
-            backend = DiskBackend(directory, sync=sync)
+            backend = open_backend(directory, sync=sync)
             self.graph = Graph(f"annotations:{name}", backend=backend)
             self._instance_token = f"g{backend.generation}"
         else:

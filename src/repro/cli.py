@@ -354,6 +354,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=50_000, metavar="N",
         help="triples buffered per index batch",
     )
+    store_load.add_argument(
+        "--backend", choices=("disk", "paged"), default=None,
+        help="store engine to build (default: disk, or paged when "
+             "REPRO_STORAGE_BACKEND selects a paged backend)",
+    )
     store_info = store_commands.add_parser(
         "info", help="print a store's manifest and recovery summary"
     )
@@ -367,6 +372,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_snapshot.add_argument("directory", help="source store directory")
     store_snapshot.add_argument("destination", help="directory to create")
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="re-checksum all segments and the WAL tail offline "
+             "(exits non-zero on the first mismatch)",
+    )
+    store_verify.add_argument("directory", help="store directory")
 
     query = commands.add_parser(
         "query",
@@ -914,7 +925,7 @@ def _cmd_stream(args) -> int:
 def _cmd_store(args) -> int:
     import json
 
-    from repro.storage import DiskBackend, StorageError, bulk_load_ntriples
+    from repro.storage import StorageError, bulk_load_ntriples, open_backend
 
     try:
         if args.store_command == "load":
@@ -923,15 +934,23 @@ def _cmd_store(args) -> int:
                       f"{args.batch_size}", file=sys.stderr)
                 return 2
             summary = bulk_load_ntriples(
-                args.file, args.directory, batch_size=args.batch_size
+                args.file, args.directory, batch_size=args.batch_size,
+                engine=args.backend,
             )
             print(f"loaded {summary['triples_loaded']} triples "
                   f"({summary['terms']} terms) into {summary['directory']} "
+                  f"({summary['engine']} engine) "
                   f"in {summary['seconds']:.2f}s "
                   f"({summary['triples_per_second']:,.0f} triples/sec, "
                   f"segment {summary['segment_bytes']:,} bytes)")
             return 0
-        backend = DiskBackend(args.directory, create=False, sync="none")
+        if args.store_command == "verify":
+            from repro.storage.verify import verify_store
+
+            report = verify_store(args.directory)
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0 if report["ok"] else 1
+        backend = open_backend(args.directory, create=False, sync="none")
         try:
             if args.store_command == "info":
                 from repro.storage.cursors import CursorFile, cursor_files
@@ -949,8 +968,7 @@ def _cmd_store(args) -> int:
             elif args.store_command == "compact":
                 path = backend.compact()
                 print(f"compacted {args.directory} into {path.name} "
-                      f"({backend.size} triples, "
-                      f"{path.stat().st_size:,} bytes); WAL reset")
+                      f"({backend.size} triples); WAL reset")
             elif args.store_command == "snapshot":
                 backend.snapshot(args.destination)
                 print(f"snapshot of {args.directory} "

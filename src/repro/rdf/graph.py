@@ -11,15 +11,19 @@ keeping the store swappable as the paper requires.
 
 Since PR 7 the state itself lives in a *storage backend*
 (:mod:`repro.storage`): :class:`~repro.storage.backend.MemoryBackend`
-holds exactly the structures this module used to keep inline, and
+holds exactly the structures this module used to keep inline,
 :class:`~repro.storage.disk.DiskBackend` adds a write-ahead log and
-snapshot segments so a store survives restart.  The graph keeps direct
-aliases (``_term_ids``/``_term_list``/``_spo``/``_pos``/``_osp``/
-``_pred_stats``) onto the backend's structures — backends mutate them
-in place, never rebinding — which is what lets the SPARQL planner
-(``repro.rdf.sparql.plan``) snapshot them once per execution
-regardless of the backend behind them.  ``REPRO_STORAGE_BACKEND``
-selects what a bare ``Graph()`` runs on (see ``repro.storage``).
+snapshot segments so a store survives restart, and
+:class:`~repro.storage.paged.PagedBackend` keeps the indices in
+memory-mapped sorted runs so the store can outgrow the heap.  Every
+*read* goes through the backend's :class:`~repro.storage.probe
+.IndexProbe` (``self._probe``) — point membership, pattern scans,
+cardinality estimates — so the graph and the SPARQL planner
+(``repro.rdf.sparql.plan``) never touch index internals; the term
+dictionary (``_term_ids``/``_term_list``) stays aliased because every
+backend exposes it mapping-shaped (paged backends lazily).
+``REPRO_STORAGE_BACKEND`` selects what a bare ``Graph()`` runs on
+(see ``repro.storage``).
 
 Alongside the indices the backend maintains per-predicate cardinality
 statistics (triple count, distinct subjects, distinct objects) updated
@@ -96,10 +100,11 @@ class Graph:
         # so a decoded id is always valid without holding the lock.
         self._term_ids = self.backend.term_ids
         self._term_list = self.backend.term_list
-        self._spo = self.backend.spo
-        self._pos = self.backend.pos
-        self._osp = self.backend.osp
         self._pred_stats = self.backend.pred_stats
+        # Every index read — pattern scans, point membership,
+        # cardinality estimates — goes through the probe protocol, so
+        # the graph never assumes how a backend stores its indices.
+        self._probe = self.backend.probe()
         # Serializes index updates; see the module docstring for the
         # exact guarantees readers get.
         self._write_lock = threading.RLock()
@@ -241,53 +246,7 @@ class Graph:
         self, sid: Optional[int], pid: Optional[int], oid: Optional[int]
     ) -> Iterator[Tuple[int, int, int]]:
         """Encoded matches for an id pattern (``None`` = wildcard)."""
-        if sid is not None:
-            by_p = self._spo.get(sid)
-            if by_p is None:
-                return
-            if pid is not None:
-                objects = by_p.get(pid)
-                if objects is None:
-                    return
-                if oid is not None:
-                    if oid in objects:
-                        yield (sid, pid, oid)
-                    return
-                for obj in objects:
-                    yield (sid, pid, obj)
-                return
-            for pred, objects in by_p.items():
-                if oid is not None:
-                    if oid in objects:
-                        yield (sid, pred, oid)
-                else:
-                    for obj in objects:
-                        yield (sid, pred, obj)
-            return
-        if pid is not None:
-            by_o = self._pos.get(pid)
-            if by_o is None:
-                return
-            if oid is not None:
-                for subj in by_o.get(oid, ()):
-                    yield (subj, pid, oid)
-                return
-            for obj, subjects in by_o.items():
-                for subj in subjects:
-                    yield (subj, pid, obj)
-            return
-        if oid is not None:
-            by_s = self._osp.get(oid)
-            if by_s is None:
-                return
-            for subj, preds in by_s.items():
-                for pred in preds:
-                    yield (subj, pred, oid)
-            return
-        for subj, by_p in self._spo.items():
-            for pred, objects in by_p.items():
-                for obj in objects:
-                    yield (subj, pred, obj)
+        return self._probe.scan(sid, pid, oid)
 
     def __contains__(self, pattern: Union[Triple, TriplePattern]) -> bool:
         s, p, o = pattern
@@ -296,7 +255,7 @@ class Graph:
             sid, pid, oid = ids.get(s), ids.get(p), ids.get(o)
             if sid is None or pid is None or oid is None:
                 return False
-            return oid in self._spo.get(sid, {}).get(pid, ())
+            return self._probe.contains(sid, pid, oid)
         return next(self.triples((s, p, o)), None) is not None
 
     def subjects(

@@ -438,9 +438,7 @@ class _ExecState:
         "graph",
         "term_ids",
         "terms",
-        "spo",
-        "pos",
-        "osp",
+        "probe",
         "bindings",
         "extra",
         "view",
@@ -457,9 +455,7 @@ class _ExecState:
         self.graph = graph
         self.term_ids = graph._term_ids
         self.terms = graph._term_list
-        self.spo = graph._spo
-        self.pos = graph._pos
-        self.osp = graph._osp
+        self.probe = graph._probe
         self.bindings: List[Optional[Node]] = [None] * len(variables)
         self.extra: Dict[Variable, Node] = {}
         self.view = _BindingsView(
@@ -498,11 +494,11 @@ def _match(state: _ExecState, pattern: _CompiledPattern) -> Iterator[None]:
                 free.append((position, slot))
     sid, pid, oid = ids
     if not free:
-        if oid in state.spo.get(sid, {}).get(pid, ()):
+        if state.probe.contains(sid, pid, oid):
             yield None
         return
     terms = state.terms
-    for candidate in _candidates(state, sid, pid, oid):
+    for candidate in state.probe.scan(sid, pid, oid):
         newly: List[int] = []
         ok = True
         for position, slot in free:
@@ -521,66 +517,17 @@ def _match(state: _ExecState, pattern: _CompiledPattern) -> Iterator[None]:
             bindings[slot] = None
 
 
-def _candidates(
-    state: _ExecState,
-    sid: Optional[int],
-    pid: Optional[int],
-    oid: Optional[int],
-) -> Iterator[Tuple[int, int, int]]:
-    """Encoded id triples from the best index for the bound positions."""
-    if sid is not None:
-        by_p = state.spo.get(sid)
-        if by_p is None:
-            return
-        if pid is not None:
-            for obj in by_p.get(pid, ()):
-                yield (sid, pid, obj)
-            return
-        if oid is not None:
-            for pred in state.osp.get(oid, {}).get(sid, ()):
-                yield (sid, pred, oid)
-            return
-        for pred, objects in by_p.items():
-            for obj in objects:
-                yield (sid, pred, obj)
-        return
-    if pid is not None:
-        by_o = state.pos.get(pid)
-        if by_o is None:
-            return
-        if oid is not None:
-            for subj in by_o.get(oid, ()):
-                yield (subj, pid, oid)
-            return
-        for obj, subjects in by_o.items():
-            for subj in subjects:
-                yield (subj, pid, obj)
-        return
-    if oid is not None:
-        by_s = state.osp.get(oid)
-        if by_s is None:
-            return
-        for subj, preds in by_s.items():
-            for pred in preds:
-                yield (subj, pred, oid)
-        return
-    for subj, by_p in state.spo.items():
-        for pred, objects in by_p.items():
-            for obj in objects:
-                yield (subj, pred, obj)
-
-
 def _estimate(
     state: _ExecState, pattern: _CompiledPattern, bound: Set[int]
 ) -> float:
     """Estimated matches of one pattern given the bound slots.
 
-    Constant terms probe the indexes directly; variables already bound
-    by earlier join steps (value unknown at planning time) divide by
-    the predicate's distinct-subject/object counts from the
-    incremental statistics.
+    Constant terms probe the backend (``IndexProbe.count``) directly;
+    variables already bound by earlier join steps (value unknown at
+    planning time) divide by the predicate's distinct-subject/object
+    counts from the incremental statistics.
     """
-    graph = state.graph
+    probe = state.probe
     term_ids = state.term_ids
     resolved: List[Tuple[str, Optional[int]]] = []
     for position in range(3):
@@ -595,37 +542,34 @@ def _estimate(
             resolved.append(("free", None))
     (s_kind, sid), (p_kind, pid), (o_kind, oid) = resolved
     if p_kind == "const":
-        stats = graph._pred_stats.get(pid)
+        stats = probe.predicate_stats(pid)
         if stats is None:
             return 0.0
         estimate = float(stats.triples)
         if s_kind == "const":
-            estimate = float(len(state.spo.get(sid, {}).get(pid, ())))
+            estimate = probe.count(sid, pid, None)
         elif s_kind == "bound":
             estimate /= max(1, stats.subjects)
         if o_kind == "const":
-            direct = float(len(state.pos.get(pid, {}).get(oid, ())))
+            direct = probe.count(None, pid, oid)
             estimate = min(estimate, direct) if s_kind != "free" else direct
         elif o_kind == "bound":
             estimate /= max(1, stats.objects)
         return estimate
-    size = float(len(graph))
+    size = float(len(state.graph))
     if s_kind == "const":
-        estimate = float(
-            sum(len(objs) for objs in state.spo.get(sid, {}).values())
-        )
+        estimate = probe.count(sid, None, None)
     elif o_kind == "const":
-        estimate = float(
-            sum(len(preds) for preds in state.osp.get(oid, {}).values())
-        )
+        estimate = probe.count(None, None, oid)
     else:
         estimate = size
+    n_subjects, n_predicates, n_objects = probe.index_sizes()
     if p_kind == "bound":
-        estimate /= max(1, len(state.pos))
+        estimate /= max(1, n_predicates)
     if s_kind == "bound":
-        estimate /= max(1, len(state.spo))
+        estimate /= max(1, n_subjects)
     if o_kind == "bound":
-        estimate /= max(1, len(state.osp))
+        estimate /= max(1, n_objects)
     return estimate
 
 

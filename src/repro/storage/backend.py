@@ -74,10 +74,16 @@ class StorageBackend:
     operation sequence — the property the reopen-parity tests pin.
     """
 
-    #: Discriminator used in ``describe()`` and the CLI (``memory``/``disk``).
+    #: Discriminator used in ``describe()`` and the CLI
+    #: (``memory``/``disk``/``paged``).
     kind = "memory"
     #: True when the backend outlives the process.
     durable = False
+    #: True when ``spo``/``pos``/``osp`` hold the *complete* index set
+    #: as nested dicts (memory, disk).  Paged backends keep only a
+    #: write overlay there and set this False; generic consumers
+    #: (``copy_state``) must then go through the probe protocol.
+    dict_indexed = True
 
     def __init__(self) -> None:
         self.term_ids: Dict["Node", int] = {}
@@ -87,6 +93,17 @@ class StorageBackend:
         self.osp: Index = {}
         self.pred_stats: Dict[int, PredicateStats] = {}
         self.size = 0
+
+    def probe(self):
+        """The read-side :class:`repro.storage.probe.IndexProbe`.
+
+        The default covers every dict-indexed backend; the returned
+        probe aliases the live index structures, so one instance stays
+        valid for the backend's lifetime.
+        """
+        from repro.storage.probe import DictIndexProbe
+
+        return DictIndexProbe(self.spo, self.pos, self.osp, self.pred_stats)
 
     # -- term dictionary ---------------------------------------------------
 
@@ -277,8 +294,28 @@ def copy_state(source: StorageBackend, target: StorageBackend) -> None:
     The per-predicate statistics are copied explicitly — never
     recounted from the indices — so a copy is O(index size) and its
     ``predicate_stats()`` are identical to the source's by
-    construction.
+    construction.  A non-dict-indexed source (paged) is drained
+    through its probe-backed ``encoded_triples`` instead; its exact
+    statistics are still copied, not recounted.  A non-dict-indexed
+    *target* is filled through its public mutation API (``intern`` +
+    ``insert_batch``) so durability hooks such as the WAL still fire.
     """
+    if not target.dict_indexed:
+        for term in source.term_list:
+            target.intern(term)
+        target.insert_batch(source.encoded_triples())
+        target.commit()
+        return
+    if not source.dict_indexed:
+        for tid in range(len(source.term_list)):
+            target.term_ids[source.term_list[tid]] = tid
+            target.term_list.append(source.term_list[tid])
+        target.insert_batch(source.encoded_triples())
+        target.pred_stats.clear()
+        for pid, stats in source.pred_stats.items():
+            target.pred_stats[pid] = stats.copy()
+        target.size = source.size
+        return
     target.term_ids.update(source.term_ids)
     target.term_list.extend(source.term_list)
     for a, by_b in source.spo.items():

@@ -4,9 +4,12 @@ Loading a large dataset through the WAL would write every triple twice
 (once to the log, once again at the next compaction) and pay a framing
 record per triple.  The bulk loader skips the WAL entirely: it streams
 the source file through the N-Triples parser, builds the in-memory
-indices with the merged-stats batch path, then writes one snapshot
-segment plus a fresh manifest and an empty WAL.  The resulting
-directory is a complete store — opening it replays nothing.
+indices with the merged-stats batch path, then writes the store files
+directly — one snapshot segment for the disk engine, or one sorted
+run plus one term bank for the paged engine (``engine="paged"``) —
+plus a fresh manifest and an empty WAL.  The resulting directory is a
+complete store; opening it replays nothing, and for the paged engine
+the open is O(segments) regardless of triple count.
 
 Benchmark E19 (``benchmarks/bench_storage.py``) reports the loader's
 triples/second against the per-triple WAL path.
@@ -39,13 +42,26 @@ def bulk_load_triples(
     directory: str,
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build a fresh store at ``directory`` from an iterable of triples.
 
-    The destination must not already hold a store.  Returns a summary
-    dict (triples read/loaded, terms, elapsed seconds, triples/sec,
-    segment bytes).
+    The destination must not already hold a store.  ``engine`` picks
+    the store layout (``disk``/``paged``; defaults to the environment
+    via :func:`repro.storage.default_engine`).  Returns a summary dict
+    (triples read/loaded, terms, elapsed seconds, triples/sec, segment
+    bytes).
     """
+    from repro import storage as storage_package
+
+    if engine is None:
+        engine = storage_package.default_engine()
+    if engine not in storage_package.STORE_ENGINES:
+        raise StorageError(
+            f"unknown store engine {engine!r} "
+            f"(expected one of {storage_package.STORE_ENGINES})",
+            directory=str(directory),
+        )
     dest = pathlib.Path(directory)
     if (dest / disk_module.MANIFEST_NAME).exists():
         raise StorageError(
@@ -68,16 +84,22 @@ def bulk_load_triples(
             batch.clear()
     if batch:
         loaded += backend.insert_batch(batch)
-    entry = disk_module.write_segment(dest / "seg-000001.seg", backend)
-    manifest = disk_module._fresh_manifest()
-    manifest["segments"] = [entry]
-    manifest["next_segment"] = 2
+    if engine == "paged":
+        from repro.storage.paged import build_paged_store
+
+        manifest = build_paged_store(dest, backend)
+        entry = manifest["runs"][0]
+    else:
+        entry = disk_module.write_segment(dest / "seg-000001.seg", backend)
+        manifest = disk_module._fresh_manifest()
+        manifest["segments"] = [entry]
+        manifest["next_segment"] = 2
+        (dest / disk_module.WAL_NAME).touch()
     tmp = dest / (disk_module.MANIFEST_NAME + ".tmp")
     tmp.write_text(
         json.dumps(manifest, indent=2, sort_keys=True) + "\n", "utf-8"
     )
     os.replace(tmp, dest / disk_module.MANIFEST_NAME)
-    (dest / disk_module.WAL_NAME).touch()
     elapsed = time.perf_counter() - started
     registry = get_registry()
     registry.counter(
@@ -91,6 +113,7 @@ def bulk_load_triples(
     ).observe(elapsed)
     return {
         "directory": str(dest),
+        "engine": engine,
         "triples_read": read,
         "triples_loaded": loaded,
         "terms": len(backend.term_list),
@@ -105,6 +128,7 @@ def bulk_load_ntriples(
     directory: str,
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Stream an N-Triples file into a fresh store at ``directory``."""
     source_path = pathlib.Path(source)
@@ -113,6 +137,7 @@ def bulk_load_ntriples(
             parse_ntriples_lines(line.rstrip("\n") for line in handle),
             directory,
             batch_size=batch_size,
+            engine=engine,
         )
     summary["source"] = str(source_path)
     return summary

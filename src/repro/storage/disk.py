@@ -115,6 +115,7 @@ def write_segment(
         "triples": backend.size,
         "terms": len(backend.term_list),
         "bytes": path.stat().st_size,
+        "created": time.time(),
     }
 
 
@@ -540,11 +541,28 @@ class DiskBackend(MemoryBackend):
     def describe(self) -> Dict[str, Any]:
         document = super().describe()
         segments = self.manifest.get("segments", [])
+        now = time.time()
+        details = []
+        for segment in segments:
+            created = segment.get("created")
+            details.append(
+                {
+                    "file": segment.get("name"),
+                    "level": 0,
+                    "triples": int(segment.get("triples", 0)),
+                    "terms": int(segment.get("terms", 0)),
+                    "bytes": int(segment.get("bytes", 0)),
+                    "age_seconds": (
+                        round(now - created, 3) if created else None
+                    ),
+                }
+            )
         document.update(
             directory=str(self.directory),
             store_id=self.manifest.get("store_id"),
             segments=len(segments),
             segment_bytes=sum(int(s.get("bytes", 0)) for s in segments),
+            segments_detail=details,
             wal_bytes=self.wal_size(),
             opens=self.generation,
             compactions=int(self.manifest.get("compactions", 0)),

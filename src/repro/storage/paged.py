@@ -1,0 +1,1076 @@
+"""``PagedBackend``: LSM runs + WAL L0, probes over mmap'd pages.
+
+Where :class:`~repro.storage.disk.DiskBackend` rebuilds the full
+nested-dict indices in RAM on every open (O(triples)), the paged
+backend keeps its indices *in the files*:
+
+* **Immutable sorted runs** (:mod:`repro.storage.pages`) hold the bulk
+  of the store in all three permutation orders, organised in LSM-style
+  levels — level 0 runs are freshly checkpointed write batches, higher
+  levels are the outputs of size-tiered compaction (older data, so
+  every run at level *L+1* is older than every run at level *L*).
+* **The PR 7 WAL is the mutable L0**: mutations land in a small
+  in-memory overlay (adds in the inherited ``spo``/``pos``/``osp``
+  dicts, deletes in a tombstone set) and append to the WAL;
+  ``checkpoint()`` folds the overlay into a new level-0 run + term
+  bank, swaps the manifest atomically, and resets the WAL.  Replaying
+  a WAL that survived a crash *after* the manifest swap is a no-op by
+  construction (duplicate adds dedup, absent deletes skip).
+* **Cold open is O(segments)**: read the manifest, mmap each run and
+  term bank, read their footers — never a triple.  The exact
+  per-predicate statistics and the triple count are persisted in the
+  manifest at every checkpoint and adjusted forward by WAL replay.
+* **Reads** go through :class:`PagedProbe` — the
+  :class:`~repro.storage.probe.IndexProbe` protocol over a newest-wins
+  merge of the overlay and every run, with tombstones masking older
+  adds.  Run pages are fetched through the store's LRU
+  :class:`~repro.storage.pages.BlockCache`
+  (``repro_storage_page_*`` metrics), so the working set — not the
+  store — has to fit in memory.
+
+The term dictionary is equally lazy: ids resolve against mmap'd term
+banks on first use (:class:`_LazyTermList` / :class:`_LazyTermIds`),
+with only terms interned since the last checkpoint held in RAM.
+
+Compaction is incremental and off the write path: each checkpoint
+performs at most one size-tiered merge step (``tier_fanout`` runs of
+one level folded into one run a level up); ``compact()`` folds
+everything into a single run, dropping tombstones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import json
+import os
+import pathlib
+import time
+import uuid
+import weakref
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.observability import get_registry
+from repro.rdf.term import Node
+from repro.storage import records
+from repro.storage.backend import (
+    EncodedTriple,
+    PredicateStats,
+    StorageBackend,
+)
+from repro.storage.errors import SnapshotMismatch, StorageError, WALCorruption
+from repro.storage.pages import (
+    BlockCache,
+    RunReader,
+    TermBankReader,
+    _unpermute,
+    write_run,
+    write_term_bank,
+)
+from repro.storage.probe import DictIndexProbe, IndexProbe
+from repro.storage.wal import WALWriter
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "store.wal"
+PAGED_FORMAT_VERSION = 2
+
+#: Defaults: 4 MiB of cached blocks, checkpoint at 1 MiB of WAL,
+#: size-tiered merge at 4 runs per level.
+DEFAULT_CACHE_BLOCKS = 1024
+DEFAULT_CHECKPOINT_BYTES = 1 << 20
+DEFAULT_TIER_FANOUT = 4
+
+
+def _fresh_manifest() -> Dict[str, Any]:
+    return {
+        "format": PAGED_FORMAT_VERSION,
+        "engine": "paged",
+        "store_id": uuid.uuid4().hex,
+        "runs": [],
+        "term_banks": [],
+        "next_seq": 1,
+        "next_bank": 1,
+        "pred_stats": {},
+        "terms": 0,
+        "triples": 0,
+        "opens": 0,
+        "checkpoints": 0,
+        "compactions": 0,
+    }
+
+
+def _dump_pred_stats(stats: Dict[int, PredicateStats]) -> Dict[str, List[int]]:
+    return {
+        str(pid): list(entry.as_tuple()) for pid, entry in sorted(stats.items())
+    }
+
+
+def _load_pred_stats(document: Dict[str, Any]) -> Dict[int, PredicateStats]:
+    return {
+        int(pid): PredicateStats(*values) for pid, values in document.items()
+    }
+
+
+# -- lazy term dictionary ----------------------------------------------------
+
+
+class _TermState:
+    """Shared state behind the lazy term dictionary views.
+
+    Ids ``0 .. base_total-1`` live in immutable banks; ids from
+    ``base_total`` up live in the overlay (interned since the last
+    checkpoint, replicated in the WAL).  Bank lookups are memoized in
+    both directions, so a hot term costs one decode ever.
+    """
+
+    __slots__ = (
+        "banks",
+        "bases",
+        "base_total",
+        "overlay_terms",
+        "overlay_ids",
+        "id_cache",
+        "term_cache",
+    )
+
+    def __init__(self) -> None:
+        self.banks: List[TermBankReader] = []
+        self.bases: List[int] = []
+        self.base_total = 0
+        self.overlay_terms: List[Node] = []
+        self.overlay_ids: Dict[Node, int] = {}
+        self.id_cache: Dict[Node, int] = {}
+        self.term_cache: Dict[int, Node] = {}
+
+    def attach_bank(self, bank: TermBankReader) -> None:
+        if bank.base != self.base_total:
+            raise SnapshotMismatch(
+                f"term bank {bank.path.name} starts at id {bank.base}; "
+                f"expected {self.base_total}",
+                segment=bank.path.name,
+            )
+        self.banks.append(bank)
+        self.bases.append(bank.base)
+        self.base_total += bank.count
+
+    def __len__(self) -> int:
+        return self.base_total + len(self.overlay_terms)
+
+    def term(self, tid: int) -> Node:
+        if tid >= self.base_total:
+            return self.overlay_terms[tid - self.base_total]
+        cached = self.term_cache.get(tid)
+        if cached is not None:
+            return cached
+        index = bisect.bisect_right(self.bases, tid) - 1
+        if index < 0:
+            raise IndexError(f"term id {tid} precedes every bank")
+        term = self.banks[index].term(tid)
+        self.term_cache[tid] = term
+        self.id_cache[term] = tid
+        return term
+
+    def find(self, term: Node) -> Optional[int]:
+        tid = self.overlay_ids.get(term)
+        if tid is not None:
+            return tid
+        tid = self.id_cache.get(term)
+        if tid is not None:
+            return tid
+        try:
+            encoded = records.encode_term(term)
+        except records.RecordFormatError:
+            return None
+        for bank in self.banks:
+            tid = bank.find(encoded)
+            if tid is not None:
+                self.id_cache[term] = tid
+                self.term_cache[tid] = term
+                return tid
+        return None
+
+    def add_overlay(self, term: Node) -> int:
+        tid = len(self)
+        self.overlay_ids[term] = tid
+        self.overlay_terms.append(term)
+        return tid
+
+    def promote_overlay(self, bank: TermBankReader) -> None:
+        """Fold the overlay into a freshly written bank (checkpoint)."""
+        for offset, term in enumerate(self.overlay_terms):
+            tid = self.base_total + offset
+            self.term_cache[tid] = term
+            self.id_cache[term] = tid
+        self.overlay_terms = []
+        self.overlay_ids = {}
+        self.attach_bank(bank)
+
+    def close(self) -> None:
+        for bank in self.banks:
+            bank.close()
+
+
+class _LazyTermIds:
+    """The ``term -> id`` mapping surface over :class:`_TermState`."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _TermState) -> None:
+        self._state = state
+
+    def get(self, term: Node, default: Optional[int] = None) -> Optional[int]:
+        tid = self._state.find(term)
+        return default if tid is None else tid
+
+    def __getitem__(self, term: Node) -> int:
+        tid = self._state.find(term)
+        if tid is None:
+            raise KeyError(term)
+        return tid
+
+    def __contains__(self, term: object) -> bool:
+        return self._state.find(term) is not None  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+
+class _LazyTermList:
+    """The ``id -> term`` sequence surface over :class:`_TermState`."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _TermState) -> None:
+        self._state = state
+
+    def __getitem__(self, tid: int) -> Node:
+        return self._state.term(tid)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __iter__(self) -> Iterator[Node]:
+        for tid in range(len(self._state)):
+            yield self._state.term(tid)
+
+    def append(self, term: Node) -> None:
+        self._state.add_overlay(term)
+
+
+# -- the probe ---------------------------------------------------------------
+
+#: Pattern shape -> (section index, key positions of the bound ids).
+#: Sections: 0 = SPO, 1 = POS, 2 = OSP (see ``repro.storage.pages``).
+
+
+class PagedProbe(IndexProbe):
+    """Newest-wins reads over the overlay and every run.
+
+    One instance serves the backend for its whole lifetime (the graph
+    caches it); every call reads the backend's *current* run list, so
+    checkpoints and compactions are transparent to the query layer.
+    """
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: "PagedBackend") -> None:
+        self._backend = backend
+
+    def contains(self, sid: int, pid: int, oid: int) -> bool:
+        backend = self._backend
+        if oid in backend.spo.get(sid, {}).get(pid, ()):
+            return True
+        if (sid, pid, oid) in backend.tombstones:
+            return False
+        for run in reversed(backend.runs):
+            flag = run.point(sid, pid, oid)
+            if flag is not None:
+                return flag == 1
+        return False
+
+    @staticmethod
+    def _shape(
+        sid: Optional[int], pid: Optional[int], oid: Optional[int]
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """(section, key prefix) serving one non-point id pattern."""
+        if sid is not None:
+            if pid is not None:
+                return (0, (sid, pid))
+            if oid is not None:
+                return (2, (oid, sid))
+            return (0, (sid,))
+        if pid is not None:
+            if oid is not None:
+                return (1, (pid, oid))
+            return (1, (pid,))
+        if oid is not None:
+            return (2, (oid,))
+        return (0, ())
+
+    def _merged_runs(
+        self, section: int, prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Visible run triples of one range, newest record winning."""
+        backend = self._backend
+        runs = backend.runs
+        if not runs:
+            return
+        streams = [
+            (
+                ((a, b, c), -run.seq, flag)
+                for a, b, c, flag in run.scan(section, prefix)
+            )
+            for run in runs
+        ]
+        tombstones = backend.tombstones
+        previous: Optional[Tuple[int, int, int]] = None
+        for key, _negseq, flag in heapq.merge(*streams):
+            if key == previous:
+                continue
+            previous = key
+            if flag:
+                triple = _unpermute(section, *key)
+                if triple not in tombstones:
+                    yield triple
+
+    def scan(
+        self,
+        sid: Optional[int],
+        pid: Optional[int],
+        oid: Optional[int],
+    ) -> Iterator[Tuple[int, int, int]]:
+        if sid is not None and pid is not None and oid is not None:
+            if self.contains(sid, pid, oid):
+                yield (sid, pid, oid)
+            return
+        backend = self._backend
+        # Overlay adds are disjoint from visible run triples by
+        # invariant, so chaining never duplicates.
+        yield from backend.overlay_probe.scan(sid, pid, oid)
+        section, prefix = self._shape(sid, pid, oid)
+        yield from self._merged_runs(section, prefix)
+
+    def count(
+        self,
+        sid: Optional[int],
+        pid: Optional[int],
+        oid: Optional[int],
+    ) -> float:
+        backend = self._backend
+        if sid is not None and pid is not None and oid is not None:
+            return 1.0 if self.contains(sid, pid, oid) else 0.0
+        if sid is None and oid is None:
+            if pid is None:
+                return float(backend.size)
+            stats = backend.pred_stats.get(pid)
+            return float(stats.triples) if stats is not None else 0.0
+        # Upper bound: run ranges count superseded records and
+        # tombstones until compaction folds them away.  Fence-key
+        # binary search only — no record is materialised.
+        section, prefix = self._shape(sid, pid, oid)
+        total = backend.overlay_probe.count(sid, pid, oid)
+        for run in backend.runs:
+            total += run.range_size(section, prefix)
+        return float(total)
+
+    def predicate_stats(self, pid: int) -> Optional[PredicateStats]:
+        return self._backend.pred_stats.get(pid)
+
+    def index_sizes(self) -> Tuple[int, int, int]:
+        backend = self._backend
+        subjects = len(backend.spo)
+        predicates = len(backend.pos)
+        objects = len(backend.osp)
+        for run in backend.runs:
+            subjects += run.distinct_first(0)
+            predicates += run.distinct_first(1)
+            objects += run.distinct_first(2)
+        return (subjects, predicates, objects)
+
+
+# -- the backend -------------------------------------------------------------
+
+
+class PagedBackend(StorageBackend):
+    """A paged store directory behind the backend contract."""
+
+    kind = "paged"
+    durable = True
+    dict_indexed = False
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        sync: str = "batch",
+        fsync_batch: int = 64,
+        create: bool = True,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        tier_fanout: int = DEFAULT_TIER_FANOUT,
+    ) -> None:
+        super().__init__()
+        started = time.perf_counter()
+        self.directory = pathlib.Path(directory)
+        self.cache = BlockCache(cache_blocks)
+        self.checkpoint_bytes = checkpoint_bytes
+        self.tier_fanout = max(2, tier_fanout)
+        self._wal: Optional[WALWriter] = None
+        self._closed = False
+        #: Open runs, ascending seq (oldest first, newest last).
+        self.runs: List[RunReader] = []
+        #: Deletes of run-visible triples since the last checkpoint.
+        self.tombstones: Set[EncodedTriple] = set()
+        self._terms = _TermState()
+        self.term_ids = _LazyTermIds(self._terms)  # type: ignore[assignment]
+        self.term_list = _LazyTermList(self._terms)  # type: ignore[assignment]
+        #: Probe over the overlay dicts alone (statistics unused).
+        self.overlay_probe = DictIndexProbe(self.spo, self.pos, self.osp, {})
+        self._probe = PagedProbe(self)
+        self.recovery: Dict[str, Any] = {
+            "segments_loaded": 0,
+            "wal_records_replayed": 0,
+            "wal_truncated_bytes": 0,
+            "outcome": "clean",
+        }
+        manifest_path = self.directory / MANIFEST_NAME
+        if manifest_path.exists():
+            self.manifest = self._read_manifest(manifest_path)
+        elif create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.manifest = _fresh_manifest()
+        else:
+            raise StorageError(
+                f"no store at {self.directory} (missing {MANIFEST_NAME})",
+                directory=str(self.directory),
+            )
+        for entry in self.manifest["term_banks"]:
+            self._terms.attach_bank(
+                TermBankReader(self.directory / entry["file"])
+            )
+        for entry in sorted(
+            self.manifest["runs"], key=lambda item: int(item["seq"])
+        ):
+            self.runs.append(
+                RunReader(self.directory / entry["file"], self.cache)
+            )
+            self.recovery["segments_loaded"] += 1
+        self.pred_stats.update(
+            _load_pred_stats(self.manifest.get("pred_stats", {}))
+        )
+        self.size = int(self.manifest.get("triples", 0))
+        self._replay_wal(self.directory / WAL_NAME)
+        self.manifest["opens"] = int(self.manifest.get("opens", 0)) + 1
+        self._write_manifest()
+        self._wal = WALWriter(
+            str(self.directory / WAL_NAME),
+            sync=sync,
+            fsync_batch=fsync_batch,
+        )
+        self._finalizer = weakref.finalize(self, WALWriter.close, self._wal)
+        registry = get_registry()
+        registry.gauge(
+            "repro_storage_open_backends",
+            "Disk backends currently open in this process.",
+        ).inc()
+        registry.histogram(
+            "repro_storage_open_seconds",
+            "Wall-clock seconds opening one store "
+            "(segment load + WAL replay).",
+        ).observe(time.perf_counter() - started)
+        registry.counter(
+            "repro_storage_recoveries_total",
+            "Store opens by recovery outcome (clean/torn_tail).",
+            labels=("outcome",),
+        ).labels(outcome=self.recovery["outcome"]).inc()
+
+    # -- opening -----------------------------------------------------------
+
+    def _read_manifest(self, path: pathlib.Path) -> Dict[str, Any]:
+        try:
+            manifest = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SnapshotMismatch(
+                f"unreadable manifest {path}: {exc}",
+                directory=str(self.directory),
+            ) from exc
+        if (
+            manifest.get("format") != PAGED_FORMAT_VERSION
+            or manifest.get("engine") != "paged"
+        ):
+            raise SnapshotMismatch(
+                f"manifest {path} has format {manifest.get('format')!r} "
+                f"(engine {manifest.get('engine')!r}); the paged backend "
+                f"reads format {PAGED_FORMAT_VERSION}/paged",
+                directory=str(self.directory),
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        path = self.directory / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n",
+            "utf-8",
+        )
+        os.replace(tmp, path)
+
+    def _replay_wal(self, path: pathlib.Path) -> None:
+        if not path.exists():
+            path.touch()
+            return
+        data = path.read_bytes()
+        scanner = records.RecordScanner(data)
+        replayed = 0
+        try:
+            for payload in scanner:
+                op = payload[0]
+                if op == records.OP_TERM:
+                    tid, term = records.decode_term_payload(payload)
+                    total = len(self._terms)
+                    if tid < total:
+                        if self._terms.term(tid) != term:
+                            raise records.RecordFormatError(
+                                f"term record rebinds id {tid}"
+                            )
+                    elif tid == total:
+                        self._terms.add_overlay(term)
+                    else:
+                        raise records.RecordFormatError(
+                            f"term id {tid} skips ahead of the dictionary "
+                            f"({total} terms)"
+                        )
+                elif op == records.OP_ADD:
+                    sid, pid, oid = records.decode_ids_payload(payload)
+                    if max(sid, pid, oid) >= len(self._terms):
+                        raise records.RecordFormatError(
+                            "triple record references unknown term ids"
+                        )
+                    self.insert(sid, pid, oid)
+                elif op == records.OP_DELETE:
+                    sid, pid, oid = records.decode_ids_payload(payload)
+                    if max(sid, pid, oid) >= len(self._terms):
+                        raise records.RecordFormatError(
+                            "triple record references unknown term ids"
+                        )
+                    # A crash between a checkpoint's manifest swap and
+                    # its WAL reset legitimately replays stale deletes.
+                    if self.contains(sid, pid, oid):
+                        self.delete(sid, pid, oid)
+                elif op == records.OP_CLEAR:
+                    self._drop_all_runs()
+                else:
+                    raise records.RecordFormatError(
+                        f"unexpected opcode 0x{op:02x} in the WAL"
+                    )
+                replayed += 1
+        except records.RecordFormatError as exc:
+            raise WALCorruption(
+                f"WAL {path} record at offset {scanner.end} is invalid: "
+                f"{exc}",
+                directory=str(self.directory),
+                offset=scanner.end,
+            ) from exc
+        if scanner.status == "corrupt":
+            raise WALCorruption(
+                f"WAL {path}: {scanner.error}",
+                directory=str(self.directory),
+                offset=scanner.end,
+            )
+        if scanner.status == "torn":
+            torn = len(data) - scanner.end
+            with open(path, "r+b") as handle:
+                handle.truncate(scanner.end)
+            self.recovery["outcome"] = "torn_tail"
+            self.recovery["wal_truncated_bytes"] = torn
+        self.recovery["wal_records_replayed"] = replayed
+
+    # -- probe -------------------------------------------------------------
+
+    def probe(self) -> PagedProbe:
+        return self._probe
+
+    # -- visibility helpers ------------------------------------------------
+
+    def _run_flag(self, sid: int, pid: int, oid: int) -> Optional[int]:
+        """Newest run record flag for one triple (ignores the overlay)."""
+        for run in reversed(self.runs):
+            flag = run.point(sid, pid, oid)
+            if flag is not None:
+                return flag
+        return None
+
+    def _any_visible(
+        self, sid: Optional[int], pid: Optional[int], oid: Optional[int]
+    ) -> bool:
+        return next(self._probe.scan(sid, pid, oid), None) is not None
+
+    # -- overlay index maintenance (no statistics) -------------------------
+
+    def _overlay_add(self, sid: int, pid: int, oid: int) -> None:
+        self.spo.setdefault(sid, {}).setdefault(pid, set()).add(oid)
+        self.pos.setdefault(pid, {}).setdefault(oid, set()).add(sid)
+        self.osp.setdefault(oid, {}).setdefault(sid, set()).add(pid)
+
+    def _overlay_remove(self, sid: int, pid: int, oid: int) -> None:
+        by_p = self.spo[sid]
+        objects = by_p[pid]
+        objects.discard(oid)
+        if not objects:
+            del by_p[pid]
+            if not by_p:
+                del self.spo[sid]
+        by_o = self.pos[pid]
+        subjects = by_o[oid]
+        subjects.discard(sid)
+        if not subjects:
+            del by_o[oid]
+            if not by_o:
+                del self.pos[pid]
+        by_s = self.osp[oid]
+        preds = by_s[sid]
+        preds.discard(pid)
+        if not preds:
+            del by_s[sid]
+            if not by_s:
+                del self.osp[oid]
+
+    # -- mutation hooks ----------------------------------------------------
+
+    def intern(self, term: Node) -> int:
+        tid = self._terms.find(term)
+        if tid is None:
+            tid = self._terms.add_overlay(term)
+            if self._wal is not None:
+                self._wal.append(records.term_payload(tid, term))
+        return tid
+
+    def insert(self, sid: int, pid: int, oid: int) -> bool:
+        if oid in self.spo.get(sid, {}).get(pid, ()):
+            return False
+        triple = (sid, pid, oid)
+        resurrect = triple in self.tombstones
+        if not resurrect and self._run_flag(sid, pid, oid) == 1:
+            return False
+        # Statistics are exact: a subject/object is new for the
+        # predicate iff no triple with it is visible *before* this one.
+        new_subject = not self._any_visible(sid, pid, None)
+        new_object = not self._any_visible(None, pid, oid)
+        if resurrect:
+            self.tombstones.discard(triple)
+        else:
+            self._overlay_add(sid, pid, oid)
+        stats = self.pred_stats.get(pid)
+        if stats is None:
+            stats = self.pred_stats[pid] = PredicateStats()
+        stats.triples += 1
+        if new_subject:
+            stats.subjects += 1
+        if new_object:
+            stats.objects += 1
+        self.size += 1
+        if self._wal is not None:
+            self._wal.append(records.add_payload(sid, pid, oid))
+        return True
+
+    def insert_batch(self, batch: Iterable[EncodedTriple]) -> int:
+        count = 0
+        for sid, pid, oid in batch:
+            if self.insert(sid, pid, oid):
+                count += 1
+        return count
+
+    def delete(self, sid: int, pid: int, oid: int) -> None:
+        if oid in self.spo.get(sid, {}).get(pid, ()):
+            self._overlay_remove(sid, pid, oid)
+        else:
+            self.tombstones.add((sid, pid, oid))
+        stats = self.pred_stats[pid]
+        stats.triples -= 1
+        if not self._any_visible(sid, pid, None):
+            stats.subjects -= 1
+        if not self._any_visible(None, pid, oid):
+            stats.objects -= 1
+        if stats.triples == 0:
+            del self.pred_stats[pid]
+        self.size -= 1
+        if self._wal is not None:
+            self._wal.append(records.delete_payload(sid, pid, oid))
+
+    def contains(self, sid: int, pid: int, oid: int) -> bool:
+        return self._probe.contains(sid, pid, oid)
+
+    def _drop_all_runs(self) -> None:
+        for run in self.runs:
+            run.close()
+        self.runs = []
+        self.spo.clear()
+        self.pos.clear()
+        self.osp.clear()
+        self.tombstones.clear()
+        self.pred_stats.clear()
+        self.size = 0
+
+    def clear(self) -> None:
+        self._drop_all_runs()
+        if self._wal is not None:
+            self._wal.append(records.clear_payload())
+
+    def encoded_triples(self) -> Iterable[EncodedTriple]:
+        return self._probe.scan(None, None, None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def commit(self) -> None:
+        if self._wal is None:
+            return
+        if self._wal.has_pending:
+            self._wal.commit()
+        if (
+            self.checkpoint_bytes
+            and self._wal.size() >= self.checkpoint_bytes
+        ):
+            self.checkpoint()
+
+    def flush(self) -> None:
+        if self._wal is not None:
+            self._wal.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        # Fold the WAL tail into runs so the next open is O(segments):
+        # a cleanly closed store never replays triples on startup.
+        if self._wal is not None:
+            try:
+                self.checkpoint()
+            except OSError:
+                pass  # an unwritable disk still must not block close
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+        self._finalizer.detach()
+        for run in self.runs:
+            run.close()
+        self._terms.close()
+        get_registry().gauge(
+            "repro_storage_open_backends",
+            "Disk backends currently open in this process.",
+        ).dec()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def generation(self) -> int:
+        """How many times this store has been opened (monotonic)."""
+        return int(self.manifest.get("opens", 0))
+
+    def wal_size(self) -> int:
+        return self._wal.size() if self._wal is not None else 0
+
+    # -- checkpoint and compaction -----------------------------------------
+
+    def _run_entries(self) -> List[Dict[str, Any]]:
+        """Manifest entries for the current runs, metadata preserved."""
+        existing = {
+            entry["file"]: entry for entry in self.manifest.get("runs", [])
+        }
+        entries = []
+        for run in self.runs:
+            entry = existing.get(run.path.name)
+            if entry is None:
+                entry = {
+                    "file": run.path.name,
+                    "seq": run.seq,
+                    "level": run.level,
+                    "records": run.records,
+                    "adds": run.adds,
+                    "tombstones": run.tombstones,
+                    "bytes": run.path.stat().st_size,
+                    "created": time.time(),
+                }
+            entries.append(entry)
+        return entries
+
+    def _swap_manifest(self) -> None:
+        """Write the manifest from live state; delete newly-stale files."""
+        before = {
+            entry["file"] for entry in self.manifest.get("runs", [])
+        }
+        self.manifest["runs"] = self._run_entries()
+        self.manifest["pred_stats"] = _dump_pred_stats(self.pred_stats)
+        self.manifest["terms"] = len(self._terms)
+        self.manifest["triples"] = self.size
+        self._write_manifest()
+        after = {entry["file"] for entry in self.manifest["runs"]}
+        for name in sorted(before - after):
+            try:
+                (self.directory / name).unlink()
+            except OSError:
+                pass  # stray files are ignored by the manifest anyway
+        get_registry().counter(
+            "repro_storage_checkpoints_total",
+            "Manifest swaps completed by paged stores.",
+        ).inc()
+
+    def checkpoint(self) -> bool:
+        """Fold the overlay + WAL into immutable files; reset the WAL.
+
+        Crash-safe ordering: new run/bank files are fsynced before the
+        atomic manifest swap, and the WAL is reset only after the swap
+        — a WAL surviving a crash in between replays as no-ops.
+        Finishes with at most one incremental size-tiered merge step,
+        keeping compaction off the write path's critical section.
+        Returns True when anything was written.
+        """
+        if self._wal is None or self._closed:
+            raise StorageError(
+                "cannot checkpoint a closed store",
+                directory=str(self.directory),
+            )
+        self._wal.flush()
+        overlay_dirty = bool(self.spo) or bool(self.tombstones)
+        terms_dirty = bool(self._terms.overlay_terms)
+        runs_dropped = {
+            entry["file"] for entry in self.manifest.get("runs", [])
+        } != {run.path.name for run in self.runs}
+        if not (overlay_dirty or terms_dirty or runs_dropped):
+            if self._wal.size():
+                self._wal.reset()
+            return False
+        if terms_dirty:
+            bank_no = int(self.manifest.get("next_bank", 1))
+            entry = write_term_bank(
+                self.directory / f"terms-{bank_no:06d}.tb",
+                self._terms.base_total,
+                self._terms.overlay_terms,
+            )
+            entry["created"] = time.time()
+            self._terms.promote_overlay(
+                TermBankReader(self.directory / entry["file"])
+            )
+            self.manifest.setdefault("term_banks", []).append(entry)
+            self.manifest["next_bank"] = bank_no + 1
+        if overlay_dirty:
+            seq = int(self.manifest.get("next_seq", 1))
+            entries = [
+                (sid, pid, oid, 1)
+                for sid, by_p in self.spo.items()
+                for pid, objects in by_p.items()
+                for oid in objects
+            ]
+            entries.extend(
+                (sid, pid, oid, 0) for sid, pid, oid in self.tombstones
+            )
+            write_run(
+                self.directory / f"run-{seq:06d}.run", seq, 0, entries
+            )
+            self.manifest["next_seq"] = seq + 1
+            self.runs.append(
+                RunReader(self.directory / f"run-{seq:06d}.run", self.cache)
+            )
+            self.spo.clear()
+            self.pos.clear()
+            self.osp.clear()
+            self.tombstones.clear()
+        self.manifest["checkpoints"] = (
+            int(self.manifest.get("checkpoints", 0)) + 1
+        )
+        self._swap_manifest()
+        self._wal.reset()
+        self.maybe_compact()
+        return True
+
+    def _merge_runs(self, victims: List[RunReader], level: int) -> None:
+        """Fold ``victims`` into one run at ``level`` (newest wins).
+
+        Tombstones are dropped only when every surviving run is newer
+        than the merge output — then nothing older remains for a
+        tombstone to mask.
+        """
+        victim_set = set(victims)
+        max_seq = max(run.seq for run in victims)
+        safe_drop = all(
+            run.seq > max_seq for run in self.runs if run not in victim_set
+        )
+        streams = [
+            (
+                ((a, b, c), -run.seq, flag)
+                for a, b, c, flag in run.scan(0, ())
+            )
+            for run in victims
+        ]
+        entries: List[Tuple[int, int, int, int]] = []
+        previous: Optional[Tuple[int, int, int]] = None
+        for key, _negseq, flag in heapq.merge(*streams):
+            if key == previous:
+                continue
+            previous = key
+            if flag or not safe_drop:
+                entries.append(key + (flag,))
+        name_no = int(self.manifest.get("next_seq", 1))
+        self.manifest["next_seq"] = name_no + 1
+        survivors = [run for run in self.runs if run not in victim_set]
+        if entries:
+            path = self.directory / f"run-{name_no:06d}.run"
+            write_run(path, max_seq, level, entries)
+            survivors.append(RunReader(path, self.cache))
+        for run in victims:
+            run.close()
+        survivors.sort(key=lambda run: run.seq)
+        self.runs = survivors
+        self.manifest["compactions"] = (
+            int(self.manifest.get("compactions", 0)) + 1
+        )
+        self._swap_manifest()
+        get_registry().counter(
+            "repro_storage_compactions_total",
+            "Completed store compactions.",
+        ).inc()
+
+    def maybe_compact(self) -> bool:
+        """One size-tiered merge step, if any level has grown enough."""
+        by_level: Dict[int, List[RunReader]] = {}
+        for run in self.runs:
+            by_level.setdefault(run.level, []).append(run)
+        for level in sorted(by_level):
+            runs = by_level[level]
+            if len(runs) >= self.tier_fanout:
+                # Oldest first: same-level runs are contiguous in seq
+                # order, so merging the oldest fan keeps every level
+                # strictly older than the one below it.
+                victims = sorted(runs, key=lambda run: run.seq)[
+                    : self.tier_fanout
+                ]
+                self._merge_runs(victims, level + 1)
+                return True
+        return False
+
+    def compact(self) -> pathlib.Path:
+        """Fold everything into one run without tombstones."""
+        if self._wal is None or self._closed:
+            raise StorageError(
+                "cannot compact a closed store",
+                directory=str(self.directory),
+            )
+        self.checkpoint()
+        if self.runs and (
+            len(self.runs) > 1 or any(run.tombstones for run in self.runs)
+        ):
+            level = max(run.level for run in self.runs) + 1
+            self._merge_runs(list(self.runs), level)
+        return self.directory
+
+    def snapshot(self, destination: str) -> pathlib.Path:
+        """Write a consistent, independently-openable copy of the store."""
+        if self._closed:
+            raise StorageError(
+                "cannot snapshot a closed store",
+                directory=str(self.directory),
+            )
+        if self._wal is not None:
+            self._wal.flush()
+        dest = pathlib.Path(destination)
+        if (dest / MANIFEST_NAME).exists():
+            raise StorageError(
+                f"snapshot destination {dest} already holds a store",
+                directory=str(dest),
+            )
+        dest.mkdir(parents=True, exist_ok=True)
+        manifest = build_paged_store(dest, self)
+        manifest["store_id"] = self.manifest["store_id"]
+        tmp = dest / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", "utf-8"
+        )
+        os.replace(tmp, dest / MANIFEST_NAME)
+        get_registry().counter(
+            "repro_storage_snapshots_total",
+            "Completed store snapshots.",
+        ).inc()
+        return dest
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        document = super().describe()
+        now = time.time()
+        run_entries = self._run_entries()
+        details = []
+        for entry in run_entries:
+            created = entry.get("created")
+            details.append(
+                {
+                    "file": entry["file"],
+                    "seq": entry["seq"],
+                    "level": entry["level"],
+                    "triples": entry["adds"],
+                    "tombstones": entry["tombstones"],
+                    "bytes": entry["bytes"],
+                    "age_seconds": (
+                        round(now - created, 3) if created else None
+                    ),
+                }
+            )
+        document.update(
+            directory=str(self.directory),
+            store_id=self.manifest.get("store_id"),
+            segments=len(self.runs),
+            segment_bytes=sum(int(e.get("bytes", 0)) for e in run_entries),
+            segments_detail=details,
+            term_banks=len(self._terms.banks),
+            overlay_triples=sum(
+                len(objects)
+                for by_p in self.spo.values()
+                for objects in by_p.values()
+            ),
+            overlay_tombstones=len(self.tombstones),
+            wal_bytes=self.wal_size(),
+            page_cache=self.cache.stats(),
+            opens=self.generation,
+            checkpoints=int(self.manifest.get("checkpoints", 0)),
+            compactions=int(self.manifest.get("compactions", 0)),
+            recovery=dict(self.recovery),
+            closed=self._closed,
+        )
+        return document
+
+
+# -- direct store construction (bulk loader, snapshots) ----------------------
+
+
+def build_paged_store(
+    directory: pathlib.Path, backend: StorageBackend
+) -> Dict[str, Any]:
+    """Write a complete single-run paged store from a built backend.
+
+    Used by the bulk loader (sorted runs written directly, no WAL
+    traffic) and by ``snapshot()``.  The destination directory must
+    exist and hold no store; the caller writes the returned manifest.
+    """
+    created = time.time()
+    bank_entry = write_term_bank(
+        directory / "terms-000001.tb",
+        0,
+        list(backend.term_list),
+    )
+    bank_entry["created"] = created
+    run_entry = write_run(
+        directory / "run-000001.run",
+        1,
+        1,
+        ((sid, pid, oid, 1) for sid, pid, oid in backend.encoded_triples()),
+    )
+    run_entry["created"] = created
+    manifest = _fresh_manifest()
+    manifest["runs"] = [run_entry]
+    manifest["term_banks"] = [bank_entry]
+    manifest["next_seq"] = 2
+    manifest["next_bank"] = 2
+    manifest["pred_stats"] = _dump_pred_stats(backend.pred_stats)
+    manifest["terms"] = len(backend.term_list)
+    manifest["triples"] = backend.size
+    (directory / WAL_NAME).touch()
+    return manifest

@@ -1,0 +1,598 @@
+"""Immutable mmap'd sorted-run and term-bank files + the block cache.
+
+This module is the page layer of :class:`repro.storage.paged.
+PagedBackend`.  It knows nothing about LSM levels or write-ahead logs —
+it reads and writes two immutable file kinds and caches fixed-size
+blocks of them:
+
+**Run files** (``run-NNNNNN.run``) hold one sorted batch of triple
+records in all three permutation orders::
+
+    RPRORUN1                                  8-byte magic
+    section 0 (SPO): records | fence keys     16 B records, 12 B fences
+    section 1 (POS): records | fence keys
+    section 2 (OSP): records | fence keys
+    JSON footer  <u32 footer length>  RPRORUN1
+
+A record is ``<u32 a><u32 b><u32 c><u8 flag><3 pad>`` — the triple ids
+permuted into the section's order, with ``flag`` 1 for an add and 0
+for a tombstone.  Records are sorted by ``(a, b, c)`` and grouped into
+4096-byte blocks of 256; the fence array holds the first key of every
+block, so a probe binary-searches the fences (12-byte mmap reads),
+fetches one block through the cache, and binary-searches inside it —
+no block is touched that the probe does not need.  The footer carries
+per-section offsets, record counts, distinct-first-component counts
+(planner denominators) and CRCs (``repro store verify``), so opening a
+run is one mmap plus one footer read regardless of size.
+
+**Term-bank files** (``terms-NNNNNN.tb``) hold one contiguous slice of
+the term dictionary (ids ``base .. base+count-1``)::
+
+    RPROTB01
+    blobs:   <u32 len><encoded term>  per term, in id order
+    offsets: <u64 file offset> per term         (id -> term)
+    order:   <u32 id-base> per term, sorted by encoded bytes
+                                                (term -> id)
+    JSON footer  <u32 footer length>  RPROTB01
+
+``term()`` is two mmap reads + one decode; ``find()`` binary-searches
+the order array comparing encoded bytes.  Terms are decoded lazily and
+memoized by the backend, so cold open never materialises the
+dictionary.
+
+**Block cache** — one LRU :class:`BlockCache` per store, shared by all
+of its runs, capped in 4096-byte blocks and observable through the
+``repro_storage_page_hits_total`` / ``repro_storage_page_misses_total``
+/ ``repro_storage_page_evictions_total`` counters and the
+``repro_storage_page_cache_blocks`` gauge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import mmap
+import os
+import pathlib
+import struct
+import zlib
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.observability import get_registry
+from repro.rdf.term import Node
+from repro.storage import records
+from repro.storage.errors import SnapshotMismatch
+
+RUN_MAGIC = b"RPRORUN1"
+BANK_MAGIC = b"RPROTB01"
+
+#: Fixed block geometry: 256 16-byte records per 4096-byte block.
+RECORD_BYTES = 16
+BLOCK_BYTES = 4096
+RECORDS_PER_BLOCK = BLOCK_BYTES // RECORD_BYTES
+
+#: The three section orderings, in file order.
+SECTIONS = ("spo", "pos", "osp")
+
+_RECORD = struct.Struct("<IIIB3x")
+_FENCE = struct.Struct("<III")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: A key component strictly greater than any stored u32 (upper bounds).
+KEY_INFINITY = 1 << 32
+
+_reader_tokens = itertools.count(1)
+
+
+class BlockCache:
+    """A store-wide LRU over 4096-byte file blocks.
+
+    Keys are ``(reader token, section index, block number)`` — reader
+    tokens are process-unique, so a compaction that replaces run files
+    can never alias a stale cached block.  Capacity is counted in
+    blocks; an over-full insert evicts from the least-recently-used
+    end.  Hit/miss/eviction counts feed both the instance fields (unit
+    tests, ``describe()``) and the process-wide
+    ``repro_storage_page_*`` metric families.
+    """
+
+    def __init__(self, capacity_blocks: int = 1024) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(
+                f"capacity_blocks must be >= 1, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._blocks: "OrderedDict[Tuple[int, int, int], bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        registry = get_registry()
+        self._hits_metric = registry.counter(
+            "repro_storage_page_hits_total",
+            "Block-cache hits across paged stores.",
+        )
+        self._misses_metric = registry.counter(
+            "repro_storage_page_misses_total",
+            "Block-cache misses across paged stores.",
+        )
+        self._evictions_metric = registry.counter(
+            "repro_storage_page_evictions_total",
+            "Blocks evicted from paged-store caches.",
+        )
+        self._resident_metric = registry.gauge(
+            "repro_storage_page_cache_blocks",
+            "File blocks resident in paged-store caches.",
+        )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(
+        self,
+        key: Tuple[int, int, int],
+        loader: Callable[[], bytes],
+    ) -> bytes:
+        block = self._blocks.get(key)
+        if block is not None:
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            self._hits_metric.inc()
+            return block
+        block = loader()
+        self.misses += 1
+        self._misses_metric.inc()
+        self._blocks[key] = block
+        self._resident_metric.inc()
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+            self._evictions_metric.inc()
+            self._resident_metric.dec()
+        return block
+
+    def purge(self, token: int) -> None:
+        """Drop every cached block of one reader (close/compaction)."""
+        stale = [key for key in self._blocks if key[0] == token]
+        for key in stale:
+            del self._blocks[key]
+        if stale:
+            self._resident_metric.dec(len(stale))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity_blocks": self.capacity_blocks,
+            "resident_blocks": len(self._blocks),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def _permute(section: int, sid: int, pid: int, oid: int) -> Tuple[int, int, int]:
+    """(s, p, o) into one section's key order."""
+    if section == 0:
+        return (sid, pid, oid)
+    if section == 1:
+        return (pid, oid, sid)
+    return (oid, sid, pid)
+
+
+def _unpermute(section: int, a: int, b: int, c: int) -> Tuple[int, int, int]:
+    """One section's key back into (s, p, o)."""
+    if section == 0:
+        return (a, b, c)
+    if section == 1:
+        return (c, a, b)
+    return (b, c, a)
+
+
+# -- run files ---------------------------------------------------------------
+
+
+def write_run(
+    path: pathlib.Path,
+    seq: int,
+    level: int,
+    entries: Iterable[Tuple[int, int, int, int]],
+) -> Dict[str, Any]:
+    """Write one immutable run from ``(sid, pid, oid, flag)`` entries.
+
+    Entries must be unique as triples (the caller merges first); order
+    does not matter — each section is sorted here.  The write is
+    atomic (tmp + rename) and fsynced before rename, so a run named by
+    a manifest is always complete.  Returns the manifest entry.
+    """
+    base = list(entries)
+    adds = sum(1 for e in base if e[3])
+    sections: List[Dict[str, Any]] = []
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(RUN_MAGIC)
+        position = len(RUN_MAGIC)
+        pack = _RECORD.pack
+        for section in range(3):
+            rows = sorted(
+                (_permute(section, s, p, o) + (flag,))
+                for s, p, o, flag in base
+            )
+            data = bytearray()
+            fences = bytearray()
+            distinct = 0
+            previous_first: Optional[int] = None
+            for index, (a, b, c, flag) in enumerate(rows):
+                if index % RECORDS_PER_BLOCK == 0:
+                    fences += _FENCE.pack(a, b, c)
+                if a != previous_first:
+                    distinct += 1
+                    previous_first = a
+                data += pack(a, b, c, flag)
+            handle.write(data)
+            handle.write(fences)
+            sections.append(
+                {
+                    "name": SECTIONS[section],
+                    "offset": position,
+                    "records": len(rows),
+                    "blocks": len(fences) // _FENCE.size,
+                    "fence_offset": position + len(data),
+                    "distinct": distinct,
+                    "crc": zlib.crc32(bytes(data) + bytes(fences)),
+                }
+            )
+            position += len(data) + len(fences)
+        footer = {
+            "seq": seq,
+            "level": level,
+            "records": len(base),
+            "adds": adds,
+            "tombstones": len(base) - adds,
+            "sections": sections,
+        }
+        footer_bytes = json.dumps(footer, sort_keys=True).encode("utf-8")
+        handle.write(footer_bytes)
+        handle.write(_U32.pack(len(footer_bytes)))
+        handle.write(RUN_MAGIC)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return {
+        "file": path.name,
+        "seq": seq,
+        "level": level,
+        "records": len(base),
+        "adds": adds,
+        "tombstones": len(base) - adds,
+        "bytes": path.stat().st_size,
+    }
+
+
+def _read_footer(
+    data: "mmap.mmap | bytes", path: pathlib.Path, magic: bytes
+) -> Dict[str, Any]:
+    """The JSON footer of a run or bank file (shared tail layout)."""
+    tail = len(magic) + _U32.size
+    if len(data) < len(magic) + tail or bytes(data[: len(magic)]) != magic:
+        raise SnapshotMismatch(
+            f"{path.name} is not a valid paged-store file",
+            segment=path.name,
+        )
+    if bytes(data[len(data) - len(magic) :]) != magic:
+        raise SnapshotMismatch(
+            f"{path.name} is truncated (missing tail magic)",
+            segment=path.name,
+        )
+    (footer_len,) = _U32.unpack_from(data, len(data) - tail)
+    start = len(data) - tail - footer_len
+    if start < len(magic):
+        raise SnapshotMismatch(
+            f"{path.name} declares an impossible footer length",
+            segment=path.name,
+        )
+    try:
+        return json.loads(bytes(data[start : start + footer_len]))
+    except ValueError as exc:
+        raise SnapshotMismatch(
+            f"{path.name} footer is not valid JSON: {exc}",
+            segment=path.name,
+        ) from exc
+
+
+class _Section:
+    __slots__ = ("offset", "records", "blocks", "fence_offset", "distinct", "crc")
+
+    def __init__(self, entry: Dict[str, Any]) -> None:
+        self.offset = int(entry["offset"])
+        self.records = int(entry["records"])
+        self.blocks = int(entry["blocks"])
+        self.fence_offset = int(entry["fence_offset"])
+        self.distinct = int(entry["distinct"])
+        self.crc = int(entry["crc"])
+
+
+class RunReader:
+    """Random access over one immutable run file via mmap + cache.
+
+    Opening reads only the footer — O(1) regardless of run size.  All
+    record access goes through the shared :class:`BlockCache`; fence
+    keys are read straight off the mmap (12 bytes each, never enough
+    to be worth caching).
+    """
+
+    def __init__(self, path: pathlib.Path, cache: BlockCache) -> None:
+        self.path = path
+        self.token = next(_reader_tokens)
+        self._cache = cache
+        self._file = open(path, "rb")
+        try:
+            self._map: "mmap.mmap | bytes" = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            # Zero-length or mmap-hostile file: fall back to bytes (the
+            # footer check below reports the real problem).
+            self._map = self._file.read()
+        footer = _read_footer(self._map, path, RUN_MAGIC)
+        self.seq = int(footer["seq"])
+        self.level = int(footer["level"])
+        self.records = int(footer["records"])
+        self.adds = int(footer["adds"])
+        self.tombstones = int(footer["tombstones"])
+        self._sections = [_Section(entry) for entry in footer["sections"]]
+
+    def close(self) -> None:
+        self._cache.purge(self.token)
+        if isinstance(self._map, mmap.mmap):
+            self._map.close()
+        self._file.close()
+
+    # -- low-level access --------------------------------------------------
+
+    def _fence(self, section: _Section, block: int) -> Tuple[int, int, int]:
+        return _FENCE.unpack_from(
+            self._map, section.fence_offset + block * _FENCE.size
+        )
+
+    def _block(self, section_index: int, block: int) -> bytes:
+        section = self._sections[section_index]
+        start = section.offset + block * BLOCK_BYTES
+        length = min(
+            BLOCK_BYTES, section.records * RECORD_BYTES - block * BLOCK_BYTES
+        )
+
+        def load() -> bytes:
+            return bytes(self._map[start : start + length])
+
+        return self._cache.get((self.token, section_index, block), load)
+
+    def _record(
+        self, section_index: int, index: int
+    ) -> Tuple[int, int, int, int]:
+        block = self._block(section_index, index // RECORDS_PER_BLOCK)
+        return _RECORD.unpack_from(
+            block, (index % RECORDS_PER_BLOCK) * RECORD_BYTES
+        )
+
+    def _lower_bound(
+        self, section_index: int, target: Tuple[int, int, int]
+    ) -> int:
+        """Index of the first record with key >= ``target``.
+
+        Fence binary search picks the block without touching data
+        pages; the in-block search runs on cache-resident bytes.
+        """
+        section = self._sections[section_index]
+        if section.records == 0:
+            return 0
+        lo, hi = 0, section.blocks
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._fence(section, mid) <= target:
+                lo = mid + 1
+            else:
+                hi = mid
+        block = lo - 1
+        if block < 0:
+            return 0
+        base = block * RECORDS_PER_BLOCK
+        data = self._block(section_index, block)
+        lo, hi = 0, min(RECORDS_PER_BLOCK, section.records - base)
+        unpack = _RECORD.unpack_from
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if unpack(data, mid * RECORD_BYTES)[:3] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return base + lo
+
+    # -- probes ------------------------------------------------------------
+
+    def range_bounds(
+        self, section_index: int, prefix: Tuple[int, ...]
+    ) -> Tuple[int, int]:
+        """[start, end) record indices of one key-prefix range."""
+        if not prefix:
+            return (0, self._sections[section_index].records)
+        low = tuple(prefix) + (0,) * (3 - len(prefix))
+        if len(prefix) == 3:
+            # A full key is a singleton range: [key, key-successor).
+            high = prefix[:2] + (prefix[2] + 1,)
+        else:
+            high = tuple(prefix) + (KEY_INFINITY,) * (3 - len(prefix))
+        start = self._lower_bound(section_index, low)  # type: ignore[arg-type]
+        end = self._lower_bound(section_index, high)  # type: ignore[arg-type]
+        return (start, end)
+
+    def range_size(self, section_index: int, prefix: Tuple[int, ...]) -> int:
+        start, end = self.range_bounds(section_index, prefix)
+        return end - start
+
+    def scan(
+        self, section_index: int, prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, int, int, int]]:
+        """Records of one prefix range, in section key order."""
+        start, end = self.range_bounds(section_index, prefix)
+        unpack = _RECORD.unpack_from
+        index = start
+        while index < end:
+            block_no = index // RECORDS_PER_BLOCK
+            data = self._block(section_index, block_no)
+            stop = min(end, (block_no + 1) * RECORDS_PER_BLOCK)
+            offset = (index % RECORDS_PER_BLOCK) * RECORD_BYTES
+            for _ in range(stop - index):
+                yield unpack(data, offset)
+                offset += RECORD_BYTES
+            index = stop
+
+    def point(self, sid: int, pid: int, oid: int) -> Optional[int]:
+        """The flag of one exact triple, or ``None`` if absent."""
+        key = (sid, pid, oid)
+        index = self._lower_bound(0, key)
+        if index >= self._sections[0].records:
+            return None
+        record = self._record(0, index)
+        return record[3] if record[:3] == key else None
+
+    def distinct_first(self, section_index: int) -> int:
+        return self._sections[section_index].distinct
+
+    def verify(self) -> None:
+        """Recompute every section CRC; raises SnapshotMismatch."""
+        for section in self._sections:
+            if section.records != self.records:
+                raise SnapshotMismatch(
+                    f"run {self.path.name} section at offset "
+                    f"{section.offset} holds {section.records} records; "
+                    f"the footer declares {self.records}",
+                    segment=self.path.name,
+                )
+            end = section.fence_offset + section.blocks * _FENCE.size
+            actual = zlib.crc32(bytes(self._map[section.offset : end]))
+            if actual != section.crc:
+                raise SnapshotMismatch(
+                    f"run {self.path.name} section at offset "
+                    f"{section.offset} fails its CRC "
+                    f"(stored {section.crc}, computed {actual})",
+                    segment=self.path.name,
+                )
+
+
+# -- term banks --------------------------------------------------------------
+
+
+def write_term_bank(
+    path: pathlib.Path, base: int, terms: List[Node]
+) -> Dict[str, Any]:
+    """Write one immutable term bank for ids ``base .. base+len-1``."""
+    blobs = [records.encode_term(term) for term in terms]
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(BANK_MAGIC)
+        position = len(BANK_MAGIC)
+        offsets = bytearray()
+        crc = 0
+        for blob in blobs:
+            offsets += _U64.pack(position)
+            framed = _U32.pack(len(blob)) + blob
+            handle.write(framed)
+            crc = zlib.crc32(framed, crc)
+            position += len(framed)
+        order = bytearray()
+        for relative in sorted(range(len(blobs)), key=lambda i: blobs[i]):
+            order += _U32.pack(relative)
+        handle.write(offsets)
+        handle.write(order)
+        # The CRC covers every payload byte plus both arrays — the
+        # whole file between the magic and the footer.
+        crc = zlib.crc32(bytes(offsets) + bytes(order), crc)
+        footer = {
+            "base": base,
+            "count": len(blobs),
+            "offsets_offset": position,
+            "order_offset": position + len(offsets),
+            "crc": crc,
+        }
+        footer_bytes = json.dumps(footer, sort_keys=True).encode("utf-8")
+        handle.write(footer_bytes)
+        handle.write(_U32.pack(len(footer_bytes)))
+        handle.write(BANK_MAGIC)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return {
+        "file": path.name,
+        "base": base,
+        "count": len(blobs),
+        "bytes": path.stat().st_size,
+    }
+
+
+class TermBankReader:
+    """Lazy id <-> term access over one immutable bank file."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+        self._file = open(path, "rb")
+        try:
+            self._map: "mmap.mmap | bytes" = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            self._map = self._file.read()
+        footer = _read_footer(self._map, path, BANK_MAGIC)
+        self.base = int(footer["base"])
+        self.count = int(footer["count"])
+        self._offsets_offset = int(footer["offsets_offset"])
+        self._order_offset = int(footer["order_offset"])
+        self._crc = int(footer["crc"])
+
+    def close(self) -> None:
+        if isinstance(self._map, mmap.mmap):
+            self._map.close()
+        self._file.close()
+
+    def _blob(self, relative: int) -> bytes:
+        (offset,) = _U64.unpack_from(
+            self._map, self._offsets_offset + relative * _U64.size
+        )
+        (length,) = _U32.unpack_from(self._map, offset)
+        start = offset + _U32.size
+        return bytes(self._map[start : start + length])
+
+    def term(self, tid: int) -> Node:
+        """Decode the term of one id owned by this bank."""
+        relative = tid - self.base
+        if not 0 <= relative < self.count:
+            raise IndexError(f"term id {tid} outside bank {self.path.name}")
+        term, _ = records.decode_term(self._blob(relative), 0)
+        return term
+
+    def find(self, encoded: bytes) -> Optional[int]:
+        """The id of one encoded term, or ``None`` if not in this bank."""
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            (relative,) = _U32.unpack_from(
+                self._map, self._order_offset + mid * _U32.size
+            )
+            blob = self._blob(relative)
+            if blob < encoded:
+                lo = mid + 1
+            elif blob > encoded:
+                hi = mid
+            else:
+                return self.base + relative
+        return None
+
+    def verify(self) -> None:
+        """Recompute the payload+offsets+order CRC; raises on mismatch."""
+        end = self._order_offset + self.count * _U32.size
+        actual = zlib.crc32(bytes(self._map[len(BANK_MAGIC) : end]))
+        if actual != self._crc:
+            raise SnapshotMismatch(
+                f"term bank {self.path.name} fails its CRC "
+                f"(stored {self._crc}, computed {actual})",
+                segment=self.path.name,
+            )

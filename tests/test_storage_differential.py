@@ -1,10 +1,12 @@
-"""Differential testing of the storage backends (E6/E16 over disk).
+"""Differential testing of the storage backends (E6/E16/E22).
 
-A disk-backed graph must be *indistinguishable* from the in-memory one
-at the query layer: identical planned and naive results, identical
-stats-driven join orders, identical serialized bytes — on a freshly
-written store, and again after close + reopen (segments + WAL replay).
-The annotation repository and the durable serving tier get the same
+A durable graph — disk segments or paged sorted runs — must be
+*indistinguishable* from the in-memory one at the query layer:
+identical planned and naive results, identical stats-driven join
+orders, identical serialized bytes — on a freshly written store, and
+again after close + reopen (segments + WAL replay).  The paged engine
+additionally proves crash safety at *every* WAL byte boundary.  The
+annotation repository and the durable serving tier get the same
 treatment: warm annotations and registered views must survive a
 restart with byte-equal responses and no client re-registration.
 """
@@ -12,7 +14,9 @@ restart with byte-equal responses and no client re-registration.
 from __future__ import annotations
 
 import json
+import pathlib
 import random
+import shutil
 from collections import Counter
 
 import pytest
@@ -21,7 +25,13 @@ from repro.annotation import AnnotationStore
 from repro.rdf import Graph, Literal, Q, URIRef
 from repro.rdf.lsid import uniprot_lsid
 from repro.rdf.sparql import explain, reset_plan_cache
-from repro.storage import DiskBackend, MemoryBackend
+from repro.storage import DiskBackend, MemoryBackend, PagedBackend
+
+DURABLE_BACKENDS = {"disk": DiskBackend, "paged": PagedBackend}
+
+
+def durable_backend(engine: str, directory: str, sync: str = "none"):
+    return DURABLE_BACKENDS[engine](directory, sync=sync)
 
 EX = "http://example.org/"
 SUBJECTS = [URIRef(f"{EX}s{i}") for i in range(8)]
@@ -78,7 +88,7 @@ def fresh_cache():
     reset_plan_cache()
 
 
-@pytest.fixture(params=["memory", "disk"])
+@pytest.fixture(params=["memory", "disk", "paged"])
 def make_graph(request, tmp_path):
     """A factory for backend-parametrized graphs (closed at teardown)."""
     opened = []
@@ -90,7 +100,7 @@ def make_graph(request, tmp_path):
         else:
             directory = str(tmp_path / f"store-{next(counter)}")
             graph = Graph(
-                backend=DiskBackend(directory, sync="none")
+                backend=durable_backend(request.param, directory)
             )
         opened.append(graph)
         return graph
@@ -111,27 +121,35 @@ class TestQueryParityAcrossBackends:
             naive = graph.query(query, use_planner=False)
             assert solutions(planned) == solutions(naive), query
 
+    @pytest.mark.parametrize("engine", ["disk", "paged"])
     @pytest.mark.parametrize("seed", range(4))
-    def test_disk_matches_memory_byte_for_byte(self, tmp_path, seed):
+    def test_durable_matches_memory_byte_for_byte(
+        self, tmp_path, seed, engine
+    ):
         triples = seeded_triples(100 + seed, 90)
         memory = Graph(backend=MemoryBackend())
         memory.add_all(triples)
-        disk = Graph(
-            backend=DiskBackend(str(tmp_path / f"d{seed}"), sync="none")
+        durable = Graph(
+            backend=durable_backend(engine, str(tmp_path / f"d{seed}"))
         )
-        disk.add_all(triples)
-        assert memory.serialize() == disk.serialize()
+        durable.add_all(triples)
+        assert memory.serialize() == durable.serialize()
         for query in QUERIES:
             assert solutions(memory.query(query)) == solutions(
-                disk.query(query)
+                durable.query(query)
             ), query
-        disk.close()
+        durable.close()
 
+    @pytest.mark.parametrize("engine", ["disk", "paged"])
     @pytest.mark.parametrize("seed", range(4))
-    def test_reopened_store_answers_identically(self, tmp_path, seed):
+    def test_reopened_store_answers_identically(
+        self, tmp_path, seed, engine
+    ):
         triples = seeded_triples(200 + seed, 70)
         directory = str(tmp_path / "store")
-        graph = Graph(backend=DiskBackend(directory, sync="always"))
+        graph = Graph(
+            backend=durable_backend(engine, directory, sync="always")
+        )
         graph.add_all(triples)
         # A few incremental mutations so the WAL has DELETE records too.
         for t in triples[:5]:
@@ -146,7 +164,7 @@ class TestQueryParityAcrossBackends:
         serialized = graph.serialize()
         graph.close()
 
-        reopened = Graph(backend=DiskBackend(directory, sync="none"))
+        reopened = Graph(backend=durable_backend(engine, directory))
         assert reopened.serialize() == serialized
         for query in QUERIES:
             planned = solutions(reopened.query(query))
@@ -154,11 +172,15 @@ class TestQueryParityAcrossBackends:
             assert (planned, naive) == before[query], query
         reopened.close()
 
-    def test_join_order_survives_reopen(self, tmp_path):
-        """plan.py reads live predicate stats; the persisted stats must
-        reproduce the same greedy join order after a restart."""
+    @pytest.mark.parametrize("engine", ["disk", "paged"])
+    def test_join_order_survives_reopen(self, tmp_path, engine):
+        """plan.py reads live predicate stats through the probe; the
+        persisted stats must reproduce the same greedy join order
+        after a restart on either durable engine."""
         directory = str(tmp_path / "store")
-        graph = Graph(backend=DiskBackend(directory, sync="always"))
+        graph = Graph(
+            backend=durable_backend(engine, directory, sync="always")
+        )
         # p0 is common (unselective), p1 is rare (selective): the
         # planner must start with p1 both before and after reopen.
         for i in range(40):
@@ -178,12 +200,67 @@ class TestQueryParityAcrossBackends:
 
         plan_before = plan_lines(graph)
         graph.close()
-        reopened = Graph(backend=DiskBackend(directory, sync="none"))
+        reopened = Graph(backend=durable_backend(engine, directory))
         assert plan_lines(reopened) == plan_before
         plan_before = "\n".join(plan_before)
         assert f"{EX}p1" in plan_before.splitlines()[0] or (
             plan_before.index(f"{EX}p1") < plan_before.index(f"{EX}p0")
         )
+        reopened.close()
+
+
+class TestPagedCrashRecovery:
+    """Satellite 3: the paged engine's reopen-after-crash parity at
+    every WAL byte boundary — each torn tail must replay to exactly the
+    last committed state, with planned/naive query parity intact."""
+
+    def test_reopen_at_every_wal_byte_boundary(self, tmp_path):
+        live_dir = str(tmp_path / "live")
+        graph = Graph(backend=PagedBackend(live_dir, sync="always"))
+        graph.add_all(seeded_triples(7, 40))
+        # Checkpoint so the committed state spans sorted runs *and*
+        # the WAL tail that follows — replay must compose both.
+        assert graph.backend.checkpoint()
+        extra = seeded_triples(8, 6)
+        graph.add_all(extra)
+        graph.remove(*extra[0])
+        committed = sorted(graph.triples(), key=repr)
+        answers = {q: solutions(graph.query(q)) for q in QUERIES}
+        base_size = (pathlib.Path(live_dir) / "store.wal").stat().st_size
+        # One more committed mutation: the record we will tear.  The
+        # crash image is copied while the store is live — a clean
+        # close would checkpoint and empty the WAL.
+        graph.add(SUBJECTS[0], PREDICATES[3], Literal("tail"))
+        crashed = tmp_path / "crashed"
+        shutil.copytree(live_dir, crashed)
+        graph.close()
+        directory = str(crashed)
+        wal_path = crashed / "store.wal"
+        full = wal_path.read_bytes()
+        last_record = full[base_size:]
+        assert last_record, "the final add must have produced WAL bytes"
+
+        for cut in range(len(last_record)):
+            wal_path.write_bytes(full[: base_size + cut])
+            backend = PagedBackend(directory, sync="none")
+            reopened = Graph(backend=backend)
+            assert sorted(reopened.triples(), key=repr) == committed, (
+                f"torn tail of {cut} bytes must replay to committed state"
+            )
+            for query in QUERIES:
+                planned = solutions(reopened.query(query))
+                naive = solutions(reopened.query(query, use_planner=False))
+                assert planned == naive == answers[query], (cut, query)
+            outcome = backend.describe()["recovery"]["outcome"]
+            assert outcome in ("clean", "torn_tail")
+            reopened.close()
+            # Recovery truncates the torn tail; restore the scenario.
+            wal_path.write_bytes(full)
+
+        # And the untouched full WAL replays the final triple.
+        backend = PagedBackend(directory, sync="none")
+        reopened = Graph(backend=backend)
+        assert (SUBJECTS[0], PREDICATES[3], Literal("tail")) in reopened
         reopened.close()
 
 
